@@ -1,0 +1,113 @@
+// Shared plumbing for the paper-reproduction benchmark binaries.
+//
+// Each binary regenerates one table or figure from the paper. Every
+// experiment is registered both as a google-benchmark case (so standard
+// tooling sees per-run wall time and the modelled speedup as a counter)
+// and as a row of the paper-style summary table printed after the run.
+//
+// Problem sizes default to reduced versions of the paper's (the paper's
+// sizes are annotated next to each bench); override the compute scale
+// with TMK_CPU_SCALE.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "apps/app_common.hpp"
+#include "common/table.hpp"
+#include "runner/runner.hpp"
+
+namespace bench {
+
+inline constexpr int kProcs = 8;  // the paper's 8-node SP/2
+
+inline runner::SpawnOptions paper_options() {
+  runner::SpawnOptions o;
+  o.model = simx::MachineModel::sp2();
+  o.shared_heap_bytes = 512ull << 20;
+  o.timeout_sec = 1200;
+  return o;
+}
+
+/// One measured configuration, in paper terms.
+struct Row {
+  std::string app;
+  std::string system;
+  double speedup = 0.0;       // vs the same app's sequential virtual time
+  double seconds = 0.0;       // modelled parallel seconds
+  std::uint64_t messages = 0;
+  double kbytes = 0.0;
+  double checksum = 0.0;
+};
+
+/// Collects rows across benchmark registrations; printed from main().
+class Report {
+ public:
+  static Report& instance() {
+    static Report r;
+    return r;
+  }
+
+  void add(Row row) { rows_.push_back(std::move(row)); }
+
+  void print_speedups(const std::string& title) const {
+    std::cout << "\n=== " << title << " ===\n";
+    common::TextTable t;
+    t.header({"application", "system", "speedup", "time(s)"});
+    for (const Row& r : rows_)
+      t.row({r.app, r.system, common::TextTable::num(r.speedup, 2),
+             common::TextTable::num(r.seconds, 3)});
+    t.print(std::cout);
+  }
+
+  void print_traffic(const std::string& title) const {
+    std::cout << "\n=== " << title << " ===\n";
+    common::TextTable t;
+    t.header({"application", "system", "messages", "data(KB)"});
+    for (const Row& r : rows_)
+      t.row({r.app, r.system, std::to_string(r.messages),
+             common::TextTable::num(r.kbytes, 0)});
+    t.print(std::cout);
+  }
+
+  [[nodiscard]] const std::vector<Row>& rows() const { return rows_; }
+
+ private:
+  std::vector<Row> rows_;
+};
+
+/// Messages/bytes counted for a run: DSM traffic for the shared-memory
+/// systems, PVMe traffic for the message-passing ones.
+inline void fill_traffic(Row& row, apps::System system,
+                         const runner::RunResult& r) {
+  const mpl::Layer layer = (system == apps::System::kXhpf ||
+                            system == apps::System::kPvme)
+                               ? mpl::Layer::kPvme
+                               : mpl::Layer::kTmk;
+  row.messages = r.messages(layer);
+  row.kbytes = r.kbytes(layer);
+}
+
+/// Runs one (app, system) configuration and records it. `run_fn` invokes
+/// the app's dispatch helper; `seq_seconds` is the app's sequential
+/// baseline in modelled seconds.
+template <typename RunFn>
+Row measure(const std::string& app, apps::System system, double seq_seconds,
+            RunFn&& run_fn) {
+  const runner::RunResult r = run_fn();
+  Row row;
+  row.app = app;
+  row.system = apps::to_string(system);
+  row.seconds = r.seconds();
+  row.speedup = (r.seconds() > 0) ? seq_seconds / r.seconds() : 0.0;
+  row.checksum = r.checksum;
+  fill_traffic(row, system, r);
+  Report::instance().add(row);
+  return row;
+}
+
+}  // namespace bench

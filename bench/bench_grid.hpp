@@ -1,0 +1,26 @@
+// Runs one application across the paper's four system points (plus the
+// sequential baseline) and records the rows.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "bench_common.hpp"
+
+namespace bench {
+
+using GridRunFn =
+    std::function<runner::RunResult(apps::System, int nprocs)>;
+
+/// Measures seq + each requested system at kProcs processors.
+inline void run_grid(const std::string& app, const GridRunFn& run,
+                     std::initializer_list<apps::System> systems) {
+  const runner::RunResult seq = run(apps::System::kSeq, 1);
+  const double seq_seconds = seq.seconds();
+  for (apps::System s : systems) {
+    measure(app, s, seq_seconds,
+            [&run, s] { return run(s, kProcs); });
+  }
+}
+
+}  // namespace bench

@@ -1,0 +1,138 @@
+// Problem sizes used by every bench binary, with the paper's full sizes
+// noted. One place to change when scaling the reproduction up or down
+// (e.g. on a many-core host, export TMK_FULL_SIZES=1 for the paper's
+// dimensions).
+#pragma once
+
+#include <cstdlib>
+#include <string>
+
+#include "apps/fft3d.hpp"
+#include "apps/igrid.hpp"
+#include "apps/jacobi.hpp"
+#include "apps/mgs.hpp"
+#include "apps/nbf.hpp"
+#include "apps/shallow.hpp"
+
+namespace bench {
+
+inline bool full_sizes() {
+  const char* env = std::getenv("TMK_FULL_SIZES");
+  return env != nullptr && env[0] == '1';
+}
+
+// Paper: 2048 x 2048, 100 timed iterations.
+inline apps::JacobiParams jacobi_params() {
+  apps::JacobiParams p;
+  if (full_sizes()) {
+    p.n = 2048;
+    p.iters = 100;
+  } else {
+    p.n = 2048;   // paper's grid; fewer iterations
+    p.iters = 10;
+  }
+  p.warmup_iters = 1;
+  return p;
+}
+inline std::string jacobi_size_label() {
+  const auto p = jacobi_params();
+  return std::to_string(p.n) + "^2 x " + std::to_string(p.iters);
+}
+
+// Paper: 1024 x 1024, 50 timed iterations.
+inline apps::ShallowParams shallow_params() {
+  apps::ShallowParams p;
+  if (full_sizes()) {
+    p.n = 1023;
+    p.iters = 50;
+  } else {
+    p.n = 1023;   // paper's grid (page-aligned rows); fewer iterations
+    p.iters = 8;
+  }
+  p.warmup_iters = 1;
+  return p;
+}
+inline std::string shallow_size_label() {
+  const auto p = shallow_params();
+  return std::to_string(p.n + 1) + "^2 x " + std::to_string(p.iters);
+}
+
+// Paper: 1024 x 1024.
+inline apps::MgsParams mgs_params() {
+  apps::MgsParams p;
+  if (full_sizes()) {
+    p.n = 1024;
+    p.m = 1024;
+  } else {
+    p.n = 1024;  // paper's size (the step count is the iteration count)
+    p.m = 1024;
+  }
+  return p;
+}
+inline std::string mgs_size_label() {
+  const auto p = mgs_params();
+  return std::to_string(p.n) + " x " + std::to_string(p.m);
+}
+
+// Paper: 128 x 128 x 64, 5 timed iterations.
+inline apps::FftParams fft_params() {
+  apps::FftParams p;
+  if (full_sizes()) {
+    p.nx = 128;
+    p.ny = 128;
+    p.nz = 64;
+    p.iters = 5;
+  } else {
+    p.nx = 128;   // paper's grid; fewer iterations
+    p.ny = 128;
+    p.nz = 64;
+    p.iters = 2;
+  }
+  p.warmup_iters = 1;
+  return p;
+}
+inline std::string fft_size_label() {
+  const auto p = fft_params();
+  return std::to_string(p.nx) + "x" + std::to_string(p.ny) + "x" +
+         std::to_string(p.nz) + " x " + std::to_string(p.iters);
+}
+
+// Paper: 500 x 500, 19 timed iterations.
+inline apps::IGridParams igrid_params() {
+  apps::IGridParams p;
+  if (full_sizes()) {
+    p.n = 500;
+    p.iters = 19;
+  } else {
+    p.n = 500;    // paper's grid
+    p.iters = 10;
+  }
+  p.warmup_iters = 1;
+  return p;
+}
+inline std::string igrid_size_label() {
+  const auto p = igrid_params();
+  return std::to_string(p.n) + "^2 x " + std::to_string(p.iters);
+}
+
+// Paper: 32K molecules, 20 timed iterations.
+inline apps::NbfParams nbf_params() {
+  apps::NbfParams p;
+  if (full_sizes()) {
+    p.nmol = 32 * 1024;
+    p.iters = 20;
+  } else {
+    p.nmol = 32 * 1024;  // paper's molecule count; fewer iterations
+    p.iters = 8;
+  }
+  p.partners = 16;
+  p.window = 256;
+  p.warmup_iters = 1;
+  return p;
+}
+inline std::string nbf_size_label() {
+  const auto p = nbf_params();
+  return std::to_string(p.nmol) + " mol x " + std::to_string(p.iters);
+}
+
+}  // namespace bench

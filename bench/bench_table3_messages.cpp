@@ -1,0 +1,56 @@
+// Table 3: 8-processor message totals and data totals (KB) for the
+// irregular applications.
+//
+// Paper values (full sizes):
+//          messages: SPF    Tmk    XHPF   PVMe | data KB: SPF   Tmk  XHPF    PVMe
+//   IGrid:           3806   1246   34769  320  |          7374  131  140001  640
+//   NBF  :           14836  13194  45895  960  |          1543  228  163775  31457
+//
+// Expected shape: the XHPF broadcast fallback moves orders of magnitude
+// more data than everything else; TreadMarks moves *less data than the
+// hand MP code* on NBF (diffs ship only the modified words) while
+// sending more messages.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench_calibration.hpp"
+#include "bench_common.hpp"
+#include "bench_grid.hpp"
+#include "bench_sizes.hpp"
+
+namespace {
+
+const std::initializer_list<apps::System> kSystems = {
+    apps::System::kSpf, apps::System::kTmk, apps::System::kXhpf,
+    apps::System::kPvme};
+
+void BM_Traffic(benchmark::State& state) {
+  for (auto _ : state) {
+    bench::run_grid("IGrid",
+                    [](apps::System s, int np) {
+                      return apps::run_igrid(s, bench::igrid_params(), np,
+                                             bench::calibrated_options(bench::igrid_scale()));
+                    },
+                    kSystems);
+    bench::run_grid("NBF",
+                    [](apps::System s, int np) {
+                      return apps::run_nbf(s, bench::nbf_params(), np,
+                                           bench::calibrated_options(bench::nbf_scale()));
+                    },
+                    kSystems);
+  }
+}
+BENCHMARK(BM_Traffic)->Iterations(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  bench::Report::instance().print_traffic(
+      "Table 3: 8-processor message totals and data totals (KB), "
+      "irregular applications");
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,105 @@
+// Four-systems shootout on one application.
+//
+// Runs the paper's comparison end-to-end for a single application chosen
+// on the command line: sequential baseline, SPF/TreadMarks, hand-coded
+// TreadMarks, XHPF message passing, and hand-coded PVMe, printing the
+// speedups and traffic the way Figures 1-2 and Tables 2-3 do.
+//
+//   ./examples/four_systems [jacobi|shallow|mgs|fft|igrid|nbf] [nprocs]
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+#include <cstdlib>
+#include <string>
+
+#include "apps/fft3d.hpp"
+#include "apps/igrid.hpp"
+#include "apps/jacobi.hpp"
+#include "apps/mgs.hpp"
+#include "apps/nbf.hpp"
+#include "apps/shallow.hpp"
+#include "common/table.hpp"
+
+namespace {
+
+using RunFn = runner::RunResult (*)(apps::System, int,
+                                    const runner::SpawnOptions&);
+
+runner::RunResult run_app(const std::string& app, apps::System s, int np,
+                          const runner::SpawnOptions& o) {
+  if (app == "jacobi") {
+    apps::JacobiParams p;
+    p.n = 1024;
+    p.iters = 10;
+    return apps::run_jacobi(s, p, np, o);
+  }
+  if (app == "shallow") {
+    apps::ShallowParams p;
+    p.n = 255;
+    p.iters = 6;
+    return apps::run_shallow(s, p, np, o);
+  }
+  if (app == "mgs") {
+    apps::MgsParams p;
+    p.n = 128;
+    p.m = 1024;
+    return apps::run_mgs(s, p, np, o);
+  }
+  if (app == "fft") {
+    apps::FftParams p;
+    p.nx = 32;
+    p.ny = 32;
+    p.nz = 32;
+    p.iters = 2;
+    return apps::run_fft3d(s, p, np, o);
+  }
+  if (app == "igrid") {
+    apps::IGridParams p;
+    p.n = 250;
+    p.iters = 8;
+    return apps::run_igrid(s, p, np, o);
+  }
+  if (app == "nbf") {
+    apps::NbfParams p;
+    p.nmol = 8192;
+    p.iters = 6;
+    return apps::run_nbf(s, p, np, o);
+  }
+  std::fprintf(stderr, "unknown application '%s'\n", app.c_str());
+  std::exit(1);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string app = (argc > 1) ? argv[1] : "igrid";
+  const int nprocs = (argc > 2) ? std::atoi(argv[2]) : 8;
+
+  runner::SpawnOptions options;
+  options.model = simx::MachineModel::sp2();
+  options.shared_heap_bytes = 512ull << 20;
+
+  const auto seq = run_app(app, apps::System::kSeq, 1, options);
+  std::printf("%s: sequential model time %.3f s (checksum %.6g)\n\n",
+              app.c_str(), seq.seconds(), seq.checksum);
+
+  common::TextTable t;
+  t.header({"system", "speedup", "time(s)", "messages", "data(KB)",
+            "checksum ok"});
+  for (apps::System s : apps::kPaperSystems) {
+    const auto r = run_app(app, s, nprocs, options);
+    const auto layer = (s == apps::System::kXhpf || s == apps::System::kPvme)
+                           ? mpl::Layer::kPvme
+                           : mpl::Layer::kTmk;
+    const bool ok =
+        std::abs(r.checksum - seq.checksum) <=
+        1e-6 * std::max(1.0, std::abs(seq.checksum));
+    t.row({apps::to_string(s),
+           common::TextTable::num(seq.seconds() / r.seconds(), 2),
+           common::TextTable::num(r.seconds(), 3),
+           std::to_string(r.messages(layer)),
+           common::TextTable::num(r.kbytes(layer), 0), ok ? "yes" : "NO"});
+  }
+  t.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Shared application-harness vocabulary.
+//
+// Every application is implemented in (up to) six variants over one
+// problem definition, mirroring the paper's four system points plus the
+// sequential baseline and the §5 hand-optimized DSM version:
+//
+//   kSeq    — sequential baseline (Table 1): "obtained by removing all
+//             synchronization ... and executing on a single processor"
+//   kSpf    — SPF-compiler-style fork-join shared memory on TreadMarks
+//   kSpfOpt — kSpf plus the §5 hand optimizations (aggregation, push,
+//             broadcast, merged loops) through the extension interface
+//   kTmk    — hand-coded TreadMarks (SPMD, barriers, private scratch)
+//   kXhpf   — XHPF-compiler-style SPMD message passing
+//   kPvme   — hand-coded message passing
+//
+// All variants of one application compute the same checksum; integration
+// tests assert equality against kSeq (exact where the arithmetic order is
+// identical, tolerance where reductions reassociate).
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "runner/runner.hpp"
+
+namespace apps {
+
+enum class System { kSeq, kSpf, kSpfOpt, kTmk, kTmkOpt, kXhpf, kPvme };
+
+[[nodiscard]] constexpr const char* to_string(System s) noexcept {
+  switch (s) {
+    case System::kSeq:
+      return "seq";
+    case System::kSpf:
+      return "SPF/Tmk";
+    case System::kSpfOpt:
+      return "SPF/Tmk+opt";
+    case System::kTmk:
+      return "Tmk";
+    case System::kTmkOpt:
+      return "Tmk+opt";
+    case System::kXhpf:
+      return "XHPF";
+    case System::kPvme:
+      return "PVMe";
+  }
+  return "?";
+}
+
+/// The four systems of Figures 1-2, in the paper's presentation order.
+inline constexpr System kPaperSystems[] = {System::kSpf, System::kTmk,
+                                           System::kXhpf, System::kPvme};
+
+/// Measurement hooks for the sequential baselines, so they time exactly
+/// the same window as the parallel variants (the paper's "last N
+/// iterations"): `start` fires after initialization + warm-up, `end`
+/// before any checksum post-processing.
+struct SeqHooks {
+  std::function<void()> start;
+  std::function<void()> end;
+
+  void on_start() const {
+    if (start) start();
+  }
+  void on_end() const {
+    if (end) end();
+  }
+};
+
+/// Glue: runs `seq_fn(params, hooks)` under the harness with the hooks
+/// bound to the endpoint's measurement window.
+template <typename Params, typename Fn>
+runner::RunResult run_seq_measured(const runner::SpawnOptions& opts,
+                                   const Params& p, Fn&& seq_fn) {
+  return runner::spawn(1, opts, [&](runner::ChildContext& ctx) {
+    SeqHooks hooks{
+        [&ctx] { ctx.endpoint.mark_measurement_start(); },
+        [&ctx] { ctx.endpoint.mark_measurement_end(); }};
+    return seq_fn(p, &hooks);
+  });
+}
+
+}  // namespace apps

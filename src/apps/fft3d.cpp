@@ -1,0 +1,490 @@
+#include "apps/fft3d.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <complex>
+#include <cstring>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/prng.hpp"
+#include "pvme/comm.hpp"
+#include "spf/runtime.hpp"
+#include "tmk/runtime.hpp"
+#include "xhpf/runtime.hpp"
+
+namespace apps {
+
+namespace {
+
+using Cplx = std::complex<double>;
+
+// Iterative radix-2 inverse FFT (no normalization; the normalize pass is
+// its own loop, as in the paper's six-loop structure).
+void fft1d_inverse(Cplx* a, std::size_t n) {
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(a[i], a[j]);
+  }
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double ang = 2.0 * M_PI / static_cast<double>(len);  // +: inverse
+    const Cplx wl(std::cos(ang), std::sin(ang));
+    for (std::size_t i = 0; i < n; i += len) {
+      Cplx w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const Cplx u = a[i + k];
+        const Cplx v = a[i + k + len / 2] * w;
+        a[i + k] = u + v;
+        a[i + k + len / 2] = u - v;
+        w *= wl;
+      }
+    }
+  }
+}
+
+// Deterministic per-element, per-iteration source data.
+Cplx source_value(const FftParams& p, std::size_t z, std::size_t y,
+                  std::size_t x, int iter) {
+  common::SplitMix64 g(p.seed ^ (z * p.ny * p.nx + y * p.nx + x) * 0x9e37ULL ^
+                       (static_cast<std::uint64_t>(iter) << 32));
+  return {g.next_double() - 0.5, g.next_double() - 0.5};
+}
+
+struct Dims {
+  std::size_t nx, ny, nz;
+  [[nodiscard]] std::size_t total() const { return nx * ny * nz; }
+  [[nodiscard]] std::size_t idx(std::size_t z, std::size_t y,
+                                std::size_t x) const {
+    return (z * ny + y) * nx + x;
+  }
+};
+
+// Checksum samples: 1024 pseudo-random flat indices, k-ascending.
+std::size_t sample_index(const Dims& d, std::size_t k) {
+  return (k * 2654435761ULL + 12345) % d.total();
+}
+constexpr std::size_t kSamples = 1024;
+
+double fold_checksum(double re, double im) { return re + 1.37 * im; }
+
+// ---- shared per-pass kernels (identical arithmetic in all variants) ----
+
+void init_pass_z(Cplx* a, const Dims& d, const FftParams& p, int iter,
+                 std::size_t z_lo, std::size_t z_hi) {
+  for (std::size_t z = z_lo; z < z_hi; ++z)
+    for (std::size_t y = 0; y < d.ny; ++y)
+      for (std::size_t x = 0; x < d.nx; ++x)
+        a[d.idx(z, y, x)] = source_value(p, z, y, x, iter);
+}
+
+void fftx_pass_z(Cplx* a, const Dims& d, std::size_t z_lo, std::size_t z_hi) {
+  for (std::size_t z = z_lo; z < z_hi; ++z)
+    for (std::size_t y = 0; y < d.ny; ++y)
+      fft1d_inverse(a + d.idx(z, y, 0), d.nx);
+}
+
+void ffty_pass_z(Cplx* a, const Dims& d, std::size_t z_lo, std::size_t z_hi) {
+  std::vector<Cplx> line(d.ny);
+  for (std::size_t z = z_lo; z < z_hi; ++z) {
+    for (std::size_t x = 0; x < d.nx; ++x) {
+      for (std::size_t y = 0; y < d.ny; ++y) line[y] = a[d.idx(z, y, x)];
+      fft1d_inverse(line.data(), d.ny);
+      for (std::size_t y = 0; y < d.ny; ++y) a[d.idx(z, y, x)] = line[y];
+    }
+  }
+}
+
+// z-FFT over the [z][y][x] layout (shared-memory variants): gathers
+// strided z-lines for the owned y range.
+void fftz_pass_y(Cplx* a, const Dims& d, std::size_t y_lo, std::size_t y_hi) {
+  std::vector<Cplx> line(d.nz);
+  for (std::size_t y = y_lo; y < y_hi; ++y) {
+    for (std::size_t x = 0; x < d.nx; ++x) {
+      for (std::size_t z = 0; z < d.nz; ++z) line[z] = a[d.idx(z, y, x)];
+      fft1d_inverse(line.data(), d.nz);
+      for (std::size_t z = 0; z < d.nz; ++z) a[d.idx(z, y, x)] = line[z];
+    }
+  }
+}
+
+void normalize_pass_y(Cplx* a, const Dims& d, std::size_t y_lo,
+                      std::size_t y_hi) {
+  const double s = 1.0 / static_cast<double>(d.total());
+  for (std::size_t y = y_lo; y < y_hi; ++y)
+    for (std::size_t z = 0; z < d.nz; ++z)
+      for (std::size_t x = 0; x < d.nx; ++x) a[d.idx(z, y, x)] *= s;
+}
+
+// Partial checksum over samples whose y coordinate falls in [y_lo, y_hi).
+void checksum_pass_y(const Cplx* a, const Dims& d, std::size_t y_lo,
+                     std::size_t y_hi, double& re, double& im) {
+  for (std::size_t k = 0; k < kSamples; ++k) {
+    const std::size_t f = sample_index(d, k);
+    const std::size_t y = (f / d.nx) % d.ny;
+    if (y < y_lo || y >= y_hi) continue;
+    re += a[f].real();
+    im += a[f].imag();
+  }
+}
+
+}  // namespace
+
+double fft3d_seq(const FftParams& p, const SeqHooks* hooks) {
+  const Dims d{p.nx, p.ny, p.nz};
+  std::vector<Cplx> a(d.total());
+  double checksum = 0;
+  for (int it = 0; it < p.warmup_iters + p.iters; ++it) {
+    if (hooks && it == p.warmup_iters) hooks->on_start();
+    init_pass_z(a.data(), d, p, it, 0, d.nz);
+    fftx_pass_z(a.data(), d, 0, d.nz);
+    ffty_pass_z(a.data(), d, 0, d.nz);
+    fftz_pass_y(a.data(), d, 0, d.ny);
+    normalize_pass_y(a.data(), d, 0, d.ny);
+    double re = 0, im = 0;
+    checksum_pass_y(a.data(), d, 0, d.ny, re, im);
+    checksum += fold_checksum(re, im);
+  }
+  if (hooks) hooks->on_end();
+  return checksum;
+}
+
+// ----------------------------------------------------------------------
+// Shared-memory variants
+// ----------------------------------------------------------------------
+
+namespace {
+
+struct SpfFftState {
+  Cplx* a = nullptr;
+  double* red = nullptr;  // shared reduction cells: re, im
+  Dims d{};
+  FftParams p{};
+  bool aggregate = false;  // §5.4 optimization
+};
+SpfFftState g_fft;
+
+struct FftArgs {
+  std::int32_t iter;
+};
+
+std::pair<std::size_t, std::size_t> zchunk(int rank, int nprocs,
+                                           std::size_t nz) {
+  const auto r = spf::Runtime::block_range(0, static_cast<std::int64_t>(nz),
+                                           rank, nprocs);
+  return {static_cast<std::size_t>(r.lo), static_cast<std::size_t>(r.hi)};
+}
+std::pair<std::size_t, std::size_t> ychunk(int rank, int nprocs,
+                                           std::size_t ny) {
+  const auto r = spf::Runtime::block_range(0, static_cast<std::int64_t>(ny),
+                                           rank, nprocs);
+  return {static_cast<std::size_t>(r.lo), static_cast<std::size_t>(r.hi)};
+}
+
+// Aggregated validate of the pages this process's y-slab touches (one
+// strided range per z plane).
+void validate_y_slab(tmk::Runtime& rt, std::size_t y_lo, std::size_t y_hi) {
+  std::vector<tmk::Runtime::Range> ranges;
+  ranges.reserve(g_fft.d.nz);
+  for (std::size_t z = 0; z < g_fft.d.nz; ++z) {
+    ranges.push_back({g_fft.a + g_fft.d.idx(z, y_lo, 0),
+                      (y_hi - y_lo) * g_fft.d.nx * sizeof(Cplx)});
+  }
+  rt.validate_ranges(ranges);
+}
+
+void fft_init_loop(spf::Runtime& rt, const void* argp) {
+  FftArgs args;
+  std::memcpy(&args, argp, sizeof(args));
+  const auto [lo, hi] = zchunk(rt.rank(), rt.nprocs(), g_fft.d.nz);
+  if (g_fft.aggregate) {
+    rt.tmk().validate(g_fft.a + g_fft.d.idx(lo, 0, 0),
+                      (hi - lo) * g_fft.d.ny * g_fft.d.nx * sizeof(Cplx));
+  }
+  init_pass_z(g_fft.a, g_fft.d, g_fft.p, args.iter, lo, hi);
+}
+void fft_x_loop(spf::Runtime& rt, const void*) {
+  const auto [lo, hi] = zchunk(rt.rank(), rt.nprocs(), g_fft.d.nz);
+  fftx_pass_z(g_fft.a, g_fft.d, lo, hi);
+}
+void fft_y_loop(spf::Runtime& rt, const void*) {
+  const auto [lo, hi] = zchunk(rt.rank(), rt.nprocs(), g_fft.d.nz);
+  ffty_pass_z(g_fft.a, g_fft.d, lo, hi);
+}
+void fft_z_loop(spf::Runtime& rt, const void*) {
+  const auto [lo, hi] = ychunk(rt.rank(), rt.nprocs(), g_fft.d.ny);
+  if (g_fft.aggregate) validate_y_slab(rt.tmk(), lo, hi);
+  fftz_pass_y(g_fft.a, g_fft.d, lo, hi);
+}
+void fft_norm_loop(spf::Runtime& rt, const void*) {
+  const auto [lo, hi] = ychunk(rt.rank(), rt.nprocs(), g_fft.d.ny);
+  // Pages straddling two y-slabs were re-invalidated by the neighbour's
+  // z-FFT writes; the optimized variant batches the refetch here too.
+  if (g_fft.aggregate) validate_y_slab(rt.tmk(), lo, hi);
+  normalize_pass_y(g_fft.a, g_fft.d, lo, hi);
+}
+void fft_checksum_loop(spf::Runtime& rt, const void*) {
+  const auto [lo, hi] = ychunk(rt.rank(), rt.nprocs(), g_fft.d.ny);
+  if (g_fft.aggregate) validate_y_slab(rt.tmk(), lo, hi);
+  double re = 0, im = 0;
+  checksum_pass_y(g_fft.a, g_fft.d, lo, hi, re, im);
+  rt.tmk().lock_acquire(2);
+  g_fft.red[0] += re;
+  g_fft.red[1] += im;
+  rt.tmk().lock_release(2);
+}
+void fft_mark_start(spf::Runtime& rt, const void*) {
+  rt.tmk().endpoint().mark_measurement_start();
+}
+void fft_mark_end(spf::Runtime& rt, const void*) {
+  rt.tmk().endpoint().mark_measurement_end();
+}
+
+double fft3d_spf_impl(runner::ChildContext& ctx, const FftParams& p,
+                      bool aggregate) {
+  spf::Runtime rt(ctx);
+  g_fft = SpfFftState{};
+  g_fft.d = Dims{p.nx, p.ny, p.nz};
+  g_fft.p = p;
+  g_fft.aggregate = aggregate;
+  g_fft.a = rt.tmk().alloc<Cplx>(g_fft.d.total());
+  g_fft.red = rt.tmk().alloc<double>(2);
+
+  const auto li = rt.register_loop(fft_init_loop);
+  const auto lx = rt.register_loop(fft_x_loop);
+  const auto ly = rt.register_loop(fft_y_loop);
+  const auto lz = rt.register_loop(fft_z_loop);
+  const auto ln = rt.register_loop(fft_norm_loop);
+  const auto lc = rt.register_loop(fft_checksum_loop);
+  const auto ms = rt.register_loop(fft_mark_start);
+  const auto me = rt.register_loop(fft_mark_end);
+
+  return rt.run([&] {
+    double checksum = 0;
+    for (int it = 0; it < p.warmup_iters + p.iters; ++it) {
+      if (it == p.warmup_iters) rt.parallel(ms, FftArgs{0});
+      g_fft.red[0] = 0;
+      g_fft.red[1] = 0;
+      rt.parallel(li, FftArgs{it});
+      rt.parallel(lx, FftArgs{it});
+      rt.parallel(ly, FftArgs{it});
+      rt.parallel(lz, FftArgs{it});
+      rt.parallel(ln, FftArgs{it});
+      rt.parallel(lc, FftArgs{it});
+      checksum += fold_checksum(g_fft.red[0], g_fft.red[1]);
+    }
+    rt.parallel(me, FftArgs{0});
+    return checksum;
+  });
+}
+
+}  // namespace
+
+double fft3d_spf(runner::ChildContext& ctx, const FftParams& p) {
+  return fft3d_spf_impl(ctx, p, /*aggregate=*/false);
+}
+double fft3d_spf_opt(runner::ChildContext& ctx, const FftParams& p) {
+  return fft3d_spf_impl(ctx, p, /*aggregate=*/true);
+}
+
+// Hand-coded TreadMarks: two barriers per iteration (after the transpose
+// point, after the checksum); per-process partial cells instead of a lock.
+double fft3d_tmk(runner::ChildContext& ctx, const FftParams& p) {
+  tmk::Runtime rt(ctx);
+  const Dims d{p.nx, p.ny, p.nz};
+  Cplx* a = rt.alloc<Cplx>(d.total());
+  double* partials = rt.alloc<double>(2 * static_cast<std::size_t>(rt.nprocs()));
+
+  const auto [z_lo, z_hi] = zchunk(rt.rank(), rt.nprocs(), d.nz);
+  const auto [y_lo, y_hi] = ychunk(rt.rank(), rt.nprocs(), d.ny);
+  rt.barrier();
+
+  double checksum = 0;
+  for (int it = 0; it < p.warmup_iters + p.iters; ++it) {
+    if (it == p.warmup_iters) rt.endpoint().mark_measurement_start();
+    init_pass_z(a, d, p, it, z_lo, z_hi);
+    fftx_pass_z(a, d, z_lo, z_hi);
+    ffty_pass_z(a, d, z_lo, z_hi);
+    rt.barrier();  // the transpose point
+    fftz_pass_y(a, d, y_lo, y_hi);
+    normalize_pass_y(a, d, y_lo, y_hi);
+    double re = 0, im = 0;
+    checksum_pass_y(a, d, y_lo, y_hi, re, im);
+    partials[2 * rt.rank()] = re;
+    partials[2 * rt.rank() + 1] = im;
+    rt.barrier();  // after the checksum
+    double sre = 0, sim = 0;
+    for (int q = 0; q < rt.nprocs(); ++q) {
+      sre += partials[2 * q];
+      sim += partials[2 * q + 1];
+    }
+    checksum += fold_checksum(sre, sim);
+  }
+  rt.endpoint().mark_measurement_end();
+  rt.barrier();
+  return checksum;
+}
+
+// ----------------------------------------------------------------------
+// Message passing: explicit packed transpose. PVMe sends one message per
+// pair; XHPF the same bytes in compiler-sized chunks.
+// ----------------------------------------------------------------------
+
+namespace {
+
+double fft3d_mp_impl(runner::ChildContext& ctx, const FftParams& p,
+                     bool xhpf_chunked) {
+  pvme::Comm comm(ctx.endpoint);
+  const Dims d{p.nx, p.ny, p.nz};
+  const int me = comm.rank();
+  const int np = comm.nprocs();
+  xhpf::BlockDist zdist(d.nz, np);
+  xhpf::BlockDist ydist(d.ny, np);
+  const std::size_t z_lo = zdist.lo(me), z_hi = zdist.hi(me);
+  const std::size_t y_lo = ydist.lo(me), y_hi = ydist.hi(me);
+
+  // Full-size scratch keeps the pass kernels' indexing identical; only
+  // the owned slabs are populated.
+  std::vector<Cplx> az(d.total());  // z-partitioned phase
+  // y-partitioned phase, [y][z][x] layout.
+  std::vector<Cplx> ay((y_hi - y_lo) * d.nz * d.nx);
+  auto ay_at = [&](std::size_t y, std::size_t z, std::size_t x) -> Cplx& {
+    return ay[((y - y_lo) * d.nz + z) * d.nx + x];
+  };
+
+  auto transpose = [&](int tag) {
+    // Pack per destination: all (z, y, x-row) with z owned here and y
+    // owned there, in (z, y) order.
+    for (int q = 0; q < np; ++q) {
+      if (q == me) continue;
+      std::vector<Cplx> buf;
+      buf.reserve((z_hi - z_lo) * ydist.count(q) * d.nx);
+      for (std::size_t z = z_lo; z < z_hi; ++z)
+        for (std::size_t y = ydist.lo(q); y < ydist.hi(q); ++y)
+          buf.insert(buf.end(), &az[d.idx(z, y, 0)],
+                     &az[d.idx(z, y, 0)] + d.nx);
+      const auto* bytes = reinterpret_cast<const std::byte*>(buf.data());
+      const std::size_t len = buf.size() * sizeof(Cplx);
+      if (xhpf_chunked) {
+        for (std::size_t off = 0; off < len;
+             off += xhpf::Runtime::kCompilerChunk)
+          comm.send(q, tag,
+                    bytes + off,
+                    std::min(xhpf::Runtime::kCompilerChunk, len - off));
+      } else {
+        comm.send(q, tag, bytes, len);
+      }
+    }
+    // Local block.
+    for (std::size_t z = z_lo; z < z_hi; ++z)
+      for (std::size_t y = y_lo; y < y_hi; ++y)
+        for (std::size_t x = 0; x < d.nx; ++x)
+          ay_at(y, z, x) = az[d.idx(z, y, x)];
+    // Receive from every other owner.
+    for (int q = 0; q < np; ++q) {
+      if (q == me) continue;
+      std::vector<Cplx> buf(zdist.count(q) * (y_hi - y_lo) * d.nx);
+      auto* bytes = reinterpret_cast<std::byte*>(buf.data());
+      const std::size_t len = buf.size() * sizeof(Cplx);
+      if (xhpf_chunked) {
+        for (std::size_t off = 0; off < len;
+             off += xhpf::Runtime::kCompilerChunk)
+          comm.recv_exact(q, tag, bytes + off,
+                          std::min(xhpf::Runtime::kCompilerChunk, len - off));
+      } else {
+        comm.recv_exact(q, tag, bytes, len);
+      }
+      std::size_t k = 0;
+      for (std::size_t z = zdist.lo(q); z < zdist.hi(q); ++z)
+        for (std::size_t y = y_lo; y < y_hi; ++y)
+          for (std::size_t x = 0; x < d.nx; ++x) ay_at(y, z, x) = buf[k++];
+    }
+  };
+
+  double checksum = 0;
+  std::vector<Cplx> line(d.nz);
+  for (int it = 0; it < p.warmup_iters + p.iters; ++it) {
+    if (it == p.warmup_iters) {
+      comm.barrier();
+      comm.endpoint().mark_measurement_start();
+    }
+    init_pass_z(az.data(), d, p, it, z_lo, z_hi);
+    fftx_pass_z(az.data(), d, z_lo, z_hi);
+    ffty_pass_z(az.data(), d, z_lo, z_hi);
+    transpose(30 + (it & 1));
+    for (std::size_t y = y_lo; y < y_hi; ++y) {
+      for (std::size_t x = 0; x < d.nx; ++x) {
+        for (std::size_t z = 0; z < d.nz; ++z) line[z] = ay_at(y, z, x);
+        fft1d_inverse(line.data(), d.nz);
+        for (std::size_t z = 0; z < d.nz; ++z) ay_at(y, z, x) = line[z];
+      }
+    }
+    const double s = 1.0 / static_cast<double>(d.total());
+    for (Cplx& v : ay) v *= s;
+    double re = 0, im = 0;
+    for (std::size_t k = 0; k < kSamples; ++k) {
+      const std::size_t f = sample_index(d, k);
+      const std::size_t y = (f / d.nx) % d.ny;
+      if (y < y_lo || y >= y_hi) continue;
+      const std::size_t z = f / (d.nx * d.ny);
+      const std::size_t x = f % d.nx;
+      re += ay_at(y, z, x).real();
+      im += ay_at(y, z, x).imag();
+    }
+    const double sre = comm.allreduce_sum(re);
+    const double sim = comm.allreduce_sum(im);
+    checksum += fold_checksum(sre, sim);
+  }
+  comm.endpoint().mark_measurement_end();
+  return checksum;
+}
+
+}  // namespace
+
+double fft3d_pvme(runner::ChildContext& ctx, const FftParams& p) {
+  return fft3d_mp_impl(ctx, p, /*xhpf_chunked=*/false);
+}
+double fft3d_xhpf(runner::ChildContext& ctx, const FftParams& p) {
+  return fft3d_mp_impl(ctx, p, /*xhpf_chunked=*/true);
+}
+
+// ----------------------------------------------------------------------
+
+runner::RunResult run_fft3d(System system, const FftParams& p, int nprocs,
+                            const runner::SpawnOptions& opts) {
+  switch (system) {
+    case System::kSeq:
+      return run_seq_measured(opts, p, [](const FftParams& pp,
+                                          const SeqHooks* h) {
+        return fft3d_seq(pp, h);
+      });
+    case System::kSpf:
+      return runner::spawn(nprocs, opts, [&p](runner::ChildContext& c) {
+        return fft3d_spf(c, p);
+      });
+    case System::kSpfOpt:
+      return runner::spawn(nprocs, opts, [&p](runner::ChildContext& c) {
+        return fft3d_spf_opt(c, p);
+      });
+    case System::kTmk:
+      return runner::spawn(nprocs, opts, [&p](runner::ChildContext& c) {
+        return fft3d_tmk(c, p);
+      });
+    case System::kXhpf:
+      return runner::spawn(nprocs, opts, [&p](runner::ChildContext& c) {
+        return fft3d_xhpf(c, p);
+      });
+    case System::kPvme:
+      return runner::spawn(nprocs, opts, [&p](runner::ChildContext& c) {
+        return fft3d_pvme(c, p);
+      });
+    default:
+      break;
+  }
+  COMMON_CHECK_MSG(false, "fft3d: unsupported system variant");
+  return {};
+}
+
+}  // namespace apps

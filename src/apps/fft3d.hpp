@@ -1,0 +1,40 @@
+// 3-D FFT (§5.4): the NAS-FT-style kernel. Each iteration reinitializes
+// the complex array from a deterministic source, applies an inverse 3-D
+// FFT (three 1-D radix-2 passes), normalizes, and folds 1024 sampled
+// elements into a checksum.
+//
+// The array is [z][y][x] row-major. Passes 1-3 (init, x-FFT, y-FFT) are
+// partitioned on z; the z-FFT needs whole z-lines, so the computation
+// repartitions on y — the "transpose". The hand TreadMarks version has
+// exactly two barriers per iteration (after the transpose point and
+// after the checksum, §5.4); the transpose is where DSM pays page-at-a-
+// time faulting ("the number of messages ... about 30 times higher"),
+// which the §5.4 aggregation optimization (kSpfOpt, batched validate)
+// collapses into one request per writer. The MP versions run an explicit
+// packed all-to-all: one message per pair for PVMe, compiler-chunked for
+// XHPF.
+#pragma once
+
+#include "apps/app_common.hpp"
+
+namespace apps {
+
+struct FftParams {
+  std::size_t nx = 16, ny = 16, nz = 16;  // powers of two
+  int iters = 2;
+  int warmup_iters = 1;
+  std::uint64_t seed = 31337;
+};
+
+double fft3d_seq(const FftParams& p, const SeqHooks* hooks = nullptr);
+
+double fft3d_spf(runner::ChildContext& ctx, const FftParams& p);
+double fft3d_spf_opt(runner::ChildContext& ctx, const FftParams& p);
+double fft3d_tmk(runner::ChildContext& ctx, const FftParams& p);
+double fft3d_xhpf(runner::ChildContext& ctx, const FftParams& p);
+double fft3d_pvme(runner::ChildContext& ctx, const FftParams& p);
+
+runner::RunResult run_fft3d(System system, const FftParams& p, int nprocs,
+                            const runner::SpawnOptions& opts);
+
+}  // namespace apps

@@ -1,0 +1,412 @@
+#include "apps/igrid.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/prng.hpp"
+#include "pvme/comm.hpp"
+#include "spf/runtime.hpp"
+#include "tmk/runtime.hpp"
+#include "xhpf/runtime.hpp"
+
+namespace apps {
+
+namespace {
+
+// The indirection map: each cell's stencil is centred on a displaced
+// image of itself, with |displacement| bounded by p.displacement in each
+// dimension — run-time data the compilers cannot see through, but the
+// hand MP coder knows the bound and sizes halos accordingly.
+struct Map {
+  std::vector<std::int32_t> mi, mj;
+  std::size_t n;
+};
+
+Map make_map(const IGridParams& p) {
+  Map m;
+  m.n = p.n;
+  m.mi.resize(p.n * p.n);
+  m.mj.resize(p.n * p.n);
+  common::SplitMix64 g(p.seed);
+  const int h = p.displacement;
+  const auto lim = static_cast<std::int32_t>(p.n) - 1;
+  for (std::size_t i = 0; i < p.n; ++i) {
+    for (std::size_t j = 0; j < p.n; ++j) {
+      const int di = static_cast<int>(g.next_below(2 * h + 1)) - h;
+      const int dj = static_cast<int>(g.next_below(2 * h + 1)) - h;
+      m.mi[i * p.n + j] = std::clamp(static_cast<std::int32_t>(i) + di,
+                                     std::int32_t{0}, lim);
+      m.mj[i * p.n + j] = std::clamp(static_cast<std::int32_t>(j) + dj,
+                                     std::int32_t{0}, lim);
+    }
+  }
+  return m;
+}
+
+void init_grid(float* g, std::size_t n) {
+  for (std::size_t k = 0; k < n * n; ++k) g[k] = 1.0f;
+  g[(n / 2) * n + n / 2] = 100.0f;           // centre spike
+  g[(3 * n / 4) * n + 3 * n / 4] = 100.0f;   // lower-right spike
+}
+
+// One step over rows [lo, hi): nine-point stencil through the map.
+void step_rows(const float* old_grid, float* new_grid,
+               const std::int32_t* mi, const std::int32_t* mj, std::size_t n,
+               std::size_t lo, std::size_t hi) {
+  const auto lim = static_cast<std::int64_t>(n) - 1;
+  for (std::size_t i = lo; i < hi; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      const std::int64_t ci = mi[i * n + j];
+      const std::int64_t cj = mj[i * n + j];
+      float acc = 0.0f;
+      for (std::int64_t a = -1; a <= 1; ++a) {
+        const std::int64_t r = std::clamp<std::int64_t>(ci + a, 0, lim);
+        for (std::int64_t b = -1; b <= 1; ++b) {
+          const std::int64_t c = std::clamp<std::int64_t>(cj + b, 0, lim);
+          acc += old_grid[static_cast<std::size_t>(r) * n +
+                          static_cast<std::size_t>(c)];
+        }
+      }
+      new_grid[i * n + j] = acc * (1.0f / 9.0f);
+    }
+  }
+}
+
+// Final reduction: max, min, and sum over the middle square, folded into
+// one double. Row-ordered summation keeps it bit-exact across variants.
+struct SquareStats {
+  double mx = -1e30, mn = 1e30, sum = 0.0;
+};
+
+SquareStats square_stats_rows(const float* g, std::size_t n, std::size_t lo,
+                              std::size_t hi, std::size_t sq_lo,
+                              std::size_t sq_hi) {
+  SquareStats s;
+  for (std::size_t i = std::max(lo, sq_lo); i < std::min(hi, sq_hi); ++i) {
+    for (std::size_t j = sq_lo; j < sq_hi; ++j) {
+      const double v = g[i * n + j];
+      s.mx = std::max(s.mx, v);
+      s.mn = std::min(s.mn, v);
+      s.sum += v;
+    }
+  }
+  return s;
+}
+
+double fold_stats(const SquareStats& s) {
+  return s.sum + 1e3 * s.mx + 7.0 * s.mn;
+}
+
+void square_bounds(std::size_t n, std::size_t& lo, std::size_t& hi) {
+  const std::size_t side = std::min<std::size_t>(40, n / 2);
+  lo = n / 2 - side / 2;
+  hi = lo + side;
+}
+
+}  // namespace
+
+double igrid_seq(const IGridParams& p, const SeqHooks* hooks) {
+  const Map map = make_map(p);
+  std::vector<float> a(p.n * p.n), b(p.n * p.n);
+  init_grid(a.data(), p.n);
+  float* old_g = a.data();
+  float* new_g = b.data();
+  for (int it = 0; it < p.warmup_iters + p.iters; ++it) {
+    if (hooks && it == p.warmup_iters) hooks->on_start();
+    step_rows(old_g, new_g, map.mi.data(), map.mj.data(), p.n, 0, p.n);
+    std::swap(old_g, new_g);
+  }
+  if (hooks) hooks->on_end();
+  std::size_t sq_lo, sq_hi;
+  square_bounds(p.n, sq_lo, sq_hi);
+  return fold_stats(square_stats_rows(old_g, p.n, 0, p.n, sq_lo, sq_hi));
+}
+
+// ----------------------------------------------------------------------
+// SPF: both grids and the map live in shared memory; the encapsulated
+// loop receives which buffer is "old" through its argument block (the
+// compiler passes the loop's array arguments by descriptor), and the
+// final reductions go through a lock-guarded shared cell.
+// ----------------------------------------------------------------------
+
+namespace {
+
+struct SpfIGridState {
+  float* buf[2] = {nullptr, nullptr};
+  std::int32_t* mi = nullptr;
+  std::int32_t* mj = nullptr;
+  double* red = nullptr;  // shared cells: sum, max, min
+  std::size_t n = 0;
+};
+SpfIGridState g_ig;
+
+struct IGridLoopArgs {
+  std::uint32_t flip;  // buf[flip] is "old", buf[1-flip] is "new"
+};
+
+void igrid_step_loop(spf::Runtime& rt, const void* argp) {
+  IGridLoopArgs args;
+  std::memcpy(&args, argp, sizeof(args));
+  const auto r = spf::Runtime::block_range(
+      0, static_cast<std::int64_t>(g_ig.n), rt.rank(), rt.nprocs());
+  step_rows(g_ig.buf[args.flip], g_ig.buf[1 - args.flip], g_ig.mi, g_ig.mj,
+            g_ig.n, static_cast<std::size_t>(r.lo),
+            static_cast<std::size_t>(r.hi));
+}
+
+void igrid_reduce_loop(spf::Runtime& rt, const void* argp) {
+  IGridLoopArgs args;
+  std::memcpy(&args, argp, sizeof(args));
+  const auto range = spf::Runtime::block_range(
+      0, static_cast<std::int64_t>(g_ig.n), rt.rank(), rt.nprocs());
+  std::size_t sq_lo, sq_hi;
+  square_bounds(g_ig.n, sq_lo, sq_hi);
+  const SquareStats s = square_stats_rows(
+      g_ig.buf[args.flip], g_ig.n, static_cast<std::size_t>(range.lo),
+      static_cast<std::size_t>(range.hi), sq_lo, sq_hi);
+  // §6.1: "the max-min finding and checksum computation are recognized as
+  // reductions" — lock-guarded shared cells.
+  rt.tmk().lock_acquire(1);
+  g_ig.red[0] += s.sum;
+  g_ig.red[1] = std::max(g_ig.red[1], s.mx);
+  g_ig.red[2] = std::min(g_ig.red[2], s.mn);
+  rt.tmk().lock_release(1);
+}
+
+void igrid_mark_start(spf::Runtime& rt, const void*) {
+  rt.tmk().endpoint().mark_measurement_start();
+}
+void igrid_mark_end(spf::Runtime& rt, const void*) {
+  rt.tmk().endpoint().mark_measurement_end();
+}
+
+}  // namespace
+
+double igrid_spf(runner::ChildContext& ctx, const IGridParams& p) {
+  spf::Runtime rt(ctx);
+  g_ig = SpfIGridState{};
+  g_ig.n = p.n;
+  g_ig.buf[0] = rt.tmk().alloc<float>(p.n * p.n);
+  g_ig.buf[1] = rt.tmk().alloc<float>(p.n * p.n);
+  g_ig.mi = rt.tmk().alloc<std::int32_t>(p.n * p.n);
+  g_ig.mj = rt.tmk().alloc<std::int32_t>(p.n * p.n);
+  g_ig.red = rt.tmk().alloc<double>(3);
+
+  const auto step = rt.register_loop(igrid_step_loop);
+  const auto reduce = rt.register_loop(igrid_reduce_loop);
+  const auto mark_s = rt.register_loop(igrid_mark_start);
+  const auto mark_e = rt.register_loop(igrid_mark_end);
+
+  return rt.run([&] {
+    // Sequential master code: build the map, initialize the grid.
+    const Map map = make_map(p);
+    std::memcpy(g_ig.mi, map.mi.data(), map.mi.size() * sizeof(std::int32_t));
+    std::memcpy(g_ig.mj, map.mj.data(), map.mj.size() * sizeof(std::int32_t));
+    init_grid(g_ig.buf[0], p.n);
+    std::uint32_t flip = 0;
+    for (int it = 0; it < p.warmup_iters + p.iters; ++it) {
+      if (it == p.warmup_iters) rt.parallel(mark_s, IGridLoopArgs{0});
+      rt.parallel(step, IGridLoopArgs{flip});
+      flip = 1 - flip;  // sequential array switch by descriptor
+    }
+    g_ig.red[0] = 0.0;
+    g_ig.red[1] = -1e30;
+    g_ig.red[2] = 1e30;
+    rt.parallel(reduce, IGridLoopArgs{flip});
+    rt.parallel(mark_e, IGridLoopArgs{0});
+    SquareStats s;
+    s.sum = g_ig.red[0];
+    s.mx = g_ig.red[1];
+    s.mn = g_ig.red[2];
+    return fold_stats(s);
+  });
+}
+
+// ----------------------------------------------------------------------
+// Hand-coded TreadMarks: pointer swap, one barrier per step, on-demand
+// boundary faulting.
+// ----------------------------------------------------------------------
+
+double igrid_tmk(runner::ChildContext& ctx, const IGridParams& p) {
+  tmk::Runtime rt(ctx);
+  float* a = rt.alloc<float>(p.n * p.n);
+  float* b = rt.alloc<float>(p.n * p.n);
+  std::int32_t* mi = rt.alloc<std::int32_t>(p.n * p.n);
+  std::int32_t* mj = rt.alloc<std::int32_t>(p.n * p.n);
+
+  const auto range = spf::Runtime::block_range(
+      0, static_cast<std::int64_t>(p.n), rt.rank(), rt.nprocs());
+  const auto lo = static_cast<std::size_t>(range.lo);
+  const auto hi = static_cast<std::size_t>(range.hi);
+
+  if (rt.rank() == 0) {
+    const Map map = make_map(p);
+    std::memcpy(mi, map.mi.data(), map.mi.size() * sizeof(std::int32_t));
+    std::memcpy(mj, map.mj.data(), map.mj.size() * sizeof(std::int32_t));
+    init_grid(a, p.n);
+  }
+  rt.barrier();
+
+  float* old_g = a;
+  float* new_g = b;
+  for (int it = 0; it < p.warmup_iters + p.iters; ++it) {
+    if (it == p.warmup_iters) rt.endpoint().mark_measurement_start();
+    step_rows(old_g, new_g, mi, mj, p.n, lo, hi);
+    rt.barrier();
+    std::swap(old_g, new_g);
+  }
+  rt.endpoint().mark_measurement_end();
+
+  std::size_t sq_lo, sq_hi;
+  square_bounds(p.n, sq_lo, sq_hi);
+  double result = 0;
+  if (rt.rank() == 0)
+    result = fold_stats(square_stats_rows(old_g, p.n, 0, p.n, sq_lo, sq_hi));
+  rt.barrier();
+  return result;
+}
+
+// ----------------------------------------------------------------------
+// Message passing
+// ----------------------------------------------------------------------
+
+double igrid_xhpf(runner::ChildContext& ctx, const IGridParams& p) {
+  pvme::Comm comm(ctx.endpoint);
+  xhpf::Runtime xr(comm);
+  const std::size_t n = p.n;
+  xhpf::BlockDist dist(n, comm.nprocs());
+
+  // Replicated full arrays (the compiler cannot partition what it cannot
+  // analyze); the map is computed redundantly (replicated sequential
+  // code, no communication).
+  const Map map = make_map(p);
+  std::vector<float> a(n * n), b(n * n);
+  init_grid(a.data(), n);
+  float* old_g = a.data();
+  float* new_g = b.data();
+
+  for (int it = 0; it < p.warmup_iters + p.iters; ++it) {
+    if (it == p.warmup_iters) {
+      comm.barrier();
+      comm.endpoint().mark_measurement_start();
+    }
+    step_rows(old_g, new_g, map.mi.data(), map.mj.data(), n,
+              dist.lo(comm.rank()), dist.hi(comm.rank()));
+    // §2.4 fallback: every process broadcasts its whole block at the end
+    // of each step, because the compiler does not know what will be read.
+    xr.broadcast_partition_rows(new_g, n, dist, 40 + (it & 1));
+    std::swap(old_g, new_g);
+  }
+  comm.endpoint().mark_measurement_end();
+
+  std::size_t sq_lo, sq_hi;
+  square_bounds(n, sq_lo, sq_hi);
+  // Replicated arrays: the reductions are local after the broadcasts.
+  return fold_stats(square_stats_rows(old_g, n, 0, n, sq_lo, sq_hi));
+}
+
+double igrid_pvme(runner::ChildContext& ctx, const IGridParams& p) {
+  pvme::Comm comm(ctx.endpoint);
+  const std::size_t n = p.n;
+  xhpf::BlockDist dist(n, comm.nprocs());
+  const std::size_t lo = dist.lo(comm.rank());
+  const std::size_t hi = dist.hi(comm.rank());
+  // The hand coder knows the map displaces at most `displacement` rows,
+  // so a halo of h = displacement + 1 rows per side suffices.
+  const std::size_t h = static_cast<std::size_t>(p.displacement) + 1;
+
+  const Map map = make_map(p);  // replicated setup
+  std::vector<float> a(n * n), b(n * n);  // full-size storage, own+halo used
+  init_grid(a.data(), n);
+  float* old_g = a.data();
+  float* new_g = b.data();
+
+  const int me = comm.rank();
+  const int np = comm.nprocs();
+  auto exchange_halo = [&](float* g, int tag) {
+    const std::size_t down_rows = std::min(h, hi - lo);
+    if (me > 0)
+      comm.send(me - 1, tag, g + lo * n, down_rows * n * sizeof(float));
+    if (me + 1 < np)
+      comm.send(me + 1, tag + 1, g + (hi - down_rows) * n,
+                down_rows * n * sizeof(float));
+    if (me > 0) {
+      const std::size_t lo_halo = (lo >= h) ? lo - h : 0;
+      comm.recv_exact(me - 1, tag + 1, g + lo_halo * n,
+                      (lo - lo_halo) * n * sizeof(float));
+    }
+    if (me + 1 < np) {
+      const std::size_t hi_halo = std::min(hi + h, n);
+      comm.recv_exact(me + 1, tag, g + hi * n,
+                      (hi_halo - hi) * n * sizeof(float));
+    }
+  };
+
+  exchange_halo(old_g, 10);
+  for (int it = 0; it < p.warmup_iters + p.iters; ++it) {
+    if (it == p.warmup_iters) {
+      comm.barrier();
+      comm.endpoint().mark_measurement_start();
+    }
+    step_rows(old_g, new_g, map.mi.data(), map.mj.data(), n, lo, hi);
+    exchange_halo(new_g, 10 + 2 * (1 + (it & 1)));
+    std::swap(old_g, new_g);
+  }
+  comm.endpoint().mark_measurement_end();
+
+  std::size_t sq_lo, sq_hi;
+  square_bounds(n, sq_lo, sq_hi);
+  const SquareStats mine =
+      square_stats_rows(old_g, n, lo, hi, sq_lo, sq_hi);
+  // Gather partial stats to rank 0 in rank (= row) order.
+  if (me == 0) {
+    SquareStats total = mine;
+    for (int q = 1; q < np; ++q) {
+      SquareStats s;
+      comm.recv_exact(q, 99, &s, sizeof(s));
+      total.mx = std::max(total.mx, s.mx);
+      total.mn = std::min(total.mn, s.mn);
+      total.sum += s.sum;
+    }
+    return fold_stats(total);
+  }
+  comm.send(0, 99, &mine, sizeof(mine));
+  return 0.0;
+}
+
+// ----------------------------------------------------------------------
+
+runner::RunResult run_igrid(System system, const IGridParams& p, int nprocs,
+                            const runner::SpawnOptions& opts) {
+  switch (system) {
+    case System::kSeq:
+      return run_seq_measured(opts, p, [](const IGridParams& pp,
+                                          const SeqHooks* h) {
+        return igrid_seq(pp, h);
+      });
+    case System::kSpf:
+      return runner::spawn(nprocs, opts, [&p](runner::ChildContext& c) {
+        return igrid_spf(c, p);
+      });
+    case System::kTmk:
+      return runner::spawn(nprocs, opts, [&p](runner::ChildContext& c) {
+        return igrid_tmk(c, p);
+      });
+    case System::kXhpf:
+      return runner::spawn(nprocs, opts, [&p](runner::ChildContext& c) {
+        return igrid_xhpf(c, p);
+      });
+    case System::kPvme:
+      return runner::spawn(nprocs, opts, [&p](runner::ChildContext& c) {
+        return igrid_pvme(c, p);
+      });
+    default:
+      break;
+  }
+  COMMON_CHECK_MSG(false, "igrid: unsupported system variant");
+  return {};
+}
+
+}  // namespace apps

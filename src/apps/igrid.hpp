@@ -1,0 +1,40 @@
+// IGrid (§6.1): a 9-point stencil relaxation whose neighbours are reached
+// through an indirection map established at run time, so neither compiler
+// can analyze the access pattern. The grid starts at one with two spikes
+// (centre and lower-right); each step recomputes every cell from the nine
+// cells around its displaced image and switches the two arrays. At the
+// end, max / min / sum over a 40x40 square in the middle of the grid.
+//
+// This is the application class where the DSM wins: TreadMarks fetches
+// exactly the boundary pages a process touches (on-demand + caching),
+// while XHPF must broadcast each processor's whole partition every step
+// ("regardless of whether the data will actually be used", §2.4). The
+// hand-coded MP version exploits the map's bounded displacement with halo
+// exchanges; the SPF version pays for the sequential master-executed
+// array switch (no locality between parallel loops and sequential code,
+// §7).
+#pragma once
+
+#include "apps/app_common.hpp"
+
+namespace apps {
+
+struct IGridParams {
+  std::size_t n = 250;     // grid edge
+  int iters = 8;           // timed steps
+  int warmup_iters = 1;
+  int displacement = 1;    // max indirection displacement (rows/cols)
+  std::uint64_t seed = 777;
+};
+
+double igrid_seq(const IGridParams& p, const SeqHooks* hooks = nullptr);
+
+double igrid_spf(runner::ChildContext& ctx, const IGridParams& p);
+double igrid_tmk(runner::ChildContext& ctx, const IGridParams& p);
+double igrid_xhpf(runner::ChildContext& ctx, const IGridParams& p);
+double igrid_pvme(runner::ChildContext& ctx, const IGridParams& p);
+
+runner::RunResult run_igrid(System system, const IGridParams& p, int nprocs,
+                            const runner::SpawnOptions& opts);
+
+}  // namespace apps

@@ -1,0 +1,387 @@
+#include "apps/jacobi.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "common/check.hpp"
+#include "pvme/comm.hpp"
+#include "spf/runtime.hpp"
+#include "tmk/runtime.hpp"
+#include "xhpf/runtime.hpp"
+
+namespace apps {
+
+namespace {
+
+// Deterministic checksum shared by all variants: per-row sums added in
+// row order, so block-partitioned variants reproduce it bit-exactly.
+double rowsum(const float* row, std::size_t n) {
+  double s = 0;
+  for (std::size_t j = 0; j < n; ++j) s += row[j];
+  return s;
+}
+
+void init_rows(float* grid, std::size_t n, std::size_t lo, std::size_t hi) {
+  // Edges one, interior zero (interior is already zero in fresh storage;
+  // written explicitly for private arrays reused across phases).
+  for (std::size_t r = lo; r < hi; ++r) {
+    float* row = grid + r * n;
+    if (r == 0 || r == n - 1) {
+      for (std::size_t j = 0; j < n; ++j) row[j] = 1.0f;
+    } else {
+      row[0] = 1.0f;
+      row[n - 1] = 1.0f;
+    }
+  }
+}
+
+void stencil_rows(const float* data, float* scratch, std::size_t n,
+                  std::size_t lo, std::size_t hi) {
+  for (std::size_t r = std::max<std::size_t>(lo, 1);
+       r < std::min<std::size_t>(hi, n - 1); ++r) {
+    const float* up = data + (r - 1) * n;
+    const float* mid = data + r * n;
+    const float* down = data + (r + 1) * n;
+    float* out = scratch + r * n;
+    for (std::size_t j = 1; j + 1 < n; ++j)
+      out[j] = 0.25f * (up[j] + down[j] + mid[j - 1] + mid[j + 1]);
+  }
+}
+
+void copy_back_rows(float* data, const float* scratch, std::size_t n,
+                    std::size_t lo, std::size_t hi) {
+  for (std::size_t r = std::max<std::size_t>(lo, 1);
+       r < std::min<std::size_t>(hi, n - 1); ++r) {
+    float* dst = data + r * n;
+    const float* src = scratch + r * n;
+    std::memcpy(dst + 1, src + 1, (n - 2) * sizeof(float));
+  }
+}
+
+}  // namespace
+
+// ----------------------------------------------------------------------
+// Sequential baseline
+// ----------------------------------------------------------------------
+
+double jacobi_seq(const JacobiParams& p, const SeqHooks* hooks) {
+  const std::size_t n = p.n;
+  std::vector<float> data(n * n, 0.0f);
+  std::vector<float> scratch(n * n, 0.0f);
+  init_rows(data.data(), n, 0, n);
+  for (int it = 0; it < p.warmup_iters + p.iters; ++it) {
+    if (hooks && it == p.warmup_iters) hooks->on_start();
+    stencil_rows(data.data(), scratch.data(), n, 0, n);
+    copy_back_rows(data.data(), scratch.data(), n, 0, n);
+  }
+  if (hooks) hooks->on_end();
+  double sum = 0;
+  for (std::size_t r = 0; r < n; ++r) sum += rowsum(data.data() + r * n, n);
+  return sum;
+}
+
+// ----------------------------------------------------------------------
+// SPF-compiler-style shared memory (plus hand-optimized variant)
+// ----------------------------------------------------------------------
+
+namespace {
+
+struct SpfJacobiState {
+  float* data = nullptr;     // shared
+  float* scratch = nullptr;  // shared — the compiler shares it (§5.1)
+  std::size_t n = 0;
+  bool push_aggregation = false;  // the §5.1 hand optimization
+  bool pushed_before = false;     // has a push from the previous iteration
+};
+SpfJacobiState g_jac;
+
+struct JacobiLoopArgs {
+  std::uint64_t n;
+};
+
+spf::Runtime::Range own_rows(const spf::Runtime& rt, std::size_t n) {
+  return spf::Runtime::block_range(0, static_cast<std::int64_t>(n), rt.rank(),
+                                   rt.nprocs());
+}
+
+void jacobi_phase1(spf::Runtime& rt, const void*) {
+  const auto r = own_rows(rt, g_jac.n);
+  if (g_jac.push_aggregation && g_jac.pushed_before) {
+    // Accept the boundary rows the neighbours pushed at the end of the
+    // previous iteration instead of page-faulting them in.
+    if (rt.rank() > 0) rt.tmk().accept_push(rt.rank() - 1);
+    if (rt.rank() + 1 < rt.nprocs()) rt.tmk().accept_push(rt.rank() + 1);
+  }
+  stencil_rows(g_jac.data, g_jac.scratch, g_jac.n,
+               static_cast<std::size_t>(r.lo), static_cast<std::size_t>(r.hi));
+}
+
+void jacobi_phase2(spf::Runtime& rt, const void*) {
+  const auto r = own_rows(rt, g_jac.n);
+  copy_back_rows(g_jac.data, g_jac.scratch, g_jac.n,
+                 static_cast<std::size_t>(r.lo),
+                 static_cast<std::size_t>(r.hi));
+  if (g_jac.push_aggregation) {
+    // Aggregated push of the freshly written boundary rows (one message
+    // per neighbour instead of fault round-trips).
+    const std::size_t n = g_jac.n;
+    const std::size_t row_bytes = n * sizeof(float);
+    if (rt.rank() > 0)
+      rt.tmk().push(rt.rank() - 1,
+                    g_jac.data + static_cast<std::size_t>(r.lo) * n,
+                    row_bytes);
+    if (rt.rank() + 1 < rt.nprocs())
+      rt.tmk().push(rt.rank() + 1,
+                    g_jac.data + (static_cast<std::size_t>(r.hi) - 1) * n,
+                    row_bytes);
+    g_jac.pushed_before = true;
+  }
+}
+
+void mark_start_loop(spf::Runtime& rt, const void*) {
+  rt.tmk().endpoint().mark_measurement_start();
+}
+void mark_end_loop(spf::Runtime& rt, const void*) {
+  rt.tmk().endpoint().mark_measurement_end();
+}
+
+double jacobi_spf_impl(runner::ChildContext& ctx, const JacobiParams& p,
+                       bool optimized,
+                       spf::DispatchMode mode = spf::DispatchMode::kImproved) {
+  spf::Runtime::Options spf_opts;
+  spf_opts.mode = mode;
+  spf::Runtime rt(ctx, spf_opts);
+  const std::size_t n = p.n;
+  if (optimized) {
+    COMMON_CHECK_MSG(n * sizeof(float) % common::kPageSize == 0,
+                     "jacobi spf_opt requires page-aligned rows");
+  }
+  g_jac = SpfJacobiState{};
+  g_jac.data = rt.tmk().alloc<float>(n * n);
+  g_jac.scratch = rt.tmk().alloc<float>(n * n);
+  g_jac.n = n;
+  g_jac.push_aggregation = optimized;
+
+  const auto phase1 = rt.register_loop(jacobi_phase1);
+  const auto phase2 = rt.register_loop(jacobi_phase2);
+  const auto mark_s = rt.register_loop(mark_start_loop);
+  const auto mark_e = rt.register_loop(mark_end_loop);
+
+  return rt.run([&] {
+    // Sequential code: the master initializes the shared array.
+    init_rows(g_jac.data, n, 0, n);
+    const JacobiLoopArgs args{n};
+    for (int it = 0; it < p.warmup_iters; ++it) {
+      rt.parallel(phase1, args);
+      rt.parallel(phase2, args);
+    }
+    rt.parallel(mark_s, args);
+    for (int it = 0; it < p.iters; ++it) {
+      rt.parallel(phase1, args);
+      rt.parallel(phase2, args);
+    }
+    rt.parallel(mark_e, args);
+    double sum = 0;
+    for (std::size_t r = 0; r < n; ++r) sum += rowsum(g_jac.data + r * n, n);
+    return sum;
+  });
+}
+
+}  // namespace
+
+double jacobi_spf(runner::ChildContext& ctx, const JacobiParams& p) {
+  return jacobi_spf_impl(ctx, p, /*optimized=*/false);
+}
+
+double jacobi_spf_legacy(runner::ChildContext& ctx, const JacobiParams& p) {
+  return jacobi_spf_impl(ctx, p, /*optimized=*/false,
+                         spf::DispatchMode::kLegacy);
+}
+
+double jacobi_spf_opt(runner::ChildContext& ctx, const JacobiParams& p) {
+  return jacobi_spf_impl(ctx, p, /*optimized=*/true);
+}
+
+// ----------------------------------------------------------------------
+// Hand-coded TreadMarks: private scratch, SPMD with barriers
+// ----------------------------------------------------------------------
+
+double jacobi_tmk(runner::ChildContext& ctx, const JacobiParams& p) {
+  tmk::Runtime rt(ctx);
+  const std::size_t n = p.n;
+  float* data = rt.alloc<float>(n * n);  // shared
+  std::vector<float> scratch(n * n, 0.0f);  // private (the §5.1 difference)
+
+  const auto range = spf::Runtime::block_range(
+      0, static_cast<std::int64_t>(n), rt.rank(), rt.nprocs());
+  const auto lo = static_cast<std::size_t>(range.lo);
+  const auto hi = static_cast<std::size_t>(range.hi);
+
+  init_rows(data, n, lo, hi);  // each process initializes its own rows
+  rt.barrier();
+
+  for (int it = 0; it < p.warmup_iters + p.iters; ++it) {
+    if (it == p.warmup_iters) rt.endpoint().mark_measurement_start();
+    stencil_rows(data, scratch.data(), n, lo, hi);
+    rt.barrier();  // anti-dependence before the copy-back (§5.1)
+    copy_back_rows(data, scratch.data(), n, lo, hi);
+    rt.barrier();
+  }
+  rt.endpoint().mark_measurement_end();
+
+  double sum = 0;
+  if (rt.rank() == 0)
+    for (std::size_t r = 0; r < n; ++r) sum += rowsum(data + r * n, n);
+  rt.barrier();
+  return sum;
+}
+
+// ----------------------------------------------------------------------
+// Message passing (hand PVMe and compiler XHPF)
+// ----------------------------------------------------------------------
+
+namespace {
+
+// Both MP variants keep a private slab of rows [lo-1, hi+1) with halo
+// rows; `xhpf_conservative` adds the compiler's per-loop end-of-loop
+// exchange of every written distributed array (§2.4's placement), which
+// roughly doubles the message count relative to the hand version.
+double jacobi_mp_impl(runner::ChildContext& ctx, const JacobiParams& p,
+                      bool xhpf_conservative) {
+  pvme::Comm comm(ctx.endpoint);
+  const std::size_t n = p.n;
+  xhpf::BlockDist dist(n, comm.nprocs());
+  const std::size_t lo = dist.lo(comm.rank());
+  const std::size_t hi = dist.hi(comm.rank());
+  const std::size_t slab_lo = (lo > 0) ? lo - 1 : lo;
+  const std::size_t slab_hi = (hi < n) ? hi + 1 : hi;
+  const std::size_t slab_rows = slab_hi - slab_lo;
+
+  std::vector<float> data(slab_rows * n, 0.0f);
+  std::vector<float> scratch(slab_rows * n, 0.0f);
+  auto row = [&](std::size_t r) { return data.data() + (r - slab_lo) * n; };
+  auto srow = [&](std::size_t r) {
+    return scratch.data() + (r - slab_lo) * n;
+  };
+
+  // Own rows only; halo rows are filled by the first exchange.
+  for (std::size_t r = lo; r < hi; ++r) {
+    float* dst = row(r);
+    std::memset(dst, 0, n * sizeof(float));
+    if (r == 0 || r == n - 1) {
+      for (std::size_t j = 0; j < n; ++j) dst[j] = 1.0f;
+    } else {
+      dst[0] = 1.0f;
+      dst[n - 1] = 1.0f;
+    }
+  }
+
+  const std::size_t row_bytes = n * sizeof(float);
+  auto exchange_data_halos = [&](int tag) {
+    if (lo >= hi) return;
+    if (comm.rank() > 0) comm.send(comm.rank() - 1, tag, row(lo), row_bytes);
+    if (comm.rank() + 1 < comm.nprocs())
+      comm.send(comm.rank() + 1, tag + 1, row(hi - 1), row_bytes);
+    if (comm.rank() > 0)
+      comm.recv_exact(comm.rank() - 1, tag + 1, row(lo - 1), row_bytes);
+    if (comm.rank() + 1 < comm.nprocs())
+      comm.recv_exact(comm.rank() + 1, tag, row(hi), row_bytes);
+  };
+  auto exchange_scratch_halos = [&](int tag) {
+    if (lo >= hi) return;
+    if (comm.rank() > 0) comm.send(comm.rank() - 1, tag, srow(lo), row_bytes);
+    if (comm.rank() + 1 < comm.nprocs())
+      comm.send(comm.rank() + 1, tag + 1, srow(hi - 1), row_bytes);
+    if (comm.rank() > 0)
+      comm.recv_exact(comm.rank() - 1, tag + 1, srow(lo - 1), row_bytes);
+    if (comm.rank() + 1 < comm.nprocs())
+      comm.recv_exact(comm.rank() + 1, tag, srow(hi), row_bytes);
+  };
+
+  exchange_data_halos(10);  // initial halo fill
+  for (int it = 0; it < p.warmup_iters + p.iters; ++it) {
+    if (it == p.warmup_iters) {
+      comm.barrier();  // align the measurement point across processes
+      comm.endpoint().mark_measurement_start();
+    }
+    stencil_rows(data.data() - slab_lo * n, scratch.data() - slab_lo * n, n,
+                 lo, hi);
+    copy_back_rows(data.data() - slab_lo * n, scratch.data() - slab_lo * n, n,
+                   lo, hi);
+    if (xhpf_conservative) {
+      // Compiler placement: exchange after every loop that wrote a
+      // distributed array, whether or not the halo is ever read.
+      exchange_scratch_halos(20);
+      exchange_data_halos(10);
+    } else {
+      // Hand placement: one exchange of exactly what the next iteration
+      // reads. Data + synchronization in the same message.
+      exchange_data_halos(10);
+    }
+  }
+  comm.endpoint().mark_measurement_end();
+
+  // Checksum: per-row sums gathered in rank (= row) order.
+  std::vector<double> sums(hi - lo);
+  for (std::size_t r = lo; r < hi; ++r) sums[r - lo] = rowsum(row(r), n);
+  if (comm.rank() == 0) {
+    double total = 0;
+    for (double s : sums) total += s;
+    for (int q = 1; q < comm.nprocs(); ++q) {
+      std::vector<double> theirs(dist.count(q));
+      comm.recv_exact(q, 99, theirs.data(), theirs.size() * sizeof(double));
+      for (double s : theirs) total += s;
+    }
+    return total;
+  }
+  comm.send(0, 99, sums.data(), sums.size() * sizeof(double));
+  return 0.0;
+}
+
+}  // namespace
+
+double jacobi_pvme(runner::ChildContext& ctx, const JacobiParams& p) {
+  return jacobi_mp_impl(ctx, p, /*xhpf_conservative=*/false);
+}
+
+double jacobi_xhpf(runner::ChildContext& ctx, const JacobiParams& p) {
+  return jacobi_mp_impl(ctx, p, /*xhpf_conservative=*/true);
+}
+
+// ----------------------------------------------------------------------
+
+runner::RunResult run_jacobi(System system, const JacobiParams& p, int nprocs,
+                             const runner::SpawnOptions& opts) {
+  switch (system) {
+    case System::kSeq:
+      return run_seq_measured(opts, p, [](const JacobiParams& pp,
+                                          const SeqHooks* h) {
+        return jacobi_seq(pp, h);
+      });
+    case System::kSpf:
+      return runner::spawn(nprocs, opts, [&p](runner::ChildContext& c) {
+        return jacobi_spf(c, p);
+      });
+    case System::kSpfOpt:
+      return runner::spawn(nprocs, opts, [&p](runner::ChildContext& c) {
+        return jacobi_spf_opt(c, p);
+      });
+    case System::kTmk:
+      return runner::spawn(nprocs, opts, [&p](runner::ChildContext& c) {
+        return jacobi_tmk(c, p);
+      });
+    case System::kXhpf:
+      return runner::spawn(nprocs, opts, [&p](runner::ChildContext& c) {
+        return jacobi_xhpf(c, p);
+      });
+    case System::kPvme:
+      return runner::spawn(nprocs, opts, [&p](runner::ChildContext& c) {
+        return jacobi_pvme(c, p);
+      });
+  }
+  COMMON_CHECK(false);
+  return {};
+}
+
+}  // namespace apps

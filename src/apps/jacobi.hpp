@@ -1,0 +1,45 @@
+// Jacobi (§5.1): iterative 4-point-stencil PDE solver on two n x n float
+// arrays (data + scratch), row-block partitioned. The boundary of the
+// grid holds ones, the interior starts at zero; each iteration writes the
+// stencil average into scratch, then copies scratch back into data.
+//
+// Communication structure: nearest-neighbour exchange of one boundary row
+// per side per iteration. The shared-memory versions pay two barriers per
+// iteration (the copy-back anti-dependence, §5.1); the SPF version also
+// keeps the scratch array in shared memory because it is touched by a
+// parallel loop. The measured window excludes initialization and one
+// warm-up iteration (the paper times the last 100 of 101).
+#pragma once
+
+#include <cstdint>
+
+#include "apps/app_common.hpp"
+
+namespace apps {
+
+struct JacobiParams {
+  std::size_t n = 512;      // grid edge (floats)
+  int iters = 10;           // timed iterations
+  int warmup_iters = 1;     // untimed, cache-warming
+};
+
+/// Pure sequential baseline; returns the checksum.
+double jacobi_seq(const JacobiParams& p, const SeqHooks* hooks = nullptr);
+
+// Parallel variants; run inside a forked child. Return the checksum on
+// every rank (reduced where necessary).
+double jacobi_spf(runner::ChildContext& ctx, const JacobiParams& p);
+
+/// SPF variant forced onto the original fork-join mapping (full barriers
+/// plus paged-in control variables) — the §2.3 interface ablation.
+double jacobi_spf_legacy(runner::ChildContext& ctx, const JacobiParams& p);
+double jacobi_spf_opt(runner::ChildContext& ctx, const JacobiParams& p);
+double jacobi_tmk(runner::ChildContext& ctx, const JacobiParams& p);
+double jacobi_xhpf(runner::ChildContext& ctx, const JacobiParams& p);
+double jacobi_pvme(runner::ChildContext& ctx, const JacobiParams& p);
+
+/// Dispatch helper used by tests and benches.
+runner::RunResult run_jacobi(System system, const JacobiParams& p, int nprocs,
+                             const runner::SpawnOptions& opts);
+
+}  // namespace apps

@@ -1,0 +1,368 @@
+#include "apps/mgs.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/prng.hpp"
+#include "pvme/comm.hpp"
+#include "spf/runtime.hpp"
+#include "tmk/runtime.hpp"
+#include "xhpf/runtime.hpp"
+
+namespace apps {
+
+namespace {
+
+float init_value(const MgsParams& p, std::size_t i, std::size_t j) {
+  common::SplitMix64 g(p.seed + i * p.m + j);
+  // Diagonal boost keeps the basis well-conditioned in float.
+  return static_cast<float>(g.next_double()) + (i == j ? 4.0f : 0.0f);
+}
+
+double dot_rows(const float* a, const float* b, std::size_t m) {
+  double s = 0;
+  for (std::size_t k = 0; k < m; ++k)
+    s += static_cast<double>(a[k]) * static_cast<double>(b[k]);
+  return s;
+}
+
+void normalize_row(float* row, std::size_t m) {
+  const double norm = std::sqrt(dot_rows(row, row, m));
+  const float inv = static_cast<float>(1.0 / norm);
+  for (std::size_t k = 0; k < m; ++k) row[k] *= inv;
+}
+
+void orthogonalize(float* target, const float* pivot, std::size_t m) {
+  const float d = static_cast<float>(dot_rows(pivot, target, m));
+  for (std::size_t k = 0; k < m; ++k) target[k] -= d * pivot[k];
+}
+
+double checksum_rows(const float* a, std::size_t n, std::size_t m) {
+  double total = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = 0;
+    for (std::size_t j = 0; j < m; ++j) s += a[i * m + j];
+    total += s;
+  }
+  return total;
+}
+
+}  // namespace
+
+double mgs_seq(const MgsParams& p, const SeqHooks* hooks) {
+  std::vector<float> a(p.n * p.m);
+  for (std::size_t i = 0; i < p.n; ++i)
+    for (std::size_t j = 0; j < p.m; ++j) a[i * p.m + j] = init_value(p, i, j);
+  if (hooks) hooks->on_start();
+  for (std::size_t i = 0; i < p.n; ++i) {
+    normalize_row(&a[i * p.m], p.m);
+    for (std::size_t j = i + 1; j < p.n; ++j)
+      orthogonalize(&a[j * p.m], &a[i * p.m], p.m);
+  }
+  if (hooks) hooks->on_end();
+  return checksum_rows(a.data(), p.n, p.m);
+}
+
+// ----------------------------------------------------------------------
+// SPF: normalization is sequential code, so it always runs on the master,
+// pulling the pivot row away from its owner every step (§5.3).
+// ----------------------------------------------------------------------
+
+namespace {
+
+struct SpfMgsState {
+  float* a = nullptr;
+  std::size_t n = 0, m = 0;
+};
+SpfMgsState g_mgs;
+
+struct MgsLoopArgs {
+  std::uint64_t i;
+};
+
+void mgs_update_loop(spf::Runtime& rt, const void* argp) {
+  MgsLoopArgs args;
+  std::memcpy(&args, argp, sizeof(args));
+  const float* pivot = g_mgs.a + args.i * g_mgs.m;
+  for (std::int64_t j = spf::Runtime::cyclic_begin(
+           static_cast<std::int64_t>(args.i) + 1, rt.rank(), rt.nprocs());
+       j < static_cast<std::int64_t>(g_mgs.n); j += rt.nprocs()) {
+    orthogonalize(g_mgs.a + static_cast<std::size_t>(j) * g_mgs.m, pivot,
+                  g_mgs.m);
+  }
+}
+
+void mgs_mark_start(spf::Runtime& rt, const void*) {
+  rt.tmk().endpoint().mark_measurement_start();
+}
+void mgs_mark_end(spf::Runtime& rt, const void*) {
+  rt.tmk().endpoint().mark_measurement_end();
+}
+
+}  // namespace
+
+double mgs_spf(runner::ChildContext& ctx, const MgsParams& p) {
+  spf::Runtime rt(ctx);
+  g_mgs = SpfMgsState{};
+  g_mgs.a = rt.tmk().alloc<float>(p.n * p.m);
+  g_mgs.n = p.n;
+  g_mgs.m = p.m;
+  const auto update = rt.register_loop(mgs_update_loop);
+  const auto mark_s = rt.register_loop(mgs_mark_start);
+  const auto mark_e = rt.register_loop(mgs_mark_end);
+  return rt.run([&] {
+    for (std::size_t i = 0; i < p.n; ++i)
+      for (std::size_t j = 0; j < p.m; ++j)
+        g_mgs.a[i * p.m + j] = init_value(p, i, j);
+    rt.parallel(mark_s, MgsLoopArgs{0});
+    for (std::size_t i = 0; i < p.n; ++i) {
+      normalize_row(g_mgs.a + i * p.m, p.m);  // sequential -> master
+      rt.parallel(update, MgsLoopArgs{i});
+    }
+    rt.parallel(mark_e, MgsLoopArgs{0});
+    return checksum_rows(g_mgs.a, p.n, p.m);
+  });
+}
+
+// ----------------------------------------------------------------------
+// Hand-coded TreadMarks: the owner normalizes its own vector in place
+// (the locality the SPF version lacks); one barrier per step publishes it.
+// ----------------------------------------------------------------------
+
+namespace {
+
+double mgs_tmk_impl(runner::ChildContext& ctx, const MgsParams& p,
+                    bool use_bcast) {
+  tmk::Runtime rt(ctx);
+  const std::size_t row_bytes = p.m * sizeof(float);
+  if (use_bcast) {
+    COMMON_CHECK_MSG(row_bytes % common::kPageSize == 0,
+                     "mgs tmk_opt requires page-aligned rows");
+  }
+  float* a = rt.alloc<float>(p.n * p.m);
+
+  const int me = rt.rank();
+  const int np = rt.nprocs();
+  for (std::size_t i = static_cast<std::size_t>(me); i < p.n;
+       i += static_cast<std::size_t>(np))
+    for (std::size_t j = 0; j < p.m; ++j) a[i * p.m + j] = init_value(p, i, j);
+  rt.barrier();
+  rt.endpoint().mark_measurement_start();
+
+  for (std::size_t i = 0; i < p.n; ++i) {
+    const int owner = static_cast<int>(i % static_cast<std::size_t>(np));
+    if (owner == me) normalize_row(a + i * p.m, p.m);
+    if (use_bcast) {
+      // §5.3 optimization: merged synchronization + data. The broadcast
+      // both publishes the pivot and orders the step.
+      rt.bcast(owner, a + i * p.m, row_bytes);
+    } else {
+      rt.barrier();
+    }
+    const float* pivot = a + i * p.m;
+    for (std::int64_t j = spf::Runtime::cyclic_begin(
+             static_cast<std::int64_t>(i) + 1, me, np);
+         j < static_cast<std::int64_t>(p.n); j += np) {
+      orthogonalize(a + static_cast<std::size_t>(j) * p.m, pivot, p.m);
+    }
+  }
+  rt.endpoint().mark_measurement_end();
+  rt.barrier();
+  double sum = 0;
+  if (me == 0) sum = checksum_rows(a, p.n, p.m);
+  rt.barrier();
+  return sum;
+}
+
+}  // namespace
+
+double mgs_tmk(runner::ChildContext& ctx, const MgsParams& p) {
+  return mgs_tmk_impl(ctx, p, /*use_bcast=*/false);
+}
+
+double mgs_tmk_opt(runner::ChildContext& ctx, const MgsParams& p) {
+  return mgs_tmk_impl(ctx, p, /*use_bcast=*/true);
+}
+
+// ----------------------------------------------------------------------
+// Message passing
+// ----------------------------------------------------------------------
+
+double mgs_pvme(runner::ChildContext& ctx, const MgsParams& p) {
+  pvme::Comm comm(ctx.endpoint);
+  const int me = comm.rank();
+  const int np = comm.nprocs();
+  // Own cyclic rows only, plus one pivot buffer.
+  std::vector<float> rows;
+  std::vector<std::size_t> own;  // global indices, ascending
+  for (std::size_t i = static_cast<std::size_t>(me); i < p.n;
+       i += static_cast<std::size_t>(np))
+    own.push_back(i);
+  rows.resize(own.size() * p.m);
+  for (std::size_t k = 0; k < own.size(); ++k)
+    for (std::size_t j = 0; j < p.m; ++j)
+      rows[k * p.m + j] = init_value(p, own[k], j);
+  std::vector<float> pivot(p.m);
+
+  comm.barrier();
+  comm.endpoint().mark_measurement_start();
+
+  for (std::size_t i = 0; i < p.n; ++i) {
+    const int owner = static_cast<int>(i % static_cast<std::size_t>(np));
+    float* pv = pivot.data();
+    if (owner == me) {
+      pv = rows.data() + (i / static_cast<std::size_t>(np)) * p.m;
+      normalize_row(pv, p.m);
+    }
+    // One broadcast carries both the data and the step ordering.
+    comm.bcast(owner, pv, p.m * sizeof(float));
+    for (std::size_t k = 0; k < own.size(); ++k) {
+      if (own[k] > i) orthogonalize(rows.data() + k * p.m, pv, p.m);
+    }
+  }
+  comm.endpoint().mark_measurement_end();
+
+  // Checksum: row sums reassembled in global row order at rank 0.
+  std::vector<double> sums(own.size());
+  for (std::size_t k = 0; k < own.size(); ++k) {
+    double s = 0;
+    for (std::size_t j = 0; j < p.m; ++j) s += rows[k * p.m + j];
+    sums[k] = s;
+  }
+  if (me == 0) {
+    std::vector<std::vector<double>> all(static_cast<std::size_t>(np));
+    all[0] = sums;
+    for (int q = 1; q < np; ++q) {
+      const std::size_t cnt = (p.n + static_cast<std::size_t>(np) -
+                               static_cast<std::size_t>(q) - 1) /
+                              static_cast<std::size_t>(np);
+      all[static_cast<std::size_t>(q)].resize(cnt);
+      if (cnt > 0)
+        comm.recv_exact(q, 99, all[static_cast<std::size_t>(q)].data(),
+                        cnt * sizeof(double));
+    }
+    double total = 0;
+    for (std::size_t i = 0; i < p.n; ++i)
+      total += all[i % static_cast<std::size_t>(np)]
+                  [i / static_cast<std::size_t>(np)];
+    return total;
+  }
+  if (!sums.empty()) comm.send(0, 99, sums.data(), sums.size() * sizeof(double));
+  else comm.send(0, 99, nullptr, 0);
+  return 0.0;
+}
+
+double mgs_xhpf(runner::ChildContext& ctx, const MgsParams& p) {
+  pvme::Comm comm(ctx.endpoint);
+  xhpf::Runtime xr(comm);
+  const int me = comm.rank();
+  const int np = comm.nprocs();
+  // SPMD with replicated storage: every process holds the whole matrix
+  // but only its cyclic rows are authoritative.
+  std::vector<float> a(p.n * p.m, 0.0f);
+  for (std::size_t i = static_cast<std::size_t>(me); i < p.n;
+       i += static_cast<std::size_t>(np))
+    for (std::size_t j = 0; j < p.m; ++j) a[i * p.m + j] = init_value(p, i, j);
+
+  xhpf::BlockDist elems(p.m, np);  // element-block of the normalize loop
+
+  comm.barrier();
+  comm.endpoint().mark_measurement_start();
+
+  for (std::size_t i = 0; i < p.n; ++i) {
+    const int owner = static_cast<int>(i % static_cast<std::size_t>(np));
+    float* pivot = a.data() + i * p.m;
+    // (1) The sequential normalization references a non-owned row: the
+    //     compiler materializes it everywhere first.
+    comm.bcast(owner, pivot, p.m * sizeof(float));
+    // (2) The norm is a recognized reduction: partial sums per element
+    //     block + allreduce — "all processors participate" (§5.3).
+    double partial = 0;
+    for (std::size_t k = elems.lo(me); k < elems.hi(me); ++k)
+      partial += static_cast<double>(pivot[k]) * static_cast<double>(pivot[k]);
+    const double norm2 = comm.allreduce_sum(partial);
+    const float inv = static_cast<float>(1.0 / std::sqrt(norm2));
+    for (std::size_t k = 0; k < p.m; ++k) pivot[k] *= inv;  // replicated
+    // (3) The sequential code wrote a distributed row; the compiler
+    //     conservatively re-communicates it before the parallel loop.
+    comm.bcast(owner, pivot, p.m * sizeof(float));
+    // (4) Owner-computes update of the cyclic rows.
+    for (std::size_t j = i + 1; j < p.n; ++j) {
+      if (static_cast<int>(j % static_cast<std::size_t>(np)) != me) continue;
+      orthogonalize(a.data() + j * p.m, pivot, p.m);
+    }
+  }
+  comm.endpoint().mark_measurement_end();
+
+  // Row sums gathered in global row order.
+  if (me == 0) {
+    // Rows not owned locally are stale except pivots; fetch owned sums.
+    std::vector<double> total_by_row(p.n, 0.0);
+    for (std::size_t i = 0; i < p.n; ++i) {
+      if (static_cast<int>(i % static_cast<std::size_t>(np)) == 0) {
+        double s = 0;
+        for (std::size_t j = 0; j < p.m; ++j) s += a[i * p.m + j];
+        total_by_row[i] = s;
+      }
+    }
+    for (int q = 1; q < np; ++q) {
+      for (std::size_t i = static_cast<std::size_t>(q); i < p.n;
+           i += static_cast<std::size_t>(np)) {
+        double s;
+        comm.recv_exact(q, 99, &s, sizeof(s));
+        total_by_row[i] = s;
+      }
+    }
+    double total = 0;
+    for (double s : total_by_row) total += s;
+    return total;
+  }
+  for (std::size_t i = static_cast<std::size_t>(me); i < p.n;
+       i += static_cast<std::size_t>(np)) {
+    double s = 0;
+    for (std::size_t j = 0; j < p.m; ++j) s += a[i * p.m + j];
+    comm.send(0, 99, &s, sizeof(s));
+  }
+  return 0.0;
+}
+
+// ----------------------------------------------------------------------
+
+runner::RunResult run_mgs(System system, const MgsParams& p, int nprocs,
+                          const runner::SpawnOptions& opts) {
+  switch (system) {
+    case System::kSeq:
+      return run_seq_measured(opts, p, [](const MgsParams& pp,
+                                          const SeqHooks* h) {
+        return mgs_seq(pp, h);
+      });
+    case System::kSpf:
+      return runner::spawn(nprocs, opts, [&p](runner::ChildContext& c) {
+        return mgs_spf(c, p);
+      });
+    case System::kTmk:
+      return runner::spawn(nprocs, opts, [&p](runner::ChildContext& c) {
+        return mgs_tmk(c, p);
+      });
+    case System::kTmkOpt:
+      return runner::spawn(nprocs, opts, [&p](runner::ChildContext& c) {
+        return mgs_tmk_opt(c, p);
+      });
+    case System::kXhpf:
+      return runner::spawn(nprocs, opts, [&p](runner::ChildContext& c) {
+        return mgs_xhpf(c, p);
+      });
+    case System::kPvme:
+      return runner::spawn(nprocs, opts, [&p](runner::ChildContext& c) {
+        return mgs_pvme(c, p);
+      });
+    case System::kSpfOpt:
+      break;
+  }
+  COMMON_CHECK_MSG(false, "mgs: unsupported system variant");
+  return {};
+}
+
+}  // namespace apps

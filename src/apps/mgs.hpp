@@ -1,0 +1,38 @@
+// Modified Gram-Schmidt (§5.3): computes an orthonormal basis for n
+// m-dimensional vectors. At step i the pivot vector i is normalized
+// (sequential work), then every vector j > i is made orthogonal to it
+// (parallel work). Vectors are CYCLIC-distributed for load balance; all
+// processes synchronize once per step.
+//
+// This is the application where the four systems differ the most on the
+// regular side: PVMe broadcasts the pivot in n-1 messages; XHPF's SPMD
+// translation makes *all* processors cooperate on the normalization
+// (partial-norm reduction + allgather of pivot chunks); the DSM versions
+// page the pivot in on demand, and the SPF version additionally ships the
+// pivot to the master first, because normalization is sequential code.
+// The §5.3 hand optimization (kTmkOpt) replaces barrier + page-in with a
+// TreadMarks broadcast that merges synchronization and data.
+#pragma once
+
+#include "apps/app_common.hpp"
+
+namespace apps {
+
+struct MgsParams {
+  std::size_t n = 64;   // number of vectors
+  std::size_t m = 256;  // vector dimension (floats)
+  std::uint64_t seed = 12345;
+};
+
+double mgs_seq(const MgsParams& p, const SeqHooks* hooks = nullptr);
+
+double mgs_spf(runner::ChildContext& ctx, const MgsParams& p);
+double mgs_tmk(runner::ChildContext& ctx, const MgsParams& p);
+double mgs_tmk_opt(runner::ChildContext& ctx, const MgsParams& p);
+double mgs_xhpf(runner::ChildContext& ctx, const MgsParams& p);
+double mgs_pvme(runner::ChildContext& ctx, const MgsParams& p);
+
+runner::RunResult run_mgs(System system, const MgsParams& p, int nprocs,
+                          const runner::SpawnOptions& opts);
+
+}  // namespace apps

@@ -1,0 +1,457 @@
+#include "apps/nbf.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/prng.hpp"
+#include "pvme/comm.hpp"
+#include "spf/runtime.hpp"
+#include "tmk/runtime.hpp"
+#include "xhpf/runtime.hpp"
+
+namespace apps {
+
+namespace {
+
+constexpr double kDt = 0.01;
+
+// Partner lists: each molecule i > 0 gets `partners` indices drawn from
+// [i - window, i). Deterministic, identical on every process.
+std::vector<std::int32_t> make_partners(const NbfParams& p) {
+  std::vector<std::int32_t> list(p.nmol * static_cast<std::size_t>(p.partners),
+                                 -1);
+  for (std::size_t i = 1; i < p.nmol; ++i) {
+    common::SplitMix64 g(p.seed + i);
+    const std::size_t reach = std::min<std::size_t>(p.window, i);
+    for (int k = 0; k < p.partners; ++k) {
+      const std::size_t off = 1 + g.next_below(reach);
+      list[i * static_cast<std::size_t>(p.partners) +
+           static_cast<std::size_t>(k)] =
+          static_cast<std::int32_t>(i - off);
+    }
+  }
+  return list;
+}
+
+void init_positions(double* pos, const NbfParams& p, std::size_t lo,
+                    std::size_t hi) {
+  for (std::size_t i = lo; i < hi; ++i) {
+    common::SplitMix64 g(p.seed * 3 + i);
+    pos[3 * i + 0] = g.next_double(0.0, 10.0);
+    pos[3 * i + 1] = g.next_double(0.0, 10.0);
+    pos[3 * i + 2] = g.next_double(0.0, 10.0);
+  }
+}
+
+// Pairwise force magnitude: smooth, bounded, strictly repulsive.
+inline double force_scale(double r2) {
+  const double q = r2 + 1.0;
+  return 1.0 / q - 0.5 / (q * q);
+}
+
+// Force loop over molecules [lo, hi): own-force contributions go directly
+// into `f` (indexed globally); contributions to partners below `cut` go
+// into `spill` (also indexed globally) — the per-processor accumulation
+// buffer of §6.2. With cut <= lo the caller separates local and remote.
+void force_range(const double* pos, const std::int32_t* partners,
+                 int partners_per_mol, std::size_t lo, std::size_t hi,
+                 std::size_t cut, double* f, double* spill) {
+  for (std::size_t i = lo; i < hi; ++i) {
+    double fx = 0, fy = 0, fz = 0;
+    for (int k = 0; k < partners_per_mol; ++k) {
+      const std::int32_t j =
+          partners[i * static_cast<std::size_t>(partners_per_mol) +
+                   static_cast<std::size_t>(k)];
+      if (j < 0) continue;
+      const auto ju = static_cast<std::size_t>(j);
+      const double dx = pos[3 * i] - pos[3 * ju];
+      const double dy = pos[3 * i + 1] - pos[3 * ju + 1];
+      const double dz = pos[3 * i + 2] - pos[3 * ju + 2];
+      const double s = force_scale(dx * dx + dy * dy + dz * dz);
+      fx += s * dx;
+      fy += s * dy;
+      fz += s * dz;
+      double* out = (ju >= cut) ? f : spill;
+      out[3 * ju] -= s * dx;
+      out[3 * ju + 1] -= s * dy;
+      out[3 * ju + 2] -= s * dz;
+    }
+    f[3 * i] += fx;
+    f[3 * i + 1] += fy;
+    f[3 * i + 2] += fz;
+  }
+}
+
+void integrate(double* pos, double* f, std::size_t lo, std::size_t hi) {
+  for (std::size_t i = lo; i < hi; ++i) {
+    pos[3 * i] += kDt * f[3 * i];
+    pos[3 * i + 1] += kDt * f[3 * i + 1];
+    pos[3 * i + 2] += kDt * f[3 * i + 2];
+    f[3 * i] = f[3 * i + 1] = f[3 * i + 2] = 0.0;
+  }
+}
+
+double checksum_positions(const double* pos, std::size_t nmol) {
+  double s = 0;
+  for (std::size_t i = 0; i < 3 * nmol; ++i) s += pos[i];
+  return s;
+}
+
+void check_window(const NbfParams& p, int nprocs) {
+  const std::size_t block = p.nmol / static_cast<std::size_t>(nprocs);
+  COMMON_CHECK_MSG(p.window < block,
+                   "nbf requires window < molecules per process ("
+                       << p.window << " vs " << block << ")");
+}
+
+}  // namespace
+
+double nbf_seq(const NbfParams& p, const SeqHooks* hooks) {
+  const auto partners = make_partners(p);
+  std::vector<double> pos(3 * p.nmol), f(3 * p.nmol, 0.0);
+  init_positions(pos.data(), p, 0, p.nmol);
+  for (int it = 0; it < p.warmup_iters + p.iters; ++it) {
+    if (hooks && it == p.warmup_iters) hooks->on_start();
+    force_range(pos.data(), partners.data(), p.partners, 0, p.nmol,
+                /*cut=*/0, f.data(), /*spill=*/nullptr);
+    integrate(pos.data(), f.data(), 0, p.nmol);
+  }
+  if (hooks) hooks->on_end();
+  return checksum_positions(pos.data(), p.nmol);
+}
+
+// ----------------------------------------------------------------------
+// SPF: coordinates, forces, AND the per-process buffers all live in
+// shared memory (every array touched by a parallel loop is shared).
+// ----------------------------------------------------------------------
+
+namespace {
+
+struct SpfNbfState {
+  double* pos = nullptr;
+  double* f = nullptr;
+  double* buf = nullptr;  // nprocs x 3*nmol spill buffers
+  std::int32_t* partners = nullptr;
+  NbfParams p;
+};
+SpfNbfState g_nbf;
+
+spf::Runtime::Range nbf_block(const spf::Runtime& rt, std::size_t nmol) {
+  return spf::Runtime::block_range(0, static_cast<std::int64_t>(nmol),
+                                   rt.rank(), rt.nprocs());
+}
+
+void nbf_force_loop(spf::Runtime& rt, const void*) {
+  const auto r = nbf_block(rt, g_nbf.p.nmol);
+  const auto lo = static_cast<std::size_t>(r.lo);
+  const auto hi = static_cast<std::size_t>(r.hi);
+  double* spill = g_nbf.buf + static_cast<std::size_t>(rt.rank()) * 3 *
+                                  g_nbf.p.nmol;
+  // Zero the spill window this process can write (below its block).
+  const std::size_t w_lo = (lo >= g_nbf.p.window) ? lo - g_nbf.p.window : 0;
+  for (std::size_t i = w_lo; i < lo; ++i)
+    spill[3 * i] = spill[3 * i + 1] = spill[3 * i + 2] = 0.0;
+  force_range(g_nbf.pos, g_nbf.partners, g_nbf.p.partners, lo, hi, lo,
+              g_nbf.f, spill);
+}
+
+void nbf_update_loop(spf::Runtime& rt, const void*) {
+  const auto r = nbf_block(rt, g_nbf.p.nmol);
+  const auto lo = static_cast<std::size_t>(r.lo);
+  const auto hi = static_cast<std::size_t>(r.hi);
+  // Sum remote contributions in ascending process order (bit-exact with
+  // the sequential i-order: remote contributors all have larger i).
+  for (int q = 0; q < rt.nprocs(); ++q) {
+    if (q == rt.rank()) continue;
+    const double* spill = g_nbf.buf + static_cast<std::size_t>(q) * 3 *
+                                          g_nbf.p.nmol;
+    const auto qr = spf::Runtime::block_range(
+        0, static_cast<std::int64_t>(g_nbf.p.nmol), q, rt.nprocs());
+    const auto q_lo = static_cast<std::size_t>(qr.lo);
+    const std::size_t w_lo =
+        (q_lo >= g_nbf.p.window) ? q_lo - g_nbf.p.window : 0;
+    for (std::size_t i = std::max(w_lo, lo); i < std::min(q_lo, hi); ++i) {
+      g_nbf.f[3 * i] += spill[3 * i];
+      g_nbf.f[3 * i + 1] += spill[3 * i + 1];
+      g_nbf.f[3 * i + 2] += spill[3 * i + 2];
+    }
+  }
+  integrate(g_nbf.pos, g_nbf.f, lo, hi);
+}
+
+void nbf_mark_start(spf::Runtime& rt, const void*) {
+  rt.tmk().endpoint().mark_measurement_start();
+}
+void nbf_mark_end(spf::Runtime& rt, const void*) {
+  rt.tmk().endpoint().mark_measurement_end();
+}
+
+}  // namespace
+
+double nbf_spf(runner::ChildContext& ctx, const NbfParams& p) {
+  spf::Runtime rt(ctx);
+  check_window(p, rt.nprocs());
+  g_nbf = SpfNbfState{};
+  g_nbf.p = p;
+  g_nbf.pos = rt.tmk().alloc<double>(3 * p.nmol);
+  g_nbf.f = rt.tmk().alloc<double>(3 * p.nmol);
+  g_nbf.buf = rt.tmk().alloc<double>(
+      static_cast<std::size_t>(rt.nprocs()) * 3 * p.nmol);
+  g_nbf.partners = rt.tmk().alloc<std::int32_t>(
+      p.nmol * static_cast<std::size_t>(p.partners));
+
+  const auto force = rt.register_loop(nbf_force_loop);
+  const auto update = rt.register_loop(nbf_update_loop);
+  const auto mark_s = rt.register_loop(nbf_mark_start);
+  const auto mark_e = rt.register_loop(nbf_mark_end);
+
+  return rt.run([&] {
+    const auto partners = make_partners(p);
+    std::memcpy(g_nbf.partners, partners.data(),
+                partners.size() * sizeof(std::int32_t));
+    init_positions(g_nbf.pos, p, 0, p.nmol);
+    for (int it = 0; it < p.warmup_iters + p.iters; ++it) {
+      if (it == p.warmup_iters) rt.parallel(mark_s, std::uint32_t{0});
+      rt.parallel(force, std::uint32_t{0});
+      rt.parallel(update, std::uint32_t{0});
+    }
+    rt.parallel(mark_e, std::uint32_t{0});
+    return checksum_positions(g_nbf.pos, p.nmol);
+  });
+}
+
+// ----------------------------------------------------------------------
+// Hand-coded TreadMarks: forces kept in private memory (only the owner
+// touches them); coordinates and spill buffers shared.
+// ----------------------------------------------------------------------
+
+double nbf_tmk(runner::ChildContext& ctx, const NbfParams& p) {
+  tmk::Runtime rt(ctx);
+  check_window(p, rt.nprocs());
+  double* pos = rt.alloc<double>(3 * p.nmol);
+  double* buf = rt.alloc<double>(static_cast<std::size_t>(rt.nprocs()) * 3 *
+                                 p.nmol);
+  std::vector<double> f(3 * p.nmol, 0.0);  // private
+
+  const auto partners = make_partners(p);  // replicated setup, no traffic
+  const auto r = spf::Runtime::block_range(
+      0, static_cast<std::int64_t>(p.nmol), rt.rank(), rt.nprocs());
+  const auto lo = static_cast<std::size_t>(r.lo);
+  const auto hi = static_cast<std::size_t>(r.hi);
+  init_positions(pos, p, lo, hi);
+  rt.barrier();
+
+  double* spill = buf + static_cast<std::size_t>(rt.rank()) * 3 * p.nmol;
+  for (int it = 0; it < p.warmup_iters + p.iters; ++it) {
+    if (it == p.warmup_iters) rt.endpoint().mark_measurement_start();
+    const std::size_t w_lo = (lo >= p.window) ? lo - p.window : 0;
+    for (std::size_t i = w_lo; i < lo; ++i)
+      spill[3 * i] = spill[3 * i + 1] = spill[3 * i + 2] = 0.0;
+    force_range(pos, partners.data(), p.partners, lo, hi, lo, f.data(),
+                spill);
+    rt.barrier();  // publish spill buffers
+    for (int q = 0; q < rt.nprocs(); ++q) {
+      if (q == rt.rank()) continue;
+      const double* qs = buf + static_cast<std::size_t>(q) * 3 * p.nmol;
+      const auto qr = spf::Runtime::block_range(
+          0, static_cast<std::int64_t>(p.nmol), q, rt.nprocs());
+      const auto q_lo = static_cast<std::size_t>(qr.lo);
+      const std::size_t qw_lo = (q_lo >= p.window) ? q_lo - p.window : 0;
+      for (std::size_t i = std::max(qw_lo, lo); i < std::min(q_lo, hi); ++i) {
+        f[3 * i] += qs[3 * i];
+        f[3 * i + 1] += qs[3 * i + 1];
+        f[3 * i + 2] += qs[3 * i + 2];
+      }
+    }
+    integrate(pos, f.data(), lo, hi);
+    rt.barrier();  // publish coordinates
+  }
+  rt.endpoint().mark_measurement_end();
+
+  double result = 0;
+  if (rt.rank() == 0) result = checksum_positions(pos, p.nmol);
+  rt.barrier();
+  return result;
+}
+
+// ----------------------------------------------------------------------
+// Message passing
+// ----------------------------------------------------------------------
+
+double nbf_pvme(runner::ChildContext& ctx, const NbfParams& p) {
+  pvme::Comm comm(ctx.endpoint);
+  check_window(p, comm.nprocs());
+  const int me = comm.rank();
+  const int np = comm.nprocs();
+  xhpf::BlockDist dist(p.nmol, np);
+  const std::size_t lo = dist.lo(me);
+  const std::size_t hi = dist.hi(me);
+
+  const auto partners = make_partners(p);
+  // Windowed exchange: the hand coder knows partner indices reach at most
+  // `window` below a block, so only the upper neighbour's top window of
+  // coordinates is needed — one aggregated message per pair per
+  // iteration, data + synchronization combined.
+  std::vector<double> pos(3 * p.nmol, 0.0);
+  std::vector<double> f(3 * p.nmol, 0.0);
+  std::vector<double> spill(3 * p.nmol, 0.0);
+  init_positions(pos.data(), p, lo, hi);
+
+  auto refresh_positions = [&] {
+    // Send my top `window` coordinates to the upper neighbour's halo.
+    if (me + 1 < np)
+      comm.send(me + 1, 50, pos.data() + 3 * (hi - p.window),
+                3 * p.window * sizeof(double));
+    if (me > 0)
+      comm.recv_exact(me - 1, 50, pos.data() + 3 * (lo - p.window),
+                      3 * p.window * sizeof(double));
+  };
+  refresh_positions();
+
+  for (int it = 0; it < p.warmup_iters + p.iters; ++it) {
+    if (it == p.warmup_iters) {
+      comm.barrier();
+      comm.endpoint().mark_measurement_start();
+    }
+    const std::size_t w_lo = (lo >= p.window) ? lo - p.window : 0;
+    for (std::size_t i = w_lo; i < lo; ++i)
+      spill[3 * i] = spill[3 * i + 1] = spill[3 * i + 2] = 0.0;
+    force_range(pos.data(), partners.data(), p.partners, lo, hi, lo,
+                f.data(), spill.data());
+    // Window of contributions to the lower neighbour, one message.
+    if (me > 0)
+      comm.send(me - 1, 60, spill.data() + 3 * w_lo,
+                3 * (lo - w_lo) * sizeof(double));
+    if (me + 1 < np) {
+      const std::size_t nb_lo = dist.lo(me + 1);
+      const std::size_t nb_w = (nb_lo >= p.window) ? nb_lo - p.window : 0;
+      std::vector<double> in(3 * (nb_lo - nb_w));
+      comm.recv_exact(me + 1, 60, in.data(), in.size() * sizeof(double));
+      for (std::size_t i = std::max(nb_w, lo); i < std::min(nb_lo, hi); ++i) {
+        f[3 * i] += in[3 * (i - nb_w)];
+        f[3 * i + 1] += in[3 * (i - nb_w) + 1];
+        f[3 * i + 2] += in[3 * (i - nb_w) + 2];
+      }
+    }
+    integrate(pos.data(), f.data(), lo, hi);
+    refresh_positions();
+  }
+  comm.endpoint().mark_measurement_end();
+  // Checksum: gather blocks to rank 0 (outside the measured window).
+  if (me == 0) {
+    for (int q = 1; q < np; ++q)
+      comm.recv_exact(q, 90, pos.data() + 3 * dist.lo(q),
+                      3 * dist.count(q) * sizeof(double));
+    return checksum_positions(pos.data(), p.nmol);
+  }
+  comm.send(0, 90, pos.data() + 3 * lo, 3 * (hi - lo) * sizeof(double));
+  return 0.0;
+}
+
+double nbf_xhpf(runner::ChildContext& ctx, const NbfParams& p) {
+  pvme::Comm comm(ctx.endpoint);
+  xhpf::Runtime xr(comm);
+  check_window(p, comm.nprocs());
+  const int me = comm.rank();
+  const int np = comm.nprocs();
+  xhpf::BlockDist dist(p.nmol, np);
+  const std::size_t lo = dist.lo(me);
+  const std::size_t hi = dist.hi(me);
+
+  const auto partners = make_partners(p);
+  std::vector<double> pos(3 * p.nmol, 0.0);
+  std::vector<double> f(3 * p.nmol, 0.0);
+  // The compiler cannot see the partner window, so the spill buffer is a
+  // whole-array accumulator, broadcast in full every iteration (§6.2).
+  std::vector<std::vector<double>> bufs(static_cast<std::size_t>(np));
+  for (auto& b : bufs) b.assign(3 * p.nmol, 0.0);
+  init_positions(pos.data(), p, lo, hi);
+  xr.broadcast_partition_rows(pos.data(), 3, dist, 70);
+
+  for (int it = 0; it < p.warmup_iters + p.iters; ++it) {
+    if (it == p.warmup_iters) {
+      comm.barrier();
+      comm.endpoint().mark_measurement_start();
+    }
+    auto& mine = bufs[static_cast<std::size_t>(me)];
+    std::fill(mine.begin(), mine.end(), 0.0);
+    // All contributions (own and partner) go through the buffer — the
+    // compiler cannot prove any index is local.
+    force_range(pos.data(), partners.data(), p.partners, lo, hi,
+                /*cut=*/0, /*f=*/mine.data(), /*spill=*/nullptr);
+    // Broadcast the whole local force buffer, chunked compiler-style.
+    for (int q = 0; q < np; ++q) {
+      auto& b = bufs[static_cast<std::size_t>(q)];
+      const std::size_t bytes = b.size() * sizeof(double);
+      for (std::size_t off = 0; off < bytes;
+           off += xhpf::Runtime::kCompilerChunk) {
+        const std::size_t len =
+            std::min(xhpf::Runtime::kCompilerChunk, bytes - off);
+        if (q == me) {
+          for (int dst = 0; dst < np; ++dst)
+            if (dst != me)
+              comm.send(dst, 71,
+                        reinterpret_cast<std::byte*>(b.data()) + off, len);
+        } else {
+          comm.recv_exact(q, 71,
+                          reinterpret_cast<std::byte*>(b.data()) + off, len);
+        }
+      }
+    }
+    // Owner sums all buffers for its block (ascending q), integrates.
+    for (std::size_t i = lo; i < hi; ++i) {
+      double fx = 0, fy = 0, fz = 0;
+      for (int q = 0; q < np; ++q) {
+        const auto& b = bufs[static_cast<std::size_t>(q)];
+        fx += b[3 * i];
+        fy += b[3 * i + 1];
+        fz += b[3 * i + 2];
+      }
+      f[3 * i] = fx;
+      f[3 * i + 1] = fy;
+      f[3 * i + 2] = fz;
+    }
+    integrate(pos.data(), f.data(), lo, hi);
+    // "...and the coordinates of all its molecules."
+    xr.broadcast_partition_rows(pos.data(), 3, dist, 70);
+  }
+  comm.endpoint().mark_measurement_end();
+  return me == 0 ? checksum_positions(pos.data(), p.nmol) : 0.0;
+}
+
+// ----------------------------------------------------------------------
+
+runner::RunResult run_nbf(System system, const NbfParams& p, int nprocs,
+                          const runner::SpawnOptions& opts) {
+  switch (system) {
+    case System::kSeq:
+      return run_seq_measured(opts, p, [](const NbfParams& pp,
+                                          const SeqHooks* h) {
+        return nbf_seq(pp, h);
+      });
+    case System::kSpf:
+      return runner::spawn(nprocs, opts, [&p](runner::ChildContext& c) {
+        return nbf_spf(c, p);
+      });
+    case System::kTmk:
+      return runner::spawn(nprocs, opts, [&p](runner::ChildContext& c) {
+        return nbf_tmk(c, p);
+      });
+    case System::kXhpf:
+      return runner::spawn(nprocs, opts, [&p](runner::ChildContext& c) {
+        return nbf_xhpf(c, p);
+      });
+    case System::kPvme:
+      return runner::spawn(nprocs, opts, [&p](runner::ChildContext& c) {
+        return nbf_pvme(c, p);
+      });
+    default:
+      break;
+  }
+  COMMON_CHECK_MSG(false, "nbf: unsupported system variant");
+  return {};
+}
+
+}  // namespace apps

@@ -1,0 +1,40 @@
+// NBF (§6.2): the non-bonded-force kernel of a molecular dynamics
+// simulation. Every molecule carries a run-time partner list (indices of
+// nearby molecules); each iteration walks the lists accumulating
+// equal-and-opposite forces on both partners, sums the per-processor
+// contribution buffers, and integrates the coordinates.
+//
+// Molecules are block-partitioned. Partner indices point at most
+// `window` below the owner, so cross-processor force contributions and
+// coordinate reads touch only a boundary window — which is why TreadMarks
+// moves kilobytes (only the modified words of the boundary pages, §6.2)
+// while the hand MP code ships whole windows and XHPF broadcasts whole
+// force buffers and coordinate partitions ("it therefore makes each
+// processor broadcast its local force buffer, and the coordinates of all
+// its molecules").
+#pragma once
+
+#include "apps/app_common.hpp"
+
+namespace apps {
+
+struct NbfParams {
+  std::size_t nmol = 2048;  // molecules
+  int iters = 5;            // timed iterations
+  int warmup_iters = 1;
+  int partners = 8;         // per molecule
+  std::size_t window = 64;  // max distance of a partner index below i
+  std::uint64_t seed = 4242;
+};
+
+double nbf_seq(const NbfParams& p, const SeqHooks* hooks = nullptr);
+
+double nbf_spf(runner::ChildContext& ctx, const NbfParams& p);
+double nbf_tmk(runner::ChildContext& ctx, const NbfParams& p);
+double nbf_xhpf(runner::ChildContext& ctx, const NbfParams& p);
+double nbf_pvme(runner::ChildContext& ctx, const NbfParams& p);
+
+runner::RunResult run_nbf(System system, const NbfParams& p, int nprocs,
+                          const runner::SpawnOptions& opts);
+
+}  // namespace apps

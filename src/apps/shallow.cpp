@@ -1,0 +1,494 @@
+#include "apps/shallow.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "common/check.hpp"
+#include "pvme/comm.hpp"
+#include "spf/runtime.hpp"
+#include "tmk/runtime.hpp"
+#include "xhpf/runtime.hpp"
+
+namespace apps {
+
+namespace {
+
+// Model constants, sized so a few dozen iterations stay well-conditioned
+// in float.
+constexpr float kFsdx = 0.25f;
+constexpr float kFsdy = 0.20f;
+constexpr float kC1 = 0.002f;   // vorticity coupling
+constexpr float kC2 = 0.01f;    // pressure gradient
+constexpr float kC3 = 0.008f;   // divergence
+constexpr float kAlpha = 0.1f;  // Robert/Asselin time filter
+
+// The 13 arrays of the benchmark, stored as one indexable family so the
+// variants can loop over them uniformly.
+enum Field : int {
+  kU = 0, kV, kP, kUnew, kVnew, kPnew, kUold, kVold, kPold,
+  kCu, kCv, kZ, kH, kNumFields
+};
+
+struct Grids {
+  float* f[kNumFields] = {};
+  std::size_t dim = 0;  // (n+1)
+
+  [[nodiscard]] float* row(Field a, std::size_t i) const {
+    return f[a] + i * dim;
+  }
+  [[nodiscard]] float& at(Field a, std::size_t i, std::size_t j) const {
+    return f[a][i * dim + j];
+  }
+};
+
+float init_u(std::size_t i, std::size_t j) {
+  return 0.3f * static_cast<float>((i + 2 * j) % 5);
+}
+float init_v(std::size_t i, std::size_t j) {
+  return 0.25f * static_cast<float>((2 * i + j) % 5);
+}
+float init_p(std::size_t i, std::size_t j) {
+  return 50.0f + 0.5f * static_cast<float>((i * j) % 7);
+}
+
+void init_rows(const Grids& g, std::size_t lo, std::size_t hi) {
+  for (std::size_t i = lo; i < hi; ++i) {
+    for (std::size_t j = 0; j < g.dim; ++j) {
+      g.at(kU, i, j) = init_u(i, j);
+      g.at(kV, i, j) = init_v(i, j);
+      g.at(kP, i, j) = init_p(i, j);
+      g.at(kUold, i, j) = g.at(kU, i, j);
+      g.at(kVold, i, j) = g.at(kV, i, j);
+      g.at(kPold, i, j) = g.at(kP, i, j);
+    }
+  }
+}
+
+// Step 1 (rows [lo, hi) ∩ [1, n]): fluxes cu, cv, vorticity z, height h,
+// reading u, v, p at (i, j), (i-1, j), (i, j-1). Column wrap (j = 0 from
+// j = n) is folded in at the end of each row.
+void step1_rows(const Grids& g, std::size_t n, std::size_t lo,
+                std::size_t hi) {
+  for (std::size_t i = std::max<std::size_t>(lo, 1);
+       i < std::min(hi, n + 1); ++i) {
+    for (std::size_t j = 1; j <= n; ++j) {
+      g.at(kCu, i, j) =
+          0.5f * (g.at(kP, i, j) + g.at(kP, i - 1, j)) * g.at(kU, i, j);
+      g.at(kCv, i, j) =
+          0.5f * (g.at(kP, i, j) + g.at(kP, i, j - 1)) * g.at(kV, i, j);
+      g.at(kZ, i, j) =
+          (kFsdx * (g.at(kV, i, j) - g.at(kV, i - 1, j)) -
+           kFsdy * (g.at(kU, i, j) - g.at(kU, i, j - 1))) /
+          (g.at(kP, i - 1, j - 1) + g.at(kP, i, j - 1) + g.at(kP, i, j) +
+           g.at(kP, i - 1, j));
+      g.at(kH, i, j) =
+          g.at(kP, i, j) +
+          0.25f * (g.at(kU, i, j) * g.at(kU, i, j) +
+                   g.at(kU, i - 1, j) * g.at(kU, i - 1, j) +
+                   g.at(kV, i, j) * g.at(kV, i, j) +
+                   g.at(kV, i, j - 1) * g.at(kV, i, j - 1));
+    }
+    for (Field a : {kCu, kCv, kZ, kH}) g.at(a, i, 0) = g.at(a, i, n);
+  }
+}
+
+// Row wrap after step 1: row 0 of cu, cv, z, h copied from row n,
+// columns [cl, ch).
+void wrap1_cols(const Grids& g, std::size_t n, std::size_t cl,
+                std::size_t ch) {
+  for (Field a : {kCu, kCv, kZ, kH})
+    for (std::size_t j = cl; j < ch; ++j) g.at(a, 0, j) = g.at(a, n, j);
+}
+
+// Step 2: time update of unew, vnew, pnew from the *old* fields and the
+// step-1 fields, same one-sided stencil; column wrap folded in.
+void step2_rows(const Grids& g, std::size_t n, std::size_t lo,
+                std::size_t hi) {
+  for (std::size_t i = std::max<std::size_t>(lo, 1);
+       i < std::min(hi, n + 1); ++i) {
+    for (std::size_t j = 1; j <= n; ++j) {
+      g.at(kUnew, i, j) =
+          g.at(kUold, i, j) +
+          kC1 * (g.at(kZ, i, j) + g.at(kZ, i - 1, j)) *
+              (g.at(kCv, i, j) + g.at(kCv, i, j - 1)) -
+          kC2 * (g.at(kH, i, j) - g.at(kH, i - 1, j));
+      g.at(kVnew, i, j) =
+          g.at(kVold, i, j) -
+          kC1 * (g.at(kZ, i, j) + g.at(kZ, i, j - 1)) *
+              (g.at(kCu, i, j) + g.at(kCu, i - 1, j)) -
+          kC2 * (g.at(kH, i, j) - g.at(kH, i, j - 1));
+      g.at(kPnew, i, j) =
+          g.at(kPold, i, j) - kC3 * (g.at(kCu, i, j) - g.at(kCu, i - 1, j)) -
+          kC3 * (g.at(kCv, i, j) - g.at(kCv, i, j - 1));
+    }
+    for (Field a : {kUnew, kVnew, kPnew}) g.at(a, i, 0) = g.at(a, i, n);
+  }
+}
+
+void wrap2_cols(const Grids& g, std::size_t n, std::size_t cl,
+                std::size_t ch) {
+  for (Field a : {kUnew, kVnew, kPnew})
+    for (std::size_t j = cl; j < ch; ++j) g.at(a, 0, j) = g.at(a, n, j);
+}
+
+// Step 3: elementwise time smoothing over rows [lo, hi); no neighbours.
+void step3_rows(const Grids& g, std::size_t lo, std::size_t hi) {
+  for (std::size_t i = lo; i < hi; ++i) {
+    for (std::size_t j = 0; j < g.dim; ++j) {
+      const float u = g.at(kU, i, j);
+      const float v = g.at(kV, i, j);
+      const float p = g.at(kP, i, j);
+      g.at(kUold, i, j) =
+          u + kAlpha * (g.at(kUnew, i, j) - 2.0f * u + g.at(kUold, i, j));
+      g.at(kVold, i, j) =
+          v + kAlpha * (g.at(kVnew, i, j) - 2.0f * v + g.at(kVold, i, j));
+      g.at(kPold, i, j) =
+          p + kAlpha * (g.at(kPnew, i, j) - 2.0f * p + g.at(kPold, i, j));
+      g.at(kU, i, j) = g.at(kUnew, i, j);
+      g.at(kV, i, j) = g.at(kVnew, i, j);
+      g.at(kP, i, j) = g.at(kPnew, i, j);
+    }
+  }
+}
+
+// Checksum: row-ordered sums over u, v, p.
+double checksum_rows(const Grids& g, std::size_t lo, std::size_t hi) {
+  double total = 0;
+  for (std::size_t i = lo; i < hi; ++i) {
+    double s = 0;
+    for (std::size_t j = 0; j < g.dim; ++j)
+      s += g.at(kU, i, j) + g.at(kV, i, j) + g.at(kP, i, j);
+    total += s;
+  }
+  return total;
+}
+
+}  // namespace
+
+double shallow_seq(const ShallowParams& p, const SeqHooks* hooks) {
+  const std::size_t dim = p.n + 1;
+  std::vector<float> storage(static_cast<std::size_t>(kNumFields) * dim * dim,
+                             0.0f);
+  Grids g;
+  g.dim = dim;
+  for (int a = 0; a < kNumFields; ++a) g.f[a] = storage.data() + a * dim * dim;
+  init_rows(g, 0, dim);
+  for (int it = 0; it < p.warmup_iters + p.iters; ++it) {
+    if (hooks && it == p.warmup_iters) hooks->on_start();
+    step1_rows(g, p.n, 0, dim);
+    wrap1_cols(g, p.n, 0, dim);
+    step2_rows(g, p.n, 0, dim);
+    wrap2_cols(g, p.n, 0, dim);
+    step3_rows(g, 0, dim);
+  }
+  if (hooks) hooks->on_end();
+  return checksum_rows(g, 0, dim);
+}
+
+// ----------------------------------------------------------------------
+// SPF: five fork/join pairs per iteration (three steps + two parallelized
+// row-wrap copy loops).
+// ----------------------------------------------------------------------
+
+namespace {
+
+struct SpfShallowState {
+  Grids g;
+  std::size_t n = 0;
+};
+SpfShallowState g_sw;
+
+spf::Runtime::Range sw_rows(const spf::Runtime& rt) {
+  return spf::Runtime::block_range(
+      0, static_cast<std::int64_t>(g_sw.g.dim), rt.rank(), rt.nprocs());
+}
+
+void sw_step1(spf::Runtime& rt, const void*) {
+  const auto r = sw_rows(rt);
+  step1_rows(g_sw.g, g_sw.n, static_cast<std::size_t>(r.lo),
+             static_cast<std::size_t>(r.hi));
+}
+void sw_wrap1(spf::Runtime& rt, const void*) {
+  // Parallelized over columns: every process copies a slice of row 0 from
+  // row n — faulting the opposite edge of the grid in.
+  const auto c = spf::Runtime::block_range(
+      0, static_cast<std::int64_t>(g_sw.g.dim), rt.rank(), rt.nprocs());
+  wrap1_cols(g_sw.g, g_sw.n, static_cast<std::size_t>(c.lo),
+             static_cast<std::size_t>(c.hi));
+}
+void sw_step2(spf::Runtime& rt, const void*) {
+  const auto r = sw_rows(rt);
+  step2_rows(g_sw.g, g_sw.n, static_cast<std::size_t>(r.lo),
+             static_cast<std::size_t>(r.hi));
+}
+void sw_wrap2(spf::Runtime& rt, const void*) {
+  const auto c = spf::Runtime::block_range(
+      0, static_cast<std::int64_t>(g_sw.g.dim), rt.rank(), rt.nprocs());
+  wrap2_cols(g_sw.g, g_sw.n, static_cast<std::size_t>(c.lo),
+             static_cast<std::size_t>(c.hi));
+}
+void sw_step3(spf::Runtime& rt, const void*) {
+  const auto r = sw_rows(rt);
+  step3_rows(g_sw.g, static_cast<std::size_t>(r.lo),
+             static_cast<std::size_t>(r.hi));
+}
+void sw_mark_start(spf::Runtime& rt, const void*) {
+  rt.tmk().endpoint().mark_measurement_start();
+}
+void sw_mark_end(spf::Runtime& rt, const void*) {
+  rt.tmk().endpoint().mark_measurement_end();
+}
+
+}  // namespace
+
+double shallow_spf(runner::ChildContext& ctx, const ShallowParams& p) {
+  spf::Runtime rt(ctx);
+  const std::size_t dim = p.n + 1;
+  g_sw = SpfShallowState{};
+  g_sw.n = p.n;
+  g_sw.g.dim = dim;
+  for (int a = 0; a < kNumFields; ++a)
+    g_sw.g.f[a] = rt.tmk().alloc<float>(dim * dim);
+
+  const auto l1 = rt.register_loop(sw_step1);
+  const auto lw1 = rt.register_loop(sw_wrap1);
+  const auto l2 = rt.register_loop(sw_step2);
+  const auto lw2 = rt.register_loop(sw_wrap2);
+  const auto l3 = rt.register_loop(sw_step3);
+  const auto ms = rt.register_loop(sw_mark_start);
+  const auto me = rt.register_loop(sw_mark_end);
+
+  return rt.run([&] {
+    init_rows(g_sw.g, 0, dim);  // sequential master code
+    for (int it = 0; it < p.warmup_iters + p.iters; ++it) {
+      if (it == p.warmup_iters) rt.parallel(ms, std::uint32_t{0});
+      rt.parallel(l1, std::uint32_t{0});
+      rt.parallel(lw1, std::uint32_t{0});
+      rt.parallel(l2, std::uint32_t{0});
+      rt.parallel(lw2, std::uint32_t{0});
+      rt.parallel(l3, std::uint32_t{0});
+    }
+    rt.parallel(me, std::uint32_t{0});
+    return checksum_rows(g_sw.g, 0, dim);
+  });
+}
+
+// ----------------------------------------------------------------------
+// Hand-coded TreadMarks: wraps merged into the master's slack between
+// barriers; three barriers per iteration.
+// ----------------------------------------------------------------------
+
+double shallow_tmk(runner::ChildContext& ctx, const ShallowParams& p) {
+  tmk::Runtime rt(ctx);
+  const std::size_t dim = p.n + 1;
+  Grids g;
+  g.dim = dim;
+  for (int a = 0; a < kNumFields; ++a) g.f[a] = rt.alloc<float>(dim * dim);
+
+  const auto r = spf::Runtime::block_range(
+      0, static_cast<std::int64_t>(dim), rt.rank(), rt.nprocs());
+  const auto lo = static_cast<std::size_t>(r.lo);
+  const auto hi = static_cast<std::size_t>(r.hi);
+
+  init_rows(g, lo, hi);  // each process initializes its own rows
+  rt.barrier();
+
+  for (int it = 0; it < p.warmup_iters + p.iters; ++it) {
+    if (it == p.warmup_iters) rt.endpoint().mark_measurement_start();
+    step1_rows(g, p.n, lo, hi);
+    rt.barrier();
+    // Master wraps row 0 (it owns it) while others start step 2; only the
+    // master reads row 0 in step 2, so no extra barrier is needed.
+    if (rt.rank() == 0) wrap1_cols(g, p.n, 0, dim);
+    step2_rows(g, p.n, lo, hi);
+    rt.barrier();
+    if (rt.rank() == 0) wrap2_cols(g, p.n, 0, dim);
+    step3_rows(g, lo, hi);
+    rt.barrier();
+  }
+  rt.endpoint().mark_measurement_end();
+
+  double result = 0;
+  if (rt.rank() == 0) result = checksum_rows(g, 0, dim);
+  rt.barrier();
+  return result;
+}
+
+// ----------------------------------------------------------------------
+// Message passing: slab storage with a one-row lower halo; the row-0 wrap
+// needs row n, so the last owner ships it to rank 0 each phase.
+// ----------------------------------------------------------------------
+
+namespace {
+
+double shallow_mp_impl(runner::ChildContext& ctx, const ShallowParams& p,
+                       bool xhpf_conservative) {
+  pvme::Comm comm(ctx.endpoint);
+  const std::size_t dim = p.n + 1;
+  xhpf::BlockDist dist(dim, comm.nprocs());
+  const int me = comm.rank();
+  const int np = comm.nprocs();
+  const std::size_t lo = dist.lo(me);
+  const std::size_t hi = dist.hi(me);
+  const int last = np - 1;
+
+  // Full-size private arrays; only own rows + the one-row halo are used.
+  std::vector<float> storage(static_cast<std::size_t>(kNumFields) * dim * dim,
+                             0.0f);
+  Grids g;
+  g.dim = dim;
+  for (int a = 0; a < kNumFields; ++a) g.f[a] = storage.data() + a * dim * dim;
+  init_rows(g, (lo > 0) ? lo - 1 : lo, hi);  // own rows + initial halo
+
+  const std::size_t row_bytes = dim * sizeof(float);
+
+  // Sends own top row of `fields` to the upper neighbour's halo; the §5.2
+  // hand version aggregates all fields of one phase into one message.
+  auto send_halo_up = [&](std::initializer_list<Field> fields, int tag) {
+    if (lo >= hi) return;
+    if (me + 1 < np) {
+      std::vector<float> buf;
+      buf.reserve(fields.size() * dim);
+      for (Field a : fields)
+        buf.insert(buf.end(), g.row(a, hi - 1), g.row(a, hi - 1) + dim);
+      comm.send(me + 1, tag, buf.data(), buf.size() * sizeof(float));
+    }
+    if (me > 0) {
+      std::vector<float> buf(fields.size() * dim);
+      comm.recv_exact(me - 1, tag, buf.data(), buf.size() * sizeof(float));
+      std::size_t k = 0;
+      for (Field a : fields) {
+        std::memcpy(g.row(a, lo - 1), buf.data() + k * dim, row_bytes);
+        ++k;
+      }
+    }
+  };
+
+  // XHPF's compiler-placed exchange: bidirectional, one message per array.
+  auto exchange_bidir = [&](std::initializer_list<Field> fields, int tag) {
+    int t = tag;
+    for (Field a : fields) {
+      if (lo < hi) {
+        if (me > 0) comm.send(me - 1, t, g.row(a, lo), row_bytes);
+        if (me + 1 < np) comm.send(me + 1, t + 1, g.row(a, hi - 1), row_bytes);
+        if (me > 0) comm.recv_exact(me - 1, t + 1, g.row(a, lo - 1), row_bytes);
+        if (me + 1 < np) comm.recv_exact(me + 1, t, g.row(a, hi), row_bytes);
+      }
+      t += 2;
+    }
+  };
+
+  // The wrap needs row n at rank 0.
+  auto ship_row_n = [&](std::initializer_list<Field> fields, int tag) {
+    if (np == 1) return;
+    if (me == last && lo < hi) {
+      std::vector<float> buf;
+      for (Field a : fields)
+        buf.insert(buf.end(), g.row(a, p.n), g.row(a, p.n) + dim);
+      comm.send(0, tag, buf.data(), buf.size() * sizeof(float));
+    } else if (me == 0) {
+      std::vector<float> buf(fields.size() * dim);
+      comm.recv_exact(last, tag, buf.data(), buf.size() * sizeof(float));
+      std::size_t k = 0;
+      for (Field a : fields) {
+        std::memcpy(g.row(a, p.n), buf.data() + k * dim, row_bytes);
+        ++k;
+      }
+    }
+  };
+
+  for (int it = 0; it < p.warmup_iters + p.iters; ++it) {
+    if (it == p.warmup_iters) {
+      comm.barrier();
+      comm.endpoint().mark_measurement_start();
+    }
+    step1_rows(g, p.n, lo, hi);
+    if (xhpf_conservative) {
+      exchange_bidir({kCu, kCv, kZ, kH}, 100);
+    } else {
+      send_halo_up({kCu, kCv, kZ, kH}, 100);
+    }
+    ship_row_n({kCu, kCv, kZ, kH}, 110);
+    if (me == 0) wrap1_cols(g, p.n, 0, dim);
+    step2_rows(g, p.n, lo, hi);
+    if (xhpf_conservative) exchange_bidir({kUnew, kVnew, kPnew}, 120);
+    ship_row_n({kUnew, kVnew, kPnew}, 130);
+    if (me == 0) wrap2_cols(g, p.n, 0, dim);
+    step3_rows(g, lo, hi);
+    if (xhpf_conservative) {
+      exchange_bidir({kU, kV, kP, kUold, kVold, kPold}, 140);
+    } else {
+      send_halo_up({kU, kV, kP}, 140);
+    }
+  }
+  comm.endpoint().mark_measurement_end();
+
+  // Row-ordered checksum gather.
+  std::vector<double> sums(hi - lo);
+  for (std::size_t i = lo; i < hi; ++i) {
+    double s = 0;
+    for (std::size_t j = 0; j < dim; ++j)
+      s += g.at(kU, i, j) + g.at(kV, i, j) + g.at(kP, i, j);
+    sums[i - lo] = s;
+  }
+  if (me == 0) {
+    double total = 0;
+    for (double s : sums) total += s;
+    for (int q = 1; q < np; ++q) {
+      std::vector<double> theirs(dist.count(q));
+      if (!theirs.empty())
+        comm.recv_exact(q, 99, theirs.data(),
+                        theirs.size() * sizeof(double));
+      for (double s : theirs) total += s;
+    }
+    return total;
+  }
+  comm.send(0, 99, sums.data(), sums.size() * sizeof(double));
+  return 0.0;
+}
+
+}  // namespace
+
+double shallow_pvme(runner::ChildContext& ctx, const ShallowParams& p) {
+  return shallow_mp_impl(ctx, p, /*xhpf_conservative=*/false);
+}
+
+double shallow_xhpf(runner::ChildContext& ctx, const ShallowParams& p) {
+  return shallow_mp_impl(ctx, p, /*xhpf_conservative=*/true);
+}
+
+// ----------------------------------------------------------------------
+
+runner::RunResult run_shallow(System system, const ShallowParams& p,
+                              int nprocs, const runner::SpawnOptions& opts) {
+  switch (system) {
+    case System::kSeq:
+      return run_seq_measured(opts, p, [](const ShallowParams& pp,
+                                          const SeqHooks* h) {
+        return shallow_seq(pp, h);
+      });
+    case System::kSpf:
+      return runner::spawn(nprocs, opts, [&p](runner::ChildContext& c) {
+        return shallow_spf(c, p);
+      });
+    case System::kTmk:
+      return runner::spawn(nprocs, opts, [&p](runner::ChildContext& c) {
+        return shallow_tmk(c, p);
+      });
+    case System::kXhpf:
+      return runner::spawn(nprocs, opts, [&p](runner::ChildContext& c) {
+        return shallow_xhpf(c, p);
+      });
+    case System::kPvme:
+      return runner::spawn(nprocs, opts, [&p](runner::ChildContext& c) {
+        return shallow_pvme(c, p);
+      });
+    default:
+      break;
+  }
+  COMMON_CHECK_MSG(false, "shallow: unsupported system variant");
+  return {};
+}
+
+}  // namespace apps

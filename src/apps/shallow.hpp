@@ -1,0 +1,40 @@
+// Shallow (§5.2): the NCAR shallow-water benchmark. Thirteen equal-sized
+// two-dimensional arrays in wrap-around format; each iteration runs three
+// steps (flux/vorticity, time update, time smoothing), each a main loop
+// over the grid followed by wrap-around copying of the boundary row
+// (contiguous — sequential or its own parallel loop) and boundary column
+// (strided — folded into the owner's main loop here).
+//
+// System differences reproduced:
+//   - SPF brackets *five* parallel loops per iteration (three steps plus
+//     two row-wrap copy loops) in fork/join pairs — the "redundant
+//     synchronization"; the row-wrap loops also make every process fault
+//     in the opposite edge of the grid.
+//   - Hand Tmk merges the wraps into the master's slack and needs three
+//     barriers per iteration.
+//   - XHPF conservatively halo-exchanges every written distributed array
+//     after every loop; hand PVMe sends one aggregated boundary message
+//     per neighbour per phase.
+#pragma once
+
+#include "apps/app_common.hpp"
+
+namespace apps {
+
+struct ShallowParams {
+  std::size_t n = 256;  // interior edge; arrays are (n+1) x (n+1)
+  int iters = 6;
+  int warmup_iters = 1;
+};
+
+double shallow_seq(const ShallowParams& p, const SeqHooks* hooks = nullptr);
+
+double shallow_spf(runner::ChildContext& ctx, const ShallowParams& p);
+double shallow_tmk(runner::ChildContext& ctx, const ShallowParams& p);
+double shallow_xhpf(runner::ChildContext& ctx, const ShallowParams& p);
+double shallow_pvme(runner::ChildContext& ctx, const ShallowParams& p);
+
+runner::RunResult run_shallow(System system, const ShallowParams& p,
+                              int nprocs, const runner::SpawnOptions& opts);
+
+}  // namespace apps

@@ -1,0 +1,57 @@
+// Application checksums.
+//
+// Every variant of an application (sequential, SPF/Tmk, hand Tmk, XHPF,
+// PVMe) reduces its output to one double via the same function, so the
+// integration tests can assert all five computed the same answer.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace common {
+
+/// Order-independent sum of a block of doubles/floats. Used where the
+/// parallel variant may reassociate (reductions): compare with tolerance.
+template <typename T>
+[[nodiscard]] double checksum_sum(std::span<const T> data) noexcept {
+  double s = 0.0;
+  for (const T& v : data) s += static_cast<double>(v);
+  return s;
+}
+
+/// Position-weighted checksum: catches values landing in the wrong place,
+/// not just wrong totals. Deterministic for identical element order.
+template <typename T>
+[[nodiscard]] double checksum_weighted(std::span<const T> data) noexcept {
+  double s = 0.0;
+  double w = 1.0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    s += w * static_cast<double>(data[i]);
+    w += 1.0;
+    if (w > 65536.0) w = 1.0;
+  }
+  return s;
+}
+
+/// Relative comparison helper for checksums that may differ by FP
+/// reassociation only.
+[[nodiscard]] inline bool checksum_close(double a, double b,
+                                         double rel = 1e-9) noexcept {
+  const double scale = std::fmax(1.0, std::fmax(std::fabs(a), std::fabs(b)));
+  return std::fabs(a - b) <= rel * scale;
+}
+
+/// FNV-1a over raw bytes, for exact-match invariants (diff round-trips,
+/// page images).
+[[nodiscard]] inline std::uint64_t fnv1a(std::span<const std::byte> bytes) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::byte b : bytes) {
+    h ^= static_cast<std::uint64_t>(b);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace common

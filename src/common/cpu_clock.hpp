@@ -1,0 +1,31 @@
+// Per-thread CPU-time measurement.
+//
+// The virtual-time performance model (src/sim) charges each process for
+// the CPU cycles it actually burned between runtime events. On a
+// time-shared host, CLOCK_THREAD_CPUTIME_ID keeps measuring true compute
+// work even when eight DSM processes share one core — which is exactly why
+// the reproduction can report credible "8-processor" results on any box.
+#pragma once
+
+#include <ctime>
+#include <cstdint>
+
+namespace common {
+
+/// Nanoseconds of CPU time consumed by the calling thread.
+[[nodiscard]] inline std::uint64_t thread_cpu_ns() noexcept {
+  timespec ts{};
+  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+  return static_cast<std::uint64_t>(ts.tv_sec) * 1'000'000'000ULL +
+         static_cast<std::uint64_t>(ts.tv_nsec);
+}
+
+/// Nanoseconds of wall-clock time (monotonic).
+[[nodiscard]] inline std::uint64_t wall_ns() noexcept {
+  timespec ts{};
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<std::uint64_t>(ts.tv_sec) * 1'000'000'000ULL +
+         static_cast<std::uint64_t>(ts.tv_nsec);
+}
+
+}  // namespace common

@@ -1,0 +1,43 @@
+// Page-size constants and alignment helpers.
+//
+// TreadMarks detects shared-memory accesses at the granularity of a
+// virtual-memory page; everything in the DSM is expressed in units of
+// kPageSize. We use a fixed 4 KiB page (verified against the OS at
+// startup) so wire formats and tests are stable across hosts.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace common {
+
+inline constexpr std::size_t kPageSize = 4096;
+inline constexpr std::size_t kPageMask = kPageSize - 1;
+
+/// Rounds `n` up to the next multiple of `align` (a power of two).
+[[nodiscard]] constexpr std::size_t align_up(std::size_t n,
+                                             std::size_t align) noexcept {
+  return (n + align - 1) & ~(align - 1);
+}
+
+/// Rounds `n` down to a multiple of `align` (a power of two).
+[[nodiscard]] constexpr std::size_t align_down(std::size_t n,
+                                               std::size_t align) noexcept {
+  return n & ~(align - 1);
+}
+
+[[nodiscard]] constexpr std::size_t page_round_up(std::size_t n) noexcept {
+  return align_up(n, kPageSize);
+}
+
+[[nodiscard]] constexpr std::uintptr_t page_base(std::uintptr_t addr) noexcept {
+  return addr & ~static_cast<std::uintptr_t>(kPageMask);
+}
+
+static_assert(align_up(0, 8) == 0);
+static_assert(align_up(1, 8) == 8);
+static_assert(align_up(8, 8) == 8);
+static_assert(page_round_up(1) == kPageSize);
+static_assert(page_round_up(kPageSize) == kPageSize);
+
+}  // namespace common

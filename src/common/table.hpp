@@ -1,0 +1,61 @@
+// Plain-text table formatting for the benchmark harness.
+//
+// Each bench binary reprints one of the paper's tables/figures; this
+// helper keeps the output aligned and diff-friendly for EXPERIMENTS.md.
+#pragma once
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace common {
+
+/// Column-aligned text table. Add a header row, then data rows; print()
+/// pads every column to its widest cell.
+class TextTable {
+ public:
+  void header(std::vector<std::string> cells) { header_ = std::move(cells); }
+
+  void row(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+  void print(std::ostream& os) const {
+    std::vector<std::size_t> width(header_.size(), 0);
+    auto widen = [&](const std::vector<std::string>& cells) {
+      if (cells.size() > width.size()) width.resize(cells.size(), 0);
+      for (std::size_t i = 0; i < cells.size(); ++i)
+        width[i] = std::max(width[i], cells[i].size());
+    };
+    widen(header_);
+    for (const auto& r : rows_) widen(r);
+
+    auto emit = [&](const std::vector<std::string>& cells) {
+      for (std::size_t i = 0; i < cells.size(); ++i) {
+        os << "  " << std::left << std::setw(static_cast<int>(width[i]))
+           << cells[i];
+      }
+      os << '\n';
+    };
+    emit(header_);
+    std::vector<std::string> rule;
+    rule.reserve(width.size());
+    for (std::size_t w : width) rule.emplace_back(std::string(w, '-'));
+    emit(rule);
+    for (const auto& r : rows_) emit(r);
+  }
+
+  /// Formats a double with `prec` digits after the point.
+  static std::string num(double v, int prec = 2) {
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(prec) << v;
+    return os.str();
+  }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace common

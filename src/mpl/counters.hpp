@@ -1,0 +1,54 @@
+// Message and data accounting.
+//
+// Half of the paper's evaluation (Tables 2 and 3) is "number of messages"
+// and "amount of data exchanged". These counters are incremented once per
+// *logical* message at the sender (requests and replies each count, as in
+// the paper: a page fetch is "two access faults and four messages").
+// Loopback traffic (a process to itself) is free and uncounted, matching
+// the paper's 2(n-1) barrier cost on n processors.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "mpl/frame.hpp"
+
+namespace mpl {
+
+struct Counters {
+  std::array<std::uint64_t, 3> messages{};  // indexed by Layer
+  std::array<std::uint64_t, 3> bytes{};
+
+  void count(FrameKind kind, std::uint64_t payload_bytes) noexcept {
+    const auto l = static_cast<std::size_t>(layer_of(kind));
+    messages[l] += 1;
+    bytes[l] += payload_bytes;
+  }
+
+  [[nodiscard]] std::uint64_t total_messages() const noexcept {
+    return messages[0] + messages[1] + messages[2];
+  }
+  [[nodiscard]] std::uint64_t total_bytes() const noexcept {
+    return bytes[0] + bytes[1] + bytes[2];
+  }
+
+  Counters& operator+=(const Counters& o) noexcept {
+    for (std::size_t i = 0; i < messages.size(); ++i) {
+      messages[i] += o.messages[i];
+      bytes[i] += o.bytes[i];
+    }
+    return *this;
+  }
+
+  /// Difference of two snapshots (for measurement windows).
+  [[nodiscard]] Counters since(const Counters& start) const noexcept {
+    Counters d;
+    for (std::size_t i = 0; i < messages.size(); ++i) {
+      d.messages[i] = messages[i] - start.messages[i];
+      d.bytes[i] = bytes[i] - start.bytes[i];
+    }
+    return d;
+  }
+};
+
+}  // namespace mpl

@@ -1,0 +1,346 @@
+#include "mpl/fabric.hpp"
+
+#include <poll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "common/check.hpp"
+
+namespace mpl {
+
+namespace {
+
+constexpr int kSocketBuffer = 512 * 1024;
+
+void make_pair(common::Fd& send_end, common::Fd& recv_end) {
+  int fds[2];
+  COMMON_SYSCALL(socketpair(AF_UNIX, SOCK_SEQPACKET | SOCK_NONBLOCK, 0, fds));
+  for (int fd : fds) {
+    // Best effort: larger buffers reduce pumping; correctness does not
+    // depend on the kernel honouring the full request.
+    (void)setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &kSocketBuffer,
+                     sizeof(kSocketBuffer));
+    (void)setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &kSocketBuffer,
+                     sizeof(kSocketBuffer));
+  }
+  send_end.reset(fds[0]);
+  recv_end.reset(fds[1]);
+}
+
+}  // namespace
+
+Fabric::Fabric(int nprocs) : nprocs_(nprocs) {
+  COMMON_CHECK_MSG(nprocs >= 1 && nprocs <= kMaxProcs,
+                   "nprocs=" << nprocs << " outside [1," << kMaxProcs << "]");
+  const std::size_t pairs =
+      static_cast<std::size_t>(nprocs) * static_cast<std::size_t>(nprocs);
+  svc_send_.resize(pairs);
+  svc_recv_.resize(pairs);
+  app_send_.resize(pairs);
+  app_recv_.resize(pairs);
+  for (int i = 0; i < nprocs; ++i) {
+    for (int j = 0; j < nprocs; ++j) {
+      make_pair(svc_send_[idx(i, j)], svc_recv_[idx(i, j)]);
+      make_pair(app_send_[idx(i, j)], app_recv_[idx(i, j)]);
+    }
+  }
+}
+
+Endpoint::Endpoint(Fabric& fabric, int rank, simx::MachineModel model)
+    : rank_(rank), nprocs_(fabric.nprocs()), clock_(model) {
+  COMMON_CHECK(rank >= 0 && rank < nprocs_);
+  svc_out_.resize(static_cast<std::size_t>(nprocs_));
+  app_out_.resize(static_cast<std::size_t>(nprocs_));
+  svc_in_.resize(static_cast<std::size_t>(nprocs_));
+  app_in_.resize(static_cast<std::size_t>(nprocs_));
+  for (int j = 0; j < nprocs_; ++j) {
+    svc_out_[static_cast<std::size_t>(j)] =
+        std::move(fabric.svc_send_[fabric.idx(rank, j)]);
+    app_out_[static_cast<std::size_t>(j)] =
+        std::move(fabric.app_send_[fabric.idx(rank, j)]);
+    svc_in_[static_cast<std::size_t>(j)] =
+        std::move(fabric.svc_recv_[fabric.idx(j, rank)]);
+    app_in_[static_cast<std::size_t>(j)] =
+        std::move(fabric.app_recv_[fabric.idx(j, rank)]);
+  }
+  service_wake_.reset(COMMON_SYSCALL(eventfd(0, EFD_NONBLOCK)));
+}
+
+void Endpoint::count_if_remote(int dst, FrameKind kind,
+                               std::size_t bytes) noexcept {
+  if (dst != rank_) counters_.count(kind, bytes);
+}
+
+void Endpoint::send_chunks(int fd, bool pump_while_blocked, FrameKind kind,
+                           std::int32_t tag, std::uint32_t req_id,
+                           std::span<const std::byte> payload,
+                           std::uint64_t vt_arrival) {
+  const std::size_t total = payload.size();
+  std::size_t offset = 0;
+  do {
+    const std::size_t len = std::min(kMaxChunk, total - offset);
+    FrameHeader h{};
+    h.magic = kFrameMagic;
+    h.kind = static_cast<std::uint16_t>(kind);
+    h.src = static_cast<std::uint16_t>(rank_);
+    h.tag = tag;
+    h.req_id = req_id;
+    h.chunk_len = static_cast<std::uint32_t>(len);
+    h.orig_len = static_cast<std::uint32_t>(total);
+    h.offset = static_cast<std::uint32_t>(offset);
+    h.vt_arrival = vt_arrival;
+
+    iovec iov[2];
+    iov[0].iov_base = &h;
+    iov[0].iov_len = sizeof(h);
+    iov[1].iov_base = const_cast<std::byte*>(payload.data()) + offset;
+    iov[1].iov_len = len;
+    msghdr msg{};
+    msg.msg_iov = iov;
+    msg.msg_iovlen = (len > 0) ? 2 : 1;
+
+    for (;;) {
+      const ssize_t r = sendmsg(fd, &msg, 0);
+      if (r >= 0) {
+        COMMON_CHECK(static_cast<std::size_t>(r) == sizeof(h) + len);
+        break;
+      }
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // Receiver has not drained yet. If we are the main thread, drain
+        // our own inbound app traffic so the peer (possibly blocked on a
+        // send toward us) can make progress; then wait for space.
+        if (pump_while_blocked) pump();
+        pollfd p{fd, POLLOUT, 0};
+        const int pr = poll(&p, 1, pump_while_blocked ? 2 : -1);
+        if (pr < 0 && errno != EINTR) COMMON_SYSCALL(pr);
+        continue;
+      }
+      COMMON_SYSCALL(r);
+    }
+    offset += len;
+  } while (offset < total);
+}
+
+void Endpoint::send_app(int dst, FrameKind kind, std::int32_t tag,
+                        std::uint32_t req_id,
+                        std::span<const std::byte> payload) {
+  const std::uint64_t arrival = clock_.on_send(payload.size(), dst == rank_);
+  count_if_remote(dst, kind, payload.size());
+  send_chunks(app_out_[static_cast<std::size_t>(dst)].get(),
+              /*pump_while_blocked=*/true, kind, tag, req_id, payload,
+              arrival);
+  // The syscall/copy time is covered by the modelled send cost.
+  clock_.skip_transport();
+}
+
+void Endpoint::send_svc(int dst, FrameKind kind, std::int32_t tag,
+                        std::uint32_t req_id,
+                        std::span<const std::byte> payload) {
+  const std::uint64_t arrival = clock_.on_send(payload.size(), dst == rank_);
+  count_if_remote(dst, kind, payload.size());
+  send_chunks(svc_out_[static_cast<std::size_t>(dst)].get(),
+              /*pump_while_blocked=*/true, kind, tag, req_id, payload,
+              arrival);
+  clock_.skip_transport();
+}
+
+void Endpoint::send_app_stamped(int dst, FrameKind kind, std::int32_t tag,
+                                std::uint32_t req_id,
+                                std::span<const std::byte> payload,
+                                std::uint64_t vt_arrival) {
+  count_if_remote(dst, kind, payload.size());
+  send_chunks(app_out_[static_cast<std::size_t>(dst)].get(),
+              /*pump_while_blocked=*/false, kind, tag, req_id, payload,
+              vt_arrival);
+}
+
+void Endpoint::send_svc_stamped(int dst, FrameKind kind, std::int32_t tag,
+                                std::uint32_t req_id,
+                                std::span<const std::byte> payload,
+                                std::uint64_t vt_arrival) {
+  count_if_remote(dst, kind, payload.size());
+  send_chunks(svc_out_[static_cast<std::size_t>(dst)].get(),
+              /*pump_while_blocked=*/false, kind, tag, req_id, payload,
+              vt_arrival);
+}
+
+std::optional<Frame> Endpoint::Assembler::feed(
+    const FrameHeader& h, std::span<const std::byte> chunk) {
+  COMMON_CHECK_MSG(h.magic == kFrameMagic, "corrupt frame header");
+  if (h.chunk_len == h.orig_len && h.offset == 0) {
+    Frame f;
+    f.kind = static_cast<FrameKind>(h.kind);
+    f.src = h.src;
+    f.tag = h.tag;
+    f.req_id = h.req_id;
+    f.vt_arrival = h.vt_arrival;
+    f.payload.assign(chunk.begin(), chunk.end());
+    return f;
+  }
+  const Key key{h.src, h.kind, h.tag, h.req_id};
+  auto it = partial.find(key);
+  if (it == partial.end()) {
+    COMMON_CHECK_MSG(h.offset == 0, "chunk stream started mid-message");
+    Frame f;
+    f.kind = static_cast<FrameKind>(h.kind);
+    f.src = h.src;
+    f.tag = h.tag;
+    f.req_id = h.req_id;
+    f.vt_arrival = h.vt_arrival;
+    f.payload.reserve(h.orig_len);
+    it = partial.emplace(key, std::move(f)).first;
+  }
+  Frame& f = it->second;
+  COMMON_CHECK_MSG(f.payload.size() == h.offset, "chunk out of order");
+  f.payload.insert(f.payload.end(), chunk.begin(), chunk.end());
+  if (f.payload.size() == h.orig_len) {
+    Frame done = std::move(f);
+    partial.erase(it);
+    return done;
+  }
+  return std::nullopt;
+}
+
+void Endpoint::drain_app(bool block) {
+  std::vector<pollfd> fds;
+  fds.reserve(app_in_.size());
+  for (const auto& fd : app_in_) fds.push_back({fd.get(), POLLIN, 0});
+
+  bool got_any = false;
+  do {
+    for (auto& p : fds) p.revents = 0;
+    const int timeout = (block && !got_any) ? -1 : 0;
+    const int r = poll(fds.data(), fds.size(), timeout);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      COMMON_SYSCALL(r);
+    }
+    if (r == 0) return;
+
+    alignas(FrameHeader) std::byte buf[sizeof(FrameHeader) + kMaxChunk];
+    for (std::size_t i = 0; i < fds.size(); ++i) {
+      if (!(fds[i].revents & POLLIN)) continue;
+      for (;;) {
+        const ssize_t n = recv(fds[i].fd, buf, sizeof(buf), 0);
+        if (n < 0) {
+          if (errno == EINTR) continue;
+          if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+          COMMON_SYSCALL(n);
+        }
+        if (n == 0) break;  // peer exited; channel closed
+        COMMON_CHECK(static_cast<std::size_t>(n) >= sizeof(FrameHeader));
+        FrameHeader h;
+        std::memcpy(&h, buf, sizeof(h));
+        COMMON_CHECK(static_cast<std::size_t>(n) ==
+                     sizeof(FrameHeader) + h.chunk_len);
+        auto done = app_assembler_.feed(
+            h, {buf + sizeof(FrameHeader), h.chunk_len});
+        if (done) {
+          pending_.push_back(std::move(*done));
+          got_any = true;
+        }
+      }
+    }
+  } while (block && !got_any);
+}
+
+void Endpoint::pump() { drain_app(/*block=*/false); }
+
+bool Endpoint::has_pending(
+    const std::function<bool(const Frame&)>& pred) const {
+  for (const Frame& f : pending_)
+    if (pred(f)) return true;
+  return false;
+}
+
+Frame Endpoint::wait_app(const std::function<bool(const Frame&)>& pred) {
+  // Fold real application compute before any transport work; everything
+  // between here and the matching frame is waiting/draining, which
+  // on_recv discards in favour of the modelled costs.
+  clock_.fold_compute();
+  for (;;) {
+    for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+      if (pred(*it)) {
+        Frame f = std::move(*it);
+        pending_.erase(it);
+        clock_.on_recv(f.vt_arrival, f.src == rank_);
+        return f;
+      }
+    }
+    drain_app(/*block=*/true);
+  }
+}
+
+Frame Endpoint::wait_app_kind(FrameKind kind) {
+  return wait_app([kind](const Frame& f) { return f.kind == kind; });
+}
+
+Frame Endpoint::wait_app_kind_from(FrameKind kind, int src) {
+  return wait_app(
+      [kind, src](const Frame& f) { return f.kind == kind && f.src == src; });
+}
+
+std::optional<Frame> Endpoint::next_svc_request(
+    const std::atomic<bool>& stop) {
+  for (;;) {
+    if (!svc_pending_.empty()) {
+      Frame f = std::move(svc_pending_.front());
+      svc_pending_.pop_front();
+      return f;
+    }
+    if (stop.load(std::memory_order_acquire)) return std::nullopt;
+
+    std::vector<pollfd> fds;
+    fds.reserve(svc_in_.size() + 1);
+    for (const auto& fd : svc_in_) fds.push_back({fd.get(), POLLIN, 0});
+    fds.push_back({service_wake_.get(), POLLIN, 0});
+
+    const int r = poll(fds.data(), fds.size(), -1);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      COMMON_SYSCALL(r);
+    }
+
+    if (fds.back().revents & POLLIN) {
+      std::uint64_t v;
+      (void)!read(service_wake_.get(), &v, sizeof(v));
+    }
+
+    alignas(FrameHeader) std::byte buf[sizeof(FrameHeader) + kMaxChunk];
+    for (std::size_t i = 0; i + 1 < fds.size(); ++i) {
+      if (!(fds[i].revents & POLLIN)) continue;
+      for (;;) {
+        const ssize_t n = recv(fds[i].fd, buf, sizeof(buf), 0);
+        if (n < 0) {
+          if (errno == EINTR) continue;
+          if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+          COMMON_SYSCALL(n);
+        }
+        if (n == 0) break;  // peer exited; channel closed
+        COMMON_CHECK(static_cast<std::size_t>(n) >= sizeof(FrameHeader));
+        FrameHeader h;
+        std::memcpy(&h, buf, sizeof(h));
+        COMMON_CHECK(static_cast<std::size_t>(n) ==
+                     sizeof(FrameHeader) + h.chunk_len);
+        auto done = svc_assembler_.feed(
+            h, {buf + sizeof(FrameHeader), h.chunk_len});
+        if (done) svc_pending_.push_back(std::move(*done));
+      }
+    }
+  }
+}
+
+void Endpoint::wake_service() {
+  const std::uint64_t one = 1;
+  for (;;) {
+    const ssize_t r = write(service_wake_.get(), &one, sizeof(one));
+    if (r >= 0 || errno != EINTR) break;
+  }
+}
+
+}  // namespace mpl

@@ -1,0 +1,218 @@
+// Process mesh: socket fabric and per-process endpoint.
+//
+// The parent process builds a full mesh of SOCK_SEQPACKET Unix-domain
+// socket pairs *before* forking the DSM processes, so every child inherits
+// the fabric. Per ordered pair (i -> j) there are two one-directional
+// channels:
+//
+//   svc[i->j] : anything process i sends to j's *service* thread
+//               (diff/page requests, lock requests and forwards)
+//   app[i->j] : anything process i sends to j's *main* thread
+//               (replies, grants, barrier and fork/join traffic, pvme data)
+//
+// Within one process, both the main thread and the service thread may
+// write to the same outgoing channel; SEQPACKET datagrams keep chunks
+// atomic, and reassembly is keyed by (src, kind, tag, req_id), so chunk
+// streams of distinct logical messages may interleave safely.
+//
+// All sockets are non-blocking. Main-thread sends that would block first
+// drain incoming app traffic into the Inbox ("pumping"), which makes
+// all-to-all patterns deadlock-free without a rendezvous protocol.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <map>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/fd.hpp"
+#include "mpl/counters.hpp"
+#include "mpl/frame.hpp"
+#include "sim/virtual_clock.hpp"
+
+namespace mpl {
+
+/// Parent-side bundle of all socket pairs. Children call
+/// Endpoint::adopt() with their rank; destroying the Fabric afterwards
+/// closes every descriptor that rank does not own.
+class Fabric {
+ public:
+  explicit Fabric(int nprocs);
+
+  [[nodiscard]] int nprocs() const noexcept { return nprocs_; }
+
+ private:
+  friend class Endpoint;
+
+  // Index of ordered pair (i, j).
+  [[nodiscard]] std::size_t idx(int i, int j) const noexcept {
+    return static_cast<std::size_t>(i) * static_cast<std::size_t>(nprocs_) +
+           static_cast<std::size_t>(j);
+  }
+
+  int nprocs_;
+  // For pair (i,j): *_send_[idx] is i's sending end, *_recv_[idx] is j's
+  // receiving end.
+  std::vector<common::Fd> svc_send_, svc_recv_;
+  std::vector<common::Fd> app_send_, app_recv_;
+};
+
+/// One process's view of the fabric. Construct in the child with adopt().
+class Endpoint {
+ public:
+  /// Takes this rank's descriptors out of the fabric. The caller should
+  /// then destroy the Fabric object to close all foreign descriptors.
+  Endpoint(Fabric& fabric, int rank, simx::MachineModel model);
+
+  Endpoint(const Endpoint&) = delete;
+  Endpoint& operator=(const Endpoint&) = delete;
+
+  [[nodiscard]] int rank() const noexcept { return rank_; }
+  [[nodiscard]] int nprocs() const noexcept { return nprocs_; }
+  [[nodiscard]] simx::VirtualClock& clock() noexcept { return clock_; }
+  [[nodiscard]] Counters& counters() noexcept { return counters_; }
+
+  // ---- main-thread send paths ----
+
+  /// Sends a logical message to `dst`'s main thread. Charges the virtual
+  /// clock and the message counters. Pumps incoming app traffic if the
+  /// socket is full.
+  void send_app(int dst, FrameKind kind, std::int32_t tag,
+                std::uint32_t req_id, std::span<const std::byte> payload);
+
+  /// Sends a logical message to `dst`'s service thread (main thread).
+  void send_svc(int dst, FrameKind kind, std::int32_t tag,
+                std::uint32_t req_id, std::span<const std::byte> payload);
+
+  // ---- service-thread send paths (timestamp supplied by caller) ----
+
+  /// Service thread: send to `dst`'s main thread with an explicit modelled
+  /// arrival time (the service thread must not touch the main clock).
+  void send_app_stamped(int dst, FrameKind kind, std::int32_t tag,
+                        std::uint32_t req_id,
+                        std::span<const std::byte> payload,
+                        std::uint64_t vt_arrival);
+
+  /// Service thread: send to `dst`'s service thread.
+  void send_svc_stamped(int dst, FrameKind kind, std::int32_t tag,
+                        std::uint32_t req_id,
+                        std::span<const std::byte> payload,
+                        std::uint64_t vt_arrival);
+
+  /// Models the arrival time of a `bytes`-byte reply issued by the service
+  /// thread at virtual time `base` (request arrival + handler time).
+  [[nodiscard]] std::uint64_t stamp_reply(std::uint64_t base, int dst,
+                                          std::size_t bytes) const noexcept {
+    if (dst == rank_) return base;
+    return base + clock_.model().send_cost(bytes) +
+           clock_.model().wire_time(bytes);
+  }
+
+  // ---- main-thread receive path ----
+
+  /// Blocks until a frame matching `pred` is available on any app channel
+  /// (earlier non-matching frames are queued for later consumers), then
+  /// returns it. Charges the virtual clock for the receive.
+  Frame wait_app(const std::function<bool(const Frame&)>& pred);
+
+  /// Convenience: wait for a specific kind (any source, any tag).
+  Frame wait_app_kind(FrameKind kind);
+
+  /// Convenience: wait for a specific kind from a specific source.
+  Frame wait_app_kind_from(FrameKind kind, int src);
+
+  /// Non-blocking drain of app channels into the pending queue.
+  void pump();
+
+  /// True if a frame matching `pred` is already queued.
+  [[nodiscard]] bool has_pending(
+      const std::function<bool(const Frame&)>& pred) const;
+
+  // ---- service-thread receive path ----
+
+  /// Blocks until a frame arrives on any svc channel or `stop` becomes
+  /// true (checked whenever the eventfd is signalled). Returns nullopt on
+  /// stop.
+  std::optional<Frame> next_svc_request(const std::atomic<bool>& stop);
+
+  /// Wakes the service thread (so it can observe `stop`).
+  void wake_service();
+
+  // ---- measurement window ---------------------------------------------
+  // The paper times the steady-state iterations, excluding initialization
+  // and the first (cache-warming) iteration. mark_measurement_start()
+  // snapshots the virtual clock and counters; the harness reports values
+  // relative to the snapshot. Call it at the same logical point (right
+  // after a barrier) in every process.
+
+  void mark_measurement_start() {
+    measure_vt_start_ = clock_.now();
+    measure_counters_start_ = counters_;
+  }
+
+  /// Ends the window (e.g. before an untimed checksum-gathering phase).
+  void mark_measurement_end() {
+    measure_vt_end_ = clock_.now();
+    measure_counters_end_ = counters_;
+    measure_ended_ = true;
+  }
+
+  [[nodiscard]] std::uint64_t measured_vt() noexcept {
+    const std::uint64_t end = measure_ended_ ? measure_vt_end_ : clock_.now();
+    return end - measure_vt_start_;
+  }
+  [[nodiscard]] Counters measured_counters() const noexcept {
+    const Counters& end = measure_ended_ ? measure_counters_end_ : counters_;
+    return end.since(measure_counters_start_);
+  }
+
+ private:
+  struct Assembler {
+    // Key: src, kind, tag, req_id.
+    using Key = std::tuple<int, std::uint16_t, std::int32_t, std::uint32_t>;
+    std::map<Key, Frame> partial;
+
+    // Feeds one datagram; returns a completed frame if this chunk was the
+    // last one.
+    std::optional<Frame> feed(const FrameHeader& h,
+                              std::span<const std::byte> chunk);
+  };
+
+  void send_chunks(int fd, bool pump_while_blocked, FrameKind kind,
+                   std::int32_t tag, std::uint32_t req_id,
+                   std::span<const std::byte> payload,
+                   std::uint64_t vt_arrival);
+  void count_if_remote(int dst, FrameKind kind, std::size_t bytes) noexcept;
+
+  // Reads every ready datagram from app channels; appends completed frames
+  // to pending_. If `block`, waits for at least one datagram first.
+  void drain_app(bool block);
+
+  int rank_;
+  int nprocs_;
+  simx::VirtualClock clock_;
+  Counters counters_;
+
+  std::vector<common::Fd> svc_out_;  // my sending ends toward each svc
+  std::vector<common::Fd> app_out_;  // my sending ends toward each main
+  std::vector<common::Fd> svc_in_;   // receiving ends of svc[*, me]
+  std::vector<common::Fd> app_in_;   // receiving ends of app[*, me]
+  common::Fd service_wake_;          // eventfd to wake the service thread
+
+  Assembler app_assembler_;
+  Assembler svc_assembler_;
+  std::deque<Frame> pending_;
+  std::deque<Frame> svc_pending_;
+
+  std::uint64_t measure_vt_start_ = 0;
+  std::uint64_t measure_vt_end_ = 0;
+  Counters measure_counters_start_{};
+  Counters measure_counters_end_{};
+  bool measure_ended_ = false;
+};
+
+}  // namespace mpl

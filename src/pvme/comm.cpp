@@ -1,0 +1,157 @@
+#include "pvme/comm.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/check.hpp"
+
+namespace pvme {
+
+void Comm::send(int dst, int tag, const void* data, std::size_t bytes) {
+  COMMON_CHECK(dst >= 0 && dst < nprocs());
+  ep_.send_app(dst, mpl::FrameKind::kPvmeData, tag, next_req_++,
+               {static_cast<const std::byte*>(data), bytes});
+}
+
+std::size_t Comm::recv(int src, int tag, void* data, std::size_t capacity) {
+  COMMON_CHECK(src >= 0 && src < nprocs());
+  mpl::Frame f = ep_.wait_app([src, tag](const mpl::Frame& fr) {
+    return fr.kind == mpl::FrameKind::kPvmeData && fr.src == src &&
+           fr.tag == tag;
+  });
+  COMMON_CHECK_MSG(f.payload.size() <= capacity,
+                   "recv overflow: got " << f.payload.size() << " into "
+                                         << capacity);
+  std::memcpy(data, f.payload.data(), f.payload.size());
+  return f.payload.size();
+}
+
+void Comm::recv_exact(int src, int tag, void* data, std::size_t bytes) {
+  const std::size_t got = recv(src, tag, data, bytes);
+  COMMON_CHECK_MSG(got == bytes,
+                   "recv_exact: expected " << bytes << ", got " << got);
+}
+
+void Comm::sendrecv(int peer, int send_tag, const void* send_data,
+                    std::size_t send_bytes, int recv_tag, void* recv_data,
+                    std::size_t recv_bytes) {
+  send(peer, send_tag, send_data, send_bytes);
+  recv_exact(peer, recv_tag, recv_data, recv_bytes);
+}
+
+void Comm::barrier() {
+  if (nprocs() == 1) return;
+  if (rank() == 0) {
+    for (int i = 1; i < nprocs(); ++i)
+      (void)ep_.wait_app_kind(mpl::FrameKind::kPvmeBarrierArrive);
+    for (int p = 1; p < nprocs(); ++p)
+      ep_.send_app(p, mpl::FrameKind::kPvmeBarrierDepart, 0, 0, {});
+  } else {
+    ep_.send_app(0, mpl::FrameKind::kPvmeBarrierArrive, 0, 0, {});
+    (void)ep_.wait_app_kind_from(mpl::FrameKind::kPvmeBarrierDepart, 0);
+  }
+}
+
+void Comm::bcast(int root, void* data, std::size_t bytes) {
+  if (nprocs() == 1) return;
+  if (rank() == root) {
+    for (int p = 0; p < nprocs(); ++p)
+      if (p != root) send(p, kTagBcast, data, bytes);
+  } else {
+    recv_exact(root, kTagBcast, data, bytes);
+  }
+}
+
+template <typename T, typename Op>
+T Comm::reduce_scalar(int root, T value, Op op) {
+  if (nprocs() == 1) return value;
+  if (rank() == root) {
+    T acc = value;
+    for (int p = 0; p < nprocs(); ++p) {
+      if (p == root) continue;
+      T v;
+      recv_exact(p, kTagReduce, &v, sizeof(v));
+      acc = op(acc, v);
+    }
+    return acc;
+  }
+  send(root, kTagReduce, &value, sizeof(value));
+  return value;
+}
+
+double Comm::reduce_sum(int root, double value) {
+  return reduce_scalar(root, value,
+                       [](double a, double b) { return a + b; });
+}
+
+double Comm::allreduce_sum(double value) {
+  double r = reduce_sum(0, value);
+  bcast(0, &r, sizeof(r));
+  return r;
+}
+
+double Comm::allreduce_min(double value) {
+  double r = reduce_scalar(0, value,
+                           [](double a, double b) { return std::min(a, b); });
+  bcast(0, &r, sizeof(r));
+  return r;
+}
+
+double Comm::allreduce_max(double value) {
+  double r = reduce_scalar(0, value,
+                           [](double a, double b) { return std::max(a, b); });
+  bcast(0, &r, sizeof(r));
+  return r;
+}
+
+namespace {
+
+template <typename T>
+void reduce_vec_impl(Comm& comm, int root, T* inout, std::size_t count,
+                     int tag) {
+  if (comm.nprocs() == 1) return;
+  if (comm.rank() == root) {
+    std::vector<T> tmp(count);
+    for (int p = 0; p < comm.nprocs(); ++p) {
+      if (p == root) continue;
+      comm.recv_exact(p, tag, tmp.data(), count * sizeof(T));
+      for (std::size_t i = 0; i < count; ++i) inout[i] += tmp[i];
+    }
+  } else {
+    comm.send(root, tag, inout, count * sizeof(T));
+  }
+}
+
+}  // namespace
+
+void Comm::reduce_sum_vec(int root, double* inout, std::size_t count) {
+  reduce_vec_impl(*this, root, inout, count, kTagReduce);
+}
+
+void Comm::reduce_sum_vec(int root, float* inout, std::size_t count) {
+  reduce_vec_impl(*this, root, inout, count, kTagReduce);
+}
+
+void Comm::gather(int root, const void* send_data, std::size_t bytes_each,
+                  void* recv_data) {
+  if (rank() == root) {
+    auto* out = static_cast<std::byte*>(recv_data);
+    std::memcpy(out + static_cast<std::size_t>(rank()) * bytes_each,
+                send_data, bytes_each);
+    for (int p = 0; p < nprocs(); ++p) {
+      if (p == root) continue;
+      recv_exact(p, kTagGather,
+                 out + static_cast<std::size_t>(p) * bytes_each, bytes_each);
+    }
+  } else {
+    send(root, kTagGather, send_data, bytes_each);
+  }
+}
+
+void Comm::allgather(const void* send_data, std::size_t bytes_each,
+                     void* recv_data) {
+  gather(0, send_data, bytes_each, recv_data);
+  bcast(0, recv_data, bytes_each * static_cast<std::size_t>(nprocs()));
+}
+
+}  // namespace pvme

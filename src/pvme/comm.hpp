@@ -1,0 +1,96 @@
+// Message-passing library modelled on IBM's PVMe (an SP/2-optimized PVM
+// implementation, §3), which the paper's hand-coded message-passing
+// programs run on. The XHPF runtime also compiles to this layer.
+//
+// Semantics: typed, tagged, blocking point-to-point messages with FIFO
+// order per (source, tag); flat-fanout broadcast (n-1 messages, matching
+// the paper's MGS message counts); linear reductions and gathers; and a
+// centralized 2(n-1)-message barrier. One logical send is one counted
+// message regardless of size — the "single message for both purposes
+// [data and synchronization]" advantage §5.1 credits to message passing
+// falls out naturally: a receive both delivers data and orders execution.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "mpl/fabric.hpp"
+
+namespace pvme {
+
+class Comm {
+ public:
+  explicit Comm(mpl::Endpoint& ep) noexcept : ep_(ep) {}
+
+  [[nodiscard]] int rank() const noexcept { return ep_.rank(); }
+  [[nodiscard]] int nprocs() const noexcept { return ep_.nprocs(); }
+  [[nodiscard]] mpl::Endpoint& endpoint() noexcept { return ep_; }
+
+  // ---- point-to-point ------------------------------------------------
+
+  void send(int dst, int tag, const void* data, std::size_t bytes);
+
+  template <typename T>
+  void send_span(int dst, int tag, std::span<const T> data) {
+    send(dst, tag, data.data(), data.size_bytes());
+  }
+
+  /// Blocking receive of a message from `src` with `tag`; returns the
+  /// payload size (must be <= capacity).
+  std::size_t recv(int src, int tag, void* data, std::size_t capacity);
+
+  /// Receive whose size is known exactly.
+  void recv_exact(int src, int tag, void* data, std::size_t bytes);
+
+  template <typename T>
+  void recv_span(int src, int tag, std::span<T> data) {
+    recv_exact(src, tag, data.data(), data.size_bytes());
+  }
+
+  /// Deadlock-free paired exchange (both sides send, then receive; the
+  /// transport pumps, so this is safe for simultaneous large messages).
+  void sendrecv(int peer, int send_tag, const void* send_data,
+                std::size_t send_bytes, int recv_tag, void* recv_data,
+                std::size_t recv_bytes);
+
+  // ---- collectives ---------------------------------------------------
+
+  void barrier();
+
+  /// Flat broadcast from `root` (n-1 messages).
+  void bcast(int root, void* data, std::size_t bytes);
+
+  /// Sum-reduction of a scalar to `root`; all ranks must call.
+  [[nodiscard]] double reduce_sum(int root, double value);
+  [[nodiscard]] double allreduce_sum(double value);
+  [[nodiscard]] double allreduce_min(double value);
+  [[nodiscard]] double allreduce_max(double value);
+
+  /// Elementwise sum-reduction of a vector into `inout` at root; other
+  /// ranks' buffers are unchanged. All ranks must call.
+  void reduce_sum_vec(int root, double* inout, std::size_t count);
+  void reduce_sum_vec(int root, float* inout, std::size_t count);
+
+  /// Root gathers `bytes_each` bytes from every rank into recv (laid out
+  /// by rank); all ranks pass their chunk in `send`.
+  void gather(int root, const void* send, std::size_t bytes_each, void* recv);
+
+  /// Everyone ends with all ranks' chunks (gather to root + broadcast —
+  /// 2(n-1) messages, the idiom the SPMD XHPF runtime emits).
+  void allgather(const void* send, std::size_t bytes_each, void* recv);
+
+ private:
+  // Internal collective tags (user tags must be >= 0).
+  static constexpr int kTagReduce = -2;
+  static constexpr int kTagBcast = -3;
+  static constexpr int kTagGather = -4;
+
+  template <typename T, typename Op>
+  T reduce_scalar(int root, T value, Op op);
+
+  mpl::Endpoint& ep_;
+  std::uint32_t next_req_ = 1;
+};
+
+}  // namespace pvme

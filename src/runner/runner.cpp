@@ -1,0 +1,231 @@
+#include "runner/runner.hpp"
+
+#include <poll.h>
+#include <signal.h>
+#include <sys/mman.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+#include "common/check.hpp"
+#include "common/cpu_clock.hpp"
+#include "common/fd.hpp"
+#include "sim/virtual_clock.hpp"
+
+namespace runner {
+
+namespace {
+
+/// Shared heap mapping with RAII unmapping in the parent.
+class HeapMapping {
+ public:
+  explicit HeapMapping(std::size_t bytes) : bytes_(bytes) {
+    if (bytes_ == 0) return;
+    void* p = mmap(nullptr, bytes_, PROT_READ | PROT_WRITE,
+                   MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE, -1, 0);
+    COMMON_CHECK_MSG(p != MAP_FAILED, "mmap of shared heap failed");
+    base_ = p;
+  }
+  ~HeapMapping() {
+    if (base_ != nullptr) munmap(base_, bytes_);
+  }
+  HeapMapping(const HeapMapping&) = delete;
+  HeapMapping& operator=(const HeapMapping&) = delete;
+
+  [[nodiscard]] void* base() const noexcept { return base_; }
+  [[nodiscard]] std::size_t bytes() const noexcept { return bytes_; }
+
+ private:
+  void* base_ = nullptr;
+  std::size_t bytes_ = 0;
+};
+
+void write_report(int fd, const ProcReport& r) {
+  const char* p = reinterpret_cast<const char*>(&r);
+  std::size_t left = sizeof(r);
+  while (left > 0) {
+    const ssize_t n = write(fd, p, left);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return;  // parent gone; nothing useful to do
+    }
+    p += n;
+    left -= static_cast<std::size_t>(n);
+  }
+}
+
+[[noreturn]] void child_main(mpl::Fabric& fabric, int rank,
+                             const SpawnOptions& options,
+                             const HeapMapping& heap, const ChildFn& fn,
+                             int report_fd) {
+  ProcReport report;
+  report.rank = static_cast<std::uint32_t>(rank);
+  try {
+    mpl::Endpoint endpoint(fabric, rank, options.model);
+    {
+      // Close every descriptor that is not ours.
+      mpl::Fabric discard = std::move(fabric);
+      (void)discard;
+    }
+    ChildContext ctx{endpoint, heap.base(), heap.bytes()};
+    const double checksum = fn(ctx);
+    report.checksum = checksum;
+    report.vt_ns = endpoint.measured_vt();
+    report.cpu_ns = common::thread_cpu_ns();
+    report.counters = endpoint.measured_counters();
+    report.ok = 1;
+  } catch (const std::exception& e) {
+    std::snprintf(report.error, sizeof(report.error), "%s", e.what());
+    report.ok = 0;
+  } catch (...) {
+    std::snprintf(report.error, sizeof(report.error), "unknown exception");
+    report.ok = 0;
+  }
+  write_report(report_fd, report);
+  // Skip atexit handlers: this child shares gtest/benchmark state with the
+  // parent and must not run their teardown.
+  _exit(report.ok != 0u ? 0 : 1);
+}
+
+}  // namespace
+
+RunResult spawn(int nprocs, const SpawnOptions& options, const ChildFn& fn) {
+  COMMON_CHECK(nprocs >= 1 && nprocs <= mpl::kMaxProcs);
+
+  HeapMapping heap(options.shared_heap_bytes);
+  mpl::Fabric fabric(nprocs);
+
+  std::vector<common::Fd> report_r(static_cast<std::size_t>(nprocs));
+  std::vector<common::Fd> report_w(static_cast<std::size_t>(nprocs));
+  for (int i = 0; i < nprocs; ++i) {
+    int fds[2];
+    COMMON_SYSCALL(pipe(fds));
+    report_r[static_cast<std::size_t>(i)].reset(fds[0]);
+    report_w[static_cast<std::size_t>(i)].reset(fds[1]);
+  }
+
+  std::vector<pid_t> pids(static_cast<std::size_t>(nprocs), -1);
+  for (int rank = 0; rank < nprocs; ++rank) {
+    const pid_t pid = COMMON_SYSCALL(fork());
+    if (pid == 0) {
+      // Child: keep only our own report pipe's write end.
+      for (int j = 0; j < nprocs; ++j) {
+        report_r[static_cast<std::size_t>(j)].reset();
+        if (j != rank) report_w[static_cast<std::size_t>(j)].reset();
+      }
+      child_main(fabric, rank, options, heap, fn,
+                 report_w[static_cast<std::size_t>(rank)].get());
+    }
+    pids[static_cast<std::size_t>(rank)] = pid;
+  }
+
+  // Parent: close all fabric and write ends so children own the mesh.
+  {
+    mpl::Fabric discard = std::move(fabric);
+    (void)discard;
+  }
+  for (auto& w : report_w) w.reset();
+
+  // Gather reports with a watchdog.
+  RunResult result;
+  result.nprocs = nprocs;
+  result.procs.resize(static_cast<std::size_t>(nprocs));
+  std::vector<std::size_t> got(static_cast<std::size_t>(nprocs), 0);
+
+  const std::uint64_t deadline_ns =
+      common::wall_ns() +
+      static_cast<std::uint64_t>(options.timeout_sec) * 1'000'000'000ULL;
+  bool timed_out = false;
+
+  std::size_t done = 0;
+  while (done < static_cast<std::size_t>(nprocs)) {
+    std::vector<pollfd> pfds;
+    std::vector<int> ranks;
+    for (int i = 0; i < nprocs; ++i) {
+      if (got[static_cast<std::size_t>(i)] < sizeof(ProcReport)) {
+        pfds.push_back({report_r[static_cast<std::size_t>(i)].get(), POLLIN, 0});
+        ranks.push_back(i);
+      }
+    }
+    const std::uint64_t now = common::wall_ns();
+    if (now >= deadline_ns) {
+      timed_out = true;
+      break;
+    }
+    const int timeout_ms =
+        static_cast<int>((deadline_ns - now) / 1'000'000ULL) + 1;
+    const int r = poll(pfds.data(), pfds.size(), timeout_ms);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      COMMON_SYSCALL(r);
+    }
+    if (r == 0) {
+      timed_out = true;
+      break;
+    }
+    for (std::size_t k = 0; k < pfds.size(); ++k) {
+      if (!(pfds[k].revents & (POLLIN | POLLHUP))) continue;
+      const int rank = ranks[k];
+      auto& rep = result.procs[static_cast<std::size_t>(rank)];
+      auto& off = got[static_cast<std::size_t>(rank)];
+      char* dst = reinterpret_cast<char*>(&rep) + off;
+      const ssize_t n =
+          read(pfds[k].fd, dst, sizeof(ProcReport) - off);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        COMMON_SYSCALL(n);
+      }
+      if (n == 0) {
+        // EOF before a full report: the child crashed. waitpid below
+        // will tell us how.
+        if (off < sizeof(ProcReport)) {
+          rep.ok = 0;
+          std::snprintf(rep.error, sizeof(rep.error),
+                        "process exited without a report");
+          off = sizeof(ProcReport);
+          ++done;
+        }
+        continue;
+      }
+      off += static_cast<std::size_t>(n);
+      if (off == sizeof(ProcReport)) ++done;
+    }
+  }
+
+  if (timed_out) {
+    for (pid_t pid : pids)
+      if (pid > 0) kill(pid, SIGKILL);
+  }
+  std::string crash;
+  for (int i = 0; i < nprocs; ++i) {
+    int status = 0;
+    (void)waitpid(pids[static_cast<std::size_t>(i)], &status, 0);
+    if (WIFSIGNALED(status)) {
+      crash += "proc " + std::to_string(i) + " killed by signal " +
+               std::to_string(WTERMSIG(status)) + "; ";
+    }
+  }
+  COMMON_CHECK_MSG(!timed_out, "run timed out after " << options.timeout_sec
+                                                      << "s; " << crash);
+  for (int i = 0; i < nprocs; ++i) {
+    const auto& rep = result.procs[static_cast<std::size_t>(i)];
+    COMMON_CHECK_MSG(rep.ok == 1, "proc " << i << " failed: " << rep.error
+                                          << ' ' << crash);
+    result.max_vt_ns = std::max(result.max_vt_ns, rep.vt_ns);
+    result.total_cpu_ns += rep.cpu_ns;
+    result.total += rep.counters;
+  }
+  result.checksum = result.procs[0].checksum;
+  return result;
+}
+
+RunResult run_sequential(const SpawnOptions& options,
+                         const std::function<double()>& fn) {
+  SpawnOptions opts = options;
+  return spawn(1, opts, [&fn](ChildContext&) { return fn(); });
+}
+
+}  // namespace runner

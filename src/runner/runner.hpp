@@ -1,0 +1,84 @@
+// Multi-process run harness.
+//
+// A "run" forks `nprocs` worker processes from the calling process.
+// Before forking, the harness maps the DSM shared heap (so every child
+// inherits it at the same virtual address — the zero-page invariant of
+// DESIGN.md §5) and builds the socket fabric. Each child adopts its
+// endpoint, executes the supplied function, and reports a fixed-size
+// result record through a pipe; the parent aggregates per-process virtual
+// times, CPU times, and message counters into a RunResult.
+//
+// The parent never participates in the computation, so the harness can be
+// driven from gtest and google-benchmark without contaminating their
+// state; children leave via _exit().
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "mpl/counters.hpp"
+#include "mpl/fabric.hpp"
+#include "sim/machine_model.hpp"
+
+namespace runner {
+
+/// Fixed-size per-process report sent over the result pipe.
+struct ProcReport {
+  std::uint32_t ok = 0;  // 1 = success
+  std::uint32_t rank = 0;
+  double checksum = 0.0;
+  std::uint64_t vt_ns = 0;       // final virtual time
+  std::uint64_t cpu_ns = 0;      // raw main-thread CPU
+  mpl::Counters counters{};
+  char error[192] = {};
+};
+static_assert(std::is_trivially_copyable_v<ProcReport>);
+
+/// Aggregated outcome of one multi-process run.
+struct RunResult {
+  int nprocs = 0;
+  double checksum = 0.0;           // proc 0's checksum
+  std::uint64_t max_vt_ns = 0;     // modelled parallel execution time
+  std::uint64_t total_cpu_ns = 0;
+  mpl::Counters total{};           // summed over processes
+  std::vector<ProcReport> procs;
+
+  [[nodiscard]] double seconds() const noexcept {
+    return static_cast<double>(max_vt_ns) * 1e-9;
+  }
+  [[nodiscard]] std::uint64_t messages(mpl::Layer l) const noexcept {
+    return total.messages[static_cast<std::size_t>(l)];
+  }
+  [[nodiscard]] double kbytes(mpl::Layer l) const noexcept {
+    return static_cast<double>(total.bytes[static_cast<std::size_t>(l)]) /
+           1024.0;
+  }
+};
+
+/// Environment handed to each child process.
+struct ChildContext {
+  mpl::Endpoint& endpoint;
+  void* heap_base = nullptr;       // inherited shared-heap mapping
+  std::size_t heap_bytes = 0;
+};
+
+using ChildFn = std::function<double(ChildContext&)>;
+
+struct SpawnOptions {
+  simx::MachineModel model = simx::MachineModel::sp2();
+  std::size_t shared_heap_bytes = 512ull * 1024 * 1024;
+  int timeout_sec = 600;  // watchdog: kill and fail the run if exceeded
+};
+
+/// Forks `nprocs` children, runs `fn` in each, and aggregates results.
+/// Throws common::Error if any child fails, crashes, or times out.
+RunResult spawn(int nprocs, const SpawnOptions& options, const ChildFn& fn);
+
+/// Convenience for sequential baselines: one process, no communication;
+/// returns the checksum and the scaled CPU time as virtual time.
+RunResult run_sequential(const SpawnOptions& options,
+                         const std::function<double()>& fn);
+
+}  // namespace runner

@@ -1,0 +1,139 @@
+// Per-process virtual clock.
+//
+// Drives the trace-driven performance simulation described in DESIGN.md §2:
+// between runtime events the clock absorbs the thread's measured CPU time
+// (scaled); at communication events it follows LogGP rules. Every frame on
+// the wire carries the sender's virtual timestamp, so a blocking receive
+// computes max(local progress, remote arrival).
+//
+// The service thread answers remote requests (diff fetches, lock forwards)
+// while the main thread computes. Its handler cost is charged two ways:
+//   - to the requester, through the response timestamp, and
+//   - to the serving process, through `interrupt_ns_`, folded into its
+//     main clock at the next event (TreadMarks' SIGIO handlers steal the
+//     same cycles).
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+
+#include "common/cpu_clock.hpp"
+#include "sim/machine_model.hpp"
+
+namespace simx {
+
+class VirtualClock {
+ public:
+  explicit VirtualClock(MachineModel model) noexcept
+      : model_(model), last_cpu_ns_(common::thread_cpu_ns()) {}
+
+  /// Folds compute time since the previous event into the clock.
+  /// Must only be called from the owning (main) thread. In protocol mode
+  /// (inside the DSM runtime) host CPU is discarded — protocol work is
+  /// charged through explicit model constants instead.
+  void fold_compute() noexcept {
+    const std::uint64_t now = common::thread_cpu_ns();
+    if (!protocol_mode_) vt_ns_ += model_.scale_cpu(now - last_cpu_ns_);
+    last_cpu_ns_ = now;
+    vt_ns_ += interrupt_ns_.exchange(0, std::memory_order_relaxed);
+  }
+
+  /// Adds an explicitly modelled cost (protocol operations).
+  void add_model(std::uint64_t ns) noexcept { vt_ns_ += ns; }
+
+  /// Protocol-mode nesting control; use ProtocolSection.
+  /// `exclude_host_ns` is subtracted from the folded window: the host's
+  /// own trap-delivery cost precedes a fault handler's entry and must not
+  /// be scaled as application compute.
+  bool set_protocol_mode(bool on, std::uint64_t exclude_host_ns = 0) noexcept {
+    const std::uint64_t now = common::thread_cpu_ns();
+    if (!protocol_mode_) {
+      const std::uint64_t window = now - last_cpu_ns_;
+      vt_ns_ += model_.scale_cpu(window > exclude_host_ns
+                                     ? window - exclude_host_ns
+                                     : 0);
+    }
+    last_cpu_ns_ = now;
+    vt_ns_ += interrupt_ns_.exchange(0, std::memory_order_relaxed);
+    const bool prev = protocol_mode_;
+    protocol_mode_ = on;
+    return prev;
+  }
+
+  /// Charges a send and returns the virtual time at which the payload
+  /// becomes visible at the destination. `self` marks loopback messages,
+  /// which are free (a manager process talking to itself).
+  [[nodiscard]] std::uint64_t on_send(std::size_t bytes, bool self) noexcept {
+    fold_compute();
+    if (self) return vt_ns_;
+    vt_ns_ += model_.send_cost(bytes);
+    return vt_ns_ + model_.wire_time(bytes);
+  }
+
+  /// Blocks (logically) until `arrival_vt`, then charges receive overhead.
+  /// Host CPU burned since the last event is *dropped*, not folded: the
+  /// caller folds real compute before starting to wait (see wait_app),
+  /// and the polling/draining syscall time in between is host transport
+  /// overhead already modelled by recv_overhead_ns.
+  void on_recv(std::uint64_t arrival_vt, bool self) noexcept {
+    skip_transport();
+    vt_ns_ = std::max(vt_ns_, arrival_vt);
+    if (!self) vt_ns_ += model_.recv_overhead_ns;
+    vt_ns_ += interrupt_ns_.exchange(0, std::memory_order_relaxed);
+  }
+
+  /// Discards host CPU burned since the last event (socket syscalls,
+  /// pumping): modelled costs already cover it.
+  void skip_transport() noexcept { last_cpu_ns_ = common::thread_cpu_ns(); }
+
+  /// Jump the clock forward to at least `vt` (used when a collective
+  /// decides a departure time for all participants).
+  void advance_to(std::uint64_t vt) noexcept {
+    fold_compute();
+    vt_ns_ = std::max(vt_ns_, vt);
+  }
+
+  /// Adds service-handler cycles observed on the service thread.
+  /// Thread-safe; called by the service thread.
+  void charge_interrupt(std::uint64_t ns) noexcept {
+    interrupt_ns_.fetch_add(ns, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::uint64_t now() noexcept {
+    fold_compute();
+    return vt_ns_;
+  }
+
+  /// Reads the clock without folding (safe from any thread, approximate).
+  [[nodiscard]] std::uint64_t peek() const noexcept { return vt_ns_; }
+
+  [[nodiscard]] const MachineModel& model() const noexcept { return model_; }
+
+ private:
+  MachineModel model_;
+  std::uint64_t vt_ns_ = 0;
+  std::uint64_t last_cpu_ns_ = 0;
+  bool protocol_mode_ = false;
+  std::atomic<std::uint64_t> interrupt_ns_{0};
+};
+
+/// RAII guard marking a DSM-runtime section on the main thread: host CPU
+/// inside the section is dropped in favour of the model's explicit
+/// protocol charges. Nestable.
+class ProtocolSection {
+ public:
+  explicit ProtocolSection(VirtualClock& clock,
+                           std::uint64_t exclude_host_ns = 0) noexcept
+      : clock_(clock),
+        prev_(clock.set_protocol_mode(true, exclude_host_ns)) {}
+  ~ProtocolSection() { clock_.set_protocol_mode(prev_); }
+  ProtocolSection(const ProtocolSection&) = delete;
+  ProtocolSection& operator=(const ProtocolSection&) = delete;
+
+ private:
+  VirtualClock& clock_;
+  bool prev_;
+};
+
+}  // namespace simx

@@ -1,0 +1,120 @@
+#include "spf/runtime.hpp"
+
+#include <cstring>
+
+#include "common/check.hpp"
+
+namespace spf {
+
+Runtime::Runtime(runner::ChildContext& ctx, Options options)
+    : tmk_(ctx, options.tmk), options_(options) {
+  // The legacy interface's control block is allocated first so its two
+  // pages have the same addresses in every process regardless of what
+  // the application allocates afterwards.
+  legacy_func_page_ = tmk_.alloc<std::uint32_t>(1, /*page_align=*/true);
+  legacy_args_page_ =
+      static_cast<std::byte*>(tmk_.alloc_bytes(kMaxArgs, /*page_align=*/true));
+}
+
+std::uint32_t Runtime::register_loop(LoopFn fn) {
+  loops_.push_back(fn);
+  return static_cast<std::uint32_t>(loops_.size() - 1);
+}
+
+double Runtime::run(const std::function<double()>& master_program) {
+  if (rank() == 0) {
+    const double result = master_program();
+    // Dismiss the workers.
+    if (nprocs() > 1) {
+      if (options_.mode == DispatchMode::kImproved) {
+        tmk_.fork_broadcast(kExitFunc, {});
+      } else {
+        *legacy_func_page_ = kExitFunc;
+        tmk_.barrier();
+      }
+    }
+    return result;
+  }
+  worker_loop();
+  return 0.0;
+}
+
+void Runtime::worker_loop() {
+  for (;;) {
+    std::uint32_t func_id;
+    std::vector<std::byte> args;
+    if (options_.mode == DispatchMode::kImproved) {
+      tmk::Runtime::ForkWork work = tmk_.wait_fork();
+      func_id = work.func_id;
+      args = std::move(work.args);
+      if (func_id == kExitFunc) return;
+      loops_[func_id](*this, args.data());
+      tmk_.join_worker();
+    } else {
+      // Legacy: wait at the barrier for the master to publish work, then
+      // page-fault the two control pages in.
+      tmk_.barrier();
+      func_id = *legacy_func_page_;
+      if (func_id == kExitFunc) return;
+      loops_[func_id](*this, legacy_args_page_);
+      tmk_.barrier();
+    }
+  }
+}
+
+void Runtime::parallel(std::uint32_t loop_id, const void* args,
+                       std::size_t bytes) {
+  COMMON_CHECK_MSG(rank() == 0, "parallel() is master-only");
+  COMMON_CHECK(loop_id < loops_.size());
+  COMMON_CHECK(bytes <= kMaxArgs);
+  if (options_.mode == DispatchMode::kImproved) {
+    dispatch_improved(loop_id, args, bytes);
+  } else {
+    dispatch_legacy(loop_id, args, bytes);
+  }
+}
+
+void Runtime::dispatch_improved(std::uint32_t loop_id, const void* args,
+                                std::size_t bytes) {
+  tmk_.fork_broadcast(loop_id,
+                      {static_cast<const std::byte*>(args), bytes});
+  loops_[loop_id](*this, args);
+  tmk_.join_master();
+}
+
+void Runtime::dispatch_legacy(std::uint32_t loop_id, const void* args,
+                              std::size_t bytes) {
+  // The master writes the loop index and the parameters into two shared
+  // pages; the barrier publishes them; every worker faults both in.
+  *legacy_func_page_ = loop_id;
+  if (bytes > 0) std::memcpy(legacy_args_page_, args, bytes);
+  tmk_.barrier();
+  loops_[loop_id](*this, args);  // master uses its private copy
+  tmk_.barrier();
+}
+
+void Runtime::reduce_add(int lock_id, double* shared_cell, double local) {
+  tmk_.lock_acquire(lock_id);
+  *shared_cell += local;
+  tmk_.lock_release(lock_id);
+}
+
+Runtime::Range Runtime::block_range(std::int64_t lo, std::int64_t hi,
+                                    int proc, int nprocs) noexcept {
+  const std::int64_t n = hi - lo;
+  if (n <= 0) return {lo, lo};
+  const std::int64_t base = n / nprocs;
+  const std::int64_t extra = n % nprocs;
+  const std::int64_t begin =
+      lo + proc * base + std::min<std::int64_t>(proc, extra);
+  const std::int64_t len = base + (proc < extra ? 1 : 0);
+  return {begin, begin + len};
+}
+
+std::int64_t Runtime::cyclic_begin(std::int64_t lo, int proc,
+                                   int nprocs) noexcept {
+  const std::int64_t offset = ((proc - lo) % nprocs + nprocs) % nprocs;
+  return lo + offset;
+}
+
+}  // namespace spf

@@ -1,0 +1,115 @@
+// SPF compiler runtime (§2.1, §2.3).
+//
+// Mirrors the run-time library that APR's Forge SPF source-to-source
+// compiler emits calls to: a fork-join model where a master process
+// executes all sequential code and dispatches encapsulated parallel-loop
+// subroutines to workers. Applications written against this runtime are
+// structured exactly as compiler-generated code:
+//   - every parallel loop is a standalone function registered in a table
+//     (SPF "encapsulates each parallel loop into a new subroutine");
+//   - a synchronization pair brackets *every* loop, needed or not (the
+//     "redundant synchronization" §5 charges the compiler with);
+//   - all arrays touched by any parallel loop live in shared memory,
+//     padded to page boundaries — including scratch arrays a hand coder
+//     would keep private (§5.1's Jacobi finding);
+//   - scalar reductions go through a lock-guarded shared cell (§2.1).
+//
+// Two dispatch modes reproduce the §2.3 interface study:
+//   kImproved — barrier departure/arrival split, loop-control variables
+//               piggybacked: 2(n-1) messages per loop;
+//   kLegacy   — full barriers around the loop plus two shared control
+//               pages the workers page-fault in: 8(n-1) messages per loop.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "tmk/runtime.hpp"
+
+namespace spf {
+
+class Runtime;
+
+/// A compiler-encapsulated parallel loop body. Executes this process's
+/// share of the iteration space (the function itself partitions using
+/// block_range/cyclic_begin with rank()/nprocs()).
+using LoopFn = void (*)(Runtime&, const void* args);
+
+enum class DispatchMode : std::uint8_t { kImproved, kLegacy };
+
+class Runtime {
+ public:
+  struct Options {
+    DispatchMode mode = DispatchMode::kImproved;
+    tmk::Runtime::Options tmk;
+  };
+
+  Runtime(runner::ChildContext& ctx, Options options);
+  explicit Runtime(runner::ChildContext& ctx) : Runtime(ctx, Options()) {}
+
+  [[nodiscard]] int rank() const noexcept { return tmk_.rank(); }
+  [[nodiscard]] int nprocs() const noexcept { return tmk_.nprocs(); }
+  [[nodiscard]] tmk::Runtime& tmk() noexcept { return tmk_; }
+
+  /// Registers a parallel-loop subroutine; must be called in the same
+  /// order on every process (the compiler emits one global table).
+  std::uint32_t register_loop(LoopFn fn);
+
+  /// Runs the program: rank 0 executes `master_program` (the sequential
+  /// parts plus parallel() calls); other ranks serve loops until the
+  /// master finishes. Returns the master's result (0.0 on workers).
+  double run(const std::function<double()>& master_program);
+
+  /// Master-side: dispatches loop `loop_id` with an argument block to all
+  /// processes (including itself) and waits for completion.
+  void parallel(std::uint32_t loop_id, const void* args, std::size_t bytes);
+
+  template <typename Args>
+  void parallel(std::uint32_t loop_id, const Args& args) {
+    static_assert(std::is_trivially_copyable_v<Args>);
+    parallel(loop_id, &args, sizeof(args));
+  }
+
+  /// Lock-guarded contribution to a shared reduction cell (§2.1): the
+  /// caller accumulated `local` privately over its iterations.
+  void reduce_add(int lock_id, double* shared_cell, double local);
+
+  // ---- iteration-space partitioning (the compiler's BLOCK/CYCLIC) ----
+
+  struct Range {
+    std::int64_t lo;
+    std::int64_t hi;  // half-open
+  };
+
+  [[nodiscard]] static Range block_range(std::int64_t lo, std::int64_t hi,
+                                         int proc, int nprocs) noexcept;
+
+  /// First index >= lo owned by `proc` under CYCLIC distribution; iterate
+  /// with stride nprocs.
+  [[nodiscard]] static std::int64_t cyclic_begin(std::int64_t lo, int proc,
+                                                 int nprocs) noexcept;
+
+ private:
+  void worker_loop();
+  void dispatch_improved(std::uint32_t loop_id, const void* args,
+                         std::size_t bytes);
+  void dispatch_legacy(std::uint32_t loop_id, const void* args,
+                       std::size_t bytes);
+
+  static constexpr std::uint32_t kExitFunc = 0xffffffffu;
+  static constexpr std::size_t kMaxArgs = common::kPageSize;
+
+  tmk::Runtime tmk_;
+  Options options_;
+  std::vector<LoopFn> loops_;
+
+  // Legacy-mode control block: the paper notes the loop index and the
+  // subroutine parameters "reside in different shared pages, incurring
+  // two requests" per loop — so they are two distinct shared pages here.
+  std::uint32_t* legacy_func_page_ = nullptr;
+  std::byte* legacy_args_page_ = nullptr;
+};
+
+}  // namespace spf

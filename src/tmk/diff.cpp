@@ -1,0 +1,79 @@
+#include "tmk/diff.hpp"
+
+#include <cstring>
+
+#include "common/check.hpp"
+
+namespace tmk {
+
+namespace {
+
+struct RunHeader {
+  std::uint16_t offset_words;
+  std::uint16_t len_words;
+};
+static_assert(sizeof(RunHeader) == 4);
+
+}  // namespace
+
+std::vector<std::byte> make_diff(const std::byte* twin,
+                                 const std::byte* current) {
+  std::vector<std::byte> out;
+  std::uint32_t tw[kWordsPerPage];
+  std::uint32_t cw[kWordsPerPage];
+  std::memcpy(tw, twin, common::kPageSize);
+  std::memcpy(cw, current, common::kPageSize);
+
+  std::size_t i = 0;
+  while (i < kWordsPerPage) {
+    if (tw[i] == cw[i]) {
+      ++i;
+      continue;
+    }
+    std::size_t j = i + 1;
+    while (j < kWordsPerPage && tw[j] != cw[j]) ++j;
+    RunHeader h{static_cast<std::uint16_t>(i),
+                static_cast<std::uint16_t>(j - i)};
+    const auto* hp = reinterpret_cast<const std::byte*>(&h);
+    out.insert(out.end(), hp, hp + sizeof(h));
+    const auto* payload = current + i * kDiffWord;
+    out.insert(out.end(), payload, payload + (j - i) * kDiffWord);
+    i = j;
+  }
+  return out;
+}
+
+void apply_diff(std::span<const std::byte> diff, std::byte* target) {
+  std::size_t pos = 0;
+  while (pos < diff.size()) {
+    COMMON_CHECK_MSG(pos + sizeof(RunHeader) <= diff.size(),
+                     "truncated diff run header");
+    RunHeader h;
+    std::memcpy(&h, diff.data() + pos, sizeof(h));
+    pos += sizeof(h);
+    const std::size_t bytes = static_cast<std::size_t>(h.len_words) * kDiffWord;
+    COMMON_CHECK_MSG(h.offset_words + h.len_words <= kWordsPerPage,
+                     "diff run exceeds page");
+    COMMON_CHECK_MSG(pos + bytes <= diff.size(), "truncated diff payload");
+    std::memcpy(target + static_cast<std::size_t>(h.offset_words) * kDiffWord,
+                diff.data() + pos, bytes);
+    pos += bytes;
+  }
+}
+
+std::size_t diff_payload_bytes(std::span<const std::byte> diff) {
+  std::size_t pos = 0;
+  std::size_t total = 0;
+  while (pos < diff.size()) {
+    RunHeader h;
+    COMMON_CHECK(pos + sizeof(h) <= diff.size());
+    std::memcpy(&h, diff.data() + pos, sizeof(h));
+    const std::size_t bytes = static_cast<std::size_t>(h.len_words) * kDiffWord;
+    pos += sizeof(h) + bytes;
+    total += bytes;
+  }
+  COMMON_CHECK(pos == diff.size());
+  return total;
+}
+
+}  // namespace tmk

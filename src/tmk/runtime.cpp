@@ -1,0 +1,817 @@
+// TreadMarks runtime: lifecycle, allocation, intervals, consistency
+// integration, barriers, fork/join, extensions, and fault handling.
+// Lock traffic lives in locks.cpp; the service loop in service.cpp; the
+// SIGSEGV trampoline in sigsegv.cpp.
+#include "tmk/runtime.hpp"
+
+#include <sys/mman.h>
+
+#include <algorithm>
+#include <limits>
+#include <cstring>
+#include <map>
+
+#include "common/check.hpp"
+
+namespace tmk {
+
+namespace {
+
+Runtime* g_runtime = nullptr;
+
+}  // namespace
+
+Runtime* Runtime::instance() noexcept { return g_runtime; }
+
+// Defined in sigsegv.cpp.
+void install_sigsegv_handler();
+std::uint64_t measure_host_fault_cost_ns();
+
+Runtime::Runtime(runner::ChildContext& ctx, Options options)
+    : rank_(ctx.endpoint.rank()),
+      nprocs_(ctx.endpoint.nprocs()),
+      ep_(ctx.endpoint),
+      heap_(ctx.heap_base),
+      heap_len_(ctx.heap_bytes),
+      options_(options) {
+  COMMON_CHECK_MSG(g_runtime == nullptr, "one Runtime per process");
+  COMMON_CHECK_MSG(heap_ != nullptr && heap_len_ >= common::kPageSize,
+                   "no shared heap mapping inherited");
+  COMMON_CHECK((reinterpret_cast<std::uintptr_t>(heap_) & common::kPageMask) ==
+               0);
+  if (options_.heap_limit_bytes != 0 && options_.heap_limit_bytes < heap_len_)
+    heap_len_ = common::align_down(options_.heap_limit_bytes,
+                                   common::kPageSize);
+  num_pages_ = heap_len_ / common::kPageSize;
+  pages_.resize(num_pages_);
+
+  // Zero-page invariant: every process starts with identical all-zero
+  // pages; reads are free until the first write notice arrives.
+  COMMON_SYSCALL(mprotect(heap_, heap_len_, PROT_READ));
+
+  locks_.resize(static_cast<std::size_t>(options_.num_locks));
+  lock_last_requester_.resize(static_cast<std::size_t>(options_.num_locks));
+  for (int l = 0; l < options_.num_locks; ++l) {
+    lock_last_requester_[static_cast<std::size_t>(l)] =
+        static_cast<ProcId>(lock_manager(l));
+    if (lock_manager(l) == rank_)
+      locks_[static_cast<std::size_t>(l)].released_here = true;
+  }
+
+  worker_vc_.resize(static_cast<std::size_t>(nprocs_));
+  main_tid_ = pthread_self();
+
+  g_runtime = this;
+  install_sigsegv_handler();
+  host_fault_cost_ns_ = measure_host_fault_cost_ns();
+  service_ = std::thread([this] { service_loop(); });
+}
+
+Runtime::~Runtime() {
+  try {
+    shutdown();
+  } catch (...) {
+    // Destructor must not throw; a failed rendezvous will surface as a
+    // missing report in the harness.
+  }
+  g_runtime = nullptr;
+}
+
+void Runtime::shutdown() {
+  if (shutdown_done_) return;
+  shutdown_done_ = true;
+  // Rendezvous: after this no process touches shared memory, so it is
+  // safe to stop answering diff requests. Uncounted (harness traffic).
+  if (nprocs_ > 1) {
+    if (rank_ == 0) {
+      for (int i = 1; i < nprocs_; ++i)
+        (void)ep_.wait_app_kind(mpl::FrameKind::kShutdownArrive);
+      for (int p = 1; p < nprocs_; ++p)
+        ep_.send_app(p, mpl::FrameKind::kShutdownDepart, 0, 0, {});
+    } else {
+      ep_.send_app(0, mpl::FrameKind::kShutdownArrive, 0, 0, {});
+      (void)ep_.wait_app_kind_from(mpl::FrameKind::kShutdownDepart, 0);
+    }
+  }
+  stop_.store(true, std::memory_order_release);
+  ep_.wake_service();
+  if (service_.joinable()) service_.join();
+}
+
+// ---------------------------------------------------------------------
+// Allocation
+// ---------------------------------------------------------------------
+
+void* Runtime::alloc_bytes(std::size_t bytes, bool page_align) {
+  COMMON_CHECK(bytes > 0);
+  if (page_align)
+    alloc_off_ = common::align_up(alloc_off_, common::kPageSize);
+  else
+    alloc_off_ = common::align_up(alloc_off_, 16);
+  COMMON_CHECK_MSG(alloc_off_ + bytes <= heap_len_,
+                   "shared heap exhausted: need "
+                       << bytes << " at offset " << alloc_off_ << " of "
+                       << heap_len_);
+  void* p = static_cast<std::byte*>(heap_) + alloc_off_;
+  alloc_off_ += bytes;
+  if (page_align) alloc_off_ = common::align_up(alloc_off_, common::kPageSize);
+  return p;
+}
+
+// ---------------------------------------------------------------------
+// Page protection
+// ---------------------------------------------------------------------
+
+void Runtime::mprotect_page(PageIndex page, int prot) const {
+  COMMON_SYSCALL(mprotect(page_ptr(page), common::kPageSize, prot));
+}
+
+// ---------------------------------------------------------------------
+// Intervals
+// ---------------------------------------------------------------------
+
+void Runtime::close_interval() {
+  simx::ProtocolSection protocol(ep_.clock());
+  std::lock_guard<std::mutex> g(mu_);
+  if (dirty_pages_.empty()) return;
+
+  const Seq seq = vc_.get(static_cast<ProcId>(rank_)) + 1;
+  vc_.set(static_cast<ProcId>(rank_), seq);
+
+  auto meta = std::make_unique<IntervalMeta>();
+  meta->id = IntervalKey{static_cast<ProcId>(rank_), seq};
+  meta->vc = vc_;
+  meta->pages = dirty_pages_;
+  std::sort(meta->pages.begin(), meta->pages.end());
+
+  // Lazy diffing: no diffs are made here. Each dirty page records the
+  // closing interval and is write-protected again; the twin persists so
+  // the eventual flush (at the first diff request) covers every interval
+  // since the previous flush. Pages never fetched never pay for a diff.
+  for (PageIndex page : dirty_pages_) {
+    PageMeta& pm = pages_[page];
+    COMMON_CHECK(pm.dirty && pm.twin != nullptr);
+    pm.unflushed.push_back(seq);
+    pm.dirty = false;
+    if (pm.state != PageState::kInvalid) {
+      // (An invalid page — concurrent-writer notice — stays invalid.)
+      mprotect_page(page, PROT_READ);
+      pm.state = PageState::kReadOnly;
+    }
+  }
+  for (PageIndex page : meta->pages)
+    pages_[page].notices.push_back(meta.get());
+  intervals_[static_cast<std::size_t>(rank_)].push_back(std::move(meta));
+  dirty_pages_.clear();
+  stats_.intervals_created += 1;
+}
+
+std::uint64_t Runtime::flush_page_diff(PageIndex page) {
+  // Caller holds mu_. Creates one diff for every unflushed interval of
+  // this page. Open-interval writes leak into the stored diff with their
+  // current values; for data-race-free programs any such word is either
+  // rewritten by a later (fetched) diff or never read concurrently, and
+  // because the stored diff is immutable every fetcher sees the same
+  // bytes (DESIGN.md §5, lazy diffing).
+  PageMeta& pm = pages_[page];
+  COMMON_CHECK(!pm.unflushed.empty() && pm.twin != nullptr);
+  const auto& model = ep_.clock().model();
+  std::uint64_t cost = model.diff_create_ns;
+
+  // The page may be PROT_NONE locally (invalidated while unflushed);
+  // the content is still intact and readable from the service thread
+  // only after unprotecting. Reads on a PROT_READ page are fine.
+  const bool unreadable = pm.state == PageState::kInvalid;
+  if (unreadable) mprotect_page(page, PROT_READ);
+  auto diff = std::make_shared<std::vector<std::byte>>(
+      make_diff(pm.twin.get(), page_ptr(page)));
+  stats_.diffs_created += 1;
+  stats_.diff_bytes_created += diff->size();
+  {
+    std::lock_guard<std::mutex> dg(diff_mu_);
+    const Seq covered = pm.unflushed.back();
+    for (Seq s : pm.unflushed)
+      diffs_.emplace((static_cast<std::uint64_t>(page) << 32) | s,
+                     DiffRec{diff, covered});
+  }
+  pm.unflushed.clear();
+  if (pm.dirty) {
+    // Open-interval writes continue against a fresh twin.
+    std::memcpy(pm.twin.get(), page_ptr(page), common::kPageSize);
+    cost += model.twin_ns;
+  } else {
+    pm.twin.reset();
+  }
+  if (unreadable) mprotect_page(page, PROT_NONE);
+  return cost;
+}
+
+void Runtime::integrate_interval(ProcId creator, Seq seq,
+                                 const VectorClock& vc,
+                                 std::vector<PageIndex> pages) {
+  // Caller holds mu_.
+  if (creator == rank_) return;
+  auto& known = intervals_[creator];
+  if (seq <= known.size()) return;  // duplicate delivery
+  COMMON_CHECK_MSG(seq == known.size() + 1,
+                   "interval gap for proc " << creator << ": have "
+                                            << known.size() << ", got "
+                                            << seq);
+  auto meta = std::make_unique<IntervalMeta>();
+  meta->id = IntervalKey{creator, seq};
+  meta->vc = vc;
+  meta->pages = std::move(pages);
+  const IntervalMeta* m = meta.get();
+  known.push_back(std::move(meta));
+  if (vc_.get(creator) < seq) vc_.set(creator, seq);
+
+  for (PageIndex page : m->pages) {
+    PageMeta& pm = pages_[page];
+    pm.notices.push_back(m);
+    const auto triple = std::make_tuple(creator, seq, page);
+    if (auto it = preapplied_.find(triple); it != preapplied_.end()) {
+      // Already applied through a push/bcast; no invalidation needed.
+      preapplied_.erase(it);
+      continue;
+    }
+    pm.pending.push_back(m);
+    if (pm.state != PageState::kInvalid) {
+      mprotect_page(page, PROT_NONE);
+      pm.state = PageState::kInvalid;
+    }
+  }
+  // Coverage bookkeeping can pre-register pages this interval turned out
+  // not to touch; drop the leftovers now that the real page list is known.
+  preapplied_.erase(
+      preapplied_.lower_bound(std::make_tuple(creator, seq, PageIndex{0})),
+      preapplied_.upper_bound(std::make_tuple(
+          creator, seq, std::numeric_limits<PageIndex>::max())));
+}
+
+void Runtime::serialize_intervals_lacking(ByteWriter& w,
+                                          const VectorClock& their_vc) const {
+  // Caller holds mu_. Emits, per creator in ascending seq order, every
+  // interval the peer lacks according to their_vc, bounded by what we
+  // know (vc_).
+  std::uint32_t count = 0;
+  for (int p = 0; p < nprocs_; ++p) {
+    const auto pid = static_cast<ProcId>(p);
+    count += vc_.get(pid) - std::min(their_vc.get(pid), vc_.get(pid));
+  }
+  w.put<std::uint32_t>(count);
+  for (int p = 0; p < nprocs_; ++p) {
+    const auto pid = static_cast<ProcId>(p);
+    const auto& known = intervals_[static_cast<std::size_t>(p)];
+    for (Seq s = their_vc.get(pid) + 1; s <= vc_.get(pid); ++s) {
+      const IntervalMeta& m = *known[s - 1];
+      w.put<ProcId>(m.id.creator);
+      w.put<Seq>(m.id.seq);
+      w.put_vc(m.vc, nprocs_);
+      w.put<std::uint32_t>(static_cast<std::uint32_t>(m.pages.size()));
+      for (PageIndex pg : m.pages) w.put<PageIndex>(pg);
+    }
+  }
+}
+
+void Runtime::serialize_own_intervals_after(ByteWriter& w,
+                                            Seq after_seq) const {
+  // Caller holds mu_.
+  const auto& own = intervals_[static_cast<std::size_t>(rank_)];
+  const Seq cur = vc_.get(static_cast<ProcId>(rank_));
+  COMMON_CHECK(after_seq <= cur);
+  w.put<std::uint32_t>(cur - after_seq);
+  for (Seq s = after_seq + 1; s <= cur; ++s) {
+    const IntervalMeta& m = *own[s - 1];
+    w.put<ProcId>(m.id.creator);
+    w.put<Seq>(m.id.seq);
+    w.put_vc(m.vc, nprocs_);
+    w.put<std::uint32_t>(static_cast<std::uint32_t>(m.pages.size()));
+    for (PageIndex pg : m.pages) w.put<PageIndex>(pg);
+  }
+}
+
+std::uint32_t Runtime::read_intervals(ByteReader& r) {
+  // Caller holds mu_.
+  const auto count = r.get<std::uint32_t>();
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const auto creator = r.get<ProcId>();
+    const auto seq = r.get<Seq>();
+    VectorClock vc = r.get_vc(nprocs_);
+    const auto npages = r.get<std::uint32_t>();
+    std::vector<PageIndex> pages;
+    pages.reserve(npages);
+    for (std::uint32_t k = 0; k < npages; ++k)
+      pages.push_back(r.get<PageIndex>());
+    integrate_interval(creator, seq, vc, std::move(pages));
+  }
+  return count;
+}
+
+// ---------------------------------------------------------------------
+// Diff fetching (page faults and aggregated validate)
+// ---------------------------------------------------------------------
+
+void Runtime::fetch_and_apply(std::span<const PageIndex> fault_pages) {
+  // Snapshot the needed (creator -> [(page, seq)...]) sets. Only the main
+  // thread mutates pending lists, and we *are* the main thread, so the
+  // snapshot stays accurate while we release mu_ to do network I/O.
+  struct Need {
+    PageIndex page;
+    Seq seq;
+  };
+  std::map<ProcId, std::vector<Need>> by_creator;
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    for (PageIndex page : fault_pages) {
+      for (const IntervalMeta* m : pages_[page].pending) {
+        COMMON_CHECK(m->id.creator != rank_);
+        by_creator[m->id.creator].push_back(Need{page, m->id.seq});
+      }
+    }
+  }
+  if (by_creator.empty()) return;
+
+  // One batched request per creator, issued in parallel.
+  struct Outstanding {
+    ProcId creator;
+    std::uint32_t req_id;
+  };
+  std::vector<Outstanding> outstanding;
+  for (const auto& [creator, needs] : by_creator) {
+    ByteWriter w;
+    w.put<std::uint32_t>(static_cast<std::uint32_t>(needs.size()));
+    for (const Need& n : needs) {
+      w.put<PageIndex>(n.page);
+      w.put<Seq>(n.seq);
+    }
+    const std::uint32_t req_id = next_req_id_++;
+    ep_.send_svc(creator, mpl::FrameKind::kDiffRequest, 0, req_id, w.bytes());
+    outstanding.push_back(Outstanding{creator, req_id});
+    stats_.diff_requests += 1;
+  }
+
+  // Collect replies; stage diffs per page.
+  struct FetchedDiff {
+    const IntervalMeta* interval;
+    std::vector<std::byte> blob;
+    bool same_as_prev = false;  // shares the previous entry's flush blob
+  };
+  std::map<PageIndex, std::vector<FetchedDiff>> staged;
+  for (const Outstanding& o : outstanding) {
+    mpl::Frame f = ep_.wait_app([&o](const mpl::Frame& fr) {
+      return fr.kind == mpl::FrameKind::kDiffReply && fr.src == o.creator &&
+             fr.req_id == o.req_id;
+    });
+    ByteReader r(f.payload);
+    const auto n = r.get<std::uint32_t>();
+    std::lock_guard<std::mutex> g(mu_);
+    std::vector<std::byte> prev_bytes;
+    // Highest blob coverage seen per page from this creator.
+    std::map<PageIndex, Seq> covered_by_page;
+    std::map<PageIndex, Seq> requested_by_page;
+    for (std::uint32_t i = 0; i < n; ++i) {
+      const auto page = r.get<PageIndex>();
+      const auto seq = r.get<Seq>();
+      const auto covered = r.get<Seq>();
+      const auto len = r.get<std::uint32_t>();
+      std::vector<std::byte> bytes;
+      const bool shared_blob = (len == 0xffffffffu);
+      if (shared_blob) {
+        bytes = prev_bytes;  // one flush covered several intervals
+      } else {
+        auto s = r.get_bytes(len);
+        bytes.assign(s.begin(), s.end());
+        prev_bytes = bytes;
+      }
+      const auto& known = intervals_[o.creator];
+      COMMON_CHECK(seq >= 1 && seq <= known.size());
+      staged[page].push_back(FetchedDiff{known[seq - 1].get(),
+                                         std::move(bytes), shared_blob});
+      stats_.diffs_fetched += 1;
+      auto& cov = covered_by_page[page];
+      cov = std::max(cov, covered);
+      auto& req = requested_by_page[page];
+      req = std::max(req, seq);
+    }
+    // The blob bakes in the creator's writes up to `covered`; write
+    // notices for the gap (requested, covered] must not trigger a
+    // refetch later — the stale blob would clobber our own concurrent
+    // writes to other words of the page (false sharing).
+    for (const auto& [page, covered] : covered_by_page) {
+      const auto& known = intervals_[o.creator];
+      for (Seq s = requested_by_page[page] + 1; s <= covered; ++s) {
+        // Integrated gap seqs did not touch this page (else they would
+        // have been pending, hence requested); skip them.
+        if (s <= known.size()) continue;
+        preapplied_.insert(std::make_tuple(o.creator, s, page));
+      }
+    }
+  }
+
+  // Apply, per page, in a linear extension of happens-before (vc weight;
+  // concurrent intervals write disjoint words, so ties are safe).
+  std::lock_guard<std::mutex> g(mu_);
+  for (auto& [page, fetched] : staged) {
+    PageMeta& pm = pages_[page];
+    COMMON_CHECK_MSG(fetched.size() == pm.pending.size(),
+                     "pending set changed under fetch for page " << page);
+    std::sort(fetched.begin(), fetched.end(),
+              [](const FetchedDiff& a, const FetchedDiff& b) {
+                const auto wa = a.interval->vc.weight();
+                const auto wb = b.interval->vc.weight();
+                if (wa != wb) return wa < wb;
+                return a.interval->id.creator < b.interval->id.creator;
+              });
+    const bool dirty = pm.dirty;
+    mprotect_page(page, PROT_READ | PROT_WRITE);
+    for (const FetchedDiff& fd : fetched) {
+      // Entries sharing one flush blob are applied (and charged) once.
+      if (fd.same_as_prev) continue;
+      ep_.clock().add_model(
+          ep_.clock().model().diff_apply_cost(fd.blob.size()));
+      apply_diff(fd.blob, page_ptr(page));
+      // Keep the twin in sync (TreadMarks applies incoming diffs to both
+      // copies): otherwise our next flush would re-export other writers'
+      // words at stale values and clobber their newer updates.
+      if (pm.twin != nullptr) apply_diff(fd.blob, pm.twin.get());
+    }
+    pm.pending.clear();
+    if (dirty) {
+      pm.state = PageState::kReadWrite;  // keep writing against old twin
+    } else {
+      mprotect_page(page, PROT_READ);
+      pm.state = PageState::kReadOnly;
+    }
+  }
+}
+
+bool Runtime::handle_fault(void* addr, bool is_write_hint) {
+  const auto a = reinterpret_cast<std::uintptr_t>(addr);
+  const auto base = reinterpret_cast<std::uintptr_t>(heap_);
+  if (a < base || a >= base + heap_len_) return false;
+  COMMON_CHECK_MSG(pthread_equal(pthread_self(), main_tid_),
+                   "shared-memory fault on a non-application thread");
+
+  simx::ProtocolSection protocol(ep_.clock(), host_fault_cost_ns_);
+  ep_.clock().add_model(ep_.clock().model().page_fault_ns);
+  const PageIndex page = page_of(addr);
+  PageState state;
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    state = pages_[page].state;
+  }
+  // A fault on a read-only page can only be a write; a fault on an
+  // invalid page uses the hardware's read/write bit when available
+  // (x86-64), else is treated as a read — the retried store then faults
+  // again on the read-only page and takes the write path.
+  const bool is_write = is_write_hint || state == PageState::kReadOnly;
+
+  switch (state) {
+    case PageState::kInvalid: {
+      if (is_write)
+        stats_.write_faults += 1;
+      else
+        stats_.read_faults += 1;
+      const PageIndex pages[1] = {page};
+      fetch_and_apply(pages);
+      if (is_write) {
+        std::lock_guard<std::mutex> g(mu_);
+        PageMeta& pm = pages_[page];
+        if (!pm.dirty) {
+          if (pm.twin == nullptr) {
+            pm.twin = std::make_unique<std::byte[]>(common::kPageSize);
+            std::memcpy(pm.twin.get(), page_ptr(page), common::kPageSize);
+            ep_.clock().add_model(ep_.clock().model().twin_ns);
+            stats_.twins_created += 1;
+          }
+          pm.dirty = true;
+          dirty_pages_.push_back(page);
+        }
+        mprotect_page(page, PROT_READ | PROT_WRITE);
+        pm.state = PageState::kReadWrite;
+      }
+      return true;
+    }
+    case PageState::kReadOnly: {
+      stats_.write_faults += 1;
+      std::lock_guard<std::mutex> g(mu_);
+      PageMeta& pm = pages_[page];
+      COMMON_CHECK(!pm.dirty);
+      if (pm.twin == nullptr) {
+        // First write since the last flush: make a twin. A persistent
+        // twin from earlier intervals is reused without copying (the
+        // big lazy-diffing saving for repeatedly-written pages).
+        pm.twin = std::make_unique<std::byte[]>(common::kPageSize);
+        std::memcpy(pm.twin.get(), page_ptr(page), common::kPageSize);
+        ep_.clock().add_model(ep_.clock().model().twin_ns);
+        stats_.twins_created += 1;
+      }
+      pm.dirty = true;
+      dirty_pages_.push_back(page);
+      mprotect_page(page, PROT_READ | PROT_WRITE);
+      pm.state = PageState::kReadWrite;
+      return true;
+    }
+    case PageState::kReadWrite:
+      // The only way to fault on an RW page is a protocol bug.
+      COMMON_CHECK_MSG(false, "fault on a read-write page " << page);
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------
+// Barrier (§2.2: centralized manager, 2(n-1) messages)
+// ---------------------------------------------------------------------
+
+void Runtime::barrier() {
+  simx::ProtocolSection protocol(ep_.clock());
+  close_interval();
+  stats_.barriers += 1;
+  if (nprocs_ == 1) {
+    ++barrier_seq_;
+    return;
+  }
+
+  if (rank_ == 0) {
+    std::vector<VectorClock> arrived(static_cast<std::size_t>(nprocs_));
+    {
+      std::lock_guard<std::mutex> g(mu_);
+      arrived[0] = vc_;
+    }
+    for (int i = 1; i < nprocs_; ++i) {
+      mpl::Frame f = ep_.wait_app_kind(mpl::FrameKind::kBarrierArrive);
+      ByteReader r(f.payload);
+      const auto seq = r.get<std::uint32_t>();
+      COMMON_CHECK_MSG(seq == barrier_seq_, "barrier sequence mismatch");
+      VectorClock their = r.get_vc(nprocs_);
+      std::lock_guard<std::mutex> g(mu_);
+      read_intervals(r);
+      arrived[static_cast<std::size_t>(f.src)] = their;
+      vc_.merge(their);
+    }
+    for (int p = 1; p < nprocs_; ++p) {
+      ByteWriter w;
+      w.put<std::uint32_t>(barrier_seq_);
+      {
+        std::lock_guard<std::mutex> g(mu_);
+        w.put_vc(vc_, nprocs_);
+        serialize_intervals_lacking(w, arrived[static_cast<std::size_t>(p)]);
+      }
+      ep_.send_app(p, mpl::FrameKind::kBarrierDepart, 0, 0, w.bytes());
+    }
+  } else {
+    ByteWriter w;
+    w.put<std::uint32_t>(barrier_seq_);
+    {
+      std::lock_guard<std::mutex> g(mu_);
+      w.put_vc(vc_, nprocs_);
+      serialize_own_intervals_after(w, sent_to_master_seq_);
+      sent_to_master_seq_ = vc_.get(static_cast<ProcId>(rank_));
+    }
+    ep_.send_app(0, mpl::FrameKind::kBarrierArrive, 0, 0, w.bytes());
+
+    mpl::Frame f = ep_.wait_app_kind_from(mpl::FrameKind::kBarrierDepart, 0);
+    ByteReader r(f.payload);
+    const auto seq = r.get<std::uint32_t>();
+    COMMON_CHECK_MSG(seq == barrier_seq_, "barrier sequence mismatch");
+    VectorClock merged = r.get_vc(nprocs_);
+    std::lock_guard<std::mutex> g(mu_);
+    read_intervals(r);
+    vc_.merge(merged);
+  }
+  ++barrier_seq_;
+}
+
+// ---------------------------------------------------------------------
+// Improved compiler interface (§2.3)
+// ---------------------------------------------------------------------
+
+void Runtime::fork_broadcast(std::uint32_t func_id,
+                             std::span<const std::byte> args) {
+  COMMON_CHECK_MSG(rank_ == 0, "fork_broadcast is master-only");
+  simx::ProtocolSection protocol(ep_.clock());
+  close_interval();
+  for (int w = 1; w < nprocs_; ++w) {
+    ByteWriter msg;
+    msg.put<std::uint32_t>(fork_seq_);
+    msg.put<std::uint32_t>(func_id);
+    msg.put<std::uint32_t>(static_cast<std::uint32_t>(args.size()));
+    msg.put_bytes(args);
+    {
+      std::lock_guard<std::mutex> g(mu_);
+      msg.put_vc(vc_, nprocs_);
+      serialize_intervals_lacking(msg,
+                                  worker_vc_[static_cast<std::size_t>(w)]);
+      worker_vc_[static_cast<std::size_t>(w)].merge(vc_);
+    }
+    ep_.send_app(w, mpl::FrameKind::kForkWork, 0, 0, msg.bytes());
+  }
+  ++fork_seq_;
+}
+
+Runtime::ForkWork Runtime::wait_fork() {
+  COMMON_CHECK_MSG(rank_ != 0, "wait_fork is worker-only");
+  simx::ProtocolSection protocol(ep_.clock());
+  mpl::Frame f = ep_.wait_app_kind_from(mpl::FrameKind::kForkWork, 0);
+  ByteReader r(f.payload);
+  const auto seq = r.get<std::uint32_t>();
+  COMMON_CHECK_MSG(seq == fork_seq_, "fork sequence mismatch");
+  ++fork_seq_;
+  ForkWork work;
+  work.func_id = r.get<std::uint32_t>();
+  const auto len = r.get<std::uint32_t>();
+  auto bytes = r.get_bytes(len);
+  work.args.assign(bytes.begin(), bytes.end());
+  VectorClock master_vc = r.get_vc(nprocs_);
+  std::lock_guard<std::mutex> g(mu_);
+  read_intervals(r);
+  vc_.merge(master_vc);
+  return work;
+}
+
+void Runtime::join_worker() {
+  COMMON_CHECK_MSG(rank_ != 0, "join_worker is worker-only");
+  simx::ProtocolSection protocol(ep_.clock());
+  close_interval();
+  ByteWriter w;
+  w.put<std::uint32_t>(fork_seq_);
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    w.put_vc(vc_, nprocs_);
+    serialize_own_intervals_after(w, sent_to_master_seq_);
+    sent_to_master_seq_ = vc_.get(static_cast<ProcId>(rank_));
+  }
+  ep_.send_app(0, mpl::FrameKind::kJoinDone, 0, 0, w.bytes());
+}
+
+void Runtime::join_master() {
+  COMMON_CHECK_MSG(rank_ == 0, "join_master is master-only");
+  simx::ProtocolSection protocol(ep_.clock());
+  close_interval();
+  for (int i = 1; i < nprocs_; ++i) {
+    mpl::Frame f = ep_.wait_app_kind(mpl::FrameKind::kJoinDone);
+    ByteReader r(f.payload);
+    const auto seq = r.get<std::uint32_t>();
+    COMMON_CHECK_MSG(seq == fork_seq_, "join sequence mismatch");
+    VectorClock their = r.get_vc(nprocs_);
+    std::lock_guard<std::mutex> g(mu_);
+    read_intervals(r);
+    worker_vc_[static_cast<std::size_t>(f.src)] = their;
+    vc_.merge(their);
+  }
+}
+
+// ---------------------------------------------------------------------
+// Extension interface (§5 optimizations; Dwarkadas et al. [7])
+// ---------------------------------------------------------------------
+
+void Runtime::validate(const void* base, std::size_t len) {
+  const Range r{base, len};
+  validate_ranges({&r, 1});
+}
+
+void Runtime::validate_ranges(std::span<const Range> ranges) {
+  simx::ProtocolSection protocol(ep_.clock());
+  stats_.validates += 1;
+  std::vector<PageIndex> want;
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    for (const Range& r : ranges) {
+      if (r.len == 0) continue;
+      const auto off = static_cast<std::size_t>(
+          static_cast<const std::byte*>(r.base) -
+          static_cast<std::byte*>(heap_));
+      COMMON_CHECK(off < heap_len_ && off + r.len <= heap_len_);
+      const PageIndex first = static_cast<PageIndex>(off / common::kPageSize);
+      const PageIndex last =
+          static_cast<PageIndex>((off + r.len - 1) / common::kPageSize);
+      for (PageIndex p = first; p <= last; ++p)
+        if (!pages_[p].pending.empty()) want.push_back(p);
+    }
+    // Ranges may share pages; fetch each once.
+    std::sort(want.begin(), want.end());
+    want.erase(std::unique(want.begin(), want.end()), want.end());
+  }
+  if (!want.empty()) fetch_and_apply(want);
+}
+
+void Runtime::push(int dst, const void* base, std::size_t len) {
+  simx::ProtocolSection protocol(ep_.clock());
+  stats_.pushes += 1;
+  const auto off = static_cast<std::size_t>(static_cast<const std::byte*>(base) -
+                                            static_cast<std::byte*>(heap_));
+  COMMON_CHECK_MSG((off & common::kPageMask) == 0 &&
+                       (len & common::kPageMask) == 0,
+                   "push requires page-aligned region");
+  COMMON_CHECK(off + len <= heap_len_);
+  close_interval();
+
+  const PageIndex first = static_cast<PageIndex>(off / common::kPageSize);
+  const auto npages = static_cast<PageIndex>(len / common::kPageSize);
+
+  ByteWriter w;
+  w.put<std::uint64_t>(off);
+  w.put<std::uint32_t>(static_cast<std::uint32_t>(len));
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    for (PageIndex p = first; p < first + npages; ++p) {
+      COMMON_CHECK_MSG(pages_[p].pending.empty(),
+                       "push source page " << p << " is stale");
+    }
+    w.put_bytes({static_cast<const std::byte*>(base), len});
+    // Covered write notices: every known interval touching these pages.
+    std::vector<std::tuple<PageIndex, ProcId, Seq>> covered;
+    for (PageIndex p = first; p < first + npages; ++p) {
+      for (const IntervalMeta* m : pages_[p].notices)
+        covered.emplace_back(p, m->id.creator, m->id.seq);
+    }
+    w.put<std::uint32_t>(static_cast<std::uint32_t>(covered.size()));
+    for (const auto& [p, c, s] : covered) {
+      w.put<PageIndex>(p);
+      w.put<ProcId>(c);
+      w.put<Seq>(s);
+    }
+  }
+  ep_.send_app(dst, mpl::FrameKind::kPushData, 0, 0, w.bytes());
+}
+
+namespace {
+
+struct CoveredTriple {
+  PageIndex page;
+  ProcId creator;
+  Seq seq;
+};
+
+}  // namespace
+
+void Runtime::accept_push(int src) {
+  simx::ProtocolSection protocol(ep_.clock());
+  mpl::Frame f = ep_.wait_app_kind_from(mpl::FrameKind::kPushData, src);
+  ep_.clock().add_model(ep_.clock().model().diff_apply_cost(f.payload.size()));
+  ByteReader r(f.payload);
+  const auto off = r.get<std::uint64_t>();
+  const auto len = r.get<std::uint32_t>();
+  auto content = r.get_bytes(len);
+  const auto ncov = r.get<std::uint32_t>();
+  std::vector<CoveredTriple> covered;
+  covered.reserve(ncov);
+  for (std::uint32_t i = 0; i < ncov; ++i) {
+    CoveredTriple t{};
+    t.page = r.get<PageIndex>();
+    t.creator = r.get<ProcId>();
+    t.seq = r.get<Seq>();
+    covered.push_back(t);
+  }
+
+  const PageIndex first = static_cast<PageIndex>(off / common::kPageSize);
+  const auto npages = static_cast<PageIndex>(len / common::kPageSize);
+
+  std::lock_guard<std::mutex> g(mu_);
+  for (PageIndex p = first; p < first + npages; ++p) {
+    PageMeta& pm = pages_[p];
+    COMMON_CHECK_MSG(!pm.dirty && pm.unflushed.empty(),
+                     "push target page " << p << " is locally written");
+    mprotect_page(p, PROT_READ | PROT_WRITE);
+  }
+  std::memcpy(static_cast<std::byte*>(heap_) + off, content.data(), len);
+
+  for (const CoveredTriple& t : covered) {
+    if (t.creator == rank_) continue;
+    PageMeta& pm = pages_[t.page];
+    // If the notice is already pending, the push satisfied it; otherwise
+    // remember it so the future notice does not invalidate the page.
+    auto it = std::find_if(pm.pending.begin(), pm.pending.end(),
+                           [&t](const IntervalMeta* m) {
+                             return m->id.creator == t.creator &&
+                                    m->id.seq == t.seq;
+                           });
+    if (it != pm.pending.end()) {
+      pm.pending.erase(it);
+    } else if (t.seq > intervals_[t.creator].size()) {
+      preapplied_.insert(std::make_tuple(t.creator, t.seq, t.page));
+    }
+  }
+  for (PageIndex p = first; p < first + npages; ++p) {
+    PageMeta& pm = pages_[p];
+    if (pm.pending.empty()) {
+      mprotect_page(p, PROT_READ);
+      pm.state = PageState::kReadOnly;
+    } else {
+      mprotect_page(p, PROT_NONE);
+      pm.state = PageState::kInvalid;
+    }
+  }
+}
+
+void Runtime::bcast(int root, void* base, std::size_t len) {
+  if (nprocs_ == 1) return;
+  if (rank_ == root) {
+    for (int p = 0; p < nprocs_; ++p)
+      if (p != rank_) push(p, base, len);
+  } else {
+    accept_push(root);
+  }
+}
+
+}  // namespace tmk

@@ -1,0 +1,306 @@
+// TreadMarks runtime (§2.2, §2.3, §8).
+//
+// A user-level page-based software DSM:
+//   - the shared heap is one anonymous private mapping inherited from the
+//     harness parent, so it sits at the same address in every process and
+//     starts as identical zero pages everywhere;
+//   - access detection uses mprotect + SIGSEGV, at page granularity;
+//   - consistency is lazy invalidate release consistency with a
+//     multiple-writer protocol: writers twin pages on the first write
+//     fault, create run-length diffs when their interval closes, and
+//     faulting readers pull exactly the diffs they are missing;
+//   - synchronization: centralized-manager barriers (2(n-1) messages) and
+//     statically-managed locks whose releases are silent;
+//   - the improved compiler interface (§2.3): one-to-all `fork` carrying
+//     the loop-control block and all-to-one `join`, 2(n-1) messages per
+//     parallel loop instead of 8(n-1);
+//   - the extension interface used for the §5 hand optimizations
+//     (Dwarkadas et al. [7]): aggregated validate (pull), push, and
+//     broadcast of shared data.
+//
+// Threading model: the application runs on the main thread; one service
+// thread per process answers diff fetches and lock traffic. The SIGSEGV
+// handler runs on the main thread and performs its own RPCs. Internal
+// state is guarded by mu_ with the strict rule that no thread blocks on
+// the network while holding it.
+#pragma once
+
+#include <pthread.h>
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <span>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "mpl/fabric.hpp"
+#include "runner/runner.hpp"
+#include "tmk/diff.hpp"
+#include "tmk/types.hpp"
+
+namespace tmk {
+
+/// Per-page protocol state.
+enum class PageState : std::uint8_t {
+  kReadOnly,   // mapped PROT_READ; contents valid
+  kReadWrite,  // mapped PROT_READ|PROT_WRITE; twinned, being written
+  kInvalid,    // mapped PROT_NONE; write notices pending
+};
+
+struct TmkStats {
+  std::uint64_t read_faults = 0;
+  std::uint64_t write_faults = 0;
+  std::uint64_t twins_created = 0;
+  std::uint64_t diffs_created = 0;
+  std::uint64_t diff_bytes_created = 0;
+  std::uint64_t diffs_fetched = 0;
+  std::uint64_t diff_requests = 0;
+  std::uint64_t intervals_created = 0;
+  std::uint64_t barriers = 0;
+  std::uint64_t lock_acquires = 0;
+  std::uint64_t pushes = 0;
+  std::uint64_t validates = 0;
+};
+
+class Runtime {
+ public:
+  struct Options {
+    /// Number of lock identifiers available to the application.
+    int num_locks = 64;
+    /// If nonzero, a deterministic cap on shared-heap allocation; the
+    /// remainder of the inherited mapping is left untouched.
+    std::size_t heap_limit_bytes = 0;
+  };
+
+  /// Attaches the DSM to the inherited shared mapping and starts the
+  /// service thread. Exactly one Runtime may exist per process.
+  Runtime(runner::ChildContext& ctx, Options options);
+  explicit Runtime(runner::ChildContext& ctx) : Runtime(ctx, Options()) {}
+  ~Runtime();
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  [[nodiscard]] int rank() const noexcept { return rank_; }
+  [[nodiscard]] int nprocs() const noexcept { return nprocs_; }
+  [[nodiscard]] mpl::Endpoint& endpoint() noexcept { return ep_; }
+  [[nodiscard]] const TmkStats& stats() const noexcept { return stats_; }
+
+  // ---- allocation --------------------------------------------------
+  // All processes must perform the identical allocation sequence (the
+  // Fortran-common-block discipline of §2.2); allocations are served from
+  // a deterministic bump pointer over the inherited mapping.
+
+  /// Allocates `bytes` of shared memory. When `page_align` is set the
+  /// block is padded to page boundaries — what SPF does for every shared
+  /// array to reduce false sharing (§2.1).
+  void* alloc_bytes(std::size_t bytes, bool page_align = true);
+
+  template <typename T>
+  [[nodiscard]] T* alloc(std::size_t count, bool page_align = true) {
+    return static_cast<T*>(alloc_bytes(count * sizeof(T), page_align));
+  }
+
+  // ---- synchronization ----------------------------------------------
+
+  /// Global barrier with a centralized manager at process 0 (§2.2).
+  void barrier();
+
+  void lock_acquire(int lock_id);
+  void lock_release(int lock_id);
+
+  // ---- improved compiler interface (§2.3) ----------------------------
+
+  /// Master: closes the current interval and broadcasts the loop-control
+  /// block plus consistency information to all workers (one-to-all).
+  void fork_broadcast(std::uint32_t func_id, std::span<const std::byte> args);
+
+  struct ForkWork {
+    std::uint32_t func_id = 0;
+    std::vector<std::byte> args;
+  };
+
+  /// Worker: blocks for the next fork message and integrates its
+  /// consistency information.
+  [[nodiscard]] ForkWork wait_fork();
+
+  /// Worker: closes the interval and reports to the master (all-to-one).
+  void join_worker();
+
+  /// Master: collects all workers' join messages.
+  void join_master();
+
+  // ---- extension interface (§5 hand optimizations, §8) ---------------
+
+  /// Aggregated pull: fetches every missing diff for [base, base+len) in
+  /// one batched request per remote writer, instead of page-at-a-time
+  /// faulting. ("Data aggregation" of §5.)
+  void validate(const void* base, std::size_t len);
+
+  /// Aggregated pull over several disjoint ranges (e.g. the strided slab
+  /// a transposed FFT pass will read): still one batched request per
+  /// remote writer across all ranges.
+  struct Range {
+    const void* base;
+    std::size_t len;
+  };
+  void validate_ranges(std::span<const Range> ranges);
+
+  /// Pushes the current contents of [base, base+len) to `dst`, together
+  /// with the covered write-notice identities, so the receiver will not
+  /// re-fetch them. The range must be page-aligned and closed under this
+  /// process's current writes (the call closes the interval first).
+  /// The receiver must call accept_push(src).
+  void push(int dst, const void* base, std::size_t len);
+
+  /// Receives one pushed region from `src` and applies it.
+  void accept_push(int src);
+
+  /// Collective broadcast of [base, base+len) from `root`; merges
+  /// synchronization and data (§5.3's MGS optimization). All processes
+  /// must call it.
+  void bcast(int root, void* base, std::size_t len);
+
+  // ---- harness -------------------------------------------------------
+
+  /// Final rendezvous: no shared-memory access is allowed afterwards.
+  /// Called automatically by the destructor if not called explicitly.
+  void shutdown();
+
+  [[nodiscard]] static Runtime* instance() noexcept;
+
+  /// SIGSEGV entry point (main thread only). Returns false if the address
+  /// is outside the shared heap (the handler then re-raises).
+  bool handle_fault(void* addr, bool is_write);
+
+  /// Total bytes of shared heap managed.
+  [[nodiscard]] std::size_t heap_bytes() const noexcept { return heap_len_; }
+  [[nodiscard]] void* heap_base() const noexcept { return heap_; }
+
+ private:
+  struct PageMeta {
+    PageState state = PageState::kReadOnly;
+    // The twin persists across interval closes (lazy diffing): it is the
+    // page image as of the last flush, covering every interval in
+    // `unflushed` plus any open-interval writes.
+    std::unique_ptr<std::byte[]> twin;
+    std::vector<const IntervalMeta*> pending;
+    // Every interval known to touch this page (applied or pending);
+    // lets push() enumerate covered write notices without a full scan.
+    std::vector<const IntervalMeta*> notices;
+    // My closed intervals whose diffs have not been created yet; they all
+    // share the flush-time diff.
+    std::vector<Seq> unflushed;
+    bool dirty = false;  // written during the current interval
+  };
+
+  struct LockState {
+    // Main-thread view.
+    bool held = false;
+    // True when this process was the lock's last owner and has released
+    // it (a forward can be granted immediately by the service thread).
+    bool released_here = false;
+    // Pending successor stored by the service thread while we hold it.
+    std::optional<std::pair<ProcId, VectorClock>> successor;
+  };
+
+  // -- helpers, main thread --
+  void close_interval();
+  void integrate_interval(ProcId creator, Seq seq, const VectorClock& vc,
+                          std::vector<PageIndex> pages);
+  void serialize_intervals_lacking(ByteWriter& w,
+                                   const VectorClock& their_vc) const;
+  void serialize_own_intervals_after(ByteWriter& w, Seq after_seq) const;
+  std::uint32_t read_intervals(ByteReader& r);
+  void fetch_and_apply(std::span<const PageIndex> pages);
+  void mprotect_page(PageIndex page, int prot) const;
+  [[nodiscard]] std::byte* page_ptr(PageIndex page) const noexcept {
+    return static_cast<std::byte*>(heap_) + page * common::kPageSize;
+  }
+  [[nodiscard]] PageIndex page_of(const void* p) const noexcept {
+    return static_cast<PageIndex>(
+        (static_cast<const std::byte*>(p) - static_cast<std::byte*>(heap_)) /
+        common::kPageSize);
+  }
+  [[nodiscard]] int lock_manager(int lock_id) const noexcept {
+    return lock_id % nprocs_;
+  }
+
+  // -- service thread --
+  void service_loop();
+  void serve_diff_request(const mpl::Frame& f);
+  void serve_lock_request(const mpl::Frame& f);
+  void serve_lock_forward(const mpl::Frame& f);
+  // Composes a grant for `requester` given its vector clock; used by both
+  // the service thread and the main thread (at release).
+  void send_lock_grant(int lock_id, ProcId requester,
+                       const VectorClock& req_vc, bool from_service,
+                       std::uint64_t base_vt);
+
+  int rank_;
+  int nprocs_;
+  mpl::Endpoint& ep_;
+  void* heap_;
+  std::size_t heap_len_;
+  std::size_t num_pages_;
+  std::size_t alloc_off_ = 0;
+  Options options_;
+
+  // Guards: vc_, intervals_, pages_ metadata, preapplied_, locks_,
+  // diffs_ has its own mutex (service reads it while main computes).
+  mutable std::mutex mu_;
+  VectorClock vc_;
+  // intervals_[p][s-1] = interval (p, s); contiguous by construction.
+  std::array<std::vector<std::unique_ptr<IntervalMeta>>, mpl::kMaxProcs>
+      intervals_;
+  std::vector<PageMeta> pages_;
+  std::vector<PageIndex> dirty_pages_;  // pages twinned this interval
+  // (creator, seq, page) triples already applied via push/bcast.
+  std::set<std::tuple<ProcId, Seq, PageIndex>> preapplied_;
+  std::vector<LockState> locks_;
+
+  mutable std::mutex diff_mu_;
+  // One flushed diff can cover several of a page's intervals (everything
+  // since the previous flush); covered_up_to tells the fetcher which
+  // write notices the blob satisfies beyond the requested one.
+  struct DiffRec {
+    std::shared_ptr<std::vector<std::byte>> blob;
+    Seq covered_up_to = 0;
+  };
+  // key: (page << 32) | seq — diffs created by this process.
+  std::unordered_map<std::uint64_t, DiffRec> diffs_;
+
+  // Flushes a page's lazy diff (creates it from twin vs current content
+  // and registers it for every unflushed interval). Caller holds mu_;
+  // takes diff_mu_ internally. Returns modelled cost.
+  std::uint64_t flush_page_diff(PageIndex page);
+
+  // Improved-interface bookkeeping (master side).
+  std::vector<VectorClock> worker_vc_;
+  Seq sent_to_master_seq_ = 0;  // my own intervals already sent to proc 0
+  std::uint32_t barrier_seq_ = 0;
+  std::uint32_t fork_seq_ = 0;
+  std::uint32_t next_req_id_ = 1;
+  // Manager-side record of the last process to request each lock.
+  std::vector<ProcId> lock_last_requester_;
+  pthread_t main_tid_{};
+
+  // Host-side cost of delivering one page fault (measured at startup);
+  // excluded from scaled compute at each fault.
+  std::uint64_t host_fault_cost_ns_ = 0;
+
+  std::thread service_;
+  std::atomic<bool> stop_{false};
+  bool shutdown_done_ = false;
+
+  TmkStats stats_;
+};
+
+}  // namespace tmk

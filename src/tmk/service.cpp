@@ -1,0 +1,84 @@
+// Service thread: answers diff fetches and lock traffic while the main
+// thread computes. TreadMarks used SIGIO interrupts for this; a dedicated
+// thread produces the same message pattern, and its handler cost is
+// charged to the process's virtual clock as interrupt overhead.
+#include "tmk/runtime.hpp"
+
+#include "common/check.hpp"
+
+namespace tmk {
+
+void Runtime::service_loop() {
+  while (auto f = ep_.next_svc_request(stop_)) {
+    switch (f->kind) {
+      case mpl::FrameKind::kDiffRequest:
+        serve_diff_request(*f);
+        break;
+      case mpl::FrameKind::kLockRequest:
+        serve_lock_request(*f);
+        break;
+      case mpl::FrameKind::kLockForward:
+        serve_lock_forward(*f);
+        break;
+      default:
+        COMMON_CHECK_MSG(false, "unexpected service frame kind "
+                                    << static_cast<int>(f->kind));
+    }
+  }
+}
+
+// Reply entry whose length is this marker shares the previous entry's
+// bytes (one lazy flush covers several intervals of a page).
+inline constexpr std::uint32_t kSameAsPrevious = 0xffffffffu;
+
+void Runtime::serve_diff_request(const mpl::Frame& f) {
+  const auto& m = ep_.clock().model();
+  ByteReader r(f.payload);
+  const auto n = r.get<std::uint32_t>();
+  std::uint64_t handler = m.handler_cost(n);
+
+  ByteWriter w;
+  w.put<std::uint32_t>(n);
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    const DiffRec* prev = nullptr;
+    for (std::uint32_t i = 0; i < n; ++i) {
+      const auto page = r.get<PageIndex>();
+      const auto seq = r.get<Seq>();
+      const auto key = (static_cast<std::uint64_t>(page) << 32) | seq;
+      const DiffRec* rec = nullptr;
+      {
+        std::lock_guard<std::mutex> dg(diff_mu_);
+        if (auto it = diffs_.find(key); it != diffs_.end()) rec = &it->second;
+      }
+      if (rec == nullptr) {
+        // Lazy flush: create the diff(s) for this page now.
+        handler += flush_page_diff(page);
+        std::lock_guard<std::mutex> dg(diff_mu_);
+        auto it = diffs_.find(key);
+        COMMON_CHECK_MSG(it != diffs_.end(),
+                         "diff request for unknown diff: page "
+                             << page << " seq " << seq);
+        rec = &it->second;
+      }
+      w.put<PageIndex>(page);
+      w.put<Seq>(seq);
+      w.put<Seq>(rec->covered_up_to);
+      if (prev != nullptr && prev->blob == rec->blob) {
+        w.put<std::uint32_t>(kSameAsPrevious);
+      } else {
+        w.put<std::uint32_t>(static_cast<std::uint32_t>(rec->blob->size()));
+        w.put_bytes(*rec->blob);
+      }
+      prev = rec;
+    }
+  }
+  ep_.clock().charge_interrupt(m.recv_overhead_ns + handler +
+                               m.send_overhead_ns);
+  const std::uint64_t base = f.vt_arrival + m.recv_overhead_ns + handler;
+  const std::uint64_t arrival = ep_.stamp_reply(base, f.src, w.size());
+  ep_.send_app_stamped(f.src, mpl::FrameKind::kDiffReply, 0, f.req_id,
+                       w.bytes(), arrival);
+}
+
+}  // namespace tmk

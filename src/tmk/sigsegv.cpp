@@ -1,0 +1,122 @@
+// SIGSEGV trampoline: the access-detection mechanism of the DSM.
+//
+// "TreadMarks relies on user-level memory management techniques provided
+//  by the operating system to detect accesses to shared memory at the
+//  granularity of a page." (§2.2)
+//
+// On x86-64 the page-fault error code (bit 1 of REG_ERR) distinguishes
+// writes from reads, so a write miss on an invalid page fetches diffs and
+// twins the page in a single fault. On other architectures the handler
+// treats the first fault as a read; the retried store then faults again
+// on the now read-only page, which is unambiguously a write.
+#include <signal.h>
+#include <sys/mman.h>
+#include <ucontext.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/cpu_clock.hpp"
+
+#include "common/check.hpp"
+#include "tmk/runtime.hpp"
+
+namespace tmk {
+
+namespace {
+
+struct sigaction g_old_action;
+bool g_installed = false;
+// Probe page used to measure the host's fault-delivery cost (trap +
+// signal dispatch + mprotect), which the virtual clock must not scale as
+// application compute.
+void* g_probe_page = nullptr;
+
+void restore_default_and_return() {
+  // Re-raising with the default handler lets a genuine crash produce a
+  // normal core/termination instead of looping through our handler.
+  sigaction(SIGSEGV, &g_old_action, nullptr);
+}
+
+void handler(int /*sig*/, siginfo_t* info, void* uctx) {
+  if (g_probe_page != nullptr &&
+      reinterpret_cast<std::uintptr_t>(info->si_addr) ==
+          reinterpret_cast<std::uintptr_t>(g_probe_page)) {
+    mprotect(g_probe_page, 4096, PROT_READ | PROT_WRITE);
+    return;
+  }
+  bool is_write = false;
+#if defined(__x86_64__)
+  const auto* ctx = static_cast<const ucontext_t*>(uctx);
+  is_write = (ctx->uc_mcontext.gregs[REG_ERR] & 0x2) != 0;
+#else
+  (void)uctx;
+#endif
+  Runtime* rt = Runtime::instance();
+  if (rt == nullptr || !rt->handle_fault(info->si_addr, is_write)) {
+    restore_default_and_return();
+  }
+}
+
+}  // namespace
+
+std::uint64_t measure_host_fault_cost_ns() {
+  void* p = mmap(nullptr, 4096, PROT_READ | PROT_WRITE,
+                 MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  COMMON_CHECK(p != MAP_FAILED);
+  auto* word = static_cast<volatile int*>(p);
+  *word = 1;  // warm the mapping
+  g_probe_page = p;
+  constexpr int kIters = 256;
+
+  // Full path: protect, fault, handler unprotects.
+  const std::uint64_t t0 = common::thread_cpu_ns();
+  for (int i = 0; i < kIters; ++i) {
+    COMMON_SYSCALL(mprotect(p, 4096, PROT_NONE));
+    *word = i;  // faults; the handler unprotects
+  }
+  const std::uint64_t full =
+      (common::thread_cpu_ns() - t0) / static_cast<std::uint64_t>(kIters);
+
+  // Syscall-only path: the two mprotect calls without a fault. The
+  // difference isolates trap + signal delivery + handler entry — the
+  // only part that lands in the *application's* fold window (the
+  // handler body runs in protocol mode and is dropped separately).
+  const std::uint64_t t1 = common::thread_cpu_ns();
+  for (int i = 0; i < kIters; ++i) {
+    COMMON_SYSCALL(mprotect(p, 4096, PROT_NONE));
+    COMMON_SYSCALL(mprotect(p, 4096, PROT_READ | PROT_WRITE));
+  }
+  const std::uint64_t bare =
+      (common::thread_cpu_ns() - t1) / static_cast<std::uint64_t>(kIters);
+
+  g_probe_page = nullptr;
+  munmap(p, 4096);
+  // The tight calibration loop runs with warm caches and predictors; a
+  // real fault in the middle of a compute loop costs a little more. Half
+  // the syscall-pair cost is a robust margin for that cold-path delta.
+  const std::uint64_t trap = full > bare ? full - bare : 0;
+  return trap + bare / 2;
+}
+
+void install_sigsegv_handler() {
+  if (g_installed) return;
+  g_installed = true;
+
+  // The handler performs real protocol work (diff fetches over sockets),
+  // so give it its own sizeable stack.
+  static std::byte alt_stack[512 * 1024];
+  stack_t ss{};
+  ss.ss_sp = alt_stack;
+  ss.ss_size = sizeof(alt_stack);
+  COMMON_SYSCALL(sigaltstack(&ss, nullptr));
+
+  struct sigaction sa{};
+  sa.sa_sigaction = handler;
+  sa.sa_flags = SA_SIGINFO | SA_ONSTACK;
+  sigemptyset(&sa.sa_mask);
+  COMMON_SYSCALL(sigaction(SIGSEGV, &sa, &g_old_action));
+}
+
+}  // namespace tmk

@@ -1,0 +1,151 @@
+// Core protocol types for the TreadMarks reproduction: vector clocks,
+// interval identities, and byte-stream serialization helpers.
+//
+// Terminology (Keleher's lazy release consistency, as implemented by
+// TreadMarks §2.2):
+//   - an *interval* is the slice of one processor's execution between two
+//     consecutive release operations (lock release or barrier arrival);
+//   - a *write notice* says "interval (creator, seq) modified page p";
+//   - a *vector clock* VC[q] = highest seq of q's intervals whose write
+//     notices this processor has seen (and invalidated against).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+#include "common/check.hpp"
+#include "mpl/frame.hpp"
+
+namespace tmk {
+
+using ProcId = std::uint16_t;
+using Seq = std::uint32_t;       // per-processor interval sequence number
+using PageIndex = std::uint32_t;
+
+/// Vector clock over at most kMaxProcs processors. Entries beyond nprocs
+/// stay zero.
+class VectorClock {
+ public:
+  [[nodiscard]] Seq get(ProcId p) const noexcept { return v_[p]; }
+  void set(ProcId p, Seq s) noexcept { v_[p] = s; }
+
+  void merge(const VectorClock& o) noexcept {
+    for (std::size_t i = 0; i < v_.size(); ++i)
+      v_[i] = std::max(v_[i], o.v_[i]);
+  }
+
+  /// Componentwise <=: this happened-before-or-equals other.
+  [[nodiscard]] bool dominated_by(const VectorClock& o) const noexcept {
+    for (std::size_t i = 0; i < v_.size(); ++i)
+      if (v_[i] > o.v_[i]) return false;
+    return true;
+  }
+
+  /// Sum of components: a linear extension of happens-before for
+  /// intervals (used to order diff application; see DESIGN.md §5).
+  [[nodiscard]] std::uint64_t weight() const noexcept {
+    std::uint64_t s = 0;
+    for (Seq x : v_) s += x;
+    return s;
+  }
+
+  [[nodiscard]] bool operator==(const VectorClock&) const = default;
+
+ private:
+  std::array<Seq, mpl::kMaxProcs> v_{};
+};
+
+/// Identity of one interval.
+struct IntervalKey {
+  ProcId creator = 0;
+  Seq seq = 0;
+  [[nodiscard]] bool operator==(const IntervalKey&) const = default;
+};
+
+/// Metadata of one interval as shipped in write notices: who, when (its
+/// creator's vector time at close), and which pages it dirtied.
+struct IntervalMeta {
+  IntervalKey id;
+  VectorClock vc;
+  std::vector<PageIndex> pages;
+};
+
+// ---------------------------------------------------------------------
+// Byte-stream serialization. All traffic stays on one host, so host byte
+// order is fine; bounds are checked on the read side.
+// ---------------------------------------------------------------------
+
+class ByteWriter {
+ public:
+  template <typename T>
+  void put(const T& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const auto* p = reinterpret_cast<const std::byte*>(&v);
+    buf_.insert(buf_.end(), p, p + sizeof(T));
+  }
+
+  void put_bytes(std::span<const std::byte> b) {
+    buf_.insert(buf_.end(), b.begin(), b.end());
+  }
+
+  void put_vc(const VectorClock& vc, int nprocs) {
+    for (int i = 0; i < nprocs; ++i) put<Seq>(vc.get(static_cast<ProcId>(i)));
+  }
+
+  [[nodiscard]] std::span<const std::byte> bytes() const noexcept {
+    return buf_;
+  }
+  [[nodiscard]] std::vector<std::byte> take() noexcept {
+    return std::move(buf_);
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return buf_.size(); }
+
+ private:
+  std::vector<std::byte> buf_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::byte> b) noexcept : buf_(b) {}
+
+  template <typename T>
+  [[nodiscard]] T get() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    COMMON_CHECK_MSG(pos_ + sizeof(T) <= buf_.size(),
+                     "message underflow reading " << sizeof(T) << " bytes");
+    T v;
+    std::memcpy(&v, buf_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  [[nodiscard]] std::span<const std::byte> get_bytes(std::size_t n) {
+    COMMON_CHECK_MSG(pos_ + n <= buf_.size(), "message underflow");
+    auto s = buf_.subspan(pos_, n);
+    pos_ += n;
+    return s;
+  }
+
+  [[nodiscard]] VectorClock get_vc(int nprocs) {
+    VectorClock vc;
+    for (int i = 0; i < nprocs; ++i)
+      vc.set(static_cast<ProcId>(i), get<Seq>());
+    return vc;
+  }
+
+  [[nodiscard]] bool done() const noexcept { return pos_ == buf_.size(); }
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return buf_.size() - pos_;
+  }
+
+ private:
+  std::span<const std::byte> buf_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace tmk

@@ -1,0 +1,148 @@
+// Integration tests for the irregular applications (IGrid, NBF) — the
+// paper's §6. Besides checksum equivalence, these assert the headline
+// shape: the XHPF broadcast fallback moves orders of magnitude more data
+// than the DSM, and TreadMarks moves *less data* than even the hand MP
+// code (diffs carry only the modified words).
+#include <gtest/gtest.h>
+
+#include "apps/igrid.hpp"
+#include "apps/nbf.hpp"
+#include "common/check.hpp"
+#include "common/checksum.hpp"
+
+namespace {
+
+runner::SpawnOptions fast_options() {
+  runner::SpawnOptions o;
+  o.model = simx::MachineModel::zero_cost();
+  o.shared_heap_bytes = 256ull << 20;
+  o.timeout_sec = 300;
+  return o;
+}
+
+// ---- IGrid ------------------------------------------------------------
+
+class IGridVariants
+    : public ::testing::TestWithParam<std::pair<apps::System, int>> {};
+
+TEST_P(IGridVariants, MatchesSequentialChecksum) {
+  const auto [system, nprocs] = GetParam();
+  apps::IGridParams p;
+  p.n = 96;
+  p.iters = 4;
+  p.warmup_iters = 1;
+  const double expect = apps::igrid_seq(p);
+  const auto r = apps::run_igrid(system, p, nprocs, fast_options());
+  EXPECT_DOUBLE_EQ(r.checksum, expect)
+      << apps::to_string(system) << " nprocs=" << nprocs;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSystems, IGridVariants,
+    ::testing::Values(std::pair{apps::System::kSpf, 2},
+                      std::pair{apps::System::kSpf, 8},
+                      std::pair{apps::System::kTmk, 2},
+                      std::pair{apps::System::kTmk, 8},
+                      std::pair{apps::System::kXhpf, 4},
+                      std::pair{apps::System::kXhpf, 8},
+                      std::pair{apps::System::kPvme, 4},
+                      std::pair{apps::System::kPvme, 8}));
+
+TEST(IGridVariantsEdge, LargerDisplacementStillCorrect) {
+  apps::IGridParams p;
+  p.n = 96;
+  p.iters = 3;
+  p.warmup_iters = 0;
+  p.displacement = 3;
+  const double expect = apps::igrid_seq(p);
+  for (apps::System s : {apps::System::kTmk, apps::System::kPvme}) {
+    const auto r = apps::run_igrid(s, p, 4, fast_options());
+    EXPECT_DOUBLE_EQ(r.checksum, expect) << apps::to_string(s);
+  }
+}
+
+TEST(IGridShape, XhpfBroadcastsOrdersOfMagnitudeMoreData) {
+  apps::IGridParams p;
+  p.n = 200;
+  p.iters = 5;
+  p.warmup_iters = 1;
+  const auto tmk = apps::run_igrid(apps::System::kTmk, p, 8, fast_options());
+  const auto xhpf = apps::run_igrid(apps::System::kXhpf, p, 8, fast_options());
+  const auto pvme = apps::run_igrid(apps::System::kPvme, p, 8, fast_options());
+
+  const double tmk_kb = tmk.kbytes(mpl::Layer::kTmk);
+  const double xhpf_kb = xhpf.kbytes(mpl::Layer::kPvme);
+  const double pvme_kb = pvme.kbytes(mpl::Layer::kPvme);
+  // §6.1: on-demand paging touches only boundary pages; the broadcast
+  // fallback ships every partition to everyone.
+  EXPECT_GT(xhpf_kb, 50.0 * tmk_kb);
+  EXPECT_GT(xhpf_kb, 20.0 * pvme_kb);
+}
+
+// ---- NBF --------------------------------------------------------------
+
+class NbfVariants
+    : public ::testing::TestWithParam<std::pair<apps::System, int>> {};
+
+TEST_P(NbfVariants, MatchesSequentialChecksum) {
+  const auto [system, nprocs] = GetParam();
+  apps::NbfParams p;
+  p.nmol = 1024;
+  p.iters = 3;
+  p.warmup_iters = 1;
+  p.window = 48;
+  const double expect = apps::nbf_seq(p);
+  const auto r = apps::run_nbf(system, p, nprocs, fast_options());
+  if (system == apps::System::kXhpf) {
+    // Buffer-sum order differs from the sequential interleaving.
+    EXPECT_TRUE(common::checksum_close(r.checksum, expect, 1e-9))
+        << r.checksum << " vs " << expect;
+  } else {
+    EXPECT_DOUBLE_EQ(r.checksum, expect)
+        << apps::to_string(system) << " nprocs=" << nprocs;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSystems, NbfVariants,
+    ::testing::Values(std::pair{apps::System::kSpf, 2},
+                      std::pair{apps::System::kSpf, 8},
+                      std::pair{apps::System::kTmk, 2},
+                      std::pair{apps::System::kTmk, 8},
+                      std::pair{apps::System::kXhpf, 4},
+                      std::pair{apps::System::kXhpf, 8},
+                      std::pair{apps::System::kPvme, 4},
+                      std::pair{apps::System::kPvme, 8}));
+
+TEST(NbfShape, XhpfBroadcastDominatesTraffic) {
+  apps::NbfParams p;
+  p.nmol = 2048;
+  p.iters = 4;
+  p.warmup_iters = 1;
+  p.window = 64;
+  const auto tmk = apps::run_nbf(apps::System::kTmk, p, 8, fast_options());
+  const auto pvme = apps::run_nbf(apps::System::kPvme, p, 8, fast_options());
+  const auto xhpf = apps::run_nbf(apps::System::kXhpf, p, 8, fast_options());
+
+  // §6.2 / Table 3: XHPF broadcasts whole force buffers and coordinate
+  // partitions — orders of magnitude above both hand versions.
+  const double tmk_kb = tmk.kbytes(mpl::Layer::kTmk);
+  const double pvme_kb = pvme.kbytes(mpl::Layer::kPvme);
+  const double xhpf_kb = xhpf.kbytes(mpl::Layer::kPvme);
+  EXPECT_GT(xhpf_kb, 20.0 * pvme_kb);
+  EXPECT_GT(xhpf_kb, 20.0 * tmk_kb);
+  // The DSM pays page-granularity protocol messages: more messages than
+  // the aggregated hand MP code.
+  EXPECT_GT(tmk.messages(mpl::Layer::kTmk),
+            pvme.messages(mpl::Layer::kPvme));
+}
+
+TEST(NbfEdge, WindowTooLargeIsRejected) {
+  apps::NbfParams p;
+  p.nmol = 256;
+  p.window = 200;  // >= block size at 8 procs
+  EXPECT_THROW(apps::run_nbf(apps::System::kTmk, p, 8, fast_options()),
+               common::Error);
+}
+
+}  // namespace

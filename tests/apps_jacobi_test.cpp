@@ -1,0 +1,115 @@
+// Jacobi integration tests: every system variant must reproduce the
+// sequential checksum bit-exactly (the arithmetic order is identical).
+#include <gtest/gtest.h>
+
+#include "apps/jacobi.hpp"
+
+namespace {
+
+runner::SpawnOptions fast_options() {
+  runner::SpawnOptions o;
+  o.model = simx::MachineModel::zero_cost();
+  o.shared_heap_bytes = 256ull << 20;
+  o.timeout_sec = 300;
+  return o;
+}
+
+struct Case {
+  apps::System system;
+  int nprocs;
+};
+
+class JacobiVariants : public ::testing::TestWithParam<Case> {};
+
+TEST_P(JacobiVariants, MatchesSequentialChecksum) {
+  const auto [system, nprocs] = GetParam();
+  apps::JacobiParams p;
+  p.n = 128;
+  p.iters = 4;
+  p.warmup_iters = 1;
+  const double expect = apps::jacobi_seq(p);
+  const auto r = apps::run_jacobi(system, p, nprocs, fast_options());
+  EXPECT_DOUBLE_EQ(r.checksum, expect)
+      << "system=" << apps::to_string(system) << " nprocs=" << nprocs;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSystems, JacobiVariants,
+    ::testing::Values(Case{apps::System::kSpf, 2},
+                      Case{apps::System::kSpf, 4},
+                      Case{apps::System::kSpf, 8},
+                      Case{apps::System::kTmk, 2},
+                      Case{apps::System::kTmk, 4},
+                      Case{apps::System::kTmk, 8},
+                      Case{apps::System::kXhpf, 2},
+                      Case{apps::System::kXhpf, 4},
+                      Case{apps::System::kXhpf, 8},
+                      Case{apps::System::kPvme, 2},
+                      Case{apps::System::kPvme, 4},
+                      Case{apps::System::kPvme, 8}),
+    [](const auto& info) {
+      return std::string(apps::to_string(info.param.system) ==
+                                 std::string("SPF/Tmk")
+                             ? "Spf"
+                         : apps::to_string(info.param.system) ==
+                                 std::string("Tmk")
+                             ? "Tmk"
+                         : apps::to_string(info.param.system) ==
+                                 std::string("XHPF")
+                             ? "Xhpf"
+                             : "Pvme") +
+             std::to_string(info.param.nprocs);
+    });
+
+// The optimized variant needs page-aligned rows (n multiple of 1024).
+TEST(JacobiOpt, MatchesSequentialChecksum) {
+  apps::JacobiParams p;
+  p.n = 1024;
+  p.iters = 3;
+  p.warmup_iters = 1;
+  const double expect = apps::jacobi_seq(p);
+  const auto r = apps::run_jacobi(apps::System::kSpfOpt, p, 4, fast_options());
+  EXPECT_DOUBLE_EQ(r.checksum, expect);
+}
+
+TEST(JacobiOpt, PushCutsMessagesVsPlainSpf) {
+  apps::JacobiParams p;
+  p.n = 1024;
+  p.iters = 5;
+  p.warmup_iters = 1;
+  const auto plain =
+      apps::run_jacobi(apps::System::kSpf, p, 4, fast_options());
+  const auto opt =
+      apps::run_jacobi(apps::System::kSpfOpt, p, 4, fast_options());
+  EXPECT_LT(opt.messages(mpl::Layer::kTmk), plain.messages(mpl::Layer::kTmk));
+}
+
+// Message-count shape of Table 2: MP sends fewest messages; the DSM
+// versions pay page-fault round-trips and separate synchronization.
+TEST(JacobiShape, MessageOrdering) {
+  apps::JacobiParams p;
+  p.n = 1024;
+  p.iters = 5;
+  p.warmup_iters = 1;
+  const auto spf = apps::run_jacobi(apps::System::kSpf, p, 8, fast_options());
+  const auto tmk = apps::run_jacobi(apps::System::kTmk, p, 8, fast_options());
+  const auto xhpf =
+      apps::run_jacobi(apps::System::kXhpf, p, 8, fast_options());
+  const auto pvme =
+      apps::run_jacobi(apps::System::kPvme, p, 8, fast_options());
+
+  const auto m_spf = spf.messages(mpl::Layer::kTmk);
+  const auto m_tmk = tmk.messages(mpl::Layer::kTmk);
+  const auto m_xhpf = xhpf.messages(mpl::Layer::kPvme);
+  const auto m_pvme = pvme.messages(mpl::Layer::kPvme);
+
+  EXPECT_GT(m_spf, 0u);
+  EXPECT_GE(m_spf, m_tmk);   // compiler version never sends less
+  EXPECT_GT(m_tmk, m_xhpf);  // page-granularity + separate sync
+  EXPECT_GT(m_xhpf, m_pvme); // conservative per-loop exchanges
+
+  // PVMe: exactly 2 halo messages per interior boundary per iteration.
+  EXPECT_EQ(m_pvme, 5u * 2u * 7u);
+}
+
+}  // namespace

@@ -1,0 +1,262 @@
+// Transport tests: framing, chunking/reassembly, counters, and
+// multi-process delivery through the forked runner.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <numeric>
+
+#include "common/prng.hpp"
+#include "mpl/fabric.hpp"
+#include "runner/runner.hpp"
+
+namespace {
+
+runner::SpawnOptions fast_options() {
+  runner::SpawnOptions o;
+  o.model = simx::MachineModel::zero_cost();
+  o.shared_heap_bytes = 1 << 20;
+  o.timeout_sec = 120;
+  return o;
+}
+
+std::vector<std::byte> make_payload(std::size_t n, std::uint64_t seed) {
+  common::SplitMix64 g(seed);
+  std::vector<std::byte> v(n);
+  for (auto& b : v) b = static_cast<std::byte>(g.next());
+  return v;
+}
+
+TEST(Frame, LayerClassification) {
+  EXPECT_EQ(mpl::layer_of(mpl::FrameKind::kPvmeData), mpl::Layer::kPvme);
+  EXPECT_EQ(mpl::layer_of(mpl::FrameKind::kDiffRequest), mpl::Layer::kTmk);
+  EXPECT_EQ(mpl::layer_of(mpl::FrameKind::kBarrierArrive), mpl::Layer::kTmk);
+  EXPECT_EQ(mpl::layer_of(mpl::FrameKind::kShutdownArrive),
+            mpl::Layer::kOther);
+  EXPECT_EQ(mpl::layer_of(mpl::FrameKind::kTestPing), mpl::Layer::kOther);
+}
+
+TEST(Counters, AccumulateByLayer) {
+  mpl::Counters c;
+  c.count(mpl::FrameKind::kPvmeData, 100);
+  c.count(mpl::FrameKind::kDiffRequest, 50);
+  c.count(mpl::FrameKind::kPvmeData, 10);
+  EXPECT_EQ(c.messages[static_cast<int>(mpl::Layer::kPvme)], 2u);
+  EXPECT_EQ(c.bytes[static_cast<int>(mpl::Layer::kPvme)], 110u);
+  EXPECT_EQ(c.messages[static_cast<int>(mpl::Layer::kTmk)], 1u);
+  EXPECT_EQ(c.total_messages(), 3u);
+  EXPECT_EQ(c.total_bytes(), 160u);
+}
+
+TEST(Counters, PlusEquals) {
+  mpl::Counters a, b;
+  a.count(mpl::FrameKind::kPvmeData, 5);
+  b.count(mpl::FrameKind::kPvmeData, 7);
+  b.count(mpl::FrameKind::kDiffReply, 3);
+  a += b;
+  EXPECT_EQ(a.total_messages(), 3u);
+  EXPECT_EQ(a.total_bytes(), 15u);
+}
+
+// ---- multi-process transport behaviour -------------------------------
+
+TEST(Endpoint, PingPongSmall) {
+  auto result = runner::spawn(2, fast_options(), [](runner::ChildContext& c) {
+    auto& ep = c.endpoint;
+    const auto payload = make_payload(64, 1);
+    if (ep.rank() == 0) {
+      ep.send_app(1, mpl::FrameKind::kTestPing, 7, 1, payload);
+      auto f = ep.wait_app_kind(mpl::FrameKind::kTestPong);
+      return f.payload == payload ? 1.0 : 0.0;
+    }
+    auto f = ep.wait_app_kind(mpl::FrameKind::kTestPing);
+    if (f.tag != 7 || f.src != 0) return 0.0;
+    ep.send_app(0, mpl::FrameKind::kTestPong, 7, 1, f.payload);
+    return 1.0;
+  });
+  EXPECT_DOUBLE_EQ(result.checksum, 1.0);
+}
+
+TEST(Endpoint, LargeMessageChunksReassemble) {
+  // 1 MiB >> kMaxChunk forces multi-chunk reassembly.
+  auto result = runner::spawn(2, fast_options(), [](runner::ChildContext& c) {
+    auto& ep = c.endpoint;
+    const std::size_t n = (1 << 20) + 12345;
+    const auto payload = make_payload(n, 2);
+    if (ep.rank() == 0) {
+      ep.send_app(1, mpl::FrameKind::kTestPing, 0, 1, payload);
+      return 1.0;
+    }
+    auto f = ep.wait_app_kind(mpl::FrameKind::kTestPing);
+    return f.payload == payload ? 1.0 : 0.0;
+  });
+  for (const auto& p : result.procs) EXPECT_EQ(p.ok, 1u);
+  EXPECT_DOUBLE_EQ(result.procs[1].checksum, 1.0);
+}
+
+TEST(Endpoint, SimultaneousLargeSendsDoNotDeadlock) {
+  // Both ranks send 4 MiB at each other before receiving; the pumping
+  // send path must drain to make progress.
+  auto result = runner::spawn(2, fast_options(), [](runner::ChildContext& c) {
+    auto& ep = c.endpoint;
+    const std::size_t n = 4 << 20;
+    const auto mine = make_payload(n, 10 + static_cast<unsigned>(ep.rank()));
+    const auto theirs =
+        make_payload(n, 10 + static_cast<unsigned>(1 - ep.rank()));
+    ep.send_app(1 - ep.rank(), mpl::FrameKind::kTestPing, 0, 1, mine);
+    auto f = ep.wait_app_kind(mpl::FrameKind::kTestPing);
+    return f.payload == theirs ? 1.0 : 0.0;
+  });
+  EXPECT_DOUBLE_EQ(result.procs[0].checksum, 1.0);
+  EXPECT_DOUBLE_EQ(result.procs[1].checksum, 1.0);
+}
+
+TEST(Endpoint, PendingQueueFiltersByKind) {
+  // Rank 0 sends PING then PONG; rank 1 waits for PONG first — the PING
+  // must remain queued and be delivered afterwards.
+  auto result = runner::spawn(2, fast_options(), [](runner::ChildContext& c) {
+    auto& ep = c.endpoint;
+    if (ep.rank() == 0) {
+      const auto a = make_payload(16, 3);
+      const auto b = make_payload(16, 4);
+      ep.send_app(1, mpl::FrameKind::kTestPing, 0, 1, a);
+      ep.send_app(1, mpl::FrameKind::kTestPong, 0, 2, b);
+      return 1.0;
+    }
+    auto pong = ep.wait_app_kind(mpl::FrameKind::kTestPong);
+    auto ping = ep.wait_app_kind(mpl::FrameKind::kTestPing);
+    return (pong.payload == make_payload(16, 4) &&
+            ping.payload == make_payload(16, 3))
+               ? 1.0
+               : 0.0;
+  });
+  EXPECT_DOUBLE_EQ(result.procs[1].checksum, 1.0);
+}
+
+TEST(Endpoint, TagFifoPerSource) {
+  auto result = runner::spawn(2, fast_options(), [](runner::ChildContext& c) {
+    auto& ep = c.endpoint;
+    if (ep.rank() == 0) {
+      for (int i = 0; i < 50; ++i) {
+        std::int32_t v = i;
+        ep.send_app(1, mpl::FrameKind::kTestPing, 5,
+                    static_cast<std::uint32_t>(i),
+                    {reinterpret_cast<const std::byte*>(&v), sizeof(v)});
+      }
+      return 1.0;
+    }
+    for (int i = 0; i < 50; ++i) {
+      auto f = ep.wait_app([](const mpl::Frame& fr) {
+        return fr.kind == mpl::FrameKind::kTestPing && fr.tag == 5;
+      });
+      std::int32_t v;
+      std::memcpy(&v, f.payload.data(), sizeof(v));
+      if (v != i) return 0.0;  // order violated
+    }
+    return 1.0;
+  });
+  EXPECT_DOUBLE_EQ(result.procs[1].checksum, 1.0);
+}
+
+TEST(Endpoint, CountersCountLogicalMessagesOnce) {
+  auto result = runner::spawn(2, fast_options(), [](runner::ChildContext& c) {
+    auto& ep = c.endpoint;
+    const std::size_t n = 200 * 1024;  // forces chunking
+    if (ep.rank() == 0) {
+      ep.send_app(1, mpl::FrameKind::kTestPing, 0, 1, make_payload(n, 5));
+    } else {
+      (void)ep.wait_app_kind(mpl::FrameKind::kTestPing);
+    }
+    return 0.0;
+  });
+  const auto other = static_cast<int>(mpl::Layer::kOther);
+  EXPECT_EQ(result.procs[0].counters.messages[other], 1u);
+  EXPECT_EQ(result.procs[0].counters.bytes[other], 200u * 1024u);
+  EXPECT_EQ(result.procs[1].counters.messages[other], 0u);  // recv free
+}
+
+TEST(Endpoint, SelfMessagesUncounted) {
+  auto result = runner::spawn(1, fast_options(), [](runner::ChildContext& c) {
+    auto& ep = c.endpoint;
+    ep.send_app(0, mpl::FrameKind::kTestPing, 0, 1, make_payload(32, 6));
+    auto f = ep.wait_app_kind(mpl::FrameKind::kTestPing);
+    return f.payload.size() == 32 ? 1.0 : 0.0;
+  });
+  EXPECT_DOUBLE_EQ(result.checksum, 1.0);
+  EXPECT_EQ(result.total.total_messages(), 0u);
+}
+
+TEST(Endpoint, ManyToOneFanIn) {
+  constexpr int kProcs = 8;
+  auto result =
+      runner::spawn(kProcs, fast_options(), [](runner::ChildContext& c) {
+        auto& ep = c.endpoint;
+        if (ep.rank() == 0) {
+          double sum = 0;
+          for (int i = 1; i < ep.nprocs(); ++i) {
+            auto f = ep.wait_app_kind(mpl::FrameKind::kTestPing);
+            double v;
+            std::memcpy(&v, f.payload.data(), sizeof(v));
+            sum += v;
+          }
+          return sum;
+        }
+        const double v = ep.rank();
+        ep.send_app(0, mpl::FrameKind::kTestPing, 0, 1,
+                    {reinterpret_cast<const std::byte*>(&v), sizeof(v)});
+        return 0.0;
+      });
+  EXPECT_DOUBLE_EQ(result.checksum, 1.0 + 2 + 3 + 4 + 5 + 6 + 7);
+}
+
+TEST(Endpoint, ServiceThreadRequestReply) {
+  // Rank 1 runs a service thread answering one request; rank 0 sends a
+  // svc request and waits for the stamped reply.
+  auto result = runner::spawn(2, fast_options(), [](runner::ChildContext& c) {
+    auto& ep = c.endpoint;
+    if (ep.rank() == 1) {
+      std::atomic<bool> stop{false};
+      auto f = ep.next_svc_request(stop);
+      if (!f || f->kind != mpl::FrameKind::kTestPing) return 0.0;
+      ep.send_app_stamped(f->src, mpl::FrameKind::kTestPong, 0, f->req_id,
+                          f->payload, f->vt_arrival + 10);
+      return 1.0;
+    }
+    const auto payload = make_payload(100, 8);
+    ep.send_svc(1, mpl::FrameKind::kTestPing, 0, 42, payload);
+    auto f = ep.wait_app([](const mpl::Frame& fr) {
+      return fr.kind == mpl::FrameKind::kTestPong && fr.req_id == 42;
+    });
+    return f.payload == payload ? 1.0 : 0.0;
+  });
+  EXPECT_DOUBLE_EQ(result.procs[0].checksum, 1.0);
+  EXPECT_DOUBLE_EQ(result.procs[1].checksum, 1.0);
+}
+
+// Virtual time: a two-hop relay should accumulate latency at each hop.
+TEST(Endpoint, VirtualTimeAccumulatesAlongChain) {
+  runner::SpawnOptions opts = fast_options();
+  opts.model.latency_ns = 1'000'000;  // 1 ms
+  opts.model.send_overhead_ns = 0;
+  opts.model.recv_overhead_ns = 0;
+  auto result = runner::spawn(3, opts, [](runner::ChildContext& c) {
+    auto& ep = c.endpoint;
+    std::byte b{1};
+    if (ep.rank() == 0) {
+      ep.send_app(1, mpl::FrameKind::kTestPing, 0, 1, {&b, 1});
+    } else if (ep.rank() == 1) {
+      (void)ep.wait_app_kind(mpl::FrameKind::kTestPing);
+      ep.send_app(2, mpl::FrameKind::kTestPing, 0, 1, {&b, 1});
+    } else {
+      (void)ep.wait_app_kind(mpl::FrameKind::kTestPing);
+    }
+    return 0.0;
+  });
+  // Rank 2 received after two hops: >= 2 ms of modelled latency.
+  EXPECT_GE(result.procs[2].vt_ns, 2'000'000u);
+  // And the maximum is what the run reports.
+  EXPECT_EQ(result.max_vt_ns,
+            std::max({result.procs[0].vt_ns, result.procs[1].vt_ns,
+                      result.procs[2].vt_ns}));
+}
+
+}  // namespace

@@ -1,0 +1,209 @@
+// Message-passing library tests: point-to-point semantics, collectives
+// against naive oracles, message accounting.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "pvme/comm.hpp"
+#include "runner/runner.hpp"
+
+namespace {
+
+runner::SpawnOptions fast_options() {
+  runner::SpawnOptions o;
+  o.model = simx::MachineModel::zero_cost();
+  o.shared_heap_bytes = 1 << 20;
+  o.timeout_sec = 120;
+  return o;
+}
+
+TEST(Pvme, SendRecvScalar) {
+  auto r = runner::spawn(2, fast_options(), [](runner::ChildContext& c) {
+    pvme::Comm comm(c.endpoint);
+    if (comm.rank() == 0) {
+      double v = 3.25;
+      comm.send(1, 10, &v, sizeof(v));
+      return 0.0;
+    }
+    double v = 0;
+    comm.recv_exact(0, 10, &v, sizeof(v));
+    return v;
+  });
+  EXPECT_DOUBLE_EQ(r.procs[1].checksum, 3.25);
+}
+
+TEST(Pvme, TagsSelectMessages) {
+  auto r = runner::spawn(2, fast_options(), [](runner::ChildContext& c) {
+    pvme::Comm comm(c.endpoint);
+    if (comm.rank() == 0) {
+      double a = 1, b = 2;
+      comm.send(1, 100, &a, sizeof(a));
+      comm.send(1, 200, &b, sizeof(b));
+      return 0.0;
+    }
+    double b = 0, a = 0;
+    comm.recv_exact(0, 200, &b, sizeof(b));  // out of arrival order
+    comm.recv_exact(0, 100, &a, sizeof(a));
+    return a * 10 + b;
+  });
+  EXPECT_DOUBLE_EQ(r.procs[1].checksum, 12.0);
+}
+
+TEST(Pvme, SendRecvLargeVector) {
+  auto r = runner::spawn(2, fast_options(), [](runner::ChildContext& c) {
+    pvme::Comm comm(c.endpoint);
+    const std::size_t n = 300'000;
+    if (comm.rank() == 0) {
+      std::vector<double> v(n);
+      for (std::size_t i = 0; i < n; ++i) v[i] = static_cast<double>(i % 97);
+      comm.send_span<double>(1, 3, v);
+      return 0.0;
+    }
+    std::vector<double> v(n);
+    comm.recv_span<double>(0, 3, v);
+    double s = 0;
+    for (double x : v) s += x;
+    return s;
+  });
+  double expect = 0;
+  for (std::size_t i = 0; i < 300'000; ++i) expect += static_cast<double>(i % 97);
+  EXPECT_DOUBLE_EQ(r.procs[1].checksum, expect);
+}
+
+TEST(Pvme, SendRecvExchangeBothWays) {
+  auto r = runner::spawn(2, fast_options(), [](runner::ChildContext& c) {
+    pvme::Comm comm(c.endpoint);
+    double mine = comm.rank() + 1.0;
+    double theirs = 0;
+    comm.sendrecv(1 - comm.rank(), 7, &mine, sizeof(mine), 7, &theirs,
+                  sizeof(theirs));
+    return theirs;
+  });
+  EXPECT_DOUBLE_EQ(r.procs[0].checksum, 2.0);
+  EXPECT_DOUBLE_EQ(r.procs[1].checksum, 1.0);
+}
+
+class PvmeCollectives : public ::testing::TestWithParam<int> {};
+
+TEST_P(PvmeCollectives, BcastFromEveryRoot) {
+  const int nprocs = GetParam();
+  auto r = runner::spawn(nprocs, fast_options(),
+                         [](runner::ChildContext& c) {
+    pvme::Comm comm(c.endpoint);
+    double acc = 0;
+    for (int root = 0; root < comm.nprocs(); ++root) {
+      double v = (comm.rank() == root) ? root * 10.0 : -1.0;
+      comm.bcast(root, &v, sizeof(v));
+      acc += v;
+    }
+    return acc;
+  });
+  double expect = 0;
+  for (int root = 0; root < nprocs; ++root) expect += root * 10.0;
+  for (const auto& p : r.procs) EXPECT_DOUBLE_EQ(p.checksum, expect);
+}
+
+TEST_P(PvmeCollectives, ReduceAndAllreduce) {
+  const int nprocs = GetParam();
+  auto r = runner::spawn(nprocs, fast_options(),
+                         [](runner::ChildContext& c) {
+    pvme::Comm comm(c.endpoint);
+    const double mine = comm.rank() + 1.0;
+    const double root_sum = comm.reduce_sum(0, mine);
+    const double all = comm.allreduce_sum(mine);
+    const double mn = comm.allreduce_min(mine);
+    const double mx = comm.allreduce_max(mine);
+    if (comm.rank() == 0)
+      return root_sum * 1e6 + all * 1e3 + mn * 10 + mx;
+    return all * 1e3 + mn * 10 + mx;
+  });
+  const int n = nprocs;
+  const double sum = n * (n + 1) / 2.0;
+  EXPECT_DOUBLE_EQ(r.procs[0].checksum,
+                   sum * 1e6 + sum * 1e3 + 1.0 * 10 + n);
+  for (int i = 1; i < n; ++i)
+    EXPECT_DOUBLE_EQ(r.procs[static_cast<std::size_t>(i)].checksum,
+                     sum * 1e3 + 1.0 * 10 + n);
+}
+
+TEST_P(PvmeCollectives, GatherAndAllgather) {
+  const int nprocs = GetParam();
+  auto r = runner::spawn(nprocs, fast_options(),
+                         [](runner::ChildContext& c) {
+    pvme::Comm comm(c.endpoint);
+    const std::int32_t mine = 100 + comm.rank();
+    std::vector<std::int32_t> all(
+        static_cast<std::size_t>(comm.nprocs()), -1);
+    comm.allgather(&mine, sizeof(mine), all.data());
+    double s = 0;
+    for (int i = 0; i < comm.nprocs(); ++i) {
+      if (all[static_cast<std::size_t>(i)] != 100 + i) return -1.0;
+      s += all[static_cast<std::size_t>(i)];
+    }
+    return s;
+  });
+  double expect = 0;
+  for (int i = 0; i < nprocs; ++i) expect += 100 + i;
+  for (const auto& p : r.procs) EXPECT_DOUBLE_EQ(p.checksum, expect);
+}
+
+TEST_P(PvmeCollectives, ReduceSumVecElementwise) {
+  const int nprocs = GetParam();
+  auto r = runner::spawn(nprocs, fast_options(),
+                         [](runner::ChildContext& c) {
+    pvme::Comm comm(c.endpoint);
+    std::vector<double> v(50);
+    for (std::size_t i = 0; i < v.size(); ++i)
+      v[i] = static_cast<double>(comm.rank() + 1) * static_cast<double>(i);
+    comm.reduce_sum_vec(0, v.data(), v.size());
+    if (comm.rank() != 0) return 0.0;
+    double s = 0;
+    for (double x : v) s += x;
+    return s;
+  });
+  const double ranksum = nprocs * (nprocs + 1) / 2.0;
+  const double isum = 49.0 * 50.0 / 2.0;
+  EXPECT_DOUBLE_EQ(r.checksum, ranksum * isum);
+}
+
+INSTANTIATE_TEST_SUITE_P(ProcCounts, PvmeCollectives,
+                         ::testing::Values(2, 3, 4, 8));
+
+TEST(Pvme, BarrierOrdersPhases) {
+  auto r = runner::spawn(4, fast_options(), [](runner::ChildContext& c) {
+    pvme::Comm comm(c.endpoint);
+    // Phase 1: everyone sends to rank 0; Phase 2 strictly after.
+    if (comm.rank() != 0) {
+      double v = comm.rank();
+      comm.send(0, 1, &v, sizeof(v));
+    }
+    comm.barrier();
+    if (comm.rank() == 0) {
+      double s = 0;
+      for (int p = 1; p < comm.nprocs(); ++p) {
+        double v;
+        comm.recv_exact(p, 1, &v, sizeof(v));
+        s += v;
+      }
+      return s;
+    }
+    return 0.0;
+  });
+  EXPECT_DOUBLE_EQ(r.checksum, 6.0);
+}
+
+TEST(Pvme, MessageCountsMatchPaperFormulas) {
+  auto r = runner::spawn(8, fast_options(), [](runner::ChildContext& c) {
+    pvme::Comm comm(c.endpoint);
+    comm.barrier();                       // 2(n-1) = 14
+    double v = 1;
+    comm.bcast(0, &v, sizeof(v));         // n-1 = 7
+    (void)comm.reduce_sum(0, v);          // n-1 = 7
+    return 0.0;
+  });
+  EXPECT_EQ(r.messages(mpl::Layer::kPvme), 14u + 7u + 7u);
+  EXPECT_EQ(r.messages(mpl::Layer::kTmk), 0u);
+}
+
+}  // namespace

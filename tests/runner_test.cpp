@@ -1,0 +1,106 @@
+// Harness tests: report plumbing, crash propagation, heap inheritance.
+#include <gtest/gtest.h>
+
+#include <sys/mman.h>
+
+#include <cstring>
+
+#include "common/check.hpp"
+#include "runner/runner.hpp"
+
+namespace {
+
+runner::SpawnOptions fast_options() {
+  runner::SpawnOptions o;
+  o.model = simx::MachineModel::zero_cost();
+  o.shared_heap_bytes = 1 << 20;
+  o.timeout_sec = 60;
+  return o;
+}
+
+TEST(Runner, ChecksumComesFromRankZero) {
+  auto r = runner::spawn(4, fast_options(), [](runner::ChildContext& c) {
+    return c.endpoint.rank() == 0 ? 42.0 : -1.0;
+  });
+  EXPECT_DOUBLE_EQ(r.checksum, 42.0);
+  EXPECT_EQ(r.nprocs, 4);
+  EXPECT_EQ(r.procs.size(), 4u);
+}
+
+TEST(Runner, PerProcessReportsCarryRank) {
+  auto r = runner::spawn(3, fast_options(), [](runner::ChildContext& c) {
+    return static_cast<double>(c.endpoint.rank());
+  });
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(r.procs[static_cast<std::size_t>(i)].rank,
+              static_cast<std::uint32_t>(i));
+    EXPECT_DOUBLE_EQ(r.procs[static_cast<std::size_t>(i)].checksum, i);
+  }
+}
+
+TEST(Runner, ChildExceptionPropagates) {
+  EXPECT_THROW(
+      runner::spawn(2, fast_options(),
+                    [](runner::ChildContext& c) -> double {
+                      if (c.endpoint.rank() == 1)
+                        throw common::Error("deliberate failure");
+                      return 0.0;
+                    }),
+      common::Error);
+}
+
+TEST(Runner, HeapInheritedAtSameAddressAndZeroed) {
+  // Every child writes its rank at a distinct offset in its *private*
+  // copy; children verify the heap starts zeroed and the base pointer is
+  // identical (checksummed via the address bits).
+  auto r = runner::spawn(4, fast_options(), [](runner::ChildContext& c) {
+    auto* p = static_cast<unsigned char*>(c.heap_base);
+    for (int i = 0; i < 1000; ++i)
+      if (p[i] != 0) return -1.0;
+    p[c.endpoint.rank()] = 0xAB;  // private COW write
+    // Another process's write must not be visible here.
+    for (int i = 0; i < 4; ++i)
+      if (i != c.endpoint.rank() && p[i] != 0) return -2.0;
+    return static_cast<double>(reinterpret_cast<std::uintptr_t>(p) & 0xFFFF);
+  });
+  for (const auto& p : r.procs)
+    EXPECT_DOUBLE_EQ(p.checksum, r.procs[0].checksum);
+}
+
+TEST(Runner, SequentialHelperMeasuresCpu) {
+  auto r = runner::run_sequential(fast_options(), [] {
+    volatile double x = 0;
+    for (int i = 0; i < 5'000'000; ++i) x = x + i;
+    return static_cast<double>(x);
+  });
+  EXPECT_GT(r.max_vt_ns, 0u);
+  EXPECT_GT(r.total_cpu_ns, 0u);
+  EXPECT_EQ(r.nprocs, 1);
+}
+
+TEST(Runner, CpuScaleMultipliesVirtualTime) {
+  auto busy = [] {
+    volatile double x = 0;
+    for (int i = 0; i < 20'000'000; ++i) x = x + i;
+    return 0.0;
+  };
+  auto base = fast_options();
+  base.model.cpu_scale = 1.0;
+  auto scaled = fast_options();
+  scaled.model.cpu_scale = 8.0;
+  const auto r1 = runner::run_sequential(base, busy);
+  const auto r8 = runner::run_sequential(scaled, busy);
+  // Expect roughly 8x; allow generous slack for measurement noise.
+  const double ratio = static_cast<double>(r8.max_vt_ns) /
+                       static_cast<double>(r1.max_vt_ns);
+  EXPECT_GT(ratio, 4.0);
+  EXPECT_LT(ratio, 16.0);
+}
+
+TEST(Runner, RejectsTooManyProcs) {
+  EXPECT_THROW(runner::spawn(mpl::kMaxProcs + 1, fast_options(),
+                             [](runner::ChildContext&) { return 0.0; }),
+               common::Error);
+}
+
+}  // namespace

@@ -1,0 +1,161 @@
+// Unit tests for the virtual-time machine model.
+#include <gtest/gtest.h>
+
+#include "sim/machine_model.hpp"
+#include "sim/virtual_clock.hpp"
+
+namespace {
+
+TEST(MachineModel, Sp2DefaultsSane) {
+  const auto m = simx::MachineModel::sp2();
+  EXPECT_GT(m.send_overhead_ns, 0u);
+  EXPECT_GT(m.recv_overhead_ns, 0u);
+  EXPECT_GT(m.latency_ns, 0u);
+  EXPECT_GT(m.gap_ns_per_byte, 0.0);
+  EXPECT_GT(m.cpu_scale, 0.0);
+}
+
+TEST(MachineModel, WireTimeGrowsWithBytes) {
+  const auto m = simx::MachineModel::sp2();
+  EXPECT_LT(m.wire_time(0), m.wire_time(4096));
+  EXPECT_LT(m.wire_time(4096), m.wire_time(1 << 20));
+}
+
+TEST(MachineModel, ZeroCostIsFree) {
+  const auto m = simx::MachineModel::zero_cost();
+  EXPECT_EQ(m.send_cost(12345), 0u);
+  EXPECT_EQ(m.wire_time(12345), 0u);
+}
+
+TEST(MachineModel, ScaleCpuMultiplies) {
+  simx::MachineModel m;
+  m.cpu_scale = 3.0;
+  EXPECT_EQ(m.scale_cpu(100), 300u);
+}
+
+TEST(VirtualClock, AdvancesWithCompute) {
+  simx::VirtualClock c(simx::MachineModel::zero_cost());
+  const auto t0 = c.now();
+  volatile double x = 0;
+  for (int i = 0; i < 2000000; ++i) x = x + i;
+  const auto t1 = c.now();
+  EXPECT_GT(t1, t0);
+}
+
+TEST(VirtualClock, SendChargesOverheadAndLatency) {
+  auto m = simx::MachineModel::zero_cost();
+  m.send_overhead_ns = 10;
+  m.latency_ns = 100;
+  m.gap_ns_per_byte = 1.0;
+  simx::VirtualClock c(m);
+  const auto before = c.now();
+  const auto arrival = c.on_send(50, /*self=*/false);
+  // Sender advanced by >= overhead; arrival = sender time + latency + gap.
+  EXPECT_GE(c.peek(), before + 10);
+  EXPECT_EQ(arrival, c.peek() + 100 + 50);
+}
+
+TEST(VirtualClock, SelfSendIsFree) {
+  auto m = simx::MachineModel::zero_cost();
+  m.send_overhead_ns = 10;
+  m.latency_ns = 100;
+  simx::VirtualClock c(m);
+  const auto t = c.now();
+  const auto arrival = c.on_send(1000, /*self=*/true);
+  EXPECT_LE(arrival, c.now() + 1000);  // only compute drift, no model cost
+  EXPECT_GE(arrival, t);
+}
+
+TEST(VirtualClock, RecvWaitsForArrival) {
+  auto m = simx::MachineModel::zero_cost();
+  m.recv_overhead_ns = 7;
+  simx::VirtualClock c(m);
+  const auto far_future = c.now() + 1'000'000'000ULL;
+  c.on_recv(far_future, /*self=*/false);
+  EXPECT_GE(c.peek(), far_future + 7);
+}
+
+TEST(VirtualClock, RecvDoesNotGoBackwards) {
+  auto m = simx::MachineModel::zero_cost();
+  m.recv_overhead_ns = 7;
+  simx::VirtualClock c(m);
+  volatile double x = 0;
+  for (int i = 0; i < 1000000; ++i) x = x + i;
+  const auto now = c.now();
+  c.on_recv(/*arrival_vt=*/1, /*self=*/false);  // stale arrival
+  EXPECT_GE(c.peek(), now);
+}
+
+TEST(VirtualClock, InterruptChargesFoldIn) {
+  simx::VirtualClock c(simx::MachineModel::zero_cost());
+  const auto t0 = c.now();
+  c.charge_interrupt(5000);
+  EXPECT_GE(c.now(), t0 + 5000);
+}
+
+TEST(VirtualClock, AdvanceToJumpsForward) {
+  simx::VirtualClock c(simx::MachineModel::zero_cost());
+  const auto target = c.now() + 123456;
+  c.advance_to(target);
+  EXPECT_GE(c.peek(), target);
+}
+
+TEST(ProtocolSection, DropsHostCpuInsideSection) {
+  auto m = simx::MachineModel::zero_cost();
+  m.cpu_scale = 1000.0;
+  simx::VirtualClock c(m);
+  const auto t0 = c.now();
+  {
+    simx::ProtocolSection protocol(c);
+    volatile double x = 0;
+    for (int i = 0; i < 3'000'000; ++i) x = x + i;  // protocol "work"
+  }
+  // Only (tiny) pre/post compute is charged at scale; the loop is not.
+  const auto dt = c.now() - t0;
+  volatile double y = 0;
+  const auto r0 = c.now();
+  for (int i = 0; i < 3'000'000; ++i) y = y + i;  // app work, charged
+  const auto app_dt = c.now() - r0;
+  EXPECT_LT(dt, app_dt / 4);
+}
+
+TEST(ProtocolSection, AddModelChargesExplicitly) {
+  simx::VirtualClock c(simx::MachineModel::zero_cost());
+  const auto t0 = c.now();
+  {
+    simx::ProtocolSection protocol(c);
+    c.add_model(123456);
+  }
+  EXPECT_GE(c.now(), t0 + 123456);
+}
+
+TEST(ProtocolSection, NestingRestoresOuterMode) {
+  auto m = simx::MachineModel::zero_cost();
+  m.cpu_scale = 1000.0;
+  simx::VirtualClock c(m);
+  {
+    simx::ProtocolSection outer(c);
+    { simx::ProtocolSection inner(c); }
+    const auto t0 = c.now();
+    volatile double x = 0;
+    for (int i = 0; i < 1'000'000; ++i) x = x + i;
+    // Still in protocol mode after the inner section ends.
+    EXPECT_LT(c.now() - t0, 1'000'000u);
+  }
+}
+
+TEST(MachineModel, ProtocolCostsZeroedInZeroCost) {
+  const auto m = simx::MachineModel::zero_cost();
+  EXPECT_EQ(m.page_fault_ns, 0u);
+  EXPECT_EQ(m.twin_ns, 0u);
+  EXPECT_EQ(m.diff_apply_cost(4096), 0u);
+  EXPECT_EQ(m.handler_cost(10), 0u);
+}
+
+TEST(MachineModel, DiffApplyCostScalesWithBytes) {
+  simx::MachineModel m;
+  EXPECT_GT(m.diff_apply_cost(8192), m.diff_apply_cost(64));
+  EXPECT_GE(m.diff_apply_cost(0), m.diff_apply_ns);
+}
+
+}  // namespace

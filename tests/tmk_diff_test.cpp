@@ -1,0 +1,234 @@
+// Unit and property tests for the twin/diff machinery and protocol types.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "common/page.hpp"
+#include "common/prng.hpp"
+#include "tmk/diff.hpp"
+#include "tmk/types.hpp"
+
+namespace {
+
+using Page = std::array<std::byte, common::kPageSize>;
+
+Page zero_page() {
+  Page p{};
+  return p;
+}
+
+Page random_page(std::uint64_t seed) {
+  Page p;
+  common::SplitMix64 g(seed);
+  for (auto& b : p) b = static_cast<std::byte>(g.next());
+  return p;
+}
+
+TEST(Diff, IdenticalPagesProduceEmptyDiff) {
+  const Page a = random_page(1);
+  EXPECT_TRUE(tmk::make_diff(a.data(), a.data()).empty());
+}
+
+TEST(Diff, SingleWordChange) {
+  Page twin = zero_page();
+  Page cur = twin;
+  std::uint32_t v = 0xdeadbeef;
+  std::memcpy(cur.data() + 100, &v, sizeof(v));
+  const auto d = tmk::make_diff(twin.data(), cur.data());
+  // One run header (4B) + one word (4B).
+  EXPECT_EQ(d.size(), 8u);
+  EXPECT_EQ(tmk::diff_payload_bytes(d), 4u);
+
+  Page target = zero_page();
+  tmk::apply_diff(d, target.data());
+  EXPECT_EQ(std::memcmp(target.data(), cur.data(), common::kPageSize), 0);
+}
+
+TEST(Diff, FullPageChange) {
+  const Page twin = zero_page();
+  const Page cur = random_page(2);
+  const auto d = tmk::make_diff(twin.data(), cur.data());
+  EXPECT_EQ(tmk::diff_payload_bytes(d), common::kPageSize);
+
+  Page target = zero_page();
+  tmk::apply_diff(d, target.data());
+  EXPECT_EQ(std::memcmp(target.data(), cur.data(), common::kPageSize), 0);
+}
+
+TEST(Diff, UnalignedByteChangeCapturedAtWordGranularity) {
+  Page twin = random_page(3);
+  Page cur = twin;
+  cur[1001] = static_cast<std::byte>(static_cast<unsigned>(cur[1001]) ^ 0xFF);
+  const auto d = tmk::make_diff(twin.data(), cur.data());
+  EXPECT_EQ(tmk::diff_payload_bytes(d), tmk::kDiffWord);
+  Page target = twin;
+  tmk::apply_diff(d, target.data());
+  EXPECT_EQ(std::memcmp(target.data(), cur.data(), common::kPageSize), 0);
+}
+
+// Property: for random sparse modifications, apply(make_diff) reconstructs
+// the modified page from any base that agrees outside the modified words.
+class DiffRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(DiffRoundTrip, Reconstructs) {
+  common::SplitMix64 g(static_cast<std::uint64_t>(GetParam()));
+  for (int iter = 0; iter < 20; ++iter) {
+    Page twin = random_page(g.next());
+    Page cur = twin;
+    const int changes = static_cast<int>(g.next_below(200));
+    for (int c = 0; c < changes; ++c) {
+      const auto w = g.next_below(tmk::kWordsPerPage);
+      std::uint32_t v = static_cast<std::uint32_t>(g.next());
+      std::memcpy(cur.data() + w * tmk::kDiffWord, &v, sizeof(v));
+    }
+    const auto d = tmk::make_diff(twin.data(), cur.data());
+    Page target = twin;
+    tmk::apply_diff(d, target.data());
+    EXPECT_EQ(std::memcmp(target.data(), cur.data(), common::kPageSize), 0);
+    EXPECT_LE(tmk::diff_payload_bytes(d),
+              static_cast<std::size_t>(changes) * tmk::kDiffWord);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DiffRoundTrip, ::testing::Range(1, 9));
+
+// Property: the multiple-writer merge. Two writers modify disjoint words
+// of the same page; applying both diffs (in either order) onto the base
+// yields both sets of changes.
+class DiffMerge : public ::testing::TestWithParam<int> {};
+
+TEST_P(DiffMerge, DisjointWritersCommute) {
+  common::SplitMix64 g(static_cast<std::uint64_t>(GetParam()) * 977);
+  const Page base = random_page(g.next());
+
+  Page a = base;
+  Page b = base;
+  // Writer A gets even words, writer B odd words.
+  for (int c = 0; c < 100; ++c) {
+    const auto w = g.next_below(tmk::kWordsPerPage / 2) * 2;
+    std::uint32_t v = static_cast<std::uint32_t>(g.next());
+    std::memcpy(a.data() + w * tmk::kDiffWord, &v, sizeof(v));
+    const auto w2 = g.next_below(tmk::kWordsPerPage / 2) * 2 + 1;
+    std::uint32_t v2 = static_cast<std::uint32_t>(g.next());
+    std::memcpy(b.data() + w2 * tmk::kDiffWord, &v2, sizeof(v2));
+  }
+  const auto da = tmk::make_diff(base.data(), a.data());
+  const auto db = tmk::make_diff(base.data(), b.data());
+
+  Page ab = base;
+  tmk::apply_diff(da, ab.data());
+  tmk::apply_diff(db, ab.data());
+  Page ba = base;
+  tmk::apply_diff(db, ba.data());
+  tmk::apply_diff(da, ba.data());
+  EXPECT_EQ(std::memcmp(ab.data(), ba.data(), common::kPageSize), 0);
+
+  // Every word matches a or b (whichever modified it) or the base.
+  for (std::size_t w = 0; w < tmk::kWordsPerPage; ++w) {
+    std::uint32_t wab, wa, wb, wbase;
+    std::memcpy(&wab, ab.data() + w * 4, 4);
+    std::memcpy(&wa, a.data() + w * 4, 4);
+    std::memcpy(&wb, b.data() + w * 4, 4);
+    std::memcpy(&wbase, base.data() + w * 4, 4);
+    if (wa != wbase) {
+      EXPECT_EQ(wab, wa);
+    } else if (wb != wbase) {
+      EXPECT_EQ(wab, wb);
+    } else {
+      EXPECT_EQ(wab, wbase);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DiffMerge, ::testing::Range(1, 7));
+
+TEST(Diff, AppliedTwiceIsIdempotent) {
+  const Page twin = zero_page();
+  const Page cur = random_page(5);
+  const auto d = tmk::make_diff(twin.data(), cur.data());
+  Page target = zero_page();
+  tmk::apply_diff(d, target.data());
+  tmk::apply_diff(d, target.data());
+  EXPECT_EQ(std::memcmp(target.data(), cur.data(), common::kPageSize), 0);
+}
+
+// ---- vector clock ----------------------------------------------------
+
+TEST(VectorClock, MergeTakesMax) {
+  tmk::VectorClock a, b;
+  a.set(0, 3);
+  a.set(1, 1);
+  b.set(1, 5);
+  a.merge(b);
+  EXPECT_EQ(a.get(0), 3u);
+  EXPECT_EQ(a.get(1), 5u);
+}
+
+TEST(VectorClock, DominatedBy) {
+  tmk::VectorClock a, b;
+  a.set(0, 1);
+  b.set(0, 2);
+  b.set(1, 1);
+  EXPECT_TRUE(a.dominated_by(b));
+  EXPECT_FALSE(b.dominated_by(a));
+  EXPECT_TRUE(a.dominated_by(a));
+}
+
+TEST(VectorClock, WeightIsComponentSum) {
+  tmk::VectorClock a;
+  a.set(0, 2);
+  a.set(3, 7);
+  EXPECT_EQ(a.weight(), 9u);
+}
+
+TEST(VectorClock, WeightOrdersHappensBefore) {
+  // If a strictly happens-before b then weight(a) < weight(b).
+  tmk::VectorClock a;
+  a.set(0, 1);
+  a.set(1, 4);
+  tmk::VectorClock b = a;
+  b.set(2, 1);  // b saw one more interval
+  EXPECT_TRUE(a.dominated_by(b));
+  EXPECT_LT(a.weight(), b.weight());
+}
+
+// ---- byte stream -----------------------------------------------------
+
+TEST(ByteStream, RoundTripScalarsAndVc) {
+  tmk::ByteWriter w;
+  w.put<std::uint32_t>(42);
+  w.put<std::uint16_t>(7);
+  tmk::VectorClock vc;
+  vc.set(0, 1);
+  vc.set(3, 9);
+  w.put_vc(vc, 4);
+  w.put<double>(2.5);
+
+  tmk::ByteReader r(w.bytes());
+  EXPECT_EQ(r.get<std::uint32_t>(), 42u);
+  EXPECT_EQ(r.get<std::uint16_t>(), 7u);
+  const auto vc2 = r.get_vc(4);
+  EXPECT_EQ(vc2, vc);
+  EXPECT_DOUBLE_EQ(r.get<double>(), 2.5);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(ByteStream, UnderflowThrows) {
+  tmk::ByteWriter w;
+  w.put<std::uint16_t>(1);
+  tmk::ByteReader r(w.bytes());
+  (void)r.get<std::uint16_t>();
+  EXPECT_THROW((void)r.get<std::uint32_t>(), common::Error);
+}
+
+TEST(ByteStream, GetBytesSlices) {
+  tmk::ByteWriter w;
+  const std::byte data[] = {std::byte{1}, std::byte{2}, std::byte{3}};
+  w.put_bytes(data);
+  tmk::ByteReader r(w.bytes());
+  auto s = r.get_bytes(2);
+  EXPECT_EQ(static_cast<int>(s[1]), 2);
+  EXPECT_EQ(r.remaining(), 1u);
+}
+
+}  // namespace
