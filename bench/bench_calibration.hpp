@@ -1,128 +1,55 @@
-// Per-application cpu_scale calibration.
+// Per-workload cpu_scale calibration.
 //
 // The virtual-time model multiplies measured host CPU by cpu_scale to
 // map this machine's speed onto the paper's SP/2 thin node. A single
 // global factor cannot fit every application: the POWER2 suffered far
 // more from IGrid's indirect addressing than a modern out-of-order core
 // does, and far less from MGS's dense dot products. So each bench run
-// measures the host's real CPU time for the application's *paper-sized*
-// sequential problem once, and sets
+// measures the host's real CPU time for the workload's *paper-sized*
+// sequential problem once (the registry's Calibration preset), and sets
 //     cpu_scale = paper_seq_seconds / host_seq_seconds.
 //
 // Paper Table 1 gives MGS 56.4 s, 3-D FFT 37.7 s, IGrid 42.6 s, NBF
 // 63.9 s. The Jacobi and Shallow entries are illegible in the archival
 // scan; they are estimated from MGS's implied ~38 Mflop/s node rate
 // (documented in EXPERIMENTS.md). Long calibration runs use a fraction
-// of the paper's iterations and extrapolate linearly.
+// of the paper's iterations and extrapolate linearly; the fractions and
+// paper seconds live in each workload's registry entry.
 #pragma once
 
 #include <cstdio>
+#include <map>
+#include <string>
 
-#include "apps/fft3d.hpp"
-#include "apps/igrid.hpp"
-#include "apps/jacobi.hpp"
-#include "apps/mgs.hpp"
-#include "apps/nbf.hpp"
-#include "apps/shallow.hpp"
+#include "apps/registry.hpp"
 #include "bench_common.hpp"
 #include "common/cpu_clock.hpp"
 
 namespace bench {
 
-template <typename Fn>
-double calibrate_scale(const char* app, double paper_seconds,
-                       double iter_fraction, Fn&& seq_run) {
+/// Measures (once per workload, memoized) the host-to-SP/2 scale for a
+/// registry entry.
+inline double scale_for(const apps::Workload& w) {
+  static std::map<std::string, double> cache;
+  if (const auto it = cache.find(w.key); it != cache.end()) return it->second;
+  const apps::Calibration& c = w.calibration;
   const std::uint64_t t0 = common::thread_cpu_ns();
-  seq_run();
+  (void)w.seq(c.params, nullptr);
   const double host_seconds =
       static_cast<double>(common::thread_cpu_ns() - t0) * 1e-9 /
-      iter_fraction;
-  const double scale = paper_seconds / host_seconds;
+      c.iter_fraction;
+  const double scale = c.paper_seconds / host_seconds;
   std::fprintf(stderr,
                "[calibration] %s: host %.3fs (full size) -> cpu_scale %.0f\n",
-               app, host_seconds, scale);
+               w.key.c_str(), host_seconds, scale);
+  cache.emplace(w.key, scale);
   return scale;
 }
 
-inline double jacobi_scale() {
-  static const double scale = calibrate_scale(
-      "jacobi", /*paper (est.)=*/55.0, /*fraction=*/0.1, [] {
-        apps::JacobiParams p;
-        p.n = 2048;
-        p.iters = 10;  // 1/10 of the paper's 100
-        p.warmup_iters = 0;
-        (void)apps::jacobi_seq(p);
-      });
-  return scale;
-}
-
-inline double shallow_scale() {
-  static const double scale = calibrate_scale(
-      "shallow", /*paper (est.)=*/90.0, /*fraction=*/0.1, [] {
-        apps::ShallowParams p;
-        p.n = 1023;
-        p.iters = 5;  // 1/10 of the paper's 50
-        p.warmup_iters = 0;
-        (void)apps::shallow_seq(p);
-      });
-  return scale;
-}
-
-inline double mgs_scale() {
-  static const double scale =
-      calibrate_scale("mgs", /*paper=*/56.4, /*fraction=*/1.0, [] {
-        apps::MgsParams p;
-        p.n = 1024;
-        p.m = 1024;
-        (void)apps::mgs_seq(p);
-      });
-  return scale;
-}
-
-inline double fft_scale() {
-  static const double scale =
-      calibrate_scale("fft", /*paper=*/37.7, /*fraction=*/0.2, [] {
-        apps::FftParams p;
-        p.nx = 128;
-        p.ny = 128;
-        p.nz = 64;
-        p.iters = 1;  // 1/5 of the paper's 5
-        p.warmup_iters = 0;
-        (void)apps::fft3d_seq(p);
-      });
-  return scale;
-}
-
-inline double igrid_scale() {
-  static const double scale =
-      calibrate_scale("igrid", /*paper=*/42.6, /*fraction=*/1.0, [] {
-        apps::IGridParams p;
-        p.n = 500;
-        p.iters = 19;
-        p.warmup_iters = 0;
-        (void)apps::igrid_seq(p);
-      });
-  return scale;
-}
-
-inline double nbf_scale() {
-  static const double scale =
-      calibrate_scale("nbf", /*paper=*/63.9, /*fraction=*/1.0, [] {
-        apps::NbfParams p;
-        p.nmol = 32 * 1024;
-        p.iters = 20;
-        p.warmup_iters = 0;
-        p.partners = 16;
-        p.window = 256;
-        (void)apps::nbf_seq(p);
-      });
-  return scale;
-}
-
-/// paper_options() with the application's calibrated compute scale.
-inline runner::SpawnOptions calibrated_options(double scale) {
+/// paper_options() with the workload's calibrated compute scale.
+inline runner::SpawnOptions calibrated_options(const apps::Workload& w) {
   runner::SpawnOptions o = paper_options();
-  if (std::getenv("TMK_CPU_SCALE") == nullptr) o.model.cpu_scale = scale;
+  if (std::getenv("TMK_CPU_SCALE") == nullptr) o.model.cpu_scale = scale_for(w);
   return o;
 }
 

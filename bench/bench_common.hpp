@@ -1,23 +1,34 @@
 // Shared plumbing for the paper-reproduction benchmark binaries.
 //
-// Each binary regenerates one table or figure from the paper. Every
-// experiment is registered both as a google-benchmark case (so standard
-// tooling sees per-run wall time and the modelled speedup as a counter)
-// and as a row of the paper-style summary table printed after the run.
+// Each binary regenerates one table or figure from the paper by looping
+// over the workload registry (apps/registry.hpp) — no per-application
+// code here. Every experiment is registered both as a google-benchmark
+// case (so standard tooling sees per-run wall time and the modelled
+// speedup as a counter) and as a row of the paper-style summary table
+// printed after the run; the same rows are appended to a machine-
+// readable BENCH_results.json so the perf trajectory can be tracked
+// across PRs.
 //
-// Problem sizes default to reduced versions of the paper's (the paper's
-// sizes are annotated next to each bench); override the compute scale
-// with TMK_CPU_SCALE.
+// Problem sizes default to reduced versions of the paper's (fewer
+// iterations at the paper's dimensions); export TMK_FULL_SIZES=1 for the
+// paper's full iteration counts, and TMK_CPU_SCALE to pin the
+// host-to-SP/2 compute scale instead of calibrating per workload.
 #pragma once
 
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+#include <ctime>
+#include <fstream>
 #include <iostream>
-#include <map>
+#include <limits>
+#include <sstream>
 #include <string>
 #include <vector>
 
-#include "apps/app_common.hpp"
+#include <unistd.h>
+
+#include "apps/registry.hpp"
 #include "common/table.hpp"
 #include "runner/runner.hpp"
 
@@ -33,10 +44,22 @@ inline runner::SpawnOptions paper_options() {
   return o;
 }
 
+inline bool full_sizes() {
+  const char* env = std::getenv("TMK_FULL_SIZES");
+  return env != nullptr && env[0] == '1';
+}
+
+/// The parameter preset the bench binaries run at.
+inline apps::Preset bench_preset() {
+  return full_sizes() ? apps::Preset::kFull : apps::Preset::kDefault;
+}
+
 /// One measured configuration, in paper terms.
 struct Row {
   std::string app;
   std::string system;
+  std::string size;  // params label, e.g. "2048^2 x 10"
+  int nprocs = 0;
   double speedup = 0.0;       // vs the same app's sequential virtual time
   double seconds = 0.0;       // modelled parallel seconds
   std::uint64_t messages = 0;
@@ -74,9 +97,69 @@ class Report {
     t.print(std::cout);
   }
 
+  /// Appends this binary's rows to a JSON array on disk (creating it if
+  /// absent), so one full bench run accumulates every figure/table row
+  /// in a single machine-readable file.
+  void write_json(const std::string& path = "BENCH_results.json") const {
+    if (rows_.empty()) return;
+    std::string existing;
+    if (std::ifstream in(path); in) {
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      existing = buf.str();
+    }
+    // One marker per bench-binary invocation, so rows accumulated
+    // across runs/PRs stay distinguishable.
+    const std::string run_id =
+        std::to_string(std::time(nullptr)) + "-" + std::to_string(getpid());
+    std::ostringstream body;
+    // Full round-trip precision: the checksum column is a bit-exactness
+    // record, not a display value.
+    body.precision(std::numeric_limits<double>::max_digits10);
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      const Row& r = rows_[i];
+      body << "  {\"run\": \"" << run_id << "\", \"app\": \""
+           << json_escape(r.app) << "\", \"system\": \""
+           << json_escape(r.system) << "\", \"size\": \""
+           << json_escape(r.size) << "\", \"nprocs\": " << r.nprocs
+           << ", \"speedup\": " << r.speedup
+           << ", \"seconds\": " << r.seconds
+           << ", \"messages\": " << r.messages
+           << ", \"kbytes\": " << r.kbytes
+           << ", \"checksum\": " << r.checksum << "}";
+      if (i + 1 < rows_.size()) body << ",\n";
+    }
+    std::string out;
+    const std::size_t close = existing.rfind(']');
+    if (close != std::string::npos) {
+      // Merge: drop the closing bracket, append after the last row.
+      std::string head = existing.substr(0, close);
+      while (!head.empty() &&
+             (head.back() == '\n' || head.back() == ' ' ||
+              head.back() == '\t'))
+        head.pop_back();
+      const bool empty_array = !head.empty() && head.back() == '[';
+      out = head + (empty_array ? "\n" : ",\n") + body.str() + "\n]\n";
+    } else {
+      out = "[\n" + body.str() + "\n]\n";
+    }
+    std::ofstream of(path, std::ios::trunc);
+    of << out;
+  }
+
   [[nodiscard]] const std::vector<Row>& rows() const { return rows_; }
 
  private:
+  static std::string json_escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      out.push_back(c);
+    }
+    return out;
+  }
+
   std::vector<Row> rows_;
 };
 
@@ -92,22 +175,56 @@ inline void fill_traffic(Row& row, apps::System system,
   row.kbytes = r.kbytes(layer);
 }
 
-/// Runs one (app, system) configuration and records it. `run_fn` invokes
-/// the app's dispatch helper; `seq_seconds` is the app's sequential
-/// baseline in modelled seconds.
-template <typename RunFn>
-Row measure(const std::string& app, apps::System system, double seq_seconds,
-            RunFn&& run_fn) {
-  const runner::RunResult r = run_fn();
+/// Records one completed (app, system) run; `seq_seconds` is the app's
+/// sequential baseline in modelled seconds.
+inline Row record(const std::string& app, apps::System system, int nprocs,
+                  double seq_seconds, const runner::RunResult& r,
+                  const std::string& size = {}) {
   Row row;
   row.app = app;
   row.system = apps::to_string(system);
+  row.size = size;
+  row.nprocs = nprocs;
   row.seconds = r.seconds();
   row.speedup = (r.seconds() > 0) ? seq_seconds / r.seconds() : 0.0;
   row.checksum = r.checksum;
   fill_traffic(row, system, r);
   Report::instance().add(row);
   return row;
+}
+
+/// "Jacobi 6.99/7.13/7.39/7.55 (SPF/Tmk, Tmk, XHPF, PVMe)" — the paper's
+/// reference speedups for the systems the workload implements.
+inline std::string paper_reference_line(const apps::Workload& w,
+                                        const std::vector<apps::System>& systems) {
+  std::string values = w.name + " ";
+  std::string names;
+  bool first = true;
+  for (apps::System s : systems) {
+    if (!first) {
+      values += '/';
+      names += ", ";
+    }
+    first = false;
+    const apps::Workload::PaperSpeedup* v = w.find_paper_speedup(s);
+    if (v == nullptr) {
+      values += '?';
+    } else {
+      if (v->estimated) values += '~';  // read off a figure, not printed
+      values += common::TextTable::num(v->speedup, 2);
+    }
+    names += apps::to_string(s);
+  }
+  return values + " (" + names + ")";
+}
+
+/// Footer shared by the speedup benches: one reference line per workload
+/// of the class, straight from the registry.
+inline void print_paper_reference(apps::WorkloadClass cls) {
+  std::cout << "\npaper reference (8 processors):\n";
+  for (const apps::Workload& w : apps::all_workloads())
+    if (w.cls == cls)
+      std::cout << "  " << paper_reference_line(w, w.paper_systems()) << "\n";
 }
 
 }  // namespace bench

@@ -2,86 +2,22 @@
 // Shallow, MGS, 3-D FFT) under SPF-generated TreadMarks, hand-coded
 // TreadMarks, XHPF-generated message passing, and hand-coded PVMe.
 //
-// Paper values (8 processors, full sizes):
-//   Jacobi : SPF/Tmk 6.99  Tmk 7.13  XHPF 7.39  PVMe 7.55
-//   Shallow: SPF/Tmk 5.71  Tmk 6.21  XHPF 6.60  PVMe 6.77
-//   MGS    : SPF/Tmk 3.35  Tmk 4.19  XHPF 5.06  PVMe 6.55
-//   3-D FFT: SPF/Tmk 2.65  Tmk 3.06  XHPF 4.44  PVMe 5.12
-// Expected shape: PVMe >= XHPF > Tmk >= SPF/Tmk for every application.
+// Expected shape: PVMe >= XHPF > Tmk >= SPF/Tmk for every application
+// (the paper's reference values are printed from the registry after the
+// run). The benchmark cases are generated from the workload registry:
+// one case per regular workload, covering its paper system set.
 #include <benchmark/benchmark.h>
 
-#include <iostream>
-
-#include "bench_calibration.hpp"
-#include "bench_common.hpp"
 #include "bench_grid.hpp"
-#include "bench_sizes.hpp"
-
-namespace {
-
-const std::initializer_list<apps::System> kSystems = {
-    apps::System::kSpf, apps::System::kTmk, apps::System::kXhpf,
-    apps::System::kPvme};
-
-void BM_Jacobi(benchmark::State& state) {
-  for (auto _ : state) {
-    bench::run_grid("Jacobi",
-                    [](apps::System s, int np) {
-                      return apps::run_jacobi(s, bench::jacobi_params(), np,
-                                              bench::calibrated_options(bench::jacobi_scale()));
-                    },
-                    kSystems);
-  }
-}
-BENCHMARK(BM_Jacobi)->Iterations(1)->Unit(benchmark::kMillisecond);
-
-void BM_Shallow(benchmark::State& state) {
-  for (auto _ : state) {
-    bench::run_grid("Shallow",
-                    [](apps::System s, int np) {
-                      return apps::run_shallow(s, bench::shallow_params(), np,
-                                               bench::calibrated_options(bench::shallow_scale()));
-                    },
-                    kSystems);
-  }
-}
-BENCHMARK(BM_Shallow)->Iterations(1)->Unit(benchmark::kMillisecond);
-
-void BM_Mgs(benchmark::State& state) {
-  for (auto _ : state) {
-    bench::run_grid("MGS",
-                    [](apps::System s, int np) {
-                      return apps::run_mgs(s, bench::mgs_params(), np,
-                                           bench::calibrated_options(bench::mgs_scale()));
-                    },
-                    kSystems);
-  }
-}
-BENCHMARK(BM_Mgs)->Iterations(1)->Unit(benchmark::kMillisecond);
-
-void BM_Fft(benchmark::State& state) {
-  for (auto _ : state) {
-    bench::run_grid("3-D FFT",
-                    [](apps::System s, int np) {
-                      return apps::run_fft3d(s, bench::fft_params(), np,
-                                             bench::calibrated_options(bench::fft_scale()));
-                    },
-                    kSystems);
-  }
-}
-BENCHMARK(BM_Fft)->Iterations(1)->Unit(benchmark::kMillisecond);
-
-}  // namespace
 
 int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
+  bench::register_workload_grids(apps::WorkloadClass::kRegular);
   benchmark::RunSpecifiedBenchmarks();
   bench::Report::instance().print_speedups(
       "Figure 1: 8-processor speedups, regular applications");
-  std::cout << "\npaper reference: Jacobi 6.99/7.13/7.39/7.55, "
-               "Shallow 5.71/6.21/6.60/6.77,\n"
-               "MGS 3.35/4.19/5.06/6.55, 3-D FFT 2.65/3.06/4.44/5.12 "
-               "(SPF/Tmk, Tmk, XHPF, PVMe)\n";
+  bench::print_paper_reference(apps::WorkloadClass::kRegular);
+  bench::Report::instance().write_json();
   benchmark::Shutdown();
   return 0;
 }

@@ -1,59 +1,22 @@
 // Figure 2: 8-processor speedups for the irregular applications (IGrid,
 // NBF) under the four systems.
 //
-// Paper values: IGrid SPF/Tmk 7.54, XHPF 3.85, PVMe 7.88 (hand Tmk sits
-// between SPF/Tmk and PVMe); NBF SPF/Tmk 5.31, Tmk 5.86, XHPF 3.85,
-// PVMe 6.18. Expected shape: the DSM beats the compiler-generated
-// message passing by a wide margin (38-89%) and trails hand-coded MP by
-// little (4.4-16%).
+// Expected shape: the DSM beats the compiler-generated message passing
+// by a wide margin (38-89%) and trails hand-coded MP by little
+// (4.4-16%). The benchmark cases are generated from the workload
+// registry: one case per irregular workload.
 #include <benchmark/benchmark.h>
 
-#include <iostream>
-
-#include "bench_calibration.hpp"
-#include "bench_common.hpp"
 #include "bench_grid.hpp"
-#include "bench_sizes.hpp"
-
-namespace {
-
-const std::initializer_list<apps::System> kSystems = {
-    apps::System::kSpf, apps::System::kTmk, apps::System::kXhpf,
-    apps::System::kPvme};
-
-void BM_IGrid(benchmark::State& state) {
-  for (auto _ : state) {
-    bench::run_grid("IGrid",
-                    [](apps::System s, int np) {
-                      return apps::run_igrid(s, bench::igrid_params(), np,
-                                             bench::calibrated_options(bench::igrid_scale()));
-                    },
-                    kSystems);
-  }
-}
-BENCHMARK(BM_IGrid)->Iterations(1)->Unit(benchmark::kMillisecond);
-
-void BM_Nbf(benchmark::State& state) {
-  for (auto _ : state) {
-    bench::run_grid("NBF",
-                    [](apps::System s, int np) {
-                      return apps::run_nbf(s, bench::nbf_params(), np,
-                                           bench::calibrated_options(bench::nbf_scale()));
-                    },
-                    kSystems);
-  }
-}
-BENCHMARK(BM_Nbf)->Iterations(1)->Unit(benchmark::kMillisecond);
-
-}  // namespace
 
 int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
+  bench::register_workload_grids(apps::WorkloadClass::kIrregular);
   benchmark::RunSpecifiedBenchmarks();
   bench::Report::instance().print_speedups(
       "Figure 2: 8-processor speedups, irregular applications");
-  std::cout << "\npaper reference: IGrid 7.54/~7.7/3.85/7.88, "
-               "NBF 5.31/5.86/3.85/6.18 (SPF/Tmk, Tmk, XHPF, PVMe)\n";
+  bench::print_paper_reference(apps::WorkloadClass::kIrregular);
+  bench::Report::instance().write_json();
   benchmark::Shutdown();
   return 0;
 }

@@ -1,25 +1,45 @@
-// Runs one application across the paper's four system points (plus the
+// Runs one registry workload across a set of system points (plus the
 // sequential baseline) and records the rows.
 #pragma once
 
-#include <functional>
-#include <string>
+#include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
+#include "apps/registry.hpp"
+#include "bench_calibration.hpp"
 #include "bench_common.hpp"
 
 namespace bench {
 
-using GridRunFn =
-    std::function<runner::RunResult(apps::System, int nprocs)>;
+/// Measures seq + each requested system at kProcs processors, using the
+/// bench preset (TMK_FULL_SIZES selects the paper's full sizes).
+inline void run_workload_grid(const apps::Workload& w,
+                              const std::vector<apps::System>& systems) {
+  const runner::SpawnOptions opts = calibrated_options(w);
+  const std::any& params = w.params(bench_preset());
+  const std::string size = w.describe(params);
+  const runner::RunResult seq =
+      apps::run_workload(w, apps::System::kSeq, 1, opts, params);
+  for (apps::System s : systems)
+    record(w.name, s, kProcs, seq.seconds(),
+           apps::run_workload(w, s, kProcs, opts, params), size);
+}
 
-/// Measures seq + each requested system at kProcs processors.
-inline void run_grid(const std::string& app, const GridRunFn& run,
-                     std::initializer_list<apps::System> systems) {
-  const runner::RunResult seq = run(apps::System::kSeq, 1);
-  const double seq_seconds = seq.seconds();
-  for (apps::System s : systems) {
-    measure(app, s, seq_seconds,
-            [&run, s] { return run(s, kProcs); });
+/// Registers one google-benchmark case per registry workload of the
+/// class, each running the full paper-system grid — the shared main-
+/// body of the figure/table binaries.
+inline void register_workload_grids(apps::WorkloadClass cls) {
+  for (const apps::Workload& w : apps::all_workloads()) {
+    if (w.cls != cls) continue;
+    benchmark::RegisterBenchmark(w.key.c_str(),
+                                 [&w](benchmark::State& state) {
+                                   for (auto _ : state)
+                                     run_workload_grid(w, w.paper_systems());
+                                 })
+        ->Iterations(1)
+        ->Unit(benchmark::kMillisecond);
   }
 }
 

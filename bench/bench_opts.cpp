@@ -10,68 +10,53 @@
 //            (hand-coded MP reference: 5.12)
 //
 // Expected shape: each optimization closes most of the gap between the
-// DSM version and the hand-coded message-passing version.
+// DSM version and the hand-coded message-passing version. The triples
+// are derived from the registry: any workload with a kSpfOpt or kTmkOpt
+// variant is measured as {baseline DSM, optimized DSM, hand MP}.
 #include <benchmark/benchmark.h>
 
 #include <iostream>
 
-#include "bench_calibration.hpp"
-#include "bench_common.hpp"
 #include "bench_grid.hpp"
-#include "bench_sizes.hpp"
 
 namespace {
 
-void BM_JacobiOpt(benchmark::State& state) {
-  for (auto _ : state) {
-    bench::run_grid("Jacobi",
-                    [](apps::System s, int np) {
-                      return apps::run_jacobi(s, bench::jacobi_params(), np,
-                                              bench::calibrated_options(bench::jacobi_scale()));
-                    },
-                    {apps::System::kSpf, apps::System::kSpfOpt,
-                     apps::System::kPvme});
-  }
+/// {baseline, optimized, reference} for a workload with a §5 hand
+/// optimization; empty if it has none.
+std::vector<apps::System> opt_triple(const apps::Workload& w) {
+  if (w.find(apps::System::kSpfOpt) != nullptr)
+    return {apps::System::kSpf, apps::System::kSpfOpt, apps::System::kPvme};
+  if (w.find(apps::System::kTmkOpt) != nullptr)
+    return {apps::System::kTmk, apps::System::kTmkOpt, apps::System::kPvme};
+  return {};
 }
-BENCHMARK(BM_JacobiOpt)->Iterations(1)->Unit(benchmark::kMillisecond);
-
-void BM_MgsOpt(benchmark::State& state) {
-  for (auto _ : state) {
-    bench::run_grid("MGS",
-                    [](apps::System s, int np) {
-                      return apps::run_mgs(s, bench::mgs_params(), np,
-                                           bench::calibrated_options(bench::mgs_scale()));
-                    },
-                    {apps::System::kTmk, apps::System::kTmkOpt,
-                     apps::System::kPvme});
-  }
-}
-BENCHMARK(BM_MgsOpt)->Iterations(1)->Unit(benchmark::kMillisecond);
-
-void BM_FftOpt(benchmark::State& state) {
-  for (auto _ : state) {
-    bench::run_grid("3-D FFT",
-                    [](apps::System s, int np) {
-                      return apps::run_fft3d(s, bench::fft_params(), np,
-                                             bench::calibrated_options(bench::fft_scale()));
-                    },
-                    {apps::System::kSpf, apps::System::kSpfOpt,
-                     apps::System::kPvme});
-  }
-}
-BENCHMARK(BM_FftOpt)->Iterations(1)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
 int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
+  for (const apps::Workload& w : apps::all_workloads()) {
+    const auto systems = opt_triple(w);
+    if (systems.empty()) continue;
+    benchmark::RegisterBenchmark(w.key.c_str(),
+                                 [&w, systems](benchmark::State& state) {
+                                   for (auto _ : state)
+                                     bench::run_workload_grid(w, systems);
+                                 })
+        ->Iterations(1)
+        ->Unit(benchmark::kMillisecond);
+  }
   benchmark::RunSpecifiedBenchmarks();
   bench::Report::instance().print_speedups(
       "§5 hand-optimization study (baseline DSM, optimized DSM, "
       "hand MP reference)");
-  std::cout << "\npaper reference: Jacobi 6.99 -> 7.23 (PVMe 7.55); "
-               "MGS 4.19 -> 5.09 (PVMe 6.55);\n3-D FFT 2.65 -> 5.05 "
-               "(PVMe 5.12)\n";
+  std::cout << "\npaper reference (8 processors):\n";
+  for (const apps::Workload& w : apps::all_workloads()) {
+    const auto systems = opt_triple(w);
+    if (systems.empty()) continue;
+    std::cout << "  " << bench::paper_reference_line(w, systems) << "\n";
+  }
+  bench::Report::instance().write_json();
   benchmark::Shutdown();
   return 0;
 }

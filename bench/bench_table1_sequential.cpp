@@ -4,119 +4,41 @@
 // 1024x1024 (56.4 s); 3-D FFT 128x128x64x5 (37.7 s); IGrid 500x500x19
 // (42.6 s); NBF 32K molecules x 20 (63.9 s). This harness uses reduced
 // sizes (noted per row) and reports the modelled sequential time:
-// measured CPU scaled onto the SP/2-era node (TMK_CPU_SCALE).
+// measured CPU scaled onto the SP/2-era node (TMK_CPU_SCALE). One
+// benchmark case per registry workload.
 #include <benchmark/benchmark.h>
 
 #include <iostream>
 
-#include "apps/fft3d.hpp"
-#include "apps/igrid.hpp"
-#include "apps/jacobi.hpp"
-#include "apps/mgs.hpp"
-#include "apps/nbf.hpp"
-#include "apps/shallow.hpp"
 #include "bench_calibration.hpp"
 #include "bench_common.hpp"
-#include "bench_sizes.hpp"
-
-namespace {
-
-void BM_SeqJacobi(benchmark::State& state) {
-  for (auto _ : state) {
-    const auto r = apps::run_jacobi(apps::System::kSeq,
-                                    bench::jacobi_params(), 1,
-                                    bench::calibrated_options(bench::jacobi_scale()));
-    state.counters["model_seconds"] = r.seconds();
-    bench::Row row;
-    row.app = "Jacobi (" + bench::jacobi_size_label() + ")";
-    row.system = "seq";
-    row.seconds = r.seconds();
-    row.speedup = 1.0;
-    bench::Report::instance().add(row);
-  }
-}
-BENCHMARK(BM_SeqJacobi)->Iterations(1)->Unit(benchmark::kMillisecond);
-
-void BM_SeqShallow(benchmark::State& state) {
-  for (auto _ : state) {
-    const auto r = apps::run_shallow(apps::System::kSeq,
-                                     bench::shallow_params(), 1,
-                                     bench::calibrated_options(bench::shallow_scale()));
-    state.counters["model_seconds"] = r.seconds();
-    bench::Row row;
-    row.app = "Shallow (" + bench::shallow_size_label() + ")";
-    row.system = "seq";
-    row.seconds = r.seconds();
-    row.speedup = 1.0;
-    bench::Report::instance().add(row);
-  }
-}
-BENCHMARK(BM_SeqShallow)->Iterations(1)->Unit(benchmark::kMillisecond);
-
-void BM_SeqMgs(benchmark::State& state) {
-  for (auto _ : state) {
-    const auto r = apps::run_mgs(apps::System::kSeq, bench::mgs_params(), 1,
-                                 bench::calibrated_options(bench::mgs_scale()));
-    state.counters["model_seconds"] = r.seconds();
-    bench::Row row;
-    row.app = "MGS (" + bench::mgs_size_label() + ")";
-    row.system = "seq";
-    row.seconds = r.seconds();
-    row.speedup = 1.0;
-    bench::Report::instance().add(row);
-  }
-}
-BENCHMARK(BM_SeqMgs)->Iterations(1)->Unit(benchmark::kMillisecond);
-
-void BM_SeqFft(benchmark::State& state) {
-  for (auto _ : state) {
-    const auto r = apps::run_fft3d(apps::System::kSeq, bench::fft_params(), 1,
-                                   bench::calibrated_options(bench::fft_scale()));
-    state.counters["model_seconds"] = r.seconds();
-    bench::Row row;
-    row.app = "3-D FFT (" + bench::fft_size_label() + ")";
-    row.system = "seq";
-    row.seconds = r.seconds();
-    row.speedup = 1.0;
-    bench::Report::instance().add(row);
-  }
-}
-BENCHMARK(BM_SeqFft)->Iterations(1)->Unit(benchmark::kMillisecond);
-
-void BM_SeqIGrid(benchmark::State& state) {
-  for (auto _ : state) {
-    const auto r = apps::run_igrid(apps::System::kSeq, bench::igrid_params(),
-                                   1, bench::calibrated_options(bench::igrid_scale()));
-    state.counters["model_seconds"] = r.seconds();
-    bench::Row row;
-    row.app = "IGrid (" + bench::igrid_size_label() + ")";
-    row.system = "seq";
-    row.seconds = r.seconds();
-    row.speedup = 1.0;
-    bench::Report::instance().add(row);
-  }
-}
-BENCHMARK(BM_SeqIGrid)->Iterations(1)->Unit(benchmark::kMillisecond);
-
-void BM_SeqNbf(benchmark::State& state) {
-  for (auto _ : state) {
-    const auto r = apps::run_nbf(apps::System::kSeq, bench::nbf_params(), 1,
-                                 bench::calibrated_options(bench::nbf_scale()));
-    state.counters["model_seconds"] = r.seconds();
-    bench::Row row;
-    row.app = "NBF (" + bench::nbf_size_label() + ")";
-    row.system = "seq";
-    row.seconds = r.seconds();
-    row.speedup = 1.0;
-    bench::Report::instance().add(row);
-  }
-}
-BENCHMARK(BM_SeqNbf)->Iterations(1)->Unit(benchmark::kMillisecond);
-
-}  // namespace
 
 int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
+  for (const apps::Workload& w : apps::all_workloads()) {
+    benchmark::RegisterBenchmark(
+        w.key.c_str(),
+        [&w](benchmark::State& state) {
+          for (auto _ : state) {
+            const std::any& params = w.params(bench::bench_preset());
+            const auto r = apps::run_workload(w, apps::System::kSeq, 1,
+                                              bench::calibrated_options(w),
+                                              params);
+            state.counters["model_seconds"] = r.seconds();
+            bench::Row row;
+            row.app = w.name + " (" + w.describe(params) + ")";
+            row.system = "seq";
+            row.size = w.describe(params);
+            row.nprocs = 1;
+            row.seconds = r.seconds();
+            row.speedup = 1.0;
+            row.checksum = r.checksum;
+            bench::Report::instance().add(row);
+          }
+        })
+        ->Iterations(1)
+        ->Unit(benchmark::kMillisecond);
+  }
   benchmark::RunSpecifiedBenchmarks();
   std::cout << "\n[Table 1] Data set sizes and sequential execution time\n"
                "(modelled seconds on the SP/2-class node; paper: MGS 56.4s,"
@@ -126,6 +48,7 @@ int main(int argc, char** argv) {
   for (const auto& row : bench::Report::instance().rows())
     t.row({row.app, common::TextTable::num(row.seconds, 3)});
   t.print(std::cout);
+  bench::Report::instance().write_json();
   benchmark::Shutdown();
   return 0;
 }

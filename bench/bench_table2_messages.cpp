@@ -13,57 +13,16 @@
 // of Jacobi move *less data* than MP (diffs carry only modified words).
 #include <benchmark/benchmark.h>
 
-#include <iostream>
-
-#include "bench_calibration.hpp"
-#include "bench_common.hpp"
 #include "bench_grid.hpp"
-#include "bench_sizes.hpp"
-
-namespace {
-
-const std::initializer_list<apps::System> kSystems = {
-    apps::System::kSpf, apps::System::kTmk, apps::System::kXhpf,
-    apps::System::kPvme};
-
-void BM_Traffic(benchmark::State& state) {
-  for (auto _ : state) {
-    bench::run_grid("Jacobi",
-                    [](apps::System s, int np) {
-                      return apps::run_jacobi(s, bench::jacobi_params(), np,
-                                              bench::calibrated_options(bench::jacobi_scale()));
-                    },
-                    kSystems);
-    bench::run_grid("Shallow",
-                    [](apps::System s, int np) {
-                      return apps::run_shallow(s, bench::shallow_params(), np,
-                                               bench::calibrated_options(bench::shallow_scale()));
-                    },
-                    kSystems);
-    bench::run_grid("MGS",
-                    [](apps::System s, int np) {
-                      return apps::run_mgs(s, bench::mgs_params(), np,
-                                           bench::calibrated_options(bench::mgs_scale()));
-                    },
-                    kSystems);
-    bench::run_grid("3-D FFT",
-                    [](apps::System s, int np) {
-                      return apps::run_fft3d(s, bench::fft_params(), np,
-                                             bench::calibrated_options(bench::fft_scale()));
-                    },
-                    kSystems);
-  }
-}
-BENCHMARK(BM_Traffic)->Iterations(1)->Unit(benchmark::kMillisecond);
-
-}  // namespace
 
 int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
+  bench::register_workload_grids(apps::WorkloadClass::kRegular);
   benchmark::RunSpecifiedBenchmarks();
   bench::Report::instance().print_traffic(
       "Table 2: 8-processor message totals and data totals (KB), "
       "regular applications");
+  bench::Report::instance().write_json();
   benchmark::Shutdown();
   return 0;
 }

@@ -12,45 +12,16 @@
 // sending more messages.
 #include <benchmark/benchmark.h>
 
-#include <iostream>
-
-#include "bench_calibration.hpp"
-#include "bench_common.hpp"
 #include "bench_grid.hpp"
-#include "bench_sizes.hpp"
-
-namespace {
-
-const std::initializer_list<apps::System> kSystems = {
-    apps::System::kSpf, apps::System::kTmk, apps::System::kXhpf,
-    apps::System::kPvme};
-
-void BM_Traffic(benchmark::State& state) {
-  for (auto _ : state) {
-    bench::run_grid("IGrid",
-                    [](apps::System s, int np) {
-                      return apps::run_igrid(s, bench::igrid_params(), np,
-                                             bench::calibrated_options(bench::igrid_scale()));
-                    },
-                    kSystems);
-    bench::run_grid("NBF",
-                    [](apps::System s, int np) {
-                      return apps::run_nbf(s, bench::nbf_params(), np,
-                                           bench::calibrated_options(bench::nbf_scale()));
-                    },
-                    kSystems);
-  }
-}
-BENCHMARK(BM_Traffic)->Iterations(1)->Unit(benchmark::kMillisecond);
-
-}  // namespace
 
 int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
+  bench::register_workload_grids(apps::WorkloadClass::kIrregular);
   benchmark::RunSpecifiedBenchmarks();
   bench::Report::instance().print_traffic(
       "Table 3: 8-processor message totals and data totals (KB), "
       "irregular applications");
+  bench::Report::instance().write_json();
   benchmark::Shutdown();
   return 0;
 }

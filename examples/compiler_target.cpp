@@ -33,8 +33,7 @@ struct LoopArgs {
 void init_loop(spf::Runtime& rt, const void* argp) {
   LoopArgs a;
   std::memcpy(&a, argp, sizeof(a));
-  const auto r = spf::Runtime::block_range(
-      0, static_cast<std::int64_t>(a.n), rt.rank(), rt.nprocs());
+  const auto r = rt.own_block(a.n);
   for (std::int64_t i = r.lo; i < r.hi; ++i) {
     g.x[i] = 0.5f + static_cast<float>(i % 7);
     g.y[i] = 2.0f - static_cast<float>(i % 3);
@@ -44,8 +43,7 @@ void init_loop(spf::Runtime& rt, const void* argp) {
 void dot_loop(spf::Runtime& rt, const void* argp) {
   LoopArgs a;
   std::memcpy(&a, argp, sizeof(a));
-  const auto r = spf::Runtime::block_range(
-      0, static_cast<std::int64_t>(a.n), rt.rank(), rt.nprocs());
+  const auto r = rt.own_block(a.n);
   double local = 0;
   for (std::int64_t i = r.lo; i < r.hi; ++i)
     local += static_cast<double>(g.x[i]) * static_cast<double>(g.y[i]);

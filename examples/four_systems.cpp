@@ -1,93 +1,68 @@
-// Four-systems shootout on one application.
+// Four-systems shootout on one workload.
 //
-// Runs the paper's comparison end-to-end for a single application chosen
-// on the command line: sequential baseline, SPF/TreadMarks, hand-coded
-// TreadMarks, XHPF message passing, and hand-coded PVMe, printing the
-// speedups and traffic the way Figures 1-2 and Tables 2-3 do.
+// Runs the paper's comparison end-to-end for a single registry workload
+// chosen on the command line: sequential baseline, SPF/TreadMarks,
+// hand-coded TreadMarks, XHPF message passing, and hand-coded PVMe,
+// printing the speedups and traffic the way Figures 1-2 and Tables 2-3
+// do. The workload list and every variant come from the registry — this
+// file names no application.
 //
 //   ./examples/four_systems [jacobi|shallow|mgs|fft|igrid|nbf] [nprocs]
+//                           [default|reduced|full]
 #include <cmath>
 #include <cstdio>
-#include <iostream>
 #include <cstdlib>
+#include <iostream>
 #include <string>
 
-#include "apps/fft3d.hpp"
-#include "apps/igrid.hpp"
-#include "apps/jacobi.hpp"
-#include "apps/mgs.hpp"
-#include "apps/nbf.hpp"
-#include "apps/shallow.hpp"
+#include "apps/registry.hpp"
+#include "common/check.hpp"
 #include "common/table.hpp"
 
 namespace {
 
-using RunFn = runner::RunResult (*)(apps::System, int,
-                                    const runner::SpawnOptions&);
-
-runner::RunResult run_app(const std::string& app, apps::System s, int np,
-                          const runner::SpawnOptions& o) {
-  if (app == "jacobi") {
-    apps::JacobiParams p;
-    p.n = 1024;
-    p.iters = 10;
-    return apps::run_jacobi(s, p, np, o);
-  }
-  if (app == "shallow") {
-    apps::ShallowParams p;
-    p.n = 255;
-    p.iters = 6;
-    return apps::run_shallow(s, p, np, o);
-  }
-  if (app == "mgs") {
-    apps::MgsParams p;
-    p.n = 128;
-    p.m = 1024;
-    return apps::run_mgs(s, p, np, o);
-  }
-  if (app == "fft") {
-    apps::FftParams p;
-    p.nx = 32;
-    p.ny = 32;
-    p.nz = 32;
-    p.iters = 2;
-    return apps::run_fft3d(s, p, np, o);
-  }
-  if (app == "igrid") {
-    apps::IGridParams p;
-    p.n = 250;
-    p.iters = 8;
-    return apps::run_igrid(s, p, np, o);
-  }
-  if (app == "nbf") {
-    apps::NbfParams p;
-    p.nmol = 8192;
-    p.iters = 6;
-    return apps::run_nbf(s, p, np, o);
-  }
-  std::fprintf(stderr, "unknown application '%s'\n", app.c_str());
-  std::exit(1);
+apps::Preset parse_preset(const std::string& s) {
+  if (s == "reduced") return apps::Preset::kReduced;
+  if (s == "full") return apps::Preset::kFull;
+  return apps::Preset::kDefault;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::string app = (argc > 1) ? argv[1] : "igrid";
+  const std::string key = (argc > 1) ? argv[1] : "igrid";
   const int nprocs = (argc > 2) ? std::atoi(argv[2]) : 8;
+  const apps::Preset preset =
+      parse_preset((argc > 3) ? argv[3] : "default");
+
+  const apps::Workload* workload = nullptr;
+  try {
+    workload = &apps::find_workload(key);
+  } catch (const common::Error&) {
+    std::fprintf(stderr, "unknown workload '%s'; available:", key.c_str());
+    for (const apps::Workload& w : apps::all_workloads())
+      std::fprintf(stderr, " %s", w.key.c_str());
+    std::fprintf(stderr, "\n");
+    return 1;
+  }
+  const apps::Workload& w = *workload;
+  const std::any& params = w.params(preset);
 
   runner::SpawnOptions options;
   options.model = simx::MachineModel::sp2();
   options.shared_heap_bytes = 512ull << 20;
 
-  const auto seq = run_app(app, apps::System::kSeq, 1, options);
-  std::printf("%s: sequential model time %.3f s (checksum %.6g)\n\n",
-              app.c_str(), seq.seconds(), seq.checksum);
+  const auto seq =
+      apps::run_workload(w, apps::System::kSeq, 1, options, params);
+  std::printf("%s (%s, %s): sequential model time %.3f s (checksum %.6g)\n\n",
+              w.name.c_str(), w.describe(params).c_str(),
+              apps::to_string(w.cls), seq.seconds(), seq.checksum);
 
   common::TextTable t;
   t.header({"system", "speedup", "time(s)", "messages", "data(KB)",
             "checksum ok"});
-  for (apps::System s : apps::kPaperSystems) {
-    const auto r = run_app(app, s, nprocs, options);
+  for (apps::System s : w.paper_systems()) {
+    const auto r = apps::run_workload(w, s, nprocs, options, params);
     const auto layer = (s == apps::System::kXhpf || s == apps::System::kPvme)
                            ? mpl::Layer::kPvme
                            : mpl::Layer::kTmk;

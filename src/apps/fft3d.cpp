@@ -6,7 +6,9 @@
 #include <cstring>
 #include <vector>
 
+#include "apps/registry.hpp"
 #include "common/check.hpp"
+#include "dist/dist.hpp"
 #include "common/prng.hpp"
 #include "pvme/comm.hpp"
 #include "spf/runtime.hpp"
@@ -172,15 +174,13 @@ struct FftArgs {
 
 std::pair<std::size_t, std::size_t> zchunk(int rank, int nprocs,
                                            std::size_t nz) {
-  const auto r = spf::Runtime::block_range(0, static_cast<std::int64_t>(nz),
-                                           rank, nprocs);
-  return {static_cast<std::size_t>(r.lo), static_cast<std::size_t>(r.hi)};
+  const dist::BlockDist planes(nz, nprocs);
+  return {planes.lo(rank), planes.hi(rank)};
 }
 std::pair<std::size_t, std::size_t> ychunk(int rank, int nprocs,
                                            std::size_t ny) {
-  const auto r = spf::Runtime::block_range(0, static_cast<std::int64_t>(ny),
-                                           rank, nprocs);
-  return {static_cast<std::size_t>(r.lo), static_cast<std::size_t>(r.hi)};
+  const dist::BlockDist planes(ny, nprocs);
+  return {planes.lo(rank), planes.hi(rank)};
 }
 
 // Aggregated validate of the pages this process's y-slab touches (one
@@ -340,8 +340,8 @@ double fft3d_mp_impl(runner::ChildContext& ctx, const FftParams& p,
   const Dims d{p.nx, p.ny, p.nz};
   const int me = comm.rank();
   const int np = comm.nprocs();
-  xhpf::BlockDist zdist(d.nz, np);
-  xhpf::BlockDist ydist(d.ny, np);
+  const dist::BlockDist zdist(d.nz, np);
+  const dist::BlockDist ydist(d.ny, np);
   const std::size_t z_lo = zdist.lo(me), z_hi = zdist.hi(me);
   const std::size_t y_lo = ydist.lo(me), y_hi = ydist.hi(me);
 
@@ -452,39 +452,54 @@ double fft3d_xhpf(runner::ChildContext& ctx, const FftParams& p) {
 
 // ----------------------------------------------------------------------
 
-runner::RunResult run_fft3d(System system, const FftParams& p, int nprocs,
-                            const runner::SpawnOptions& opts) {
-  switch (system) {
-    case System::kSeq:
-      return run_seq_measured(opts, p, [](const FftParams& pp,
-                                          const SeqHooks* h) {
-        return fft3d_seq(pp, h);
-      });
-    case System::kSpf:
-      return runner::spawn(nprocs, opts, [&p](runner::ChildContext& c) {
-        return fft3d_spf(c, p);
-      });
-    case System::kSpfOpt:
-      return runner::spawn(nprocs, opts, [&p](runner::ChildContext& c) {
-        return fft3d_spf_opt(c, p);
-      });
-    case System::kTmk:
-      return runner::spawn(nprocs, opts, [&p](runner::ChildContext& c) {
-        return fft3d_tmk(c, p);
-      });
-    case System::kXhpf:
-      return runner::spawn(nprocs, opts, [&p](runner::ChildContext& c) {
-        return fft3d_xhpf(c, p);
-      });
-    case System::kPvme:
-      return runner::spawn(nprocs, opts, [&p](runner::ChildContext& c) {
-        return fft3d_pvme(c, p);
-      });
-    default:
-      break;
-  }
-  COMMON_CHECK_MSG(false, "fft3d: unsupported system variant");
-  return {};
+Workload make_fft3d_workload() {
+  using detail::make_variant;
+  Workload w;
+  w.name = "3-D FFT";
+  w.key = "fft";
+  w.cls = WorkloadClass::kRegular;
+  w.seq = detail::make_seq<FftParams>(&fft3d_seq);
+  w.describe = [](const std::any& a) {
+    const auto& p = std::any_cast<const FftParams&>(a);
+    return std::to_string(p.nx) + "x" + std::to_string(p.ny) + "x" +
+           std::to_string(p.nz) + " x " + std::to_string(p.iters);
+  };
+  // The sampled checksum reduction reassociates in every parallel
+  // variant, hence the uniform tolerance.
+  w.variants = {
+      make_variant<FftParams>(System::kSpf, &fft3d_spf, 1e-9, {2, 8}),
+      make_variant<FftParams>(System::kSpfOpt, &fft3d_spf_opt, 1e-9, {4, 8}),
+      make_variant<FftParams>(System::kTmk, &fft3d_tmk, 1e-9, {2, 8}),
+      make_variant<FftParams>(System::kXhpf, &fft3d_xhpf, 1e-9, {4, 8}),
+      make_variant<FftParams>(System::kPvme, &fft3d_pvme, 1e-9, {4, 8}),
+  };
+  FftParams dflt;  // paper grid, fewer iterations
+  dflt.nx = 128;
+  dflt.ny = 128;
+  dflt.nz = 64;
+  dflt.iters = 2;
+  dflt.warmup_iters = 1;
+  w.default_params = dflt;
+  FftParams reduced;
+  reduced.nx = 16;
+  reduced.ny = 16;
+  reduced.nz = 16;
+  reduced.iters = 2;
+  reduced.warmup_iters = 0;
+  w.reduced_params = reduced;
+  FftParams full = dflt;  // paper: 128 x 128 x 64, 5 timed iterations
+  full.iters = 5;
+  w.full_params = full;
+  FftParams calib = dflt;  // 1/5 of the paper's iterations
+  calib.iters = 1;
+  calib.warmup_iters = 0;
+  w.calibration = {/*paper=*/37.7, /*iter_fraction=*/0.2, calib};
+  w.paper_speedups = {{System::kSpf, 2.65},
+                      {System::kSpfOpt, 5.05},
+                      {System::kTmk, 3.06},
+                      {System::kXhpf, 4.44},
+                      {System::kPvme, 5.12}};
+  return w;
 }
 
 }  // namespace apps

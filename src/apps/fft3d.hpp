@@ -28,13 +28,16 @@ struct FftParams {
 
 double fft3d_seq(const FftParams& p, const SeqHooks* hooks = nullptr);
 
+// Parallel variants; run inside a forked child. Return the checksum on
+// every rank (reduced where necessary).
 double fft3d_spf(runner::ChildContext& ctx, const FftParams& p);
 double fft3d_spf_opt(runner::ChildContext& ctx, const FftParams& p);
 double fft3d_tmk(runner::ChildContext& ctx, const FftParams& p);
 double fft3d_xhpf(runner::ChildContext& ctx, const FftParams& p);
 double fft3d_pvme(runner::ChildContext& ctx, const FftParams& p);
 
-runner::RunResult run_fft3d(System system, const FftParams& p, int nprocs,
-                            const runner::SpawnOptions& opts);
+/// Registry descriptor (name, presets, variant table); see registry.hpp.
+struct Workload;
+Workload make_fft3d_workload();
 
 }  // namespace apps

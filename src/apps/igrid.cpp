@@ -4,7 +4,9 @@
 #include <cstring>
 #include <vector>
 
+#include "apps/registry.hpp"
 #include "common/check.hpp"
+#include "dist/dist.hpp"
 #include "common/prng.hpp"
 #include "pvme/comm.hpp"
 #include "spf/runtime.hpp"
@@ -149,8 +151,7 @@ struct IGridLoopArgs {
 void igrid_step_loop(spf::Runtime& rt, const void* argp) {
   IGridLoopArgs args;
   std::memcpy(&args, argp, sizeof(args));
-  const auto r = spf::Runtime::block_range(
-      0, static_cast<std::int64_t>(g_ig.n), rt.rank(), rt.nprocs());
+  const auto r = rt.own_block(g_ig.n);
   step_rows(g_ig.buf[args.flip], g_ig.buf[1 - args.flip], g_ig.mi, g_ig.mj,
             g_ig.n, static_cast<std::size_t>(r.lo),
             static_cast<std::size_t>(r.hi));
@@ -159,8 +160,7 @@ void igrid_step_loop(spf::Runtime& rt, const void* argp) {
 void igrid_reduce_loop(spf::Runtime& rt, const void* argp) {
   IGridLoopArgs args;
   std::memcpy(&args, argp, sizeof(args));
-  const auto range = spf::Runtime::block_range(
-      0, static_cast<std::int64_t>(g_ig.n), rt.rank(), rt.nprocs());
+  const auto range = rt.own_block(g_ig.n);
   std::size_t sq_lo, sq_hi;
   square_bounds(g_ig.n, sq_lo, sq_hi);
   const SquareStats s = square_stats_rows(
@@ -236,10 +236,9 @@ double igrid_tmk(runner::ChildContext& ctx, const IGridParams& p) {
   std::int32_t* mi = rt.alloc<std::int32_t>(p.n * p.n);
   std::int32_t* mj = rt.alloc<std::int32_t>(p.n * p.n);
 
-  const auto range = spf::Runtime::block_range(
-      0, static_cast<std::int64_t>(p.n), rt.rank(), rt.nprocs());
-  const auto lo = static_cast<std::size_t>(range.lo);
-  const auto hi = static_cast<std::size_t>(range.hi);
+  const dist::BlockDist rows(p.n, rt.nprocs());
+  const std::size_t lo = rows.lo(rt.rank());
+  const std::size_t hi = rows.hi(rt.rank());
 
   if (rt.rank() == 0) {
     const Map map = make_map(p);
@@ -276,7 +275,7 @@ double igrid_xhpf(runner::ChildContext& ctx, const IGridParams& p) {
   pvme::Comm comm(ctx.endpoint);
   xhpf::Runtime xr(comm);
   const std::size_t n = p.n;
-  xhpf::BlockDist dist(n, comm.nprocs());
+  const dist::BlockDist rows(n, comm.nprocs());
 
   // Replicated full arrays (the compiler cannot partition what it cannot
   // analyze); the map is computed redundantly (replicated sequential
@@ -293,10 +292,10 @@ double igrid_xhpf(runner::ChildContext& ctx, const IGridParams& p) {
       comm.endpoint().mark_measurement_start();
     }
     step_rows(old_g, new_g, map.mi.data(), map.mj.data(), n,
-              dist.lo(comm.rank()), dist.hi(comm.rank()));
+              rows.lo(comm.rank()), rows.hi(comm.rank()));
     // §2.4 fallback: every process broadcasts its whole block at the end
     // of each step, because the compiler does not know what will be read.
-    xr.broadcast_partition_rows(new_g, n, dist, 40 + (it & 1));
+    xr.broadcast_partition_rows(new_g, n, rows, 40 + (it & 1));
     std::swap(old_g, new_g);
   }
   comm.endpoint().mark_measurement_end();
@@ -310,9 +309,9 @@ double igrid_xhpf(runner::ChildContext& ctx, const IGridParams& p) {
 double igrid_pvme(runner::ChildContext& ctx, const IGridParams& p) {
   pvme::Comm comm(ctx.endpoint);
   const std::size_t n = p.n;
-  xhpf::BlockDist dist(n, comm.nprocs());
-  const std::size_t lo = dist.lo(comm.rank());
-  const std::size_t hi = dist.hi(comm.rank());
+  const dist::BlockDist rows(n, comm.nprocs());
+  const std::size_t lo = rows.lo(comm.rank());
+  const std::size_t hi = rows.hi(comm.rank());
   // The hand coder knows the map displaces at most `displacement` rows,
   // so a halo of h = displacement + 1 rows per side suffices.
   const std::size_t h = static_cast<std::size_t>(p.displacement) + 1;
@@ -378,35 +377,50 @@ double igrid_pvme(runner::ChildContext& ctx, const IGridParams& p) {
 
 // ----------------------------------------------------------------------
 
-runner::RunResult run_igrid(System system, const IGridParams& p, int nprocs,
-                            const runner::SpawnOptions& opts) {
-  switch (system) {
-    case System::kSeq:
-      return run_seq_measured(opts, p, [](const IGridParams& pp,
-                                          const SeqHooks* h) {
-        return igrid_seq(pp, h);
-      });
-    case System::kSpf:
-      return runner::spawn(nprocs, opts, [&p](runner::ChildContext& c) {
-        return igrid_spf(c, p);
-      });
-    case System::kTmk:
-      return runner::spawn(nprocs, opts, [&p](runner::ChildContext& c) {
-        return igrid_tmk(c, p);
-      });
-    case System::kXhpf:
-      return runner::spawn(nprocs, opts, [&p](runner::ChildContext& c) {
-        return igrid_xhpf(c, p);
-      });
-    case System::kPvme:
-      return runner::spawn(nprocs, opts, [&p](runner::ChildContext& c) {
-        return igrid_pvme(c, p);
-      });
-    default:
-      break;
-  }
-  COMMON_CHECK_MSG(false, "igrid: unsupported system variant");
-  return {};
+Workload make_igrid_workload() {
+  using detail::make_variant;
+  Workload w;
+  w.name = "IGrid";
+  w.key = "igrid";
+  w.cls = WorkloadClass::kIrregular;
+  w.seq = detail::make_seq<IGridParams>(&igrid_seq);
+  w.describe = [](const std::any& a) {
+    const auto& p = std::any_cast<const IGridParams&>(a);
+    return std::to_string(p.n) + "^2 x " + std::to_string(p.iters);
+  };
+  w.variants = {
+      make_variant<IGridParams>(System::kSpf, &igrid_spf, 0.0, {2, 8}),
+      make_variant<IGridParams>(System::kTmk, &igrid_tmk, 0.0, {2, 8}),
+      make_variant<IGridParams>(System::kXhpf, &igrid_xhpf, 0.0, {4, 8}),
+      make_variant<IGridParams>(System::kPvme, &igrid_pvme, 0.0, {4, 8}),
+  };
+  IGridParams dflt;  // paper grid, fewer steps
+  dflt.n = 500;
+  dflt.iters = 10;
+  dflt.warmup_iters = 1;
+  w.default_params = dflt;
+  IGridParams reduced;
+  reduced.n = 96;
+  reduced.iters = 4;
+  reduced.warmup_iters = 1;
+  w.reduced_params = reduced;
+  IGridParams full;  // paper: 500 x 500, 19 timed steps
+  full.n = 500;
+  full.iters = 19;
+  full.warmup_iters = 1;
+  w.full_params = full;
+  IGridParams calib;
+  calib.n = 500;
+  calib.iters = 19;
+  calib.warmup_iters = 0;
+  w.calibration = {/*paper=*/42.6, /*iter_fraction=*/1.0, calib};
+  // The paper prints no hand-Tmk number for IGrid; ~7.7 is read off
+  // Figure 2 (between SPF/Tmk and PVMe), hence the estimate marker.
+  w.paper_speedups = {{System::kSpf, 7.54},
+                      {System::kTmk, 7.70, /*estimated=*/true},
+                      {System::kXhpf, 3.85},
+                      {System::kPvme, 7.88}};
+  return w;
 }
 
 }  // namespace apps

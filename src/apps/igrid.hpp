@@ -29,12 +29,15 @@ struct IGridParams {
 
 double igrid_seq(const IGridParams& p, const SeqHooks* hooks = nullptr);
 
+// Parallel variants; run inside a forked child. Return the checksum on
+// every rank (reduced where necessary).
 double igrid_spf(runner::ChildContext& ctx, const IGridParams& p);
 double igrid_tmk(runner::ChildContext& ctx, const IGridParams& p);
 double igrid_xhpf(runner::ChildContext& ctx, const IGridParams& p);
 double igrid_pvme(runner::ChildContext& ctx, const IGridParams& p);
 
-runner::RunResult run_igrid(System system, const IGridParams& p, int nprocs,
-                            const runner::SpawnOptions& opts);
+/// Registry descriptor (name, presets, variant table); see registry.hpp.
+struct Workload;
+Workload make_igrid_workload();
 
 }  // namespace apps

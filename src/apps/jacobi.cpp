@@ -4,7 +4,9 @@
 #include <cstring>
 #include <vector>
 
+#include "apps/registry.hpp"
 #include "common/check.hpp"
+#include "dist/dist.hpp"
 #include "pvme/comm.hpp"
 #include "spf/runtime.hpp"
 #include "tmk/runtime.hpp"
@@ -100,9 +102,8 @@ struct JacobiLoopArgs {
   std::uint64_t n;
 };
 
-spf::Runtime::Range own_rows(const spf::Runtime& rt, std::size_t n) {
-  return spf::Runtime::block_range(0, static_cast<std::int64_t>(n), rt.rank(),
-                                   rt.nprocs());
+dist::Range own_rows(const spf::Runtime& rt, std::size_t n) {
+  return rt.own_block(n);
 }
 
 void jacobi_phase1(spf::Runtime& rt, const void*) {
@@ -190,19 +191,6 @@ double jacobi_spf_impl(runner::ChildContext& ctx, const JacobiParams& p,
 
 }  // namespace
 
-double jacobi_spf(runner::ChildContext& ctx, const JacobiParams& p) {
-  return jacobi_spf_impl(ctx, p, /*optimized=*/false);
-}
-
-double jacobi_spf_legacy(runner::ChildContext& ctx, const JacobiParams& p) {
-  return jacobi_spf_impl(ctx, p, /*optimized=*/false,
-                         spf::DispatchMode::kLegacy);
-}
-
-double jacobi_spf_opt(runner::ChildContext& ctx, const JacobiParams& p) {
-  return jacobi_spf_impl(ctx, p, /*optimized=*/true);
-}
-
 // ----------------------------------------------------------------------
 // Hand-coded TreadMarks: private scratch, SPMD with barriers
 // ----------------------------------------------------------------------
@@ -213,10 +201,9 @@ double jacobi_tmk(runner::ChildContext& ctx, const JacobiParams& p) {
   float* data = rt.alloc<float>(n * n);  // shared
   std::vector<float> scratch(n * n, 0.0f);  // private (the §5.1 difference)
 
-  const auto range = spf::Runtime::block_range(
-      0, static_cast<std::int64_t>(n), rt.rank(), rt.nprocs());
-  const auto lo = static_cast<std::size_t>(range.lo);
-  const auto hi = static_cast<std::size_t>(range.hi);
+  const dist::BlockDist rows(n, rt.nprocs());
+  const std::size_t lo = rows.lo(rt.rank());
+  const std::size_t hi = rows.hi(rt.rank());
 
   init_rows(data, n, lo, hi);  // each process initializes its own rows
   rt.barrier();
@@ -251,9 +238,9 @@ double jacobi_mp_impl(runner::ChildContext& ctx, const JacobiParams& p,
                       bool xhpf_conservative) {
   pvme::Comm comm(ctx.endpoint);
   const std::size_t n = p.n;
-  xhpf::BlockDist dist(n, comm.nprocs());
-  const std::size_t lo = dist.lo(comm.rank());
-  const std::size_t hi = dist.hi(comm.rank());
+  const dist::BlockDist rows(n, comm.nprocs());
+  const std::size_t lo = rows.lo(comm.rank());
+  const std::size_t hi = rows.hi(comm.rank());
   const std::size_t slab_lo = (lo > 0) ? lo - 1 : lo;
   const std::size_t slab_hi = (hi < n) ? hi + 1 : hi;
   const std::size_t slab_rows = slab_hi - slab_lo;
@@ -329,7 +316,7 @@ double jacobi_mp_impl(runner::ChildContext& ctx, const JacobiParams& p,
     double total = 0;
     for (double s : sums) total += s;
     for (int q = 1; q < comm.nprocs(); ++q) {
-      std::vector<double> theirs(dist.count(q));
+      std::vector<double> theirs(rows.count(q));
       comm.recv_exact(q, 99, theirs.data(), theirs.size() * sizeof(double));
       for (double s : theirs) total += s;
     }
@@ -339,8 +326,6 @@ double jacobi_mp_impl(runner::ChildContext& ctx, const JacobiParams& p,
   return 0.0;
 }
 
-}  // namespace
-
 double jacobi_pvme(runner::ChildContext& ctx, const JacobiParams& p) {
   return jacobi_mp_impl(ctx, p, /*xhpf_conservative=*/false);
 }
@@ -349,39 +334,69 @@ double jacobi_xhpf(runner::ChildContext& ctx, const JacobiParams& p) {
   return jacobi_mp_impl(ctx, p, /*xhpf_conservative=*/true);
 }
 
+double jacobi_spf_opt(runner::ChildContext& ctx, const JacobiParams& p) {
+  return jacobi_spf_impl(ctx, p, /*optimized=*/true);
+}
+
+}  // namespace
+
+double jacobi_spf(runner::ChildContext& ctx, const JacobiParams& p) {
+  return jacobi_spf_impl(ctx, p, /*optimized=*/false);
+}
+
+double jacobi_spf_legacy(runner::ChildContext& ctx, const JacobiParams& p) {
+  return jacobi_spf_impl(ctx, p, /*optimized=*/false,
+                         spf::DispatchMode::kLegacy);
+}
+
 // ----------------------------------------------------------------------
 
-runner::RunResult run_jacobi(System system, const JacobiParams& p, int nprocs,
-                             const runner::SpawnOptions& opts) {
-  switch (system) {
-    case System::kSeq:
-      return run_seq_measured(opts, p, [](const JacobiParams& pp,
-                                          const SeqHooks* h) {
-        return jacobi_seq(pp, h);
-      });
-    case System::kSpf:
-      return runner::spawn(nprocs, opts, [&p](runner::ChildContext& c) {
-        return jacobi_spf(c, p);
-      });
-    case System::kSpfOpt:
-      return runner::spawn(nprocs, opts, [&p](runner::ChildContext& c) {
-        return jacobi_spf_opt(c, p);
-      });
-    case System::kTmk:
-      return runner::spawn(nprocs, opts, [&p](runner::ChildContext& c) {
-        return jacobi_tmk(c, p);
-      });
-    case System::kXhpf:
-      return runner::spawn(nprocs, opts, [&p](runner::ChildContext& c) {
-        return jacobi_xhpf(c, p);
-      });
-    case System::kPvme:
-      return runner::spawn(nprocs, opts, [&p](runner::ChildContext& c) {
-        return jacobi_pvme(c, p);
-      });
-  }
-  COMMON_CHECK(false);
-  return {};
+Workload make_jacobi_workload() {
+  using detail::make_variant;
+  Workload w;
+  w.name = "Jacobi";
+  w.key = "jacobi";
+  w.cls = WorkloadClass::kRegular;
+  w.seq = detail::make_seq<JacobiParams>(&jacobi_seq);
+  w.describe = [](const std::any& a) {
+    const auto& p = std::any_cast<const JacobiParams&>(a);
+    return std::to_string(p.n) + "^2 x " + std::to_string(p.iters);
+  };
+  // kSpfOpt needs page-aligned rows (n a multiple of 1024), so the
+  // reduced preset cannot drive it; apps_shape_test covers it.
+  w.variants = {
+      make_variant<JacobiParams>(System::kSpf, &jacobi_spf, 0.0, {2, 4, 8}),
+      make_variant<JacobiParams>(System::kSpfOpt, &jacobi_spf_opt, 0.0, {}),
+      make_variant<JacobiParams>(System::kTmk, &jacobi_tmk, 0.0, {2, 4, 8}),
+      make_variant<JacobiParams>(System::kXhpf, &jacobi_xhpf, 0.0, {2, 4, 8}),
+      make_variant<JacobiParams>(System::kPvme, &jacobi_pvme, 0.0, {2, 4, 8}),
+  };
+  JacobiParams dflt;  // paper grid, reduced iterations
+  dflt.n = 2048;
+  dflt.iters = 10;
+  dflt.warmup_iters = 1;
+  w.default_params = dflt;
+  JacobiParams reduced;
+  reduced.n = 128;
+  reduced.iters = 4;
+  reduced.warmup_iters = 1;
+  w.reduced_params = reduced;
+  JacobiParams full;  // paper: 2048 x 2048, 100 timed iterations
+  full.n = 2048;
+  full.iters = 100;
+  full.warmup_iters = 1;
+  w.full_params = full;
+  JacobiParams calib;  // 1/10 of the paper's iterations
+  calib.n = 2048;
+  calib.iters = 10;
+  calib.warmup_iters = 0;
+  w.calibration = {/*paper (est.)=*/55.0, /*iter_fraction=*/0.1, calib};
+  w.paper_speedups = {{System::kSpf, 6.99},
+                      {System::kSpfOpt, 7.23},
+                      {System::kTmk, 7.13},
+                      {System::kXhpf, 7.39},
+                      {System::kPvme, 7.55}};
+  return w;
 }
 
 }  // namespace apps

@@ -26,20 +26,17 @@ struct JacobiParams {
 /// Pure sequential baseline; returns the checksum.
 double jacobi_seq(const JacobiParams& p, const SeqHooks* hooks = nullptr);
 
-// Parallel variants; run inside a forked child. Return the checksum on
-// every rank (reduced where necessary).
+/// SPF variant under the improved interface; exposed (with the legacy
+/// mapping below) for the §2.3 interface ablation bench. All other
+/// variants are reached through the workload registry.
 double jacobi_spf(runner::ChildContext& ctx, const JacobiParams& p);
 
 /// SPF variant forced onto the original fork-join mapping (full barriers
 /// plus paged-in control variables) — the §2.3 interface ablation.
 double jacobi_spf_legacy(runner::ChildContext& ctx, const JacobiParams& p);
-double jacobi_spf_opt(runner::ChildContext& ctx, const JacobiParams& p);
-double jacobi_tmk(runner::ChildContext& ctx, const JacobiParams& p);
-double jacobi_xhpf(runner::ChildContext& ctx, const JacobiParams& p);
-double jacobi_pvme(runner::ChildContext& ctx, const JacobiParams& p);
 
-/// Dispatch helper used by tests and benches.
-runner::RunResult run_jacobi(System system, const JacobiParams& p, int nprocs,
-                             const runner::SpawnOptions& opts);
+/// Registry descriptor (name, presets, variant table); see registry.hpp.
+struct Workload;
+Workload make_jacobi_workload();
 
 }  // namespace apps

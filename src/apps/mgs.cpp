@@ -4,8 +4,10 @@
 #include <cstring>
 #include <vector>
 
+#include "apps/registry.hpp"
 #include "common/check.hpp"
 #include "common/prng.hpp"
+#include "dist/dist.hpp"
 #include "pvme/comm.hpp"
 #include "spf/runtime.hpp"
 #include "tmk/runtime.hpp"
@@ -86,8 +88,8 @@ void mgs_update_loop(spf::Runtime& rt, const void* argp) {
   MgsLoopArgs args;
   std::memcpy(&args, argp, sizeof(args));
   const float* pivot = g_mgs.a + args.i * g_mgs.m;
-  for (std::int64_t j = spf::Runtime::cyclic_begin(
-           static_cast<std::int64_t>(args.i) + 1, rt.rank(), rt.nprocs());
+  for (std::int64_t j =
+           rt.own_cyclic_begin(static_cast<std::int64_t>(args.i) + 1);
        j < static_cast<std::int64_t>(g_mgs.n); j += rt.nprocs()) {
     orthogonalize(g_mgs.a + static_cast<std::size_t>(j) * g_mgs.m, pivot,
                   g_mgs.m);
@@ -145,6 +147,7 @@ double mgs_tmk_impl(runner::ChildContext& ctx, const MgsParams& p,
 
   const int me = rt.rank();
   const int np = rt.nprocs();
+  const dist::CyclicDist vecs(p.n, np);
   for (std::size_t i = static_cast<std::size_t>(me); i < p.n;
        i += static_cast<std::size_t>(np))
     for (std::size_t j = 0; j < p.m; ++j) a[i * p.m + j] = init_value(p, i, j);
@@ -152,7 +155,7 @@ double mgs_tmk_impl(runner::ChildContext& ctx, const MgsParams& p,
   rt.endpoint().mark_measurement_start();
 
   for (std::size_t i = 0; i < p.n; ++i) {
-    const int owner = static_cast<int>(i % static_cast<std::size_t>(np));
+    const int owner = vecs.owner(i);
     if (owner == me) normalize_row(a + i * p.m, p.m);
     if (use_bcast) {
       // §5.3 optimization: merged synchronization + data. The broadcast
@@ -162,8 +165,8 @@ double mgs_tmk_impl(runner::ChildContext& ctx, const MgsParams& p,
       rt.barrier();
     }
     const float* pivot = a + i * p.m;
-    for (std::int64_t j = spf::Runtime::cyclic_begin(
-             static_cast<std::int64_t>(i) + 1, me, np);
+    for (std::int64_t j =
+             dist::cyclic_begin(static_cast<std::int64_t>(i) + 1, me, np);
          j < static_cast<std::int64_t>(p.n); j += np) {
       orthogonalize(a + static_cast<std::size_t>(j) * p.m, pivot, p.m);
     }
@@ -205,12 +208,13 @@ double mgs_pvme(runner::ChildContext& ctx, const MgsParams& p) {
     for (std::size_t j = 0; j < p.m; ++j)
       rows[k * p.m + j] = init_value(p, own[k], j);
   std::vector<float> pivot(p.m);
+  const dist::CyclicDist vecs(p.n, np);
 
   comm.barrier();
   comm.endpoint().mark_measurement_start();
 
   for (std::size_t i = 0; i < p.n; ++i) {
-    const int owner = static_cast<int>(i % static_cast<std::size_t>(np));
+    const int owner = vecs.owner(i);
     float* pv = pivot.data();
     if (owner == me) {
       pv = rows.data() + (i / static_cast<std::size_t>(np)) * p.m;
@@ -266,13 +270,14 @@ double mgs_xhpf(runner::ChildContext& ctx, const MgsParams& p) {
        i += static_cast<std::size_t>(np))
     for (std::size_t j = 0; j < p.m; ++j) a[i * p.m + j] = init_value(p, i, j);
 
-  xhpf::BlockDist elems(p.m, np);  // element-block of the normalize loop
+  const dist::CyclicDist vecs(p.n, np);
+  const dist::BlockDist elems(p.m, np);  // element-block of the normalize loop
 
   comm.barrier();
   comm.endpoint().mark_measurement_start();
 
   for (std::size_t i = 0; i < p.n; ++i) {
-    const int owner = static_cast<int>(i % static_cast<std::size_t>(np));
+    const int owner = vecs.owner(i);
     float* pivot = a.data() + i * p.m;
     // (1) The sequential normalization references a non-owned row: the
     //     compiler materializes it everywhere first.
@@ -290,7 +295,7 @@ double mgs_xhpf(runner::ChildContext& ctx, const MgsParams& p) {
     comm.bcast(owner, pivot, p.m * sizeof(float));
     // (4) Owner-computes update of the cyclic rows.
     for (std::size_t j = i + 1; j < p.n; ++j) {
-      if (static_cast<int>(j % static_cast<std::size_t>(np)) != me) continue;
+      if (vecs.owner(j) != me) continue;
       orthogonalize(a.data() + j * p.m, pivot, p.m);
     }
   }
@@ -301,7 +306,7 @@ double mgs_xhpf(runner::ChildContext& ctx, const MgsParams& p) {
     // Rows not owned locally are stale except pivots; fetch owned sums.
     std::vector<double> total_by_row(p.n, 0.0);
     for (std::size_t i = 0; i < p.n; ++i) {
-      if (static_cast<int>(i % static_cast<std::size_t>(np)) == 0) {
+      if (vecs.owner(i) == 0) {
         double s = 0;
         for (std::size_t j = 0; j < p.m; ++j) s += a[i * p.m + j];
         total_by_row[i] = s;
@@ -330,39 +335,43 @@ double mgs_xhpf(runner::ChildContext& ctx, const MgsParams& p) {
 
 // ----------------------------------------------------------------------
 
-runner::RunResult run_mgs(System system, const MgsParams& p, int nprocs,
-                          const runner::SpawnOptions& opts) {
-  switch (system) {
-    case System::kSeq:
-      return run_seq_measured(opts, p, [](const MgsParams& pp,
-                                          const SeqHooks* h) {
-        return mgs_seq(pp, h);
-      });
-    case System::kSpf:
-      return runner::spawn(nprocs, opts, [&p](runner::ChildContext& c) {
-        return mgs_spf(c, p);
-      });
-    case System::kTmk:
-      return runner::spawn(nprocs, opts, [&p](runner::ChildContext& c) {
-        return mgs_tmk(c, p);
-      });
-    case System::kTmkOpt:
-      return runner::spawn(nprocs, opts, [&p](runner::ChildContext& c) {
-        return mgs_tmk_opt(c, p);
-      });
-    case System::kXhpf:
-      return runner::spawn(nprocs, opts, [&p](runner::ChildContext& c) {
-        return mgs_xhpf(c, p);
-      });
-    case System::kPvme:
-      return runner::spawn(nprocs, opts, [&p](runner::ChildContext& c) {
-        return mgs_pvme(c, p);
-      });
-    case System::kSpfOpt:
-      break;
-  }
-  COMMON_CHECK_MSG(false, "mgs: unsupported system variant");
-  return {};
+Workload make_mgs_workload() {
+  using detail::make_variant;
+  Workload w;
+  w.name = "MGS";
+  w.key = "mgs";
+  w.cls = WorkloadClass::kRegular;
+  w.seq = detail::make_seq<MgsParams>(&mgs_seq);
+  w.describe = [](const std::any& a) {
+    const auto& p = std::any_cast<const MgsParams&>(a);
+    return std::to_string(p.n) + " x " + std::to_string(p.m);
+  };
+  // XHPF's distributed norm reassociates the reduction (§5.3), hence the
+  // tolerance. kTmkOpt needs page-aligned rows (m a multiple of 1024),
+  // so the reduced preset cannot drive it; apps_shape_test covers it.
+  w.variants = {
+      make_variant<MgsParams>(System::kSpf, &mgs_spf, 0.0, {2, 8}),
+      make_variant<MgsParams>(System::kTmk, &mgs_tmk, 0.0, {2, 8}),
+      make_variant<MgsParams>(System::kTmkOpt, &mgs_tmk_opt, 0.0, {}),
+      make_variant<MgsParams>(System::kXhpf, &mgs_xhpf, 1e-5, {4, 8}),
+      make_variant<MgsParams>(System::kPvme, &mgs_pvme, 0.0, {4, 8}),
+  };
+  MgsParams dflt;  // the paper's size (step count == iteration count)
+  dflt.n = 1024;
+  dflt.m = 1024;
+  w.default_params = dflt;
+  MgsParams reduced;
+  reduced.n = 48;
+  reduced.m = 256;
+  w.reduced_params = reduced;
+  w.full_params = dflt;  // paper: 1024 x 1024
+  w.calibration = {/*paper=*/56.4, /*iter_fraction=*/1.0, dflt};
+  w.paper_speedups = {{System::kSpf, 3.35},
+                      {System::kTmk, 4.19},
+                      {System::kTmkOpt, 5.09},
+                      {System::kXhpf, 5.06},
+                      {System::kPvme, 6.55}};
+  return w;
 }
 
 }  // namespace apps

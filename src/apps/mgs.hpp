@@ -26,13 +26,16 @@ struct MgsParams {
 
 double mgs_seq(const MgsParams& p, const SeqHooks* hooks = nullptr);
 
+// Parallel variants; run inside a forked child. Return the checksum on
+// every rank (reduced where necessary).
 double mgs_spf(runner::ChildContext& ctx, const MgsParams& p);
 double mgs_tmk(runner::ChildContext& ctx, const MgsParams& p);
 double mgs_tmk_opt(runner::ChildContext& ctx, const MgsParams& p);
 double mgs_xhpf(runner::ChildContext& ctx, const MgsParams& p);
 double mgs_pvme(runner::ChildContext& ctx, const MgsParams& p);
 
-runner::RunResult run_mgs(System system, const MgsParams& p, int nprocs,
-                          const runner::SpawnOptions& opts);
+/// Registry descriptor (name, presets, variant table); see registry.hpp.
+struct Workload;
+Workload make_mgs_workload();
 
 }  // namespace apps

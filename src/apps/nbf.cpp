@@ -4,7 +4,9 @@
 #include <cstring>
 #include <vector>
 
+#include "apps/registry.hpp"
 #include "common/check.hpp"
+#include "dist/dist.hpp"
 #include "common/prng.hpp"
 #include "pvme/comm.hpp"
 #include "spf/runtime.hpp"
@@ -138,9 +140,8 @@ struct SpfNbfState {
 };
 SpfNbfState g_nbf;
 
-spf::Runtime::Range nbf_block(const spf::Runtime& rt, std::size_t nmol) {
-  return spf::Runtime::block_range(0, static_cast<std::int64_t>(nmol),
-                                   rt.rank(), rt.nprocs());
+dist::Range nbf_block(const spf::Runtime& rt, std::size_t nmol) {
+  return rt.own_block(nmol);
 }
 
 void nbf_force_loop(spf::Runtime& rt, const void*) {
@@ -167,9 +168,7 @@ void nbf_update_loop(spf::Runtime& rt, const void*) {
     if (q == rt.rank()) continue;
     const double* spill = g_nbf.buf + static_cast<std::size_t>(q) * 3 *
                                           g_nbf.p.nmol;
-    const auto qr = spf::Runtime::block_range(
-        0, static_cast<std::int64_t>(g_nbf.p.nmol), q, rt.nprocs());
-    const auto q_lo = static_cast<std::size_t>(qr.lo);
+    const auto q_lo = rt.block(g_nbf.p.nmol).lo(q);
     const std::size_t w_lo =
         (q_lo >= g_nbf.p.window) ? q_lo - g_nbf.p.window : 0;
     for (std::size_t i = std::max(w_lo, lo); i < std::min(q_lo, hi); ++i) {
@@ -236,10 +235,9 @@ double nbf_tmk(runner::ChildContext& ctx, const NbfParams& p) {
   std::vector<double> f(3 * p.nmol, 0.0);  // private
 
   const auto partners = make_partners(p);  // replicated setup, no traffic
-  const auto r = spf::Runtime::block_range(
-      0, static_cast<std::int64_t>(p.nmol), rt.rank(), rt.nprocs());
-  const auto lo = static_cast<std::size_t>(r.lo);
-  const auto hi = static_cast<std::size_t>(r.hi);
+  const dist::BlockDist mols(p.nmol, rt.nprocs());
+  const std::size_t lo = mols.lo(rt.rank());
+  const std::size_t hi = mols.hi(rt.rank());
   init_positions(pos, p, lo, hi);
   rt.barrier();
 
@@ -255,9 +253,7 @@ double nbf_tmk(runner::ChildContext& ctx, const NbfParams& p) {
     for (int q = 0; q < rt.nprocs(); ++q) {
       if (q == rt.rank()) continue;
       const double* qs = buf + static_cast<std::size_t>(q) * 3 * p.nmol;
-      const auto qr = spf::Runtime::block_range(
-          0, static_cast<std::int64_t>(p.nmol), q, rt.nprocs());
-      const auto q_lo = static_cast<std::size_t>(qr.lo);
+      const std::size_t q_lo = mols.lo(q);
       const std::size_t qw_lo = (q_lo >= p.window) ? q_lo - p.window : 0;
       for (std::size_t i = std::max(qw_lo, lo); i < std::min(q_lo, hi); ++i) {
         f[3 * i] += qs[3 * i];
@@ -285,9 +281,9 @@ double nbf_pvme(runner::ChildContext& ctx, const NbfParams& p) {
   check_window(p, comm.nprocs());
   const int me = comm.rank();
   const int np = comm.nprocs();
-  xhpf::BlockDist dist(p.nmol, np);
-  const std::size_t lo = dist.lo(me);
-  const std::size_t hi = dist.hi(me);
+  const dist::BlockDist mols(p.nmol, np);
+  const std::size_t lo = mols.lo(me);
+  const std::size_t hi = mols.hi(me);
 
   const auto partners = make_partners(p);
   // Windowed exchange: the hand coder knows partner indices reach at most
@@ -325,7 +321,7 @@ double nbf_pvme(runner::ChildContext& ctx, const NbfParams& p) {
       comm.send(me - 1, 60, spill.data() + 3 * w_lo,
                 3 * (lo - w_lo) * sizeof(double));
     if (me + 1 < np) {
-      const std::size_t nb_lo = dist.lo(me + 1);
+      const std::size_t nb_lo = mols.lo(me + 1);
       const std::size_t nb_w = (nb_lo >= p.window) ? nb_lo - p.window : 0;
       std::vector<double> in(3 * (nb_lo - nb_w));
       comm.recv_exact(me + 1, 60, in.data(), in.size() * sizeof(double));
@@ -342,8 +338,8 @@ double nbf_pvme(runner::ChildContext& ctx, const NbfParams& p) {
   // Checksum: gather blocks to rank 0 (outside the measured window).
   if (me == 0) {
     for (int q = 1; q < np; ++q)
-      comm.recv_exact(q, 90, pos.data() + 3 * dist.lo(q),
-                      3 * dist.count(q) * sizeof(double));
+      comm.recv_exact(q, 90, pos.data() + 3 * mols.lo(q),
+                      3 * mols.count(q) * sizeof(double));
     return checksum_positions(pos.data(), p.nmol);
   }
   comm.send(0, 90, pos.data() + 3 * lo, 3 * (hi - lo) * sizeof(double));
@@ -356,9 +352,9 @@ double nbf_xhpf(runner::ChildContext& ctx, const NbfParams& p) {
   check_window(p, comm.nprocs());
   const int me = comm.rank();
   const int np = comm.nprocs();
-  xhpf::BlockDist dist(p.nmol, np);
-  const std::size_t lo = dist.lo(me);
-  const std::size_t hi = dist.hi(me);
+  const dist::BlockDist mols(p.nmol, np);
+  const std::size_t lo = mols.lo(me);
+  const std::size_t hi = mols.hi(me);
 
   const auto partners = make_partners(p);
   std::vector<double> pos(3 * p.nmol, 0.0);
@@ -368,7 +364,7 @@ double nbf_xhpf(runner::ChildContext& ctx, const NbfParams& p) {
   std::vector<std::vector<double>> bufs(static_cast<std::size_t>(np));
   for (auto& b : bufs) b.assign(3 * p.nmol, 0.0);
   init_positions(pos.data(), p, lo, hi);
-  xr.broadcast_partition_rows(pos.data(), 3, dist, 70);
+  xr.broadcast_partition_rows(pos.data(), 3, mols, 70);
 
   for (int it = 0; it < p.warmup_iters + p.iters; ++it) {
     if (it == p.warmup_iters) {
@@ -415,7 +411,7 @@ double nbf_xhpf(runner::ChildContext& ctx, const NbfParams& p) {
     }
     integrate(pos.data(), f.data(), lo, hi);
     // "...and the coordinates of all its molecules."
-    xr.broadcast_partition_rows(pos.data(), 3, dist, 70);
+    xr.broadcast_partition_rows(pos.data(), 3, mols, 70);
   }
   comm.endpoint().mark_measurement_end();
   return me == 0 ? checksum_positions(pos.data(), p.nmol) : 0.0;
@@ -423,35 +419,49 @@ double nbf_xhpf(runner::ChildContext& ctx, const NbfParams& p) {
 
 // ----------------------------------------------------------------------
 
-runner::RunResult run_nbf(System system, const NbfParams& p, int nprocs,
-                          const runner::SpawnOptions& opts) {
-  switch (system) {
-    case System::kSeq:
-      return run_seq_measured(opts, p, [](const NbfParams& pp,
-                                          const SeqHooks* h) {
-        return nbf_seq(pp, h);
-      });
-    case System::kSpf:
-      return runner::spawn(nprocs, opts, [&p](runner::ChildContext& c) {
-        return nbf_spf(c, p);
-      });
-    case System::kTmk:
-      return runner::spawn(nprocs, opts, [&p](runner::ChildContext& c) {
-        return nbf_tmk(c, p);
-      });
-    case System::kXhpf:
-      return runner::spawn(nprocs, opts, [&p](runner::ChildContext& c) {
-        return nbf_xhpf(c, p);
-      });
-    case System::kPvme:
-      return runner::spawn(nprocs, opts, [&p](runner::ChildContext& c) {
-        return nbf_pvme(c, p);
-      });
-    default:
-      break;
-  }
-  COMMON_CHECK_MSG(false, "nbf: unsupported system variant");
-  return {};
+Workload make_nbf_workload() {
+  using detail::make_variant;
+  Workload w;
+  w.name = "NBF";
+  w.key = "nbf";
+  w.cls = WorkloadClass::kIrregular;
+  w.seq = detail::make_seq<NbfParams>(&nbf_seq);
+  w.describe = [](const std::any& a) {
+    const auto& p = std::any_cast<const NbfParams&>(a);
+    return std::to_string(p.nmol) + " mol x " + std::to_string(p.iters);
+  };
+  // XHPF sums whole-array force buffers in a different interleaving than
+  // the sequential order, hence the tolerance.
+  w.variants = {
+      make_variant<NbfParams>(System::kSpf, &nbf_spf, 0.0, {2, 8}),
+      make_variant<NbfParams>(System::kTmk, &nbf_tmk, 0.0, {2, 8}),
+      make_variant<NbfParams>(System::kXhpf, &nbf_xhpf, 1e-9, {4, 8}),
+      make_variant<NbfParams>(System::kPvme, &nbf_pvme, 0.0, {4, 8}),
+  };
+  NbfParams dflt;  // paper molecule count, fewer iterations
+  dflt.nmol = 32 * 1024;
+  dflt.iters = 8;
+  dflt.partners = 16;
+  dflt.window = 256;
+  dflt.warmup_iters = 1;
+  w.default_params = dflt;
+  NbfParams reduced;
+  reduced.nmol = 1024;
+  reduced.iters = 3;
+  reduced.window = 48;
+  reduced.warmup_iters = 1;
+  w.reduced_params = reduced;
+  NbfParams full = dflt;  // paper: 32K molecules, 20 timed iterations
+  full.iters = 20;
+  w.full_params = full;
+  NbfParams calib = full;
+  calib.warmup_iters = 0;
+  w.calibration = {/*paper=*/63.9, /*iter_fraction=*/1.0, calib};
+  w.paper_speedups = {{System::kSpf, 5.31},
+                      {System::kTmk, 5.86},
+                      {System::kXhpf, 3.85},
+                      {System::kPvme, 6.18}};
+  return w;
 }
 
 }  // namespace apps

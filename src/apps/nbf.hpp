@@ -29,12 +29,15 @@ struct NbfParams {
 
 double nbf_seq(const NbfParams& p, const SeqHooks* hooks = nullptr);
 
+// Parallel variants; run inside a forked child. Return the checksum on
+// every rank (reduced where necessary).
 double nbf_spf(runner::ChildContext& ctx, const NbfParams& p);
 double nbf_tmk(runner::ChildContext& ctx, const NbfParams& p);
 double nbf_xhpf(runner::ChildContext& ctx, const NbfParams& p);
 double nbf_pvme(runner::ChildContext& ctx, const NbfParams& p);
 
-runner::RunResult run_nbf(System system, const NbfParams& p, int nprocs,
-                          const runner::SpawnOptions& opts);
+/// Registry descriptor (name, presets, variant table); see registry.hpp.
+struct Workload;
+Workload make_nbf_workload();
 
 }  // namespace apps

@@ -1,0 +1,104 @@
+#include "apps/registry.hpp"
+
+#include <vector>
+
+#include "apps/fft3d.hpp"
+#include "apps/igrid.hpp"
+#include "apps/jacobi.hpp"
+#include "apps/mgs.hpp"
+#include "apps/nbf.hpp"
+#include "apps/shallow.hpp"
+#include "common/check.hpp"
+
+namespace apps {
+
+const Variant* Workload::find(System s) const noexcept {
+  for (const Variant& v : variants)
+    if (v.system == s) return &v;
+  return nullptr;
+}
+
+std::vector<System> Workload::paper_systems() const {
+  std::vector<System> out;
+  for (System s : kPaperSystems)
+    if (find(s) != nullptr) out.push_back(s);
+  return out;
+}
+
+const std::any& Workload::params(Preset preset) const noexcept {
+  switch (preset) {
+    case Preset::kReduced:
+      return reduced_params;
+    case Preset::kFull:
+      return full_params;
+    case Preset::kDefault:
+      break;
+  }
+  return default_params;
+}
+
+double Workload::paper_speedup(System s) const noexcept {
+  const PaperSpeedup* p = find_paper_speedup(s);
+  return p != nullptr ? p->speedup : 0.0;
+}
+
+const Workload::PaperSpeedup* Workload::find_paper_speedup(
+    System s) const noexcept {
+  for (const PaperSpeedup& p : paper_speedups)
+    if (p.system == s) return &p;
+  return nullptr;
+}
+
+std::span<const Workload> all_workloads() {
+  // Assembled explicitly (not via static registrars) so the iteration
+  // order is the paper's presentation order and static-library linking
+  // cannot drop entries.
+  static const std::vector<Workload> registry = [] {
+    std::vector<Workload> w;
+    w.push_back(make_jacobi_workload());
+    w.push_back(make_shallow_workload());
+    w.push_back(make_mgs_workload());
+    w.push_back(make_fft3d_workload());
+    w.push_back(make_igrid_workload());
+    w.push_back(make_nbf_workload());
+    return w;
+  }();
+  return registry;
+}
+
+const Workload& find_workload(std::string_view key) {
+  for (const Workload& w : all_workloads())
+    if (w.key == key) return w;
+  COMMON_CHECK_MSG(false, "unknown workload '" << key << '\'');
+}
+
+runner::RunResult run_workload(const Workload& w, System system, int nprocs,
+                               const runner::SpawnOptions& opts,
+                               const std::any& params) {
+  if (system == System::kSeq) {
+    return run_seq_measured(opts, params,
+                            [&w](const std::any& a, const SeqHooks* hooks) {
+                              return w.seq(a, hooks);
+                            });
+  }
+  const Variant* v = w.find(system);
+  COMMON_CHECK_MSG(v != nullptr, w.key << ": unsupported system variant "
+                                       << to_string(system));
+  return runner::spawn(nprocs, opts, [v, &params](runner::ChildContext& ctx) {
+    return v->run(ctx, params);
+  });
+}
+
+runner::RunResult run_workload(const Workload& w, System system, int nprocs,
+                               const runner::SpawnOptions& opts,
+                               Preset preset) {
+  return run_workload(w, system, nprocs, opts, w.params(preset));
+}
+
+runner::RunResult run_workload(std::string_view key, System system,
+                               int nprocs, const runner::SpawnOptions& opts,
+                               Preset preset) {
+  return run_workload(find_workload(key), system, nprocs, opts, preset);
+}
+
+}  // namespace apps

@@ -1,0 +1,158 @@
+// Workload registry: the data-driven catalogue of the paper's
+// applications and their system variants.
+//
+// Each application contributes one type-erased `Workload` descriptor:
+// its name, problem-parameter presets (bench default, integration-test
+// reduced, paper full size), regular-vs-irregular class (Figure 1 vs
+// Figure 2), a sequential baseline, and a variant table keyed by
+// `apps::System`. The generic `run_workload()` entry point replaces the
+// per-application six-way dispatch switches: benches, tests, and
+// examples iterate `all_workloads()` instead of naming applications, so
+// adding a seventh application (or a fifth system point to an existing
+// one) is a one-file change — implement the variants, fill in a
+// descriptor, and append it to the table in registry.cpp.
+#pragma once
+
+#include <any>
+#include <functional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "apps/app_common.hpp"
+
+namespace apps {
+
+/// The paper's application taxonomy: regular applications (Figure 1,
+/// Table 2 — analyzable access patterns) vs irregular ones (Figure 2,
+/// Table 3 — run-time indirection that defeats both compilers).
+enum class WorkloadClass { kRegular, kIrregular };
+
+[[nodiscard]] constexpr const char* to_string(WorkloadClass c) noexcept {
+  return c == WorkloadClass::kRegular ? "regular" : "irregular";
+}
+
+/// Named problem-parameter presets carried by every workload.
+enum class Preset {
+  kDefault,  // bench sizes: paper dimensions, reduced iteration counts
+  kReduced,  // integration-test sizes: small enough for the ctest suite
+  kFull,     // the paper's Table 1 sizes (TMK_FULL_SIZES=1)
+};
+
+/// One (workload, system) implementation plus its test contract.
+struct Variant {
+  System system = System::kSeq;
+  /// Runs inside a forked child; returns the checksum on every rank.
+  std::function<double(runner::ChildContext&, const std::any&)> run;
+  /// Checksum tolerance vs the sequential baseline: 0 = bit-exact
+  /// (identical arithmetic order), else relative (reassociated
+  /// reductions).
+  double tolerance = 0.0;
+  /// Process counts the registry-driven checksum suite exercises; empty
+  /// means the variant has preset constraints (e.g. page-aligned rows)
+  /// and is covered by a dedicated test instead.
+  std::vector<int> checksum_nprocs;
+};
+
+/// How to map this host's CPU speed onto the paper's SP/2 node for this
+/// workload: run the full-size sequential problem (at `iter_fraction` of
+/// the paper's iterations) and divide into `paper_seconds`.
+struct Calibration {
+  double paper_seconds = 0.0;  // Table 1, or the EXPERIMENTS.md estimate
+  double iter_fraction = 1.0;
+  std::any params;
+};
+
+struct Workload {
+  std::string name;  // presentation name, e.g. "3-D FFT"
+  std::string key;   // lookup key, e.g. "fft"
+  WorkloadClass cls = WorkloadClass::kRegular;
+
+  /// Sequential baseline over the type-erased params; hooks bracket the
+  /// measured window.
+  std::function<double(const std::any&, const SeqHooks*)> seq;
+  /// Human-readable size label for a params value, e.g. "2048^2 x 10".
+  std::function<std::string(const std::any&)> describe;
+
+  std::vector<Variant> variants;  // paper presentation order
+
+  std::any default_params;
+  std::any reduced_params;
+  std::any full_params;
+  Calibration calibration;
+
+  /// One paper reference speedup (8 processors); `estimated` marks
+  /// values read off a figure rather than printed in the paper.
+  struct PaperSpeedup {
+    System system = System::kSeq;
+    double speedup = 0.0;
+    bool estimated = false;
+  };
+
+  /// The paper's 8-processor speedups (Figures 1-2 and the §5
+  /// hand-optimization study), for bench footers and sanity checks.
+  std::vector<PaperSpeedup> paper_speedups;
+
+  [[nodiscard]] const Variant* find(System s) const noexcept;
+  [[nodiscard]] bool supports(System s) const noexcept {
+    return s == System::kSeq || find(s) != nullptr;
+  }
+  /// The subset of kPaperSystems this workload implements, paper order.
+  [[nodiscard]] std::vector<System> paper_systems() const;
+  [[nodiscard]] const std::any& params(Preset preset) const noexcept;
+  /// Paper reference speedup for a system; 0 when the paper has none.
+  [[nodiscard]] double paper_speedup(System s) const noexcept;
+  [[nodiscard]] const PaperSpeedup* find_paper_speedup(System s) const noexcept;
+};
+
+/// All six workloads in the paper's presentation order (regular block
+/// first, then irregular).
+[[nodiscard]] std::span<const Workload> all_workloads();
+
+/// Lookup by key ("jacobi", "shallow", "mgs", "fft", "igrid", "nbf");
+/// throws common::Error on an unknown key.
+[[nodiscard]] const Workload& find_workload(std::string_view key);
+
+/// The single generic entry point: runs one (workload, system, nprocs)
+/// configuration under the multi-process harness. kSeq ignores nprocs.
+/// Throws common::Error if the workload has no such variant.
+runner::RunResult run_workload(const Workload& w, System system, int nprocs,
+                               const runner::SpawnOptions& opts,
+                               const std::any& params);
+runner::RunResult run_workload(const Workload& w, System system, int nprocs,
+                               const runner::SpawnOptions& opts,
+                               Preset preset = Preset::kDefault);
+runner::RunResult run_workload(std::string_view key, System system,
+                               int nprocs, const runner::SpawnOptions& opts,
+                               Preset preset = Preset::kDefault);
+
+namespace detail {
+
+/// Adapts a typed variant function to the registry's type-erased shape.
+template <typename Params>
+Variant make_variant(System system,
+                     double (*fn)(runner::ChildContext&, const Params&),
+                     double tolerance, std::vector<int> checksum_nprocs) {
+  Variant v;
+  v.system = system;
+  v.run = [fn](runner::ChildContext& ctx, const std::any& a) {
+    return fn(ctx, std::any_cast<const Params&>(a));
+  };
+  v.tolerance = tolerance;
+  v.checksum_nprocs = std::move(checksum_nprocs);
+  return v;
+}
+
+template <typename Params>
+std::function<double(const std::any&, const SeqHooks*)> make_seq(
+    double (*fn)(const Params&, const SeqHooks*)) {
+  return [fn](const std::any& a, const SeqHooks* hooks) {
+    return fn(std::any_cast<const Params&>(a), hooks);
+  };
+}
+
+}  // namespace detail
+
+}  // namespace apps

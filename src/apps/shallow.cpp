@@ -4,7 +4,9 @@
 #include <cstring>
 #include <vector>
 
+#include "apps/registry.hpp"
 #include "common/check.hpp"
+#include "dist/dist.hpp"
 #include "pvme/comm.hpp"
 #include "spf/runtime.hpp"
 #include "tmk/runtime.hpp"
@@ -199,9 +201,8 @@ struct SpfShallowState {
 };
 SpfShallowState g_sw;
 
-spf::Runtime::Range sw_rows(const spf::Runtime& rt) {
-  return spf::Runtime::block_range(
-      0, static_cast<std::int64_t>(g_sw.g.dim), rt.rank(), rt.nprocs());
+dist::Range sw_rows(const spf::Runtime& rt) {
+  return rt.own_block(g_sw.g.dim);
 }
 
 void sw_step1(spf::Runtime& rt, const void*) {
@@ -212,8 +213,7 @@ void sw_step1(spf::Runtime& rt, const void*) {
 void sw_wrap1(spf::Runtime& rt, const void*) {
   // Parallelized over columns: every process copies a slice of row 0 from
   // row n — faulting the opposite edge of the grid in.
-  const auto c = spf::Runtime::block_range(
-      0, static_cast<std::int64_t>(g_sw.g.dim), rt.rank(), rt.nprocs());
+  const auto c = rt.own_block(g_sw.g.dim);
   wrap1_cols(g_sw.g, g_sw.n, static_cast<std::size_t>(c.lo),
              static_cast<std::size_t>(c.hi));
 }
@@ -223,8 +223,7 @@ void sw_step2(spf::Runtime& rt, const void*) {
              static_cast<std::size_t>(r.hi));
 }
 void sw_wrap2(spf::Runtime& rt, const void*) {
-  const auto c = spf::Runtime::block_range(
-      0, static_cast<std::int64_t>(g_sw.g.dim), rt.rank(), rt.nprocs());
+  const auto c = rt.own_block(g_sw.g.dim);
   wrap2_cols(g_sw.g, g_sw.n, static_cast<std::size_t>(c.lo),
              static_cast<std::size_t>(c.hi));
 }
@@ -286,10 +285,9 @@ double shallow_tmk(runner::ChildContext& ctx, const ShallowParams& p) {
   g.dim = dim;
   for (int a = 0; a < kNumFields; ++a) g.f[a] = rt.alloc<float>(dim * dim);
 
-  const auto r = spf::Runtime::block_range(
-      0, static_cast<std::int64_t>(dim), rt.rank(), rt.nprocs());
-  const auto lo = static_cast<std::size_t>(r.lo);
-  const auto hi = static_cast<std::size_t>(r.hi);
+  const dist::BlockDist rows(dim, rt.nprocs());
+  const std::size_t lo = rows.lo(rt.rank());
+  const std::size_t hi = rows.hi(rt.rank());
 
   init_rows(g, lo, hi);  // each process initializes its own rows
   rt.barrier();
@@ -326,11 +324,11 @@ double shallow_mp_impl(runner::ChildContext& ctx, const ShallowParams& p,
                        bool xhpf_conservative) {
   pvme::Comm comm(ctx.endpoint);
   const std::size_t dim = p.n + 1;
-  xhpf::BlockDist dist(dim, comm.nprocs());
+  const dist::BlockDist rows(dim, comm.nprocs());
   const int me = comm.rank();
   const int np = comm.nprocs();
-  const std::size_t lo = dist.lo(me);
-  const std::size_t hi = dist.hi(me);
+  const std::size_t lo = rows.lo(me);
+  const std::size_t hi = rows.hi(me);
   const int last = np - 1;
 
   // Full-size private arrays; only own rows + the one-row halo are used.
@@ -436,7 +434,7 @@ double shallow_mp_impl(runner::ChildContext& ctx, const ShallowParams& p,
     double total = 0;
     for (double s : sums) total += s;
     for (int q = 1; q < np; ++q) {
-      std::vector<double> theirs(dist.count(q));
+      std::vector<double> theirs(rows.count(q));
       if (!theirs.empty())
         comm.recv_exact(q, 99, theirs.data(),
                         theirs.size() * sizeof(double));
@@ -460,35 +458,48 @@ double shallow_xhpf(runner::ChildContext& ctx, const ShallowParams& p) {
 
 // ----------------------------------------------------------------------
 
-runner::RunResult run_shallow(System system, const ShallowParams& p,
-                              int nprocs, const runner::SpawnOptions& opts) {
-  switch (system) {
-    case System::kSeq:
-      return run_seq_measured(opts, p, [](const ShallowParams& pp,
-                                          const SeqHooks* h) {
-        return shallow_seq(pp, h);
-      });
-    case System::kSpf:
-      return runner::spawn(nprocs, opts, [&p](runner::ChildContext& c) {
-        return shallow_spf(c, p);
-      });
-    case System::kTmk:
-      return runner::spawn(nprocs, opts, [&p](runner::ChildContext& c) {
-        return shallow_tmk(c, p);
-      });
-    case System::kXhpf:
-      return runner::spawn(nprocs, opts, [&p](runner::ChildContext& c) {
-        return shallow_xhpf(c, p);
-      });
-    case System::kPvme:
-      return runner::spawn(nprocs, opts, [&p](runner::ChildContext& c) {
-        return shallow_pvme(c, p);
-      });
-    default:
-      break;
-  }
-  COMMON_CHECK_MSG(false, "shallow: unsupported system variant");
-  return {};
+Workload make_shallow_workload() {
+  using detail::make_variant;
+  Workload w;
+  w.name = "Shallow";
+  w.key = "shallow";
+  w.cls = WorkloadClass::kRegular;
+  w.seq = detail::make_seq<ShallowParams>(&shallow_seq);
+  w.describe = [](const std::any& a) {
+    const auto& p = std::any_cast<const ShallowParams&>(a);
+    return std::to_string(p.n + 1) + "^2 x " + std::to_string(p.iters);
+  };
+  w.variants = {
+      make_variant<ShallowParams>(System::kSpf, &shallow_spf, 0.0, {2, 8}),
+      make_variant<ShallowParams>(System::kTmk, &shallow_tmk, 0.0, {2, 8}),
+      make_variant<ShallowParams>(System::kXhpf, &shallow_xhpf, 0.0, {3, 8}),
+      make_variant<ShallowParams>(System::kPvme, &shallow_pvme, 0.0, {3, 8}),
+  };
+  ShallowParams dflt;  // paper grid (page-aligned rows), fewer iterations
+  dflt.n = 1023;
+  dflt.iters = 8;
+  dflt.warmup_iters = 1;
+  w.default_params = dflt;
+  ShallowParams reduced;
+  reduced.n = 96;
+  reduced.iters = 3;
+  reduced.warmup_iters = 1;
+  w.reduced_params = reduced;
+  ShallowParams full;  // paper: 1024 x 1024, 50 timed iterations
+  full.n = 1023;
+  full.iters = 50;
+  full.warmup_iters = 1;
+  w.full_params = full;
+  ShallowParams calib;  // 1/10 of the paper's iterations
+  calib.n = 1023;
+  calib.iters = 5;
+  calib.warmup_iters = 0;
+  w.calibration = {/*paper (est.)=*/90.0, /*iter_fraction=*/0.1, calib};
+  w.paper_speedups = {{System::kSpf, 5.71},
+                      {System::kTmk, 6.21},
+                      {System::kXhpf, 6.60},
+                      {System::kPvme, 6.77}};
+  return w;
 }
 
 }  // namespace apps

@@ -29,12 +29,15 @@ struct ShallowParams {
 
 double shallow_seq(const ShallowParams& p, const SeqHooks* hooks = nullptr);
 
+// Parallel variants; run inside a forked child. Return the checksum on
+// every rank (reduced where necessary).
 double shallow_spf(runner::ChildContext& ctx, const ShallowParams& p);
 double shallow_tmk(runner::ChildContext& ctx, const ShallowParams& p);
 double shallow_xhpf(runner::ChildContext& ctx, const ShallowParams& p);
 double shallow_pvme(runner::ChildContext& ctx, const ShallowParams& p);
 
-runner::RunResult run_shallow(System system, const ShallowParams& p,
-                              int nprocs, const runner::SpawnOptions& opts);
+/// Registry descriptor (name, presets, variant table); see registry.hpp.
+struct Workload;
+Workload make_shallow_workload();
 
 }  // namespace apps

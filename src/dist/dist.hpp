@@ -1,0 +1,122 @@
+// Distribution layer: the single owner-computes vocabulary shared by the
+// compiler runtimes (spf, xhpf) and the hand-coded application variants.
+//
+// A *distribution* maps a one-dimensional iteration/data space [0, n)
+// onto `nprocs` processes. Two HPF-style descriptors are provided:
+//
+//   BlockDist  — contiguous blocks; the first (n % nprocs) processes own
+//                one extra element. This is the row partition of every
+//                regular application and the unit XHPF's generated
+//                communication (halo shifts, broadcast fallback) is
+//                expressed over.
+//   CyclicDist — element i belongs to process i mod nprocs; the load-
+//                balanced choice for triangular loops (MGS).
+//
+// `Range` is the half-open slice a process iterates; `block_range` /
+// `cyclic_begin` are the loop-scheduling entry points the SPF compiler
+// emits into encapsulated loop bodies. Everything here is pure index
+// arithmetic — no communication — so all runtimes can share it without
+// layering concerns.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+namespace dist {
+
+/// Half-open index interval [lo, hi) — one process's share of a loop.
+struct Range {
+  std::int64_t lo = 0;
+  std::int64_t hi = 0;
+
+  [[nodiscard]] constexpr std::int64_t count() const noexcept {
+    return hi - lo;
+  }
+  [[nodiscard]] constexpr bool empty() const noexcept { return hi <= lo; }
+  [[nodiscard]] constexpr bool contains(std::int64_t i) const noexcept {
+    return i >= lo && i < hi;
+  }
+
+  friend constexpr bool operator==(const Range&, const Range&) = default;
+};
+
+/// BLOCK distribution of [0, n) over nprocs, HPF style: the first
+/// (n % nprocs) processes own one extra element.
+class BlockDist {
+ public:
+  BlockDist(std::size_t n, int nprocs) noexcept : n_(n), nprocs_(nprocs) {}
+
+  [[nodiscard]] std::size_t lo(int p) const noexcept {
+    const std::size_t base = n_ / static_cast<std::size_t>(nprocs_);
+    const std::size_t extra = n_ % static_cast<std::size_t>(nprocs_);
+    const auto up = static_cast<std::size_t>(p);
+    return up * base + std::min(up, extra);
+  }
+  [[nodiscard]] std::size_t hi(int p) const noexcept {
+    return lo(p) + count(p);
+  }
+  [[nodiscard]] std::size_t count(int p) const noexcept {
+    const std::size_t base = n_ / static_cast<std::size_t>(nprocs_);
+    const std::size_t extra = n_ % static_cast<std::size_t>(nprocs_);
+    return base + (static_cast<std::size_t>(p) < extra ? 1 : 0);
+  }
+  [[nodiscard]] Range range(int p) const noexcept {
+    return {static_cast<std::int64_t>(lo(p)),
+            static_cast<std::int64_t>(hi(p))};
+  }
+  [[nodiscard]] int owner(std::size_t i) const noexcept {
+    // Inverse of lo(); O(1) via the two regimes of the distribution.
+    const std::size_t base = n_ / static_cast<std::size_t>(nprocs_);
+    const std::size_t extra = n_ % static_cast<std::size_t>(nprocs_);
+    if (base == 0) return static_cast<int>(i);
+    const std::size_t cut = extra * (base + 1);
+    if (i < cut) return static_cast<int>(i / (base + 1));
+    return static_cast<int>(extra + (i - cut) / base);
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return n_; }
+  [[nodiscard]] int nprocs() const noexcept { return nprocs_; }
+
+ private:
+  std::size_t n_;
+  int nprocs_;
+};
+
+/// CYCLIC distribution of [0, n): element i belongs to i mod nprocs.
+class CyclicDist {
+ public:
+  CyclicDist(std::size_t n, int nprocs) noexcept : n_(n), nprocs_(nprocs) {}
+  [[nodiscard]] int owner(std::size_t i) const noexcept {
+    return static_cast<int>(i % static_cast<std::size_t>(nprocs_));
+  }
+  /// First index >= lo owned by `p`; iterate with stride nprocs().
+  [[nodiscard]] std::int64_t begin(std::int64_t lo, int p) const noexcept {
+    const std::int64_t offset =
+        ((p - lo) % nprocs_ + nprocs_) % nprocs_;
+    return lo + offset;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return n_; }
+  [[nodiscard]] int nprocs() const noexcept { return nprocs_; }
+
+ private:
+  std::size_t n_;
+  int nprocs_;
+};
+
+/// The slice of [lo, hi) process `proc` owns under BLOCK scheduling —
+/// the call the SPF compiler emits at the top of every parallel loop.
+[[nodiscard]] inline Range block_range(std::int64_t lo, std::int64_t hi,
+                                       int proc, int nprocs) noexcept {
+  const std::int64_t n = hi - lo;
+  if (n <= 0) return {lo, lo};
+  const Range r = BlockDist(static_cast<std::size_t>(n), nprocs).range(proc);
+  return {lo + r.lo, lo + r.hi};
+}
+
+/// First index >= lo owned by `proc` under CYCLIC scheduling; iterate
+/// with stride nprocs.
+[[nodiscard]] inline std::int64_t cyclic_begin(std::int64_t lo, int proc,
+                                               int nprocs) noexcept {
+  return CyclicDist(0, nprocs).begin(lo, proc);
+}
+
+}  // namespace dist

@@ -99,22 +99,4 @@ void Runtime::reduce_add(int lock_id, double* shared_cell, double local) {
   tmk_.lock_release(lock_id);
 }
 
-Runtime::Range Runtime::block_range(std::int64_t lo, std::int64_t hi,
-                                    int proc, int nprocs) noexcept {
-  const std::int64_t n = hi - lo;
-  if (n <= 0) return {lo, lo};
-  const std::int64_t base = n / nprocs;
-  const std::int64_t extra = n % nprocs;
-  const std::int64_t begin =
-      lo + proc * base + std::min<std::int64_t>(proc, extra);
-  const std::int64_t len = base + (proc < extra ? 1 : 0);
-  return {begin, begin + len};
-}
-
-std::int64_t Runtime::cyclic_begin(std::int64_t lo, int proc,
-                                   int nprocs) noexcept {
-  const std::int64_t offset = ((proc - lo) % nprocs + nprocs) % nprocs;
-  return lo + offset;
-}
-
 }  // namespace spf

@@ -26,6 +26,7 @@
 #include <span>
 #include <vector>
 
+#include "dist/dist.hpp"
 #include "tmk/runtime.hpp"
 
 namespace spf {
@@ -34,7 +35,7 @@ class Runtime;
 
 /// A compiler-encapsulated parallel loop body. Executes this process's
 /// share of the iteration space (the function itself partitions using
-/// block_range/cyclic_begin with rank()/nprocs()).
+/// the dist layer's block_range/cyclic_begin with rank()/nprocs()).
 using LoopFn = void (*)(Runtime&, const void* args);
 
 enum class DispatchMode : std::uint8_t { kImproved, kLegacy };
@@ -77,19 +78,26 @@ class Runtime {
   void reduce_add(int lock_id, double* shared_cell, double local);
 
   // ---- iteration-space partitioning (the compiler's BLOCK/CYCLIC) ----
+  //
+  // Thin owner-computes views over the shared dist layer, bound to this
+  // process's rank. Loop bodies call these instead of re-deriving the
+  // partition arithmetic.
 
-  struct Range {
-    std::int64_t lo;
-    std::int64_t hi;  // half-open
-  };
+  /// The BLOCK decomposition of [0, n) over this run's processes.
+  [[nodiscard]] dist::BlockDist block(std::size_t n) const noexcept {
+    return dist::BlockDist(n, nprocs());
+  }
 
-  [[nodiscard]] static Range block_range(std::int64_t lo, std::int64_t hi,
-                                         int proc, int nprocs) noexcept;
+  /// This process's BLOCK slice of [0, n).
+  [[nodiscard]] dist::Range own_block(std::size_t n) const noexcept {
+    return block(n).range(rank());
+  }
 
-  /// First index >= lo owned by `proc` under CYCLIC distribution; iterate
-  /// with stride nprocs.
-  [[nodiscard]] static std::int64_t cyclic_begin(std::int64_t lo, int proc,
-                                                 int nprocs) noexcept;
+  /// First index >= lo this process owns under CYCLIC scheduling;
+  /// iterate with stride nprocs().
+  [[nodiscard]] std::int64_t own_cyclic_begin(std::int64_t lo) const noexcept {
+    return dist::cyclic_begin(lo, rank(), nprocs());
+  }
 
  private:
   void worker_loop();

@@ -22,61 +22,15 @@
 #include <span>
 
 #include "common/check.hpp"
+#include "dist/dist.hpp"
 #include "pvme/comm.hpp"
 
 namespace xhpf {
 
-/// BLOCK distribution of [0, n) over nprocs, HPF style: the first
-/// (n % nprocs) processes own one extra element.
-class BlockDist {
- public:
-  BlockDist(std::size_t n, int nprocs) noexcept : n_(n), nprocs_(nprocs) {}
-
-  [[nodiscard]] std::size_t lo(int p) const noexcept {
-    const std::size_t base = n_ / static_cast<std::size_t>(nprocs_);
-    const std::size_t extra = n_ % static_cast<std::size_t>(nprocs_);
-    const auto up = static_cast<std::size_t>(p);
-    return up * base + std::min(up, extra);
-  }
-  [[nodiscard]] std::size_t hi(int p) const noexcept {
-    return lo(p) + count(p);
-  }
-  [[nodiscard]] std::size_t count(int p) const noexcept {
-    const std::size_t base = n_ / static_cast<std::size_t>(nprocs_);
-    const std::size_t extra = n_ % static_cast<std::size_t>(nprocs_);
-    return base + (static_cast<std::size_t>(p) < extra ? 1 : 0);
-  }
-  [[nodiscard]] int owner(std::size_t i) const noexcept {
-    // Inverse of lo(); O(1) via the two regimes of the distribution.
-    const std::size_t base = n_ / static_cast<std::size_t>(nprocs_);
-    const std::size_t extra = n_ % static_cast<std::size_t>(nprocs_);
-    if (base == 0) return static_cast<int>(i);
-    const std::size_t cut = extra * (base + 1);
-    if (i < cut) return static_cast<int>(i / (base + 1));
-    return static_cast<int>(extra + (i - cut) / base);
-  }
-  [[nodiscard]] std::size_t size() const noexcept { return n_; }
-  [[nodiscard]] int nprocs() const noexcept { return nprocs_; }
-
- private:
-  std::size_t n_;
-  int nprocs_;
-};
-
-/// CYCLIC distribution of [0, n): element i belongs to i mod nprocs.
-class CyclicDist {
- public:
-  CyclicDist(std::size_t n, int nprocs) noexcept : n_(n), nprocs_(nprocs) {}
-  [[nodiscard]] int owner(std::size_t i) const noexcept {
-    return static_cast<int>(i % static_cast<std::size_t>(nprocs_));
-  }
-  [[nodiscard]] std::size_t size() const noexcept { return n_; }
-  [[nodiscard]] int nprocs() const noexcept { return nprocs_; }
-
- private:
-  std::size_t n_;
-  int nprocs_;
-};
+// The compiler's data decompositions are the shared distribution layer's
+// descriptors; the generated communication below is keyed off them.
+using BlockDist = dist::BlockDist;
+using CyclicDist = dist::CyclicDist;
 
 class Runtime {
  public:

@@ -1,0 +1,150 @@
+// Registry-driven integration tests: every workload in the registry, at
+// every system variant and process count its descriptor declares, must
+// reproduce the sequential checksum — bit-exactly where the arithmetic
+// order is preserved (tolerance 0 in the variant table), within the
+// declared relative tolerance where reductions reassociate (XHPF's
+// distributed norms, the FFT's sampled checksum reduction, NBF's
+// whole-array force-buffer sums).
+//
+// Adding a workload to the registry automatically enrolls it here; no
+// per-application test code exists.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "apps/registry.hpp"
+#include "common/check.hpp"
+#include "common/checksum.hpp"
+
+namespace {
+
+runner::SpawnOptions fast_options() {
+  runner::SpawnOptions o;
+  o.model = simx::MachineModel::zero_cost();
+  o.shared_heap_bytes = 256ull << 20;
+  o.timeout_sec = 300;
+  return o;
+}
+
+std::string system_token(apps::System s) {
+  switch (s) {
+    case apps::System::kSeq:
+      return "Seq";
+    case apps::System::kSpf:
+      return "Spf";
+    case apps::System::kSpfOpt:
+      return "SpfOpt";
+    case apps::System::kTmk:
+      return "Tmk";
+    case apps::System::kTmkOpt:
+      return "TmkOpt";
+    case apps::System::kXhpf:
+      return "Xhpf";
+    case apps::System::kPvme:
+      return "Pvme";
+  }
+  return "Unknown";
+}
+
+struct Case {
+  const apps::Workload* w = nullptr;
+  apps::System system = apps::System::kSeq;
+  int nprocs = 0;
+
+  friend void PrintTo(const Case& c, std::ostream* os) {
+    *os << c.w->key << '/' << apps::to_string(c.system) << '/' << c.nprocs;
+  }
+};
+
+std::vector<Case> checksum_cases() {
+  std::vector<Case> cases;
+  for (const apps::Workload& w : apps::all_workloads())
+    for (const apps::Variant& v : w.variants)
+      for (int np : v.checksum_nprocs) cases.push_back({&w, v.system, np});
+  return cases;
+}
+
+class WorkloadVariants : public ::testing::TestWithParam<Case> {};
+
+TEST_P(WorkloadVariants, MatchesSequentialChecksum) {
+  const auto [w, system, nprocs] = GetParam();
+  const std::any& params = w->params(apps::Preset::kReduced);
+  const double expect = w->seq(params, nullptr);
+  const auto r = apps::run_workload(*w, system, nprocs, fast_options(), params);
+  const apps::Variant* v = w->find(system);
+  ASSERT_NE(v, nullptr);
+  if (v->tolerance > 0) {
+    EXPECT_TRUE(common::checksum_close(r.checksum, expect, v->tolerance))
+        << w->name << " " << apps::to_string(system) << " nprocs=" << nprocs
+        << ": " << r.checksum << " vs " << expect;
+  } else {
+    EXPECT_DOUBLE_EQ(r.checksum, expect)
+        << w->name << " " << apps::to_string(system) << " nprocs=" << nprocs;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Registry, WorkloadVariants,
+                         ::testing::ValuesIn(checksum_cases()),
+                         [](const auto& info) {
+                           return info.param.w->key + "_" +
+                                  system_token(info.param.system) +
+                                  std::to_string(info.param.nprocs);
+                         });
+
+// ---- registry surface -------------------------------------------------
+
+TEST(Registry, HoldsTheSixPaperWorkloadsInPresentationOrder) {
+  const auto workloads = apps::all_workloads();
+  ASSERT_EQ(workloads.size(), 6u);
+  const char* expected[] = {"jacobi", "shallow", "mgs",
+                            "fft",    "igrid",   "nbf"};
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(workloads[i].key, expected[i]);
+    EXPECT_TRUE(workloads[i].seq);
+    EXPECT_TRUE(workloads[i].describe);
+    EXPECT_FALSE(workloads[i].variants.empty());
+    // Every workload implements the four Figure 1/2 system points.
+    EXPECT_EQ(workloads[i].paper_systems().size(), 4u);
+  }
+  // Regular block first (Figure 1), then irregular (Figure 2).
+  for (std::size_t i = 0; i < 4; ++i)
+    EXPECT_EQ(workloads[i].cls, apps::WorkloadClass::kRegular);
+  for (std::size_t i = 4; i < 6; ++i)
+    EXPECT_EQ(workloads[i].cls, apps::WorkloadClass::kIrregular);
+}
+
+TEST(Registry, FindWorkloadByKey) {
+  EXPECT_EQ(apps::find_workload("fft").name, "3-D FFT");
+  EXPECT_EQ(apps::find_workload("jacobi").cls, apps::WorkloadClass::kRegular);
+  EXPECT_THROW((void)apps::find_workload("barnes-hut"), common::Error);
+}
+
+TEST(Registry, UnsupportedVariantThrows) {
+  // IGrid has no §5 hand-optimized variant.
+  const apps::Workload& w = apps::find_workload("igrid");
+  EXPECT_EQ(w.find(apps::System::kSpfOpt), nullptr);
+  EXPECT_THROW(apps::run_workload(w, apps::System::kSpfOpt, 2, fast_options(),
+                                  apps::Preset::kReduced),
+               common::Error);
+}
+
+TEST(Registry, SeqRunsThroughTheHarness) {
+  // run_workload(kSeq) must reproduce the direct in-process baseline.
+  for (const apps::Workload& w : apps::all_workloads()) {
+    const std::any& params = w.params(apps::Preset::kReduced);
+    const double direct = w.seq(params, nullptr);
+    const auto r =
+        apps::run_workload(w, apps::System::kSeq, 1, fast_options(), params);
+    EXPECT_DOUBLE_EQ(r.checksum, direct) << w.name;
+  }
+}
+
+TEST(Registry, PaperSpeedupsCoverThePaperSystems) {
+  for (const apps::Workload& w : apps::all_workloads())
+    for (apps::System s : w.paper_systems())
+      EXPECT_GT(w.paper_speedup(s), 0.0)
+          << w.name << " " << apps::to_string(s);
+}
+
+}  // namespace

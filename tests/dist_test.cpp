@@ -1,0 +1,149 @@
+// Property tests for the distribution layer (src/dist): the BLOCK and
+// CYCLIC descriptors must tile the iteration space with no gaps or
+// overlaps for every shape — including the awkward ones (n == 0,
+// n < nprocs, n % nprocs != 0) — and owner() must be the exact inverse
+// of lo()/hi().
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "dist/dist.hpp"
+
+namespace {
+
+const int kProcCounts[] = {1, 2, 3, 5, 7, 8, 13};
+const std::size_t kSizes[] = {0, 1, 2, 5, 7, 12, 13, 64, 100, 1000, 1023};
+
+TEST(BlockDist, TilesWithNoGapsOrOverlaps) {
+  for (int nprocs : kProcCounts) {
+    for (std::size_t n : kSizes) {
+      const dist::BlockDist d(n, nprocs);
+      std::vector<int> hit(n, 0);
+      std::size_t total = 0;
+      for (int p = 0; p < nprocs; ++p) {
+        ASSERT_LE(d.lo(p), d.hi(p));
+        ASSERT_EQ(d.hi(p) - d.lo(p), d.count(p));
+        total += d.count(p);
+        for (std::size_t i = d.lo(p); i < d.hi(p); ++i) hit[i] += 1;
+      }
+      ASSERT_EQ(total, n) << "n=" << n << " nprocs=" << nprocs;
+      for (std::size_t i = 0; i < n; ++i)
+        ASSERT_EQ(hit[i], 1) << "n=" << n << " nprocs=" << nprocs
+                             << " i=" << i;
+    }
+  }
+}
+
+TEST(BlockDist, OwnerIsExactInverseOfLoHi) {
+  for (int nprocs : kProcCounts) {
+    for (std::size_t n : kSizes) {
+      const dist::BlockDist d(n, nprocs);
+      for (int p = 0; p < nprocs; ++p)
+        for (std::size_t i = d.lo(p); i < d.hi(p); ++i)
+          ASSERT_EQ(d.owner(i), p)
+              << "n=" << n << " nprocs=" << nprocs << " i=" << i;
+    }
+  }
+}
+
+TEST(BlockDist, ContiguousAndOrdered) {
+  // Block p+1 starts exactly where block p ends, and the first
+  // (n % nprocs) blocks carry the extra element (HPF convention).
+  for (int nprocs : kProcCounts) {
+    for (std::size_t n : kSizes) {
+      const dist::BlockDist d(n, nprocs);
+      ASSERT_EQ(d.lo(0), 0u);
+      ASSERT_EQ(d.hi(nprocs - 1), n);
+      for (int p = 0; p + 1 < nprocs; ++p) {
+        ASSERT_EQ(d.hi(p), d.lo(p + 1));
+        ASSERT_GE(d.count(p), d.count(p + 1));  // extras lead
+        ASSERT_LE(d.count(p), d.count(p + 1) + 1);
+      }
+    }
+  }
+}
+
+TEST(BlockDist, Balanced) {
+  const dist::BlockDist d(10, 4);  // 10 = 3+3+2+2
+  EXPECT_EQ(d.count(0), 3u);
+  EXPECT_EQ(d.count(3), 2u);
+}
+
+TEST(BlockRange, TilesArbitraryIntervals) {
+  for (int nprocs : kProcCounts) {
+    for (std::int64_t lo : {-7, 0, 5}) {
+      for (std::int64_t len : {0, 1, 5, 64, 1000}) {
+        const std::int64_t hi = lo + len;
+        std::vector<int> hit(static_cast<std::size_t>(len), 0);
+        for (int p = 0; p < nprocs; ++p) {
+          const dist::Range r = dist::block_range(lo, hi, p, nprocs);
+          ASSERT_LE(lo, r.lo);
+          ASSERT_LE(r.hi, hi);
+          for (std::int64_t i = r.lo; i < r.hi; ++i)
+            hit[static_cast<std::size_t>(i - lo)] += 1;
+        }
+        for (std::int64_t i = 0; i < len; ++i)
+          ASSERT_EQ(hit[static_cast<std::size_t>(i)], 1)
+              << "lo=" << lo << " len=" << len << " nprocs=" << nprocs;
+      }
+    }
+  }
+}
+
+TEST(BlockRange, MatchesBlockDistOnZeroBase) {
+  for (int nprocs : kProcCounts) {
+    for (std::size_t n : kSizes) {
+      const dist::BlockDist d(n, nprocs);
+      for (int p = 0; p < nprocs; ++p) {
+        const dist::Range r =
+            dist::block_range(0, static_cast<std::int64_t>(n), p, nprocs);
+        EXPECT_EQ(static_cast<std::size_t>(r.lo), d.lo(p));
+        EXPECT_EQ(static_cast<std::size_t>(r.hi), d.hi(p));
+        EXPECT_EQ(r, d.range(p));
+      }
+    }
+  }
+}
+
+TEST(CyclicDist, StridedIterationTilesExactly) {
+  for (int nprocs : kProcCounts) {
+    const std::int64_t lo = 5, hi = 105;
+    std::vector<int> hit(static_cast<std::size_t>(hi), 0);
+    for (int p = 0; p < nprocs; ++p) {
+      for (std::int64_t i = dist::cyclic_begin(lo, p, nprocs); i < hi;
+           i += nprocs)
+        hit[static_cast<std::size_t>(i)] += 1;
+    }
+    for (std::int64_t i = lo; i < hi; ++i)
+      ASSERT_EQ(hit[static_cast<std::size_t>(i)], 1) << "nprocs=" << nprocs;
+  }
+}
+
+TEST(CyclicDist, OwnerMatchesBeginStride) {
+  for (int nprocs : kProcCounts) {
+    const dist::CyclicDist d(200, nprocs);
+    for (int p = 0; p < nprocs; ++p)
+      for (std::int64_t i = d.begin(0, p); i < 200; i += nprocs)
+        ASSERT_EQ(d.owner(static_cast<std::size_t>(i)), p);
+  }
+}
+
+TEST(CyclicDist, Owner) {
+  const dist::CyclicDist d(100, 8);
+  EXPECT_EQ(d.owner(0), 0);
+  EXPECT_EQ(d.owner(7), 7);
+  EXPECT_EQ(d.owner(8), 0);
+  EXPECT_EQ(d.owner(99), 3);
+}
+
+TEST(Range, Helpers) {
+  const dist::Range r{3, 7};
+  EXPECT_EQ(r.count(), 4);
+  EXPECT_FALSE(r.empty());
+  EXPECT_TRUE(r.contains(3));
+  EXPECT_TRUE(r.contains(6));
+  EXPECT_FALSE(r.contains(7));
+  EXPECT_TRUE((dist::Range{5, 5}).empty());
+}
+
+}  // namespace

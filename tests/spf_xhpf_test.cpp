@@ -1,11 +1,13 @@
 // Compiler-runtime tests: SPF fork-join dispatch (both interface modes),
-// loop scheduling, reductions; XHPF distributions, halo exchange, and the
-// broadcast-partition fallback.
+// loop scheduling through the dist layer, reductions; XHPF halo exchange
+// and the broadcast-partition fallback. (Pure distribution arithmetic is
+// covered by dist_test.cpp.)
 #include <gtest/gtest.h>
 
 #include <cstring>
 #include <vector>
 
+#include "dist/dist.hpp"
 #include "runner/runner.hpp"
 #include "spf/runtime.hpp"
 #include "xhpf/runtime.hpp"
@@ -18,45 +20,6 @@ runner::SpawnOptions fast_options() {
   o.shared_heap_bytes = 64ull << 20;
   o.timeout_sec = 120;
   return o;
-}
-
-// ---- loop scheduling -------------------------------------------------
-
-TEST(SpfSchedule, BlockRangeCoversExactly) {
-  for (int nprocs : {1, 2, 3, 7, 8}) {
-    for (std::int64_t n : {0, 1, 5, 64, 1000, 1023}) {
-      std::vector<int> hit(static_cast<std::size_t>(n), 0);
-      for (int p = 0; p < nprocs; ++p) {
-        const auto r = spf::Runtime::block_range(0, n, p, nprocs);
-        for (std::int64_t i = r.lo; i < r.hi; ++i)
-          hit[static_cast<std::size_t>(i)] += 1;
-      }
-      for (std::int64_t i = 0; i < n; ++i)
-        ASSERT_EQ(hit[static_cast<std::size_t>(i)], 1)
-            << "n=" << n << " nprocs=" << nprocs << " i=" << i;
-    }
-  }
-}
-
-TEST(SpfSchedule, BlockRangeBalanced) {
-  const auto a = spf::Runtime::block_range(0, 10, 0, 4);
-  const auto b = spf::Runtime::block_range(0, 10, 3, 4);
-  EXPECT_EQ(a.hi - a.lo, 3);  // 10 = 3+3+2+2
-  EXPECT_EQ(b.hi - b.lo, 2);
-}
-
-TEST(SpfSchedule, CyclicCoversExactly) {
-  for (int nprocs : {1, 2, 3, 8}) {
-    const std::int64_t lo = 5, hi = 105;
-    std::vector<int> hit(200, 0);
-    for (int p = 0; p < nprocs; ++p) {
-      for (std::int64_t i = spf::Runtime::cyclic_begin(lo, p, nprocs); i < hi;
-           i += nprocs)
-        hit[static_cast<std::size_t>(i)] += 1;
-    }
-    for (std::int64_t i = lo; i < hi; ++i)
-      ASSERT_EQ(hit[static_cast<std::size_t>(i)], 1) << "nprocs=" << nprocs;
-  }
 }
 
 // ---- SPF dispatch ----------------------------------------------------
@@ -72,14 +35,14 @@ double* g_spf_sumcell = nullptr;
 void scale_loop(spf::Runtime& rt, const void* argp) {
   ScaleArgs a;
   std::memcpy(&a, argp, sizeof(a));
-  const auto r = spf::Runtime::block_range(0, a.n, rt.rank(), rt.nprocs());
+  const auto r = rt.own_block(static_cast<std::size_t>(a.n));
   for (std::int64_t i = r.lo; i < r.hi; ++i) g_spf_data[i] += a.scale;
 }
 
 void sum_reduce_loop(spf::Runtime& rt, const void* argp) {
   ScaleArgs a;
   std::memcpy(&a, argp, sizeof(a));
-  const auto r = spf::Runtime::block_range(0, a.n, rt.rank(), rt.nprocs());
+  const auto r = rt.own_block(static_cast<std::size_t>(a.n));
   double local = 0;
   for (std::int64_t i = r.lo; i < r.hi; ++i) local += g_spf_data[i];
   rt.reduce_add(0, g_spf_sumcell, local);
@@ -153,32 +116,9 @@ TEST(SpfInterface, ImprovedCutsMessagesFourfold) {
   EXPECT_GE(legacy - improved, 2u * 7u * 2u);  // >= 2(n-1) saved per loop
 }
 
-// ---- XHPF distributions ---------------------------------------------
-
-TEST(XhpfDist, BlockCoversAndInverts) {
-  for (int nprocs : {1, 2, 3, 8}) {
-    for (std::size_t n : {std::size_t{1}, std::size_t{17}, std::size_t{64},
-                          std::size_t{1000}}) {
-      xhpf::BlockDist d(n, nprocs);
-      std::size_t total = 0;
-      for (int p = 0; p < nprocs; ++p) {
-        EXPECT_EQ(d.hi(p) - d.lo(p), d.count(p));
-        total += d.count(p);
-        for (std::size_t i = d.lo(p); i < d.hi(p); ++i)
-          ASSERT_EQ(d.owner(i), p) << "n=" << n << " nprocs=" << nprocs;
-      }
-      EXPECT_EQ(total, n);
-    }
-  }
-}
-
-TEST(XhpfDist, CyclicOwner) {
-  xhpf::CyclicDist d(100, 8);
-  EXPECT_EQ(d.owner(0), 0);
-  EXPECT_EQ(d.owner(7), 7);
-  EXPECT_EQ(d.owner(8), 0);
-  EXPECT_EQ(d.owner(99), 3);
-}
+// ---- XHPF generated communication -----------------------------------
+// (xhpf::BlockDist is the dist layer's descriptor; the generated halo
+// and broadcast communication below is keyed off it.)
 
 TEST(Xhpf, HaloExchangeMovesBoundaryRows) {
   constexpr std::size_t kRows = 64, kCols = 32;
