@@ -1,0 +1,229 @@
+// Hot-path microbenchmarks: diff creation/application, the socket
+// fabric, and a barrier-heavy end-to-end DSM loop.
+//
+// Unlike the figure/table benches, which report *modelled* SP/2 time,
+// every row here is host wall-clock: this binary measures the cost of
+// the simulation harness itself, the thing that bounds how large a
+// problem the paper-reproduction benches can afford. Rows accumulate in
+// BENCH_results.json (app "hotpath:<path>") so the host-side perf
+// trajectory is tracked across PRs alongside the modelled results.
+//
+// Run ./bench_hotpath from the repository root so rows land in the
+// tracked BENCH_results.json; --benchmark_min_time=0.01s gives a quick
+// smoke run (used by CI to catch hot-path regressions loudly).
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <utility>
+
+#include "apps/registry.hpp"
+#include "bench_common.hpp"
+#include "common/page.hpp"
+#include "common/prng.hpp"
+#include "mpl/fabric.hpp"
+#include "tmk/diff.hpp"
+
+namespace {
+
+using Page = std::array<std::byte, common::kPageSize>;
+using Clock = std::chrono::steady_clock;
+
+Page random_page(std::uint64_t seed) {
+  Page p;
+  common::SplitMix64 g(seed);
+  for (auto& b : p) b = static_cast<std::byte>(g.next());
+  return p;
+}
+
+/// Sparse writer: `words` isolated single-word stores, the page-fault
+/// pattern of a boundary row in Jacobi or a pivot column in MGS.
+Page sparse_mutation(const Page& twin, int words, std::uint64_t seed) {
+  Page cur = twin;
+  common::SplitMix64 g(seed);
+  for (int i = 0; i < words; ++i) {
+    const auto w = g.next_below(tmk::kWordsPerPage);
+    std::uint32_t v = static_cast<std::uint32_t>(g.next()) | 1u;
+    std::uint32_t old;
+    std::memcpy(&old, cur.data() + w * tmk::kDiffWord, sizeof(old));
+    v ^= old ? 0 : 1;  // guarantee the word actually changes
+    if (v == old) v += 1;
+    std::memcpy(cur.data() + w * tmk::kDiffWord, &v, sizeof(v));
+  }
+  return cur;
+}
+
+/// google-benchmark re-invokes each function while calibrating the
+/// iteration count; keep only the final (longest, most accurate) run
+/// per (path, variant).
+std::map<std::pair<std::string, std::string>, bench::Row>& final_rows() {
+  static std::map<std::pair<std::string, std::string>, bench::Row> rows;
+  return rows;
+}
+
+/// Records one wall-clock row; micro rows carry per-op seconds.
+void add_row(const std::string& path, const std::string& variant,
+             double seconds, double checksum, int nprocs = 1) {
+  bench::Row row;
+  row.app = "hotpath:" + path;
+  row.system = variant;
+  row.size = "wall-clock";
+  row.nprocs = nprocs;
+  row.seconds = seconds;
+  row.checksum = checksum;
+  final_rows()[{row.app, row.system}] = row;
+}
+
+// ---- diff creation ----------------------------------------------------
+
+void bm_make_diff(benchmark::State& state, const char* variant,
+                  const Page& twin, const Page& cur) {
+  std::size_t bytes = 0;
+  const auto t0 = Clock::now();
+  for (auto _ : state) {
+    auto d = tmk::make_diff(twin.data(), cur.data());
+    bytes = d.size();
+    benchmark::DoNotOptimize(d);
+  }
+  const auto t1 = Clock::now();
+  const double per_op =
+      std::chrono::duration<double>(t1 - t0).count() /
+      static_cast<double>(state.iterations());
+  state.counters["diff_bytes"] = static_cast<double>(bytes);
+  add_row("make_diff", variant, per_op, static_cast<double>(bytes));
+}
+
+void BM_MakeDiffSparse(benchmark::State& state) {
+  const Page twin = random_page(1);
+  const Page cur = sparse_mutation(twin, 16, 2);
+  bm_make_diff(state, "sparse16", twin, cur);
+}
+BENCHMARK(BM_MakeDiffSparse);
+
+void BM_MakeDiffDense(benchmark::State& state) {
+  const Page twin = random_page(3);
+  const Page cur = random_page(4);
+  bm_make_diff(state, "dense", twin, cur);
+}
+BENCHMARK(BM_MakeDiffDense);
+
+void BM_MakeDiffUnchanged(benchmark::State& state) {
+  const Page twin = random_page(5);
+  bm_make_diff(state, "unchanged", twin, twin);
+}
+BENCHMARK(BM_MakeDiffUnchanged);
+
+// ---- diff application -------------------------------------------------
+
+void BM_ApplyDiffSparse(benchmark::State& state) {
+  const Page twin = random_page(6);
+  const Page cur = sparse_mutation(twin, 16, 7);
+  const auto d = tmk::make_diff(twin.data(), cur.data());
+  Page target = twin;
+  const auto t0 = Clock::now();
+  for (auto _ : state) {
+    tmk::apply_diff(d, target.data());
+    benchmark::DoNotOptimize(target);
+  }
+  const auto t1 = Clock::now();
+  const double per_op =
+      std::chrono::duration<double>(t1 - t0).count() /
+      static_cast<double>(state.iterations());
+  add_row("apply_diff", "sparse16", per_op, static_cast<double>(d.size()));
+}
+BENCHMARK(BM_ApplyDiffSparse);
+
+// ---- fabric round trip ------------------------------------------------
+
+// Loopback send_app + wait_app through the real SEQPACKET socket pair:
+// frame encode, sendmsg, poll, recv, reassembly, and the pending-queue
+// predicate scan — everything but the wire.
+void bm_fabric(benchmark::State& state, const char* variant,
+               std::size_t payload_bytes) {
+  mpl::Fabric fabric(1);
+  mpl::Endpoint ep(fabric, 0, simx::MachineModel::zero_cost());
+  std::vector<std::byte> payload(payload_bytes, std::byte{0x5a});
+  const auto t0 = Clock::now();
+  for (auto _ : state) {
+    ep.send_app(0, mpl::FrameKind::kTestPing, 0, 1, payload);
+    auto f = ep.wait_app_kind(mpl::FrameKind::kTestPing);
+    benchmark::DoNotOptimize(f);
+  }
+  const auto t1 = Clock::now();
+  const double per_op =
+      std::chrono::duration<double>(t1 - t0).count() /
+      static_cast<double>(state.iterations());
+  add_row("fabric_roundtrip", variant, per_op,
+          static_cast<double>(payload_bytes));
+}
+
+void BM_FabricRoundTrip64(benchmark::State& state) {
+  bm_fabric(state, "64B", 64);
+}
+BENCHMARK(BM_FabricRoundTrip64);
+
+void BM_FabricRoundTrip4K(benchmark::State& state) {
+  bm_fabric(state, "4KiB", common::kPageSize);
+}
+BENCHMARK(BM_FabricRoundTrip4K);
+
+// ---- end-to-end: barrier-heavy DSM inner loops ------------------------
+
+// Wall-clock of a full reduced-preset run (fork, fault, twin, diff,
+// barrier, join) with the zero-cost model: all that remains is the
+// harness's own hot-path cost.
+runner::SpawnOptions e2e_options() {
+  runner::SpawnOptions o;
+  o.model = simx::MachineModel::zero_cost();
+  o.shared_heap_bytes = 256ull << 20;
+  o.timeout_sec = 300;
+  return o;
+}
+
+void bm_workload(benchmark::State& state, const char* key, int nprocs) {
+  const apps::Workload& w = apps::find_workload(key);
+  double checksum = 0.0;
+  const auto t0 = Clock::now();
+  for (auto _ : state) {
+    const auto r = apps::run_workload(w, apps::System::kTmk, nprocs,
+                                      e2e_options(), apps::Preset::kReduced);
+    checksum = r.checksum;
+    benchmark::DoNotOptimize(checksum);
+  }
+  const auto t1 = Clock::now();
+  const double per_run =
+      std::chrono::duration<double>(t1 - t0).count() /
+      static_cast<double>(state.iterations());
+  add_row(std::string("e2e_") + key + "_tmk", "reduced", per_run, checksum,
+          nprocs);
+}
+
+void BM_JacobiTmkReduced(benchmark::State& state) {
+  bm_workload(state, "jacobi", 4);
+}
+BENCHMARK(BM_JacobiTmkReduced)->Unit(benchmark::kMillisecond);
+
+void BM_MgsTmkReduced(benchmark::State& state) {
+  bm_workload(state, "mgs", 4);
+}
+BENCHMARK(BM_MgsTmkReduced)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  for (const auto& [key, row] : final_rows())
+    bench::Report::instance().add(row);
+  std::cout << "\n=== hot-path wall-clock (host seconds, not modelled) ==="
+            << "\n";
+  common::TextTable t;
+  t.header({"path", "variant", "seconds/op"});
+  for (const auto& r : bench::Report::instance().rows())
+    t.row({r.app, r.system, common::TextTable::num(r.seconds, 9)});
+  t.print(std::cout);
+  bench::Report::instance().write_json();
+  return 0;
+}

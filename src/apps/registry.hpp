@@ -81,6 +81,11 @@ struct Workload {
   std::any default_params;
   std::any reduced_params;
   std::any full_params;
+  /// Preset the registry-driven checksum suite runs at. Defaults to the
+  /// reduced sizes; workloads cheap enough under the optimized harness
+  /// (jacobi, mgs) opt into the full default sizes so integration tests
+  /// exercise the paper's real dimensions.
+  Preset test_preset = Preset::kReduced;
   Calibration calibration;
 
   /// One paper reference speedup (8 processors); `estimated` marks

@@ -1,0 +1,129 @@
+// A minimal open-addressing hash set of 64-bit keys.
+//
+// The Tmk runtime keys protocol facts — "(creator, seq, page) was
+// pre-applied via push/bcast" — by packing the triple into one 64-bit
+// value; the former std::set<std::tuple<...>> cost a node allocation
+// per insert and a pointer chase per lookup on the fault path. This set
+// stores keys inline in one contiguous array (two, with the 1-byte
+// state array): inserts are allocation-free until the next doubling,
+// lookups touch one cache line in the common case.
+//
+// Linear probing with tombstones; rehashes at 7/8 combined (live +
+// tombstone) load. Not a general-purpose container: u64 keys only, no
+// iterators (erase_if covers the one scan-and-filter use).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/prng.hpp"
+
+namespace common {
+
+class FlatSet64 {
+ public:
+  FlatSet64() = default;
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+
+  /// Inserts `key`; returns true if it was not present.
+  bool insert(std::uint64_t key) {
+    if (slots_.empty() || (used_ + 1) * 8 >= slots_.size() * 7) rehash();
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t i = hash(key) & mask;
+    std::size_t first_dead = SIZE_MAX;
+    for (;; i = (i + 1) & mask) {
+      if (state_[i] == kLive) {
+        if (slots_[i] == key) return false;
+      } else if (state_[i] == kDead) {
+        if (first_dead == SIZE_MAX) first_dead = i;
+      } else {  // kFree: key absent
+        if (first_dead != SIZE_MAX) {
+          i = first_dead;  // reuse the tombstone
+        } else {
+          ++used_;
+        }
+        slots_[i] = key;
+        state_[i] = kLive;
+        ++size_;
+        return true;
+      }
+    }
+  }
+
+  [[nodiscard]] bool contains(std::uint64_t key) const noexcept {
+    if (slots_.empty()) return false;
+    const std::size_t mask = slots_.size() - 1;
+    for (std::size_t i = hash(key) & mask;; i = (i + 1) & mask) {
+      if (state_[i] == kFree) return false;
+      if (state_[i] == kLive && slots_[i] == key) return true;
+    }
+  }
+
+  /// Removes `key`; returns true if it was present.
+  bool erase(std::uint64_t key) noexcept {
+    if (slots_.empty()) return false;
+    const std::size_t mask = slots_.size() - 1;
+    for (std::size_t i = hash(key) & mask;; i = (i + 1) & mask) {
+      if (state_[i] == kFree) return false;
+      if (state_[i] == kLive && slots_[i] == key) {
+        state_[i] = kDead;
+        --size_;
+        return true;
+      }
+    }
+  }
+
+  /// Removes every key for which `pred(key)` is true; returns the count.
+  template <typename Pred>
+  std::size_t erase_if(Pred pred) noexcept {
+    std::size_t removed = 0;
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      if (state_[i] == kLive && pred(slots_[i])) {
+        state_[i] = kDead;
+        --size_;
+        ++removed;
+      }
+    }
+    return removed;
+  }
+
+  void clear() noexcept {
+    state_.assign(state_.size(), kFree);
+    size_ = 0;
+    used_ = 0;
+  }
+
+ private:
+  enum : std::uint8_t { kFree = 0, kLive = 1, kDead = 2 };
+
+  // Full-avalanche mix, so sequential packed keys spread over the table.
+  [[nodiscard]] static std::size_t hash(std::uint64_t x) noexcept {
+    return static_cast<std::size_t>(mix64(x));
+  }
+
+  void rehash() {
+    // Grow only when live keys genuinely fill the table; a rehash forced
+    // by tombstone churn rebuilds at the same capacity, so memory stays
+    // proportional to peak live size rather than total insert churn.
+    std::size_t cap = slots_.empty() ? 16 : slots_.size();
+    if ((size_ + 1) * 2 >= cap) cap *= 2;
+    std::vector<std::uint64_t> old_slots = std::move(slots_);
+    std::vector<std::uint8_t> old_state = std::move(state_);
+    slots_.assign(cap, 0);
+    state_.assign(cap, kFree);
+    size_ = 0;
+    used_ = 0;
+    for (std::size_t i = 0; i < old_slots.size(); ++i)
+      if (old_state[i] == kLive) insert(old_slots[i]);
+  }
+
+  std::vector<std::uint64_t> slots_;
+  std::vector<std::uint8_t> state_;
+  std::size_t size_ = 0;  // live keys
+  std::size_t used_ = 0;  // live + tombstoned slots
+};
+
+}  // namespace common

@@ -10,6 +10,15 @@
 
 namespace common {
 
+/// splitmix64's finalizer: a full-avalanche 64-bit mix, shared by the
+/// PRNG below and the hash containers (FlatSet64, the fabric's
+/// reassembly map) so the constants live in exactly one place.
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t z) noexcept {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
 /// splitmix64: tiny, fast, high-quality 64-bit generator.
 /// (Steele, Lea, Flood — "Fast Splittable Pseudorandom Number Generators".)
 class SplitMix64 {
@@ -18,10 +27,7 @@ class SplitMix64 {
 
   constexpr std::uint64_t next() noexcept {
     state_ += 0x9e3779b97f4a7c15ULL;
-    std::uint64_t z = state_;
-    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-    return z ^ (z >> 31);
+    return mix64(state_);
   }
 
   /// Uniform in [0, bound). bound must be > 0.

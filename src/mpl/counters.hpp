@@ -9,6 +9,7 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 
 #include "mpl/frame.hpp"
@@ -49,6 +50,33 @@ struct Counters {
     }
     return d;
   }
+};
+
+/// The live accumulator inside an Endpoint. Both the main thread
+/// (send_app/send_svc) and the service thread (the *_stamped reply
+/// paths) count logical messages concurrently, so the cells are relaxed
+/// atomics; plain `Counters` is the trivially-copyable snapshot type
+/// that crosses the report pipe and feeds the measurement windows.
+class AtomicCounters {
+ public:
+  void count(FrameKind kind, std::uint64_t payload_bytes) noexcept {
+    const auto l = static_cast<std::size_t>(layer_of(kind));
+    messages_[l].fetch_add(1, std::memory_order_relaxed);
+    bytes_[l].fetch_add(payload_bytes, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] Counters snapshot() const noexcept {
+    Counters c;
+    for (std::size_t i = 0; i < c.messages.size(); ++i) {
+      c.messages[i] = messages_[i].load(std::memory_order_relaxed);
+      c.bytes[i] = bytes_[i].load(std::memory_order_relaxed);
+    }
+    return c;
+  }
+
+ private:
+  std::array<std::atomic<std::uint64_t>, 3> messages_{};
+  std::array<std::atomic<std::uint64_t>, 3> bytes_{};
 };
 
 }  // namespace mpl

@@ -16,6 +16,10 @@ namespace {
 
 constexpr int kSocketBuffer = 512 * 1024;
 
+// Bound on pooled receive buffers per side; beyond this, freed payloads
+// are simply released to the allocator.
+constexpr std::size_t kMaxPooledBuffers = 32;
+
 void make_pair(common::Fd& send_end, common::Fd& recv_end) {
   int fds[2];
   COMMON_SYSCALL(socketpair(AF_UNIX, SOCK_SEQPACKET | SOCK_NONBLOCK, 0, fds));
@@ -29,6 +33,22 @@ void make_pair(common::Fd& send_end, common::Fd& recv_end) {
   }
   send_end.reset(fds[0]);
   recv_end.reset(fds[1]);
+}
+
+/// Pops a pooled buffer (capacity reuse) or default-constructs one.
+std::vector<std::byte> take_buffer(
+    std::vector<std::vector<std::byte>>& pool) {
+  if (pool.empty()) return {};
+  std::vector<std::byte> buf = std::move(pool.back());
+  pool.pop_back();
+  buf.clear();
+  return buf;
+}
+
+void give_buffer(std::vector<std::vector<std::byte>>& pool,
+                 std::vector<std::byte>&& buf) {
+  if (pool.size() < kMaxPooledBuffers && buf.capacity() > 0)
+    pool.push_back(std::move(buf));
 }
 
 }  // namespace
@@ -68,6 +88,14 @@ Endpoint::Endpoint(Fabric& fabric, int rank, simx::MachineModel model)
         std::move(fabric.app_recv_[fabric.idx(j, rank)]);
   }
   service_wake_.reset(COMMON_SYSCALL(eventfd(0, EFD_NONBLOCK)));
+
+  // Descriptors are fixed for the Endpoint's lifetime: build the poll
+  // arrays once instead of per receive.
+  app_pollfds_.reserve(app_in_.size());
+  for (const auto& fd : app_in_) app_pollfds_.push_back({fd.get(), POLLIN, 0});
+  svc_pollfds_.reserve(svc_in_.size() + 1);
+  for (const auto& fd : svc_in_) svc_pollfds_.push_back({fd.get(), POLLIN, 0});
+  svc_pollfds_.push_back({service_wake_.get(), POLLIN, 0});
 }
 
 void Endpoint::count_if_remote(int dst, FrameKind kind,
@@ -79,6 +107,9 @@ void Endpoint::send_chunks(int fd, bool pump_while_blocked, FrameKind kind,
                            std::int32_t tag, std::uint32_t req_id,
                            std::span<const std::byte> payload,
                            std::uint64_t vt_arrival) {
+  // Scatter-gather: header and payload leave in one sendmsg with no
+  // staging copy; the payload bytes are read straight from the caller's
+  // buffer (often the shared page image itself).
   const std::size_t total = payload.size();
   std::size_t offset = 0;
   do {
@@ -170,19 +201,25 @@ void Endpoint::send_svc_stamped(int dst, FrameKind kind, std::int32_t tag,
 }
 
 std::optional<Frame> Endpoint::Assembler::feed(
-    const FrameHeader& h, std::span<const std::byte> chunk) {
+    const FrameHeader& h, std::span<const std::byte> chunk,
+    std::vector<std::vector<std::byte>>& pool) {
   COMMON_CHECK_MSG(h.magic == kFrameMagic, "corrupt frame header");
   if (h.chunk_len == h.orig_len && h.offset == 0) {
+    // Single-datagram message: complete without touching the map.
     Frame f;
     f.kind = static_cast<FrameKind>(h.kind);
     f.src = h.src;
     f.tag = h.tag;
     f.req_id = h.req_id;
     f.vt_arrival = h.vt_arrival;
+    f.payload = take_buffer(pool);
     f.payload.assign(chunk.begin(), chunk.end());
     return f;
   }
-  const Key key{h.src, h.kind, h.tag, h.req_id};
+  const Key key{
+      (static_cast<std::uint64_t>(h.src) << 16) | h.kind,
+      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(h.tag)) << 32) |
+          h.req_id};
   auto it = partial.find(key);
   if (it == partial.end()) {
     COMMON_CHECK_MSG(h.offset == 0, "chunk stream started mid-message");
@@ -192,6 +229,7 @@ std::optional<Frame> Endpoint::Assembler::feed(
     f.tag = h.tag;
     f.req_id = h.req_id;
     f.vt_arrival = h.vt_arrival;
+    f.payload = take_buffer(pool);
     f.payload.reserve(h.orig_len);
     it = partial.emplace(key, std::move(f)).first;
   }
@@ -207,15 +245,11 @@ std::optional<Frame> Endpoint::Assembler::feed(
 }
 
 void Endpoint::drain_app(bool block) {
-  std::vector<pollfd> fds;
-  fds.reserve(app_in_.size());
-  for (const auto& fd : app_in_) fds.push_back({fd.get(), POLLIN, 0});
-
   bool got_any = false;
   do {
-    for (auto& p : fds) p.revents = 0;
+    for (auto& p : app_pollfds_) p.revents = 0;
     const int timeout = (block && !got_any) ? -1 : 0;
-    const int r = poll(fds.data(), fds.size(), timeout);
+    const int r = poll(app_pollfds_.data(), app_pollfds_.size(), timeout);
     if (r < 0) {
       if (errno == EINTR) continue;
       COMMON_SYSCALL(r);
@@ -223,10 +257,10 @@ void Endpoint::drain_app(bool block) {
     if (r == 0) return;
 
     alignas(FrameHeader) std::byte buf[sizeof(FrameHeader) + kMaxChunk];
-    for (std::size_t i = 0; i < fds.size(); ++i) {
-      if (!(fds[i].revents & POLLIN)) continue;
+    for (std::size_t i = 0; i < app_pollfds_.size(); ++i) {
+      if (!(app_pollfds_[i].revents & POLLIN)) continue;
       for (;;) {
-        const ssize_t n = recv(fds[i].fd, buf, sizeof(buf), 0);
+        const ssize_t n = recv(app_pollfds_[i].fd, buf, sizeof(buf), 0);
         if (n < 0) {
           if (errno == EINTR) continue;
           if (errno == EAGAIN || errno == EWOULDBLOCK) break;
@@ -239,7 +273,7 @@ void Endpoint::drain_app(bool block) {
         COMMON_CHECK(static_cast<std::size_t>(n) ==
                      sizeof(FrameHeader) + h.chunk_len);
         auto done = app_assembler_.feed(
-            h, {buf + sizeof(FrameHeader), h.chunk_len});
+            h, {buf + sizeof(FrameHeader), h.chunk_len}, app_buffer_pool_);
         if (done) {
           pending_.push_back(std::move(*done));
           got_any = true;
@@ -251,14 +285,21 @@ void Endpoint::drain_app(bool block) {
 
 void Endpoint::pump() { drain_app(/*block=*/false); }
 
-bool Endpoint::has_pending(
-    const std::function<bool(const Frame&)>& pred) const {
+void Endpoint::recycle_buffer(std::vector<std::byte>&& buf) {
+  give_buffer(app_buffer_pool_, std::move(buf));
+}
+
+void Endpoint::recycle_svc_buffer(std::vector<std::byte>&& buf) {
+  give_buffer(svc_buffer_pool_, std::move(buf));
+}
+
+bool Endpoint::has_pending(FramePredicate pred) const {
   for (const Frame& f : pending_)
     if (pred(f)) return true;
   return false;
 }
 
-Frame Endpoint::wait_app(const std::function<bool(const Frame&)>& pred) {
+Frame Endpoint::wait_app(FramePredicate pred) {
   // Fold real application compute before any transport work; everything
   // between here and the matching frame is waiting/draining, which
   // on_recv discards in favour of the modelled costs.
@@ -295,27 +336,23 @@ std::optional<Frame> Endpoint::next_svc_request(
     }
     if (stop.load(std::memory_order_acquire)) return std::nullopt;
 
-    std::vector<pollfd> fds;
-    fds.reserve(svc_in_.size() + 1);
-    for (const auto& fd : svc_in_) fds.push_back({fd.get(), POLLIN, 0});
-    fds.push_back({service_wake_.get(), POLLIN, 0});
-
-    const int r = poll(fds.data(), fds.size(), -1);
+    for (auto& p : svc_pollfds_) p.revents = 0;
+    const int r = poll(svc_pollfds_.data(), svc_pollfds_.size(), -1);
     if (r < 0) {
       if (errno == EINTR) continue;
       COMMON_SYSCALL(r);
     }
 
-    if (fds.back().revents & POLLIN) {
+    if (svc_pollfds_.back().revents & POLLIN) {
       std::uint64_t v;
       (void)!read(service_wake_.get(), &v, sizeof(v));
     }
 
     alignas(FrameHeader) std::byte buf[sizeof(FrameHeader) + kMaxChunk];
-    for (std::size_t i = 0; i + 1 < fds.size(); ++i) {
-      if (!(fds[i].revents & POLLIN)) continue;
+    for (std::size_t i = 0; i + 1 < svc_pollfds_.size(); ++i) {
+      if (!(svc_pollfds_[i].revents & POLLIN)) continue;
       for (;;) {
-        const ssize_t n = recv(fds[i].fd, buf, sizeof(buf), 0);
+        const ssize_t n = recv(svc_pollfds_[i].fd, buf, sizeof(buf), 0);
         if (n < 0) {
           if (errno == EINTR) continue;
           if (errno == EAGAIN || errno == EWOULDBLOCK) break;
@@ -328,7 +365,7 @@ std::optional<Frame> Endpoint::next_svc_request(
         COMMON_CHECK(static_cast<std::size_t>(n) ==
                      sizeof(FrameHeader) + h.chunk_len);
         auto done = svc_assembler_.feed(
-            h, {buf + sizeof(FrameHeader), h.chunk_len});
+            h, {buf + sizeof(FrameHeader), h.chunk_len}, svc_buffer_pool_);
         if (done) svc_pending_.push_back(std::move(*done));
       }
     }

@@ -18,16 +18,23 @@
 // All sockets are non-blocking. Main-thread sends that would block first
 // drain incoming app traffic into the Inbox ("pumping"), which makes
 // all-to-all patterns deadlock-free without a rendezvous protocol.
+//
+// Hot-path discipline: receives reuse persistent pollfd arrays and a
+// payload-buffer pool, sends are scatter-gather (header + payload in one
+// sendmsg, no staging copy), and the wait predicates are non-owning
+// function references — steady-state traffic allocates only when a
+// payload outgrows every pooled buffer.
 #pragma once
 
 #include <atomic>
 #include <cstddef>
 #include <deque>
-#include <functional>
-#include <map>
 #include <optional>
 #include <span>
+#include <unordered_map>
 #include <vector>
+
+#include <poll.h>
 
 #include "common/fd.hpp"
 #include "mpl/counters.hpp"
@@ -35,6 +42,24 @@
 #include "sim/virtual_clock.hpp"
 
 namespace mpl {
+
+/// Non-owning reference to a `bool(const Frame&)` predicate: wait_app
+/// callers pass capturing lambdas without materializing a std::function
+/// (and without its potential heap allocation) per receive.
+class FramePredicate {
+ public:
+  template <typename F>
+  FramePredicate(const F& f) noexcept  // NOLINT(google-explicit-constructor)
+      : obj_(&f), call_([](const void* o, const Frame& fr) {
+          return (*static_cast<const F*>(o))(fr);
+        }) {}
+
+  bool operator()(const Frame& f) const { return call_(obj_, f); }
+
+ private:
+  const void* obj_;
+  bool (*call_)(const void*, const Frame&);
+};
 
 /// Parent-side bundle of all socket pairs. Children call
 /// Endpoint::adopt() with their rank; destroying the Fabric afterwards
@@ -74,7 +99,9 @@ class Endpoint {
   [[nodiscard]] int rank() const noexcept { return rank_; }
   [[nodiscard]] int nprocs() const noexcept { return nprocs_; }
   [[nodiscard]] simx::VirtualClock& clock() noexcept { return clock_; }
-  [[nodiscard]] Counters& counters() noexcept { return counters_; }
+  [[nodiscard]] Counters counters() const noexcept {
+    return counters_.snapshot();
+  }
 
   // ---- main-thread send paths ----
 
@@ -117,7 +144,7 @@ class Endpoint {
   /// Blocks until a frame matching `pred` is available on any app channel
   /// (earlier non-matching frames are queued for later consumers), then
   /// returns it. Charges the virtual clock for the receive.
-  Frame wait_app(const std::function<bool(const Frame&)>& pred);
+  Frame wait_app(FramePredicate pred);
 
   /// Convenience: wait for a specific kind (any source, any tag).
   Frame wait_app_kind(FrameKind kind);
@@ -129,8 +156,16 @@ class Endpoint {
   void pump();
 
   /// True if a frame matching `pred` is already queued.
-  [[nodiscard]] bool has_pending(
-      const std::function<bool(const Frame&)>& pred) const;
+  [[nodiscard]] bool has_pending(FramePredicate pred) const;
+
+  /// Returns a consumed frame's payload buffer to the receive pool, so
+  /// steady-state traffic recycles capacity instead of re-allocating.
+  /// Optional: an un-recycled payload is simply freed. Main thread only.
+  void recycle_buffer(std::vector<std::byte>&& buf);
+
+  /// Service-thread counterpart of recycle_buffer() for frames consumed
+  /// by svc handlers.
+  void recycle_svc_buffer(std::vector<std::byte>&& buf);
 
   // ---- service-thread receive path ----
 
@@ -151,13 +186,13 @@ class Endpoint {
 
   void mark_measurement_start() {
     measure_vt_start_ = clock_.now();
-    measure_counters_start_ = counters_;
+    measure_counters_start_ = counters_.snapshot();
   }
 
   /// Ends the window (e.g. before an untimed checksum-gathering phase).
   void mark_measurement_end() {
     measure_vt_end_ = clock_.now();
-    measure_counters_end_ = counters_;
+    measure_counters_end_ = counters_.snapshot();
     measure_ended_ = true;
   }
 
@@ -166,20 +201,39 @@ class Endpoint {
     return end - measure_vt_start_;
   }
   [[nodiscard]] Counters measured_counters() const noexcept {
-    const Counters& end = measure_ended_ ? measure_counters_end_ : counters_;
+    const Counters end =
+        measure_ended_ ? measure_counters_end_ : counters_.snapshot();
     return end.since(measure_counters_start_);
   }
 
  private:
+  // Per-channel reassembly state. Only multi-chunk messages (payloads
+  // over kMaxChunk) ever touch the map; single-datagram frames complete
+  // on the fast path in feed(). The map key precomposes (src, kind, tag,
+  // req_id) into two 64-bit words — the full 96 bits of identity, hashed
+  // in one multiply instead of a std::map tuple comparison chain.
   struct Assembler {
-    // Key: src, kind, tag, req_id.
-    using Key = std::tuple<int, std::uint16_t, std::int32_t, std::uint32_t>;
-    std::map<Key, Frame> partial;
+    struct Key {
+      std::uint64_t hi;  // src << 16 | kind
+      std::uint64_t lo;  // u32(tag) << 32 | req_id
+      [[nodiscard]] bool operator==(const Key&) const = default;
+    };
+    struct KeyHash {
+      [[nodiscard]] std::size_t operator()(const Key& k) const noexcept {
+        std::uint64_t x = (k.hi * 0x9e3779b97f4a7c15ull) ^ k.lo;
+        x ^= x >> 30;
+        x *= 0xbf58476d1ce4e5b9ull;
+        x ^= x >> 31;
+        return static_cast<std::size_t>(x);
+      }
+    };
+    std::unordered_map<Key, Frame, KeyHash> partial;
 
     // Feeds one datagram; returns a completed frame if this chunk was the
-    // last one.
+    // last one. Completed payloads draw capacity from `pool`.
     std::optional<Frame> feed(const FrameHeader& h,
-                              std::span<const std::byte> chunk);
+                              std::span<const std::byte> chunk,
+                              std::vector<std::vector<std::byte>>& pool);
   };
 
   void send_chunks(int fd, bool pump_while_blocked, FrameKind kind,
@@ -195,13 +249,24 @@ class Endpoint {
   int rank_;
   int nprocs_;
   simx::VirtualClock clock_;
-  Counters counters_;
+  AtomicCounters counters_;
 
   std::vector<common::Fd> svc_out_;  // my sending ends toward each svc
   std::vector<common::Fd> app_out_;  // my sending ends toward each main
   std::vector<common::Fd> svc_in_;   // receiving ends of svc[*, me]
   std::vector<common::Fd> app_in_;   // receiving ends of app[*, me]
   common::Fd service_wake_;          // eventfd to wake the service thread
+
+  // Persistent poll arrays (fds never change after construction); the
+  // app array is main-thread-only, the svc array service-thread-only.
+  std::vector<pollfd> app_pollfds_;
+  std::vector<pollfd> svc_pollfds_;  // svc channels + the wake eventfd
+
+  // Recycled payload buffers. app side: main thread only. svc side:
+  // service thread only (frames handed to handlers that run on the
+  // service thread).
+  std::vector<std::vector<std::byte>> app_buffer_pool_;
+  std::vector<std::vector<std::byte>> svc_buffer_pool_;
 
   Assembler app_assembler_;
   Assembler svc_assembler_;

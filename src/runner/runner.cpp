@@ -85,6 +85,9 @@ void write_report(int fd, const ProcReport& r) {
     report.ok = 0;
   }
   write_report(report_fd, report);
+  // Child-side printf output (examples) is block-buffered when stdout is
+  // a pipe; _exit skips stdio teardown, so flush explicitly.
+  std::fflush(nullptr);
   // Skip atexit handlers: this child shares gtest/benchmark state with the
   // parent and must not run their teardown.
   _exit(report.ok != 0u ? 0 : 1);

@@ -33,9 +33,15 @@ class VirtualClock {
   /// (inside the DSM runtime) host CPU is discarded — protocol work is
   /// charged through explicit model constants instead.
   void fold_compute() noexcept {
-    const std::uint64_t now = common::thread_cpu_ns();
-    if (!protocol_mode_) vt_ns_ += model_.scale_cpu(now - last_cpu_ns_);
-    last_cpu_ns_ = now;
+    // In protocol mode the window is discarded and last_cpu_ns_ is
+    // reset on section exit, so the (genuine syscall) thread-CPU read
+    // can be skipped entirely — messaging inside the DSM runtime then
+    // costs no clock_gettime at all.
+    if (!protocol_mode_) {
+      const std::uint64_t now = common::thread_cpu_ns();
+      vt_ns_ += model_.scale_cpu(now - last_cpu_ns_);
+      last_cpu_ns_ = now;
+    }
     vt_ns_ += interrupt_ns_.exchange(0, std::memory_order_relaxed);
   }
 
@@ -84,8 +90,11 @@ class VirtualClock {
   }
 
   /// Discards host CPU burned since the last event (socket syscalls,
-  /// pumping): modelled costs already cover it.
-  void skip_transport() noexcept { last_cpu_ns_ = common::thread_cpu_ns(); }
+  /// pumping): modelled costs already cover it. A no-op in protocol
+  /// mode, where the whole window is dropped at section exit anyway.
+  void skip_transport() noexcept {
+    if (!protocol_mode_) last_cpu_ns_ = common::thread_cpu_ns();
+  }
 
   /// Jump the clock forward to at least `vt` (used when a collective
   /// decides a departure time for all participants).

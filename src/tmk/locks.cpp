@@ -19,7 +19,7 @@ namespace tmk {
 void Runtime::lock_acquire(int lock_id) {
   COMMON_CHECK(lock_id >= 0 && lock_id < options_.num_locks);
   simx::ProtocolSection protocol(ep_.clock());
-  stats_.lock_acquires += 1;
+  stats_.lock_acquires.fetch_add(1, std::memory_order_relaxed);
   if (nprocs_ == 1) {
     locks_[static_cast<std::size_t>(lock_id)].held = true;
     return;
@@ -42,13 +42,16 @@ void Runtime::lock_acquire(int lock_id) {
   const auto granted_lock = r.get<std::uint32_t>();
   COMMON_CHECK(granted_lock == static_cast<std::uint32_t>(lock_id));
   VectorClock granter_vc = r.get_vc(nprocs_);
-  std::lock_guard<std::mutex> g(mu_);
-  read_intervals(r);
-  vc_.merge(granter_vc);
-  LockState& st = locks_[static_cast<std::size_t>(lock_id)];
-  COMMON_CHECK(!st.held);
-  st.held = true;
-  st.released_here = false;
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    read_intervals(r);
+    vc_.merge(granter_vc);
+    LockState& st = locks_[static_cast<std::size_t>(lock_id)];
+    COMMON_CHECK(!st.held);
+    st.held = true;
+    st.released_here = false;
+  }
+  ep_.recycle_buffer(std::move(f.payload));
 }
 
 void Runtime::lock_release(int lock_id) {

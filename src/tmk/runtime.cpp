@@ -9,7 +9,6 @@
 #include <algorithm>
 #include <limits>
 #include <cstring>
-#include <map>
 
 #include "common/check.hpp"
 
@@ -43,7 +42,13 @@ Runtime::Runtime(runner::ChildContext& ctx, Options options)
     heap_len_ = common::align_down(options_.heap_limit_bytes,
                                    common::kPageSize);
   num_pages_ = heap_len_ / common::kPageSize;
+  COMMON_CHECK_MSG(num_pages_ < (1u << 28),
+                   "heap too large for packed write-notice keys");
   pages_.resize(num_pages_);
+  page_ext_.resize(num_pages_);
+  // Worst case every page dirtied in one interval: reserve once so the
+  // write-fault path never grows this vector.
+  dirty_pages_.reserve(num_pages_);
 
   // Zero-page invariant: every process starts with identical all-zero
   // pages; reads are free until the first write notice arrives.
@@ -127,6 +132,22 @@ void Runtime::mprotect_page(PageIndex page, int prot) const {
 }
 
 // ---------------------------------------------------------------------
+// Twin buffer pool (caller holds mu_)
+// ---------------------------------------------------------------------
+
+std::unique_ptr<std::byte[]> Runtime::take_twin_buffer() {
+  if (twin_pool_.empty())
+    return std::make_unique<std::byte[]>(common::kPageSize);
+  auto twin = std::move(twin_pool_.back());
+  twin_pool_.pop_back();
+  return twin;
+}
+
+void Runtime::recycle_twin(std::unique_ptr<std::byte[]> twin) {
+  if (twin != nullptr) twin_pool_.push_back(std::move(twin));
+}
+
+// ---------------------------------------------------------------------
 // Intervals
 // ---------------------------------------------------------------------
 
@@ -150,8 +171,9 @@ void Runtime::close_interval() {
   // since the previous flush. Pages never fetched never pay for a diff.
   for (PageIndex page : dirty_pages_) {
     PageMeta& pm = pages_[page];
-    COMMON_CHECK(pm.dirty && pm.twin != nullptr);
-    pm.unflushed.push_back(seq);
+    PageExt& px = ext(page);
+    COMMON_CHECK(pm.dirty && px.twin != nullptr);
+    px.unflushed.push_back(seq);
     pm.dirty = false;
     if (pm.state != PageState::kInvalid) {
       // (An invalid page — concurrent-writer notice — stays invalid.)
@@ -160,10 +182,10 @@ void Runtime::close_interval() {
     }
   }
   for (PageIndex page : meta->pages)
-    pages_[page].notices.push_back(meta.get());
+    ext(page).notices.push_back(meta.get());
   intervals_[static_cast<std::size_t>(rank_)].push_back(std::move(meta));
   dirty_pages_.clear();
-  stats_.intervals_created += 1;
+  stats_.intervals_created.fetch_add(1, std::memory_order_relaxed);
 }
 
 std::uint64_t Runtime::flush_page_diff(PageIndex page) {
@@ -174,7 +196,8 @@ std::uint64_t Runtime::flush_page_diff(PageIndex page) {
   // because the stored diff is immutable every fetcher sees the same
   // bytes (DESIGN.md §5, lazy diffing).
   PageMeta& pm = pages_[page];
-  COMMON_CHECK(!pm.unflushed.empty() && pm.twin != nullptr);
+  PageExt& px = ext(page);
+  COMMON_CHECK(!px.unflushed.empty() && px.twin != nullptr);
   const auto& model = ep_.clock().model();
   std::uint64_t cost = model.diff_create_ns;
 
@@ -183,24 +206,28 @@ std::uint64_t Runtime::flush_page_diff(PageIndex page) {
   // only after unprotecting. Reads on a PROT_READ page are fine.
   const bool unreadable = pm.state == PageState::kInvalid;
   if (unreadable) mprotect_page(page, PROT_READ);
-  auto diff = std::make_shared<std::vector<std::byte>>(
-      make_diff(pm.twin.get(), page_ptr(page)));
-  stats_.diffs_created += 1;
-  stats_.diff_bytes_created += diff->size();
+  // Encode into the reusable worst-case-sized scratch (no allocation
+  // after warm-up), then store one exact-size immutable blob.
+  make_diff_into(px.twin.get(), page_ptr(page), diff_scratch_);
+  auto diff = std::make_shared<std::vector<std::byte>>(diff_scratch_.begin(),
+                                                       diff_scratch_.end());
+  stats_.diffs_created.fetch_add(1, std::memory_order_relaxed);
+  stats_.diff_bytes_created.fetch_add(diff->size(),
+                                      std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> dg(diff_mu_);
-    const Seq covered = pm.unflushed.back();
-    for (Seq s : pm.unflushed)
+    const Seq covered = px.unflushed.back();
+    for (Seq s : px.unflushed)
       diffs_.emplace((static_cast<std::uint64_t>(page) << 32) | s,
                      DiffRec{diff, covered});
   }
-  pm.unflushed.clear();
+  px.unflushed.clear();
   if (pm.dirty) {
     // Open-interval writes continue against a fresh twin.
-    std::memcpy(pm.twin.get(), page_ptr(page), common::kPageSize);
+    std::memcpy(px.twin.get(), page_ptr(page), common::kPageSize);
     cost += model.twin_ns;
   } else {
-    pm.twin.reset();
+    recycle_twin(std::move(px.twin));
   }
   if (unreadable) mprotect_page(page, PROT_NONE);
   return cost;
@@ -227,14 +254,13 @@ void Runtime::integrate_interval(ProcId creator, Seq seq,
 
   for (PageIndex page : m->pages) {
     PageMeta& pm = pages_[page];
-    pm.notices.push_back(m);
-    const auto triple = std::make_tuple(creator, seq, page);
-    if (auto it = preapplied_.find(triple); it != preapplied_.end()) {
+    PageExt& px = ext(page);
+    px.notices.push_back(m);
+    if (preapplied_.erase(pack_preapplied(creator, seq, page))) {
       // Already applied through a push/bcast; no invalidation needed.
-      preapplied_.erase(it);
       continue;
     }
-    pm.pending.push_back(m);
+    px.pending.push_back(m);
     if (pm.state != PageState::kInvalid) {
       mprotect_page(page, PROT_NONE);
       pm.state = PageState::kInvalid;
@@ -242,10 +268,13 @@ void Runtime::integrate_interval(ProcId creator, Seq seq,
   }
   // Coverage bookkeeping can pre-register pages this interval turned out
   // not to touch; drop the leftovers now that the real page list is known.
-  preapplied_.erase(
-      preapplied_.lower_bound(std::make_tuple(creator, seq, PageIndex{0})),
-      preapplied_.upper_bound(std::make_tuple(
-          creator, seq, std::numeric_limits<PageIndex>::max())));
+  if (!preapplied_.empty()) {
+    const std::uint64_t prefix =
+        preapplied_prefix(pack_preapplied(creator, seq, PageIndex{0}));
+    preapplied_.erase_if([prefix](std::uint64_t key) {
+      return preapplied_prefix(key) == prefix;
+    });
+  }
 }
 
 void Runtime::serialize_intervals_lacking(ByteWriter& w,
@@ -312,52 +341,56 @@ std::uint32_t Runtime::read_intervals(ByteReader& r) {
 // ---------------------------------------------------------------------
 
 void Runtime::fetch_and_apply(std::span<const PageIndex> fault_pages) {
-  // Snapshot the needed (creator -> [(page, seq)...]) sets. Only the main
-  // thread mutates pending lists, and we *are* the main thread, so the
-  // snapshot stays accurate while we release mu_ to do network I/O.
-  struct Need {
-    PageIndex page;
-    Seq seq;
-  };
-  std::map<ProcId, std::vector<Need>> by_creator;
+  // Snapshot the needed (creator -> [(page, seq)...]) sets into the
+  // reusable per-creator scratch vectors. Only the main thread mutates
+  // pending lists, and we *are* the main thread, so the snapshot stays
+  // accurate while we release mu_ to do network I/O.
+  bool any = false;
   {
     std::lock_guard<std::mutex> g(mu_);
+    for (auto& v : fetch_needs_) v.clear();
     for (PageIndex page : fault_pages) {
-      for (const IntervalMeta* m : pages_[page].pending) {
+      const PageExt* px = ext_if(page);
+      if (px == nullptr) continue;
+      for (const IntervalMeta* m : px->pending) {
         COMMON_CHECK(m->id.creator != rank_);
-        by_creator[m->id.creator].push_back(Need{page, m->id.seq});
+        fetch_needs_[m->id.creator].push_back(FetchNeed{page, m->id.seq});
+        any = true;
       }
     }
   }
-  if (by_creator.empty()) return;
+  if (!any) return;
 
   // One batched request per creator, issued in parallel.
   struct Outstanding {
     ProcId creator;
     std::uint32_t req_id;
   };
-  std::vector<Outstanding> outstanding;
-  for (const auto& [creator, needs] : by_creator) {
-    ByteWriter w;
+  Outstanding outstanding[mpl::kMaxProcs];
+  int n_outstanding = 0;
+  for (int p = 0; p < nprocs_; ++p) {
+    const auto& needs = fetch_needs_[static_cast<std::size_t>(p)];
+    if (needs.empty()) continue;
+    ByteWriter& w = fetch_writer_;
+    w.clear();
     w.put<std::uint32_t>(static_cast<std::uint32_t>(needs.size()));
-    for (const Need& n : needs) {
+    for (const FetchNeed& n : needs) {
       w.put<PageIndex>(n.page);
       w.put<Seq>(n.seq);
     }
     const std::uint32_t req_id = next_req_id_++;
-    ep_.send_svc(creator, mpl::FrameKind::kDiffRequest, 0, req_id, w.bytes());
-    outstanding.push_back(Outstanding{creator, req_id});
-    stats_.diff_requests += 1;
+    ep_.send_svc(p, mpl::FrameKind::kDiffRequest, 0, req_id, w.bytes());
+    outstanding[n_outstanding++] = Outstanding{static_cast<ProcId>(p), req_id};
+    stats_.diff_requests.fetch_add(1, std::memory_order_relaxed);
   }
 
-  // Collect replies; stage diffs per page.
-  struct FetchedDiff {
-    const IntervalMeta* interval;
-    std::vector<std::byte> blob;
-    bool same_as_prev = false;  // shares the previous entry's flush blob
-  };
-  std::map<PageIndex, std::vector<FetchedDiff>> staged;
-  for (const Outstanding& o : outstanding) {
+  // Collect replies; stage diffs as zero-copy views into the reply
+  // payloads, which stay alive in fetch_replies_ until applied.
+  constexpr PageIndex kNoPage = std::numeric_limits<PageIndex>::max();
+  fetch_staged_.clear();
+  fetch_replies_.clear();
+  for (int oi = 0; oi < n_outstanding; ++oi) {
+    const Outstanding& o = outstanding[oi];
     mpl::Frame f = ep_.wait_app([&o](const mpl::Frame& fr) {
       return fr.kind == mpl::FrameKind::kDiffReply && fr.src == o.creator &&
              fr.req_id == o.req_id;
@@ -365,66 +398,80 @@ void Runtime::fetch_and_apply(std::span<const PageIndex> fault_pages) {
     ByteReader r(f.payload);
     const auto n = r.get<std::uint32_t>();
     std::lock_guard<std::mutex> g(mu_);
-    std::vector<std::byte> prev_bytes;
-    // Highest blob coverage seen per page from this creator.
-    std::map<PageIndex, Seq> covered_by_page;
-    std::map<PageIndex, Seq> requested_by_page;
+    const auto& known = intervals_[o.creator];
+    std::span<const std::byte> prev_bytes;
+    // Reply records echo the request order, so one page's records are
+    // consecutive; aggregate its requested/covered seqs on the fly. The
+    // blob bakes in the creator's writes up to `covered`; write notices
+    // for the gap (requested, covered] must not trigger a refetch later
+    // — the stale blob would clobber our own concurrent writes to other
+    // words of the page (false sharing).
+    PageIndex cur_page = kNoPage;
+    Seq max_covered = 0;
+    Seq max_requested = 0;
+    const auto finish_page = [&] {
+      if (cur_page == kNoPage) return;
+      for (Seq s = max_requested + 1; s <= max_covered; ++s) {
+        // Integrated gap seqs did not touch this page (else they would
+        // have been pending, hence requested); skip them.
+        if (s <= known.size()) continue;
+        preapplied_.insert(pack_preapplied(o.creator, s, cur_page));
+      }
+    };
     for (std::uint32_t i = 0; i < n; ++i) {
       const auto page = r.get<PageIndex>();
       const auto seq = r.get<Seq>();
       const auto covered = r.get<Seq>();
       const auto len = r.get<std::uint32_t>();
-      std::vector<std::byte> bytes;
+      std::span<const std::byte> bytes;
       const bool shared_blob = (len == 0xffffffffu);
       if (shared_blob) {
         bytes = prev_bytes;  // one flush covered several intervals
       } else {
-        auto s = r.get_bytes(len);
-        bytes.assign(s.begin(), s.end());
+        bytes = r.get_bytes(len);
         prev_bytes = bytes;
       }
-      const auto& known = intervals_[o.creator];
       COMMON_CHECK(seq >= 1 && seq <= known.size());
-      staged[page].push_back(FetchedDiff{known[seq - 1].get(),
-                                         std::move(bytes), shared_blob});
-      stats_.diffs_fetched += 1;
-      auto& cov = covered_by_page[page];
-      cov = std::max(cov, covered);
-      auto& req = requested_by_page[page];
-      req = std::max(req, seq);
-    }
-    // The blob bakes in the creator's writes up to `covered`; write
-    // notices for the gap (requested, covered] must not trigger a
-    // refetch later — the stale blob would clobber our own concurrent
-    // writes to other words of the page (false sharing).
-    for (const auto& [page, covered] : covered_by_page) {
-      const auto& known = intervals_[o.creator];
-      for (Seq s = requested_by_page[page] + 1; s <= covered; ++s) {
-        // Integrated gap seqs did not touch this page (else they would
-        // have been pending, hence requested); skip them.
-        if (s <= known.size()) continue;
-        preapplied_.insert(std::make_tuple(o.creator, s, page));
+      fetch_staged_.push_back(
+          FetchedDiff{page, known[seq - 1].get(), bytes, shared_blob});
+      stats_.diffs_fetched.fetch_add(1, std::memory_order_relaxed);
+      if (page != cur_page) {
+        finish_page();
+        cur_page = page;
+        max_covered = 0;
+        max_requested = 0;
       }
+      max_covered = std::max(max_covered, covered);
+      max_requested = std::max(max_requested, seq);
     }
+    finish_page();
+    fetch_replies_.push_back(std::move(f));  // keep the spans alive
   }
 
   // Apply, per page, in a linear extension of happens-before (vc weight;
   // concurrent intervals write disjoint words, so ties are safe).
   std::lock_guard<std::mutex> g(mu_);
-  for (auto& [page, fetched] : staged) {
+  std::sort(fetch_staged_.begin(), fetch_staged_.end(),
+            [](const FetchedDiff& a, const FetchedDiff& b) {
+              if (a.page != b.page) return a.page < b.page;
+              const auto wa = a.interval->vc.weight();
+              const auto wb = b.interval->vc.weight();
+              if (wa != wb) return wa < wb;
+              return a.interval->id.creator < b.interval->id.creator;
+            });
+  std::size_t i = 0;
+  while (i < fetch_staged_.size()) {
+    const PageIndex page = fetch_staged_[i].page;
+    std::size_t j = i;
+    while (j < fetch_staged_.size() && fetch_staged_[j].page == page) ++j;
     PageMeta& pm = pages_[page];
-    COMMON_CHECK_MSG(fetched.size() == pm.pending.size(),
+    PageExt& px = ext(page);
+    COMMON_CHECK_MSG(j - i == px.pending.size(),
                      "pending set changed under fetch for page " << page);
-    std::sort(fetched.begin(), fetched.end(),
-              [](const FetchedDiff& a, const FetchedDiff& b) {
-                const auto wa = a.interval->vc.weight();
-                const auto wb = b.interval->vc.weight();
-                if (wa != wb) return wa < wb;
-                return a.interval->id.creator < b.interval->id.creator;
-              });
     const bool dirty = pm.dirty;
     mprotect_page(page, PROT_READ | PROT_WRITE);
-    for (const FetchedDiff& fd : fetched) {
+    for (std::size_t k = i; k < j; ++k) {
+      const FetchedDiff& fd = fetch_staged_[k];
       // Entries sharing one flush blob are applied (and charged) once.
       if (fd.same_as_prev) continue;
       ep_.clock().add_model(
@@ -433,16 +480,21 @@ void Runtime::fetch_and_apply(std::span<const PageIndex> fault_pages) {
       // Keep the twin in sync (TreadMarks applies incoming diffs to both
       // copies): otherwise our next flush would re-export other writers'
       // words at stale values and clobber their newer updates.
-      if (pm.twin != nullptr) apply_diff(fd.blob, pm.twin.get());
+      if (px.twin != nullptr) apply_diff(fd.blob, px.twin.get());
     }
-    pm.pending.clear();
+    px.pending.clear();
     if (dirty) {
       pm.state = PageState::kReadWrite;  // keep writing against old twin
     } else {
       mprotect_page(page, PROT_READ);
       pm.state = PageState::kReadOnly;
     }
+    i = j;
   }
+  fetch_staged_.clear();
+  // Return the reply payload buffers to the receive pool.
+  for (mpl::Frame& f : fetch_replies_) ep_.recycle_buffer(std::move(f.payload));
+  fetch_replies_.clear();
 }
 
 bool Runtime::handle_fault(void* addr, bool is_write_hint) {
@@ -469,20 +521,21 @@ bool Runtime::handle_fault(void* addr, bool is_write_hint) {
   switch (state) {
     case PageState::kInvalid: {
       if (is_write)
-        stats_.write_faults += 1;
+        stats_.write_faults.fetch_add(1, std::memory_order_relaxed);
       else
-        stats_.read_faults += 1;
+        stats_.read_faults.fetch_add(1, std::memory_order_relaxed);
       const PageIndex pages[1] = {page};
       fetch_and_apply(pages);
       if (is_write) {
         std::lock_guard<std::mutex> g(mu_);
         PageMeta& pm = pages_[page];
+        PageExt& px = ext(page);
         if (!pm.dirty) {
-          if (pm.twin == nullptr) {
-            pm.twin = std::make_unique<std::byte[]>(common::kPageSize);
-            std::memcpy(pm.twin.get(), page_ptr(page), common::kPageSize);
+          if (px.twin == nullptr) {
+            px.twin = take_twin_buffer();
+            std::memcpy(px.twin.get(), page_ptr(page), common::kPageSize);
             ep_.clock().add_model(ep_.clock().model().twin_ns);
-            stats_.twins_created += 1;
+            stats_.twins_created.fetch_add(1, std::memory_order_relaxed);
           }
           pm.dirty = true;
           dirty_pages_.push_back(page);
@@ -493,18 +546,19 @@ bool Runtime::handle_fault(void* addr, bool is_write_hint) {
       return true;
     }
     case PageState::kReadOnly: {
-      stats_.write_faults += 1;
+      stats_.write_faults.fetch_add(1, std::memory_order_relaxed);
       std::lock_guard<std::mutex> g(mu_);
       PageMeta& pm = pages_[page];
+      PageExt& px = ext(page);
       COMMON_CHECK(!pm.dirty);
-      if (pm.twin == nullptr) {
+      if (px.twin == nullptr) {
         // First write since the last flush: make a twin. A persistent
         // twin from earlier intervals is reused without copying (the
         // big lazy-diffing saving for repeatedly-written pages).
-        pm.twin = std::make_unique<std::byte[]>(common::kPageSize);
-        std::memcpy(pm.twin.get(), page_ptr(page), common::kPageSize);
+        px.twin = take_twin_buffer();
+        std::memcpy(px.twin.get(), page_ptr(page), common::kPageSize);
         ep_.clock().add_model(ep_.clock().model().twin_ns);
-        stats_.twins_created += 1;
+        stats_.twins_created.fetch_add(1, std::memory_order_relaxed);
       }
       pm.dirty = true;
       dirty_pages_.push_back(page);
@@ -526,7 +580,7 @@ bool Runtime::handle_fault(void* addr, bool is_write_hint) {
 void Runtime::barrier() {
   simx::ProtocolSection protocol(ep_.clock());
   close_interval();
-  stats_.barriers += 1;
+  stats_.barriers.fetch_add(1, std::memory_order_relaxed);
   if (nprocs_ == 1) {
     ++barrier_seq_;
     return;
@@ -548,6 +602,7 @@ void Runtime::barrier() {
       read_intervals(r);
       arrived[static_cast<std::size_t>(f.src)] = their;
       vc_.merge(their);
+      ep_.recycle_buffer(std::move(f.payload));
     }
     for (int p = 1; p < nprocs_; ++p) {
       ByteWriter w;
@@ -575,9 +630,12 @@ void Runtime::barrier() {
     const auto seq = r.get<std::uint32_t>();
     COMMON_CHECK_MSG(seq == barrier_seq_, "barrier sequence mismatch");
     VectorClock merged = r.get_vc(nprocs_);
-    std::lock_guard<std::mutex> g(mu_);
-    read_intervals(r);
-    vc_.merge(merged);
+    {
+      std::lock_guard<std::mutex> g(mu_);
+      read_intervals(r);
+      vc_.merge(merged);
+    }
+    ep_.recycle_buffer(std::move(f.payload));
   }
   ++barrier_seq_;
 }
@@ -623,9 +681,12 @@ Runtime::ForkWork Runtime::wait_fork() {
   auto bytes = r.get_bytes(len);
   work.args.assign(bytes.begin(), bytes.end());
   VectorClock master_vc = r.get_vc(nprocs_);
-  std::lock_guard<std::mutex> g(mu_);
-  read_intervals(r);
-  vc_.merge(master_vc);
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    read_intervals(r);
+    vc_.merge(master_vc);
+  }
+  ep_.recycle_buffer(std::move(f.payload));
   return work;
 }
 
@@ -654,10 +715,13 @@ void Runtime::join_master() {
     const auto seq = r.get<std::uint32_t>();
     COMMON_CHECK_MSG(seq == fork_seq_, "join sequence mismatch");
     VectorClock their = r.get_vc(nprocs_);
-    std::lock_guard<std::mutex> g(mu_);
-    read_intervals(r);
-    worker_vc_[static_cast<std::size_t>(f.src)] = their;
-    vc_.merge(their);
+    {
+      std::lock_guard<std::mutex> g(mu_);
+      read_intervals(r);
+      worker_vc_[static_cast<std::size_t>(f.src)] = their;
+      vc_.merge(their);
+    }
+    ep_.recycle_buffer(std::move(f.payload));
   }
 }
 
@@ -672,7 +736,7 @@ void Runtime::validate(const void* base, std::size_t len) {
 
 void Runtime::validate_ranges(std::span<const Range> ranges) {
   simx::ProtocolSection protocol(ep_.clock());
-  stats_.validates += 1;
+  stats_.validates.fetch_add(1, std::memory_order_relaxed);
   std::vector<PageIndex> want;
   {
     std::lock_guard<std::mutex> g(mu_);
@@ -686,7 +750,9 @@ void Runtime::validate_ranges(std::span<const Range> ranges) {
       const PageIndex last =
           static_cast<PageIndex>((off + r.len - 1) / common::kPageSize);
       for (PageIndex p = first; p <= last; ++p)
-        if (!pages_[p].pending.empty()) want.push_back(p);
+        if (const PageExt* px = ext_if(p);
+            px != nullptr && !px->pending.empty())
+          want.push_back(p);
     }
     // Ranges may share pages; fetch each once.
     std::sort(want.begin(), want.end());
@@ -697,7 +763,7 @@ void Runtime::validate_ranges(std::span<const Range> ranges) {
 
 void Runtime::push(int dst, const void* base, std::size_t len) {
   simx::ProtocolSection protocol(ep_.clock());
-  stats_.pushes += 1;
+  stats_.pushes.fetch_add(1, std::memory_order_relaxed);
   const auto off = static_cast<std::size_t>(static_cast<const std::byte*>(base) -
                                             static_cast<std::byte*>(heap_));
   COMMON_CHECK_MSG((off & common::kPageMask) == 0 &&
@@ -715,14 +781,17 @@ void Runtime::push(int dst, const void* base, std::size_t len) {
   {
     std::lock_guard<std::mutex> g(mu_);
     for (PageIndex p = first; p < first + npages; ++p) {
-      COMMON_CHECK_MSG(pages_[p].pending.empty(),
+      const PageExt* px = ext_if(p);
+      COMMON_CHECK_MSG(px == nullptr || px->pending.empty(),
                        "push source page " << p << " is stale");
     }
     w.put_bytes({static_cast<const std::byte*>(base), len});
     // Covered write notices: every known interval touching these pages.
     std::vector<std::tuple<PageIndex, ProcId, Seq>> covered;
     for (PageIndex p = first; p < first + npages; ++p) {
-      for (const IntervalMeta* m : pages_[p].notices)
+      const PageExt* px2 = ext_if(p);
+      if (px2 == nullptr) continue;
+      for (const IntervalMeta* m : px2->notices)
         covered.emplace_back(p, m->id.creator, m->id.seq);
     }
     w.put<std::uint32_t>(static_cast<std::uint32_t>(covered.size()));
@@ -770,7 +839,8 @@ void Runtime::accept_push(int src) {
   std::lock_guard<std::mutex> g(mu_);
   for (PageIndex p = first; p < first + npages; ++p) {
     PageMeta& pm = pages_[p];
-    COMMON_CHECK_MSG(!pm.dirty && pm.unflushed.empty(),
+    const PageExt* px = ext_if(p);
+    COMMON_CHECK_MSG(!pm.dirty && (px == nullptr || px->unflushed.empty()),
                      "push target page " << p << " is locally written");
     mprotect_page(p, PROT_READ | PROT_WRITE);
   }
@@ -778,23 +848,24 @@ void Runtime::accept_push(int src) {
 
   for (const CoveredTriple& t : covered) {
     if (t.creator == rank_) continue;
-    PageMeta& pm = pages_[t.page];
+    PageExt& px = ext(t.page);
     // If the notice is already pending, the push satisfied it; otherwise
     // remember it so the future notice does not invalidate the page.
-    auto it = std::find_if(pm.pending.begin(), pm.pending.end(),
+    auto it = std::find_if(px.pending.begin(), px.pending.end(),
                            [&t](const IntervalMeta* m) {
                              return m->id.creator == t.creator &&
                                     m->id.seq == t.seq;
                            });
-    if (it != pm.pending.end()) {
-      pm.pending.erase(it);
+    if (it != px.pending.end()) {
+      px.pending.erase(it);
     } else if (t.seq > intervals_[t.creator].size()) {
-      preapplied_.insert(std::make_tuple(t.creator, t.seq, t.page));
+      preapplied_.insert(pack_preapplied(t.creator, t.seq, t.page));
     }
   }
   for (PageIndex p = first; p < first + npages; ++p) {
     PageMeta& pm = pages_[p];
-    if (pm.pending.empty()) {
+    const PageExt* px = ext_if(p);
+    if (px == nullptr || px->pending.empty()) {
       mprotect_page(p, PROT_READ);
       pm.state = PageState::kReadOnly;
     } else {

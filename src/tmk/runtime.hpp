@@ -27,6 +27,7 @@
 
 #include <pthread.h>
 
+#include <array>
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
@@ -34,12 +35,12 @@
 #include <memory>
 #include <mutex>
 #include <optional>
-#include <set>
 #include <span>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
+#include "common/flat_hash.hpp"
 #include "mpl/fabric.hpp"
 #include "runner/runner.hpp"
 #include "tmk/diff.hpp"
@@ -54,19 +55,25 @@ enum class PageState : std::uint8_t {
   kInvalid,    // mapped PROT_NONE; write notices pending
 };
 
+/// Protocol statistics. `diffs_created` / `diff_bytes_created` are
+/// written by the *service* thread (lazy flush in serve_diff_request)
+/// while the main thread may concurrently read the struct (tests and
+/// apps sample stats mid-run) or bump its own fields — so every counter
+/// is a relaxed atomic. Plain reads via the implicit conversion are
+/// fine; there is no cross-field consistency guarantee.
 struct TmkStats {
-  std::uint64_t read_faults = 0;
-  std::uint64_t write_faults = 0;
-  std::uint64_t twins_created = 0;
-  std::uint64_t diffs_created = 0;
-  std::uint64_t diff_bytes_created = 0;
-  std::uint64_t diffs_fetched = 0;
-  std::uint64_t diff_requests = 0;
-  std::uint64_t intervals_created = 0;
-  std::uint64_t barriers = 0;
-  std::uint64_t lock_acquires = 0;
-  std::uint64_t pushes = 0;
-  std::uint64_t validates = 0;
+  std::atomic<std::uint64_t> read_faults{0};
+  std::atomic<std::uint64_t> write_faults{0};
+  std::atomic<std::uint64_t> twins_created{0};
+  std::atomic<std::uint64_t> diffs_created{0};
+  std::atomic<std::uint64_t> diff_bytes_created{0};
+  std::atomic<std::uint64_t> diffs_fetched{0};
+  std::atomic<std::uint64_t> diff_requests{0};
+  std::atomic<std::uint64_t> intervals_created{0};
+  std::atomic<std::uint64_t> barriers{0};
+  std::atomic<std::uint64_t> lock_acquires{0};
+  std::atomic<std::uint64_t> pushes{0};
+  std::atomic<std::uint64_t> validates{0};
 };
 
 class Runtime {
@@ -185,8 +192,18 @@ class Runtime {
   [[nodiscard]] void* heap_base() const noexcept { return heap_; }
 
  private:
+  // Per-page state is split in two: a 2-byte record for every page (the
+  // array is sized num_pages_ at startup — keeping it tiny makes Runtime
+  // construction O(pages) over bytes, not cache lines), plus extended
+  // protocol state allocated lazily the first time a page participates
+  // in the protocol. Most pages of a large heap never do.
   struct PageMeta {
     PageState state = PageState::kReadOnly;
+    bool dirty = false;  // written during the current interval
+  };
+  static_assert(sizeof(PageMeta) == 2);
+
+  struct PageExt {
     // The twin persists across interval closes (lazy diffing): it is the
     // page image as of the last flush, covering every interval in
     // `unflushed` plus any open-interval writes.
@@ -198,7 +215,6 @@ class Runtime {
     // My closed intervals whose diffs have not been created yet; they all
     // share the flush-time diff.
     std::vector<Seq> unflushed;
-    bool dirty = false;  // written during the current interval
   };
 
   struct LockState {
@@ -261,10 +277,48 @@ class Runtime {
   std::array<std::vector<std::unique_ptr<IntervalMeta>>, mpl::kMaxProcs>
       intervals_;
   std::vector<PageMeta> pages_;
+  // Lazily-allocated extended page state; null until a page first
+  // participates in the protocol. Guarded by mu_ like pages_.
+  std::vector<std::unique_ptr<PageExt>> page_ext_;
   std::vector<PageIndex> dirty_pages_;  // pages twinned this interval
-  // (creator, seq, page) triples already applied via push/bcast.
-  std::set<std::tuple<ProcId, Seq, PageIndex>> preapplied_;
+  // (creator, seq, page) triples already applied via push/bcast, packed
+  // into 64-bit keys (see pack_preapplied): a flat hash set instead of a
+  // node-per-entry std::set on the fault path.
+  common::FlatSet64 preapplied_;
+  // Retired twin buffers for reuse: a write fault after a flush grabs a
+  // pooled 4 KiB buffer instead of allocating. Guarded by mu_.
+  std::vector<std::unique_ptr<std::byte[]>> twin_pool_;
   std::vector<LockState> locks_;
+
+  // Packs one pre-applied write-notice identity into a FlatSet64 key:
+  // creator in the top 4 bits, seq in the middle 32, page in the low 28
+  // (checked at startup: num_pages_ < 2^28, nprocs <= 16).
+  [[nodiscard]] static std::uint64_t pack_preapplied(
+      ProcId creator, Seq seq, PageIndex page) noexcept {
+    static_assert(mpl::kMaxProcs <= 16, "creator must fit in 4 bits");
+    return (static_cast<std::uint64_t>(creator) << 60) |
+           (static_cast<std::uint64_t>(seq) << 28) |
+           static_cast<std::uint64_t>(page);
+  }
+  /// The (creator, seq) identity of a packed key, for prefix erasure.
+  [[nodiscard]] static std::uint64_t preapplied_prefix(
+      std::uint64_t key) noexcept {
+    return key >> 28;
+  }
+
+  [[nodiscard]] std::unique_ptr<std::byte[]> take_twin_buffer();
+  void recycle_twin(std::unique_ptr<std::byte[]> twin);
+
+  // Extended state accessors (caller holds mu_): ext() creates on first
+  // use; ext_if() is the read-only peek that never allocates.
+  [[nodiscard]] PageExt& ext(PageIndex page) {
+    auto& e = page_ext_[page];
+    if (e == nullptr) e = std::make_unique<PageExt>();
+    return *e;
+  }
+  [[nodiscard]] const PageExt* ext_if(PageIndex page) const noexcept {
+    return page_ext_[page].get();
+  }
 
   mutable std::mutex diff_mu_;
   // One flushed diff can cover several of a page's intervals (everything
@@ -281,6 +335,31 @@ class Runtime {
   // and registers it for every unflushed interval). Caller holds mu_;
   // takes diff_mu_ internally. Returns modelled cost.
   std::uint64_t flush_page_diff(PageIndex page);
+
+  // Reusable worst-case-sized diff encode buffer (service thread, under
+  // mu_): the stored blob is then one exact-size allocation.
+  std::vector<std::byte> diff_scratch_;
+  // Reply writer reused across diff-request handlers (service thread).
+  tmk::ByteWriter svc_reply_writer_;
+
+  // fetch_and_apply scratch, reused across faults so the steady-state
+  // fault path performs no per-call allocation (main thread only).
+  struct FetchNeed {
+    PageIndex page;
+    Seq seq;
+  };
+  struct FetchedDiff {
+    PageIndex page;
+    const IntervalMeta* interval;
+    // View into a reply frame's payload (kept alive in fetch_replies_
+    // until applied): fetched diffs are staged without copying.
+    std::span<const std::byte> blob;
+    bool same_as_prev;  // shares the previous entry's flush blob
+  };
+  std::array<std::vector<FetchNeed>, mpl::kMaxProcs> fetch_needs_;
+  std::vector<FetchedDiff> fetch_staged_;
+  std::vector<mpl::Frame> fetch_replies_;
+  tmk::ByteWriter fetch_writer_;
 
   // Improved-interface bookkeeping (master side).
   std::vector<VectorClock> worker_vc_;

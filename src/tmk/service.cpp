@@ -24,6 +24,9 @@ void Runtime::service_loop() {
         COMMON_CHECK_MSG(false, "unexpected service frame kind "
                                     << static_cast<int>(f->kind));
     }
+    // The handlers only read the payload; recycle its capacity for the
+    // next receive.
+    ep_.recycle_svc_buffer(std::move(f->payload));
   }
 }
 
@@ -37,7 +40,8 @@ void Runtime::serve_diff_request(const mpl::Frame& f) {
   const auto n = r.get<std::uint32_t>();
   std::uint64_t handler = m.handler_cost(n);
 
-  ByteWriter w;
+  ByteWriter& w = svc_reply_writer_;  // service thread only; reused
+  w.clear();
   w.put<std::uint32_t>(n);
   {
     std::lock_guard<std::mutex> g(mu_);

@@ -68,7 +68,10 @@ std::uint64_t measure_host_fault_cost_ns() {
   auto* word = static_cast<volatile int*>(p);
   *word = 1;  // warm the mapping
   g_probe_page = p;
-  constexpr int kIters = 256;
+  // 32 rounds keep the estimate stable to a few hundred ns while the
+  // calibration stays well under a millisecond of every child's startup
+  // (256 rounds cost more than the rest of Runtime construction).
+  constexpr int kIters = 32;
 
   // Full path: protect, fault, handler unprotects.
   const std::uint64_t t0 = common::thread_cpu_ns();

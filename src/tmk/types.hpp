@@ -105,6 +105,11 @@ class ByteWriter {
   }
   [[nodiscard]] std::size_t size() const noexcept { return buf_.size(); }
 
+  /// Drops the contents but keeps the capacity: hot paths reuse one
+  /// writer across messages instead of allocating per send.
+  void clear() noexcept { buf_.clear(); }
+  void reserve(std::size_t n) { buf_.reserve(n); }
+
  private:
   std::vector<std::byte> buf_;
 };

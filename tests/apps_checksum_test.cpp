@@ -69,7 +69,8 @@ class WorkloadVariants : public ::testing::TestWithParam<Case> {};
 
 TEST_P(WorkloadVariants, MatchesSequentialChecksum) {
   const auto [w, system, nprocs] = GetParam();
-  const std::any& params = w->params(apps::Preset::kReduced);
+  // Cheap workloads opt into their full default sizes (test_preset).
+  const std::any& params = w->params(w->test_preset);
   const double expect = w->seq(params, nullptr);
   const auto r = apps::run_workload(*w, system, nprocs, fast_options(), params);
   const apps::Variant* v = w->find(system);

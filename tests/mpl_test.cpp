@@ -93,6 +93,62 @@ TEST(Endpoint, LargeMessageChunksReassemble) {
   EXPECT_DOUBLE_EQ(result.procs[1].checksum, 1.0);
 }
 
+// Chunk-boundary property: payloads straddling SEQPACKET datagram
+// limits — one byte under/at/over kMaxChunk and multi-chunk sizes —
+// must reassemble bit-exactly on the app channel.
+TEST(Endpoint, ChunkBoundaryPayloadsReassemble) {
+  const std::size_t sizes[] = {mpl::kMaxChunk - 1, mpl::kMaxChunk,
+                               mpl::kMaxChunk + 1, 2 * mpl::kMaxChunk,
+                               2 * mpl::kMaxChunk + 17};
+  auto result =
+      runner::spawn(2, fast_options(), [&sizes](runner::ChildContext& c) {
+        auto& ep = c.endpoint;
+        double ok = 1.0;
+        std::uint32_t req = 1;
+        for (const std::size_t n : sizes) {
+          const auto payload = make_payload(n, 100 + n);
+          if (ep.rank() == 0) {
+            ep.send_app(1, mpl::FrameKind::kTestPing, 0, req, payload);
+            auto f = ep.wait_app_kind(mpl::FrameKind::kTestPong);
+            if (f.payload != payload || f.req_id != req) ok = 0.0;
+          } else {
+            auto f = ep.wait_app_kind(mpl::FrameKind::kTestPing);
+            if (f.payload != payload) ok = 0.0;
+            ep.send_app(0, mpl::FrameKind::kTestPong, 0, f.req_id, f.payload);
+          }
+          ++req;
+        }
+        return ok;
+      });
+  EXPECT_DOUBLE_EQ(result.procs[0].checksum, 1.0);
+  EXPECT_DOUBLE_EQ(result.procs[1].checksum, 1.0);
+}
+
+// Same boundary sizes through the service channel: requests straddling
+// several datagrams must reassemble before the handler sees them.
+TEST(Endpoint, SvcChannelMultiChunkRequestsReassemble) {
+  auto result = runner::spawn(2, fast_options(), [](runner::ChildContext& c) {
+    auto& ep = c.endpoint;
+    const std::size_t n = 3 * mpl::kMaxChunk + 5;
+    const auto payload = make_payload(n, 9);
+    if (ep.rank() == 1) {
+      std::atomic<bool> stop{false};
+      auto f = ep.next_svc_request(stop);
+      if (!f || f->payload != payload) return 0.0;
+      ep.send_app_stamped(f->src, mpl::FrameKind::kTestPong, 0, f->req_id,
+                          f->payload, f->vt_arrival + 1);
+      return 1.0;
+    }
+    ep.send_svc(1, mpl::FrameKind::kTestPing, 0, 77, payload);
+    auto f = ep.wait_app([](const mpl::Frame& fr) {
+      return fr.kind == mpl::FrameKind::kTestPong && fr.req_id == 77;
+    });
+    return f.payload == payload ? 1.0 : 0.0;
+  });
+  EXPECT_DOUBLE_EQ(result.procs[0].checksum, 1.0);
+  EXPECT_DOUBLE_EQ(result.procs[1].checksum, 1.0);
+}
+
 TEST(Endpoint, SimultaneousLargeSendsDoNotDeadlock) {
   // Both ranks send 4 MiB at each other before receiving; the pumping
   // send path must drain to make progress.

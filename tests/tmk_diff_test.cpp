@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <set>
 
 #include "common/page.hpp"
 #include "common/prng.hpp"
@@ -141,6 +142,94 @@ TEST_P(DiffMerge, DisjointWritersCommute) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, DiffMerge, ::testing::Range(1, 7));
+
+// ---- worst-case encoded size (kMaxDiffBytes) -------------------------
+
+TEST(Diff, AlternatingWordsEncodeToExactlyOnePage) {
+  // Every second word changed: the run-header-per-payload-word pattern.
+  // 512 runs x (4B header + 4B payload) = kPageSize exactly.
+  const Page twin = random_page(40);
+  Page cur = twin;
+  for (std::size_t w = 0; w < tmk::kWordsPerPage; w += 2) {
+    std::uint32_t v;
+    std::memcpy(&v, cur.data() + w * 4, 4);
+    v ^= 0xffffffffu;
+    std::memcpy(cur.data() + w * 4, &v, 4);
+  }
+  const auto d = tmk::make_diff(twin.data(), cur.data());
+  EXPECT_EQ(d.size(), common::kPageSize);
+  EXPECT_LE(d.size(), tmk::kMaxDiffBytes);
+  Page target = twin;
+  tmk::apply_diff(d, target.data());
+  EXPECT_EQ(std::memcmp(target.data(), cur.data(), common::kPageSize), 0);
+}
+
+TEST(Diff, FullPageRewriteExceedsPageSizeButNotTheBound) {
+  // A fully-rewritten page encodes as one run header + the whole page:
+  // kPageSize + 4 — the true worst case, larger than the page itself.
+  const Page twin = random_page(41);
+  Page cur;
+  for (std::size_t i = 0; i < common::kPageSize; ++i)
+    cur[i] = static_cast<std::byte>(static_cast<unsigned>(twin[i]) ^ 0xA5u);
+  const auto d = tmk::make_diff(twin.data(), cur.data());
+  EXPECT_EQ(d.size(), tmk::kMaxDiffBytes);
+  EXPECT_GT(d.size(), common::kPageSize);
+}
+
+TEST(Diff, ReusedOutputBufferNeverReallocates) {
+  std::vector<std::byte> out;
+  tmk::make_diff_into(random_page(42).data(), random_page(43).data(), out);
+  const std::byte* data = out.data();
+  const std::size_t cap = out.capacity();
+  EXPECT_GE(cap, tmk::kMaxDiffBytes);
+  common::SplitMix64 g(44);
+  for (int iter = 0; iter < 50; ++iter) {
+    const Page twin = random_page(g.next());
+    Page cur = twin;
+    for (int c = 0; c < 300; ++c) {
+      const auto w = g.next_below(tmk::kWordsPerPage);
+      std::uint32_t v = static_cast<std::uint32_t>(g.next());
+      std::memcpy(cur.data() + w * 4, &v, sizeof(v));
+    }
+    tmk::make_diff_into(twin.data(), cur.data(), out);
+    EXPECT_EQ(out.data(), data);
+    EXPECT_EQ(out.capacity(), cap);
+  }
+}
+
+// Property: diff_payload_bytes equals the number of mutated words times
+// the word size, for random word-run mutations.
+class DiffPayloadExact : public ::testing::TestWithParam<int> {};
+
+TEST_P(DiffPayloadExact, PayloadMatchesMutatedWordCount) {
+  common::SplitMix64 g(static_cast<std::uint64_t>(GetParam()) * 31337);
+  for (int iter = 0; iter < 20; ++iter) {
+    const Page twin = random_page(g.next());
+    Page cur = twin;
+    std::set<std::size_t> mutated;
+    const int runs = static_cast<int>(g.next_below(20));
+    for (int r = 0; r < runs; ++r) {
+      const auto start = g.next_below(tmk::kWordsPerPage);
+      const auto len = 1 + g.next_below(64);
+      for (std::size_t w = start;
+           w < std::min<std::size_t>(tmk::kWordsPerPage, start + len); ++w) {
+        std::uint32_t v;
+        std::memcpy(&v, cur.data() + w * 4, 4);
+        v ^= 0x80000001u;  // guaranteed different
+        std::memcpy(cur.data() + w * 4, &v, 4);
+        // XOR twice returns to the original: track parity.
+        if (!mutated.insert(w).second) mutated.erase(w);
+      }
+    }
+    const auto d = tmk::make_diff(twin.data(), cur.data());
+    EXPECT_EQ(tmk::diff_payload_bytes(d), mutated.size() * tmk::kDiffWord);
+    Page target = twin;
+    tmk::apply_diff(d, target.data());
+    EXPECT_EQ(std::memcmp(target.data(), cur.data(), common::kPageSize), 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DiffPayloadExact, ::testing::Range(1, 7));
 
 TEST(Diff, AppliedTwiceIsIdempotent) {
   const Page twin = zero_page();

@@ -228,10 +228,10 @@ TEST(TmkRuntime, ValidatePrefetchesRange) {
     if (rt.rank() == 1) {
       rt.validate(data, kInts * sizeof(std::int32_t));
       // All pages fetched with one request: afterwards reads are local.
-      const auto before = rt.stats().diff_requests;
+      const std::uint64_t before = rt.stats().diff_requests;
       double sum = 0;
       for (int i = 0; i < kInts; ++i) sum += data[i];
-      const auto after = rt.stats().diff_requests;
+      const std::uint64_t after = rt.stats().diff_requests;
       rt.barrier();
       return (after == before) ? sum : -1.0;
     }
@@ -256,10 +256,10 @@ TEST(TmkRuntime, PushSatisfiesFutureWriteNotices) {
     }
     rt.barrier();
     if (rt.rank() == 1) {
-      const auto faults_before = rt.stats().read_faults;
+      const std::uint64_t faults_before = rt.stats().read_faults;
       double sum = 0;
       for (int i = 0; i < 1024; ++i) sum += data[i];
-      const auto faults_after = rt.stats().read_faults;
+      const std::uint64_t faults_after = rt.stats().read_faults;
       rt.barrier();
       // The barrier's write notice was pre-applied: no fault, no fetch.
       return (faults_after == faults_before) ? sum : -sum;
@@ -363,6 +363,42 @@ TEST(TmkRuntime, StatsCountFaultsAndDiffs) {
   });
   EXPECT_DOUBLE_EQ(r.procs[0].checksum, 101.0);  // 1 twin + 1 lazy diff
   EXPECT_DOUBLE_EQ(r.procs[1].checksum, 101.0);  // 1 fault + 1 diff fetched
+}
+
+// Worst-case diffs end to end: one page with every second word written
+// (512 runs, encodes to exactly one page) and one fully-rewritten page
+// (one run, kPageSize + 4 bytes — larger than the page itself). Both
+// must flush, ship, and apply correctly, and the creator's stats must
+// report the exact encoded sizes.
+TEST(TmkRuntime, WorstCaseDiffPatternsFlushAndApply) {
+  auto r = runner::spawn(2, fast_options(), [](runner::ChildContext& c) {
+    tmk::Runtime rt(c);
+    auto* alt = rt.alloc<std::uint32_t>(1024);   // one page
+    auto* full = rt.alloc<std::uint32_t>(1024);  // one page
+    rt.barrier();
+    if (rt.rank() == 0) {
+      for (int i = 0; i < 1024; i += 2) alt[i] = 7u + static_cast<unsigned>(i);
+      for (int i = 0; i < 1024; ++i) full[i] = 3u + static_cast<unsigned>(i);
+      rt.barrier();
+      rt.barrier();  // rank 1 fetched by now (lazy flush done)
+      const std::uint64_t bytes = rt.stats().diff_bytes_created;
+      const std::uint64_t diffs = rt.stats().diffs_created;
+      // alternating: 512 * (4 + 4) = 4096; full: 4 + 4096 = 4100.
+      return (diffs == 2 && bytes == 4096 + 4100) ? 1.0 : -1.0;
+    }
+    rt.barrier();
+    double ok = 1.0;
+    for (int i = 0; i < 1024; ++i) {
+      const std::uint32_t want_alt =
+          (i % 2 == 0) ? 7u + static_cast<unsigned>(i) : 0u;
+      if (alt[i] != want_alt) ok = -1.0;
+      if (full[i] != 3u + static_cast<unsigned>(i)) ok = -1.0;
+    }
+    rt.barrier();
+    return ok;
+  });
+  EXPECT_DOUBLE_EQ(r.procs[0].checksum, 1.0);
+  EXPECT_DOUBLE_EQ(r.procs[1].checksum, 1.0);
 }
 
 // Barrier message count: 2(n-1) per barrier (§2.2).
