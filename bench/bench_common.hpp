@@ -29,6 +29,7 @@
 #include <unistd.h>
 
 #include "apps/registry.hpp"
+#include "bench_opts.hpp"
 #include "common/table.hpp"
 #include "runner/runner.hpp"
 
@@ -41,6 +42,7 @@ inline runner::SpawnOptions paper_options() {
   o.model = simx::MachineModel::sp2();
   o.shared_heap_bytes = 512ull << 20;
   o.timeout_sec = 1200;
+  o.transport = opts().transport;  // --transport / TMK_TRANSPORT
   return o;
 }
 
@@ -59,9 +61,12 @@ struct Row {
   std::string app;
   std::string system;
   std::string size;  // params label, e.g. "2048^2 x 10"
+  std::string transport;      // interconnect of the run ("socket"/"shm")
   int nprocs = 0;
   double speedup = 0.0;       // vs the same app's sequential virtual time
   double seconds = 0.0;       // modelled parallel seconds
+  double host_wall_s = 0.0;   // real wall time of the run (harness cost)
+  double host_cpu_s = 0.0;    // summed main-thread CPU across processes
   std::uint64_t messages = 0;
   double kbytes = 0.0;
   double checksum = 0.0;
@@ -121,9 +126,12 @@ class Report {
       body << "  {\"run\": \"" << run_id << "\", \"app\": \""
            << json_escape(r.app) << "\", \"system\": \""
            << json_escape(r.system) << "\", \"size\": \""
-           << json_escape(r.size) << "\", \"nprocs\": " << r.nprocs
+           << json_escape(r.size) << "\", \"transport\": \""
+           << json_escape(r.transport) << "\", \"nprocs\": " << r.nprocs
            << ", \"speedup\": " << r.speedup
            << ", \"seconds\": " << r.seconds
+           << ", \"host_wall_s\": " << r.host_wall_s
+           << ", \"host_cpu_s\": " << r.host_cpu_s
            << ", \"messages\": " << r.messages
            << ", \"kbytes\": " << r.kbytes
            << ", \"checksum\": " << r.checksum << "}";
@@ -184,9 +192,12 @@ inline Row record(const std::string& app, apps::System system, int nprocs,
   row.app = app;
   row.system = apps::to_string(system);
   row.size = size;
+  row.transport = mpl::to_string(r.transport);
   row.nprocs = nprocs;
   row.seconds = r.seconds();
   row.speedup = (r.seconds() > 0) ? seq_seconds / r.seconds() : 0.0;
+  row.host_wall_s = r.host_wall_s;
+  row.host_cpu_s = static_cast<double>(r.total_cpu_ns) * 1e-9;
   row.checksum = r.checksum;
   fill_traffic(row, system, r);
   Report::instance().add(row);

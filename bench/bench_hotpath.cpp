@@ -21,6 +21,7 @@
 
 #include "apps/registry.hpp"
 #include "bench_common.hpp"
+#include "bench_opts.hpp"
 #include "common/page.hpp"
 #include "common/prng.hpp"
 #include "mpl/fabric.hpp"
@@ -65,11 +66,13 @@ std::map<std::pair<std::string, std::string>, bench::Row>& final_rows() {
 
 /// Records one wall-clock row; micro rows carry per-op seconds.
 void add_row(const std::string& path, const std::string& variant,
-             double seconds, double checksum, int nprocs = 1) {
+             double seconds, double checksum, int nprocs = 1,
+             mpl::TransportKind transport = mpl::TransportKind::kSocket) {
   bench::Row row;
   row.app = "hotpath:" + path;
   row.system = variant;
   row.size = "wall-clock";
+  row.transport = mpl::to_string(transport);
   row.nprocs = nprocs;
   row.seconds = seconds;
   row.checksum = checksum;
@@ -137,12 +140,15 @@ BENCHMARK(BM_ApplyDiffSparse);
 
 // ---- fabric round trip ------------------------------------------------
 
-// Loopback send_app + wait_app through the real SEQPACKET socket pair:
-// frame encode, sendmsg, poll, recv, reassembly, and the pending-queue
-// predicate scan — everything but the wire.
+// Loopback send_app + wait_app through the real transport: frame
+// encode, the backend datagram hop (sendmsg/poll/recv for sockets, a
+// ring push/pop with no syscalls for shm), reassembly, and the
+// pending-queue predicate scan — everything but the wire. The
+// socket-vs-shm pair of rows is the per-message cost the transport
+// refactor targets.
 void bm_fabric(benchmark::State& state, const char* variant,
-               std::size_t payload_bytes) {
-  mpl::Fabric fabric(1);
+               std::size_t payload_bytes, mpl::TransportKind kind) {
+  mpl::Fabric fabric(1, kind);
   mpl::Endpoint ep(fabric, 0, simx::MachineModel::zero_cost());
   std::vector<std::byte> payload(payload_bytes, std::byte{0x5a});
   const auto t0 = Clock::now();
@@ -156,39 +162,52 @@ void bm_fabric(benchmark::State& state, const char* variant,
       std::chrono::duration<double>(t1 - t0).count() /
       static_cast<double>(state.iterations());
   add_row("fabric_roundtrip", variant, per_op,
-          static_cast<double>(payload_bytes));
+          static_cast<double>(payload_bytes), 1, kind);
 }
 
 void BM_FabricRoundTrip64(benchmark::State& state) {
-  bm_fabric(state, "64B", 64);
+  bm_fabric(state, "64B", 64, mpl::TransportKind::kSocket);
 }
 BENCHMARK(BM_FabricRoundTrip64);
 
+void BM_FabricRoundTrip64Shm(benchmark::State& state) {
+  bm_fabric(state, "64B-shm", 64, mpl::TransportKind::kShm);
+}
+BENCHMARK(BM_FabricRoundTrip64Shm);
+
 void BM_FabricRoundTrip4K(benchmark::State& state) {
-  bm_fabric(state, "4KiB", common::kPageSize);
+  bm_fabric(state, "4KiB", common::kPageSize, mpl::TransportKind::kSocket);
 }
 BENCHMARK(BM_FabricRoundTrip4K);
+
+void BM_FabricRoundTrip4KShm(benchmark::State& state) {
+  bm_fabric(state, "4KiB-shm", common::kPageSize, mpl::TransportKind::kShm);
+}
+BENCHMARK(BM_FabricRoundTrip4KShm);
 
 // ---- end-to-end: barrier-heavy DSM inner loops ------------------------
 
 // Wall-clock of a full reduced-preset run (fork, fault, twin, diff,
 // barrier, join) with the zero-cost model: all that remains is the
 // harness's own hot-path cost.
-runner::SpawnOptions e2e_options() {
+runner::SpawnOptions e2e_options(mpl::TransportKind kind) {
   runner::SpawnOptions o;
   o.model = simx::MachineModel::zero_cost();
   o.shared_heap_bytes = 256ull << 20;
   o.timeout_sec = 300;
+  o.transport = kind;
   return o;
 }
 
-void bm_workload(benchmark::State& state, const char* key, int nprocs) {
+void bm_workload(benchmark::State& state, const char* key, int nprocs,
+                 mpl::TransportKind kind, const char* variant) {
   const apps::Workload& w = apps::find_workload(key);
   double checksum = 0.0;
   const auto t0 = Clock::now();
   for (auto _ : state) {
     const auto r = apps::run_workload(w, apps::System::kTmk, nprocs,
-                                      e2e_options(), apps::Preset::kReduced);
+                                      e2e_options(kind),
+                                      apps::Preset::kReduced);
     checksum = r.checksum;
     benchmark::DoNotOptimize(checksum);
   }
@@ -196,23 +215,34 @@ void bm_workload(benchmark::State& state, const char* key, int nprocs) {
   const double per_run =
       std::chrono::duration<double>(t1 - t0).count() /
       static_cast<double>(state.iterations());
-  add_row(std::string("e2e_") + key + "_tmk", "reduced", per_run, checksum,
-          nprocs);
+  add_row(std::string("e2e_") + key + "_tmk", variant, per_run, checksum,
+          nprocs, kind);
 }
 
 void BM_JacobiTmkReduced(benchmark::State& state) {
-  bm_workload(state, "jacobi", 4);
+  bm_workload(state, "jacobi", 4, mpl::TransportKind::kSocket, "reduced");
 }
 BENCHMARK(BM_JacobiTmkReduced)->Unit(benchmark::kMillisecond);
 
+void BM_JacobiTmkReducedShm(benchmark::State& state) {
+  bm_workload(state, "jacobi", 4, mpl::TransportKind::kShm, "reduced-shm");
+}
+BENCHMARK(BM_JacobiTmkReducedShm)->Unit(benchmark::kMillisecond);
+
 void BM_MgsTmkReduced(benchmark::State& state) {
-  bm_workload(state, "mgs", 4);
+  bm_workload(state, "mgs", 4, mpl::TransportKind::kSocket, "reduced");
 }
 BENCHMARK(BM_MgsTmkReduced)->Unit(benchmark::kMillisecond);
+
+void BM_MgsTmkReducedShm(benchmark::State& state) {
+  bm_workload(state, "mgs", 4, mpl::TransportKind::kShm, "reduced-shm");
+}
+BENCHMARK(BM_MgsTmkReducedShm)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  bench::parse_bench_opts(argc, argv);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   for (const auto& [key, row] : final_rows())

@@ -17,6 +17,7 @@
 
 #include "apps/jacobi.hpp"
 #include "bench_common.hpp"
+#include "bench_opts.hpp"
 #include "spf/runtime.hpp"
 
 namespace {
@@ -72,6 +73,7 @@ BENCHMARK(BM_ImprovedInterface)->Iterations(1)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
+  bench::parse_bench_opts(argc, argv);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   std::cout << "\n=== §2.3: compiler/run-time interface ablation "

@@ -18,6 +18,7 @@
 #include <iostream>
 
 #include "bench_grid.hpp"
+#include "bench_opts.hpp"
 
 namespace {
 
@@ -34,6 +35,7 @@ std::vector<apps::System> opt_triple(const apps::Workload& w) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  bench::parse_bench_opts(argc, argv);
   benchmark::Initialize(&argc, argv);
   for (const apps::Workload& w : apps::all_workloads()) {
     const auto systems = opt_triple(w);

@@ -1,0 +1,87 @@
+// Command-line options shared by every bench binary.
+//
+//   --transport={socket,shm}   interconnect for all runs in the binary
+//                              (overrides TMK_TRANSPORT; default socket)
+//   --nprocs-list=2,4,8,16,32  process counts for binaries that sweep
+//                              process counts (bench_scale); others
+//                              ignore it
+//
+// Call parse_bench_opts(argc, argv) BEFORE benchmark::Initialize: the
+// recognized flags are consumed (removed from argv), everything else is
+// left for google-benchmark. Unknown values exit with a usage message.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "mpl/frame.hpp"
+#include "mpl/transport.hpp"
+
+namespace bench {
+
+struct Opts {
+  mpl::TransportKind transport = mpl::transport_from_env();
+  bool transport_set = false;    // --transport (or TMK_TRANSPORT) given
+  std::vector<int> nprocs_list;  // empty = the binary's default sweep
+};
+
+inline Opts& opts() {
+  static Opts o;
+  return o;
+}
+
+[[noreturn]] inline void bench_opts_usage(const char* binary,
+                                          const std::string& complaint) {
+  std::fprintf(stderr,
+               "%s: %s\n"
+               "usage: %s [--transport={socket,shm}]"
+               " [--nprocs-list=N1,N2,...]   (1 <= N <= %d)\n"
+               "       plus any google-benchmark flags\n",
+               binary, complaint.c_str(), binary, mpl::kMaxProcs);
+  std::exit(2);
+}
+
+inline void parse_bench_opts(int& argc, char** argv) {
+  if (const char* env = std::getenv("TMK_TRANSPORT");
+      env != nullptr && mpl::parse_transport(env).has_value())
+    opts().transport_set = true;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--transport=", 12) == 0) {
+      const auto k = mpl::parse_transport(arg + 12);
+      if (!k)
+        bench_opts_usage(argv[0], std::string("unknown transport '") +
+                                      (arg + 12) + "'");
+      opts().transport = *k;
+      opts().transport_set = true;
+      continue;
+    }
+    if (std::strncmp(arg, "--nprocs-list=", 14) == 0) {
+      std::vector<int> list;
+      const char* p = arg + 14;
+      while (*p != '\0') {
+        char* end = nullptr;
+        const long v = std::strtol(p, &end, 10);
+        if (end == p || v < 1 || v > mpl::kMaxProcs ||
+            (*end != ',' && *end != '\0'))
+          bench_opts_usage(argv[0], std::string("bad --nprocs-list '") +
+                                        (arg + 14) + "'");
+        list.push_back(static_cast<int>(v));
+        p = (*end == ',') ? end + 1 : end;
+      }
+      if (list.empty())
+        bench_opts_usage(argv[0], "--nprocs-list needs at least one count");
+      opts().nprocs_list = std::move(list);
+      continue;
+    }
+    argv[out++] = argv[i];
+  }
+  argc = out;
+  argv[argc] = nullptr;
+}
+
+}  // namespace bench

@@ -12,8 +12,10 @@
 
 #include "bench_calibration.hpp"
 #include "bench_common.hpp"
+#include "bench_opts.hpp"
 
 int main(int argc, char** argv) {
+  bench::parse_bench_opts(argc, argv);
   benchmark::Initialize(&argc, argv);
   for (const apps::Workload& w : apps::all_workloads()) {
     benchmark::RegisterBenchmark(

@@ -14,8 +14,10 @@
 #include <benchmark/benchmark.h>
 
 #include "bench_grid.hpp"
+#include "bench_opts.hpp"
 
 int main(int argc, char** argv) {
+  bench::parse_bench_opts(argc, argv);
   benchmark::Initialize(&argc, argv);
   bench::register_workload_grids(apps::WorkloadClass::kRegular);
   benchmark::RunSpecifiedBenchmarks();

@@ -8,7 +8,11 @@
 // file names no application.
 //
 //   ./examples/four_systems [jacobi|shallow|mgs|fft|igrid|nbf] [nprocs]
-//                           [default|reduced|full]
+//                           [default|reduced|full] [socket|shm]
+//
+// The transport argument (or TMK_TRANSPORT) picks the host interconnect
+// of the simulated mesh; the printed speedups, messages, and checksums
+// are identical either way — only the harness's own wall time changes.
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -34,6 +38,16 @@ int main(int argc, char** argv) {
   const int nprocs = (argc > 2) ? std::atoi(argv[2]) : 8;
   const apps::Preset preset =
       parse_preset((argc > 3) ? argv[3] : "default");
+  mpl::TransportKind transport = mpl::transport_from_env();
+  if (argc > 4) {
+    const auto parsed = mpl::parse_transport(argv[4]);
+    if (!parsed) {
+      std::fprintf(stderr, "unknown transport '%s'; expected socket or shm\n",
+                   argv[4]);
+      return 1;
+    }
+    transport = *parsed;
+  }
 
   const apps::Workload* workload = nullptr;
   try {
@@ -51,12 +65,15 @@ int main(int argc, char** argv) {
   runner::SpawnOptions options;
   options.model = simx::MachineModel::sp2();
   options.shared_heap_bytes = 512ull << 20;
+  options.transport = transport;
 
   const auto seq =
       apps::run_workload(w, apps::System::kSeq, 1, options, params);
-  std::printf("%s (%s, %s): sequential model time %.3f s (checksum %.6g)\n\n",
-              w.name.c_str(), w.describe(params).c_str(),
-              apps::to_string(w.cls), seq.seconds(), seq.checksum);
+  std::printf(
+      "%s (%s, %s, %s transport): sequential model time %.3f s "
+      "(checksum %.6g)\n\n",
+      w.name.c_str(), w.describe(params).c_str(), apps::to_string(w.cls),
+      mpl::to_string(transport), seq.seconds(), seq.checksum);
 
   common::TextTable t;
   t.header({"system", "speedup", "time(s)", "messages", "data(KB)",

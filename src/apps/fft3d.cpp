@@ -469,9 +469,11 @@ Workload make_fft3d_workload() {
   w.variants = {
       make_variant<FftParams>(System::kSpf, &fft3d_spf, 1e-9, {2, 8}),
       make_variant<FftParams>(System::kSpfOpt, &fft3d_spf_opt, 1e-9, {4, 8}),
-      make_variant<FftParams>(System::kTmk, &fft3d_tmk, 1e-9, {2, 8}),
+      make_variant<FftParams>(System::kTmk, &fft3d_tmk, 1e-9, {2, 8},
+                              {2, 4, 8, 16, 32}),
       make_variant<FftParams>(System::kXhpf, &fft3d_xhpf, 1e-9, {4, 8}),
-      make_variant<FftParams>(System::kPvme, &fft3d_pvme, 1e-9, {4, 8}),
+      make_variant<FftParams>(System::kPvme, &fft3d_pvme, 1e-9, {4, 8},
+                              {2, 4, 8, 16, 32}),
   };
   FftParams dflt;  // paper grid, fewer iterations
   dflt.nx = 128;
@@ -487,6 +489,13 @@ Workload make_fft3d_workload() {
   reduced.iters = 2;
   reduced.warmup_iters = 0;
   w.reduced_params = reduced;
+  FftParams scale;  // all-to-all transpose every iteration
+  scale.nx = 16;
+  scale.ny = 16;
+  scale.nz = 16;
+  scale.iters = 16;
+  scale.warmup_iters = 1;
+  w.scale_params = scale;
   FftParams full = dflt;  // paper: 128 x 128 x 64, 5 timed iterations
   full.iters = 5;
   w.full_params = full;

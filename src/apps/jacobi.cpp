@@ -367,9 +367,11 @@ Workload make_jacobi_workload() {
   w.variants = {
       make_variant<JacobiParams>(System::kSpf, &jacobi_spf, 0.0, {2, 4, 8}),
       make_variant<JacobiParams>(System::kSpfOpt, &jacobi_spf_opt, 0.0, {}),
-      make_variant<JacobiParams>(System::kTmk, &jacobi_tmk, 0.0, {2, 4, 8}),
+      make_variant<JacobiParams>(System::kTmk, &jacobi_tmk, 0.0, {2, 4, 8},
+                                 {2, 4, 8, 16, 32}),
       make_variant<JacobiParams>(System::kXhpf, &jacobi_xhpf, 0.0, {2, 4, 8}),
-      make_variant<JacobiParams>(System::kPvme, &jacobi_pvme, 0.0, {2, 4, 8}),
+      make_variant<JacobiParams>(System::kPvme, &jacobi_pvme, 0.0, {2, 4, 8},
+                                 {2, 4, 8, 16, 32}),
   };
   JacobiParams dflt;  // paper grid, reduced iterations
   dflt.n = 2048;
@@ -381,6 +383,11 @@ Workload make_jacobi_workload() {
   reduced.iters = 4;
   reduced.warmup_iters = 1;
   w.reduced_params = reduced;
+  JacobiParams scale;  // reduced grid, many iterations: messaging-dense
+  scale.n = 128;
+  scale.iters = 128;
+  scale.warmup_iters = 1;
+  w.scale_params = scale;
   JacobiParams full;  // paper: 2048 x 2048, 100 timed iterations
   full.n = 2048;
   full.iters = 100;

@@ -351,10 +351,12 @@ Workload make_mgs_workload() {
   // so the reduced preset cannot drive it; apps_shape_test covers it.
   w.variants = {
       make_variant<MgsParams>(System::kSpf, &mgs_spf, 0.0, {2, 8}),
-      make_variant<MgsParams>(System::kTmk, &mgs_tmk, 0.0, {2, 8}),
+      make_variant<MgsParams>(System::kTmk, &mgs_tmk, 0.0, {2, 8},
+                              {2, 4, 8, 16, 32}),
       make_variant<MgsParams>(System::kTmkOpt, &mgs_tmk_opt, 0.0, {}),
       make_variant<MgsParams>(System::kXhpf, &mgs_xhpf, 1e-5, {4, 8}),
-      make_variant<MgsParams>(System::kPvme, &mgs_pvme, 0.0, {4, 8}),
+      make_variant<MgsParams>(System::kPvme, &mgs_pvme, 0.0, {4, 8},
+                              {2, 4, 8, 16, 32}),
   };
   MgsParams dflt;  // the paper's size (step count == iteration count)
   dflt.n = 1024;
@@ -364,6 +366,10 @@ Workload make_mgs_workload() {
   reduced.n = 48;
   reduced.m = 256;
   w.reduced_params = reduced;
+  MgsParams scale;  // one broadcast per step: messaging-dense at n steps
+  scale.n = 192;
+  scale.m = 256;
+  w.scale_params = scale;
   w.full_params = dflt;  // paper: 1024 x 1024
   // The optimized harness runs the paper size fast enough for ctest.
   w.test_preset = Preset::kDefault;

@@ -54,6 +54,9 @@ struct Variant {
   /// means the variant has preset constraints (e.g. page-aligned rows)
   /// and is covered by a dedicated test instead.
   std::vector<int> checksum_nprocs;
+  /// Process counts bench_scale sweeps this variant at (the paper stops
+  /// at 8; entries up to mpl::kMaxProcs extend it). Empty = not swept.
+  std::vector<int> scale_nprocs;
 };
 
 /// How to map this host's CPU speed onto the paper's SP/2 node for this
@@ -81,6 +84,11 @@ struct Workload {
   std::any default_params;
   std::any reduced_params;
   std::any full_params;
+  /// Message-dense sizes for the transport scale sweeps (bench_scale):
+  /// test-scale dimensions with amplified iteration counts, so host-
+  /// side transport cost — not process spawn or raw compute — dominates
+  /// the wall clock. Falls back to reduced_params when empty.
+  std::any scale_params;
   /// Preset the registry-driven checksum suite runs at. Defaults to the
   /// reduced sizes; workloads cheap enough under the optimized harness
   /// (jacobi, mgs) opt into the full default sizes so integration tests
@@ -139,7 +147,8 @@ namespace detail {
 template <typename Params>
 Variant make_variant(System system,
                      double (*fn)(runner::ChildContext&, const Params&),
-                     double tolerance, std::vector<int> checksum_nprocs) {
+                     double tolerance, std::vector<int> checksum_nprocs,
+                     std::vector<int> scale_nprocs = {}) {
   Variant v;
   v.system = system;
   v.run = [fn](runner::ChildContext& ctx, const std::any& a) {
@@ -147,6 +156,7 @@ Variant make_variant(System system,
   };
   v.tolerance = tolerance;
   v.checksum_nprocs = std::move(checksum_nprocs);
+  v.scale_nprocs = std::move(scale_nprocs);
   return v;
 }
 

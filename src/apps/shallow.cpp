@@ -471,9 +471,11 @@ Workload make_shallow_workload() {
   };
   w.variants = {
       make_variant<ShallowParams>(System::kSpf, &shallow_spf, 0.0, {2, 8}),
-      make_variant<ShallowParams>(System::kTmk, &shallow_tmk, 0.0, {2, 8}),
+      make_variant<ShallowParams>(System::kTmk, &shallow_tmk, 0.0, {2, 8},
+                                  {2, 4, 8, 16, 32}),
       make_variant<ShallowParams>(System::kXhpf, &shallow_xhpf, 0.0, {3, 8}),
-      make_variant<ShallowParams>(System::kPvme, &shallow_pvme, 0.0, {3, 8}),
+      make_variant<ShallowParams>(System::kPvme, &shallow_pvme, 0.0, {3, 8},
+                                  {2, 4, 8, 16, 32}),
   };
   ShallowParams dflt;  // paper grid (page-aligned rows), fewer iterations
   dflt.n = 1023;
@@ -485,6 +487,11 @@ Workload make_shallow_workload() {
   reduced.iters = 3;
   reduced.warmup_iters = 1;
   w.reduced_params = reduced;
+  ShallowParams scale;  // reduced grid, many iterations: messaging-dense
+  scale.n = 96;
+  scale.iters = 64;
+  scale.warmup_iters = 1;
+  w.scale_params = scale;
   ShallowParams full;  // paper: 1024 x 1024, 50 timed iterations
   full.n = 1023;
   full.iters = 50;

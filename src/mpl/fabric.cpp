@@ -1,39 +1,20 @@
 #include "mpl/fabric.hpp"
 
-#include <poll.h>
-#include <sys/eventfd.h>
-#include <sys/socket.h>
-#include <sys/types.h>
-#include <unistd.h>
-
+#include <cstdlib>
 #include <cstring>
+#include <string_view>
 
 #include "common/check.hpp"
+#include "mpl/shm_transport.hpp"
+#include "mpl/socket_transport.hpp"
 
 namespace mpl {
 
 namespace {
 
-constexpr int kSocketBuffer = 512 * 1024;
-
 // Bound on pooled receive buffers per side; beyond this, freed payloads
 // are simply released to the allocator.
 constexpr std::size_t kMaxPooledBuffers = 32;
-
-void make_pair(common::Fd& send_end, common::Fd& recv_end) {
-  int fds[2];
-  COMMON_SYSCALL(socketpair(AF_UNIX, SOCK_SEQPACKET | SOCK_NONBLOCK, 0, fds));
-  for (int fd : fds) {
-    // Best effort: larger buffers reduce pumping; correctness does not
-    // depend on the kernel honouring the full request.
-    (void)setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &kSocketBuffer,
-                     sizeof(kSocketBuffer));
-    (void)setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &kSocketBuffer,
-                     sizeof(kSocketBuffer));
-  }
-  send_end.reset(fds[0]);
-  recv_end.reset(fds[1]);
-}
 
 /// Pops a pooled buffer (capacity reuse) or default-constructs one.
 std::vector<std::byte> take_buffer(
@@ -53,63 +34,49 @@ void give_buffer(std::vector<std::vector<std::byte>>& pool,
 
 }  // namespace
 
-Fabric::Fabric(int nprocs) : nprocs_(nprocs) {
+std::optional<TransportKind> parse_transport(std::string_view name) noexcept {
+  if (name == "socket") return TransportKind::kSocket;
+  if (name == "shm") return TransportKind::kShm;
+  return std::nullopt;
+}
+
+TransportKind transport_from_env(TransportKind fallback) noexcept {
+  const char* env = std::getenv("TMK_TRANSPORT");
+  if (env == nullptr) return fallback;
+  if (auto k = parse_transport(env)) return *k;
+  return fallback;
+}
+
+Fabric::Fabric(int nprocs, TransportKind kind) : nprocs_(nprocs), kind_(kind) {
   COMMON_CHECK_MSG(nprocs >= 1 && nprocs <= kMaxProcs,
                    "nprocs=" << nprocs << " outside [1," << kMaxProcs << "]");
-  const std::size_t pairs =
-      static_cast<std::size_t>(nprocs) * static_cast<std::size_t>(nprocs);
-  svc_send_.resize(pairs);
-  svc_recv_.resize(pairs);
-  app_send_.resize(pairs);
-  app_recv_.resize(pairs);
-  for (int i = 0; i < nprocs; ++i) {
-    for (int j = 0; j < nprocs; ++j) {
-      make_pair(svc_send_[idx(i, j)], svc_recv_[idx(i, j)]);
-      make_pair(app_send_[idx(i, j)], app_recv_[idx(i, j)]);
-    }
-  }
+  state_ = (kind == TransportKind::kShm) ? make_shm_fabric(nprocs)
+                                         : make_socket_fabric(nprocs);
+}
+
+std::unique_ptr<Transport> Fabric::adopt(int rank) {
+  COMMON_CHECK(rank >= 0 && rank < nprocs_ && state_ != nullptr);
+  return state_->adopt(rank);
 }
 
 Endpoint::Endpoint(Fabric& fabric, int rank, simx::MachineModel model)
-    : rank_(rank), nprocs_(fabric.nprocs()), clock_(model) {
-  COMMON_CHECK(rank >= 0 && rank < nprocs_);
-  svc_out_.resize(static_cast<std::size_t>(nprocs_));
-  app_out_.resize(static_cast<std::size_t>(nprocs_));
-  svc_in_.resize(static_cast<std::size_t>(nprocs_));
-  app_in_.resize(static_cast<std::size_t>(nprocs_));
-  for (int j = 0; j < nprocs_; ++j) {
-    svc_out_[static_cast<std::size_t>(j)] =
-        std::move(fabric.svc_send_[fabric.idx(rank, j)]);
-    app_out_[static_cast<std::size_t>(j)] =
-        std::move(fabric.app_send_[fabric.idx(rank, j)]);
-    svc_in_[static_cast<std::size_t>(j)] =
-        std::move(fabric.svc_recv_[fabric.idx(j, rank)]);
-    app_in_[static_cast<std::size_t>(j)] =
-        std::move(fabric.app_recv_[fabric.idx(j, rank)]);
-  }
-  service_wake_.reset(COMMON_SYSCALL(eventfd(0, EFD_NONBLOCK)));
-
-  // Descriptors are fixed for the Endpoint's lifetime: build the poll
-  // arrays once instead of per receive.
-  app_pollfds_.reserve(app_in_.size());
-  for (const auto& fd : app_in_) app_pollfds_.push_back({fd.get(), POLLIN, 0});
-  svc_pollfds_.reserve(svc_in_.size() + 1);
-  for (const auto& fd : svc_in_) svc_pollfds_.push_back({fd.get(), POLLIN, 0});
-  svc_pollfds_.push_back({service_wake_.get(), POLLIN, 0});
-}
+    : rank_(rank),
+      nprocs_(fabric.nprocs()),
+      clock_(model),
+      transport_(fabric.adopt(rank)) {}
 
 void Endpoint::count_if_remote(int dst, FrameKind kind,
                                std::size_t bytes) noexcept {
   if (dst != rank_) counters_.count(kind, bytes);
 }
 
-void Endpoint::send_chunks(int fd, bool pump_while_blocked, FrameKind kind,
-                           std::int32_t tag, std::uint32_t req_id,
+void Endpoint::send_chunks(Lane lane, int dst, bool pump_while_blocked,
+                           FrameKind kind, std::int32_t tag,
+                           std::uint32_t req_id,
                            std::span<const std::byte> payload,
                            std::uint64_t vt_arrival) {
-  // Scatter-gather: header and payload leave in one sendmsg with no
-  // staging copy; the payload bytes are read straight from the caller's
-  // buffer (often the shared page image itself).
+  // The payload bytes travel straight from the caller's buffer (often
+  // the shared page image itself) into the transport; no staging copy.
   const std::size_t total = payload.size();
   std::size_t offset = 0;
   do {
@@ -125,33 +92,12 @@ void Endpoint::send_chunks(int fd, bool pump_while_blocked, FrameKind kind,
     h.offset = static_cast<std::uint32_t>(offset);
     h.vt_arrival = vt_arrival;
 
-    iovec iov[2];
-    iov[0].iov_base = &h;
-    iov[0].iov_len = sizeof(h);
-    iov[1].iov_base = const_cast<std::byte*>(payload.data()) + offset;
-    iov[1].iov_len = len;
-    msghdr msg{};
-    msg.msg_iov = iov;
-    msg.msg_iovlen = (len > 0) ? 2 : 1;
-
-    for (;;) {
-      const ssize_t r = sendmsg(fd, &msg, 0);
-      if (r >= 0) {
-        COMMON_CHECK(static_cast<std::size_t>(r) == sizeof(h) + len);
-        break;
-      }
-      if (errno == EINTR) continue;
-      if (errno == EAGAIN || errno == EWOULDBLOCK) {
-        // Receiver has not drained yet. If we are the main thread, drain
-        // our own inbound app traffic so the peer (possibly blocked on a
-        // send toward us) can make progress; then wait for space.
-        if (pump_while_blocked) pump();
-        pollfd p{fd, POLLOUT, 0};
-        const int pr = poll(&p, 1, pump_while_blocked ? 2 : -1);
-        if (pr < 0 && errno != EINTR) COMMON_SYSCALL(pr);
-        continue;
-      }
-      COMMON_SYSCALL(r);
+    while (!transport_->try_send(lane, dst, h, payload.subspan(offset, len))) {
+      // Receiver has not drained yet. If we are the main thread, drain
+      // our own inbound app traffic so the peer (possibly blocked on a
+      // send toward us) can make progress; then wait for space.
+      if (pump_while_blocked) pump();
+      transport_->wait_send(lane, dst, pump_while_blocked ? 2 : -1);
     }
     offset += len;
   } while (offset < total);
@@ -162,9 +108,8 @@ void Endpoint::send_app(int dst, FrameKind kind, std::int32_t tag,
                         std::span<const std::byte> payload) {
   const std::uint64_t arrival = clock_.on_send(payload.size(), dst == rank_);
   count_if_remote(dst, kind, payload.size());
-  send_chunks(app_out_[static_cast<std::size_t>(dst)].get(),
-              /*pump_while_blocked=*/true, kind, tag, req_id, payload,
-              arrival);
+  send_chunks(Lane::kApp, dst, /*pump_while_blocked=*/true, kind, tag, req_id,
+              payload, arrival);
   // The syscall/copy time is covered by the modelled send cost.
   clock_.skip_transport();
 }
@@ -174,9 +119,8 @@ void Endpoint::send_svc(int dst, FrameKind kind, std::int32_t tag,
                         std::span<const std::byte> payload) {
   const std::uint64_t arrival = clock_.on_send(payload.size(), dst == rank_);
   count_if_remote(dst, kind, payload.size());
-  send_chunks(svc_out_[static_cast<std::size_t>(dst)].get(),
-              /*pump_while_blocked=*/true, kind, tag, req_id, payload,
-              arrival);
+  send_chunks(Lane::kSvc, dst, /*pump_while_blocked=*/true, kind, tag, req_id,
+              payload, arrival);
   clock_.skip_transport();
 }
 
@@ -185,9 +129,8 @@ void Endpoint::send_app_stamped(int dst, FrameKind kind, std::int32_t tag,
                                 std::span<const std::byte> payload,
                                 std::uint64_t vt_arrival) {
   count_if_remote(dst, kind, payload.size());
-  send_chunks(app_out_[static_cast<std::size_t>(dst)].get(),
-              /*pump_while_blocked=*/false, kind, tag, req_id, payload,
-              vt_arrival);
+  send_chunks(Lane::kApp, dst, /*pump_while_blocked=*/false, kind, tag,
+              req_id, payload, vt_arrival);
 }
 
 void Endpoint::send_svc_stamped(int dst, FrameKind kind, std::int32_t tag,
@@ -195,9 +138,8 @@ void Endpoint::send_svc_stamped(int dst, FrameKind kind, std::int32_t tag,
                                 std::span<const std::byte> payload,
                                 std::uint64_t vt_arrival) {
   count_if_remote(dst, kind, payload.size());
-  send_chunks(svc_out_[static_cast<std::size_t>(dst)].get(),
-              /*pump_while_blocked=*/false, kind, tag, req_id, payload,
-              vt_arrival);
+  send_chunks(Lane::kSvc, dst, /*pump_while_blocked=*/false, kind, tag,
+              req_id, payload, vt_arrival);
 }
 
 std::optional<Frame> Endpoint::Assembler::feed(
@@ -246,41 +188,23 @@ std::optional<Frame> Endpoint::Assembler::feed(
 
 void Endpoint::drain_app(bool block) {
   bool got_any = false;
-  do {
-    for (auto& p : app_pollfds_) p.revents = 0;
-    const int timeout = (block && !got_any) ? -1 : 0;
-    const int r = poll(app_pollfds_.data(), app_pollfds_.size(), timeout);
-    if (r < 0) {
-      if (errno == EINTR) continue;
-      COMMON_SYSCALL(r);
-    }
-    if (r == 0) return;
-
-    alignas(FrameHeader) std::byte buf[sizeof(FrameHeader) + kMaxChunk];
-    for (std::size_t i = 0; i < app_pollfds_.size(); ++i) {
-      if (!(app_pollfds_[i].revents & POLLIN)) continue;
-      for (;;) {
-        const ssize_t n = recv(app_pollfds_[i].fd, buf, sizeof(buf), 0);
-        if (n < 0) {
-          if (errno == EINTR) continue;
-          if (errno == EAGAIN || errno == EWOULDBLOCK) break;
-          COMMON_SYSCALL(n);
-        }
-        if (n == 0) break;  // peer exited; channel closed
-        COMMON_CHECK(static_cast<std::size_t>(n) >= sizeof(FrameHeader));
-        FrameHeader h;
-        std::memcpy(&h, buf, sizeof(h));
-        COMMON_CHECK(static_cast<std::size_t>(n) ==
-                     sizeof(FrameHeader) + h.chunk_len);
-        auto done = app_assembler_.feed(
-            h, {buf + sizeof(FrameHeader), h.chunk_len}, app_buffer_pool_);
-        if (done) {
+  // ChunkSink is non-owning: the lambda must outlive it.
+  const auto on_chunk =
+      [this, &got_any](const FrameHeader& h, std::span<const std::byte> chunk) {
+        if (auto done = app_assembler_.feed(h, chunk, app_buffer_pool_)) {
           pending_.push_back(std::move(*done));
           got_any = true;
         }
-      }
-    }
-  } while (block && !got_any);
+      };
+  const ChunkSink sink(on_chunk);
+  for (;;) {
+    // Token before the drain: anything arriving after the drain misses
+    // it bumps the token, so the wait below cannot sleep through it.
+    const std::uint32_t token = transport_->recv_token(Lane::kApp);
+    transport_->drain(Lane::kApp, sink);
+    if (got_any || !block) return;
+    transport_->wait_recv(Lane::kApp, token);
+  }
 }
 
 void Endpoint::pump() { drain_app(/*block=*/false); }
@@ -328,56 +252,29 @@ Frame Endpoint::wait_app_kind_from(FrameKind kind, int src) {
 
 std::optional<Frame> Endpoint::next_svc_request(
     const std::atomic<bool>& stop) {
+  const auto on_chunk =
+      [this](const FrameHeader& h, std::span<const std::byte> chunk) {
+        if (auto done = svc_assembler_.feed(h, chunk, svc_buffer_pool_))
+          svc_pending_.push_back(std::move(*done));
+      };
+  const ChunkSink sink(on_chunk);
   for (;;) {
     if (!svc_pending_.empty()) {
       Frame f = std::move(svc_pending_.front());
       svc_pending_.pop_front();
       return f;
     }
+    const std::uint32_t token = transport_->recv_token(Lane::kSvc);
     if (stop.load(std::memory_order_acquire)) return std::nullopt;
-
-    for (auto& p : svc_pollfds_) p.revents = 0;
-    const int r = poll(svc_pollfds_.data(), svc_pollfds_.size(), -1);
-    if (r < 0) {
-      if (errno == EINTR) continue;
-      COMMON_SYSCALL(r);
-    }
-
-    if (svc_pollfds_.back().revents & POLLIN) {
-      std::uint64_t v;
-      (void)!read(service_wake_.get(), &v, sizeof(v));
-    }
-
-    alignas(FrameHeader) std::byte buf[sizeof(FrameHeader) + kMaxChunk];
-    for (std::size_t i = 0; i + 1 < svc_pollfds_.size(); ++i) {
-      if (!(svc_pollfds_[i].revents & POLLIN)) continue;
-      for (;;) {
-        const ssize_t n = recv(svc_pollfds_[i].fd, buf, sizeof(buf), 0);
-        if (n < 0) {
-          if (errno == EINTR) continue;
-          if (errno == EAGAIN || errno == EWOULDBLOCK) break;
-          COMMON_SYSCALL(n);
-        }
-        if (n == 0) break;  // peer exited; channel closed
-        COMMON_CHECK(static_cast<std::size_t>(n) >= sizeof(FrameHeader));
-        FrameHeader h;
-        std::memcpy(&h, buf, sizeof(h));
-        COMMON_CHECK(static_cast<std::size_t>(n) ==
-                     sizeof(FrameHeader) + h.chunk_len);
-        auto done = svc_assembler_.feed(
-            h, {buf + sizeof(FrameHeader), h.chunk_len}, svc_buffer_pool_);
-        if (done) svc_pending_.push_back(std::move(*done));
-      }
-    }
+    transport_->drain(Lane::kSvc, sink);
+    if (!svc_pending_.empty()) continue;
+    // The token predates both the stop check and the drain: a request
+    // or a wake_service() landing after either makes this return
+    // immediately instead of sleeping through it.
+    transport_->wait_recv(Lane::kSvc, token);
   }
 }
 
-void Endpoint::wake_service() {
-  const std::uint64_t one = 1;
-  for (;;) {
-    const ssize_t r = write(service_wake_.get(), &one, sizeof(one));
-    if (r >= 0 || errno != EINTR) break;
-  }
-}
+void Endpoint::wake_service() { transport_->wake_service(); }
 
 }  // namespace mpl

@@ -1,44 +1,45 @@
-// Process mesh: socket fabric and per-process endpoint.
+// Process mesh: transport-agnostic endpoint core.
 //
-// The parent process builds a full mesh of SOCK_SEQPACKET Unix-domain
-// socket pairs *before* forking the DSM processes, so every child inherits
-// the fabric. Per ordered pair (i -> j) there are two one-directional
-// channels:
+// The parent process builds the interconnect (a Fabric) *before* forking
+// the DSM processes, so every child inherits it. Per ordered pair
+// (i -> j) there are two one-directional channels:
 //
 //   svc[i->j] : anything process i sends to j's *service* thread
 //               (diff/page requests, lock requests and forwards)
 //   app[i->j] : anything process i sends to j's *main* thread
 //               (replies, grants, barrier and fork/join traffic, pvme data)
 //
-// Within one process, both the main thread and the service thread may
-// write to the same outgoing channel; SEQPACKET datagrams keep chunks
-// atomic, and reassembly is keyed by (src, kind, tag, req_id), so chunk
-// streams of distinct logical messages may interleave safely.
+// How chunks cross the host is a Transport concern (transport.hpp):
+// socketpairs or shared-memory rings, selected per run. Everything
+// protocol-visible lives HERE, in the Endpoint — framing, chunked
+// reassembly keyed by (src, kind, tag, req_id), logical-message
+// counters, and virtual-clock charges — which is why modelled results
+// (message counts, bytes, virtual times, checksums) are identical
+// across transports by construction.
 //
-// All sockets are non-blocking. Main-thread sends that would block first
-// drain incoming app traffic into the Inbox ("pumping"), which makes
-// all-to-all patterns deadlock-free without a rendezvous protocol.
+// All transports are non-blocking on the send side. Main-thread sends
+// that would block first drain incoming app traffic into the Inbox
+// ("pumping"), which makes all-to-all patterns deadlock-free without a
+// rendezvous protocol.
 //
-// Hot-path discipline: receives reuse persistent pollfd arrays and a
-// payload-buffer pool, sends are scatter-gather (header + payload in one
-// sendmsg, no staging copy), and the wait predicates are non-owning
-// function references — steady-state traffic allocates only when a
-// payload outgrows every pooled buffer.
+// Hot-path discipline: receives reuse a payload-buffer pool, sends hand
+// the caller's buffer straight to the transport (no staging copy), and
+// the wait predicates are non-owning function references — steady-state
+// traffic allocates only when a payload outgrows every pooled buffer.
 #pragma once
 
 #include <atomic>
 #include <cstddef>
 #include <deque>
+#include <memory>
 #include <optional>
 #include <span>
 #include <unordered_map>
 #include <vector>
 
-#include <poll.h>
-
-#include "common/fd.hpp"
 #include "mpl/counters.hpp"
 #include "mpl/frame.hpp"
+#include "mpl/transport.hpp"
 #include "sim/virtual_clock.hpp"
 
 namespace mpl {
@@ -61,36 +62,34 @@ class FramePredicate {
   bool (*call_)(const void*, const Frame&);
 };
 
-/// Parent-side bundle of all socket pairs. Children call
-/// Endpoint::adopt() with their rank; destroying the Fabric afterwards
-/// closes every descriptor that rank does not own.
+/// Parent-side bundle of the whole interconnect. Children call
+/// Endpoint's constructor with their rank (which adopts their slice);
+/// destroying the Fabric afterwards releases every resource that rank
+/// does not own.
 class Fabric {
  public:
-  explicit Fabric(int nprocs);
+  explicit Fabric(int nprocs, TransportKind kind = TransportKind::kSocket);
+  Fabric(Fabric&&) noexcept = default;
+  Fabric& operator=(Fabric&&) noexcept = default;
 
   [[nodiscard]] int nprocs() const noexcept { return nprocs_; }
+  [[nodiscard]] TransportKind kind() const noexcept { return kind_; }
+
+  /// Builds this rank's Transport, consuming its slice of the parent
+  /// state. Called (once) from the child, via Endpoint.
+  [[nodiscard]] std::unique_ptr<Transport> adopt(int rank);
 
  private:
-  friend class Endpoint;
-
-  // Index of ordered pair (i, j).
-  [[nodiscard]] std::size_t idx(int i, int j) const noexcept {
-    return static_cast<std::size_t>(i) * static_cast<std::size_t>(nprocs_) +
-           static_cast<std::size_t>(j);
-  }
-
-  int nprocs_;
-  // For pair (i,j): *_send_[idx] is i's sending end, *_recv_[idx] is j's
-  // receiving end.
-  std::vector<common::Fd> svc_send_, svc_recv_;
-  std::vector<common::Fd> app_send_, app_recv_;
+  int nprocs_ = 0;
+  TransportKind kind_ = TransportKind::kSocket;
+  std::unique_ptr<FabricState> state_;
 };
 
 /// One process's view of the fabric. Construct in the child with adopt().
 class Endpoint {
  public:
-  /// Takes this rank's descriptors out of the fabric. The caller should
-  /// then destroy the Fabric object to close all foreign descriptors.
+  /// Takes this rank's transport out of the fabric. The caller should
+  /// then destroy the Fabric object to release all foreign resources.
   Endpoint(Fabric& fabric, int rank, simx::MachineModel model);
 
   Endpoint(const Endpoint&) = delete;
@@ -99,6 +98,9 @@ class Endpoint {
   [[nodiscard]] int rank() const noexcept { return rank_; }
   [[nodiscard]] int nprocs() const noexcept { return nprocs_; }
   [[nodiscard]] simx::VirtualClock& clock() noexcept { return clock_; }
+  [[nodiscard]] TransportKind transport_kind() const noexcept {
+    return transport_->kind();
+  }
   [[nodiscard]] Counters counters() const noexcept {
     return counters_.snapshot();
   }
@@ -107,7 +109,7 @@ class Endpoint {
 
   /// Sends a logical message to `dst`'s main thread. Charges the virtual
   /// clock and the message counters. Pumps incoming app traffic if the
-  /// socket is full.
+  /// channel is full.
   void send_app(int dst, FrameKind kind, std::int32_t tag,
                 std::uint32_t req_id, std::span<const std::byte> payload);
 
@@ -170,8 +172,8 @@ class Endpoint {
   // ---- service-thread receive path ----
 
   /// Blocks until a frame arrives on any svc channel or `stop` becomes
-  /// true (checked whenever the eventfd is signalled). Returns nullopt on
-  /// stop.
+  /// true (checked whenever the transport's wait is woken). Returns
+  /// nullopt on stop.
   std::optional<Frame> next_svc_request(const std::atomic<bool>& stop);
 
   /// Wakes the service thread (so it can observe `stop`).
@@ -236,14 +238,14 @@ class Endpoint {
                               std::vector<std::vector<std::byte>>& pool);
   };
 
-  void send_chunks(int fd, bool pump_while_blocked, FrameKind kind,
-                   std::int32_t tag, std::uint32_t req_id,
+  void send_chunks(Lane lane, int dst, bool pump_while_blocked,
+                   FrameKind kind, std::int32_t tag, std::uint32_t req_id,
                    std::span<const std::byte> payload,
                    std::uint64_t vt_arrival);
   void count_if_remote(int dst, FrameKind kind, std::size_t bytes) noexcept;
 
-  // Reads every ready datagram from app channels; appends completed frames
-  // to pending_. If `block`, waits for at least one datagram first.
+  // Drains ready app datagrams; appends completed frames to pending_.
+  // If `block`, waits until at least one frame completes.
   void drain_app(bool block);
 
   int rank_;
@@ -251,16 +253,7 @@ class Endpoint {
   simx::VirtualClock clock_;
   AtomicCounters counters_;
 
-  std::vector<common::Fd> svc_out_;  // my sending ends toward each svc
-  std::vector<common::Fd> app_out_;  // my sending ends toward each main
-  std::vector<common::Fd> svc_in_;   // receiving ends of svc[*, me]
-  std::vector<common::Fd> app_in_;   // receiving ends of app[*, me]
-  common::Fd service_wake_;          // eventfd to wake the service thread
-
-  // Persistent poll arrays (fds never change after construction); the
-  // app array is main-thread-only, the svc array service-thread-only.
-  std::vector<pollfd> app_pollfds_;
-  std::vector<pollfd> svc_pollfds_;  // svc channels + the wake eventfd
+  std::unique_ptr<Transport> transport_;
 
   // Recycled payload buffers. app side: main thread only. svc side:
   // service thread only (frames handed to handlers that run on the

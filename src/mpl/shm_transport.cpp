@@ -1,0 +1,226 @@
+#include "mpl/shm_transport.hpp"
+
+#include <pthread.h>
+#include <sys/mman.h>
+
+#include <climits>
+#include <cstring>
+
+#include "common/check.hpp"
+
+namespace mpl {
+
+namespace {
+
+constexpr std::uint32_t kShmMagic = 0x544d4b53;  // "TMKS"
+
+/// Region prologue, followed by doorbells and ring blocks.
+struct RegionHeader {
+  std::uint32_t magic;
+  std::uint32_t nprocs;
+  std::uint32_t ring_bytes;
+  std::uint32_t reserved;
+};
+
+constexpr std::size_t kAlign = 64;
+
+[[nodiscard]] constexpr std::size_t align_up(std::size_t n) noexcept {
+  return (n + kAlign - 1) & ~(kAlign - 1);
+}
+
+[[nodiscard]] std::size_t ring_block_bytes() noexcept {
+  return align_up(sizeof(RingCtrl)) + kShmRingBytes;
+}
+
+[[nodiscard]] std::size_t rings_per_mesh(int nprocs) noexcept {
+  // (src, dst) ordered pairs x 2 lanes x 2 sender slots.
+  return static_cast<std::size_t>(nprocs) * static_cast<std::size_t>(nprocs) *
+         4;
+}
+
+}  // namespace
+
+/// One per (receiver rank, lane): `seq` counts datagrams pushed toward
+/// that inbox (any source ring) and is the receiver's futex word;
+/// `waiters` advertises a sleeping receiver so senders skip FUTEX_WAKE
+/// on the fast path. The seq_cst RMW pairing in wait_recv/ring_doorbell
+/// makes the sleep lost-wakeup-free (Dekker through the futex word).
+struct alignas(64) ShmTransport::Doorbell {
+  std::atomic<std::uint32_t> seq{0};
+  std::atomic<std::uint32_t> waiters{0};
+};
+
+namespace {
+
+[[nodiscard]] std::size_t doorbells_offset() noexcept {
+  return align_up(sizeof(RegionHeader));
+}
+
+[[nodiscard]] std::size_t rings_offset(int nprocs) noexcept {
+  return align_up(doorbells_offset() +
+                  static_cast<std::size_t>(nprocs) * 2 *
+                      sizeof(ShmTransport::Doorbell));
+}
+
+/// Ring block index of (src, dst, lane, slot).
+[[nodiscard]] std::size_t ring_index(int nprocs, int src, int dst, Lane lane,
+                                     int slot) noexcept {
+  const auto n = static_cast<std::size_t>(nprocs);
+  return ((static_cast<std::size_t>(src) * n + static_cast<std::size_t>(dst)) *
+              2 +
+          static_cast<std::size_t>(lane)) *
+             2 +
+         static_cast<std::size_t>(slot);
+}
+
+[[nodiscard]] SpscRing ring_view(void* base, int nprocs, std::size_t index) {
+  auto* bytes = static_cast<std::byte*>(base);
+  std::byte* block = bytes + rings_offset(nprocs) + index * ring_block_bytes();
+  auto* ctrl = reinterpret_cast<RingCtrl*>(block);
+  return SpscRing(ctrl, block + align_up(sizeof(RingCtrl)), kShmRingBytes);
+}
+
+class ShmFabricState final : public FabricState {
+ public:
+  explicit ShmFabricState(int nprocs) : nprocs_(nprocs) {
+    bytes_ = shm_region_bytes(nprocs);
+    void* p = mmap(nullptr, bytes_, PROT_READ | PROT_WRITE,
+                   MAP_SHARED | MAP_ANONYMOUS | MAP_NORESERVE, -1, 0);
+    COMMON_CHECK_MSG(p != MAP_FAILED, "mmap of shm fabric region failed");
+    base_ = p;
+    // Anonymous pages start zeroed, which is a valid empty state for
+    // every doorbell and ring; only the header needs real values.
+    auto* h = static_cast<RegionHeader*>(base_);
+    h->magic = kShmMagic;
+    h->nprocs = static_cast<std::uint32_t>(nprocs);
+    h->ring_bytes = kShmRingBytes;
+  }
+
+  ~ShmFabricState() override {
+    // Unmap responsibility for this process's view: the adopting
+    // process hands it to its ShmTransport; un-adopted copies (the
+    // parent's, or a child's on an error path before adoption) release
+    // it here. munmap is per-address-space, so the parent unmapping
+    // never disturbs children.
+    if (base_ != nullptr && !adopted_) munmap(base_, bytes_);
+  }
+
+  std::unique_ptr<Transport> adopt(int rank) override {
+    adopted_ = true;
+    return std::make_unique<ShmTransport>(base_, nprocs_, rank,
+                                          /*owns_region=*/true);
+  }
+
+ private:
+  int nprocs_;
+  std::size_t bytes_ = 0;
+  void* base_ = nullptr;
+  bool adopted_ = false;
+};
+
+}  // namespace
+
+std::size_t shm_region_bytes(int nprocs) noexcept {
+  return rings_offset(nprocs) + rings_per_mesh(nprocs) * ring_block_bytes();
+}
+
+ShmTransport::ShmTransport(void* base, int nprocs, int rank, bool owns_region)
+    : nprocs_(nprocs),
+      rank_(rank),
+      base_(base),
+      owns_region_(owns_region),
+      main_thread_(static_cast<unsigned long>(pthread_self())) {
+  const auto* h = static_cast<const RegionHeader*>(base);
+  COMMON_CHECK_MSG(h->magic == kShmMagic &&
+                       h->nprocs == static_cast<std::uint32_t>(nprocs) &&
+                       h->ring_bytes == kShmRingBytes,
+                   "shm fabric region header mismatch");
+  for (int slot = 0; slot < 2; ++slot) {
+    for (int lane = 0; lane < 2; ++lane) {
+      out_[slot][lane].reserve(static_cast<std::size_t>(nprocs));
+      for (int dst = 0; dst < nprocs; ++dst)
+        out_[slot][lane].push_back(ring_view(
+            base, nprocs,
+            ring_index(nprocs, rank, dst, static_cast<Lane>(lane), slot)));
+    }
+  }
+  for (int lane = 0; lane < 2; ++lane) {
+    in_[lane].reserve(static_cast<std::size_t>(nprocs) * 2);
+    for (int src = 0; src < nprocs; ++src)
+      for (int slot = 0; slot < 2; ++slot)
+        in_[lane].push_back(ring_view(
+            base, nprocs,
+            ring_index(nprocs, src, rank, static_cast<Lane>(lane), slot)));
+  }
+}
+
+ShmTransport::~ShmTransport() {
+  if (owns_region_) munmap(base_, shm_region_bytes(nprocs_));
+}
+
+ShmTransport::Doorbell& ShmTransport::doorbell(int rank, Lane lane) noexcept {
+  auto* bells = reinterpret_cast<Doorbell*>(static_cast<std::byte*>(base_) +
+                                            doorbells_offset());
+  return bells[static_cast<std::size_t>(rank) * 2 +
+               static_cast<std::size_t>(lane)];
+}
+
+SpscRing& ShmTransport::out_ring(Lane lane, int dst) noexcept {
+  // Slot 0 is the thread that built the endpoint (the main thread);
+  // anything else — there is exactly one, the service thread — uses
+  // slot 1, keeping every ring single-producer without registration.
+  const int slot =
+      pthread_equal(pthread_self(),
+                    static_cast<pthread_t>(main_thread_)) != 0
+          ? 0
+          : 1;
+  return out_[slot][static_cast<int>(lane)][static_cast<std::size_t>(dst)];
+}
+
+void ShmTransport::ring_doorbell(int dst, Lane lane) noexcept {
+  Doorbell& d = doorbell(dst, lane);
+  d.seq.fetch_add(1, std::memory_order_seq_cst);
+  if (d.waiters.load(std::memory_order_seq_cst) != 0)
+    detail::futex_wake(&d.seq, INT_MAX);
+}
+
+bool ShmTransport::try_send(Lane lane, int dst, const FrameHeader& h,
+                            std::span<const std::byte> chunk) {
+  if (!out_ring(lane, dst).try_push(h, chunk)) return false;
+  ring_doorbell(dst, lane);
+  return true;
+}
+
+void ShmTransport::wait_send(Lane lane, int dst, int timeout_ms) {
+  out_ring(lane, dst).wait_space(timeout_ms);
+}
+
+std::size_t ShmTransport::drain(Lane lane, const ChunkSink& sink) {
+  std::size_t count = 0;
+  for (SpscRing& ring : in_[static_cast<int>(lane)]) count += ring.drain(sink);
+  return count;
+}
+
+std::uint32_t ShmTransport::recv_token(Lane lane) {
+  return doorbell(rank_, lane).seq.load(std::memory_order_acquire);
+}
+
+void ShmTransport::wait_recv(Lane lane, std::uint32_t token) {
+  // Bounded sleep: a spurious return only costs the caller one empty
+  // re-drain, and the bound keeps even a theoretically missed wake from
+  // becoming a hang.
+  constexpr int kMaxSleepMs = 100;
+  Doorbell& d = doorbell(rank_, lane);
+  d.waiters.fetch_add(1, std::memory_order_seq_cst);
+  if (d.seq.load(std::memory_order_seq_cst) == token)
+    detail::futex_wait(&d.seq, token, kMaxSleepMs);
+  d.waiters.fetch_sub(1, std::memory_order_seq_cst);
+}
+
+void ShmTransport::wake_service() { ring_doorbell(rank_, Lane::kSvc); }
+
+std::unique_ptr<FabricState> make_shm_fabric(int nprocs) {
+  return std::make_unique<ShmFabricState>(nprocs);
+}
+
+}  // namespace mpl

@@ -1,0 +1,82 @@
+// Shared-memory mailbox transport: syscall-free datagram delivery.
+//
+// One MAP_SHARED | MAP_ANONYMOUS region is mapped by the parent before
+// forking, so every child inherits it at the same address. Inside it,
+// per (src, dst, lane, sending-thread) there is a lock-free SPSC ring
+// (spsc_ring.hpp) — four rings per ordered pair, so the main and
+// service threads of one process never share a producer cursor, and
+// per-thread FIFO matches what two threads sendmsg()ing one SEQPACKET
+// socket provide. Per (dst, lane) there is additionally a futex
+// doorbell: senders bump a sequence word after each push and issue
+// FUTEX_WAKE only when the receiver has advertised itself asleep, so
+// the steady-state send/receive path performs no syscalls at all —
+// the property Richie et al.'s Epiphany mailbox DSM demonstrates and
+// the reason the modelled 16/32-process sweeps become affordable.
+//
+// Memory footprint: nprocs^2 * 4 rings of 128 KiB. ~513 MiB of address
+// space at 32 processes, but MAP_NORESERVE and touched lazily — idle
+// channels never materialize pages.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "mpl/spsc_ring.hpp"
+#include "mpl/transport.hpp"
+
+namespace mpl {
+
+/// Ring data capacity. Must be at least SpscRing::min_capacity of the
+/// largest datagram (kMaxChunk payload + framing, TWICE over — see
+/// min_capacity's wrap analysis) so chunking stays identical across
+/// transports and a maximum-size push can always make progress.
+inline constexpr std::uint32_t kShmRingBytes = 128 * 1024;
+static_assert(kShmRingBytes >= SpscRing::min_capacity(kMaxChunk));
+
+/// Bytes of shared mapping an nprocs mesh needs.
+[[nodiscard]] std::size_t shm_region_bytes(int nprocs) noexcept;
+
+class ShmTransport final : public Transport {
+ public:
+  /// `base` is the inherited region (already initialized by the
+  /// parent-side fabric state). When `owns_region` is set — the normal
+  /// case for an adopting process — the destructor unmaps this
+  /// process's view, so in-process uses (benches, future thread
+  /// backends) do not leak the mapping.
+  ShmTransport(void* base, int nprocs, int rank, bool owns_region);
+  ~ShmTransport() override;
+
+  struct Doorbell;  // shared-memory futex doorbell, defined in the .cpp
+
+  [[nodiscard]] TransportKind kind() const noexcept override {
+    return TransportKind::kShm;
+  }
+  bool try_send(Lane lane, int dst, const FrameHeader& h,
+                std::span<const std::byte> chunk) override;
+  void wait_send(Lane lane, int dst, int timeout_ms) override;
+  std::size_t drain(Lane lane, const ChunkSink& sink) override;
+  [[nodiscard]] std::uint32_t recv_token(Lane lane) override;
+  void wait_recv(Lane lane, std::uint32_t token) override;
+  void wake_service() override;
+
+ private:
+  [[nodiscard]] SpscRing& out_ring(Lane lane, int dst) noexcept;
+  [[nodiscard]] Doorbell& doorbell(int rank, Lane lane) noexcept;
+  void ring_doorbell(int dst, Lane lane) noexcept;
+
+  int nprocs_;
+  int rank_;
+  void* base_;
+  bool owns_region_;
+  unsigned long main_thread_;  // pthread_t of the constructing thread
+  // Ring views: outgoing indexed [slot][lane][dst], incoming
+  // [lane][src * 2 + slot]. Slot 0 = main thread, slot 1 = the (single)
+  // service thread.
+  std::vector<SpscRing> out_[2][2];
+  std::vector<SpscRing> in_[2];
+};
+
+/// Parent-side: maps and initializes the region, hands out transports.
+[[nodiscard]] std::unique_ptr<FabricState> make_shm_fabric(int nprocs);
+
+}  // namespace mpl

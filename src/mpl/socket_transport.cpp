@@ -1,0 +1,202 @@
+#include "mpl/socket_transport.hpp"
+
+#include <sys/eventfd.h>
+#include <sys/resource.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "common/check.hpp"
+
+namespace mpl {
+
+namespace {
+
+constexpr int kSocketBuffer = 512 * 1024;
+
+void make_pair(common::Fd& send_end, common::Fd& recv_end) {
+  int fds[2];
+  COMMON_SYSCALL(socketpair(AF_UNIX, SOCK_SEQPACKET | SOCK_NONBLOCK, 0, fds));
+  for (int fd : fds) {
+    // Best effort: larger buffers reduce pumping; correctness does not
+    // depend on the kernel honouring the full request.
+    (void)setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &kSocketBuffer,
+                     sizeof(kSocketBuffer));
+    (void)setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &kSocketBuffer,
+                     sizeof(kSocketBuffer));
+  }
+  send_end.reset(fds[0]);
+  recv_end.reset(fds[1]);
+}
+
+/// A 32-process mesh needs 4 * 32^2 = 4096 descriptors in the parent —
+/// past the common 1024 soft limit. Raise the soft limit toward the
+/// hard limit (no privilege needed); construction still fails loudly if
+/// even that is not enough.
+void ensure_fd_headroom(std::size_t need) {
+  rlimit rl{};
+  if (getrlimit(RLIMIT_NOFILE, &rl) != 0) return;
+  if (rl.rlim_cur != RLIM_INFINITY && rl.rlim_cur < need) {
+    rlimit want = rl;
+    want.rlim_cur =
+        (rl.rlim_max == RLIM_INFINITY || rl.rlim_max > need) ? need
+                                                             : rl.rlim_max;
+    (void)setrlimit(RLIMIT_NOFILE, &want);
+  }
+}
+
+class SocketFabricState final : public FabricState {
+ public:
+  explicit SocketFabricState(int nprocs) : nprocs_(nprocs) {
+    const std::size_t pairs =
+        static_cast<std::size_t>(nprocs) * static_cast<std::size_t>(nprocs);
+    ensure_fd_headroom(4 * pairs + 256);
+    for (auto& lane : send_) lane.resize(pairs);
+    for (auto& lane : recv_) lane.resize(pairs);
+    for (std::size_t p = 0; p < pairs; ++p)
+      for (int lane = 0; lane < 2; ++lane)
+        make_pair(send_[lane][p], recv_[lane][p]);
+  }
+
+  std::unique_ptr<Transport> adopt(int rank) override {
+    SocketTransport::Channels ch;
+    for (int lane = 0; lane < 2; ++lane) {
+      ch.out[lane].resize(static_cast<std::size_t>(nprocs_));
+      ch.in[lane].resize(static_cast<std::size_t>(nprocs_));
+      for (int j = 0; j < nprocs_; ++j) {
+        ch.out[lane][static_cast<std::size_t>(j)] =
+            std::move(send_[lane][idx(rank, j)]);
+        ch.in[lane][static_cast<std::size_t>(j)] =
+            std::move(recv_[lane][idx(j, rank)]);
+      }
+    }
+    return std::make_unique<SocketTransport>(std::move(ch));
+  }
+
+ private:
+  [[nodiscard]] std::size_t idx(int i, int j) const noexcept {
+    return static_cast<std::size_t>(i) * static_cast<std::size_t>(nprocs_) +
+           static_cast<std::size_t>(j);
+  }
+
+  int nprocs_;
+  // For pair (i,j): send_[lane][idx] is i's sending end toward j's
+  // `lane`, recv_[lane][idx] is j's receiving end.
+  std::vector<common::Fd> send_[2], recv_[2];
+};
+
+}  // namespace
+
+SocketTransport::SocketTransport(Channels channels) : ch_(std::move(channels)) {
+  service_wake_.reset(COMMON_SYSCALL(eventfd(0, EFD_NONBLOCK)));
+  for (int lane = 0; lane < 2; ++lane) {
+    drain_pollfds_[lane].reserve(ch_.in[lane].size());
+    for (const auto& fd : ch_.in[lane])
+      drain_pollfds_[lane].push_back({fd.get(), POLLIN, 0});
+    wait_pollfds_[lane] = drain_pollfds_[lane];
+  }
+  wait_pollfds_[static_cast<int>(Lane::kSvc)].push_back(
+      {service_wake_.get(), POLLIN, 0});
+}
+
+bool SocketTransport::try_send(Lane lane, int dst, const FrameHeader& h,
+                               std::span<const std::byte> chunk) {
+  // Scatter-gather: header and payload leave in one sendmsg with no
+  // staging copy; the payload bytes are read straight from the caller's
+  // buffer (often the shared page image itself).
+  iovec iov[2];
+  iov[0].iov_base = const_cast<FrameHeader*>(&h);
+  iov[0].iov_len = sizeof(h);
+  iov[1].iov_base = const_cast<std::byte*>(chunk.data());
+  iov[1].iov_len = chunk.size();
+  msghdr msg{};
+  msg.msg_iov = iov;
+  msg.msg_iovlen = chunk.empty() ? 1 : 2;
+  const int fd =
+      ch_.out[static_cast<int>(lane)][static_cast<std::size_t>(dst)].get();
+  for (;;) {
+    const ssize_t r = sendmsg(fd, &msg, 0);
+    if (r >= 0) {
+      COMMON_CHECK(static_cast<std::size_t>(r) == sizeof(h) + chunk.size());
+      return true;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return false;
+    COMMON_SYSCALL(r);
+  }
+}
+
+void SocketTransport::wait_send(Lane lane, int dst, int timeout_ms) {
+  pollfd p{
+      ch_.out[static_cast<int>(lane)][static_cast<std::size_t>(dst)].get(),
+      POLLOUT, 0};
+  const int r = poll(&p, 1, timeout_ms);
+  if (r < 0 && errno != EINTR) COMMON_SYSCALL(r);
+}
+
+std::size_t SocketTransport::drain(Lane lane, const ChunkSink& sink) {
+  auto& pfds = drain_pollfds_[static_cast<int>(lane)];
+  for (auto& p : pfds) p.revents = 0;
+  for (;;) {
+    const int r = poll(pfds.data(), pfds.size(), 0);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      COMMON_SYSCALL(r);
+    }
+    if (r == 0) return 0;
+    break;
+  }
+  std::size_t count = 0;
+  alignas(FrameHeader) std::byte buf[sizeof(FrameHeader) + kMaxChunk];
+  for (auto& p : pfds) {
+    if (!(p.revents & POLLIN)) continue;
+    for (;;) {
+      const ssize_t n = recv(p.fd, buf, sizeof(buf), 0);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+        COMMON_SYSCALL(n);
+      }
+      if (n == 0) break;  // peer exited; channel closed
+      COMMON_CHECK(static_cast<std::size_t>(n) >= sizeof(FrameHeader));
+      FrameHeader h;
+      std::memcpy(&h, buf, sizeof(h));
+      COMMON_CHECK(static_cast<std::size_t>(n) ==
+                   sizeof(FrameHeader) + h.chunk_len);
+      sink(h, {buf + sizeof(FrameHeader), h.chunk_len});
+      ++count;
+    }
+  }
+  return count;
+}
+
+void SocketTransport::wait_recv(Lane lane, std::uint32_t /*token*/) {
+  // Level-triggered: queued datagrams keep their descriptor readable, so
+  // the pre-drain token is unnecessary here.
+  auto& pfds = wait_pollfds_[static_cast<int>(lane)];
+  for (auto& p : pfds) p.revents = 0;
+  const int r = poll(pfds.data(), pfds.size(), -1);
+  if (r < 0) {
+    if (errno == EINTR) return;
+    COMMON_SYSCALL(r);
+  }
+  if (lane == Lane::kSvc && (pfds.back().revents & POLLIN)) {
+    std::uint64_t v;
+    (void)!read(service_wake_.get(), &v, sizeof(v));
+  }
+}
+
+void SocketTransport::wake_service() {
+  const std::uint64_t one = 1;
+  for (;;) {
+    const ssize_t r = write(service_wake_.get(), &one, sizeof(one));
+    if (r >= 0 || errno != EINTR) break;
+  }
+}
+
+std::unique_ptr<FabricState> make_socket_fabric(int nprocs) {
+  return std::make_unique<SocketFabricState>(nprocs);
+}
+
+}  // namespace mpl

@@ -1,0 +1,56 @@
+// SOCK_SEQPACKET socketpair transport — the original fabric wiring.
+//
+// Per ordered process pair (i -> j) and lane there is one one-directional
+// socketpair; SEQPACKET keeps datagram chunks atomic, so two sending
+// threads may share an outgoing descriptor and their chunk streams
+// interleave without tearing. All descriptors are non-blocking; blocking
+// waits go through poll() over persistent pollfd arrays, and the service
+// lane's wait additionally watches an eventfd for wake_service().
+#pragma once
+
+#include <poll.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/fd.hpp"
+#include "mpl/transport.hpp"
+
+namespace mpl {
+
+class SocketTransport final : public Transport {
+ public:
+  /// This rank's descriptors, indexed [lane][peer].
+  struct Channels {
+    std::vector<common::Fd> out[2];
+    std::vector<common::Fd> in[2];
+  };
+
+  explicit SocketTransport(Channels channels);
+
+  [[nodiscard]] TransportKind kind() const noexcept override {
+    return TransportKind::kSocket;
+  }
+  bool try_send(Lane lane, int dst, const FrameHeader& h,
+                std::span<const std::byte> chunk) override;
+  void wait_send(Lane lane, int dst, int timeout_ms) override;
+  std::size_t drain(Lane lane, const ChunkSink& sink) override;
+  [[nodiscard]] std::uint32_t recv_token(Lane) override { return 0; }
+  void wait_recv(Lane lane, std::uint32_t token) override;
+  void wake_service() override;
+
+ private:
+  Channels ch_;
+  common::Fd service_wake_;  // eventfd observed by the kSvc wait
+  // Persistent poll arrays (descriptors never change): [lane] over the
+  // inbound fds; the kSvc wait array carries the eventfd last. drain()
+  // and wait_recv() on a lane run on that lane's single receiving
+  // thread, so the arrays are not shared between threads.
+  std::vector<pollfd> drain_pollfds_[2];
+  std::vector<pollfd> wait_pollfds_[2];
+};
+
+/// Parent-side state: the full socket mesh, built before forking.
+[[nodiscard]] std::unique_ptr<FabricState> make_socket_fabric(int nprocs);
+
+}  // namespace mpl

@@ -1,0 +1,136 @@
+// Transport abstraction: the interconnect under the process mesh.
+//
+// The Endpoint core (fabric.hpp) owns everything protocol-visible —
+// framing, chunking, reassembly, message/byte counters, virtual-clock
+// charges. A Transport only moves opaque datagram chunks between
+// processes, so the modelled results (message counts, bytes, virtual
+// times, checksums) are bit-identical across backends by construction;
+// only the *host-side* cost of moving a chunk differs. Two backends:
+//
+//   SocketTransport (socket_transport.hpp)
+//       SOCK_SEQPACKET Unix-domain socketpairs, one per directed
+//       channel; sendmsg/recv/poll per datagram. The original fabric.
+//
+//   ShmTransport (shm_transport.hpp)
+//       Per-(pair, lane, sending-thread) lock-free SPSC byte rings in
+//       one MAP_SHARED region inherited through the runner's fork, with
+//       futex-based blocking — the steady-state datagram path performs
+//       no syscalls at all.
+//
+// Delivery contract both backends honour (what the Endpoint's
+// reassembly relies on): datagrams are never corrupted, duplicated, or
+// dropped, and datagrams pushed by ONE sending thread toward one
+// (destination, lane) arrive in push order. Datagrams from different
+// sending threads (a peer's main and service threads share outgoing
+// channels) may interleave arbitrarily, exactly as two threads
+// sendmsg()ing one socket interleave.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string_view>
+
+#include "mpl/frame.hpp"
+
+namespace mpl {
+
+/// Which interconnect a run's process mesh is built on.
+enum class TransportKind : std::uint8_t { kSocket = 0, kShm = 1 };
+
+[[nodiscard]] constexpr const char* to_string(TransportKind k) noexcept {
+  return k == TransportKind::kShm ? "shm" : "socket";
+}
+
+/// Parses a transport name ("socket" or "shm"); nullopt on anything else.
+[[nodiscard]] std::optional<TransportKind> parse_transport(
+    std::string_view name) noexcept;
+
+/// The process-wide default: TMK_TRANSPORT=socket|shm when set (and
+/// valid), else `fallback`.
+[[nodiscard]] TransportKind transport_from_env(
+    TransportKind fallback = TransportKind::kSocket) noexcept;
+
+/// The two delivery targets inside every destination process: its
+/// service thread and its main thread. A directed channel is (src, dst,
+/// lane).
+enum class Lane : std::uint8_t { kSvc = 0, kApp = 1 };
+
+/// Non-owning reference to a `void(const FrameHeader&, chunk)` datagram
+/// consumer — same trick as FramePredicate: receive paths hand the
+/// transport a capturing lambda without a std::function allocation.
+class ChunkSink {
+ public:
+  template <typename F>
+  ChunkSink(const F& f) noexcept  // NOLINT(google-explicit-constructor)
+      : obj_(&f), call_([](const void* o, const FrameHeader& h,
+                           std::span<const std::byte> chunk) {
+          (*static_cast<const F*>(o))(h, chunk);
+        }) {}
+
+  void operator()(const FrameHeader& h,
+                  std::span<const std::byte> chunk) const {
+    call_(obj_, h, chunk);
+  }
+
+ private:
+  const void* obj_;
+  void (*call_)(const void*, const FrameHeader&, std::span<const std::byte>);
+};
+
+/// One process's view of the interconnect. Constructed by Fabric::adopt
+/// in the forked child; used by exactly two threads — the main thread
+/// (kApp receives, sends on either lane) and the service thread (kSvc
+/// receives, sends on either lane).
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  [[nodiscard]] virtual TransportKind kind() const noexcept = 0;
+
+  /// Attempts to enqueue one datagram (header + chunk) toward `dst`'s
+  /// `lane`. Returns false when the channel is full — the caller may
+  /// pump its own inbound traffic and retry (the deadlock-freedom
+  /// discipline of the socket fabric).
+  virtual bool try_send(Lane lane, int dst, const FrameHeader& h,
+                        std::span<const std::byte> chunk) = 0;
+
+  /// Blocks until the (lane, dst) channel plausibly has space again, or
+  /// `timeout_ms` elapsed (negative = no caller deadline; the backend
+  /// may still wake spuriously). Only meaningful right after a failed
+  /// try_send from the same thread.
+  virtual void wait_send(Lane lane, int dst, int timeout_ms) = 0;
+
+  /// Non-blocking: feeds every ready inbound datagram on `lane` to
+  /// `sink`, in per-sending-thread order. Returns the datagram count.
+  /// The chunk span is only valid during the sink call.
+  virtual std::size_t drain(Lane lane, const ChunkSink& sink) = 0;
+
+  /// Samples the arrival state of `lane` for a lost-wakeup-free wait:
+  /// a token taken BEFORE a drain, passed to wait_recv AFTER the drain
+  /// came up empty, guarantees wait_recv returns promptly if anything
+  /// arrived in between. (Level-triggered backends may ignore it.)
+  [[nodiscard]] virtual std::uint32_t recv_token(Lane lane) = 0;
+
+  /// Blocks until new datagrams may be ready on `lane` — or, for
+  /// Lane::kSvc, until wake_service() was called. Spurious returns are
+  /// allowed; callers re-check their condition in a loop.
+  virtual void wait_recv(Lane lane, std::uint32_t token) = 0;
+
+  /// Wakes a wait_recv(Lane::kSvc) blocked in the service thread (used
+  /// for shutdown). Callable from the main thread.
+  virtual void wake_service() = 0;
+};
+
+/// Parent-side backend state, built by the Fabric BEFORE forking so
+/// every child inherits it (descriptors or a shared mapping). adopt()
+/// is called at most once per rank, in that rank's child process.
+class FabricState {
+ public:
+  virtual ~FabricState() = default;
+  [[nodiscard]] virtual std::unique_ptr<Transport> adopt(int rank) = 0;
+};
+
+}  // namespace mpl

@@ -75,6 +75,7 @@ void write_report(int fd, const ProcReport& r) {
     report.checksum = checksum;
     report.vt_ns = endpoint.measured_vt();
     report.cpu_ns = common::thread_cpu_ns();
+    report.host_transport_ns = endpoint.clock().host_transport_ns();
     report.counters = endpoint.measured_counters();
     report.ok = 1;
   } catch (const std::exception& e) {
@@ -95,11 +96,21 @@ void write_report(int fd, const ProcReport& r) {
 
 }  // namespace
 
+/// Human-readable waitpid status for run-failure diagnostics.
+std::string describe_wait_status(int status) {
+  if (WIFEXITED(status))
+    return "exited with status " + std::to_string(WEXITSTATUS(status));
+  if (WIFSIGNALED(status))
+    return "killed by signal " + std::to_string(WTERMSIG(status));
+  return "wait status " + std::to_string(status);
+}
+
 RunResult spawn(int nprocs, const SpawnOptions& options, const ChildFn& fn) {
   COMMON_CHECK(nprocs >= 1 && nprocs <= mpl::kMaxProcs);
 
+  const std::uint64_t wall_start_ns = common::wall_ns();
   HeapMapping heap(options.shared_heap_bytes);
-  mpl::Fabric fabric(nprocs);
+  mpl::Fabric fabric(nprocs, options.transport);
 
   std::vector<common::Fd> report_r(static_cast<std::size_t>(nprocs));
   std::vector<common::Fd> report_w(static_cast<std::size_t>(nprocs));
@@ -132,9 +143,14 @@ RunResult spawn(int nprocs, const SpawnOptions& options, const ChildFn& fn) {
   }
   for (auto& w : report_w) w.reset();
 
-  // Gather reports with a watchdog.
+  // Gather reports with a watchdog. Any terminal child failure — EOF
+  // on its result pipe before a full report (crash, _exit, abort) or a
+  // delivered report with ok == 0 — aborts the gather immediately: the
+  // surviving children would otherwise block forever on the dead peer
+  // and turn one crash into a watchdog timeout.
   RunResult result;
   result.nprocs = nprocs;
+  result.transport = options.transport;
   result.procs.resize(static_cast<std::size_t>(nprocs));
   std::vector<std::size_t> got(static_cast<std::size_t>(nprocs), 0);
 
@@ -142,9 +158,10 @@ RunResult spawn(int nprocs, const SpawnOptions& options, const ChildFn& fn) {
       common::wall_ns() +
       static_cast<std::uint64_t>(options.timeout_sec) * 1'000'000'000ULL;
   bool timed_out = false;
+  int failed_rank = -1;
 
   std::size_t done = 0;
-  while (done < static_cast<std::size_t>(nprocs)) {
+  while (done < static_cast<std::size_t>(nprocs) && failed_rank < 0) {
     std::vector<pollfd> pfds;
     std::vector<int> ranks;
     for (int i = 0; i < nprocs; ++i) {
@@ -182,46 +199,67 @@ RunResult spawn(int nprocs, const SpawnOptions& options, const ChildFn& fn) {
         COMMON_SYSCALL(n);
       }
       if (n == 0) {
-        // EOF before a full report: the child crashed. waitpid below
-        // will tell us how.
+        // EOF before a full report: the child is gone without telling
+        // us why (crash, bare _exit). Fail the run now.
         if (off < sizeof(ProcReport)) {
           rep.ok = 0;
           std::snprintf(rep.error, sizeof(rep.error),
                         "process exited without a report");
           off = sizeof(ProcReport);
           ++done;
+          failed_rank = rank;
         }
         continue;
       }
       off += static_cast<std::size_t>(n);
-      if (off == sizeof(ProcReport)) ++done;
+      if (off == sizeof(ProcReport)) {
+        ++done;
+        if (rep.ok != 1) failed_rank = rank;
+      }
     }
   }
 
-  if (timed_out) {
+  if (timed_out || failed_rank >= 0) {
     for (pid_t pid : pids)
       if (pid > 0) kill(pid, SIGKILL);
   }
-  std::string crash;
-  for (int i = 0; i < nprocs; ++i) {
-    int status = 0;
-    (void)waitpid(pids[static_cast<std::size_t>(i)], &status, 0);
-    if (WIFSIGNALED(status)) {
-      crash += "proc " + std::to_string(i) + " killed by signal " +
-               std::to_string(WTERMSIG(status)) + "; ";
+  std::vector<int> wait_status(static_cast<std::size_t>(nprocs), 0);
+  for (int i = 0; i < nprocs; ++i)
+    (void)waitpid(pids[static_cast<std::size_t>(i)],
+                  &wait_status[static_cast<std::size_t>(i)], 0);
+
+  if (timed_out) {
+    std::string crash;
+    for (int i = 0; i < nprocs; ++i) {
+      const int status = wait_status[static_cast<std::size_t>(i)];
+      if (WIFSIGNALED(status) && WTERMSIG(status) != SIGKILL)
+        crash += "proc " + std::to_string(i) + " " +
+                 describe_wait_status(status) + "; ";
     }
+    COMMON_CHECK_MSG(false, "run timed out after " << options.timeout_sec
+                                                   << "s; " << crash);
   }
-  COMMON_CHECK_MSG(!timed_out, "run timed out after " << options.timeout_sec
-                                                      << "s; " << crash);
+  if (failed_rank >= 0) {
+    const auto& rep = result.procs[static_cast<std::size_t>(failed_rank)];
+    COMMON_CHECK_MSG(
+        false, "proc " << failed_rank << " failed ("
+                       << describe_wait_status(
+                              wait_status[static_cast<std::size_t>(
+                                  failed_rank)])
+                       << "): " << rep.error
+                       << "; surviving processes were aborted");
+  }
   for (int i = 0; i < nprocs; ++i) {
     const auto& rep = result.procs[static_cast<std::size_t>(i)];
-    COMMON_CHECK_MSG(rep.ok == 1, "proc " << i << " failed: " << rep.error
-                                          << ' ' << crash);
+    COMMON_CHECK_MSG(rep.ok == 1, "proc " << i << " failed: " << rep.error);
     result.max_vt_ns = std::max(result.max_vt_ns, rep.vt_ns);
     result.total_cpu_ns += rep.cpu_ns;
+    result.total_host_transport_ns += rep.host_transport_ns;
     result.total += rep.counters;
   }
   result.checksum = result.procs[0].checksum;
+  result.host_wall_s =
+      static_cast<double>(common::wall_ns() - wall_start_ns) * 1e-9;
   return result;
 }
 

@@ -31,6 +31,7 @@ struct ProcReport {
   double checksum = 0.0;
   std::uint64_t vt_ns = 0;       // final virtual time
   std::uint64_t cpu_ns = 0;      // raw main-thread CPU
+  std::uint64_t host_transport_ns = 0;  // host CPU discarded as transport cost
   mpl::Counters counters{};
   char error[192] = {};
 };
@@ -39,9 +40,12 @@ static_assert(std::is_trivially_copyable_v<ProcReport>);
 /// Aggregated outcome of one multi-process run.
 struct RunResult {
   int nprocs = 0;
+  mpl::TransportKind transport = mpl::TransportKind::kSocket;
   double checksum = 0.0;           // proc 0's checksum
   std::uint64_t max_vt_ns = 0;     // modelled parallel execution time
   std::uint64_t total_cpu_ns = 0;
+  std::uint64_t total_host_transport_ns = 0;
+  double host_wall_s = 0.0;        // real wall time of the whole run
   mpl::Counters total{};           // summed over processes
   std::vector<ProcReport> procs;
 
@@ -70,10 +74,18 @@ struct SpawnOptions {
   simx::MachineModel model = simx::MachineModel::sp2();
   std::size_t shared_heap_bytes = 512ull * 1024 * 1024;
   int timeout_sec = 600;  // watchdog: kill and fail the run if exceeded
+  /// Interconnect the mesh is built on. The modelled results are
+  /// transport-invariant; only host-side cost differs. Defaults to
+  /// TMK_TRANSPORT=socket|shm when set, else the socket backend.
+  mpl::TransportKind transport = mpl::transport_from_env();
 };
 
 /// Forks `nprocs` children, runs `fn` in each, and aggregates results.
-/// Throws common::Error if any child fails, crashes, or times out.
+/// Throws common::Error if any child fails, crashes, or times out. A
+/// child that dies before delivering its report (or reports failure)
+/// aborts the whole run immediately — the remaining children are
+/// killed rather than left blocking on the dead peer until the
+/// watchdog — and the error carries the child's rank and wait status.
 RunResult spawn(int nprocs, const SpawnOptions& options, const ChildFn& fn);
 
 /// Convenience for sequential baselines: one process, no communication;

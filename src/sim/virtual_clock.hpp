@@ -89,11 +89,26 @@ class VirtualClock {
     vt_ns_ += interrupt_ns_.exchange(0, std::memory_order_relaxed);
   }
 
-  /// Discards host CPU burned since the last event (socket syscalls,
-  /// pumping): modelled costs already cover it. A no-op in protocol
-  /// mode, where the whole window is dropped at section exit anyway.
+  /// Discards host CPU burned since the last event (transport syscalls,
+  /// ring copies, pumping): modelled costs already cover it. A no-op in
+  /// protocol mode, where the whole window is dropped at section exit
+  /// anyway. The discarded cycles are tallied per transport-visible
+  /// window in `host_transport_ns_` — a host-cost diagnostic the scale
+  /// benches report per backend; it never feeds the virtual time, so
+  /// modelled results stay transport-invariant.
   void skip_transport() noexcept {
-    if (!protocol_mode_) last_cpu_ns_ = common::thread_cpu_ns();
+    if (!protocol_mode_) {
+      const std::uint64_t now = common::thread_cpu_ns();
+      host_transport_ns_ += now - last_cpu_ns_;
+      last_cpu_ns_ = now;
+    }
+  }
+
+  /// Host CPU discarded by skip_transport so far: the main thread's
+  /// real cost of moving bytes (outside DSM protocol sections, whose
+  /// windows are indivisible and excluded).
+  [[nodiscard]] std::uint64_t host_transport_ns() const noexcept {
+    return host_transport_ns_;
   }
 
   /// Jump the clock forward to at least `vt` (used when a collective
@@ -123,6 +138,7 @@ class VirtualClock {
   MachineModel model_;
   std::uint64_t vt_ns_ = 0;
   std::uint64_t last_cpu_ns_ = 0;
+  std::uint64_t host_transport_ns_ = 0;
   bool protocol_mode_ = false;
   std::atomic<std::uint64_t> interrupt_ns_{0};
 };

@@ -42,7 +42,7 @@ Runtime::Runtime(runner::ChildContext& ctx, Options options)
     heap_len_ = common::align_down(options_.heap_limit_bytes,
                                    common::kPageSize);
   num_pages_ = heap_len_ / common::kPageSize;
-  COMMON_CHECK_MSG(num_pages_ < (1u << 28),
+  COMMON_CHECK_MSG(num_pages_ < (1u << 27),
                    "heap too large for packed write-notice keys");
   pages_.resize(num_pages_);
   page_ext_.resize(num_pages_);

@@ -291,19 +291,19 @@ class Runtime {
   std::vector<LockState> locks_;
 
   // Packs one pre-applied write-notice identity into a FlatSet64 key:
-  // creator in the top 4 bits, seq in the middle 32, page in the low 28
-  // (checked at startup: num_pages_ < 2^28, nprocs <= 16).
+  // creator in the top 5 bits, seq in the middle 32, page in the low 27
+  // (checked at startup: num_pages_ < 2^27, nprocs <= 32).
   [[nodiscard]] static std::uint64_t pack_preapplied(
       ProcId creator, Seq seq, PageIndex page) noexcept {
-    static_assert(mpl::kMaxProcs <= 16, "creator must fit in 4 bits");
-    return (static_cast<std::uint64_t>(creator) << 60) |
-           (static_cast<std::uint64_t>(seq) << 28) |
+    static_assert(mpl::kMaxProcs <= 32, "creator must fit in 5 bits");
+    return (static_cast<std::uint64_t>(creator) << 59) |
+           (static_cast<std::uint64_t>(seq) << 27) |
            static_cast<std::uint64_t>(page);
   }
   /// The (creator, seq) identity of a packed key, for prefix erasure.
   [[nodiscard]] static std::uint64_t preapplied_prefix(
       std::uint64_t key) noexcept {
-    return key >> 28;
+    return key >> 27;
   }
 
   [[nodiscard]] std::unique_ptr<std::byte[]> take_twin_buffer();

@@ -3,10 +3,12 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <string>
 #include <numeric>
 
 #include "common/prng.hpp"
 #include "mpl/fabric.hpp"
+#include "mpl/transport.hpp"
 #include "runner/runner.hpp"
 
 namespace {
@@ -59,8 +61,28 @@ TEST(Counters, PlusEquals) {
 
 // ---- multi-process transport behaviour -------------------------------
 
-TEST(Endpoint, PingPongSmall) {
-  auto result = runner::spawn(2, fast_options(), [](runner::ChildContext& c) {
+/// Every multi-process transport test runs on both backends: the
+/// delivery contract (framing, ordering, reassembly, counters, virtual
+/// time) is transport-invariant by design, and this suite is what
+/// enforces it.
+class EndpointTest : public ::testing::TestWithParam<mpl::TransportKind> {
+ protected:
+  [[nodiscard]] runner::SpawnOptions popts() const {
+    runner::SpawnOptions o = fast_options();
+    o.transport = GetParam();
+    return o;
+  }
+};
+
+INSTANTIATE_TEST_SUITE_P(
+    Transports, EndpointTest,
+    ::testing::Values(mpl::TransportKind::kSocket, mpl::TransportKind::kShm),
+    [](const ::testing::TestParamInfo<mpl::TransportKind>& info) {
+      return std::string(mpl::to_string(info.param));
+    });
+
+TEST_P(EndpointTest, PingPongSmall) {
+  auto result = runner::spawn(2, popts(), [](runner::ChildContext& c) {
     auto& ep = c.endpoint;
     const auto payload = make_payload(64, 1);
     if (ep.rank() == 0) {
@@ -76,9 +98,9 @@ TEST(Endpoint, PingPongSmall) {
   EXPECT_DOUBLE_EQ(result.checksum, 1.0);
 }
 
-TEST(Endpoint, LargeMessageChunksReassemble) {
+TEST_P(EndpointTest, LargeMessageChunksReassemble) {
   // 1 MiB >> kMaxChunk forces multi-chunk reassembly.
-  auto result = runner::spawn(2, fast_options(), [](runner::ChildContext& c) {
+  auto result = runner::spawn(2, popts(), [](runner::ChildContext& c) {
     auto& ep = c.endpoint;
     const std::size_t n = (1 << 20) + 12345;
     const auto payload = make_payload(n, 2);
@@ -96,12 +118,12 @@ TEST(Endpoint, LargeMessageChunksReassemble) {
 // Chunk-boundary property: payloads straddling SEQPACKET datagram
 // limits — one byte under/at/over kMaxChunk and multi-chunk sizes —
 // must reassemble bit-exactly on the app channel.
-TEST(Endpoint, ChunkBoundaryPayloadsReassemble) {
+TEST_P(EndpointTest, ChunkBoundaryPayloadsReassemble) {
   const std::size_t sizes[] = {mpl::kMaxChunk - 1, mpl::kMaxChunk,
                                mpl::kMaxChunk + 1, 2 * mpl::kMaxChunk,
                                2 * mpl::kMaxChunk + 17};
   auto result =
-      runner::spawn(2, fast_options(), [&sizes](runner::ChildContext& c) {
+      runner::spawn(2, popts(), [&sizes](runner::ChildContext& c) {
         auto& ep = c.endpoint;
         double ok = 1.0;
         std::uint32_t req = 1;
@@ -126,8 +148,8 @@ TEST(Endpoint, ChunkBoundaryPayloadsReassemble) {
 
 // Same boundary sizes through the service channel: requests straddling
 // several datagrams must reassemble before the handler sees them.
-TEST(Endpoint, SvcChannelMultiChunkRequestsReassemble) {
-  auto result = runner::spawn(2, fast_options(), [](runner::ChildContext& c) {
+TEST_P(EndpointTest, SvcChannelMultiChunkRequestsReassemble) {
+  auto result = runner::spawn(2, popts(), [](runner::ChildContext& c) {
     auto& ep = c.endpoint;
     const std::size_t n = 3 * mpl::kMaxChunk + 5;
     const auto payload = make_payload(n, 9);
@@ -149,10 +171,10 @@ TEST(Endpoint, SvcChannelMultiChunkRequestsReassemble) {
   EXPECT_DOUBLE_EQ(result.procs[1].checksum, 1.0);
 }
 
-TEST(Endpoint, SimultaneousLargeSendsDoNotDeadlock) {
+TEST_P(EndpointTest, SimultaneousLargeSendsDoNotDeadlock) {
   // Both ranks send 4 MiB at each other before receiving; the pumping
   // send path must drain to make progress.
-  auto result = runner::spawn(2, fast_options(), [](runner::ChildContext& c) {
+  auto result = runner::spawn(2, popts(), [](runner::ChildContext& c) {
     auto& ep = c.endpoint;
     const std::size_t n = 4 << 20;
     const auto mine = make_payload(n, 10 + static_cast<unsigned>(ep.rank()));
@@ -166,10 +188,10 @@ TEST(Endpoint, SimultaneousLargeSendsDoNotDeadlock) {
   EXPECT_DOUBLE_EQ(result.procs[1].checksum, 1.0);
 }
 
-TEST(Endpoint, PendingQueueFiltersByKind) {
+TEST_P(EndpointTest, PendingQueueFiltersByKind) {
   // Rank 0 sends PING then PONG; rank 1 waits for PONG first — the PING
   // must remain queued and be delivered afterwards.
-  auto result = runner::spawn(2, fast_options(), [](runner::ChildContext& c) {
+  auto result = runner::spawn(2, popts(), [](runner::ChildContext& c) {
     auto& ep = c.endpoint;
     if (ep.rank() == 0) {
       const auto a = make_payload(16, 3);
@@ -188,8 +210,8 @@ TEST(Endpoint, PendingQueueFiltersByKind) {
   EXPECT_DOUBLE_EQ(result.procs[1].checksum, 1.0);
 }
 
-TEST(Endpoint, TagFifoPerSource) {
-  auto result = runner::spawn(2, fast_options(), [](runner::ChildContext& c) {
+TEST_P(EndpointTest, TagFifoPerSource) {
+  auto result = runner::spawn(2, popts(), [](runner::ChildContext& c) {
     auto& ep = c.endpoint;
     if (ep.rank() == 0) {
       for (int i = 0; i < 50; ++i) {
@@ -213,8 +235,8 @@ TEST(Endpoint, TagFifoPerSource) {
   EXPECT_DOUBLE_EQ(result.procs[1].checksum, 1.0);
 }
 
-TEST(Endpoint, CountersCountLogicalMessagesOnce) {
-  auto result = runner::spawn(2, fast_options(), [](runner::ChildContext& c) {
+TEST_P(EndpointTest, CountersCountLogicalMessagesOnce) {
+  auto result = runner::spawn(2, popts(), [](runner::ChildContext& c) {
     auto& ep = c.endpoint;
     const std::size_t n = 200 * 1024;  // forces chunking
     if (ep.rank() == 0) {
@@ -230,8 +252,8 @@ TEST(Endpoint, CountersCountLogicalMessagesOnce) {
   EXPECT_EQ(result.procs[1].counters.messages[other], 0u);  // recv free
 }
 
-TEST(Endpoint, SelfMessagesUncounted) {
-  auto result = runner::spawn(1, fast_options(), [](runner::ChildContext& c) {
+TEST_P(EndpointTest, SelfMessagesUncounted) {
+  auto result = runner::spawn(1, popts(), [](runner::ChildContext& c) {
     auto& ep = c.endpoint;
     ep.send_app(0, mpl::FrameKind::kTestPing, 0, 1, make_payload(32, 6));
     auto f = ep.wait_app_kind(mpl::FrameKind::kTestPing);
@@ -241,10 +263,10 @@ TEST(Endpoint, SelfMessagesUncounted) {
   EXPECT_EQ(result.total.total_messages(), 0u);
 }
 
-TEST(Endpoint, ManyToOneFanIn) {
+TEST_P(EndpointTest, ManyToOneFanIn) {
   constexpr int kProcs = 8;
   auto result =
-      runner::spawn(kProcs, fast_options(), [](runner::ChildContext& c) {
+      runner::spawn(kProcs, popts(), [](runner::ChildContext& c) {
         auto& ep = c.endpoint;
         if (ep.rank() == 0) {
           double sum = 0;
@@ -264,10 +286,10 @@ TEST(Endpoint, ManyToOneFanIn) {
   EXPECT_DOUBLE_EQ(result.checksum, 1.0 + 2 + 3 + 4 + 5 + 6 + 7);
 }
 
-TEST(Endpoint, ServiceThreadRequestReply) {
+TEST_P(EndpointTest, ServiceThreadRequestReply) {
   // Rank 1 runs a service thread answering one request; rank 0 sends a
   // svc request and waits for the stamped reply.
-  auto result = runner::spawn(2, fast_options(), [](runner::ChildContext& c) {
+  auto result = runner::spawn(2, popts(), [](runner::ChildContext& c) {
     auto& ep = c.endpoint;
     if (ep.rank() == 1) {
       std::atomic<bool> stop{false};
@@ -289,8 +311,8 @@ TEST(Endpoint, ServiceThreadRequestReply) {
 }
 
 // Virtual time: a two-hop relay should accumulate latency at each hop.
-TEST(Endpoint, VirtualTimeAccumulatesAlongChain) {
-  runner::SpawnOptions opts = fast_options();
+TEST_P(EndpointTest, VirtualTimeAccumulatesAlongChain) {
+  runner::SpawnOptions opts = popts();
   opts.model.latency_ns = 1'000'000;  // 1 ms
   opts.model.send_overhead_ns = 0;
   opts.model.recv_overhead_ns = 0;
@@ -313,6 +335,33 @@ TEST(Endpoint, VirtualTimeAccumulatesAlongChain) {
   EXPECT_EQ(result.max_vt_ns,
             std::max({result.procs[0].vt_ns, result.procs[1].vt_ns,
                       result.procs[2].vt_ns}));
+}
+
+
+// Full-width fan-in at kMaxProcs: exercises the 32-process mesh on both
+// backends (the socket path needs the RLIMIT_NOFILE headroom bump, the
+// shm path a 4096-ring region).
+TEST_P(EndpointTest, ManyToOneFanInMaxProcs) {
+  auto result =
+      runner::spawn(mpl::kMaxProcs, popts(), [](runner::ChildContext& c) {
+        auto& ep = c.endpoint;
+        if (ep.rank() == 0) {
+          double sum = 0;
+          for (int i = 1; i < ep.nprocs(); ++i) {
+            auto f = ep.wait_app_kind(mpl::FrameKind::kTestPing);
+            double v;
+            std::memcpy(&v, f.payload.data(), sizeof(v));
+            sum += v;
+          }
+          return sum;
+        }
+        const double v = ep.rank();
+        ep.send_app(0, mpl::FrameKind::kTestPing, 0, 1,
+                    {reinterpret_cast<const std::byte*>(&v), sizeof(v)});
+        return 0.0;
+      });
+  const int n = mpl::kMaxProcs;
+  EXPECT_DOUBLE_EQ(result.checksum, static_cast<double>(n * (n - 1) / 2));
 }
 
 }  // namespace

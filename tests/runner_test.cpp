@@ -2,8 +2,11 @@
 #include <gtest/gtest.h>
 
 #include <sys/mman.h>
+#include <unistd.h>
 
+#include <chrono>
 #include <cstring>
+#include <string>
 
 #include "common/check.hpp"
 #include "runner/runner.hpp"
@@ -95,6 +98,32 @@ TEST(Runner, CpuScaleMultipliesVirtualTime) {
                        static_cast<double>(r1.max_vt_ns);
   EXPECT_GT(ratio, 4.0);
   EXPECT_LT(ratio, 16.0);
+}
+
+// A child that dies before delivering its report must fail the run
+// immediately (with its rank and wait status), not leave the survivors
+// blocked on the dead peer until the watchdog fires.
+TEST(Runner, ChildDeathWithoutReportFailsFast) {
+  auto opts = fast_options();
+  opts.timeout_sec = 120;  // watchdog far beyond the fail-fast budget
+  const auto t0 = std::chrono::steady_clock::now();
+  try {
+    runner::spawn(2, opts, [](runner::ChildContext& c) -> double {
+      if (c.endpoint.rank() == 1) _exit(7);  // no report, no unwind
+      // Rank 0 blocks on a message that will never arrive.
+      (void)c.endpoint.wait_app_kind(mpl::FrameKind::kTestPing);
+      return 0.0;
+    });
+    FAIL() << "spawn should have thrown";
+  } catch (const common::Error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("proc 1"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("exited with status 7"), std::string::npos) << msg;
+  }
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  EXPECT_LT(elapsed, 30.0) << "run hung instead of failing fast";
 }
 
 TEST(Runner, RejectsTooManyProcs) {

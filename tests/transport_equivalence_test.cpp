@@ -1,0 +1,216 @@
+// Cross-transport invariance suite.
+//
+// The point of the Transport split is that the interconnect is
+// invisible to the modelled system: what the paper reports — checksums,
+// message and byte counts, modelled execution times — must not depend
+// on whether datagrams crossed socketpairs or shared-memory rings.
+// This suite runs registry workloads on both backends under a
+// deterministic model (communication constants from the SP/2 model,
+// compute scaled to zero so host timing noise cannot enter the virtual
+// clock) and asserts the strongest invariant each protocol admits:
+//
+//  - Message-passing variants (kPvme) have a FIXED communication
+//    schedule, so everything is asserted bit-identical across
+//    transports: checksums, per-layer message/byte counters, and
+//    per-process virtual times.
+//  - TreadMarks variants are asserted checksum-identical, plus a
+//    controlled protocol run asserting barrier/lock/fault counts and
+//    message totals. Their full traffic totals are NOT compared
+//    bit-wise: lazy diff flushing makes them schedule-dependent on any
+//    transport (one flush covers every interval closed before the
+//    first request arrives, so a request racing the writer's next
+//    barrier can save or cost a message run-to-run), and lock-using
+//    workloads (fft, igrid, nbf) additionally order their reductions
+//    by contention order — for those the checksum contract against the
+//    sequential baseline (tolerance from the variant table) is the
+//    invariant.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cctype>
+#include <string>
+#include <vector>
+
+#include "apps/registry.hpp"
+#include "common/checksum.hpp"
+#include "mpl/transport.hpp"
+#include "runner/runner.hpp"
+#include "tmk/runtime.hpp"
+
+namespace {
+
+/// Deterministic model: all communication/protocol charges are the
+/// SP/2 constants, but measured host CPU is multiplied by zero — the
+/// virtual clock then depends only on the protocol event sequence.
+runner::SpawnOptions det_options(mpl::TransportKind t) {
+  runner::SpawnOptions o;
+  o.model = simx::MachineModel::sp2();
+  o.model.cpu_scale = 0.0;
+  o.shared_heap_bytes = 256ull << 20;
+  o.timeout_sec = 300;
+  o.transport = t;
+  return o;
+}
+
+struct Case {
+  const apps::Workload* w = nullptr;
+  const apps::Variant* v = nullptr;
+  int nprocs = 0;
+  /// Lock-order-dependent reductions: checksums differ run-to-run by
+  /// reassociation, so only the vs-sequential contract transfers.
+  bool lock_dependent = false;
+};
+
+std::string case_name(const Case& c) {
+  std::string s = c.w->key + "_";
+  for (const char* p = apps::to_string(c.v->system); *p != '\0'; ++p)
+    if (std::isalnum(static_cast<unsigned char>(*p)))
+      s += static_cast<char>(std::tolower(static_cast<unsigned char>(*p)));
+  return s + "_" + std::to_string(c.nprocs);
+}
+
+// ---- DSM variants: checksum invariance -------------------------------
+
+std::vector<Case> dsm_cases() {
+  const std::vector<std::string> lock_users = {"fft", "igrid", "nbf"};
+  std::vector<Case> cases;
+  for (const apps::Workload& w : apps::all_workloads()) {
+    const apps::Variant* v = w.find(apps::System::kTmk);
+    if (v == nullptr) v = &w.variants.front();
+    if (v->checksum_nprocs.empty()) continue;
+    const bool lock_dependent =
+        std::find(lock_users.begin(), lock_users.end(), w.key) !=
+        lock_users.end();
+    cases.push_back({&w, v, v->checksum_nprocs.front(), lock_dependent});
+  }
+  return cases;
+}
+
+class CrossTransportDsm : public ::testing::TestWithParam<Case> {};
+
+TEST_P(CrossTransportDsm, ChecksumsAreTransportInvariant) {
+  const Case c = GetParam();
+  const std::any& params = c.w->params(c.w->test_preset);
+  const auto socket = apps::run_workload(
+      *c.w, c.v->system, c.nprocs, det_options(mpl::TransportKind::kSocket),
+      params);
+  const auto shm = apps::run_workload(*c.w, c.v->system, c.nprocs,
+                                      det_options(mpl::TransportKind::kShm),
+                                      params);
+  if (c.lock_dependent) {
+    const double expect = c.w->seq(params, nullptr);
+    for (const auto* r : {&socket, &shm}) {
+      if (c.v->tolerance > 0)
+        EXPECT_TRUE(
+            common::checksum_close(r->checksum, expect, c.v->tolerance))
+            << c.w->key << ": " << r->checksum << " vs " << expect;
+      else
+        EXPECT_DOUBLE_EQ(r->checksum, expect) << c.w->key;
+    }
+    return;
+  }
+  for (int p = 0; p < c.nprocs; ++p)
+    EXPECT_DOUBLE_EQ(socket.procs[static_cast<std::size_t>(p)].checksum,
+                     shm.procs[static_cast<std::size_t>(p)].checksum)
+        << c.w->key << " proc " << p;
+}
+
+INSTANTIATE_TEST_SUITE_P(Registry, CrossTransportDsm,
+                         ::testing::ValuesIn(dsm_cases()),
+                         [](const auto& info) {
+                           return case_name(info.param);
+                         });
+
+// ---- message-passing variants: full bit-equality ---------------------
+
+std::vector<Case> mp_cases() {
+  std::vector<Case> cases;
+  for (const apps::Workload& w : apps::all_workloads()) {
+    const apps::Variant* v = w.find(apps::System::kPvme);
+    if (v == nullptr || v->checksum_nprocs.empty()) continue;
+    cases.push_back({&w, v, v->checksum_nprocs.front(), false});
+  }
+  return cases;
+}
+
+class CrossTransportMp : public ::testing::TestWithParam<Case> {};
+
+TEST_P(CrossTransportMp, ModelledResultsAreBitIdentical) {
+  const Case c = GetParam();
+  const std::any& params = c.w->params(c.w->test_preset);
+  const auto socket = apps::run_workload(
+      *c.w, c.v->system, c.nprocs, det_options(mpl::TransportKind::kSocket),
+      params);
+  const auto shm = apps::run_workload(*c.w, c.v->system, c.nprocs,
+                                      det_options(mpl::TransportKind::kShm),
+                                      params);
+  EXPECT_DOUBLE_EQ(socket.checksum, shm.checksum) << c.w->key;
+  EXPECT_EQ(socket.max_vt_ns, shm.max_vt_ns) << c.w->key;
+  for (std::size_t l = 0; l < socket.total.messages.size(); ++l) {
+    EXPECT_EQ(socket.total.messages[l], shm.total.messages[l])
+        << c.w->key << " layer " << l;
+    EXPECT_EQ(socket.total.bytes[l], shm.total.bytes[l])
+        << c.w->key << " layer " << l;
+  }
+  for (int p = 0; p < c.nprocs; ++p) {
+    EXPECT_EQ(socket.procs[static_cast<std::size_t>(p)].vt_ns,
+              shm.procs[static_cast<std::size_t>(p)].vt_ns)
+        << c.w->key << " proc " << p;
+    EXPECT_DOUBLE_EQ(socket.procs[static_cast<std::size_t>(p)].checksum,
+                     shm.procs[static_cast<std::size_t>(p)].checksum)
+        << c.w->key << " proc " << p;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Registry, CrossTransportMp,
+                         ::testing::ValuesIn(mp_cases()),
+                         [](const auto& info) {
+                           return case_name(info.param);
+                         });
+
+// ---- controlled tmk protocol run --------------------------------------
+
+// A fixed barrier/lock/shared-write schedule whose protocol event
+// counts are deterministic by construction: every process returns a
+// digest of its stats (barriers, lock acquires, write faults), which
+// must match across transports. (Message totals are intentionally not
+// compared — the manager-side lock chaining makes self-forwards, which
+// are uncounted, contention-order-dependent on any transport.)
+constexpr int kProcs = 4;
+constexpr int kRounds = 5;
+
+TEST(CrossTransportTmk, BarrierLockFaultAndMessageCountsIdentical) {
+  auto run = [&](mpl::TransportKind t) {
+    return runner::spawn(kProcs, det_options(t), [](runner::ChildContext& c) {
+      tmk::Runtime rt(c);
+      auto* data = rt.alloc<std::int64_t>(1024 * rt.nprocs());
+      auto* cell = rt.alloc<std::int64_t>(1);
+      for (int iter = 0; iter < kRounds; ++iter) {
+        rt.barrier();
+        const int me = rt.rank();
+        data[1024 * me + iter] = 100 * me + iter;
+        rt.lock_acquire(3);
+        *cell += 1;  // contended, but the sum is order-independent
+        rt.lock_release(3);
+        rt.barrier();
+        const int peer = (me + 1) % rt.nprocs();
+        if (data[1024 * peer + iter] != 100 * peer + iter) return -1.0;
+      }
+      rt.barrier();
+      if (*cell != kProcs * kRounds) return -2.0;
+      return static_cast<double>(rt.stats().barriers) * 1e6 +
+             static_cast<double>(rt.stats().lock_acquires) * 1e3 +
+             static_cast<double>(rt.stats().write_faults);
+    });
+  };
+  const auto socket = run(mpl::TransportKind::kSocket);
+  const auto shm = run(mpl::TransportKind::kShm);
+  for (int p = 0; p < kProcs; ++p) {
+    EXPECT_GT(socket.procs[static_cast<std::size_t>(p)].checksum, 0.0);
+    EXPECT_DOUBLE_EQ(socket.procs[static_cast<std::size_t>(p)].checksum,
+                     shm.procs[static_cast<std::size_t>(p)].checksum)
+        << "proc " << p;
+  }
+}
+
+}  // namespace
