@@ -43,6 +43,7 @@ inline runner::SpawnOptions paper_options() {
   o.shared_heap_bytes = 512ull << 20;
   o.timeout_sec = 1200;
   o.transport = opts().transport;  // --transport / TMK_TRANSPORT
+  o.backend = opts().backend;      // --backend / TMK_BACKEND
   return o;
 }
 
@@ -61,7 +62,8 @@ struct Row {
   std::string app;
   std::string system;
   std::string size;  // params label, e.g. "2048^2 x 10"
-  std::string transport;      // interconnect of the run ("socket"/"shm")
+  std::string transport;      // interconnect ("socket"/"shm"/"inproc")
+  std::string backend;        // rank execution ("process"/"thread")
   int nprocs = 0;
   double speedup = 0.0;       // vs the same app's sequential virtual time
   double seconds = 0.0;       // modelled parallel seconds
@@ -127,7 +129,8 @@ class Report {
            << json_escape(r.app) << "\", \"system\": \""
            << json_escape(r.system) << "\", \"size\": \""
            << json_escape(r.size) << "\", \"transport\": \""
-           << json_escape(r.transport) << "\", \"nprocs\": " << r.nprocs
+           << json_escape(r.transport) << "\", \"backend\": \""
+           << json_escape(r.backend) << "\", \"nprocs\": " << r.nprocs
            << ", \"speedup\": " << r.speedup
            << ", \"seconds\": " << r.seconds
            << ", \"host_wall_s\": " << r.host_wall_s
@@ -193,6 +196,7 @@ inline Row record(const std::string& app, apps::System system, int nprocs,
   row.system = apps::to_string(system);
   row.size = size;
   row.transport = mpl::to_string(r.transport);
+  row.backend = runner::to_string(r.backend);
   row.nprocs = nprocs;
   row.seconds = r.seconds();
   row.speedup = (r.seconds() > 0) ? seq_seconds / r.seconds() : 0.0;

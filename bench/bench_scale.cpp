@@ -18,6 +18,7 @@
 //
 //   ./bench_scale                          # both transports, registry sweep
 //   ./bench_scale --transport=shm          # one transport only
+//   ./bench_scale --backend=thread         # rank threads on the inproc mesh
 //   ./bench_scale --nprocs-list=16,32      # override the sweep points
 //
 // Sizes follow the registry's scale preset (test-scale dimensions with
@@ -40,6 +41,10 @@ const std::any& scale_params(const apps::Workload& w) {
 }
 
 std::vector<mpl::TransportKind> transports() {
+  // The thread backend always runs the in-process mesh; sweeping the
+  // fork transports under it would just measure inproc twice.
+  if (bench::opts().backend == runner::Backend::kThread)
+    return {mpl::TransportKind::kInproc};
   if (bench::opts().transport_set) return {bench::opts().transport};
   return {mpl::TransportKind::kSocket, mpl::TransportKind::kShm};
 }
@@ -92,11 +97,11 @@ int main(int argc, char** argv) {
   std::cout << "\n=== scale sweep (modelled speedup and host cost per "
                "transport) ===\n";
   common::TextTable t;
-  t.header({"application", "system", "transport", "nprocs", "speedup",
-            "time(s)", "host wall(s)", "host cpu(s)"});
+  t.header({"application", "system", "transport", "backend", "nprocs",
+            "speedup", "time(s)", "host wall(s)", "host cpu(s)"});
   for (const bench::Row& r : bench::Report::instance().rows()) {
     if (r.nprocs < 2) continue;  // seq baseline rows
-    t.row({r.app, r.system, r.transport, std::to_string(r.nprocs),
+    t.row({r.app, r.system, r.transport, r.backend, std::to_string(r.nprocs),
            common::TextTable::num(r.speedup, 2),
            common::TextTable::num(r.seconds, 3),
            common::TextTable::num(r.host_wall_s, 3),

@@ -23,7 +23,9 @@ struct Shared {
   double* dot = nullptr;
   std::size_t n = 0;
 };
-Shared g;
+// The compiler's "common block": per rank, so thread_local — under the
+// thread backend every rank binds pointers into its OWN heap.
+thread_local Shared g;
 
 struct LoopArgs {
   std::uint64_t n;

@@ -166,7 +166,9 @@ struct SpfFftState {
   FftParams p{};
   bool aggregate = false;  // §5.4 optimization
 };
-SpfFftState g_fft;
+// Per-rank: each rank thread (thread backend) or process (fork backend)
+// binds its own copy of the compiler's "common block".
+thread_local SpfFftState g_fft;
 
 struct FftArgs {
   std::int32_t iter;

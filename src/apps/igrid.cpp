@@ -142,7 +142,7 @@ struct SpfIGridState {
   double* red = nullptr;  // shared cells: sum, max, min
   std::size_t n = 0;
 };
-SpfIGridState g_ig;
+thread_local SpfIGridState g_ig;  // per-rank (see fft3d.cpp)
 
 struct IGridLoopArgs {
   std::uint32_t flip;  // buf[flip] is "old", buf[1-flip] is "new"

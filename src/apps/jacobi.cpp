@@ -96,7 +96,7 @@ struct SpfJacobiState {
   bool push_aggregation = false;  // the §5.1 hand optimization
   bool pushed_before = false;     // has a push from the previous iteration
 };
-SpfJacobiState g_jac;
+thread_local SpfJacobiState g_jac;  // per-rank (see fft3d.cpp)
 
 struct JacobiLoopArgs {
   std::uint64_t n;

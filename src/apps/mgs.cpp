@@ -78,7 +78,7 @@ struct SpfMgsState {
   float* a = nullptr;
   std::size_t n = 0, m = 0;
 };
-SpfMgsState g_mgs;
+thread_local SpfMgsState g_mgs;  // per-rank (see fft3d.cpp)
 
 struct MgsLoopArgs {
   std::uint64_t i;

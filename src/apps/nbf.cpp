@@ -138,7 +138,7 @@ struct SpfNbfState {
   std::int32_t* partners = nullptr;
   NbfParams p;
 };
-SpfNbfState g_nbf;
+thread_local SpfNbfState g_nbf;  // per-rank (see fft3d.cpp)
 
 dist::Range nbf_block(const spf::Runtime& rt, std::size_t nmol) {
   return rt.own_block(nmol);

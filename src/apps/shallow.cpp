@@ -199,7 +199,7 @@ struct SpfShallowState {
   Grids g;
   std::size_t n = 0;
 };
-SpfShallowState g_sw;
+thread_local SpfShallowState g_sw;  // per-rank (see fft3d.cpp)
 
 dist::Range sw_rows(const spf::Runtime& rt) {
   return rt.own_block(g_sw.g.dim);

@@ -5,6 +5,7 @@
 #include <string_view>
 
 #include "common/check.hpp"
+#include "mpl/inproc_transport.hpp"
 #include "mpl/shm_transport.hpp"
 #include "mpl/socket_transport.hpp"
 
@@ -37,6 +38,7 @@ void give_buffer(std::vector<std::vector<std::byte>>& pool,
 std::optional<TransportKind> parse_transport(std::string_view name) noexcept {
   if (name == "socket") return TransportKind::kSocket;
   if (name == "shm") return TransportKind::kShm;
+  if (name == "inproc") return TransportKind::kInproc;
   return std::nullopt;
 }
 
@@ -50,8 +52,17 @@ TransportKind transport_from_env(TransportKind fallback) noexcept {
 Fabric::Fabric(int nprocs, TransportKind kind) : nprocs_(nprocs), kind_(kind) {
   COMMON_CHECK_MSG(nprocs >= 1 && nprocs <= kMaxProcs,
                    "nprocs=" << nprocs << " outside [1," << kMaxProcs << "]");
-  state_ = (kind == TransportKind::kShm) ? make_shm_fabric(nprocs)
-                                         : make_socket_fabric(nprocs);
+  switch (kind) {
+    case TransportKind::kShm:
+      state_ = make_shm_fabric(nprocs);
+      break;
+    case TransportKind::kInproc:
+      state_ = make_inproc_fabric(nprocs);
+      break;
+    case TransportKind::kSocket:
+      state_ = make_socket_fabric(nprocs);
+      break;
+  }
 }
 
 std::unique_ptr<Transport> Fabric::adopt(int rank) {

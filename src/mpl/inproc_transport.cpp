@@ -1,0 +1,46 @@
+#include "mpl/inproc_transport.hpp"
+
+#include <sys/mman.h>
+
+#include "common/check.hpp"
+
+namespace mpl {
+
+namespace {
+
+class InprocFabricState final : public FabricState {
+ public:
+  explicit InprocFabricState(int nprocs) : nprocs_(nprocs) {
+    bytes_ = shm_region_bytes(nprocs);
+    // A private anonymous mapping: zeroed, page-aligned, lazily
+    // materialized — plain process memory with no sharing semantics.
+    void* p = mmap(nullptr, bytes_, PROT_READ | PROT_WRITE,
+                   MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE, -1, 0);
+    COMMON_CHECK_MSG(p != MAP_FAILED, "mmap of inproc fabric region failed");
+    base_ = p;
+    init_ring_region(base_, nprocs);
+  }
+
+  ~InprocFabricState() override {
+    if (base_ != nullptr) munmap(base_, bytes_);
+  }
+
+  std::unique_ptr<Transport> adopt(int rank) override {
+    // Called once per rank, possibly concurrently from the rank
+    // threads: no mutable state, just a view.
+    return std::make_unique<InprocTransport>(base_, nprocs_, rank);
+  }
+
+ private:
+  int nprocs_;
+  std::size_t bytes_ = 0;
+  void* base_ = nullptr;
+};
+
+}  // namespace
+
+std::unique_ptr<FabricState> make_inproc_fabric(int nprocs) {
+  return std::make_unique<InprocFabricState>(nprocs);
+}
+
+}  // namespace mpl

@@ -1,0 +1,39 @@
+// In-process mailbox transport: the thread backend's interconnect.
+//
+// The same per-(src, dst, lane, sending-thread) SPSC ring mesh as
+// ShmTransport (spsc_ring.hpp), but over plain process-private memory:
+// every rank is a thread of ONE address space, so there is no fork to
+// inherit through, no fd plumbing, and no MAP_SHARED — the fabric is a
+// single private anonymous mapping owned by the parent-side state,
+// which stays alive until every rank thread has joined. Futex-based
+// blocking works unchanged on private memory, so the steady-state
+// datagram path is as syscall-free as the shm backend's.
+//
+// Because all ranks share the address space, adopt() may be called for
+// every rank (concurrently, from the rank threads); the transports are
+// non-owning views and the InprocFabricState releases the region when
+// the run harness destroys the Fabric after joining the rank threads.
+#pragma once
+
+#include <memory>
+
+#include "mpl/shm_transport.hpp"
+#include "mpl/transport.hpp"
+
+namespace mpl {
+
+class InprocTransport final : public ShmTransport {
+ public:
+  /// Non-owning view of an initialized ring region; lifetime is managed
+  /// by the InprocFabricState that created it.
+  InprocTransport(void* base, int nprocs, int rank)
+      : ShmTransport(base, nprocs, rank, /*owns_region=*/false,
+                     TransportKind::kInproc) {}
+};
+
+/// Allocates and initializes a process-private ring region; adopt() may
+/// be called once per rank, from any thread. The region is released
+/// when the state is destroyed — after every transport view is gone.
+[[nodiscard]] std::unique_ptr<FabricState> make_inproc_fabric(int nprocs);
+
+}  // namespace mpl

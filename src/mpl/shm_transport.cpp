@@ -88,12 +88,7 @@ class ShmFabricState final : public FabricState {
                    MAP_SHARED | MAP_ANONYMOUS | MAP_NORESERVE, -1, 0);
     COMMON_CHECK_MSG(p != MAP_FAILED, "mmap of shm fabric region failed");
     base_ = p;
-    // Anonymous pages start zeroed, which is a valid empty state for
-    // every doorbell and ring; only the header needs real values.
-    auto* h = static_cast<RegionHeader*>(base_);
-    h->magic = kShmMagic;
-    h->nprocs = static_cast<std::uint32_t>(nprocs);
-    h->ring_bytes = kShmRingBytes;
+    init_ring_region(base_, nprocs);
   }
 
   ~ShmFabricState() override {
@@ -124,11 +119,22 @@ std::size_t shm_region_bytes(int nprocs) noexcept {
   return rings_offset(nprocs) + rings_per_mesh(nprocs) * ring_block_bytes();
 }
 
-ShmTransport::ShmTransport(void* base, int nprocs, int rank, bool owns_region)
+void init_ring_region(void* base, int nprocs) noexcept {
+  // Zeroed pages are a valid empty state for every doorbell and ring;
+  // only the header needs real values.
+  auto* h = static_cast<RegionHeader*>(base);
+  h->magic = kShmMagic;
+  h->nprocs = static_cast<std::uint32_t>(nprocs);
+  h->ring_bytes = kShmRingBytes;
+}
+
+ShmTransport::ShmTransport(void* base, int nprocs, int rank, bool owns_region,
+                           TransportKind kind)
     : nprocs_(nprocs),
       rank_(rank),
       base_(base),
       owns_region_(owns_region),
+      kind_(kind),
       main_thread_(static_cast<unsigned long>(pthread_self())) {
   const auto* h = static_cast<const RegionHeader*>(base);
   COMMON_CHECK_MSG(h->magic == kShmMagic &&

@@ -36,20 +36,29 @@ static_assert(kShmRingBytes >= SpscRing::min_capacity(kMaxChunk));
 /// Bytes of shared mapping an nprocs mesh needs.
 [[nodiscard]] std::size_t shm_region_bytes(int nprocs) noexcept;
 
-class ShmTransport final : public Transport {
+/// Writes the region prologue (magic, nprocs, ring geometry) into a
+/// zeroed `shm_region_bytes(nprocs)` block. Zero pages are a valid
+/// empty state for every doorbell and ring, so this is all the
+/// initialization a fresh region needs. Shared by the fork-inherited
+/// MAP_SHARED fabric and the in-process fabric (inproc_transport.hpp).
+void init_ring_region(void* base, int nprocs) noexcept;
+
+class ShmTransport : public Transport {
  public:
   /// `base` is the inherited region (already initialized by the
   /// parent-side fabric state). When `owns_region` is set — the normal
   /// case for an adopting process — the destructor unmaps this
-  /// process's view, so in-process uses (benches, future thread
-  /// backends) do not leak the mapping.
-  ShmTransport(void* base, int nprocs, int rank, bool owns_region);
+  /// process's view, so in-process uses (benches, the thread backend's
+  /// InprocTransport) do not leak the mapping. `kind` lets the
+  /// in-process reuse report itself distinctly.
+  ShmTransport(void* base, int nprocs, int rank, bool owns_region,
+               TransportKind kind = TransportKind::kShm);
   ~ShmTransport() override;
 
   struct Doorbell;  // shared-memory futex doorbell, defined in the .cpp
 
   [[nodiscard]] TransportKind kind() const noexcept override {
-    return TransportKind::kShm;
+    return kind_;
   }
   bool try_send(Lane lane, int dst, const FrameHeader& h,
                 std::span<const std::byte> chunk) override;
@@ -68,6 +77,7 @@ class ShmTransport final : public Transport {
   int rank_;
   void* base_;
   bool owns_region_;
+  TransportKind kind_;
   unsigned long main_thread_;  // pthread_t of the constructing thread
   // Ring views: outgoing indexed [slot][lane][dst], incoming
   // [lane][src * 2 + slot]. Slot 0 = main thread, slot 1 = the (single)

@@ -17,6 +17,11 @@
 //       futex-based blocking — the steady-state datagram path performs
 //       no syscalls at all.
 //
+//   InprocTransport (inproc_transport.hpp)
+//       The same ring mesh over plain process-private memory, for the
+//       runner's thread backend where all "processes" are threads of
+//       one address space: no fork, no fd inheritance, no MAP_SHARED.
+//
 // Delivery contract both backends honour (what the Endpoint's
 // reassembly relies on): datagrams are never corrupted, duplicated, or
 // dropped, and datagrams pushed by ONE sending thread toward one
@@ -37,14 +42,25 @@
 
 namespace mpl {
 
-/// Which interconnect a run's process mesh is built on.
-enum class TransportKind : std::uint8_t { kSocket = 0, kShm = 1 };
+/// Which interconnect a run's process mesh is built on. kInproc only
+/// works when every rank lives in one address space (the runner's
+/// thread backend); the fork-based backends cannot use it.
+enum class TransportKind : std::uint8_t { kSocket = 0, kShm = 1, kInproc = 2 };
 
 [[nodiscard]] constexpr const char* to_string(TransportKind k) noexcept {
-  return k == TransportKind::kShm ? "shm" : "socket";
+  switch (k) {
+    case TransportKind::kShm:
+      return "shm";
+    case TransportKind::kInproc:
+      return "inproc";
+    case TransportKind::kSocket:
+      break;
+  }
+  return "socket";
 }
 
-/// Parses a transport name ("socket" or "shm"); nullopt on anything else.
+/// Parses a transport name ("socket", "shm", or "inproc"); nullopt on
+/// anything else.
 [[nodiscard]] std::optional<TransportKind> parse_transport(
     std::string_view name) noexcept;
 

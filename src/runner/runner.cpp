@@ -6,9 +6,15 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <condition_variable>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <deque>
 #include <memory>
+#include <mutex>
+#include <thread>
 
 #include "common/check.hpp"
 #include "common/cpu_clock.hpp"
@@ -16,6 +22,19 @@
 #include "sim/virtual_clock.hpp"
 
 namespace runner {
+
+std::optional<Backend> parse_backend(std::string_view name) noexcept {
+  if (name == "process") return Backend::kProcess;
+  if (name == "thread") return Backend::kThread;
+  return std::nullopt;
+}
+
+Backend backend_from_env(Backend fallback) noexcept {
+  const char* env = std::getenv("TMK_BACKEND");
+  if (env == nullptr) return fallback;
+  if (auto b = parse_backend(env)) return *b;
+  return fallback;
+}
 
 namespace {
 
@@ -94,6 +113,111 @@ void write_report(int fd, const ProcReport& r) {
   _exit(report.ok != 0u ? 0 : 1);
 }
 
+/// Checks every rank's report and sums them into the run-level fields.
+/// `who` names a rank in failure messages ("proc" for forked children,
+/// "rank" for backend threads).
+void aggregate_reports(RunResult& result, std::uint64_t wall_start_ns,
+                       const char* who) {
+  for (int i = 0; i < result.nprocs; ++i) {
+    const auto& rep = result.procs[static_cast<std::size_t>(i)];
+    COMMON_CHECK_MSG(rep.ok == 1, who << ' ' << i << " failed: " << rep.error);
+    result.max_vt_ns = std::max(result.max_vt_ns, rep.vt_ns);
+    result.total_cpu_ns += rep.cpu_ns;
+    result.total_host_transport_ns += rep.host_transport_ns;
+    result.total += rep.counters;
+  }
+  result.checksum = result.procs[0].checksum;
+  result.host_wall_s =
+      static_cast<double>(common::wall_ns() - wall_start_ns) * 1e-9;
+}
+
+/// Thread backend: every rank is a std::thread of this process, with a
+/// private heap mapping at its own address range and the in-process
+/// ring transport. No fork, no fds, no report pipes — reports are
+/// written in place and published by the thread join.
+RunResult spawn_threads(int nprocs, const SpawnOptions& options,
+                        const ChildFn& fn) {
+  const std::uint64_t wall_start_ns = common::wall_ns();
+
+  RunResult result;
+  result.nprocs = nprocs;
+  result.backend = Backend::kThread;
+  // A process-private mesh is the only one whose writes all ranks can
+  // see; any other request is coerced and the result records it.
+  result.transport = mpl::TransportKind::kInproc;
+  result.procs.resize(static_cast<std::size_t>(nprocs));
+
+  // Distinct per-rank heaps: each mmap lands at its own address range,
+  // which is what lets the process-wide SIGSEGV handler route a fault
+  // to the owning rank's DSM runtime. Fresh anonymous mappings give
+  // every rank the same all-zero starting pages the fork backend's
+  // copy-on-write heap provides.
+  std::deque<HeapMapping> heaps;
+  mpl::Fabric fabric(nprocs, mpl::TransportKind::kInproc);
+
+  std::mutex mu;
+  std::condition_variable cv;
+  int finished = 0;
+
+  std::vector<std::thread> ranks;
+  ranks.reserve(static_cast<std::size_t>(nprocs));
+  for (int rank = 0; rank < nprocs; ++rank) {
+    HeapMapping& heap = heaps.emplace_back(options.shared_heap_bytes);
+    ProcReport& report = result.procs[static_cast<std::size_t>(rank)];
+    ranks.emplace_back([&fabric, &options, &fn, &mu, &cv, &finished, rank,
+                        heap_p = &heap, report_p = &report] {
+      ProcReport& rep = *report_p;
+      rep.rank = static_cast<std::uint32_t>(rank);
+      try {
+        // The Endpoint (and its transport) must be built on the rank's
+        // own thread: the ring mesh keys its sender slots off the
+        // constructing thread.
+        mpl::Endpoint endpoint(fabric, rank, options.model);
+        ChildContext ctx{endpoint, heap_p->base(), heap_p->bytes()};
+        const double checksum = fn(ctx);
+        rep.checksum = checksum;
+        rep.vt_ns = endpoint.measured_vt();
+        rep.cpu_ns = common::thread_cpu_ns();
+        rep.host_transport_ns = endpoint.clock().host_transport_ns();
+        rep.counters = endpoint.measured_counters();
+        rep.ok = 1;
+      } catch (const std::exception& e) {
+        std::snprintf(rep.error, sizeof(rep.error), "%s", e.what());
+        rep.ok = 0;
+      } catch (...) {
+        std::snprintf(rep.error, sizeof(rep.error), "unknown exception");
+        rep.ok = 0;
+      }
+      std::lock_guard<std::mutex> g(mu);
+      ++finished;
+      cv.notify_all();
+    });
+  }
+
+  // Watchdog. A hung rank thread cannot be killed the way a forked
+  // child can, and returning while rank threads still reference this
+  // frame would corrupt the caller — so a timeout here ends the whole
+  // process with a diagnostic instead of hanging the suite.
+  {
+    std::unique_lock<std::mutex> lk(mu);
+    const bool all_done =
+        cv.wait_for(lk, std::chrono::seconds(options.timeout_sec),
+                    [&] { return finished == nprocs; });
+    if (!all_done) {
+      std::fprintf(stderr,
+                   "runner: thread-backend run timed out after %ds "
+                   "(%d/%d ranks finished); aborting\n",
+                   options.timeout_sec, finished, nprocs);
+      std::fflush(nullptr);
+      _exit(124);
+    }
+  }
+  for (std::thread& t : ranks) t.join();
+
+  aggregate_reports(result, wall_start_ns, "rank");
+  return result;
+}
+
 }  // namespace
 
 /// Human-readable waitpid status for run-failure diagnostics.
@@ -107,6 +231,11 @@ std::string describe_wait_status(int status) {
 
 RunResult spawn(int nprocs, const SpawnOptions& options, const ChildFn& fn) {
   COMMON_CHECK(nprocs >= 1 && nprocs <= mpl::kMaxProcs);
+  if (options.backend == Backend::kThread)
+    return spawn_threads(nprocs, options, fn);
+  COMMON_CHECK_MSG(options.transport != mpl::TransportKind::kInproc,
+                   "the inproc transport cannot cross fork(); use the "
+                   "thread backend for an in-process mesh");
 
   const std::uint64_t wall_start_ns = common::wall_ns();
   HeapMapping heap(options.shared_heap_bytes);
@@ -150,6 +279,7 @@ RunResult spawn(int nprocs, const SpawnOptions& options, const ChildFn& fn) {
   // and turn one crash into a watchdog timeout.
   RunResult result;
   result.nprocs = nprocs;
+  result.backend = Backend::kProcess;
   result.transport = options.transport;
   result.procs.resize(static_cast<std::size_t>(nprocs));
   std::vector<std::size_t> got(static_cast<std::size_t>(nprocs), 0);
@@ -249,17 +379,7 @@ RunResult spawn(int nprocs, const SpawnOptions& options, const ChildFn& fn) {
                        << "): " << rep.error
                        << "; surviving processes were aborted");
   }
-  for (int i = 0; i < nprocs; ++i) {
-    const auto& rep = result.procs[static_cast<std::size_t>(i)];
-    COMMON_CHECK_MSG(rep.ok == 1, "proc " << i << " failed: " << rep.error);
-    result.max_vt_ns = std::max(result.max_vt_ns, rep.vt_ns);
-    result.total_cpu_ns += rep.cpu_ns;
-    result.total_host_transport_ns += rep.host_transport_ns;
-    result.total += rep.counters;
-  }
-  result.checksum = result.procs[0].checksum;
-  result.host_wall_s =
-      static_cast<double>(common::wall_ns() - wall_start_ns) * 1e-9;
+  aggregate_reports(result, wall_start_ns, "proc");
   return result;
 }
 

@@ -1,21 +1,36 @@
 // Multi-process run harness.
 //
-// A "run" forks `nprocs` worker processes from the calling process.
-// Before forking, the harness maps the DSM shared heap (so every child
-// inherits it at the same virtual address — the zero-page invariant of
-// DESIGN.md §5) and builds the socket fabric. Each child adopts its
-// endpoint, executes the supplied function, and reports a fixed-size
-// result record through a pipe; the parent aggregates per-process virtual
-// times, CPU times, and message counters into a RunResult.
+// A "run" launches `nprocs` worker ranks from the calling process, on
+// one of two execution backends:
 //
-// The parent never participates in the computation, so the harness can be
-// driven from gtest and google-benchmark without contaminating their
-// state; children leave via _exit().
+//   Backend::kProcess (the original): forks one child per rank. Before
+//   forking, the harness maps the DSM shared heap (so every child
+//   inherits it at the same virtual address — the zero-page invariant
+//   of DESIGN.md §5) and builds the fabric. Each child adopts its
+//   endpoint, executes the supplied function, and reports a fixed-size
+//   result record through a pipe; children leave via _exit().
+//
+//   Backend::kThread: runs each rank as a std::thread of the calling
+//   process — no fork, no exec, no fd inheritance. Each rank gets its
+//   own private heap mapping at a distinct address range (the
+//   process-wide SIGSEGV handler dispatches faults by address to the
+//   owning rank's DSM runtime), and the mesh is the in-process ring
+//   transport (mpl::InprocTransport) regardless of the requested
+//   transport. Fast to launch and — unlike fork — visible to
+//   ThreadSanitizer as ONE program, which is what lets CI race-check
+//   the full coherence protocol.
+//
+// Either way the caller aggregates per-rank virtual times, CPU times,
+// and message counters into a RunResult, and never participates in the
+// computation itself, so the harness can be driven from gtest and
+// google-benchmark without contaminating their state.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "mpl/counters.hpp"
@@ -23,6 +38,22 @@
 #include "sim/machine_model.hpp"
 
 namespace runner {
+
+/// How ranks are executed: forked processes or threads of this process.
+enum class Backend : std::uint8_t { kProcess = 0, kThread = 1 };
+
+[[nodiscard]] constexpr const char* to_string(Backend b) noexcept {
+  return b == Backend::kThread ? "thread" : "process";
+}
+
+/// Parses a backend name ("process" or "thread"); nullopt otherwise.
+[[nodiscard]] std::optional<Backend> parse_backend(
+    std::string_view name) noexcept;
+
+/// The process-wide default: TMK_BACKEND=process|thread when set (and
+/// valid), else `fallback`.
+[[nodiscard]] Backend backend_from_env(
+    Backend fallback = Backend::kProcess) noexcept;
 
 /// Fixed-size per-process report sent over the result pipe.
 struct ProcReport {
@@ -40,6 +71,7 @@ static_assert(std::is_trivially_copyable_v<ProcReport>);
 /// Aggregated outcome of one multi-process run.
 struct RunResult {
   int nprocs = 0;
+  Backend backend = Backend::kProcess;
   mpl::TransportKind transport = mpl::TransportKind::kSocket;
   double checksum = 0.0;           // proc 0's checksum
   std::uint64_t max_vt_ns = 0;     // modelled parallel execution time
@@ -76,16 +108,28 @@ struct SpawnOptions {
   int timeout_sec = 600;  // watchdog: kill and fail the run if exceeded
   /// Interconnect the mesh is built on. The modelled results are
   /// transport-invariant; only host-side cost differs. Defaults to
-  /// TMK_TRANSPORT=socket|shm when set, else the socket backend.
+  /// TMK_TRANSPORT=socket|shm|inproc when set, else the socket backend.
+  /// The thread backend always runs on the in-process ring transport;
+  /// any other request is coerced (and RunResult.transport records the
+  /// coercion). The process backends reject kInproc — a process-private
+  /// mesh cannot cross a fork.
   mpl::TransportKind transport = mpl::transport_from_env();
+  /// Execution backend for the ranks. Defaults to TMK_BACKEND=
+  /// process|thread when set, else forked processes.
+  Backend backend = backend_from_env();
 };
 
-/// Forks `nprocs` children, runs `fn` in each, and aggregates results.
-/// Throws common::Error if any child fails, crashes, or times out. A
-/// child that dies before delivering its report (or reports failure)
-/// aborts the whole run immediately — the remaining children are
-/// killed rather than left blocking on the dead peer until the
-/// watchdog — and the error carries the child's rank and wait status.
+/// Launches `nprocs` ranks, runs `fn` in each, and aggregates results.
+/// Throws common::Error if any rank fails, crashes, or times out.
+///
+/// Process backend: a child that dies before delivering its report (or
+/// reports failure) aborts the whole run immediately — the remaining
+/// children are killed rather than left blocking on the dead peer until
+/// the watchdog — and the error carries the child's rank and wait
+/// status. Thread backend: a failing rank unwinds normally (its DSM
+/// runtime still performs the shutdown rendezvous, releasing peers);
+/// ranks cannot be killed, so a genuine deadlock ends the whole test
+/// process with a diagnostic when the watchdog fires.
 RunResult spawn(int nprocs, const SpawnOptions& options, const ChildFn& fn);
 
 /// Convenience for sequential baselines: one process, no communication;

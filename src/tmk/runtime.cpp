@@ -7,6 +7,8 @@
 #include <sys/mman.h>
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 #include <limits>
 #include <cstring>
 
@@ -16,14 +18,36 @@ namespace tmk {
 
 namespace {
 
-Runtime* g_runtime = nullptr;
+// Fault-dispatch registry: one slot per live Runtime in this process,
+// scanned by the SIGSEGV handler to find the runtime owning a faulted
+// address. Slots are claimed by CAS so concurrent rank threads (the
+// thread backend constructs all ranks' runtimes at once) need no lock,
+// and reads are plain atomic loads — async-signal-safe. The process
+// backend occupies exactly one slot per child.
+std::atomic<Runtime*> g_runtimes[mpl::kMaxProcs] = {};
+
+// The rank context of the calling thread: the Runtime constructed on
+// it. Thread-local, so every rank thread resolves to its own.
+thread_local Runtime* t_runtime = nullptr;
 
 }  // namespace
 
-Runtime* Runtime::instance() noexcept { return g_runtime; }
+Runtime* Runtime::instance() noexcept { return t_runtime; }
+
+Runtime* Runtime::owner_of(const void* addr) noexcept {
+  const auto a = reinterpret_cast<std::uintptr_t>(addr);
+  for (const auto& slot : g_runtimes) {
+    Runtime* rt = slot.load(std::memory_order_acquire);
+    if (rt == nullptr) continue;
+    const auto base = reinterpret_cast<std::uintptr_t>(rt->heap_);
+    if (a >= base && a < base + rt->heap_len_) return rt;
+  }
+  return nullptr;
+}
 
 // Defined in sigsegv.cpp.
 void install_sigsegv_handler();
+void uninstall_thread_sigaltstack() noexcept;
 std::uint64_t measure_host_fault_cost_ns();
 
 Runtime::Runtime(runner::ChildContext& ctx, Options options)
@@ -33,7 +57,7 @@ Runtime::Runtime(runner::ChildContext& ctx, Options options)
       heap_(ctx.heap_base),
       heap_len_(ctx.heap_bytes),
       options_(options) {
-  COMMON_CHECK_MSG(g_runtime == nullptr, "one Runtime per process");
+  COMMON_CHECK_MSG(t_runtime == nullptr, "one Runtime per rank thread");
   COMMON_CHECK_MSG(heap_ != nullptr && heap_len_ >= common::kPageSize,
                    "no shared heap mapping inherited");
   COMMON_CHECK((reinterpret_cast<std::uintptr_t>(heap_) & common::kPageMask) ==
@@ -66,10 +90,38 @@ Runtime::Runtime(runner::ChildContext& ctx, Options options)
   worker_vc_.resize(static_cast<std::size_t>(nprocs_));
   main_tid_ = pthread_self();
 
-  g_runtime = this;
   install_sigsegv_handler();
   host_fault_cost_ns_ = measure_host_fault_cost_ns();
   service_ = std::thread([this] { service_loop(); });
+
+  // Publish to the fault-dispatch registry LAST, after every fallible
+  // construction step: if anything above threw, no slot could be left
+  // dangling (the destructor of a half-built object never runs). This
+  // is still before the first heap fault — the heap is PROT_READ and
+  // application code only touches it after the constructor returns;
+  // the calibration probe above dispatches via its own thread-local
+  // page, not the registry.
+  t_runtime = this;
+  bool claimed = false;
+  for (auto& slot : g_runtimes) {
+    Runtime* expected = nullptr;
+    if (slot.compare_exchange_strong(expected, this,
+                                     std::memory_order_acq_rel)) {
+      claimed = true;
+      break;
+    }
+  }
+  if (!claimed) {
+    // Undo the started service thread before reporting; the error path
+    // must leave no trace of this runtime.
+    stop_.store(true, std::memory_order_release);
+    ep_.wake_service();
+    service_.join();
+    t_runtime = nullptr;
+    COMMON_CHECK_MSG(false, "fault-dispatch registry full: more than "
+                                << mpl::kMaxProcs
+                                << " live Runtimes in one process");
+  }
 }
 
 Runtime::~Runtime() {
@@ -79,7 +131,14 @@ Runtime::~Runtime() {
     // Destructor must not throw; a failed rendezvous will surface as a
     // missing report in the harness.
   }
-  g_runtime = nullptr;
+  for (auto& slot : g_runtimes) {
+    Runtime* expected = this;
+    if (slot.compare_exchange_strong(expected, nullptr,
+                                     std::memory_order_acq_rel))
+      break;
+  }
+  t_runtime = nullptr;
+  uninstall_thread_sigaltstack();
 }
 
 void Runtime::shutdown() {
@@ -501,8 +560,19 @@ bool Runtime::handle_fault(void* addr, bool is_write_hint) {
   const auto a = reinterpret_cast<std::uintptr_t>(addr);
   const auto base = reinterpret_cast<std::uintptr_t>(heap_);
   if (a < base || a >= base + heap_len_) return false;
-  COMMON_CHECK_MSG(pthread_equal(pthread_self(), main_tid_),
-                   "shared-memory fault on a non-application thread");
+  if (!pthread_equal(pthread_self(), main_tid_)) {
+    // The faulting thread is not this runtime's application thread: a
+    // service thread touched protected pages, or — thread backend — a
+    // rank scribbled into a PEER's heap range (e.g. per-rank state
+    // leaked through a shared global). Unrecoverable; dying loudly here
+    // beats throwing a C++ exception through the signal frame.
+    std::fprintf(stderr,
+                 "tmk: fault at %p belongs to rank %d's heap but was taken "
+                 "on a foreign thread — cross-rank wild pointer?\n",
+                 addr, rank_);
+    std::fflush(nullptr);
+    std::abort();
+  }
 
   simx::ProtocolSection protocol(ep_.clock(), host_fault_cost_ns_);
   ep_.clock().add_model(ep_.clock().model().page_fault_ns);

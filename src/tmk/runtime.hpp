@@ -18,11 +18,15 @@
 //     (Dwarkadas et al. [7]): aggregated validate (pull), push, and
 //     broadcast of shared data.
 //
-// Threading model: the application runs on the main thread; one service
-// thread per process answers diff fetches and lock traffic. The SIGSEGV
-// handler runs on the main thread and performs its own RPCs. Internal
-// state is guarded by mu_ with the strict rule that no thread blocks on
-// the network while holding it.
+// Threading model: the application runs on the rank's main thread; one
+// service thread per Runtime answers diff fetches and lock traffic.
+// The SIGSEGV handler runs on the faulting rank's main thread and
+// performs its own RPCs; the process-wide handler routes each fault to
+// the Runtime owning the faulted address (owner_of), so under the
+// runner's thread backend many rank runtimes — each with its own heap
+// range — coexist in one process. Internal state is guarded by mu_
+// with the strict rule that no thread blocks on the network while
+// holding it.
 #pragma once
 
 #include <pthread.h>
@@ -86,8 +90,11 @@ class Runtime {
     std::size_t heap_limit_bytes = 0;
   };
 
-  /// Attaches the DSM to the inherited shared mapping and starts the
-  /// service thread. Exactly one Runtime may exist per process.
+  /// Attaches the DSM to the rank's heap mapping and starts the
+  /// service thread. Exactly one Runtime may exist per rank: one per
+  /// process under the fork backend, one per rank thread under the
+  /// thread backend (each registered in a process-wide fault-dispatch
+  /// table keyed by heap address range).
   Runtime(runner::ChildContext& ctx, Options options);
   explicit Runtime(runner::ChildContext& ctx) : Runtime(ctx, Options()) {}
   ~Runtime();
@@ -181,10 +188,19 @@ class Runtime {
   /// Called automatically by the destructor if not called explicitly.
   void shutdown();
 
+  /// The Runtime whose application thread is the calling thread (set at
+  /// construction, cleared at destruction), or null. Under the thread
+  /// backend every rank thread resolves to its own context.
   [[nodiscard]] static Runtime* instance() noexcept;
 
-  /// SIGSEGV entry point (main thread only). Returns false if the address
-  /// is outside the shared heap (the handler then re-raises).
+  /// The live Runtime whose shared heap contains `addr`, or null — the
+  /// process-wide SIGSEGV handler's fault-dispatch lookup. Lock-free
+  /// and async-signal-safe: it scans a fixed table of atomic slots.
+  [[nodiscard]] static Runtime* owner_of(const void* addr) noexcept;
+
+  /// SIGSEGV entry point (the owning rank's application thread only).
+  /// Returns false if the address is outside the shared heap (the
+  /// handler then re-raises).
   bool handle_fault(void* addr, bool is_write);
 
   /// Total bytes of shared heap managed.

@@ -9,6 +9,12 @@
 // twins the page in a single fault. On other architectures the handler
 // treats the first fault as a read; the retried store then faults again
 // on the now read-only page, which is unambiguously a write.
+//
+// The handler is process-wide but the DSM contexts are per rank: the
+// fault address is matched against every live Runtime's heap range
+// (Runtime::owner_of), which is what lets the thread backend run many
+// ranks — each with a private heap at a distinct address — in one
+// address space.
 #include <signal.h>
 #include <sys/mman.h>
 #include <ucontext.h>
@@ -16,6 +22,8 @@
 #include <cstdint>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
+#include <mutex>
 
 #include "common/cpu_clock.hpp"
 
@@ -27,11 +35,22 @@ namespace tmk {
 namespace {
 
 struct sigaction g_old_action;
-bool g_installed = false;
-// Probe page used to measure the host's fault-delivery cost (trap +
-// signal dispatch + mprotect), which the virtual clock must not scale as
-// application compute.
-void* g_probe_page = nullptr;
+std::once_flag g_install_once;
+// Per-thread probe page used to measure the host's fault-delivery cost
+// (trap + signal dispatch + mprotect), which the virtual clock must not
+// scale as application compute. Thread-local so concurrently starting
+// rank threads (thread backend) can calibrate independently; the
+// handler runs on the faulting thread and sees its own slot.
+thread_local void* t_probe_page = nullptr;
+// Per-thread handler stack (sigaltstack is per-thread state): every
+// rank's application thread gets its own, installed with its Runtime
+// and restored at Runtime destruction. Restoring matters under ASan,
+// whose runtime registers its own per-thread alternate stack and
+// unmaps whatever is registered when the thread dies — which must be
+// its mapping again, not our heap buffer.
+thread_local std::unique_ptr<std::byte[]> t_alt_stack;
+thread_local stack_t t_prev_stack{};
+thread_local bool t_alt_stack_installed = false;
 
 void restore_default_and_return() {
   // Re-raising with the default handler lets a genuine crash produce a
@@ -40,10 +59,10 @@ void restore_default_and_return() {
 }
 
 void handler(int /*sig*/, siginfo_t* info, void* uctx) {
-  if (g_probe_page != nullptr &&
+  if (t_probe_page != nullptr &&
       reinterpret_cast<std::uintptr_t>(info->si_addr) ==
-          reinterpret_cast<std::uintptr_t>(g_probe_page)) {
-    mprotect(g_probe_page, 4096, PROT_READ | PROT_WRITE);
+          reinterpret_cast<std::uintptr_t>(t_probe_page)) {
+    mprotect(t_probe_page, 4096, PROT_READ | PROT_WRITE);
     return;
   }
   bool is_write = false;
@@ -53,7 +72,9 @@ void handler(int /*sig*/, siginfo_t* info, void* uctx) {
 #else
   (void)uctx;
 #endif
-  Runtime* rt = Runtime::instance();
+  // Dispatch by address: with the thread backend several rank runtimes
+  // coexist in this process, each owning a distinct heap range.
+  Runtime* rt = Runtime::owner_of(info->si_addr);
   if (rt == nullptr || !rt->handle_fault(info->si_addr, is_write)) {
     restore_default_and_return();
   }
@@ -67,7 +88,7 @@ std::uint64_t measure_host_fault_cost_ns() {
   COMMON_CHECK(p != MAP_FAILED);
   auto* word = static_cast<volatile int*>(p);
   *word = 1;  // warm the mapping
-  g_probe_page = p;
+  t_probe_page = p;
   // 32 rounds keep the estimate stable to a few hundred ns while the
   // calibration stays well under a millisecond of every child's startup
   // (256 rounds cost more than the rest of Runtime construction).
@@ -94,7 +115,7 @@ std::uint64_t measure_host_fault_cost_ns() {
   const std::uint64_t bare =
       (common::thread_cpu_ns() - t1) / static_cast<std::uint64_t>(kIters);
 
-  g_probe_page = nullptr;
+  t_probe_page = nullptr;
   munmap(p, 4096);
   // The tight calibration loop runs with warm caches and predictors; a
   // real fault in the middle of a compute loop costs a little more. Half
@@ -104,22 +125,40 @@ std::uint64_t measure_host_fault_cost_ns() {
 }
 
 void install_sigsegv_handler() {
-  if (g_installed) return;
-  g_installed = true;
+  // The handler performs real protocol work (diff fetches over the
+  // fabric), so give it its own sizeable stack — per thread, because
+  // sigaltstack is per-thread state and under the thread backend every
+  // rank's application thread takes its own faults.
+  if (!t_alt_stack_installed) {
+    constexpr std::size_t kAltStackBytes = 512 * 1024;
+    if (t_alt_stack == nullptr)
+      t_alt_stack = std::make_unique<std::byte[]>(kAltStackBytes);
+    stack_t ss{};
+    ss.ss_sp = t_alt_stack.get();
+    ss.ss_size = kAltStackBytes;
+    COMMON_SYSCALL(sigaltstack(&ss, &t_prev_stack));
+    t_alt_stack_installed = true;
+  }
 
-  // The handler performs real protocol work (diff fetches over sockets),
-  // so give it its own sizeable stack.
-  static std::byte alt_stack[512 * 1024];
-  stack_t ss{};
-  ss.ss_sp = alt_stack;
-  ss.ss_size = sizeof(alt_stack);
-  COMMON_SYSCALL(sigaltstack(&ss, nullptr));
+  // The process-wide action is installed exactly once, even when many
+  // rank threads construct their runtimes concurrently.
+  std::call_once(g_install_once, [] {
+    struct sigaction sa{};
+    sa.sa_sigaction = handler;
+    sa.sa_flags = SA_SIGINFO | SA_ONSTACK;
+    sigemptyset(&sa.sa_mask);
+    COMMON_SYSCALL(sigaction(SIGSEGV, &sa, &g_old_action));
+  });
+}
 
-  struct sigaction sa{};
-  sa.sa_sigaction = handler;
-  sa.sa_flags = SA_SIGINFO | SA_ONSTACK;
-  sigemptyset(&sa.sa_mask);
-  COMMON_SYSCALL(sigaction(SIGSEGV, &sa, &g_old_action));
+void uninstall_thread_sigaltstack() noexcept {
+  if (!t_alt_stack_installed) return;
+  // Put back whatever this thread had before its Runtime (ASan's
+  // per-thread stack, or SS_DISABLE); no more DSM faults can hit this
+  // thread once its runtime is gone. The buffer is kept for reuse by a
+  // later Runtime on the same thread and freed at thread exit.
+  sigaltstack(&t_prev_stack, nullptr);
+  t_alt_stack_installed = false;
 }
 
 }  // namespace tmk

@@ -1,0 +1,247 @@
+// Cross-backend invariance suite: forked processes vs rank threads.
+//
+// The thread backend changes everything host-visible about a run — no
+// fork, per-rank heaps at distinct addresses, an in-process ring mesh,
+// SIGSEGV faults dispatched by address instead of by process — and
+// nothing modelled: the Endpoint core and the DSM protocol above it
+// are identical. So, exactly like the cross-transport suite (PR 3),
+// the modelled results must be backend-invariant, with the strongest
+// invariant each protocol admits:
+//
+//  - Message-passing variants (kPvme) have a FIXED communication
+//    schedule: checksums, per-layer message/byte counters, and
+//    per-rank virtual times are asserted bit-identical across
+//    backends.
+//  - TreadMarks variants are asserted checksum-identical per rank,
+//    plus a controlled protocol run asserting the barrier/lock/fault
+//    digest. Traffic totals stay schedule-dependent (lazy diff
+//    flushing) on ANY backend, so they are not compared bit-wise.
+//
+// Also here: the regression test for the fault-dispatch path — many
+// rank threads taking SIGSEGVs concurrently on their own heaps, each
+// of which the process-wide handler must route to the owning runtime.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+
+#include "apps/registry.hpp"
+#include "mpl/transport.hpp"
+#include "runner/runner.hpp"
+#include "tmk/runtime.hpp"
+
+namespace {
+
+/// Deterministic model, as in the cross-transport suite: SP/2 protocol
+/// constants, measured host CPU scaled to zero — the virtual clock
+/// depends only on the protocol event sequence.
+runner::SpawnOptions det_options(runner::Backend b) {
+  runner::SpawnOptions o;
+  o.model = simx::MachineModel::sp2();
+  o.model.cpu_scale = 0.0;
+  o.shared_heap_bytes = 256ull << 20;
+  o.timeout_sec = 300;
+  o.backend = b;
+  // Canonical transport per backend; the modelled results do not
+  // depend on it (transport_equivalence_test), so any choice here
+  // compares backend against backend only.
+  o.transport = b == runner::Backend::kThread ? mpl::TransportKind::kInproc
+                                              : mpl::TransportKind::kSocket;
+  return o;
+}
+
+struct Case {
+  const char* key;
+  apps::System system;
+  int nprocs;
+};
+
+std::string case_name(const Case& c) {
+  std::string s = std::string(c.key) + "_";
+  for (const char* p = apps::to_string(c.system); *p != '\0'; ++p)
+    if (std::isalnum(static_cast<unsigned char>(*p)))
+      s += static_cast<char>(std::tolower(static_cast<unsigned char>(*p)));
+  return s + "_" + std::to_string(c.nprocs);
+}
+
+runner::RunResult run_case(const Case& c, runner::Backend b) {
+  const apps::Workload& w = apps::find_workload(c.key);
+  return apps::run_workload(w, c.system, c.nprocs, det_options(b),
+                            apps::Preset::kReduced);
+}
+
+// ---- DSM variants: per-rank checksum invariance ----------------------
+
+class CrossBackendDsm : public ::testing::TestWithParam<Case> {};
+
+TEST_P(CrossBackendDsm, ChecksumsAreBackendInvariant) {
+  const Case c = GetParam();
+  const auto process = run_case(c, runner::Backend::kProcess);
+  const auto thread = run_case(c, runner::Backend::kThread);
+  EXPECT_EQ(process.backend, runner::Backend::kProcess);
+  EXPECT_EQ(thread.backend, runner::Backend::kThread);
+  EXPECT_EQ(thread.transport, mpl::TransportKind::kInproc);
+  for (int p = 0; p < c.nprocs; ++p)
+    EXPECT_DOUBLE_EQ(process.procs[static_cast<std::size_t>(p)].checksum,
+                     thread.procs[static_cast<std::size_t>(p)].checksum)
+        << c.key << " rank " << p;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Registry, CrossBackendDsm,
+    ::testing::Values(Case{"jacobi", apps::System::kTmk, 4},
+                      Case{"mgs", apps::System::kTmk, 2},
+                      Case{"jacobi", apps::System::kSpf, 4}),
+    [](const auto& info) { return case_name(info.param); });
+
+// ---- message-passing variants: full bit-equality ---------------------
+
+class CrossBackendMp : public ::testing::TestWithParam<Case> {};
+
+TEST_P(CrossBackendMp, ModelledResultsAreBitIdentical) {
+  const Case c = GetParam();
+  const auto process = run_case(c, runner::Backend::kProcess);
+  const auto thread = run_case(c, runner::Backend::kThread);
+  EXPECT_DOUBLE_EQ(process.checksum, thread.checksum) << c.key;
+  EXPECT_EQ(process.max_vt_ns, thread.max_vt_ns) << c.key;
+  for (std::size_t l = 0; l < process.total.messages.size(); ++l) {
+    EXPECT_EQ(process.total.messages[l], thread.total.messages[l])
+        << c.key << " layer " << l;
+    EXPECT_EQ(process.total.bytes[l], thread.total.bytes[l])
+        << c.key << " layer " << l;
+  }
+  for (int p = 0; p < c.nprocs; ++p) {
+    EXPECT_EQ(process.procs[static_cast<std::size_t>(p)].vt_ns,
+              thread.procs[static_cast<std::size_t>(p)].vt_ns)
+        << c.key << " rank " << p;
+    EXPECT_DOUBLE_EQ(process.procs[static_cast<std::size_t>(p)].checksum,
+                     thread.procs[static_cast<std::size_t>(p)].checksum)
+        << c.key << " rank " << p;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Registry, CrossBackendMp,
+    ::testing::Values(Case{"jacobi", apps::System::kPvme, 4},
+                      Case{"mgs", apps::System::kPvme, 4}),
+    [](const auto& info) { return case_name(info.param); });
+
+// ---- controlled tmk protocol run --------------------------------------
+
+// Fixed barrier/lock/shared-write schedule with deterministic protocol
+// event counts (the cross-transport twin of this test explains why
+// message totals are excluded): the per-rank digest of barriers, lock
+// acquires, and write faults must match across backends.
+constexpr int kProcs = 4;
+constexpr int kRounds = 5;
+
+TEST(CrossBackendTmk, BarrierLockFaultDigestIdentical) {
+  auto run = [&](runner::Backend b) {
+    return runner::spawn(
+        kProcs, det_options(b), [](runner::ChildContext& c) {
+          tmk::Runtime rt(c);
+          auto* data = rt.alloc<std::int64_t>(1024 * rt.nprocs());
+          auto* cell = rt.alloc<std::int64_t>(1);
+          for (int iter = 0; iter < kRounds; ++iter) {
+            rt.barrier();
+            const int me = rt.rank();
+            data[1024 * me + iter] = 100 * me + iter;
+            rt.lock_acquire(3);
+            *cell += 1;
+            rt.lock_release(3);
+            rt.barrier();
+            const int peer = (me + 1) % rt.nprocs();
+            if (data[1024 * peer + iter] != 100 * peer + iter) return -1.0;
+          }
+          rt.barrier();
+          if (*cell != kProcs * kRounds) return -2.0;
+          return static_cast<double>(rt.stats().barriers) * 1e6 +
+                 static_cast<double>(rt.stats().lock_acquires) * 1e3 +
+                 static_cast<double>(rt.stats().write_faults);
+        });
+  };
+  const auto process = run(runner::Backend::kProcess);
+  const auto thread = run(runner::Backend::kThread);
+  for (int p = 0; p < kProcs; ++p) {
+    EXPECT_GT(process.procs[static_cast<std::size_t>(p)].checksum, 0.0);
+    EXPECT_DOUBLE_EQ(process.procs[static_cast<std::size_t>(p)].checksum,
+                     thread.procs[static_cast<std::size_t>(p)].checksum)
+        << "rank " << p;
+  }
+}
+
+// ---- SIGSEGV fault dispatch under concurrency -------------------------
+
+// Regression test for the address-dispatched fault path: all rank
+// threads take write faults on their own heaps AT THE SAME TIME (no
+// synchronization between the allocations and the fault storm), so
+// the process-wide handler must concurrently route each fault to the
+// runtime owning the faulted address. A misroute dies loudly inside
+// handle_fault ("fault on a non-application thread" / out-of-range) or
+// corrupts the per-rank pattern verified below.
+TEST(FaultDispatch, ConcurrentFaultsRouteToOwningRuntime) {
+  constexpr int kRanks = 4;
+  constexpr int kPages = 64;
+  constexpr int kIntsPerPage = 1024;  // 4 KiB pages of int32
+  runner::SpawnOptions opts = det_options(runner::Backend::kThread);
+  opts.model = simx::MachineModel::zero_cost();
+
+  // Rank threads share the test's address space: collect each rank's
+  // heap base through a plain array (each rank writes only its slot;
+  // the thread join orders the reads after the writes).
+  std::array<std::uintptr_t, kRanks> bases{};
+  std::array<std::uint64_t, kRanks> write_faults{};
+
+  auto r = runner::spawn(
+      kRanks, opts, [&bases, &write_faults](runner::ChildContext& c) {
+        tmk::Runtime rt(c);
+        bases[static_cast<std::size_t>(rt.rank())] =
+            reinterpret_cast<std::uintptr_t>(c.heap_base);
+        auto* mine = rt.alloc<std::int32_t>(
+            static_cast<std::size_t>(kRanks) * kPages * kIntsPerPage);
+        // Fault storm: every page of this rank's block, concurrently
+        // with every other rank's storm on ITS heap.
+        const int me = rt.rank();
+        for (int pg = 0; pg < kPages; ++pg)
+          for (int i = 0; i < kIntsPerPage; ++i)
+            mine[(me * kPages + pg) * kIntsPerPage + i] =
+                me * 1'000'000 + pg * 1000 + (i % 97);
+        write_faults[static_cast<std::size_t>(me)] =
+            rt.stats().write_faults;
+        rt.barrier();
+        // Cross-check a peer's block through the DSM (read faults, also
+        // address-dispatched).
+        const int peer = (me + 1) % rt.nprocs();
+        double sum = 0;
+        for (int pg = 0; pg < kPages; ++pg)
+          for (int i = 0; i < kIntsPerPage; ++i)
+            sum += mine[(peer * kPages + pg) * kIntsPerPage + i];
+        rt.barrier();
+        double expect = 0;
+        for (int pg = 0; pg < kPages; ++pg)
+          for (int i = 0; i < kIntsPerPage; ++i)
+            expect += peer * 1'000'000 + pg * 1000 + (i % 97);
+        return sum == expect ? 1.0 : -1.0;
+      });
+
+  for (const auto& p : r.procs) EXPECT_DOUBLE_EQ(p.checksum, 1.0);
+  // Every rank heap is a distinct, non-overlapping range — the property
+  // the dispatch relies on.
+  for (int i = 0; i < kRanks; ++i) {
+    EXPECT_NE(bases[static_cast<std::size_t>(i)], 0u);
+    for (int j = i + 1; j < kRanks; ++j) {
+      const auto a = bases[static_cast<std::size_t>(i)];
+      const auto b = bases[static_cast<std::size_t>(j)];
+      EXPECT_TRUE(a + opts.shared_heap_bytes <= b ||
+                  b + opts.shared_heap_bytes <= a)
+          << "rank heaps " << i << " and " << j << " overlap";
+    }
+  }
+  // Each rank faulted on every page it wrote — its own, not a peer's.
+  for (int i = 0; i < kRanks; ++i)
+    EXPECT_GE(write_faults[static_cast<std::size_t>(i)],
+              static_cast<std::uint64_t>(kPages))
+        << "rank " << i;
+}
+
+}  // namespace

@@ -61,22 +61,31 @@ TEST(Counters, PlusEquals) {
 
 // ---- multi-process transport behaviour -------------------------------
 
-/// Every multi-process transport test runs on both backends: the
+/// Every multi-process transport test runs on all three backends: the
 /// delivery contract (framing, ordering, reassembly, counters, virtual
 /// time) is transport-invariant by design, and this suite is what
-/// enforces it.
+/// enforces it. The inproc mesh only exists inside one address space,
+/// so its leg runs the ranks on the thread backend.
 class EndpointTest : public ::testing::TestWithParam<mpl::TransportKind> {
  protected:
   [[nodiscard]] runner::SpawnOptions popts() const {
     runner::SpawnOptions o = fast_options();
     o.transport = GetParam();
+    // Pin the backend each transport actually exists on: otherwise a
+    // TMK_BACKEND=thread environment would coerce the socket/shm legs
+    // to inproc and this suite would test one transport three times
+    // while its test names claim otherwise.
+    o.backend = o.transport == mpl::TransportKind::kInproc
+                    ? runner::Backend::kThread
+                    : runner::Backend::kProcess;
     return o;
   }
 };
 
 INSTANTIATE_TEST_SUITE_P(
     Transports, EndpointTest,
-    ::testing::Values(mpl::TransportKind::kSocket, mpl::TransportKind::kShm),
+    ::testing::Values(mpl::TransportKind::kSocket, mpl::TransportKind::kShm,
+                      mpl::TransportKind::kInproc),
     [](const ::testing::TestParamInfo<mpl::TransportKind>& info) {
       return std::string(mpl::to_string(info.param));
     });

@@ -4,7 +4,9 @@
 #include <sys/mman.h>
 #include <unistd.h>
 
+#include <array>
 #include <chrono>
+#include <cstdint>
 #include <cstring>
 #include <string>
 
@@ -53,10 +55,14 @@ TEST(Runner, ChildExceptionPropagates) {
 }
 
 TEST(Runner, HeapInheritedAtSameAddressAndZeroed) {
-  // Every child writes its rank at a distinct offset in its *private*
-  // copy; children verify the heap starts zeroed and the base pointer is
-  // identical (checksummed via the address bits).
-  auto r = runner::spawn(4, fast_options(), [](runner::ChildContext& c) {
+  // Fork-backend contract: every child writes its rank at a distinct
+  // offset in its *private* copy; children verify the heap starts
+  // zeroed and the base pointer is identical (checksummed via the
+  // address bits). The thread backend intentionally breaks the
+  // same-address half (distinct per-rank heaps), so this pins kProcess.
+  auto opts = fast_options();
+  opts.backend = runner::Backend::kProcess;
+  auto r = runner::spawn(4, opts, [](runner::ChildContext& c) {
     auto* p = static_cast<unsigned char*>(c.heap_base);
     for (int i = 0; i < 1000; ++i)
       if (p[i] != 0) return -1.0;
@@ -106,6 +112,9 @@ TEST(Runner, CpuScaleMultipliesVirtualTime) {
 TEST(Runner, ChildDeathWithoutReportFailsFast) {
   auto opts = fast_options();
   opts.timeout_sec = 120;  // watchdog far beyond the fail-fast budget
+  // _exit and waitpid-status reporting are fork-backend semantics (a
+  // rank thread calling _exit would take the whole test down).
+  opts.backend = runner::Backend::kProcess;
   const auto t0 = std::chrono::steady_clock::now();
   try {
     runner::spawn(2, opts, [](runner::ChildContext& c) -> double {
@@ -130,6 +139,96 @@ TEST(Runner, RejectsTooManyProcs) {
   EXPECT_THROW(runner::spawn(mpl::kMaxProcs + 1, fast_options(),
                              [](runner::ChildContext&) { return 0.0; }),
                common::Error);
+}
+
+// ---- thread backend ---------------------------------------------------
+
+runner::SpawnOptions thread_options() {
+  auto o = fast_options();
+  o.backend = runner::Backend::kThread;
+  return o;
+}
+
+TEST(RunnerThread, BackendNamesRoundTrip) {
+  EXPECT_EQ(runner::parse_backend("process"), runner::Backend::kProcess);
+  EXPECT_EQ(runner::parse_backend("thread"), runner::Backend::kThread);
+  EXPECT_FALSE(runner::parse_backend("fiber").has_value());
+  EXPECT_STREQ(runner::to_string(runner::Backend::kThread), "thread");
+  EXPECT_STREQ(runner::to_string(runner::Backend::kProcess), "process");
+}
+
+TEST(RunnerThread, RanksRunAsThreadsWithDistinctZeroedHeaps) {
+  // Rank threads share the test's address space, so they can publish
+  // their heap bases through a plain array (one slot per rank; the
+  // joins order the reads).
+  std::array<std::uintptr_t, 4> bases{};
+  auto opts = thread_options();
+  auto r = runner::spawn(4, opts, [&bases](runner::ChildContext& c) {
+    auto* p = static_cast<unsigned char*>(c.heap_base);
+    for (int i = 0; i < 1000; ++i)
+      if (p[i] != 0) return -1.0;  // heap must start zeroed
+    p[c.endpoint.rank()] = 0xAB;   // private to this rank's mapping
+    bases[static_cast<std::size_t>(c.endpoint.rank())] =
+        reinterpret_cast<std::uintptr_t>(p);
+    return static_cast<double>(c.endpoint.rank());
+  });
+  EXPECT_EQ(r.backend, runner::Backend::kThread);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_DOUBLE_EQ(r.procs[static_cast<std::size_t>(i)].checksum, i);
+    EXPECT_NE(bases[static_cast<std::size_t>(i)], 0u);
+    for (int j = i + 1; j < 4; ++j)
+      EXPECT_NE(bases[static_cast<std::size_t>(i)],
+                bases[static_cast<std::size_t>(j)]);
+  }
+}
+
+TEST(RunnerThread, CoercesTransportToInproc) {
+  auto opts = thread_options();
+  opts.transport = mpl::TransportKind::kSocket;
+  auto r = runner::spawn(2, opts, [](runner::ChildContext& c) {
+    return c.endpoint.transport_kind() == mpl::TransportKind::kInproc ? 1.0
+                                                                      : 0.0;
+  });
+  EXPECT_EQ(r.transport, mpl::TransportKind::kInproc);
+  EXPECT_DOUBLE_EQ(r.checksum, 1.0);
+  EXPECT_DOUBLE_EQ(r.procs[1].checksum, 1.0);
+}
+
+TEST(RunnerThread, RankExceptionPropagates) {
+  try {
+    runner::spawn(2, thread_options(), [](runner::ChildContext& c) -> double {
+      if (c.endpoint.rank() == 1)
+        throw common::Error("deliberate thread-rank failure");
+      return 0.0;
+    });
+    FAIL() << "spawn should have thrown";
+  } catch (const common::Error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("rank 1"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("deliberate thread-rank failure"), std::string::npos)
+        << msg;
+  }
+}
+
+TEST(RunnerThread, ProcessBackendRejectsInprocTransport) {
+  auto opts = fast_options();
+  opts.backend = runner::Backend::kProcess;
+  opts.transport = mpl::TransportKind::kInproc;
+  EXPECT_THROW(
+      runner::spawn(2, opts, [](runner::ChildContext&) { return 0.0; }),
+      common::Error);
+}
+
+TEST(RunnerThread, SequentialHelperWorksOnThreads) {
+  auto r = runner::run_sequential(thread_options(), [] {
+    volatile double x = 0;
+    for (int i = 0; i < 1'000'000; ++i) x = x + i;
+    return static_cast<double>(x);
+  });
+  EXPECT_GT(r.max_vt_ns, 0u);
+  EXPECT_GT(r.total_cpu_ns, 0u);
+  EXPECT_EQ(r.nprocs, 1);
+  EXPECT_EQ(r.backend, runner::Backend::kThread);
 }
 
 }  // namespace

@@ -29,8 +29,11 @@ struct ScaleArgs {
   std::int32_t scale;
 };
 
-std::int32_t* g_spf_data = nullptr;
-double* g_spf_sumcell = nullptr;
+// Per-rank (thread_local): under the thread backend every rank thread
+// binds these to pointers into its OWN heap; a shared global would make
+// ranks scribble into each other's address ranges.
+thread_local std::int32_t* g_spf_data = nullptr;
+thread_local double* g_spf_sumcell = nullptr;
 
 void scale_loop(spf::Runtime& rt, const void* argp) {
   ScaleArgs a;

@@ -49,6 +49,12 @@ runner::SpawnOptions det_options(mpl::TransportKind t) {
   o.shared_heap_bytes = 256ull << 20;
   o.timeout_sec = 300;
   o.transport = t;
+  // This suite compares the two fork-mesh transports against each
+  // other; pin the process backend so a TMK_BACKEND=thread environment
+  // (which coerces every transport to inproc) cannot collapse the
+  // comparison into inproc-vs-inproc. The thread backend has its own
+  // equivalence suite (backend_equivalence_test).
+  o.backend = runner::Backend::kProcess;
   return o;
 }
 
