@@ -469,13 +469,15 @@ Workload make_fft3d_workload() {
   // The sampled checksum reduction reassociates in every parallel
   // variant, hence the uniform tolerance.
   w.variants = {
-      make_variant<FftParams>(System::kSpf, &fft3d_spf, 1e-9, {2, 8}),
+      make_variant<FftParams>(System::kSpf, &fft3d_spf, 1e-9, {2, 8},
+                              {2, 4, 8, 16, 32, 64, 128}),
       make_variant<FftParams>(System::kSpfOpt, &fft3d_spf_opt, 1e-9, {4, 8}),
       make_variant<FftParams>(System::kTmk, &fft3d_tmk, 1e-9, {2, 8},
-                              {2, 4, 8, 16, 32}),
-      make_variant<FftParams>(System::kXhpf, &fft3d_xhpf, 1e-9, {4, 8}),
+                              {2, 4, 8, 16, 32, 64, 128}),
+      make_variant<FftParams>(System::kXhpf, &fft3d_xhpf, 1e-9, {4, 8},
+                              {2, 4, 8, 16, 32, 64, 128}),
       make_variant<FftParams>(System::kPvme, &fft3d_pvme, 1e-9, {4, 8},
-                              {2, 4, 8, 16, 32}),
+                              {2, 4, 8, 16, 32, 64, 128}),
   };
   FftParams dflt;  // paper grid, fewer iterations
   dflt.nx = 128;

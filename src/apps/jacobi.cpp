@@ -365,13 +365,15 @@ Workload make_jacobi_workload() {
   // kSpfOpt needs page-aligned rows (n a multiple of 1024), so the
   // reduced preset cannot drive it; apps_shape_test covers it.
   w.variants = {
-      make_variant<JacobiParams>(System::kSpf, &jacobi_spf, 0.0, {2, 4, 8}),
+      make_variant<JacobiParams>(System::kSpf, &jacobi_spf, 0.0, {2, 4, 8},
+                                 {2, 4, 8, 16, 32, 64, 128}),
       make_variant<JacobiParams>(System::kSpfOpt, &jacobi_spf_opt, 0.0, {}),
       make_variant<JacobiParams>(System::kTmk, &jacobi_tmk, 0.0, {2, 4, 8},
-                                 {2, 4, 8, 16, 32}),
-      make_variant<JacobiParams>(System::kXhpf, &jacobi_xhpf, 0.0, {2, 4, 8}),
+                                 {2, 4, 8, 16, 32, 64, 128}),
+      make_variant<JacobiParams>(System::kXhpf, &jacobi_xhpf, 0.0, {2, 4, 8},
+                                 {2, 4, 8, 16, 32, 64, 128}),
       make_variant<JacobiParams>(System::kPvme, &jacobi_pvme, 0.0, {2, 4, 8},
-                                 {2, 4, 8, 16, 32}),
+                                 {2, 4, 8, 16, 32, 64, 128}),
   };
   JacobiParams dflt;  // paper grid, reduced iterations
   dflt.n = 2048;

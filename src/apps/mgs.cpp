@@ -350,13 +350,15 @@ Workload make_mgs_workload() {
   // tolerance. kTmkOpt needs page-aligned rows (m a multiple of 1024),
   // so the reduced preset cannot drive it; apps_shape_test covers it.
   w.variants = {
-      make_variant<MgsParams>(System::kSpf, &mgs_spf, 0.0, {2, 8}),
+      make_variant<MgsParams>(System::kSpf, &mgs_spf, 0.0, {2, 8},
+                              {2, 4, 8, 16, 32, 64, 128}),
       make_variant<MgsParams>(System::kTmk, &mgs_tmk, 0.0, {2, 8},
-                              {2, 4, 8, 16, 32}),
+                              {2, 4, 8, 16, 32, 64, 128}),
       make_variant<MgsParams>(System::kTmkOpt, &mgs_tmk_opt, 0.0, {}),
-      make_variant<MgsParams>(System::kXhpf, &mgs_xhpf, 1e-5, {4, 8}),
+      make_variant<MgsParams>(System::kXhpf, &mgs_xhpf, 1e-5, {4, 8},
+                              {2, 4, 8, 16, 32, 64, 128}),
       make_variant<MgsParams>(System::kPvme, &mgs_pvme, 0.0, {4, 8},
-                              {2, 4, 8, 16, 32}),
+                              {2, 4, 8, 16, 32, 64, 128}),
   };
   MgsParams dflt;  // the paper's size (step count == iteration count)
   dflt.n = 1024;

@@ -292,13 +292,24 @@ double shallow_tmk(runner::ChildContext& ctx, const ShallowParams& p) {
   init_rows(g, lo, hi);  // each process initializes its own rows
   rt.barrier();
 
+  // The merged-wrap trick below assumes the master also owns row 1 —
+  // the only row whose step-2 stencil reads row 0. One-row slabs (more
+  // than dim/2 ranks) hand row 1 to rank 1, which then needs a real
+  // synchronization after the wrap; every rank computes the same
+  // predicate from the distribution, so the schedule stays collective.
+  // Paper-size decompositions take the original barrier-free path.
+  const bool wrap_read_is_remote = rt.nprocs() > 1 && rows.count(0) < 2;
+
   for (int it = 0; it < p.warmup_iters + p.iters; ++it) {
     if (it == p.warmup_iters) rt.endpoint().mark_measurement_start();
     step1_rows(g, p.n, lo, hi);
     rt.barrier();
-    // Master wraps row 0 (it owns it) while others start step 2; only the
-    // master reads row 0 in step 2, so no extra barrier is needed.
+    // Master wraps row 0 (it owns it) while others start step 2; when
+    // the master also owns row 1 — every realistic decomposition — it
+    // is the only reader of row 0 in step 2 and no extra barrier is
+    // needed.
     if (rt.rank() == 0) wrap1_cols(g, p.n, 0, dim);
+    if (wrap_read_is_remote) rt.barrier();
     step2_rows(g, p.n, lo, hi);
     rt.barrier();
     if (rt.rank() == 0) wrap2_cols(g, p.n, 0, dim);
@@ -329,7 +340,15 @@ double shallow_mp_impl(runner::ChildContext& ctx, const ShallowParams& p,
   const int np = comm.nprocs();
   const std::size_t lo = rows.lo(me);
   const std::size_t hi = rows.hi(me);
-  const int last = np - 1;
+  // More ranks than rows (the 128-rank sweeps on the 97-row scale grid)
+  // leaves a trailing run of ranks that own nothing; the neighbour
+  // exchange and the row-n wrap run over the contiguous active prefix,
+  // or an active rank would block on a halo its empty neighbour never
+  // sends. nactive == np whenever every rank owns rows, so smaller
+  // configurations are bit-identical to the original schedule.
+  int nactive = np;
+  while (nactive > 0 && rows.count(nactive - 1) == 0) --nactive;
+  const int last = nactive - 1;
 
   // Full-size private arrays; only own rows + the one-row halo are used.
   std::vector<float> storage(static_cast<std::size_t>(kNumFields) * dim * dim,
@@ -345,7 +364,7 @@ double shallow_mp_impl(runner::ChildContext& ctx, const ShallowParams& p,
   // hand version aggregates all fields of one phase into one message.
   auto send_halo_up = [&](std::initializer_list<Field> fields, int tag) {
     if (lo >= hi) return;
-    if (me + 1 < np) {
+    if (me + 1 < nactive) {
       std::vector<float> buf;
       buf.reserve(fields.size() * dim);
       for (Field a : fields)
@@ -369,9 +388,11 @@ double shallow_mp_impl(runner::ChildContext& ctx, const ShallowParams& p,
     for (Field a : fields) {
       if (lo < hi) {
         if (me > 0) comm.send(me - 1, t, g.row(a, lo), row_bytes);
-        if (me + 1 < np) comm.send(me + 1, t + 1, g.row(a, hi - 1), row_bytes);
+        if (me + 1 < nactive)
+          comm.send(me + 1, t + 1, g.row(a, hi - 1), row_bytes);
         if (me > 0) comm.recv_exact(me - 1, t + 1, g.row(a, lo - 1), row_bytes);
-        if (me + 1 < np) comm.recv_exact(me + 1, t, g.row(a, hi), row_bytes);
+        if (me + 1 < nactive)
+          comm.recv_exact(me + 1, t, g.row(a, hi), row_bytes);
       }
       t += 2;
     }
@@ -379,7 +400,7 @@ double shallow_mp_impl(runner::ChildContext& ctx, const ShallowParams& p,
 
   // The wrap needs row n at rank 0.
   auto ship_row_n = [&](std::initializer_list<Field> fields, int tag) {
-    if (np == 1) return;
+    if (nactive == 1) return;  // rank 0 owns row n itself
     if (me == last && lo < hi) {
       std::vector<float> buf;
       for (Field a : fields)
@@ -402,17 +423,23 @@ double shallow_mp_impl(runner::ChildContext& ctx, const ShallowParams& p,
       comm.endpoint().mark_measurement_start();
     }
     step1_rows(g, p.n, lo, hi);
+    // Row-n wrap BEFORE the halo exchange: when rank 0 owns only row 0
+    // (one-row slabs at high rank counts), the row it ships upward IS
+    // the wrap row — sending it pre-wrap hands rank 1 a stale halo.
+    // For multi-row slabs the order is immaterial (the wrap only
+    // rewrites row 0, which then never travels), so the smaller
+    // configurations' message contents are unchanged.
+    ship_row_n({kCu, kCv, kZ, kH}, 110);
+    if (me == 0) wrap1_cols(g, p.n, 0, dim);
     if (xhpf_conservative) {
       exchange_bidir({kCu, kCv, kZ, kH}, 100);
     } else {
       send_halo_up({kCu, kCv, kZ, kH}, 100);
     }
-    ship_row_n({kCu, kCv, kZ, kH}, 110);
-    if (me == 0) wrap1_cols(g, p.n, 0, dim);
     step2_rows(g, p.n, lo, hi);
-    if (xhpf_conservative) exchange_bidir({kUnew, kVnew, kPnew}, 120);
     ship_row_n({kUnew, kVnew, kPnew}, 130);
     if (me == 0) wrap2_cols(g, p.n, 0, dim);
+    if (xhpf_conservative) exchange_bidir({kUnew, kVnew, kPnew}, 120);
     step3_rows(g, lo, hi);
     if (xhpf_conservative) {
       exchange_bidir({kU, kV, kP, kUold, kVold, kPold}, 140);
@@ -442,7 +469,8 @@ double shallow_mp_impl(runner::ChildContext& ctx, const ShallowParams& p,
     }
     return total;
   }
-  comm.send(0, 99, sums.data(), sums.size() * sizeof(double));
+  if (!sums.empty())
+    comm.send(0, 99, sums.data(), sums.size() * sizeof(double));
   return 0.0;
 }
 
@@ -470,12 +498,14 @@ Workload make_shallow_workload() {
     return std::to_string(p.n + 1) + "^2 x " + std::to_string(p.iters);
   };
   w.variants = {
-      make_variant<ShallowParams>(System::kSpf, &shallow_spf, 0.0, {2, 8}),
+      make_variant<ShallowParams>(System::kSpf, &shallow_spf, 0.0, {2, 8},
+                                  {2, 4, 8, 16, 32, 64, 128}),
       make_variant<ShallowParams>(System::kTmk, &shallow_tmk, 0.0, {2, 8},
-                                  {2, 4, 8, 16, 32}),
-      make_variant<ShallowParams>(System::kXhpf, &shallow_xhpf, 0.0, {3, 8}),
+                                  {2, 4, 8, 16, 32, 64, 128}),
+      make_variant<ShallowParams>(System::kXhpf, &shallow_xhpf, 0.0, {3, 8},
+                                  {2, 4, 8, 16, 32, 64, 128}),
       make_variant<ShallowParams>(System::kPvme, &shallow_pvme, 0.0, {3, 8},
-                                  {2, 4, 8, 16, 32}),
+                                  {2, 4, 8, 16, 32, 64, 128}),
   };
   ShallowParams dflt;  // paper grid (page-aligned rows), fewer iterations
   dflt.n = 1023;

@@ -13,10 +13,16 @@
 
 namespace mpl {
 
-// 32 covers the scale sweeps (the paper stops at 8). The socket backend
-// needs 4*n^2 descriptors for a full mesh; the fabric raises
-// RLIMIT_NOFILE toward the hard limit when required.
-inline constexpr int kMaxProcs = 32;
+// 128 covers the thread-backend scale sweeps far past the paper's 8 and
+// the fork sweeps' 32. Everything sized by this constant is either
+// lazily materialized (ring mesh pages, per-page protocol state) or
+// O(kMaxProcs) small (vector clocks, dispatch tables), so raising it
+// costs idle configurations almost nothing. The socket backend needs
+// 4*n^2 descriptors for a full mesh; the fabric raises RLIMIT_NOFILE
+// toward the hard limit when required and fails loudly when even that
+// is not enough — in practice fork backends stop at 32 ranks and the
+// 64/128-rank configurations run on the thread backend's inproc mesh.
+inline constexpr int kMaxProcs = 128;
 
 /// Largest payload per datagram chunk. Kept under typical Unix-domain
 /// socket buffer limits so a single chunk can always be queued.

@@ -3,6 +3,7 @@
 #include <pthread.h>
 #include <sys/mman.h>
 
+#include <bit>
 #include <climits>
 #include <cstring>
 
@@ -12,7 +13,7 @@ namespace mpl {
 
 namespace {
 
-constexpr std::uint32_t kShmMagic = 0x544d4b53;  // "TMKS"
+constexpr std::uint32_t kShmMagic = 0x544d4b54;  // "TMKT" (v2: active masks)
 
 /// Region prologue, followed by doorbells and ring blocks.
 struct RegionHeader {
@@ -56,10 +57,27 @@ namespace {
   return align_up(sizeof(RegionHeader));
 }
 
-[[nodiscard]] std::size_t rings_offset(int nprocs) noexcept {
+// Active-ring masks, one per (receiver rank, lane): bit src*2+slot is
+// set (once, by the sender) the first time that incoming ring carries a
+// datagram. The receiver's drain walks only set bits, so an idle pair
+// ring is never constructed into the receive path and its control page
+// is never touched — at 128 ranks a full drain pass would otherwise
+// probe 2*nprocs ring headers per lane (16k rings process-wide) just to
+// find the two or three neighbours that actually talk.
+[[nodiscard]] std::size_t mask_words(int nprocs) noexcept {
+  return (static_cast<std::size_t>(nprocs) * 2 + 63) / 64;
+}
+
+[[nodiscard]] std::size_t masks_offset(int nprocs) noexcept {
   return align_up(doorbells_offset() +
                   static_cast<std::size_t>(nprocs) * 2 *
                       sizeof(ShmTransport::Doorbell));
+}
+
+[[nodiscard]] std::size_t rings_offset(int nprocs) noexcept {
+  return align_up(masks_offset(nprocs) +
+                  static_cast<std::size_t>(nprocs) * 2 * mask_words(nprocs) *
+                      sizeof(std::uint64_t));
 }
 
 /// Ring block index of (src, dst, lane, slot).
@@ -148,6 +166,7 @@ ShmTransport::ShmTransport(void* base, int nprocs, int rank, bool owns_region,
         out_[slot][lane].push_back(ring_view(
             base, nprocs,
             ring_index(nprocs, rank, dst, static_cast<Lane>(lane), slot)));
+      announced_[slot][lane].assign(static_cast<std::size_t>(nprocs), 0);
     }
   }
   for (int lane = 0; lane < 2; ++lane) {
@@ -171,16 +190,43 @@ ShmTransport::Doorbell& ShmTransport::doorbell(int rank, Lane lane) noexcept {
                static_cast<std::size_t>(lane)];
 }
 
-SpscRing& ShmTransport::out_ring(Lane lane, int dst) noexcept {
+int ShmTransport::sender_slot() const noexcept {
   // Slot 0 is the thread that built the endpoint (the main thread);
   // anything else — there is exactly one, the service thread — uses
   // slot 1, keeping every ring single-producer without registration.
-  const int slot =
-      pthread_equal(pthread_self(),
-                    static_cast<pthread_t>(main_thread_)) != 0
-          ? 0
-          : 1;
+  return pthread_equal(pthread_self(),
+                       static_cast<pthread_t>(main_thread_)) != 0
+             ? 0
+             : 1;
+}
+
+SpscRing& ShmTransport::out_ring(Lane lane, int slot, int dst) noexcept {
   return out_[slot][static_cast<int>(lane)][static_cast<std::size_t>(dst)];
+}
+
+std::atomic<std::uint64_t>* ShmTransport::active_mask(int rank,
+                                                      Lane lane) noexcept {
+  auto* words = reinterpret_cast<std::atomic<std::uint64_t>*>(
+      static_cast<std::byte*>(base_) + masks_offset(nprocs_));
+  return words + (static_cast<std::size_t>(rank) * 2 +
+                  static_cast<std::size_t>(lane)) *
+                     mask_words(nprocs_);
+}
+
+void ShmTransport::announce_ring(Lane lane, int slot, int dst) noexcept {
+  // First datagram on this (src, dst, lane, slot) ring: publish its bit
+  // in the receiver's active mask so its drain starts visiting the
+  // ring. Ordered before the doorbell bump — a receiver woken by the
+  // bump re-reads the mask after a stale token, so the bit is always
+  // seen before the datagram must be.
+  auto& flag = announced_[slot][static_cast<int>(lane)]
+                         [static_cast<std::size_t>(dst)];
+  if (flag != 0) return;
+  const std::size_t bit = static_cast<std::size_t>(rank_) * 2 +
+                          static_cast<std::size_t>(slot);
+  active_mask(dst, lane)[bit / 64].fetch_or(1ull << (bit % 64),
+                                            std::memory_order_seq_cst);
+  flag = 1;
 }
 
 void ShmTransport::ring_doorbell(int dst, Lane lane) noexcept {
@@ -192,18 +238,33 @@ void ShmTransport::ring_doorbell(int dst, Lane lane) noexcept {
 
 bool ShmTransport::try_send(Lane lane, int dst, const FrameHeader& h,
                             std::span<const std::byte> chunk) {
-  if (!out_ring(lane, dst).try_push(h, chunk)) return false;
+  const int slot = sender_slot();
+  if (!out_ring(lane, slot, dst).try_push(h, chunk)) return false;
+  announce_ring(lane, slot, dst);
   ring_doorbell(dst, lane);
   return true;
 }
 
 void ShmTransport::wait_send(Lane lane, int dst, int timeout_ms) {
-  out_ring(lane, dst).wait_space(timeout_ms);
+  out_ring(lane, sender_slot(), dst).wait_space(timeout_ms);
 }
 
 std::size_t ShmTransport::drain(Lane lane, const ChunkSink& sink) {
+  // Visit only rings that have ever carried a datagram toward us: the
+  // active mask bounds the pass by the number of talking neighbours,
+  // not by nprocs, and leaves idle rings' shared pages untouched.
   std::size_t count = 0;
-  for (SpscRing& ring : in_[static_cast<int>(lane)]) count += ring.drain(sink);
+  const std::atomic<std::uint64_t>* mask = active_mask(rank_, lane);
+  auto& rings = in_[static_cast<int>(lane)];
+  const std::size_t words = mask_words(nprocs_);
+  for (std::size_t w = 0; w < words; ++w) {
+    std::uint64_t m = mask[w].load(std::memory_order_acquire);
+    while (m != 0) {
+      const int bit = std::countr_zero(m);
+      m &= m - 1;
+      count += rings[w * 64 + static_cast<std::size_t>(bit)].drain(sink);
+    }
+  }
   return count;
 }
 

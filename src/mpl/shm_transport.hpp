@@ -13,9 +13,13 @@
 // the property Richie et al.'s Epiphany mailbox DSM demonstrates and
 // the reason the modelled 16/32-process sweeps become affordable.
 //
-// Memory footprint: nprocs^2 * 4 rings of 128 KiB. ~513 MiB of address
-// space at 32 processes, but MAP_NORESERVE and touched lazily — idle
-// channels never materialize pages.
+// Memory footprint: nprocs^2 * 4 rings of 128 KiB — ~8.6 GiB of address
+// space at 128 processes, but MAP_NORESERVE and touched lazily: a ring
+// materializes pages only when it first carries a datagram. Per
+// (dst, lane) the region also keeps an active-source bitmask; senders
+// publish a ring's bit on first use and the receiver's drain walks only
+// set bits, so both the page footprint AND the per-drain work scale
+// with the pairs that actually communicate, not with nprocs^2.
 #pragma once
 
 #include <memory>
@@ -69,8 +73,12 @@ class ShmTransport : public Transport {
   void wake_service() override;
 
  private:
-  [[nodiscard]] SpscRing& out_ring(Lane lane, int dst) noexcept;
+  [[nodiscard]] int sender_slot() const noexcept;
+  [[nodiscard]] SpscRing& out_ring(Lane lane, int slot, int dst) noexcept;
   [[nodiscard]] Doorbell& doorbell(int rank, Lane lane) noexcept;
+  [[nodiscard]] std::atomic<std::uint64_t>* active_mask(int rank,
+                                                        Lane lane) noexcept;
+  void announce_ring(Lane lane, int slot, int dst) noexcept;
   void ring_doorbell(int dst, Lane lane) noexcept;
 
   int nprocs_;
@@ -81,9 +89,15 @@ class ShmTransport : public Transport {
   unsigned long main_thread_;  // pthread_t of the constructing thread
   // Ring views: outgoing indexed [slot][lane][dst], incoming
   // [lane][src * 2 + slot]. Slot 0 = main thread, slot 1 = the (single)
-  // service thread.
+  // service thread. Views are plain pointer math over the region — no
+  // ring's shared pages are touched until it actually carries traffic.
   std::vector<SpscRing> out_[2][2];
   std::vector<SpscRing> in_[2];
+  // Local "already announced in the region's active mask" flags per
+  // [slot][lane], so the once-per-ring fetch_or is not repeated on
+  // every send. Slot 0 is only touched by the main thread, slot 1 only
+  // by the service thread.
+  std::vector<std::uint8_t> announced_[2][2];
 };
 
 /// Parent-side: maps and initializes the region, hands out transports.

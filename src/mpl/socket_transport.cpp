@@ -31,10 +31,12 @@ void make_pair(common::Fd& send_end, common::Fd& recv_end) {
 }
 
 /// A 32-process mesh needs 4 * 32^2 = 4096 descriptors in the parent —
-/// past the common 1024 soft limit. Raise the soft limit toward the
-/// hard limit (no privilege needed); construction still fails loudly if
-/// even that is not enough.
-void ensure_fd_headroom(std::size_t need) {
+/// past the common 1024 soft limit — and a 128-process mesh 65 792,
+/// past many hard limits. Raise the soft limit toward the hard limit
+/// (no privilege needed) and fail with an actionable message when even
+/// that cannot cover the mesh: the shm transport and the thread
+/// backend's inproc mesh need no descriptors at all.
+void ensure_fd_headroom(std::size_t need, int nprocs) {
   rlimit rl{};
   if (getrlimit(RLIMIT_NOFILE, &rl) != 0) return;
   if (rl.rlim_cur != RLIM_INFINITY && rl.rlim_cur < need) {
@@ -44,6 +46,14 @@ void ensure_fd_headroom(std::size_t need) {
                                                              : rl.rlim_max;
     (void)setrlimit(RLIMIT_NOFILE, &want);
   }
+  if (getrlimit(RLIMIT_NOFILE, &rl) != 0) return;
+  COMMON_CHECK_MSG(
+      rl.rlim_cur == RLIM_INFINITY || rl.rlim_cur >= need,
+      "socket mesh at nprocs=" << nprocs << " needs " << need
+                               << " descriptors but RLIMIT_NOFILE caps at "
+                               << rl.rlim_cur
+                               << "; use TMK_TRANSPORT=shm (fd-free rings) "
+                                  "or TMK_BACKEND=thread");
 }
 
 class SocketFabricState final : public FabricState {
@@ -51,7 +61,7 @@ class SocketFabricState final : public FabricState {
   explicit SocketFabricState(int nprocs) : nprocs_(nprocs) {
     const std::size_t pairs =
         static_cast<std::size_t>(nprocs) * static_cast<std::size_t>(nprocs);
-    ensure_fd_headroom(4 * pairs + 256);
+    ensure_fd_headroom(4 * pairs + 256, nprocs);
     for (auto& lane : send_) lane.resize(pairs);
     for (auto& lane : recv_) lane.resize(pairs);
     for (std::size_t p = 0; p < pairs; ++p)

@@ -3,6 +3,7 @@
 #include <poll.h>
 #include <signal.h>
 #include <sys/mman.h>
+#include <sys/resource.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
@@ -137,6 +138,31 @@ void aggregate_reports(RunResult& result, std::uint64_t wall_start_ns,
 /// written in place and published by the thread join.
 RunResult spawn_threads(int nprocs, const SpawnOptions& options,
                         const ChildFn& fn) {
+  // Preflight: each rank is two threads (application + DSM service). A
+  // 128-rank run wants ~260 threads; raise the RLIMIT_NPROC soft limit
+  // toward the hard limit if it is visibly short. If even the raised
+  // limit cannot hold this run's own threads, failure is certain —
+  // report it here with the configuration attached instead of dying
+  // mid-spawn with a bare EAGAIN. (A limit above `need` can still be
+  // exhausted by the user's other processes; that stays best-effort.)
+  {
+    const auto need = static_cast<rlim_t>(nprocs) * 2 + 32;
+    rlimit rl{};
+    if (getrlimit(RLIMIT_NPROC, &rl) == 0 && rl.rlim_cur != RLIM_INFINITY &&
+        rl.rlim_cur < need) {
+      rlimit want = rl;
+      want.rlim_cur =
+          (rl.rlim_max == RLIM_INFINITY || rl.rlim_max > need) ? need
+                                                               : rl.rlim_max;
+      (void)setrlimit(RLIMIT_NPROC, &want);
+      if (getrlimit(RLIMIT_NPROC, &rl) == 0)
+        COMMON_CHECK_MSG(rl.rlim_cur == RLIM_INFINITY || rl.rlim_cur >= need,
+                         "thread backend at nprocs="
+                             << nprocs << " needs ~" << need
+                             << " threads but RLIMIT_NPROC caps at "
+                             << rl.rlim_cur);
+    }
+  }
   const std::uint64_t wall_start_ns = common::wall_ns();
 
   RunResult result;

@@ -18,13 +18,80 @@ namespace tmk {
 
 namespace {
 
-// Fault-dispatch registry: one slot per live Runtime in this process,
-// scanned by the SIGSEGV handler to find the runtime owning a faulted
-// address. Slots are claimed by CAS so concurrent rank threads (the
-// thread backend constructs all ranks' runtimes at once) need no lock,
-// and reads are plain atomic loads — async-signal-safe. The process
-// backend occupies exactly one slot per child.
+// Fault-dispatch registry: one slot per live Runtime in this process.
+// Slots are claimed by CAS so concurrent rank threads (the thread
+// backend constructs all ranks' runtimes at once) need no lock, and
+// reads are plain atomic loads — async-signal-safe. The process
+// backend occupies exactly one slot per child. This unsorted array is
+// the ground truth; the sorted index below is an accelerator.
 std::atomic<Runtime*> g_runtimes[mpl::kMaxProcs] = {};
+
+// Sorted heap-range index: owner_of's O(log n) fast path. At 128 rank
+// threads the former linear scan put up to 128 range probes on every
+// page fault's critical path; the handler now binary-searches this
+// base-sorted table instead. Writers (Runtime construction and
+// destruction) serialize on g_range_mu and publish via the seqlock
+// g_range_version (odd while mutating); the reader — the SIGSEGV
+// handler, async-signal-safe by construction — retries on a torn read
+// a bounded number of times and falls back to the linear ground-truth
+// scan, so a fault taken while another thread is mid-registration can
+// never spin forever (not even on a genuine wild-pointer crash taken
+// by the registering thread itself, which holds g_range_mu).
+struct HeapRange {
+  std::atomic<std::uintptr_t> base{0};
+  std::atomic<std::uintptr_t> end{0};
+  std::atomic<Runtime*> rt{nullptr};
+};
+HeapRange g_ranges[mpl::kMaxProcs];
+std::atomic<std::uint32_t> g_range_count{0};
+std::atomic<std::uint32_t> g_range_version{0};
+std::mutex g_range_mu;
+
+void range_index_insert(Runtime* rt, std::uintptr_t base,
+                        std::uintptr_t end) {
+  std::lock_guard<std::mutex> g(g_range_mu);
+  const std::uint32_t n = g_range_count.load(std::memory_order_relaxed);
+  COMMON_CHECK(n < static_cast<std::uint32_t>(mpl::kMaxProcs));
+  g_range_version.fetch_add(1, std::memory_order_acq_rel);  // odd: mutating
+  std::uint32_t i = n;
+  while (i > 0 && g_ranges[i - 1].base.load(std::memory_order_relaxed) >
+                      base) {
+    g_ranges[i].base.store(
+        g_ranges[i - 1].base.load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
+    g_ranges[i].end.store(g_ranges[i - 1].end.load(std::memory_order_relaxed),
+                          std::memory_order_relaxed);
+    g_ranges[i].rt.store(g_ranges[i - 1].rt.load(std::memory_order_relaxed),
+                         std::memory_order_relaxed);
+    --i;
+  }
+  g_ranges[i].base.store(base, std::memory_order_relaxed);
+  g_ranges[i].end.store(end, std::memory_order_relaxed);
+  g_ranges[i].rt.store(rt, std::memory_order_relaxed);
+  g_range_count.store(n + 1, std::memory_order_relaxed);
+  g_range_version.fetch_add(1, std::memory_order_release);  // even: stable
+}
+
+void range_index_erase(Runtime* rt) {
+  std::lock_guard<std::mutex> g(g_range_mu);
+  const std::uint32_t n = g_range_count.load(std::memory_order_relaxed);
+  std::uint32_t i = 0;
+  while (i < n && g_ranges[i].rt.load(std::memory_order_relaxed) != rt) ++i;
+  if (i == n) return;  // never indexed (construction failure path)
+  g_range_version.fetch_add(1, std::memory_order_acq_rel);
+  for (; i + 1 < n; ++i) {
+    g_ranges[i].base.store(
+        g_ranges[i + 1].base.load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
+    g_ranges[i].end.store(g_ranges[i + 1].end.load(std::memory_order_relaxed),
+                          std::memory_order_relaxed);
+    g_ranges[i].rt.store(g_ranges[i + 1].rt.load(std::memory_order_relaxed),
+                         std::memory_order_relaxed);
+  }
+  g_ranges[n - 1].rt.store(nullptr, std::memory_order_relaxed);
+  g_range_count.store(n - 1, std::memory_order_relaxed);
+  g_range_version.fetch_add(1, std::memory_order_release);
+}
 
 // The rank context of the calling thread: the Runtime constructed on
 // it. Thread-local, so every rank thread resolves to its own.
@@ -36,6 +103,31 @@ Runtime* Runtime::instance() noexcept { return t_runtime; }
 
 Runtime* Runtime::owner_of(const void* addr) noexcept {
   const auto a = reinterpret_cast<std::uintptr_t>(addr);
+  // Fast path: seqlock-validated binary search over the sorted index.
+  constexpr int kMaxAttempts = 64;
+  for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
+    const std::uint32_t v1 = g_range_version.load(std::memory_order_acquire);
+    if ((v1 & 1u) != 0) continue;  // writer mid-update
+    const std::uint32_t n = g_range_count.load(std::memory_order_acquire);
+    // Greatest entry with base <= a.
+    std::uint32_t lo = 0;
+    std::uint32_t hi = n;
+    while (lo < hi) {
+      const std::uint32_t mid = lo + (hi - lo) / 2;
+      if (g_ranges[mid].base.load(std::memory_order_relaxed) <= a)
+        lo = mid + 1;
+      else
+        hi = mid;
+    }
+    Runtime* rt = nullptr;
+    if (lo > 0 && a < g_ranges[lo - 1].end.load(std::memory_order_relaxed))
+      rt = g_ranges[lo - 1].rt.load(std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (g_range_version.load(std::memory_order_relaxed) == v1) return rt;
+  }
+  // A writer is churning the index (concurrent runtime construction or
+  // destruction). The unsorted slot array is always consistent entry by
+  // entry; scan it instead of spinning.
   for (const auto& slot : g_runtimes) {
     Runtime* rt = slot.load(std::memory_order_acquire);
     if (rt == nullptr) continue;
@@ -66,7 +158,7 @@ Runtime::Runtime(runner::ChildContext& ctx, Options options)
     heap_len_ = common::align_down(options_.heap_limit_bytes,
                                    common::kPageSize);
   num_pages_ = heap_len_ / common::kPageSize;
-  COMMON_CHECK_MSG(num_pages_ < (1u << 27),
+  COMMON_CHECK_MSG(num_pages_ <= static_cast<std::size_t>(kPackMaxPage) + 1,
                    "heap too large for packed write-notice keys");
   pages_.resize(num_pages_);
   page_ext_.resize(num_pages_);
@@ -89,6 +181,19 @@ Runtime::Runtime(runner::ChildContext& ctx, Options options)
 
   worker_vc_.resize(static_cast<std::size_t>(nprocs_));
   main_tid_ = pthread_self();
+
+  // Barrier fan-in shape: flat (the paper's centralized manager) unless
+  // an arity is requested; any arity >= nprocs-1 is normalized to flat.
+  int arity = options_.barrier_arity;
+  if (arity == 0) {
+    if (const char* env = std::getenv("TMK_BARRIER_ARITY"); env != nullptr)
+      arity = std::atoi(env);
+  }
+  const int flat = std::max(1, nprocs_ - 1);
+  barrier_arity_ = (arity <= 0 || arity >= flat) ? flat : arity;
+  barrier_child_vc_.resize(
+      static_cast<std::size_t>(barrier_num_children()));
+  barrier_contrib_.assign(static_cast<std::size_t>(nprocs_), {0, 0});
 
   install_sigsegv_handler();
   host_fault_cost_ns_ = measure_host_fault_cost_ns();
@@ -122,6 +227,11 @@ Runtime::Runtime(runner::ChildContext& ctx, Options options)
                                 << mpl::kMaxProcs
                                 << " live Runtimes in one process");
   }
+  // Index the heap range for the handler's binary search. Ordered after
+  // the slot claim so the linear fallback already finds this runtime
+  // while the index write is in flight.
+  const auto base = reinterpret_cast<std::uintptr_t>(heap_);
+  range_index_insert(this, base, base + heap_len_);
 }
 
 Runtime::~Runtime() {
@@ -131,6 +241,7 @@ Runtime::~Runtime() {
     // Destructor must not throw; a failed rendezvous will surface as a
     // missing report in the harness.
   }
+  range_index_erase(this);
   for (auto& slot : g_runtimes) {
     Runtime* expected = this;
     if (slot.compare_exchange_strong(expected, nullptr,
@@ -216,11 +327,14 @@ void Runtime::close_interval() {
   if (dirty_pages_.empty()) return;
 
   const Seq seq = vc_.get(static_cast<ProcId>(rank_)) + 1;
+  COMMON_CHECK_MSG(seq <= kPackMaxSeq,
+                   "interval sequence overflows the packed key seq field");
   vc_.set(static_cast<ProcId>(rank_), seq);
 
   auto meta = std::make_unique<IntervalMeta>();
   meta->id = IntervalKey{static_cast<ProcId>(rank_), seq};
   meta->vc = vc_;
+  meta->vc_weight = vc_.weight();
   meta->pages = dirty_pages_;
   std::sort(meta->pages.begin(), meta->pages.end());
 
@@ -306,6 +420,7 @@ void Runtime::integrate_interval(ProcId creator, Seq seq,
   auto meta = std::make_unique<IntervalMeta>();
   meta->id = IntervalKey{creator, seq};
   meta->vc = vc;
+  meta->vc_weight = vc.weight();
   meta->pages = std::move(pages);
   const IntervalMeta* m = meta.get();
   known.push_back(std::move(meta));
@@ -336,6 +451,17 @@ void Runtime::integrate_interval(ProcId creator, Seq seq,
   }
 }
 
+void Runtime::put_interval_record(ByteWriter& w,
+                                  const IntervalMeta& m) const {
+  // The one wire format every interval serializer emits and
+  // read_intervals parses: creator, seq, vc, page list.
+  w.put<ProcId>(m.id.creator);
+  w.put<Seq>(m.id.seq);
+  w.put_vc(m.vc, nprocs_);
+  w.put<std::uint32_t>(static_cast<std::uint32_t>(m.pages.size()));
+  for (PageIndex pg : m.pages) w.put<PageIndex>(pg);
+}
+
 void Runtime::serialize_intervals_lacking(ByteWriter& w,
                                           const VectorClock& their_vc) const {
   // Caller holds mu_. Emits, per creator in ascending seq order, every
@@ -350,14 +476,8 @@ void Runtime::serialize_intervals_lacking(ByteWriter& w,
   for (int p = 0; p < nprocs_; ++p) {
     const auto pid = static_cast<ProcId>(p);
     const auto& known = intervals_[static_cast<std::size_t>(p)];
-    for (Seq s = their_vc.get(pid) + 1; s <= vc_.get(pid); ++s) {
-      const IntervalMeta& m = *known[s - 1];
-      w.put<ProcId>(m.id.creator);
-      w.put<Seq>(m.id.seq);
-      w.put_vc(m.vc, nprocs_);
-      w.put<std::uint32_t>(static_cast<std::uint32_t>(m.pages.size()));
-      for (PageIndex pg : m.pages) w.put<PageIndex>(pg);
-    }
+    for (Seq s = their_vc.get(pid) + 1; s <= vc_.get(pid); ++s)
+      put_interval_record(w, *known[s - 1]);
   }
 }
 
@@ -368,18 +488,15 @@ void Runtime::serialize_own_intervals_after(ByteWriter& w,
   const Seq cur = vc_.get(static_cast<ProcId>(rank_));
   COMMON_CHECK(after_seq <= cur);
   w.put<std::uint32_t>(cur - after_seq);
-  for (Seq s = after_seq + 1; s <= cur; ++s) {
-    const IntervalMeta& m = *own[s - 1];
-    w.put<ProcId>(m.id.creator);
-    w.put<Seq>(m.id.seq);
-    w.put_vc(m.vc, nprocs_);
-    w.put<std::uint32_t>(static_cast<std::uint32_t>(m.pages.size()));
-    for (PageIndex pg : m.pages) w.put<PageIndex>(pg);
-  }
+  for (Seq s = after_seq + 1; s <= cur; ++s)
+    put_interval_record(w, *own[s - 1]);
 }
 
-std::uint32_t Runtime::read_intervals(ByteReader& r) {
-  // Caller holds mu_.
+std::uint32_t Runtime::read_intervals(ByteReader& r, bool note_contrib) {
+  // Caller holds mu_. With note_contrib (the barrier fan-in), each
+  // creator's reported (lo, hi] seq range is recorded in
+  // barrier_contrib_ so the fan-in can forward the subtree's
+  // contribution to its parent.
   const auto count = r.get<std::uint32_t>();
   for (std::uint32_t i = 0; i < count; ++i) {
     const auto creator = r.get<ProcId>();
@@ -390,6 +507,15 @@ std::uint32_t Runtime::read_intervals(ByteReader& r) {
     pages.reserve(npages);
     for (std::uint32_t k = 0; k < npages; ++k)
       pages.push_back(r.get<PageIndex>());
+    if (note_contrib) {
+      COMMON_CHECK_MSG(creator != rank_,
+                       "barrier fan-in reported this rank's own interval");
+      auto& c = barrier_contrib_[creator];
+      if (c.first == c.second)
+        c = {seq - 1, seq};  // per-creator records arrive ascending
+      else
+        c.second = std::max(c.second, seq);
+    }
     integrate_interval(creator, seq, vc, std::move(pages));
   }
   return count;
@@ -513,8 +639,8 @@ void Runtime::fetch_and_apply(std::span<const PageIndex> fault_pages) {
   std::sort(fetch_staged_.begin(), fetch_staged_.end(),
             [](const FetchedDiff& a, const FetchedDiff& b) {
               if (a.page != b.page) return a.page < b.page;
-              const auto wa = a.interval->vc.weight();
-              const auto wb = b.interval->vc.weight();
+              const auto wa = a.interval->vc_weight;
+              const auto wb = b.interval->vc_weight;
               if (wa != wb) return wa < wb;
               return a.interval->id.creator < b.interval->id.creator;
             });
@@ -644,8 +770,43 @@ bool Runtime::handle_fault(void* addr, bool is_write_hint) {
 }
 
 // ---------------------------------------------------------------------
-// Barrier (§2.2: centralized manager, 2(n-1) messages)
+// Barrier (§2.2: centralized manager, 2(n-1) messages). The fan-in runs
+// over a k-ary heap-indexed tree rooted at rank 0 (barrier_arity_); the
+// default arity nprocs-1 makes every rank a direct child of the root,
+// which IS the paper's flat centralized manager, byte-for-byte. Any
+// arity still costs exactly one arrive plus one depart per tree edge —
+// the modelled 2(n-1) barrier messages are arity-invariant — but a
+// small arity bounds each node's sequential fan-in at k, which is what
+// keeps the host-side critical path O(k log_k n) at 128 ranks.
+//
+// Up the tree, each node reports its subtree's new intervals (its own
+// past the floor its parent knows, plus the ranges its children
+// reported this round — every creator lives in exactly one subtree, so
+// ranges never collide). Down the tree, each node — complete knowledge
+// in hand after its parent's depart — sends every child exactly the
+// intervals that child's subtree lacked at arrival, the same tailoring
+// the flat manager performs.
 // ---------------------------------------------------------------------
+
+void Runtime::serialize_barrier_contrib(ByteWriter& w) const {
+  // Caller holds mu_. Emits, per creator in ascending order, the
+  // intervals recorded in barrier_contrib_ — the subtree's news. For a
+  // leaf this degenerates to serialize_own_intervals_after, byte for
+  // byte, which is what keeps the flat (all-leaves) shape identical to
+  // the original centralized-manager wire format.
+  std::uint32_t count = 0;
+  for (int p = 0; p < nprocs_; ++p) {
+    const auto& c = barrier_contrib_[static_cast<std::size_t>(p)];
+    count += c.second - c.first;
+  }
+  w.put<std::uint32_t>(count);
+  for (int p = 0; p < nprocs_; ++p) {
+    const auto [lo, hi] = barrier_contrib_[static_cast<std::size_t>(p)];
+    const auto& known = intervals_[static_cast<std::size_t>(p)];
+    for (Seq s = lo + 1; s <= hi; ++s)
+      put_interval_record(w, *known[s - 1]);
+  }
+}
 
 void Runtime::barrier() {
   simx::ProtocolSection protocol(ep_.clock());
@@ -656,46 +817,69 @@ void Runtime::barrier() {
     return;
   }
 
-  if (rank_ == 0) {
-    std::vector<VectorClock> arrived(static_cast<std::size_t>(nprocs_));
-    {
-      std::lock_guard<std::mutex> g(mu_);
-      arrived[0] = vc_;
-    }
-    for (int i = 1; i < nprocs_; ++i) {
-      mpl::Frame f = ep_.wait_app_kind(mpl::FrameKind::kBarrierArrive);
-      ByteReader r(f.payload);
-      const auto seq = r.get<std::uint32_t>();
-      COMMON_CHECK_MSG(seq == barrier_seq_, "barrier sequence mismatch");
-      VectorClock their = r.get_vc(nprocs_);
-      std::lock_guard<std::mutex> g(mu_);
-      read_intervals(r);
-      arrived[static_cast<std::size_t>(f.src)] = their;
-      vc_.merge(their);
-      ep_.recycle_buffer(std::move(f.payload));
-    }
-    for (int p = 1; p < nprocs_; ++p) {
-      ByteWriter w;
-      w.put<std::uint32_t>(barrier_seq_);
-      {
-        std::lock_guard<std::mutex> g(mu_);
-        w.put_vc(vc_, nprocs_);
-        serialize_intervals_lacking(w, arrived[static_cast<std::size_t>(p)]);
-      }
-      ep_.send_app(p, mpl::FrameKind::kBarrierDepart, 0, 0, w.bytes());
-    }
-  } else {
+  const int nchildren = barrier_num_children();
+  const int first_child = barrier_first_child();
+
+  // ---- fan-in: own news, then every child subtree's ----
+  for (auto& c : barrier_contrib_) c = {0, 0};
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    // Report own intervals from the floor the PARENT is guaranteed to
+    // know. The flat parent is rank 0, which join_worker also reports
+    // to, so the shared watermark applies (and keeps the paper shape's
+    // wire bytes identical to the original centralized manager); a
+    // non-root tree parent only ever learns this rank's intervals
+    // through barriers, so fork/join progress must not advance its
+    // floor — reporting from sent_to_master_seq_ there would open an
+    // interval gap at the parent and abort the run.
+    const Seq floor_seq =
+        barrier_parent() == 0 ? sent_to_master_seq_ : barrier_sent_seq_;
+    barrier_contrib_[static_cast<std::size_t>(rank_)] = {
+        floor_seq, vc_.get(static_cast<ProcId>(rank_))};
+  }
+  for (int i = 0; i < nchildren; ++i) {
+    mpl::Frame f = ep_.wait_app_kind(mpl::FrameKind::kBarrierArrive);
+    COMMON_CHECK_MSG(f.src >= first_child && f.src < first_child + nchildren,
+                     "barrier arrive from non-child rank " << f.src);
+    ByteReader r(f.payload);
+    const auto seq = r.get<std::uint32_t>();
+    COMMON_CHECK_MSG(seq == barrier_seq_, "barrier sequence mismatch");
+    VectorClock their = r.get_vc(nprocs_);
+    std::lock_guard<std::mutex> g(mu_);
+    read_intervals(r, /*note_contrib=*/true);
+    barrier_child_vc_[static_cast<std::size_t>(f.src - first_child)] = their;
+    // Deliberately NO vc_.merge(their): a child's vc can claim intervals
+    // it learned about through a lock chain whose creators live OUTSIDE
+    // this subtree — claims this node does not possess as interval
+    // metadata. Merging them would make this node's own arrive vc
+    // overclaim, its parent's depart would then skip those intervals,
+    // and a later serialization bounded by vc_ would index interval
+    // records that were never received. vc_ grows only through
+    // integrate_interval, so it always equals what intervals_ actually
+    // holds; every claim a child can make is covered by its creator's
+    // own report arriving at the root through the creator's own path.
+    ep_.recycle_buffer(std::move(f.payload));
+  }
+
+  if (rank_ != 0) {
+    // ---- report the subtree upward, wait for the global depart ----
     ByteWriter w;
     w.put<std::uint32_t>(barrier_seq_);
     {
       std::lock_guard<std::mutex> g(mu_);
       w.put_vc(vc_, nprocs_);
-      serialize_own_intervals_after(w, sent_to_master_seq_);
-      sent_to_master_seq_ = vc_.get(static_cast<ProcId>(rank_));
+      serialize_barrier_contrib(w);
+      // By the time this barrier completes, the contribution has
+      // reached rank 0 through the tree — so the join watermark may
+      // advance too, whatever the arity.
+      barrier_sent_seq_ = vc_.get(static_cast<ProcId>(rank_));
+      sent_to_master_seq_ = barrier_sent_seq_;
     }
-    ep_.send_app(0, mpl::FrameKind::kBarrierArrive, 0, 0, w.bytes());
+    const int parent = barrier_parent();
+    ep_.send_app(parent, mpl::FrameKind::kBarrierArrive, 0, 0, w.bytes());
 
-    mpl::Frame f = ep_.wait_app_kind_from(mpl::FrameKind::kBarrierDepart, 0);
+    mpl::Frame f =
+        ep_.wait_app_kind_from(mpl::FrameKind::kBarrierDepart, parent);
     ByteReader r(f.payload);
     const auto seq = r.get<std::uint32_t>();
     COMMON_CHECK_MSG(seq == barrier_seq_, "barrier sequence mismatch");
@@ -706,6 +890,20 @@ void Runtime::barrier() {
       vc_.merge(merged);
     }
     ep_.recycle_buffer(std::move(f.payload));
+  }
+
+  // ---- departs: tailored to what each child's subtree lacked ----
+  for (int i = 0; i < nchildren; ++i) {
+    ByteWriter w;
+    w.put<std::uint32_t>(barrier_seq_);
+    {
+      std::lock_guard<std::mutex> g(mu_);
+      w.put_vc(vc_, nprocs_);
+      serialize_intervals_lacking(
+          w, barrier_child_vc_[static_cast<std::size_t>(i)]);
+    }
+    ep_.send_app(first_child + i, mpl::FrameKind::kBarrierDepart, 0, 0,
+                 w.bytes());
   }
   ++barrier_seq_;
 }
@@ -789,7 +987,13 @@ void Runtime::join_master() {
       std::lock_guard<std::mutex> g(mu_);
       read_intervals(r);
       worker_vc_[static_cast<std::size_t>(f.src)] = their;
-      vc_.merge(their);
+      // No vc_.merge(their): like the barrier fan-in, a worker's vc can
+      // claim lock-learned intervals this master does not yet possess;
+      // vc_ advances only through integrate_interval, and every claimed
+      // interval's creator reports it itself before the loop ends — so
+      // the final clock is identical, without the transient overclaim
+      // window (during which the service thread could serialize a lock
+      // grant bounded by vc_ and index intervals never received).
     }
     ep_.recycle_buffer(std::move(f.payload));
   }

@@ -31,6 +31,7 @@
 
 #include <pthread.h>
 
+#include <algorithm>
 #include <array>
 #include <atomic>
 #include <cstddef>
@@ -88,6 +89,16 @@ class Runtime {
     /// If nonzero, a deterministic cap on shared-heap allocation; the
     /// remainder of the inherited mapping is left untouched.
     std::size_t heap_limit_bytes = 0;
+    /// Barrier fan-in arity. 0 (the default) keeps the paper's
+    /// centralized manager — every rank a direct child of rank 0, the
+    /// flat 2(n-1) shape of §2.2 — unless TMK_BARRIER_ARITY overrides
+    /// it. Any k >= 1 arranges the ranks as a k-ary heap-indexed tree
+    /// rooted at 0: still exactly 2(n-1) barrier messages (one arrive
+    /// and one depart per tree edge), but the root waits on at most k
+    /// children instead of n-1, so host-side fan-in latency is
+    /// O(k log_k n) at 128 ranks. Values >= nprocs-1 degenerate to the
+    /// flat shape, byte-identically.
+    int barrier_arity = 0;
   };
 
   /// Attaches the DSM to the rank's heap mapping and starts the
@@ -249,8 +260,23 @@ class Runtime {
                           std::vector<PageIndex> pages);
   void serialize_intervals_lacking(ByteWriter& w,
                                    const VectorClock& their_vc) const;
+  void put_interval_record(ByteWriter& w, const IntervalMeta& m) const;
   void serialize_own_intervals_after(ByteWriter& w, Seq after_seq) const;
-  std::uint32_t read_intervals(ByteReader& r);
+  std::uint32_t read_intervals(ByteReader& r, bool note_contrib = false);
+  void serialize_barrier_contrib(ByteWriter& w) const;
+
+  // -- barrier tree topology (heap-indexed k-ary tree rooted at 0) --
+  [[nodiscard]] int barrier_parent() const noexcept {
+    return (rank_ - 1) / barrier_arity_;
+  }
+  [[nodiscard]] int barrier_first_child() const noexcept {
+    return barrier_arity_ * rank_ + 1;
+  }
+  [[nodiscard]] int barrier_num_children() const noexcept {
+    const int first = barrier_first_child();
+    if (first >= nprocs_) return 0;
+    return std::min(barrier_arity_, nprocs_ - first);
+  }
   void fetch_and_apply(std::span<const PageIndex> pages);
   void mprotect_page(PageIndex page, int prot) const;
   [[nodiscard]] std::byte* page_ptr(PageIndex page) const noexcept {
@@ -298,29 +324,14 @@ class Runtime {
   std::vector<std::unique_ptr<PageExt>> page_ext_;
   std::vector<PageIndex> dirty_pages_;  // pages twinned this interval
   // (creator, seq, page) triples already applied via push/bcast, packed
-  // into 64-bit keys (see pack_preapplied): a flat hash set instead of a
-  // node-per-entry std::set on the fault path.
+  // into 64-bit keys (pack_preapplied, types.hpp: 7-bit creator, 30-bit
+  // seq, 27-bit page): a flat hash set instead of a node-per-entry
+  // std::set on the fault path.
   common::FlatSet64 preapplied_;
   // Retired twin buffers for reuse: a write fault after a flush grabs a
   // pooled 4 KiB buffer instead of allocating. Guarded by mu_.
   std::vector<std::unique_ptr<std::byte[]>> twin_pool_;
   std::vector<LockState> locks_;
-
-  // Packs one pre-applied write-notice identity into a FlatSet64 key:
-  // creator in the top 5 bits, seq in the middle 32, page in the low 27
-  // (checked at startup: num_pages_ < 2^27, nprocs <= 32).
-  [[nodiscard]] static std::uint64_t pack_preapplied(
-      ProcId creator, Seq seq, PageIndex page) noexcept {
-    static_assert(mpl::kMaxProcs <= 32, "creator must fit in 5 bits");
-    return (static_cast<std::uint64_t>(creator) << 59) |
-           (static_cast<std::uint64_t>(seq) << 27) |
-           static_cast<std::uint64_t>(page);
-  }
-  /// The (creator, seq) identity of a packed key, for prefix erasure.
-  [[nodiscard]] static std::uint64_t preapplied_prefix(
-      std::uint64_t key) noexcept {
-    return key >> 27;
-  }
 
   [[nodiscard]] std::unique_ptr<std::byte[]> take_twin_buffer();
   void recycle_twin(std::unique_ptr<std::byte[]> twin);
@@ -380,7 +391,22 @@ class Runtime {
   // Improved-interface bookkeeping (master side).
   std::vector<VectorClock> worker_vc_;
   Seq sent_to_master_seq_ = 0;  // my own intervals already sent to proc 0
+  // My own seq as of the last barrier arrive: everything up to it
+  // reached my tree parent through that barrier. Distinct from
+  // sent_to_master_seq_, which join_worker also advances — a join
+  // reports straight to rank 0 and teaches a non-root parent nothing,
+  // so a non-flat barrier must report from this floor instead.
+  Seq barrier_sent_seq_ = 0;
   std::uint32_t barrier_seq_ = 0;
+  // Effective barrier fan-in arity (>= 1); nprocs-1 is the flat
+  // centralized-manager shape. Resolved once at construction from
+  // Options::barrier_arity / TMK_BARRIER_ARITY.
+  int barrier_arity_ = 1;
+  // Barrier fan-in scratch (main thread only), sized once: arrived
+  // subtree vcs per direct child, and per-creator (lo, hi] interval
+  // ranges this node forwards to its parent.
+  std::vector<VectorClock> barrier_child_vc_;
+  std::vector<std::pair<Seq, Seq>> barrier_contrib_;
   std::uint32_t fork_seq_ = 0;
   std::uint32_t next_req_id_ = 1;
   // Manager-side record of the last process to request each lock.

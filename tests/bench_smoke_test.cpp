@@ -1,0 +1,67 @@
+// Bench-smoke: the 2 -> 128 thread-backend scale sweep is an acceptance
+// surface, not just a reporting convenience — this test drives the real
+// bench_scale binary over the high-rank points and asserts the rows it
+// appends to BENCH_results.json carry the backend/transport columns the
+// perf-trajectory tooling keys on. Skips (rather than fails) when the
+// bench binaries are not part of the build (sanitizer CI configures
+// with TMK_BUILD_BENCHES=OFF).
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string self_dir() {
+  return fs::read_symlink("/proc/self/exe").parent_path().string();
+}
+
+TEST(BenchSmoke, ScaleSweepAppends64And128RowsWithBackendColumns) {
+  const fs::path bench = fs::path(self_dir()) / "bench_scale";
+  if (!fs::exists(bench))
+    GTEST_SKIP() << "bench_scale not built (TMK_BUILD_BENCHES=OFF)";
+
+  // Fresh working directory so the rows land in a file this test owns.
+  const fs::path dir =
+      fs::temp_directory_path() /
+      ("tmk_bench_smoke." + std::to_string(::getpid()));
+  fs::create_directories(dir);
+  // Scrub the suite's own TMK_TRANSPORT/TMK_BACKEND (the ctest legs set
+  // them): the sweep under test is the thread backend's, and a fork
+  // transport in the environment would (correctly) be rejected as
+  // contradicting --backend=thread.
+  const std::string cmd =
+      "cd '" + dir.string() + "' && env -u TMK_TRANSPORT -u TMK_BACKEND '" +
+      bench.string() +
+      "' --backend=thread --nprocs-list=64,128"
+      " --benchmark_filter='jacobi/Tmk' > bench.log 2>&1";
+  const int rc = std::system(cmd.c_str());
+  ASSERT_EQ(rc, 0) << "bench_scale failed; see " << (dir / "bench.log");
+
+  std::ifstream in(dir / "BENCH_results.json");
+  ASSERT_TRUE(in.good()) << "bench_scale wrote no BENCH_results.json";
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string json = buf.str();
+
+  // One row per swept nprocs, each carrying the backend and transport
+  // fields the thread-backend sweep runs on.
+  for (const char* frag :
+       {"\"nprocs\": 64", "\"nprocs\": 128", "\"backend\": \"thread\"",
+        "\"transport\": \"inproc\"", "\"app\": \"Jacobi\"",
+        "\"system\": \"Tmk\"", "\"host_wall_s\": "}) {
+    EXPECT_NE(json.find(frag), std::string::npos)
+        << "missing " << frag << " in:\n"
+        << json;
+  }
+  fs::remove_all(dir);
+}
+
+}  // namespace

@@ -401,7 +401,9 @@ TEST(TmkRuntime, WorstCaseDiffPatternsFlushAndApply) {
   EXPECT_DOUBLE_EQ(r.procs[1].checksum, 1.0);
 }
 
-// Barrier message count: 2(n-1) per barrier (§2.2).
+// Barrier message count: 2(n-1) per barrier (§2.2). The paper variants
+// run the default (flat, centralized-manager) shape, whose modelled
+// cost must stay exactly the paper's.
 TEST(TmkRuntime, BarrierCosts2NMinus1Messages) {
   auto r = runner::spawn(8, fast_options(), [](runner::ChildContext& c) {
     tmk::Runtime rt(c);
@@ -412,6 +414,194 @@ TEST(TmkRuntime, BarrierCosts2NMinus1Messages) {
   });
   // 3 counted barriers + shutdown rendezvous (uncounted layer kOther).
   EXPECT_EQ(r.messages(mpl::Layer::kTmk), 3u * 2u * 7u);
+}
+
+// The tree barrier sends one arrive and one depart per tree edge, so
+// the 2(n-1) message count of the flat shape is arity-invariant: the
+// modelled cost the paper variants report does not depend on the
+// fan-in shape chosen for host-side latency.
+TEST(TmkRuntime, TreeBarrierStillCosts2NMinus1Messages) {
+  for (int arity : {1, 2, 3, 5}) {
+    auto r = runner::spawn(8, fast_options(),
+                           [arity](runner::ChildContext& c) {
+                             tmk::Runtime::Options o;
+                             o.barrier_arity = arity;
+                             tmk::Runtime rt(c, o);
+                             rt.barrier();
+                             rt.barrier();
+                             rt.barrier();
+                             return 0.0;
+                           });
+    EXPECT_EQ(r.messages(mpl::Layer::kTmk), 3u * 2u * 7u)
+        << "arity " << arity;
+  }
+}
+
+// Consistency through the tree: writes published before the barrier are
+// visible after it at every arity, including the interval forwarding
+// up the tree and the tailored departs down it. Runs the same disjoint
+// writer pattern the flat-barrier tests pin, at several arities.
+TEST(TmkRuntime, TreeBarrierPublishesWritesAtAnyArity) {
+  for (int arity : {1, 2, 4, 7}) {
+    auto r = runner::spawn(8, fast_options(),
+                           [arity](runner::ChildContext& c) {
+                             tmk::Runtime::Options o;
+                             o.barrier_arity = arity;
+                             tmk::Runtime rt(c, o);
+                             constexpr int kPer = 1024;  // one page each
+                             auto* data = rt.alloc<std::int32_t>(kPer * 8);
+                             rt.barrier();
+                             for (int i = 0; i < kPer; ++i)
+                               data[rt.rank() * kPer + i] = rt.rank() + 1;
+                             rt.barrier();
+                             double sum = 0;
+                             for (int i = 0; i < kPer * rt.nprocs(); ++i)
+                               sum += data[i];
+                             rt.barrier();
+                             return sum;
+                           });
+    const double expect = 1024.0 * (1 + 2 + 3 + 4 + 5 + 6 + 7 + 8);
+    for (const auto& p : r.procs)
+      EXPECT_DOUBLE_EQ(p.checksum, expect) << "arity " << arity;
+  }
+}
+
+// Locks can propagate intervals ACROSS subtrees between barriers; the
+// tree fan-in must still deliver every interval exactly once and in
+// creator order. The token-passing pattern of LockGrantCarriesConsistency
+// at a deep (arity-2) tree exercises that path.
+TEST(TmkRuntime, TreeBarrierInteroperatesWithLockConsistency) {
+  auto r = runner::spawn(8, fast_options(), [](runner::ChildContext& c) {
+    tmk::Runtime::Options o;
+    o.barrier_arity = 2;
+    tmk::Runtime rt(c, o);
+    auto* data = rt.alloc<std::int32_t>(1024);
+    auto* turn = rt.alloc<std::int32_t>(1024);
+    rt.barrier();
+    for (int round = 0; round < rt.nprocs(); ++round) {
+      rt.lock_acquire(0);
+      if (*turn < rt.nprocs() && *turn % rt.nprocs() == rt.rank()) {
+        data[*turn] = *turn + 1;
+        *turn += 1;
+      }
+      rt.lock_release(0);
+      rt.barrier();
+    }
+    double sum = 0;
+    for (int i = 0; i < rt.nprocs(); ++i) sum += data[i];
+    rt.barrier();
+    return sum;
+  });
+  // data[i] = i+1 for i in 0..7 => 36.
+  for (const auto& p : r.procs) EXPECT_DOUBLE_EQ(p.checksum, 36.0);
+}
+
+// join_worker reports intervals straight to rank 0, which teaches a
+// non-root tree parent nothing; a later tree barrier must report its
+// own intervals from the floor its PARENT actually knows, or the
+// parent hits an interval gap and aborts. Chain arity (parent = rank-1
+// everywhere) makes every non-leaf parent a non-root, and the barrier
+// must follow the join with NO fork in between — a fork_broadcast
+// would re-teach every worker and mask the gap.
+TEST(TmkRuntime, TreeBarrierAfterForkJoinHasNoIntervalGap) {
+  auto r = runner::spawn(4, fast_options(), [](runner::ChildContext& c) {
+    tmk::Runtime::Options o;
+    o.barrier_arity = 1;
+    tmk::Runtime rt(c, o);
+    constexpr int kPer = 1024;  // one page per rank
+    auto* data = rt.alloc<std::int32_t>(kPer * 4);
+    struct Args {
+      std::int32_t scale;
+    };
+    if (rt.rank() == 0) {
+      Args a{2};
+      rt.fork_broadcast(
+          0, {reinterpret_cast<const std::byte*>(&a), sizeof(a)});
+      for (int i = 0; i < kPer; ++i) data[i] += a.scale;
+      rt.join_master();
+    } else {
+      auto work = rt.wait_fork();
+      Args a;
+      std::memcpy(&a, work.args.data(), sizeof(a));
+      const int lo = kPer * rt.rank();
+      for (int i = lo; i < lo + kPer; ++i) data[i] += a.scale;
+      rt.join_worker();
+    }
+    // New intervals after the join, published through the chain
+    // barrier: each rank's contribution must be contiguous with what
+    // its chain parent knows — which excludes the join-reported
+    // intervals the parent never saw.
+    data[kPer * rt.rank()] += rt.rank();
+    rt.barrier();
+    double sum = 0;
+    for (int i = 0; i < kPer * rt.nprocs(); ++i) sum += data[i];
+    rt.barrier();
+    return sum;
+  });
+  // Every quarter incremented by 2, plus each rank's extra bump.
+  for (const auto& p : r.procs)
+    EXPECT_DOUBLE_EQ(p.checksum, 1024.0 * 4 * 2 + (0 + 1 + 2 + 3));
+}
+
+// ---- packed write-notice keys (types.hpp) ----------------------------
+
+// Exhaustive round-trip over every creator the 7-bit field admits,
+// crossed with boundary seq and page values.
+TEST(PackPreapplied, RoundTripsEveryCreatorAndBoundaryValues) {
+  const tmk::Seq seqs[] = {1, 2, 1000, tmk::kPackMaxSeq - 1,
+                           tmk::kPackMaxSeq};
+  const tmk::PageIndex pages[] = {0, 1, 4095, tmk::kPackMaxPage - 1,
+                                  tmk::kPackMaxPage};
+  for (int creator = 0; creator < mpl::kMaxProcs; ++creator) {
+    for (tmk::Seq seq : seqs) {
+      for (tmk::PageIndex page : pages) {
+        const auto id = static_cast<tmk::ProcId>(creator);
+        const std::uint64_t key = tmk::pack_preapplied(id, seq, page);
+        EXPECT_EQ(tmk::preapplied_creator(key), id);
+        EXPECT_EQ(tmk::preapplied_seq(key), seq);
+        EXPECT_EQ(tmk::preapplied_page(key), page);
+        EXPECT_EQ(tmk::preapplied_prefix(key),
+                  tmk::pack_preapplied(id, seq, 0) >> tmk::kPackPageBits);
+      }
+    }
+  }
+  static_assert(mpl::kMaxProcs <= (1 << tmk::kPackCreatorBits));
+}
+
+// The packing is ordering-preserving: keys compare exactly like the
+// (creator, seq, page) tuples they encode. Prefix erasure relies on the
+// (creator, seq) identity occupying the contiguous high bits, so a
+// neighbouring seq or creator must never alias into the page field.
+TEST(PackPreapplied, PreservesTupleOrderingForPrefixErasure) {
+  struct T {
+    tmk::ProcId c;
+    tmk::Seq s;
+    tmk::PageIndex p;
+  };
+  const T ts[] = {
+      {0, 1, 0},
+      {0, 1, tmk::kPackMaxPage},
+      {0, 2, 0},
+      {0, tmk::kPackMaxSeq, tmk::kPackMaxPage},
+      {1, 1, 0},
+      {63, 7, 123},
+      {63, 7, 124},
+      {63, 8, 0},
+      {64, 1, 0},
+      {127, tmk::kPackMaxSeq, tmk::kPackMaxPage},
+  };
+  for (std::size_t i = 0; i + 1 < std::size(ts); ++i) {
+    const std::uint64_t a = tmk::pack_preapplied(ts[i].c, ts[i].s, ts[i].p);
+    const std::uint64_t b =
+        tmk::pack_preapplied(ts[i + 1].c, ts[i + 1].s, ts[i + 1].p);
+    EXPECT_LT(a, b) << "entry " << i;
+    // Same (creator, seq) <=> same prefix.
+    const bool same_id =
+        ts[i].c == ts[i + 1].c && ts[i].s == ts[i + 1].s;
+    EXPECT_EQ(tmk::preapplied_prefix(a) == tmk::preapplied_prefix(b),
+              same_id)
+        << "entry " << i;
+  }
 }
 
 // Fork/join message count: 2(n-1) per parallel loop (§2.3).
