@@ -69,6 +69,12 @@ struct Row {
   double seconds = 0.0;       // modelled parallel seconds
   double host_wall_s = 0.0;   // real wall time of the run (harness cost)
   double host_cpu_s = 0.0;    // summed main-thread CPU across processes
+  // Host-side interconnect cost (summed over ranks): transport publishes
+  // (doorbell bumps / send syscalls) and send-side FUTEX_WAKE syscalls.
+  // These track what the burst fabric saves; the modelled `messages`/
+  // `kbytes` below are burst- and transport-invariant by construction.
+  std::uint64_t host_send_calls = 0;
+  std::uint64_t host_futex_wakes = 0;
   std::uint64_t messages = 0;
   double kbytes = 0.0;
   double checksum = 0.0;
@@ -135,6 +141,8 @@ class Report {
            << ", \"seconds\": " << r.seconds
            << ", \"host_wall_s\": " << r.host_wall_s
            << ", \"host_cpu_s\": " << r.host_cpu_s
+           << ", \"host_send_calls\": " << r.host_send_calls
+           << ", \"host_futex_wakes\": " << r.host_futex_wakes
            << ", \"messages\": " << r.messages
            << ", \"kbytes\": " << r.kbytes
            << ", \"checksum\": " << r.checksum << "}";
@@ -202,6 +210,8 @@ inline Row record(const std::string& app, apps::System system, int nprocs,
   row.speedup = (r.seconds() > 0) ? seq_seconds / r.seconds() : 0.0;
   row.host_wall_s = r.host_wall_s;
   row.host_cpu_s = static_cast<double>(r.total_cpu_ns) * 1e-9;
+  row.host_send_calls = r.total_host_send_calls;
+  row.host_futex_wakes = r.total_host_futex_wakes;
   row.checksum = r.checksum;
   fill_traffic(row, system, r);
   Report::instance().add(row);

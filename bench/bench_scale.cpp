@@ -98,14 +98,17 @@ int main(int argc, char** argv) {
                "transport) ===\n";
   common::TextTable t;
   t.header({"application", "system", "transport", "backend", "nprocs",
-            "speedup", "time(s)", "host wall(s)", "host cpu(s)"});
+            "speedup", "time(s)", "host wall(s)", "host cpu(s)",
+            "sends", "futex wakes"});
   for (const bench::Row& r : bench::Report::instance().rows()) {
     if (r.nprocs < 2) continue;  // seq baseline rows
     t.row({r.app, r.system, r.transport, r.backend, std::to_string(r.nprocs),
            common::TextTable::num(r.speedup, 2),
            common::TextTable::num(r.seconds, 3),
            common::TextTable::num(r.host_wall_s, 3),
-           common::TextTable::num(r.host_cpu_s, 3)});
+           common::TextTable::num(r.host_cpu_s, 3),
+           std::to_string(r.host_send_calls),
+           std::to_string(r.host_futex_wakes)});
   }
   t.print(std::cout);
   bench::Report::instance().write_json();

@@ -49,6 +49,13 @@ TransportKind transport_from_env(TransportKind fallback) noexcept {
   return fallback;
 }
 
+bool burst_from_env() noexcept {
+  // Read per construction (never cached in a static): equivalence tests
+  // toggle the mode between spawns within one process.
+  const char* env = std::getenv("TMK_FABRIC_BURST");
+  return env == nullptr || env[0] != '0';
+}
+
 Fabric::Fabric(int nprocs, TransportKind kind) : nprocs_(nprocs), kind_(kind) {
   COMMON_CHECK_MSG(nprocs >= 1 && nprocs <= kMaxProcs,
                    "nprocs=" << nprocs << " outside [1," << kMaxProcs << "]");
@@ -74,7 +81,42 @@ Endpoint::Endpoint(Fabric& fabric, int rank, simx::MachineModel model)
     : rank_(rank),
       nprocs_(fabric.nprocs()),
       clock_(model),
-      transport_(fabric.adopt(rank)) {}
+      transport_(fabric.adopt(rank)),
+      burst_enabled_(burst_from_env()) {}
+
+Endpoint::~Endpoint() {
+  // A rank unwinding mid-burst (an exception between begin_burst and
+  // flush_burst) must not leave frames invisible to its peers — they
+  // would block on the dead rank forever instead of observing its
+  // failure. Swallow errors: this runs during unwinding.
+  try {
+    flush_burst();
+  } catch (...) {
+  }
+}
+
+void Endpoint::begin_burst(int dst) {
+  if (!burst_enabled_ || burst_dst_ == dst) return;
+  flush_burst();
+  burst_dst_ = dst;
+}
+
+void Endpoint::flush_burst() {
+  if (burst_dst_ < 0) return;
+  const int dst = burst_dst_;
+  for (int lane = 0; lane < 2; ++lane) {
+    if (!burst_lane_used_[lane]) continue;
+    while (!transport_->try_flush_burst(static_cast<Lane>(lane), dst)) {
+      // Same deadlock-freedom discipline as a blocked send: drain our
+      // own inbound app traffic so a peer blocked on a send toward us
+      // can progress, then wait for channel space.
+      pump();
+      transport_->wait_send(static_cast<Lane>(lane), dst, 2);
+    }
+    burst_lane_used_[lane] = false;
+  }
+  burst_dst_ = -1;
+}
 
 void Endpoint::count_if_remote(int dst, FrameKind kind,
                                std::size_t bytes) noexcept {
@@ -89,6 +131,27 @@ void Endpoint::send_chunks(Lane lane, int dst, bool pump_while_blocked,
   // The payload bytes travel straight from the caller's buffer (often
   // the shared page image itself) into the transport; no staging copy.
   const std::size_t total = payload.size();
+  // Burst integration. Only the main thread (pump_while_blocked) has
+  // explicit per-peer bursts; a send to a DIFFERENT peer is an
+  // operation boundary that flushes the open one. Independent of the
+  // explicit API, a multi-chunk message always batches its own chunks
+  // into one transport publish — a 56 KiB-chunked diff reply costs one
+  // doorbell, not one per chunk. Single-chunk messages outside a burst
+  // keep the zero-copy direct path.
+  const bool in_explicit_burst =
+      pump_while_blocked && burst_enabled_ && burst_dst_ == dst;
+  if (pump_while_blocked && burst_dst_ >= 0 && dst != burst_dst_)
+    flush_burst();
+  bool own_burst = false;
+  if (in_explicit_burst) {
+    if (!burst_lane_used_[static_cast<int>(lane)]) {
+      transport_->begin_burst(lane, dst);
+      burst_lane_used_[static_cast<int>(lane)] = true;
+    }
+  } else if (burst_enabled_ && total > kMaxChunk) {
+    transport_->begin_burst(lane, dst);
+    own_burst = true;
+  }
   std::size_t offset = 0;
   do {
     const std::size_t len = std::min(kMaxChunk, total - offset);
@@ -112,6 +175,12 @@ void Endpoint::send_chunks(Lane lane, int dst, bool pump_while_blocked,
     }
     offset += len;
   } while (offset < total);
+  if (own_burst) {
+    while (!transport_->try_flush_burst(lane, dst)) {
+      if (pump_while_blocked) pump();
+      transport_->wait_send(lane, dst, pump_while_blocked ? 2 : -1);
+    }
+  }
 }
 
 void Endpoint::send_app(int dst, FrameKind kind, std::int32_t tag,
@@ -235,6 +304,9 @@ bool Endpoint::has_pending(FramePredicate pred) const {
 }
 
 Frame Endpoint::wait_app(FramePredicate pred) {
+  // Operation boundary: anything batched must reach its peer before we
+  // block — the frame we are about to wait for may be its reply.
+  flush_burst();
   // Fold real application compute before any transport work; everything
   // between here and the matching frame is waiting/draining, which
   // on_recv discards in favour of the modelled costs.

@@ -92,6 +92,11 @@ class Endpoint {
   /// then destroy the Fabric object to release all foreign resources.
   Endpoint(Fabric& fabric, int rank, simx::MachineModel model);
 
+  /// Flushes any burst left open (so no frame is ever stranded in the
+  /// transport — a rank unwinding mid-burst must not hang its peers),
+  /// then releases the transport.
+  ~Endpoint();
+
   Endpoint(const Endpoint&) = delete;
   Endpoint& operator=(const Endpoint&) = delete;
 
@@ -104,6 +109,35 @@ class Endpoint {
   [[nodiscard]] Counters counters() const noexcept {
     return counters_.snapshot();
   }
+  /// Host-side interconnect cost (send publishes, futex wakes) this
+  /// rank has accumulated. Purely a host observable — never modelled.
+  [[nodiscard]] HostStats host_stats() const noexcept {
+    return transport_->host_stats();
+  }
+
+  // ---- per-peer send bursts (main thread) ----
+  //
+  // A multi-frame operation toward one peer — a barrier arrival carrying
+  // write notices, the departs of a tree barrier, a lock grant with
+  // piggybacked intervals — can be handed to the transport as ONE unit:
+  //
+  //   ep.begin_burst(dst);
+  //   ep.send_app(...); ep.send_svc(...);   // frames are batched
+  //   ep.flush_burst();                      // one publish, one doorbell
+  //
+  // Bursts change HOST cost only: modelled clocks and counters are
+  // charged per logical message exactly as without bursting. The burst
+  // is auto-flushed at every operation boundary that could block on a
+  // peer (wait_app, a send to a different destination, destruction), so
+  // forgetting flush_burst() affects batching, never correctness.
+  // Disabled entirely (every call a no-op) when TMK_FABRIC_BURST=0.
+
+  /// Opens (or switches) the current send burst toward `dst`.
+  void begin_burst(int dst);
+
+  /// Publishes every batched frame and closes the burst. No-op when no
+  /// burst is open.
+  void flush_burst();
 
   // ---- main-thread send paths ----
 
@@ -271,6 +305,14 @@ class Endpoint {
   Counters measure_counters_start_{};
   Counters measure_counters_end_{};
   bool measure_ended_ = false;
+
+  // Burst state (main thread only; the service thread's sends batch at
+  // most within one send_chunks call). burst_lane_used_ tracks which
+  // transport lanes the open burst has touched, so flush only visits
+  // those.
+  bool burst_enabled_ = true;
+  int burst_dst_ = -1;
+  bool burst_lane_used_[2] = {false, false};
 };
 
 }  // namespace mpl

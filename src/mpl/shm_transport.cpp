@@ -1,10 +1,14 @@
 #include "mpl/shm_transport.hpp"
 
 #include <pthread.h>
+#include <sched.h>
 #include <sys/mman.h>
 
+#include <algorithm>
 #include <bit>
+#include <cassert>
 #include <climits>
+#include <cstdio>
 #include <cstring>
 
 #include "common/check.hpp"
@@ -37,6 +41,38 @@ constexpr std::size_t kAlign = 64;
   // (src, dst) ordered pairs x 2 lanes x 2 sender slots.
   return static_cast<std::size_t>(nprocs) * static_cast<std::size_t>(nprocs) *
          4;
+}
+
+// Receive-side wait bounds (doorbell re-checks before advertising a
+// sleeper). While a receiver re-checks it does NOT advertise `waiters`,
+// so the matching senders skip FUTEX_WAKE entirely — the bulk of the
+// burst-mode syscall saving. The first kSpinPause re-checks are pause
+// spins (they catch a publish already in flight on another core); the
+// rest are sched_yield re-checks, which is what matters with more rank
+// threads than cores: the receiver hands its timeslice to the sender
+// it is waiting on instead of burning it, so request/reply turnarounds
+// and barrier fan-in storms complete without any futex traffic even on
+// one core. The budget adapts per lane (grow on a hit, shrink on a
+// miss) so receivers blocked on genuinely distant events — a barrier
+// depart several compute phases away — fall back to sleeping after a
+// few yields.
+constexpr int kSpinPause = 32;
+constexpr int kSpinInitial = 64;
+constexpr int kSpinMax = 256;
+// Floor above zero so a budget collapsed by a run of misses keeps a
+// meaningful probe window (and can grow back); shrink is gentle (1/4
+// per miss) so one long wait in a run of short turnarounds does not
+// collapse the budget and push the next turnarounds into futex sleeps.
+constexpr int kSpinMin = 32;
+
+inline void cpu_relax() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield" ::: "memory");
+#else
+  std::atomic_signal_fence(std::memory_order_seq_cst);
+#endif
 }
 
 }  // namespace
@@ -153,7 +189,9 @@ ShmTransport::ShmTransport(void* base, int nprocs, int rank, bool owns_region,
       base_(base),
       owns_region_(owns_region),
       kind_(kind),
-      main_thread_(static_cast<unsigned long>(pthread_self())) {
+      main_thread_(static_cast<unsigned long>(pthread_self())),
+      burst_enabled_(burst_from_env()) {
+  if (burst_enabled_) spin_budget_[0] = spin_budget_[1] = kSpinInitial;
   const auto* h = static_cast<const RegionHeader*>(base);
   COMMON_CHECK_MSG(h->magic == kShmMagic &&
                        h->nprocs == static_cast<std::uint32_t>(nprocs) &&
@@ -180,6 +218,25 @@ ShmTransport::ShmTransport(void* base, int nprocs, int rank, bool owns_region,
 }
 
 ShmTransport::~ShmTransport() {
+  // Teardown contract: the Endpoint flushes every open burst before the
+  // transport dies, so nothing should be staged here. If a caller
+  // bypassed that, publish anyway — a stranded record would wedge the
+  // peer's receive forever, which is strictly worse than delivering
+  // late — and complain loudly so the bug is visible.
+  for (int slot = 0; slot < 2; ++slot) {
+    for (int lane = 0; lane < 2; ++lane) {
+      const int dst = burst_dst_[slot][lane];
+      if (dst < 0) continue;
+      if (out_ring(static_cast<Lane>(lane), slot, dst).has_staged()) {
+        std::fprintf(stderr,
+                     "mpl: rank %d tore down with frames staged toward "
+                     "rank %d (unflushed burst) — publishing them\n",
+                     rank_, dst);
+        publish_staged(static_cast<Lane>(lane), slot, dst);
+        assert(false && "transport destroyed with an unflushed burst");
+      }
+    }
+  }
   if (owns_region_) munmap(base_, shm_region_bytes(nprocs_));
 }
 
@@ -232,17 +289,64 @@ void ShmTransport::announce_ring(Lane lane, int slot, int dst) noexcept {
 void ShmTransport::ring_doorbell(int dst, Lane lane) noexcept {
   Doorbell& d = doorbell(dst, lane);
   d.seq.fetch_add(1, std::memory_order_seq_cst);
-  if (d.waiters.load(std::memory_order_seq_cst) != 0)
+  host_send_calls_.fetch_add(1, std::memory_order_relaxed);
+  if (d.waiters.load(std::memory_order_seq_cst) != 0) {
     detail::futex_wake(&d.seq, INT_MAX);
+    host_futex_wakes_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void ShmTransport::publish_staged(Lane lane, int slot, int dst) noexcept {
+  SpscRing& ring = out_ring(lane, slot, dst);
+  const bool had_staged = ring.has_staged();
+  ring.publish();
+  if (had_staged) {
+    announce_ring(lane, slot, dst);
+    ring_doorbell(dst, lane);
+  }
 }
 
 bool ShmTransport::try_send(Lane lane, int dst, const FrameHeader& h,
                             std::span<const std::byte> chunk) {
   const int slot = sender_slot();
-  if (!out_ring(lane, slot, dst).try_push(h, chunk)) return false;
+  SpscRing& ring = out_ring(lane, slot, dst);
+  if (burst_dst_[slot][static_cast<int>(lane)] == dst) {
+    // Mid-burst: stage without a tail store or doorbell. If the ring is
+    // full, publish what IS staged (and ring once) so the consumer can
+    // drain it — otherwise neither side could make progress — then
+    // report backpressure; the burst stays open for the retry.
+    if (ring.stage(h, chunk)) return true;
+    publish_staged(lane, slot, dst);
+    return false;
+  }
+  if (!ring.try_push(h, chunk)) return false;
   announce_ring(lane, slot, dst);
   ring_doorbell(dst, lane);
   return true;
+}
+
+void ShmTransport::begin_burst(Lane lane, int dst) {
+  const int slot = sender_slot();
+  int& cur = burst_dst_[slot][static_cast<int>(lane)];
+  if (cur == dst) return;
+  // Switching targets closes the previous burst (publish + doorbell);
+  // ring publishes never backpressure, so this cannot fail.
+  if (cur >= 0) publish_staged(lane, slot, cur);
+  cur = dst;
+}
+
+bool ShmTransport::try_flush_burst(Lane lane, int dst) {
+  const int slot = sender_slot();
+  int& cur = burst_dst_[slot][static_cast<int>(lane)];
+  if (cur != dst) return true;
+  publish_staged(lane, slot, dst);
+  cur = -1;
+  return true;
+}
+
+HostStats ShmTransport::host_stats() const noexcept {
+  return {host_send_calls_.load(std::memory_order_relaxed),
+          host_futex_wakes_.load(std::memory_order_relaxed)};
 }
 
 void ShmTransport::wait_send(Lane lane, int dst, int timeout_ms) {
@@ -273,11 +377,28 @@ std::uint32_t ShmTransport::recv_token(Lane lane) {
 }
 
 void ShmTransport::wait_recv(Lane lane, std::uint32_t token) {
+  Doorbell& d = doorbell(rank_, lane);
+  // Burst mode: pause-then-yield on the doorbell before advertising a
+  // sleeper. While re-checking, `waiters` stays 0, so senders skip
+  // FUTEX_WAKE — the common request/reply exchange then costs no
+  // syscalls on the wake side even when the sender only runs after the
+  // receiver yields its timeslice (see the constants above).
+  int& budget = spin_budget_[static_cast<int>(lane)];
+  for (int i = 0; i < budget; ++i) {
+    if (d.seq.load(std::memory_order_acquire) != token) {
+      budget = std::min(kSpinMax, budget * 2 + 1);
+      return;
+    }
+    if (i < kSpinPause)
+      cpu_relax();
+    else
+      sched_yield();
+  }
+  if (budget > 0) budget = std::max(kSpinMin, budget - budget / 4);
   // Bounded sleep: a spurious return only costs the caller one empty
   // re-drain, and the bound keeps even a theoretically missed wake from
   // becoming a hang.
   constexpr int kMaxSleepMs = 100;
-  Doorbell& d = doorbell(rank_, lane);
   d.waiters.fetch_add(1, std::memory_order_seq_cst);
   if (d.seq.load(std::memory_order_seq_cst) == token)
     detail::futex_wait(&d.seq, token, kMaxSleepMs);

@@ -71,6 +71,9 @@ class ShmTransport : public Transport {
   [[nodiscard]] std::uint32_t recv_token(Lane lane) override;
   void wait_recv(Lane lane, std::uint32_t token) override;
   void wake_service() override;
+  void begin_burst(Lane lane, int dst) override;
+  [[nodiscard]] bool try_flush_burst(Lane lane, int dst) override;
+  [[nodiscard]] HostStats host_stats() const noexcept override;
 
  private:
   [[nodiscard]] int sender_slot() const noexcept;
@@ -80,6 +83,7 @@ class ShmTransport : public Transport {
                                                         Lane lane) noexcept;
   void announce_ring(Lane lane, int slot, int dst) noexcept;
   void ring_doorbell(int dst, Lane lane) noexcept;
+  void publish_staged(Lane lane, int slot, int dst) noexcept;
 
   int nprocs_;
   int rank_;
@@ -98,6 +102,24 @@ class ShmTransport : public Transport {
   // every send. Slot 0 is only touched by the main thread, slot 1 only
   // by the service thread.
   std::vector<std::uint8_t> announced_[2][2];
+  // Open-burst destination per [slot][lane] (-1 = none). While a burst
+  // is open, try_sends toward it stage into the ring without a tail
+  // store or doorbell; try_flush_burst publishes the whole batch with
+  // one release store and one doorbell bump. Each slot is owned by its
+  // single sending thread.
+  int burst_dst_[2][2] = {{-1, -1}, {-1, -1}};
+  // Burst mode also arms a receive-side spin before the futex sleep
+  // (TMK_FABRIC_BURST=0 restores the sleep-only wait). The per-lane
+  // budget adapts: a wait satisfied while spinning grows it, a wait
+  // that had to sleep anyway shrinks it, so oversubscribed hosts (more
+  // rank threads than cores) degrade back toward pure futex waits.
+  // Each lane's budget is touched only by that lane's receiving thread.
+  bool burst_enabled_ = true;
+  int spin_budget_[2] = {0, 0};
+  // Host-side cost counters (HostStats): both sending threads bump
+  // them, so they are relaxed atomics.
+  std::atomic<std::uint64_t> host_send_calls_{0};
+  std::atomic<std::uint64_t> host_futex_wakes_{0};
 };
 
 /// Parent-side: maps and initializes the region, hands out transports.

@@ -1,10 +1,14 @@
 #include "mpl/socket_transport.hpp"
 
+#include <pthread.h>
 #include <sys/eventfd.h>
 #include <sys/resource.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
 #include <cstring>
 
 #include "common/check.hpp"
@@ -14,6 +18,12 @@ namespace mpl {
 namespace {
 
 constexpr int kSocketBuffer = 512 * 1024;
+
+// Burst bounds: enough gathered datagrams to amortize the syscall, few
+// enough that the scratch stays well under the socket send buffer (a
+// flush that cannot fit in kSocketBuffer would always backpressure).
+constexpr std::size_t kMaxBurstFrames = 64;
+constexpr std::size_t kMaxBurstBytes = 256 * 1024;
 
 void make_pair(common::Fd& send_end, common::Fd& recv_end) {
   int fds[2];
@@ -98,7 +108,9 @@ class SocketFabricState final : public FabricState {
 
 }  // namespace
 
-SocketTransport::SocketTransport(Channels channels) : ch_(std::move(channels)) {
+SocketTransport::SocketTransport(Channels channels)
+    : ch_(std::move(channels)),
+      main_thread_(static_cast<unsigned long>(pthread_self())) {
   service_wake_.reset(COMMON_SYSCALL(eventfd(0, EFD_NONBLOCK)));
   for (int lane = 0; lane < 2; ++lane) {
     drain_pollfds_[lane].reserve(ch_.in[lane].size());
@@ -110,8 +122,112 @@ SocketTransport::SocketTransport(Channels channels) : ch_(std::move(channels)) {
       {service_wake_.get(), POLLIN, 0});
 }
 
+int SocketTransport::sender_slot() const noexcept {
+  return pthread_equal(pthread_self(),
+                       static_cast<pthread_t>(main_thread_)) != 0
+             ? 0
+             : 1;
+}
+
+bool SocketTransport::flush_frames(Burst& b, Lane lane) {
+  const int fd =
+      ch_.out[static_cast<int>(lane)][static_cast<std::size_t>(b.dst)].get();
+  while (b.sent < b.frames.size()) {
+    mmsghdr msgs[kMaxBurstFrames];
+    iovec iovs[kMaxBurstFrames];
+    const std::size_t n =
+        std::min(kMaxBurstFrames, b.frames.size() - b.sent);
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto [off, len] = b.frames[b.sent + i];
+      iovs[i].iov_base = b.bytes.data() + off;
+      iovs[i].iov_len = len;
+      msgs[i] = mmsghdr{};
+      msgs[i].msg_hdr.msg_iov = &iovs[i];
+      msgs[i].msg_hdr.msg_iovlen = 1;
+    }
+    const int r = sendmmsg(fd, msgs, static_cast<unsigned>(n), 0);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return false;
+      COMMON_SYSCALL(r);
+    }
+    host_send_calls_.fetch_add(1, std::memory_order_relaxed);
+    // SEQPACKET datagrams are atomic: each accepted message left whole.
+    for (int i = 0; i < r; ++i)
+      COMMON_CHECK(msgs[i].msg_len == b.frames[b.sent +
+                                               static_cast<std::size_t>(i)]
+                                          .second);
+    b.sent += static_cast<std::size_t>(r);
+  }
+  b.bytes.clear();  // fully drained: reset, keeping scratch capacity
+  b.frames.clear();
+  b.sent = 0;
+  return true;
+}
+
+void SocketTransport::begin_burst(Lane lane, int dst) {
+  Burst& b = burst_[sender_slot()][static_cast<int>(lane)];
+  if (b.dst == dst) return;
+  if (b.dst >= 0) {
+    // Switching targets: drain the previous burst first. Block through
+    // plain poll if needed — the caller asked for a new burst without
+    // flushing, so it is not in a state where it could pump.
+    while (!flush_frames(b, lane)) wait_send(lane, b.dst, -1);
+  }
+  b.dst = dst;
+}
+
+bool SocketTransport::try_flush_burst(Lane lane, int dst) {
+  Burst& b = burst_[sender_slot()][static_cast<int>(lane)];
+  if (b.dst != dst) return true;
+  if (!flush_frames(b, lane)) return false;  // stays open for the retry
+  b.dst = -1;
+  return true;
+}
+
+HostStats SocketTransport::host_stats() const noexcept {
+  return {host_send_calls_.load(std::memory_order_relaxed), 0};
+}
+
+SocketTransport::~SocketTransport() {
+  // Teardown contract: the Endpoint flushes open bursts first. Push any
+  // leftovers best-effort (no blocking in a destructor) so peers are
+  // not silently starved, and make the protocol bug visible.
+  for (int slot = 0; slot < 2; ++slot) {
+    for (int lane = 0; lane < 2; ++lane) {
+      Burst& b = burst_[slot][lane];
+      if (b.dst < 0 || b.sent == b.frames.size()) continue;
+      std::fprintf(stderr,
+                   "mpl: socket transport torn down with %zu datagrams "
+                   "still gathered toward rank %d (unflushed burst)\n",
+                   b.frames.size() - b.sent, b.dst);
+      (void)flush_frames(b, static_cast<Lane>(lane));
+      assert(false && "transport destroyed with an unflushed burst");
+    }
+  }
+}
+
 bool SocketTransport::try_send(Lane lane, int dst, const FrameHeader& h,
                                std::span<const std::byte> chunk) {
+  Burst& b = burst_[sender_slot()][static_cast<int>(lane)];
+  if (b.dst == dst) {
+    // Mid-burst: gather a copy (the caller's buffer will not outlive
+    // this call) and leave the kernel handoff to the flush. When the
+    // scratch is at capacity, try to drain it first; only a kernel-side
+    // backpressure propagates to the caller as a failed send.
+    if ((b.frames.size() - b.sent >= kMaxBurstFrames ||
+         b.bytes.size() >= kMaxBurstBytes) &&
+        !flush_frames(b, lane))
+      return false;
+    const std::size_t off = b.bytes.size();
+    b.bytes.resize(off + sizeof(h) + chunk.size());
+    std::memcpy(b.bytes.data() + off, &h, sizeof(h));
+    if (!chunk.empty())
+      std::memcpy(b.bytes.data() + off + sizeof(h), chunk.data(),
+                  chunk.size());
+    b.frames.emplace_back(off, sizeof(h) + chunk.size());
+    return true;
+  }
   // Scatter-gather: header and payload leave in one sendmsg with no
   // staging copy; the payload bytes are read straight from the caller's
   // buffer (often the shared page image itself).
@@ -129,6 +245,7 @@ bool SocketTransport::try_send(Lane lane, int dst, const FrameHeader& h,
     const ssize_t r = sendmsg(fd, &msg, 0);
     if (r >= 0) {
       COMMON_CHECK(static_cast<std::size_t>(r) == sizeof(h) + chunk.size());
+      host_send_calls_.fetch_add(1, std::memory_order_relaxed);
       return true;
     }
     if (errno == EINTR) continue;

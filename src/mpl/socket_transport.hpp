@@ -10,7 +10,10 @@
 
 #include <poll.h>
 
+#include <atomic>
+#include <cstddef>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "common/fd.hpp"
@@ -38,10 +41,33 @@ class SocketTransport final : public Transport {
   [[nodiscard]] std::uint32_t recv_token(Lane) override { return 0; }
   void wait_recv(Lane lane, std::uint32_t token) override;
   void wake_service() override;
+  void begin_burst(Lane lane, int dst) override;
+  [[nodiscard]] bool try_flush_burst(Lane lane, int dst) override;
+  [[nodiscard]] HostStats host_stats() const noexcept override;
+  ~SocketTransport() override;
 
  private:
+  // A burst gathers datagram copies (header + payload, since the
+  // caller's buffers do not outlive try_send) into persistent scratch
+  // and hands them to the kernel in sendmmsg batches at flush. One per
+  // [sending slot][lane]; each slot is owned by its single thread.
+  struct Burst {
+    int dst = -1;
+    std::vector<std::byte> bytes;  // concatenated datagram images
+    std::vector<std::pair<std::size_t, std::size_t>> frames;  // offset, len
+    std::size_t sent = 0;  // datagrams already accepted by the kernel
+  };
+
+  [[nodiscard]] int sender_slot() const noexcept;
+  /// Pushes queued datagrams [sent, end) to the kernel; false on
+  /// backpressure with datagrams still queued.
+  bool flush_frames(Burst& b, Lane lane);
+
   Channels ch_;
   common::Fd service_wake_;  // eventfd observed by the kSvc wait
+  unsigned long main_thread_;  // pthread_t of the constructing thread
+  Burst burst_[2][2];          // [slot][lane]
+  std::atomic<std::uint64_t> host_send_calls_{0};
   // Persistent poll arrays (descriptors never change): [lane] over the
   // inbound fds; the kSvc wait array carries the eventfd last. drain()
   // and wait_recv() on a lane run on that lane's single receiving

@@ -114,10 +114,27 @@ class SpscRing {
   /// has not caught up). Never blocks.
   bool try_push(const FrameHeader& h,
                 std::span<const std::byte> chunk) noexcept {
+    const bool ok = stage(h, chunk);
+    publish();
+    return ok;
+  }
+
+  /// Writes one datagram into the ring WITHOUT making it visible to the
+  /// consumer: the tail store is deferred until publish(). A burst of
+  /// stage() calls followed by one publish() hands the consumer the
+  /// whole burst with a single release store — and lets the transport
+  /// ring its doorbell once per burst instead of once per datagram.
+  /// False when the ring lacks space for this record (anything already
+  /// staged stays staged; the caller decides whether to publish it).
+  bool stage(const FrameHeader& h, std::span<const std::byte> chunk) noexcept {
+    if (!staging_) {
+      staged_tail_ = ctrl_->tail.load(std::memory_order_relaxed);
+      staging_ = true;
+    }
     const auto len = static_cast<std::uint32_t>(chunk.size());
     const std::uint32_t rec = record_bytes(len);
     const std::uint32_t head = ctrl_->head.load(std::memory_order_acquire);
-    std::uint32_t tail = ctrl_->tail.load(std::memory_order_relaxed);
+    std::uint32_t tail = staged_tail_;
     std::uint32_t free = cap_ - (tail - head);
     std::uint32_t pos = tail & mask_;
     const std::uint32_t contig = cap_ - pos;
@@ -138,8 +155,23 @@ class SpscRing {
     if (len > 0)
       std::memcpy(data_ + pos + kRecordHeader + sizeof(FrameHeader),
                   chunk.data(), len);
-    ctrl_->tail.store(tail + rec, std::memory_order_release);
+    staged_tail_ = tail + rec;
     return true;
+  }
+
+  /// Makes every staged record visible to the consumer with one release
+  /// store of the tail. No-op when nothing is staged.
+  void publish() noexcept {
+    if (!staging_) return;
+    if (staged_tail_ != ctrl_->tail.load(std::memory_order_relaxed))
+      ctrl_->tail.store(staged_tail_, std::memory_order_release);
+    staging_ = false;
+  }
+
+  /// True when stage() has written records the consumer cannot yet see.
+  [[nodiscard]] bool has_staged() const noexcept {
+    return staging_ &&
+           staged_tail_ != ctrl_->tail.load(std::memory_order_relaxed);
   }
 
   /// Blocks (futex on `head`) until the consumer has advanced past the
@@ -202,6 +234,11 @@ class SpscRing {
   std::byte* data_ = nullptr;
   std::uint32_t cap_ = 0;
   std::uint32_t mask_ = 0;
+  // Producer-local staging cursor (not in shared memory: only the single
+  // producing thread reads it, and the consumer must not see staged
+  // records until publish()).
+  std::uint32_t staged_tail_ = 0;
+  bool staging_ = false;
 };
 
 }  // namespace mpl

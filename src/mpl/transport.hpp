@@ -69,6 +69,27 @@ enum class TransportKind : std::uint8_t { kSocket = 0, kShm = 1, kInproc = 2 };
 [[nodiscard]] TransportKind transport_from_env(
     TransportKind fallback = TransportKind::kSocket) noexcept;
 
+/// Whether the burst-mode send path is enabled: TMK_FABRIC_BURST=0
+/// disables it, anything else (including unset) keeps the default ON.
+/// Read per construction, never cached process-wide, so tests can
+/// toggle it between spawns under the thread backend.
+[[nodiscard]] bool burst_from_env() noexcept;
+
+/// Host-side cost counters of one transport view. These are HOST
+/// observables (how many kernel round-trips the interconnect cost this
+/// process), never modelled quantities: the modelled message/byte
+/// counters and virtual times live in the Endpoint and are identical
+/// across transports and burst modes by construction.
+struct HostStats {
+  /// Datagram publishes toward peers: doorbell bumps for the ring
+  /// transports, send syscalls for the socket transport. A burst of N
+  /// frames costs 1, not N.
+  std::uint64_t send_calls = 0;
+  /// FUTEX_WAKE syscalls actually issued by send-side doorbells (ring
+  /// transports only; always 0 for sockets).
+  std::uint64_t futex_wakes = 0;
+};
+
 /// The two delivery targets inside every destination process: its
 /// service thread and its main thread. A directed channel is (src, dst,
 /// lane).
@@ -138,6 +159,32 @@ class Transport {
   /// Wakes a wait_recv(Lane::kSvc) blocked in the service thread (used
   /// for shutdown). Callable from the main thread.
   virtual void wake_service() = 0;
+
+  // ---- burst mode (optional; default implementation = no batching) ----
+  //
+  // A burst groups consecutive try_sends from ONE thread toward ONE
+  // (lane, dst) so the backend can publish them as a unit: the ring
+  // transports stage records and ring the doorbell once at flush, the
+  // socket transport gathers copies and hands them to the kernel in one
+  // vectored call. Between begin_burst and a successful try_flush_burst
+  // the frames may be invisible to the receiver, so callers MUST flush
+  // before blocking on anything a peer could be waiting to answer — the
+  // Endpoint enforces this at its operation boundaries.
+
+  /// Opens (or continues) a burst from the calling thread toward
+  /// (lane, dst). Backends without burst support ignore it.
+  virtual void begin_burst(Lane /*lane*/, int /*dst*/) {}
+
+  /// Publishes everything buffered by the current burst toward
+  /// (lane, dst). True when the burst is fully handed over (and closed);
+  /// false when the channel back-pressured with frames still buffered —
+  /// the caller should pump its inbound traffic, wait_send, and retry.
+  [[nodiscard]] virtual bool try_flush_burst(Lane /*lane*/, int /*dst*/) {
+    return true;
+  }
+
+  /// Host-side cost counters accumulated by this view (see HostStats).
+  [[nodiscard]] virtual HostStats host_stats() const noexcept { return {}; }
 };
 
 /// Parent-side backend state, built by the Fabric BEFORE forking so

@@ -96,6 +96,8 @@ void write_report(int fd, const ProcReport& r) {
     report.vt_ns = endpoint.measured_vt();
     report.cpu_ns = common::thread_cpu_ns();
     report.host_transport_ns = endpoint.clock().host_transport_ns();
+    report.host_send_calls = endpoint.host_stats().send_calls;
+    report.host_futex_wakes = endpoint.host_stats().futex_wakes;
     report.counters = endpoint.measured_counters();
     report.ok = 1;
   } catch (const std::exception& e) {
@@ -125,6 +127,8 @@ void aggregate_reports(RunResult& result, std::uint64_t wall_start_ns,
     result.max_vt_ns = std::max(result.max_vt_ns, rep.vt_ns);
     result.total_cpu_ns += rep.cpu_ns;
     result.total_host_transport_ns += rep.host_transport_ns;
+    result.total_host_send_calls += rep.host_send_calls;
+    result.total_host_futex_wakes += rep.host_futex_wakes;
     result.total += rep.counters;
   }
   result.checksum = result.procs[0].checksum;
@@ -205,6 +209,8 @@ RunResult spawn_threads(int nprocs, const SpawnOptions& options,
         rep.vt_ns = endpoint.measured_vt();
         rep.cpu_ns = common::thread_cpu_ns();
         rep.host_transport_ns = endpoint.clock().host_transport_ns();
+        rep.host_send_calls = endpoint.host_stats().send_calls;
+        rep.host_futex_wakes = endpoint.host_stats().futex_wakes;
         rep.counters = endpoint.measured_counters();
         rep.ok = 1;
       } catch (const std::exception& e) {

@@ -63,6 +63,8 @@ struct ProcReport {
   std::uint64_t vt_ns = 0;       // final virtual time
   std::uint64_t cpu_ns = 0;      // raw main-thread CPU
   std::uint64_t host_transport_ns = 0;  // host CPU discarded as transport cost
+  std::uint64_t host_send_calls = 0;    // transport publishes/send syscalls
+  std::uint64_t host_futex_wakes = 0;   // send-side FUTEX_WAKE syscalls
   mpl::Counters counters{};
   char error[192] = {};
 };
@@ -77,6 +79,8 @@ struct RunResult {
   std::uint64_t max_vt_ns = 0;     // modelled parallel execution time
   std::uint64_t total_cpu_ns = 0;
   std::uint64_t total_host_transport_ns = 0;
+  std::uint64_t total_host_send_calls = 0;
+  std::uint64_t total_host_futex_wakes = 0;
   double host_wall_s = 0.0;        // real wall time of the whole run
   mpl::Counters total{};           // summed over processes
   std::vector<ProcReport> procs;

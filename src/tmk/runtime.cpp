@@ -564,10 +564,14 @@ void Runtime::fetch_and_apply(std::span<const PageIndex> fault_pages) {
       w.put<Seq>(n.seq);
     }
     const std::uint32_t req_id = next_req_id_++;
+    // One request frame per creator for its whole fetch_needs_ set,
+    // handed to the transport as one burst unit.
+    ep_.begin_burst(p);
     ep_.send_svc(p, mpl::FrameKind::kDiffRequest, 0, req_id, w.bytes());
     outstanding[n_outstanding++] = Outstanding{static_cast<ProcId>(p), req_id};
     stats_.diff_requests.fetch_add(1, std::memory_order_relaxed);
   }
+  ep_.flush_burst();
 
   // Collect replies; stage diffs as zero-copy views into the reply
   // payloads, which stay alive in fetch_replies_ until applied.
@@ -876,6 +880,9 @@ void Runtime::barrier() {
       sent_to_master_seq_ = barrier_sent_seq_;
     }
     const int parent = barrier_parent();
+    // The arrival (vc + interval metadata, possibly several chunks) goes
+    // to the parent as one burst; the wait below flushes it.
+    ep_.begin_burst(parent);
     ep_.send_app(parent, mpl::FrameKind::kBarrierArrive, 0, 0, w.bytes());
 
     mpl::Frame f =
@@ -902,9 +909,13 @@ void Runtime::barrier() {
       serialize_intervals_lacking(
           w, barrier_child_vc_[static_cast<std::size_t>(i)]);
     }
+    // Per-destination burst: each child's depart (notices included) is
+    // one transport publish however many chunks it spans.
+    ep_.begin_burst(first_child + i);
     ep_.send_app(first_child + i, mpl::FrameKind::kBarrierDepart, 0, 0,
                  w.bytes());
   }
+  ep_.flush_burst();
   ++barrier_seq_;
 }
 
@@ -930,8 +941,10 @@ void Runtime::fork_broadcast(std::uint32_t func_id,
                                   worker_vc_[static_cast<std::size_t>(w)]);
       worker_vc_[static_cast<std::size_t>(w)].merge(vc_);
     }
+    ep_.begin_burst(w);
     ep_.send_app(w, mpl::FrameKind::kForkWork, 0, 0, msg.bytes());
   }
+  ep_.flush_burst();
   ++fork_seq_;
 }
 

@@ -56,7 +56,8 @@ TEST(BenchSmoke, ScaleSweepAppends64And128RowsWithBackendColumns) {
   for (const char* frag :
        {"\"nprocs\": 64", "\"nprocs\": 128", "\"backend\": \"thread\"",
         "\"transport\": \"inproc\"", "\"app\": \"Jacobi\"",
-        "\"system\": \"Tmk\"", "\"host_wall_s\": "}) {
+        "\"system\": \"Tmk\"", "\"host_wall_s\": ",
+        "\"host_send_calls\": ", "\"host_futex_wakes\": "}) {
     EXPECT_NE(json.find(frag), std::string::npos)
         << "missing " << frag << " in:\n"
         << json;

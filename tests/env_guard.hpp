@@ -1,0 +1,42 @@
+// Scoped environment-variable override for tests that toggle runtime
+// knobs (e.g. TMK_FABRIC_BURST) between spawns. Restores the prior
+// value — including "unset" — on scope exit. Not safe to construct
+// while rank threads are running: setenv/getenv are not synchronized,
+// so set the guard up BEFORE runner::spawn and let it outlive the run.
+#pragma once
+
+#include <cstdlib>
+#include <string>
+
+namespace test {
+
+class EnvGuard {
+ public:
+  EnvGuard(const char* name, const char* value) : name_(name) {
+    const char* prev = std::getenv(name);
+    had_prev_ = prev != nullptr;
+    if (had_prev_) prev_ = prev;
+    ::setenv(name, value, 1);
+  }
+  ~EnvGuard() {
+    if (had_prev_)
+      ::setenv(name_.c_str(), prev_.c_str(), 1);
+    else
+      ::unsetenv(name_.c_str());
+  }
+  EnvGuard(const EnvGuard&) = delete;
+  EnvGuard& operator=(const EnvGuard&) = delete;
+
+ private:
+  std::string name_;
+  std::string prev_;
+  bool had_prev_ = false;
+};
+
+/// TMK_FABRIC_BURST=1/0 for the guard's lifetime.
+class BurstEnv : public EnvGuard {
+ public:
+  explicit BurstEnv(bool on) : EnvGuard("TMK_FABRIC_BURST", on ? "1" : "0") {}
+};
+
+}  // namespace test

@@ -3,6 +3,7 @@
 // producer/consumer stress (the shape ShmTransport uses it in).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdlib>
 #include <cstring>
 #include <thread>
@@ -153,6 +154,129 @@ TEST(SpscRing, RandomizedSizesAcrossWrapBoundary) {
         });
   }
   EXPECT_GT(pushed_bytes, 2u * kCap);  // the cursor really wrapped often
+}
+
+// Burst staging: staged records are invisible to the consumer until
+// publish() makes the whole burst visible with one tail store.
+TEST(SpscRing, StagedRecordsInvisibleUntilPublish) {
+  RingStorage s(4096);
+  for (std::uint32_t seq = 0; seq < 5; ++seq) {
+    const auto p = payload_for(seq, 64);
+    ASSERT_TRUE(s.ring().stage(header_for(seq, 64), p));
+    EXPECT_TRUE(s.ring().empty()) << "staged record leaked at seq " << seq;
+  }
+  EXPECT_TRUE(s.ring().has_staged());
+  s.ring().publish();
+  EXPECT_FALSE(s.ring().has_staged());
+  EXPECT_FALSE(s.ring().empty());
+  std::uint32_t next = 0;
+  s.ring().drain([&](const mpl::FrameHeader& h,
+                     std::span<const std::byte> chunk) {
+    EXPECT_EQ(h.req_id, next);
+    const auto expect = payload_for(h.req_id, h.chunk_len);
+    ASSERT_EQ(chunk.size(), expect.size());
+    EXPECT_EQ(std::memcmp(chunk.data(), expect.data(), chunk.size()), 0);
+    ++next;
+  });
+  EXPECT_EQ(next, 5u);
+  EXPECT_TRUE(s.ring().empty());
+}
+
+// A burst whose records cross the wrap boundary: the wrap marker is
+// written as part of staging, so one publish hands the consumer records
+// on both sides of the wrap, bit-exact and in order.
+TEST(SpscRing, BurstAcrossWrapBoundary) {
+  constexpr std::uint32_t kCap = 2048;
+  RingStorage s(kCap);
+  auto discard = [](const mpl::FrameHeader&, std::span<const std::byte>) {};
+  // Park the cursor near the end so a multi-record burst must wrap.
+  ASSERT_TRUE(s.ring().try_push(header_for(0, 1500), payload_for(0, 1500)));
+  ASSERT_EQ(s.ring().drain(discard), 1u);
+  std::uint32_t seq = 1;
+  for (; seq <= 4; ++seq)
+    ASSERT_TRUE(s.ring().stage(header_for(seq, 200), payload_for(seq, 200)));
+  EXPECT_TRUE(s.ring().empty());
+  s.ring().publish();
+  std::uint32_t next = 1;
+  s.ring().drain([&](const mpl::FrameHeader& h,
+                     std::span<const std::byte> chunk) {
+    ASSERT_EQ(h.req_id, next) << "burst reordered across the wrap";
+    const auto expect = payload_for(h.req_id, h.chunk_len);
+    ASSERT_EQ(chunk.size(), expect.size());
+    EXPECT_EQ(std::memcmp(chunk.data(), expect.data(), chunk.size()), 0);
+    ++next;
+  });
+  EXPECT_EQ(next, 5u);
+}
+
+// Backpressure mid-burst: when stage() fails on a full ring, what is
+// already staged stays staged; publishing it lets the consumer drain
+// and the burst continue — the transport's recovery path.
+TEST(SpscRing, FullRingBackpressureInsideBurst) {
+  RingStorage s(1024);
+  const auto p = payload_for(3, 200);  // record = 256 bytes
+  std::uint32_t seq = 0;
+  for (; seq < 4; ++seq)  // 4 x 256 fills 1024 exactly
+    ASSERT_TRUE(s.ring().stage(header_for(seq, 200), p));
+  EXPECT_FALSE(s.ring().stage(header_for(seq, 200), p));
+  EXPECT_TRUE(s.ring().has_staged());  // earlier records survive the miss
+  EXPECT_TRUE(s.ring().empty());
+  s.ring().publish();
+  auto discard = [](const mpl::FrameHeader&, std::span<const std::byte>) {};
+  EXPECT_EQ(s.ring().drain(discard), 4u);
+  ASSERT_TRUE(s.ring().stage(header_for(seq, 200), p));
+  s.ring().publish();
+  EXPECT_EQ(s.ring().drain(discard), 1u);
+}
+
+// Two real threads with bursts: the producer stages batches and
+// publishes once per batch (spilling mid-burst on a full ring exactly
+// as the transport does); the consumer concurrently drains. Runs under
+// the TSan CI leg, so the deferred-tail release/acquire pairing is
+// race-checked, not just logic-checked.
+TEST(SpscRing, TwoThreadBurstStress) {
+  constexpr std::uint32_t kCap = 4096;
+  constexpr std::uint32_t kMessages = 20000;
+  RingStorage s(kCap);
+  std::thread producer([&] {
+    common::SplitMix64 g(11);
+    std::uint32_t seq = 0;
+    while (seq < kMessages) {
+      const std::uint32_t burst =
+          std::min(kMessages - seq, 1 + static_cast<std::uint32_t>(g.next_below(8)));
+      for (std::uint32_t i = 0; i < burst; ++i) {
+        const std::size_t len = g.next_below(400);
+        const auto p = payload_for(seq, len);
+        while (!s.ring().stage(header_for(seq, static_cast<std::uint32_t>(len)),
+                               p)) {
+          // Full mid-burst: publish what is staged so the consumer can
+          // make room, then wait for space.
+          s.ring().publish();
+          s.ring().wait_space(/*timeout_ms=*/1);
+        }
+        ++seq;
+      }
+      s.ring().publish();
+    }
+  });
+  std::uint32_t next_pop = 0;
+  bool ok = true;
+  while (next_pop < kMessages) {
+    std::size_t got = s.ring().drain(
+        [&](const mpl::FrameHeader& h, std::span<const std::byte> chunk) {
+          if (h.req_id != next_pop) ok = false;
+          const auto expect = payload_for(h.req_id, h.chunk_len);
+          if (chunk.size() != expect.size() ||
+              (!chunk.empty() &&
+               std::memcmp(chunk.data(), expect.data(), chunk.size()) != 0))
+            ok = false;
+          ++next_pop;
+        });
+    if (got == 0) std::this_thread::yield();
+  }
+  producer.join();
+  EXPECT_TRUE(ok);
+  EXPECT_TRUE(s.ring().empty());
 }
 
 // Two real threads, the transport's deployment shape. The producer

@@ -29,10 +29,12 @@
 #include <algorithm>
 #include <cctype>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "apps/registry.hpp"
 #include "common/checksum.hpp"
+#include "env_guard.hpp"
 #include "mpl/transport.hpp"
 #include "runner/runner.hpp"
 #include "tmk/runtime.hpp"
@@ -173,6 +175,96 @@ INSTANTIATE_TEST_SUITE_P(Registry, CrossTransportMp,
                          [](const auto& info) {
                            return case_name(info.param);
                          });
+
+// ---- burst-mode invariance: TMK_FABRIC_BURST on vs off ---------------
+
+// The burst fabric coalesces host-side publishes (staged ring frames,
+// vectored sends, one doorbell per burst) but must be invisible to the
+// modelled system: frame contents, delivery order per (sender, lane),
+// and hence every modelled counter, vector clock, and checksum are
+// bit-identical with bursting disabled — on every transport.
+class BurstInvarianceMp
+    : public ::testing::TestWithParam<std::tuple<Case, mpl::TransportKind>> {};
+
+TEST_P(BurstInvarianceMp, ModelledResultsAreBitIdentical) {
+  const auto& [c, t] = GetParam();
+  const std::any& params = c.w->params(c.w->test_preset);
+  auto run = [&](bool burst) {
+    test::BurstEnv env(burst);
+    return apps::run_workload(*c.w, c.v->system, c.nprocs, det_options(t),
+                              params);
+  };
+  const auto on = run(true);
+  const auto off = run(false);
+  EXPECT_DOUBLE_EQ(on.checksum, off.checksum) << c.w->key;
+  EXPECT_EQ(on.max_vt_ns, off.max_vt_ns) << c.w->key;
+  for (std::size_t l = 0; l < on.total.messages.size(); ++l) {
+    EXPECT_EQ(on.total.messages[l], off.total.messages[l])
+        << c.w->key << " layer " << l;
+    EXPECT_EQ(on.total.bytes[l], off.total.bytes[l])
+        << c.w->key << " layer " << l;
+  }
+  for (int p = 0; p < c.nprocs; ++p) {
+    EXPECT_EQ(on.procs[static_cast<std::size_t>(p)].vt_ns,
+              off.procs[static_cast<std::size_t>(p)].vt_ns)
+        << c.w->key << " proc " << p;
+    EXPECT_DOUBLE_EQ(on.procs[static_cast<std::size_t>(p)].checksum,
+                     off.procs[static_cast<std::size_t>(p)].checksum)
+        << c.w->key << " proc " << p;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Registry, BurstInvarianceMp,
+    ::testing::Combine(::testing::ValuesIn(mp_cases()),
+                       ::testing::Values(mpl::TransportKind::kSocket,
+                                         mpl::TransportKind::kShm)),
+    [](const auto& info) {
+      return case_name(std::get<0>(info.param)) + "_" +
+             mpl::to_string(std::get<1>(info.param));
+    });
+
+class BurstInvarianceDsm
+    : public ::testing::TestWithParam<std::tuple<Case, mpl::TransportKind>> {};
+
+TEST_P(BurstInvarianceDsm, ChecksumsAreBurstInvariant) {
+  const auto& [c, t] = GetParam();
+  const std::any& params = c.w->params(c.w->test_preset);
+  auto run = [&](bool burst) {
+    test::BurstEnv env(burst);
+    return apps::run_workload(*c.w, c.v->system, c.nprocs, det_options(t),
+                              params);
+  };
+  const auto on = run(true);
+  const auto off = run(false);
+  if (c.lock_dependent) {
+    // Reduction order is contention-dependent either way; both modes
+    // must still satisfy the vs-sequential contract.
+    const double expect = c.w->seq(params, nullptr);
+    for (const auto* r : {&on, &off}) {
+      if (c.v->tolerance > 0)
+        EXPECT_TRUE(common::checksum_close(r->checksum, expect, c.v->tolerance))
+            << c.w->key << ": " << r->checksum << " vs " << expect;
+      else
+        EXPECT_DOUBLE_EQ(r->checksum, expect) << c.w->key;
+    }
+    return;
+  }
+  for (int p = 0; p < c.nprocs; ++p)
+    EXPECT_DOUBLE_EQ(on.procs[static_cast<std::size_t>(p)].checksum,
+                     off.procs[static_cast<std::size_t>(p)].checksum)
+        << c.w->key << " proc " << p;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Registry, BurstInvarianceDsm,
+    ::testing::Combine(::testing::ValuesIn(dsm_cases()),
+                       ::testing::Values(mpl::TransportKind::kSocket,
+                                         mpl::TransportKind::kShm)),
+    [](const auto& info) {
+      return case_name(std::get<0>(info.param)) + "_" +
+             mpl::to_string(std::get<1>(info.param));
+    });
 
 // ---- controlled tmk protocol run --------------------------------------
 
