@@ -24,6 +24,7 @@
 #include "apps/registry.hpp"
 #include "bench_common.hpp"
 #include "common/cpu_clock.hpp"
+#include "common/env.hpp"
 
 namespace bench {
 
@@ -49,7 +50,7 @@ inline double scale_for(const apps::Workload& w) {
 /// paper_options() with the workload's calibrated compute scale.
 inline runner::SpawnOptions calibrated_options(const apps::Workload& w) {
   runner::SpawnOptions o = paper_options();
-  if (std::getenv("TMK_CPU_SCALE") == nullptr) o.model.cpu_scale = scale_for(w);
+  if (!common::env::is_set("TMK_CPU_SCALE")) o.model.cpu_scale = scale_for(w);
   return o;
 }
 

@@ -30,6 +30,7 @@
 
 #include "apps/registry.hpp"
 #include "bench_opts.hpp"
+#include "common/env.hpp"
 #include "common/table.hpp"
 #include "runner/runner.hpp"
 
@@ -48,8 +49,7 @@ inline runner::SpawnOptions paper_options() {
 }
 
 inline bool full_sizes() {
-  const char* env = std::getenv("TMK_FULL_SIZES");
-  return env != nullptr && env[0] == '1';
+  return common::env::flag_knob("TMK_FULL_SIZES", false);
 }
 
 /// The parameter preset the bench binaries run at.

@@ -26,6 +26,7 @@
 #include "common/prng.hpp"
 #include "mpl/fabric.hpp"
 #include "tmk/diff.hpp"
+#include "tmk/runtime.hpp"
 
 namespace {
 
@@ -238,6 +239,70 @@ void BM_MgsTmkReducedShm(benchmark::State& state) {
   bm_workload(state, "mgs", 4, mpl::TransportKind::kShm, "reduced-shm");
 }
 BENCHMARK(BM_MgsTmkReducedShm)->Unit(benchmark::kMillisecond);
+
+// ---- fault machinery: disabled-path parity ----------------------------
+
+// The fault-injection layer is compiled in unconditionally; its
+// disabled cost must stay one null-pointer check per send. This leg
+// runs a barrier-heavy DSM workload twice — plain, then with
+// TMK_FAULT_INJECT parsed but inert (the plan's victim is not in the
+// mesh, so no injector installs) — asserts the modelled counters,
+// checksum, AND host send-call count are bit-identical, and records
+// both wall times in BENCH_results.json so the disabled path's host
+// cost is tracked across PRs. Runs on the inproc/thread mesh: the one
+// configuration whose counters are bit-reproducible run-to-run (the
+// fork backends' lazy diff fetches race, so their per-run byte totals
+// legitimately vary — see the chaos suite's parity tests).
+double parity_workload(runner::ChildContext& c) {
+  tmk::Runtime rt(c);
+  constexpr int kPer = 512;
+  auto* data = rt.alloc<std::int32_t>(static_cast<std::size_t>(kPer) *
+                                      static_cast<std::size_t>(rt.nprocs()));
+  double sum = 0;
+  for (int it = 0; it < 4; ++it) {
+    for (int i = 0; i < kPer; ++i)
+      data[rt.rank() * kPer + i] = rt.rank() + it;
+    rt.barrier();
+    sum = 0;
+    for (int i = 0; i < kPer * rt.nprocs(); ++i) sum += data[i];
+    rt.barrier();
+  }
+  return sum;
+}
+
+void BM_FaultMachineryDisabledParity(benchmark::State& state) {
+  auto opts = e2e_options(mpl::TransportKind::kInproc);
+  opts.backend = runner::Backend::kThread;
+  opts.shared_heap_bytes = 16ull << 20;
+  const auto plain = runner::spawn(4, opts, parity_workload);
+  setenv("TMK_FAULT_INJECT", "rank=99,exit-at-barrier=1,hard=1", 1);
+  double wall_plain = 0.0, checksum = 0.0;
+  const auto t0 = Clock::now();
+  for (auto _ : state) {
+    const auto r = runner::spawn(4, opts, parity_workload);
+    checksum = r.checksum;
+    wall_plain = plain.host_wall_s;
+    if (r.checksum != plain.checksum ||
+        r.total.messages != plain.total.messages ||
+        r.total.bytes != plain.total.bytes ||
+        r.total_host_send_calls != plain.total_host_send_calls) {
+      std::cerr << "FATAL: fault machinery perturbed an injection-disabled "
+                   "run (checksum/counter/send-call mismatch vs plain run)\n";
+      std::abort();
+    }
+    benchmark::DoNotOptimize(checksum);
+  }
+  const auto t1 = Clock::now();
+  unsetenv("TMK_FAULT_INJECT");
+  const double per_run =
+      std::chrono::duration<double>(t1 - t0).count() /
+      static_cast<double>(state.iterations());
+  add_row("fault_machinery", "plain", wall_plain, checksum, 4,
+          mpl::TransportKind::kInproc);
+  add_row("fault_machinery", "armed-inert", per_run, checksum, 4,
+          mpl::TransportKind::kInproc);
+}
+BENCHMARK(BM_FaultMachineryDisabledParity)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "common/env.hpp"
 #include "mpl/frame.hpp"
 #include "mpl/transport.hpp"
 #include "runner/runner.hpp"
@@ -53,10 +54,10 @@ inline Opts& opts() {
 }
 
 inline void parse_bench_opts(int& argc, char** argv) {
-  if (const char* env = std::getenv("TMK_TRANSPORT");
+  if (const char* env = common::env::raw("TMK_TRANSPORT");
       env != nullptr && mpl::parse_transport(env).has_value())
     opts().transport_set = true;
-  if (const char* env = std::getenv("TMK_BACKEND");
+  if (const char* env = common::env::raw("TMK_BACKEND");
       env != nullptr && runner::parse_backend(env).has_value())
     opts().backend_set = true;
   int out = 1;

@@ -1,10 +1,14 @@
 #include "mpl/fabric.hpp"
 
-#include <cstdlib>
+#include <algorithm>
+#include <cstdio>
 #include <cstring>
+#include <sstream>
 #include <string_view>
 
 #include "common/check.hpp"
+#include "common/cpu_clock.hpp"
+#include "common/env.hpp"
 #include "mpl/inproc_transport.hpp"
 #include "mpl/shm_transport.hpp"
 #include "mpl/socket_transport.hpp"
@@ -43,17 +47,18 @@ std::optional<TransportKind> parse_transport(std::string_view name) noexcept {
 }
 
 TransportKind transport_from_env(TransportKind fallback) noexcept {
-  const char* env = std::getenv("TMK_TRANSPORT");
+  const char* env = common::env::raw("TMK_TRANSPORT");
   if (env == nullptr) return fallback;
   if (auto k = parse_transport(env)) return *k;
+  common::env::detail::warn_value("TMK_TRANSPORT", env,
+                                  "expected socket, shm, or inproc");
   return fallback;
 }
 
 bool burst_from_env() noexcept {
   // Read per construction (never cached in a static): equivalence tests
   // toggle the mode between spawns within one process.
-  const char* env = std::getenv("TMK_FABRIC_BURST");
-  return env == nullptr || env[0] != '0';
+  return common::env::flag_knob("TMK_FABRIC_BURST", true);
 }
 
 Fabric::Fabric(int nprocs, TransportKind kind) : nprocs_(nprocs), kind_(kind) {
@@ -77,12 +82,85 @@ std::unique_ptr<Transport> Fabric::adopt(int rank) {
   return state_->adopt(rank);
 }
 
+std::unique_ptr<PeerKiller> Fabric::make_peer_killer() {
+  COMMON_CHECK(state_ != nullptr);
+  return state_->make_killer();
+}
+
 Endpoint::Endpoint(Fabric& fabric, int rank, simx::MachineModel model)
     : rank_(rank),
       nprocs_(fabric.nprocs()),
       clock_(model),
       transport_(fabric.adopt(rank)),
-      burst_enabled_(burst_from_env()) {}
+      burst_enabled_(burst_from_env()) {
+  wait_deadline_ms_ =
+      std::max(0ll, common::env::int_knob("TMK_WAIT_DEADLINE_MS").value_or(0));
+  last_frame_kind_.assign(static_cast<std::size_t>(nprocs_), 0xffff);
+}
+
+void Endpoint::set_wait_site(const char* site) noexcept {
+  std::strncpy(wait_site_, site, sizeof(wait_site_) - 1);
+  wait_site_[sizeof(wait_site_) - 1] = '\0';
+}
+
+void Endpoint::check_wait_health(std::uint64_t start_ns) {
+  if (transport_->self_dead()) {
+    const char* cause = transport_->self_death_cause();
+    std::string msg = "rank " + std::to_string(rank_) +
+                      " unwinding after injected fault";
+    if (cause[0] != '\0') msg += std::string(": ") + cause;
+    throw common::Error(msg + " (at " + wait_site_ + ")");
+  }
+  const int dead = transport_->poisoned_peer();
+  if (dead >= 0) fail_wait("peer-death", dead, start_ns);
+  if (wait_deadline_ms_ > 0 &&
+      common::wall_ns() - start_ns >
+          static_cast<std::uint64_t>(wait_deadline_ms_) * 1'000'000ull)
+    fail_wait("deadline", -1, start_ns);
+}
+
+void Endpoint::fail_wait(const char* reason, int dead_rank,
+                         std::uint64_t start_ns) {
+  const std::uint64_t waited_ms = (common::wall_ns() - start_ns) / 1'000'000u;
+  // One machine-readable line: everything a post-mortem needs to assign
+  // blame without the rank's full log. All embedded free text (the wait
+  // site, describe_channels, the forensics writer) is quote-free by
+  // contract, so the line stays valid JSON.
+  std::ostringstream os;
+  os << "{\"rank\":" << rank_ << ",\"site\":\"" << wait_site_
+     << "\",\"reason\":\"" << reason << "\"";
+  if (dead_rank >= 0) os << ",\"dead_rank\":" << dead_rank;
+  os << ",\"waited_ms\":" << waited_ms
+     << ",\"deadline_ms\":" << wait_deadline_ms_
+     << ",\"pending_frames\":" << pending_.size();
+  os << ",\"last_frame_kind\":{";
+  bool first = true;
+  for (int src = 0; src < nprocs_; ++src) {
+    const std::uint16_t k = last_frame_kind_[static_cast<std::size_t>(src)];
+    if (k == 0xffff) continue;
+    os << (first ? "" : ",") << "\"" << src << "\":" << k;
+    first = false;
+  }
+  os << "},\"channels\":\"";
+  transport_->describe_channels(os);
+  os << "\"";
+  if (forensics_writer_ != nullptr) {
+    os << ",\"protocol\":\"";
+    forensics_writer_(forensics_ctx_, os);
+    os << "\"";
+  }
+  os << "}";
+  std::fprintf(stderr, "TMK_CRASH_REPORT %s\n", os.str().c_str());
+  std::fflush(stderr);
+  // The throw itself stays short: it must survive the runner's bounded
+  // per-rank error field, and the full state is already on stderr.
+  std::ostringstream err;
+  err << "rank " << rank_ << " gave up waiting at " << wait_site_ << " ("
+      << reason;
+  if (dead_rank >= 0) err << ": rank " << dead_rank << " died";
+  err << " after " << waited_ms << " ms)";
+  throw common::Error(err.str());
+}
 
 Endpoint::~Endpoint() {
   // A rank unwinding mid-burst (an exception between begin_burst and
@@ -104,6 +182,7 @@ void Endpoint::begin_burst(int dst) {
 void Endpoint::flush_burst() {
   if (burst_dst_ < 0) return;
   const int dst = burst_dst_;
+  std::uint64_t blocked_since = 0;
   for (int lane = 0; lane < 2; ++lane) {
     if (!burst_lane_used_[lane]) continue;
     while (!transport_->try_flush_burst(static_cast<Lane>(lane), dst)) {
@@ -111,6 +190,8 @@ void Endpoint::flush_burst() {
       // own inbound app traffic so a peer blocked on a send toward us
       // can progress, then wait for channel space.
       pump();
+      if (blocked_since == 0) blocked_since = common::wall_ns();
+      check_wait_health(blocked_since);
       transport_->wait_send(static_cast<Lane>(lane), dst, 2);
     }
     burst_lane_used_[lane] = false;
@@ -153,6 +234,7 @@ void Endpoint::send_chunks(Lane lane, int dst, bool pump_while_blocked,
     own_burst = true;
   }
   std::size_t offset = 0;
+  std::uint64_t blocked_since = 0;
   do {
     const std::size_t len = std::min(kMaxChunk, total - offset);
     FrameHeader h{};
@@ -169,15 +251,27 @@ void Endpoint::send_chunks(Lane lane, int dst, bool pump_while_blocked,
     while (!transport_->try_send(lane, dst, h, payload.subspan(offset, len))) {
       // Receiver has not drained yet. If we are the main thread, drain
       // our own inbound app traffic so the peer (possibly blocked on a
-      // send toward us) can make progress; then wait for space.
-      if (pump_while_blocked) pump();
+      // send toward us) can make progress; then wait for space. The
+      // health re-check bounds a send wedged on a dead peer's full
+      // channel. (Service-thread sends skip it: poll_poison is a
+      // main-thread affair, and the service thread is unwound through
+      // its stop flag when the main thread aborts.)
+      if (pump_while_blocked) {
+        pump();
+        if (blocked_since == 0) blocked_since = common::wall_ns();
+        check_wait_health(blocked_since);
+      }
       transport_->wait_send(lane, dst, pump_while_blocked ? 2 : -1);
     }
     offset += len;
   } while (offset < total);
   if (own_burst) {
     while (!transport_->try_flush_burst(lane, dst)) {
-      if (pump_while_blocked) pump();
+      if (pump_while_blocked) {
+        pump();
+        if (blocked_since == 0) blocked_since = common::wall_ns();
+        check_wait_health(blocked_since);
+      }
       transport_->wait_send(lane, dst, pump_while_blocked ? 2 : -1);
     }
   }
@@ -271,18 +365,26 @@ void Endpoint::drain_app(bool block) {
   // ChunkSink is non-owning: the lambda must outlive it.
   const auto on_chunk =
       [this, &got_any](const FrameHeader& h, std::span<const std::byte> chunk) {
+        last_frame_kind_[h.src] = h.kind;
         if (auto done = app_assembler_.feed(h, chunk, app_buffer_pool_)) {
           pending_.push_back(std::move(*done));
           got_any = true;
         }
       };
   const ChunkSink sink(on_chunk);
+  std::uint64_t start_ns = 0;
   for (;;) {
     // Token before the drain: anything arriving after the drain misses
     // it bumps the token, so the wait below cannot sleep through it.
     const std::uint32_t token = transport_->recv_token(Lane::kApp);
     transport_->drain(Lane::kApp, sink);
     if (got_any || !block) return;
+    // Health check strictly AFTER an empty drain: datagrams that were
+    // delivered before a peer died (or before poison landed) are always
+    // consumed first, so a rank that can still finish its protocol
+    // exchange does so instead of aborting spuriously.
+    if (start_ns == 0) start_ns = common::wall_ns();
+    check_wait_health(start_ns);
     transport_->wait_recv(Lane::kApp, token);
   }
 }
@@ -348,7 +450,8 @@ std::optional<Frame> Endpoint::next_svc_request(
       return f;
     }
     const std::uint32_t token = transport_->recv_token(Lane::kSvc);
-    if (stop.load(std::memory_order_acquire)) return std::nullopt;
+    if (stop.load(std::memory_order_acquire) || transport_->self_dead())
+      return std::nullopt;
     transport_->drain(Lane::kSvc, sink);
     if (!svc_pending_.empty()) continue;
     // The token predates both the stop check and the drain: a request

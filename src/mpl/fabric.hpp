@@ -79,6 +79,11 @@ class Fabric {
   /// state. Called (once) from the child, via Endpoint.
   [[nodiscard]] std::unique_ptr<Transport> adopt(int rank);
 
+  /// Parent-side death-propagation handle (see PeerKiller). Call before
+  /// discarding the Fabric — the killer takes over the resources it
+  /// needs (the shm region view, the poison-pipe write ends).
+  [[nodiscard]] std::unique_ptr<PeerKiller> make_peer_killer();
+
  private:
   int nprocs_ = 0;
   TransportKind kind_ = TransportKind::kSocket;
@@ -203,6 +208,45 @@ class Endpoint {
   /// by svc handlers.
   void recycle_svc_buffer(std::vector<std::byte>&& buf);
 
+  // ---- failure handling -----------------------------------------------
+  //
+  // Every main-thread blocking point (wait_app's drain loop, a blocked
+  // send or burst flush) re-checks, once per kMaxWaitSliceMs:
+  //   - this rank's own injected fault (unwind instead of wedging);
+  //   - the runner's peer-death poison (abort naming the dead rank);
+  //   - the optional wait deadline (TMK_WAIT_DEADLINE_MS; 0 = off).
+  // On poison or deadline expiry the rank dumps a machine-readable
+  // protocol snapshot ("TMK_CRASH_REPORT {json}" on stderr) and throws
+  // a short common::Error naming this rank, the wait site, and the dead
+  // rank — so every survivor of a peer death unwinds in bounded time
+  // with a blame line, instead of parking until a global watchdog.
+
+  /// Labels the protocol operation the main thread is about to block in
+  /// ("barrier 3 fan-in", "lock 7 acquire (manager 1)", ...); the label
+  /// appears in crash reports and blame errors. The pointee must
+  /// outlive the call (it is copied into a bounded buffer).
+  void set_wait_site(const char* site) noexcept;
+  [[nodiscard]] const char* wait_site() const noexcept { return wait_site_; }
+
+  /// Registers a protocol-state dumper for crash reports (the DSM
+  /// runtime dumps its vector clock, barrier phase, and lock table).
+  /// The writer must emit plain text WITHOUT double quotes (it lands
+  /// inside a JSON string) and must tolerate being called from the main
+  /// thread while the service thread runs. Pass nullptr to clear.
+  void set_forensics(void (*writer)(void* ctx, std::ostream& os),
+                     void* ctx) noexcept {
+    forensics_writer_ = writer;
+    forensics_ctx_ = ctx;
+  }
+
+  /// Runtime hook at barrier entry: drives the exit-at-barrier fault.
+  void fault_barrier_entered() { transport_->barrier_entered(); }
+
+  /// True once this rank's own injected fault has fired.
+  [[nodiscard]] bool self_dead() const noexcept {
+    return transport_->self_dead();
+  }
+
   // ---- service-thread receive path ----
 
   /// Blocks until a frame arrives on any svc channel or `stop` becomes
@@ -282,6 +326,15 @@ class Endpoint {
   // If `block`, waits until at least one frame completes.
   void drain_app(bool block);
 
+  /// Main-thread health re-check between wait slices: throws when this
+  /// rank's fault fired, fail_wait()s on peer poison or an expired
+  /// deadline. `start_ns` is when this blocking point started waiting.
+  void check_wait_health(std::uint64_t start_ns);
+
+  /// Dumps the TMK_CRASH_REPORT line and throws the blame error.
+  [[noreturn]] void fail_wait(const char* reason, int dead_rank,
+                              std::uint64_t start_ns);
+
   int rank_;
   int nprocs_;
   simx::VirtualClock clock_;
@@ -313,6 +366,16 @@ class Endpoint {
   bool burst_enabled_ = true;
   int burst_dst_ = -1;
   bool burst_lane_used_[2] = {false, false};
+
+  // Failure-handling state (main thread only, except the forensics
+  // writer pointer which is set once before the service thread starts).
+  long long wait_deadline_ms_ = 0;  // 0 = no deadline
+  char wait_site_[64] = "startup";
+  void (*forensics_writer_)(void*, std::ostream&) = nullptr;
+  void* forensics_ctx_ = nullptr;
+  // Last app-lane frame kind seen per source (0xffff = none yet): the
+  // crash report's "how far did each peer get" breadcrumb.
+  std::vector<std::uint16_t> last_frame_kind_;
 };
 
 }  // namespace mpl

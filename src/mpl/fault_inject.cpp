@@ -1,0 +1,145 @@
+#include "mpl/fault_inject.hpp"
+
+#include <time.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <string>
+
+#include "common/check.hpp"
+#include "common/env.hpp"
+
+namespace mpl {
+
+namespace {
+
+/// Parses the integer in `v` (the whole string); throws on garbage.
+std::uint64_t parse_u64(std::string_view key, std::string_view v) {
+  COMMON_CHECK_MSG(!v.empty(), "TMK_FAULT_INJECT: empty value for " << key);
+  std::uint64_t n = 0;
+  for (const char c : v) {
+    COMMON_CHECK_MSG(c >= '0' && c <= '9', "TMK_FAULT_INJECT: bad value '"
+                                               << v << "' for " << key);
+    n = n * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return n;
+}
+
+}  // namespace
+
+FaultPlan FaultPlan::parse(std::string_view spec) {
+  FaultPlan p;
+  while (!spec.empty()) {
+    const std::size_t comma = spec.find(',');
+    std::string_view kv = spec.substr(0, comma);
+    spec = (comma == std::string_view::npos) ? std::string_view{}
+                                             : spec.substr(comma + 1);
+    if (kv.empty()) continue;
+    const std::size_t eq = kv.find('=');
+    COMMON_CHECK_MSG(eq != std::string_view::npos,
+                     "TMK_FAULT_INJECT: expected key=value, got '" << kv
+                                                                   << "'");
+    const std::string_view key = kv.substr(0, eq);
+    const std::string_view val = kv.substr(eq + 1);
+    if (key == "seed") {
+      p.seed = parse_u64(key, val);
+    } else if (key == "rank") {
+      if (val == "any") {
+        p.any_rank = true;
+      } else {
+        p.rank = static_cast<int>(parse_u64(key, val));
+      }
+    } else if (key == "crash-at-send") {
+      p.crash_at_send = parse_u64(key, val);
+      COMMON_CHECK_MSG(p.crash_at_send > 0,
+                       "TMK_FAULT_INJECT: crash-at-send is 1-based");
+    } else if (key == "delay-before-publish") {
+      const std::size_t at = val.find('@');
+      COMMON_CHECK_MSG(at != std::string_view::npos,
+                       "TMK_FAULT_INJECT: delay-before-publish wants MS@N");
+      p.delay_ms =
+          static_cast<std::uint32_t>(parse_u64(key, val.substr(0, at)));
+      p.delay_before_send = parse_u64(key, val.substr(at + 1));
+      COMMON_CHECK_MSG(p.delay_before_send > 0,
+                       "TMK_FAULT_INJECT: delay-before-publish is 1-based");
+    } else if (key == "exit-at-barrier") {
+      p.exit_at_barrier = static_cast<std::uint32_t>(parse_u64(key, val));
+      COMMON_CHECK_MSG(p.exit_at_barrier > 0,
+                       "TMK_FAULT_INJECT: exit-at-barrier is 1-based");
+    } else if (key == "hard") {
+      p.hard = !val.empty() && val[0] != '0';
+    } else {
+      COMMON_CHECK_MSG(false, "TMK_FAULT_INJECT: unknown key '" << key
+                                                                << "'");
+    }
+  }
+  COMMON_CHECK_MSG(p.any_rank || p.rank >= 0,
+                   "TMK_FAULT_INJECT: a plan needs rank=<k> or rank=any");
+  return p;
+}
+
+void FaultInjector::before_send() {
+  if (dead_.load(std::memory_order_acquire)) return;
+  const std::uint64_t next = sends_.load(std::memory_order_relaxed) + 1;
+  if (plan_.delay_before_send != 0 && next >= plan_.delay_before_send &&
+      !delay_done_.exchange(true, std::memory_order_relaxed)) {
+    std::fprintf(stderr,
+                 "TMK_FAULT_INJECT: rank %d parking %u ms before datagram "
+                 "%llu\n",
+                 rank_, plan_.delay_ms,
+                 static_cast<unsigned long long>(next));
+    timespec ts{};
+    ts.tv_sec = plan_.delay_ms / 1000;
+    ts.tv_nsec = static_cast<long>(plan_.delay_ms % 1000) * 1'000'000L;
+    while (nanosleep(&ts, &ts) != 0 && errno == EINTR) {
+    }
+  }
+  if (plan_.crash_at_send != 0 && next >= plan_.crash_at_send) {
+    char what[96];
+    std::snprintf(what, sizeof(what),
+                  "crash-at-send=%llu (about to publish datagram %llu)",
+                  static_cast<unsigned long long>(plan_.crash_at_send),
+                  static_cast<unsigned long long>(next));
+    die(what);
+  }
+}
+
+void FaultInjector::on_barrier() {
+  if (plan_.exit_at_barrier == 0 || dead_.load(std::memory_order_acquire))
+    return;
+  const std::uint32_t k = barriers_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (k >= plan_.exit_at_barrier) {
+    char what[64];
+    std::snprintf(what, sizeof(what), "exit-at-barrier=%u (entering barrier %u)",
+                  plan_.exit_at_barrier, k);
+    die(what);
+  }
+}
+
+void FaultInjector::die(const char* what) {
+  // The first thread to fire claims dead_ and records the cause; a
+  // concurrent second firing still dies below with its own `what`, it
+  // just does not write cause_ (avoiding a data race on the buffer).
+  bool expected = false;
+  if (dead_.compare_exchange_strong(expected, true,
+                                    std::memory_order_acq_rel)) {
+    std::snprintf(cause_, sizeof(cause_), "%s", what);
+    cause_ready_.store(true, std::memory_order_release);
+  }
+  std::fprintf(stderr, "TMK_FAULT_INJECT: rank %d injected fault: %s\n",
+               rank_, what);
+  std::fflush(nullptr);
+  if (plan_.hard) _exit(86);
+  throw common::Error("rank " + std::to_string(rank_) +
+                      " injected fault: " + what);
+}
+
+std::unique_ptr<FaultInjector> fault_injector_from_env(int rank, int nprocs) {
+  const char* spec = common::env::raw("TMK_FAULT_INJECT");
+  if (spec == nullptr || spec[0] == '\0') return nullptr;
+  const FaultPlan plan = FaultPlan::parse(spec);
+  if (plan.victim(nprocs) != rank) return nullptr;
+  return std::make_unique<FaultInjector>(plan, rank);
+}
+
+}  // namespace mpl

@@ -31,6 +31,12 @@ class InprocFabricState final : public FabricState {
     return std::make_unique<InprocTransport>(base_, nprocs_, rank);
   }
 
+  std::unique_ptr<PeerKiller> make_killer() override {
+    // Non-owning: this state outlives every rank thread AND the killer
+    // (the run harness joins the threads before discarding either).
+    return make_shm_killer(base_, nprocs_, /*owns_region=*/false);
+  }
+
  private:
   int nprocs_;
   std::size_t bytes_ = 0;

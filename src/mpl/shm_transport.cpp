@@ -10,6 +10,7 @@
 #include <climits>
 #include <cstdio>
 #include <cstring>
+#include <ostream>
 
 #include "common/check.hpp"
 
@@ -17,17 +18,26 @@ namespace mpl {
 
 namespace {
 
-constexpr std::uint32_t kShmMagic = 0x544d4b54;  // "TMKT" (v2: active masks)
+constexpr std::uint32_t kShmMagic = 0x544d4b55;  // "TMKU" (v3: poison words)
 
-/// Region prologue, followed by doorbells and ring blocks.
+/// Region prologue, followed by doorbells and ring blocks. The poison
+/// words are a bitmask of dead ranks (set by the runner's PeerKiller,
+/// read by every survivor's poll_poison); two 64-bit words cover
+/// kMaxProcs = 128.
 struct RegionHeader {
   std::uint32_t magic;
   std::uint32_t nprocs;
   std::uint32_t ring_bytes;
   std::uint32_t reserved;
+  std::atomic<std::uint64_t> poison[2];
 };
+static_assert(kMaxProcs <= 128, "poison words cover 128 ranks");
 
 constexpr std::size_t kAlign = 64;
+
+// The header must fit inside the first alignment block so every
+// doorbell/mask/ring offset below is independent of its exact size.
+static_assert(sizeof(RegionHeader) <= kAlign);
 
 [[nodiscard]] constexpr std::size_t align_up(std::size_t n) noexcept {
   return (n + kAlign - 1) & ~(kAlign - 1);
@@ -93,6 +103,11 @@ namespace {
   return align_up(sizeof(RegionHeader));
 }
 
+[[nodiscard]] ShmTransport::Doorbell* doorbells(void* base) noexcept {
+  return reinterpret_cast<ShmTransport::Doorbell*>(
+      static_cast<std::byte*>(base) + doorbells_offset());
+}
+
 // Active-ring masks, one per (receiver rank, lane): bit src*2+slot is
 // set (once, by the sender) the first time that incoming ring carries a
 // datagram. The receiver's drain walks only set bits, so an idle pair
@@ -134,6 +149,41 @@ namespace {
   return SpscRing(ctrl, block + align_up(sizeof(RingCtrl)), kShmRingBytes);
 }
 
+/// Marks ranks dead in the poison words and wakes every parked
+/// receiver. When `owns_region` is set, the caller's view of the
+/// region transfers here (the process-backend parent hands its view
+/// over before discarding the Fabric).
+class ShmPeerKiller final : public PeerKiller {
+ public:
+  ShmPeerKiller(void* base, int nprocs, bool owns_region) noexcept
+      : base_(base), nprocs_(nprocs), owns_region_(owns_region) {}
+
+  ~ShmPeerKiller() override {
+    if (owns_region_) munmap(base_, shm_region_bytes(nprocs_));
+  }
+
+  void poison(int dead_rank) noexcept override {
+    if (dead_rank < 0 || dead_rank >= nprocs_) return;
+    auto* h = static_cast<RegionHeader*>(base_);
+    h->poison[dead_rank / 64].fetch_or(1ull << (dead_rank % 64),
+                                       std::memory_order_seq_cst);
+    // Bump and wake every doorbell: parked receivers futex-wake, and
+    // spinning receivers see the sequence move — either way the next
+    // empty drain re-checks poison and unwinds. Producers blocked on a
+    // full ring need no wake (wait_space self-bounds at 10 ms).
+    ShmTransport::Doorbell* bells = doorbells(base_);
+    for (int i = 0; i < nprocs_ * 2; ++i) {
+      bells[i].seq.fetch_add(1, std::memory_order_seq_cst);
+      detail::futex_wake(&bells[i].seq, INT_MAX);
+    }
+  }
+
+ private:
+  void* base_;
+  int nprocs_;
+  bool owns_region_;
+};
+
 class ShmFabricState final : public FabricState {
  public:
   explicit ShmFabricState(int nprocs) : nprocs_(nprocs) {
@@ -147,11 +197,12 @@ class ShmFabricState final : public FabricState {
 
   ~ShmFabricState() override {
     // Unmap responsibility for this process's view: the adopting
-    // process hands it to its ShmTransport; un-adopted copies (the
-    // parent's, or a child's on an error path before adoption) release
-    // it here. munmap is per-address-space, so the parent unmapping
-    // never disturbs children.
-    if (base_ != nullptr && !adopted_) munmap(base_, bytes_);
+    // process hands it to its ShmTransport, make_killer() hands it to
+    // the killer; un-adopted copies (the parent's, or a child's on an
+    // error path before adoption) release it here. munmap is
+    // per-address-space, so the parent unmapping never disturbs
+    // children.
+    if (base_ != nullptr && !adopted_ && !killer_made_) munmap(base_, bytes_);
   }
 
   std::unique_ptr<Transport> adopt(int rank) override {
@@ -160,11 +211,21 @@ class ShmFabricState final : public FabricState {
                                           /*owns_region=*/true);
   }
 
+  std::unique_ptr<PeerKiller> make_killer() override {
+    // The killer owns this view unless a transport in this process
+    // already does (then it borrows — single-process harnesses keep the
+    // transport alive past the killer).
+    const bool owns = !adopted_ && !killer_made_;
+    killer_made_ = true;
+    return std::make_unique<ShmPeerKiller>(base_, nprocs_, owns);
+  }
+
  private:
   int nprocs_;
   std::size_t bytes_ = 0;
   void* base_ = nullptr;
   bool adopted_ = false;
+  bool killer_made_ = false;
 };
 
 }  // namespace
@@ -174,18 +235,22 @@ std::size_t shm_region_bytes(int nprocs) noexcept {
 }
 
 void init_ring_region(void* base, int nprocs) noexcept {
-  // Zeroed pages are a valid empty state for every doorbell and ring;
-  // only the header needs real values.
+  // Zeroed pages are a valid empty state for every doorbell, poison
+  // word, and ring; only the header needs real values.
   auto* h = static_cast<RegionHeader*>(base);
   h->magic = kShmMagic;
   h->nprocs = static_cast<std::uint32_t>(nprocs);
   h->ring_bytes = kShmRingBytes;
 }
 
+std::unique_ptr<PeerKiller> make_shm_killer(void* base, int nprocs,
+                                            bool owns_region) {
+  return std::make_unique<ShmPeerKiller>(base, nprocs, owns_region);
+}
+
 ShmTransport::ShmTransport(void* base, int nprocs, int rank, bool owns_region,
                            TransportKind kind)
-    : nprocs_(nprocs),
-      rank_(rank),
+    : Transport(rank, nprocs),
       base_(base),
       owns_region_(owns_region),
       kind_(kind),
@@ -241,8 +306,7 @@ ShmTransport::~ShmTransport() {
 }
 
 ShmTransport::Doorbell& ShmTransport::doorbell(int rank, Lane lane) noexcept {
-  auto* bells = reinterpret_cast<Doorbell*>(static_cast<std::byte*>(base_) +
-                                            doorbells_offset());
+  auto* bells = doorbells(base_);
   return bells[static_cast<std::size_t>(rank) * 2 +
                static_cast<std::size_t>(lane)];
 }
@@ -306,8 +370,8 @@ void ShmTransport::publish_staged(Lane lane, int slot, int dst) noexcept {
   }
 }
 
-bool ShmTransport::try_send(Lane lane, int dst, const FrameHeader& h,
-                            std::span<const std::byte> chunk) {
+bool ShmTransport::do_try_send(Lane lane, int dst, const FrameHeader& h,
+                               std::span<const std::byte> chunk) {
   const int slot = sender_slot();
   SpscRing& ring = out_ring(lane, slot, dst);
   if (burst_dst_[slot][static_cast<int>(lane)] == dst) {
@@ -325,7 +389,7 @@ bool ShmTransport::try_send(Lane lane, int dst, const FrameHeader& h,
   return true;
 }
 
-void ShmTransport::begin_burst(Lane lane, int dst) {
+void ShmTransport::do_begin_burst(Lane lane, int dst) {
   const int slot = sender_slot();
   int& cur = burst_dst_[slot][static_cast<int>(lane)];
   if (cur == dst) return;
@@ -335,7 +399,7 @@ void ShmTransport::begin_burst(Lane lane, int dst) {
   cur = dst;
 }
 
-bool ShmTransport::try_flush_burst(Lane lane, int dst) {
+bool ShmTransport::do_try_flush_burst(Lane lane, int dst) {
   const int slot = sender_slot();
   int& cur = burst_dst_[slot][static_cast<int>(lane)];
   if (cur != dst) return true;
@@ -349,11 +413,11 @@ HostStats ShmTransport::host_stats() const noexcept {
           host_futex_wakes_.load(std::memory_order_relaxed)};
 }
 
-void ShmTransport::wait_send(Lane lane, int dst, int timeout_ms) {
+void ShmTransport::do_wait_send(Lane lane, int dst, int timeout_ms) {
   out_ring(lane, sender_slot(), dst).wait_space(timeout_ms);
 }
 
-std::size_t ShmTransport::drain(Lane lane, const ChunkSink& sink) {
+std::size_t ShmTransport::do_drain(Lane lane, const ChunkSink& sink) {
   // Visit only rings that have ever carried a datagram toward us: the
   // active mask bounds the pass by the number of talking neighbours,
   // not by nprocs, and leaves idle rings' shared pages untouched.
@@ -372,11 +436,12 @@ std::size_t ShmTransport::drain(Lane lane, const ChunkSink& sink) {
   return count;
 }
 
-std::uint32_t ShmTransport::recv_token(Lane lane) {
+std::uint32_t ShmTransport::do_recv_token(Lane lane) {
   return doorbell(rank_, lane).seq.load(std::memory_order_acquire);
 }
 
-void ShmTransport::wait_recv(Lane lane, std::uint32_t token) {
+void ShmTransport::do_wait_recv(Lane lane, std::uint32_t token,
+                                int timeout_ms) {
   Doorbell& d = doorbell(rank_, lane);
   // Burst mode: pause-then-yield on the doorbell before advertising a
   // sleeper. While re-checking, `waiters` stays 0, so senders skip
@@ -395,17 +460,55 @@ void ShmTransport::wait_recv(Lane lane, std::uint32_t token) {
       sched_yield();
   }
   if (budget > 0) budget = std::max(kSpinMin, budget - budget / 4);
-  // Bounded sleep: a spurious return only costs the caller one empty
-  // re-drain, and the bound keeps even a theoretically missed wake from
-  // becoming a hang.
-  constexpr int kMaxSleepMs = 100;
+  // Bounded sleep (the caller slices at kMaxWaitSliceMs): a spurious
+  // return only costs one empty re-drain, and the bound keeps even a
+  // theoretically missed wake from becoming a hang — and lets the
+  // caller re-check poison and deadline state between slices.
   d.waiters.fetch_add(1, std::memory_order_seq_cst);
   if (d.seq.load(std::memory_order_seq_cst) == token)
-    detail::futex_wait(&d.seq, token, kMaxSleepMs);
+    detail::futex_wait(&d.seq, token, timeout_ms);
   d.waiters.fetch_sub(1, std::memory_order_seq_cst);
 }
 
-void ShmTransport::wake_service() { ring_doorbell(rank_, Lane::kSvc); }
+void ShmTransport::do_wake_service() { ring_doorbell(rank_, Lane::kSvc); }
+
+int ShmTransport::poll_poison() noexcept {
+  const auto* h = static_cast<const RegionHeader*>(base_);
+  for (int w = 0; w < 2; ++w) {
+    std::uint64_t m = h->poison[w].load(std::memory_order_acquire);
+    if (w == rank_ / 64) m &= ~(1ull << (rank_ % 64));  // not our own death
+    if (m != 0) return w * 64 + std::countr_zero(m);
+  }
+  return -1;
+}
+
+void ShmTransport::describe_channels(std::ostream& os) {
+  // Incoming ring occupancy per announced (src, slot, lane): bytes the
+  // peer published that we have not consumed. Best-effort snapshot over
+  // the shared atomics; only rings the active mask names are touched.
+  for (int lane = 0; lane < 2; ++lane) {
+    const std::atomic<std::uint64_t>* mask =
+        active_mask(rank_, static_cast<Lane>(lane));
+    const std::size_t words = mask_words(nprocs_);
+    for (std::size_t w = 0; w < words; ++w) {
+      std::uint64_t m = mask[w].load(std::memory_order_acquire);
+      while (m != 0) {
+        const int bit = std::countr_zero(m);
+        m &= m - 1;
+        const std::size_t idx = w * 64 + static_cast<std::size_t>(bit);
+        const SpscRing& ring = in_[lane][idx];
+        const std::uint32_t head =
+            ring.ctrl()->head.load(std::memory_order_acquire);
+        const std::uint32_t tail =
+            ring.ctrl()->tail.load(std::memory_order_acquire);
+        if (tail == head) continue;
+        os << " peer" << idx / 2 << (idx % 2 == 0 ? ".main" : ".svc")
+           << (lane == static_cast<int>(Lane::kSvc) ? "->svc:" : "->app:")
+           << (tail - head) << "B";
+      }
+    }
+  }
+}
 
 std::unique_ptr<FabricState> make_shm_fabric(int nprocs) {
   return std::make_unique<ShmFabricState>(nprocs);

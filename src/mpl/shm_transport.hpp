@@ -20,6 +20,11 @@
 // publish a ring's bit on first use and the receiver's drain walks only
 // set bits, so both the page footprint AND the per-drain work scale
 // with the pairs that actually communicate, not with nprocs^2.
+//
+// Failure propagation: the region header carries a poison bitmask of
+// dead ranks. The runner's PeerKiller (make_shm_killer) sets the dead
+// rank's bit and bumps every doorbell, so parked survivors wake, see
+// the bit through poll_poison, and unwind naming the dead rank.
 #pragma once
 
 #include <memory>
@@ -42,10 +47,20 @@ static_assert(kShmRingBytes >= SpscRing::min_capacity(kMaxChunk));
 
 /// Writes the region prologue (magic, nprocs, ring geometry) into a
 /// zeroed `shm_region_bytes(nprocs)` block. Zero pages are a valid
-/// empty state for every doorbell and ring, so this is all the
-/// initialization a fresh region needs. Shared by the fork-inherited
-/// MAP_SHARED fabric and the in-process fabric (inproc_transport.hpp).
+/// empty state for every doorbell, poison word, and ring, so this is
+/// all the initialization a fresh region needs. Shared by the
+/// fork-inherited MAP_SHARED fabric and the in-process fabric
+/// (inproc_transport.hpp).
 void init_ring_region(void* base, int nprocs) noexcept;
+
+/// Builds a PeerKiller over an initialized ring region: poison(k) sets
+/// rank k's dead bit and wakes every parked receiver. When
+/// `owns_region` is set the killer unmaps the caller's view when
+/// destroyed (the process backend's parent hands its view over); the
+/// thread backend's killer is a plain non-owning view.
+[[nodiscard]] std::unique_ptr<PeerKiller> make_shm_killer(void* base,
+                                                          int nprocs,
+                                                          bool owns_region);
 
 class ShmTransport : public Transport {
  public:
@@ -64,16 +79,20 @@ class ShmTransport : public Transport {
   [[nodiscard]] TransportKind kind() const noexcept override {
     return kind_;
   }
-  bool try_send(Lane lane, int dst, const FrameHeader& h,
-                std::span<const std::byte> chunk) override;
-  void wait_send(Lane lane, int dst, int timeout_ms) override;
-  std::size_t drain(Lane lane, const ChunkSink& sink) override;
-  [[nodiscard]] std::uint32_t recv_token(Lane lane) override;
-  void wait_recv(Lane lane, std::uint32_t token) override;
-  void wake_service() override;
-  void begin_burst(Lane lane, int dst) override;
-  [[nodiscard]] bool try_flush_burst(Lane lane, int dst) override;
   [[nodiscard]] HostStats host_stats() const noexcept override;
+  void describe_channels(std::ostream& os) override;
+
+ protected:
+  bool do_try_send(Lane lane, int dst, const FrameHeader& h,
+                   std::span<const std::byte> chunk) override;
+  void do_wait_send(Lane lane, int dst, int timeout_ms) override;
+  std::size_t do_drain(Lane lane, const ChunkSink& sink) override;
+  [[nodiscard]] std::uint32_t do_recv_token(Lane lane) override;
+  void do_wait_recv(Lane lane, std::uint32_t token, int timeout_ms) override;
+  void do_wake_service() override;
+  void do_begin_burst(Lane lane, int dst) override;
+  [[nodiscard]] bool do_try_flush_burst(Lane lane, int dst) override;
+  [[nodiscard]] int poll_poison() noexcept override;
 
  private:
   [[nodiscard]] int sender_slot() const noexcept;
@@ -85,8 +104,6 @@ class ShmTransport : public Transport {
   void ring_doorbell(int dst, Lane lane) noexcept;
   void publish_staged(Lane lane, int slot, int dst) noexcept;
 
-  int nprocs_;
-  int rank_;
   void* base_;
   bool owns_region_;
   TransportKind kind_;

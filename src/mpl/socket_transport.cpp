@@ -1,5 +1,6 @@
 #include "mpl/socket_transport.hpp"
 
+#include <fcntl.h>
 #include <pthread.h>
 #include <sys/eventfd.h>
 #include <sys/resource.h>
@@ -10,6 +11,7 @@
 #include <cassert>
 #include <cstdio>
 #include <cstring>
+#include <ostream>
 
 #include "common/check.hpp"
 
@@ -66,6 +68,33 @@ void ensure_fd_headroom(std::size_t need, int nprocs) {
                                   "or TMK_BACKEND=thread");
 }
 
+/// Owns both ends of every rank's poison pipe; poison(k) tells all
+/// ranks (in a bounded, signal-free way) that rank k died. Keeping the
+/// parent-side read ends alive is load-bearing: once a child exits its
+/// copy of the read end closes, and a write into a reader-less pipe
+/// would SIGPIPE the runner itself — with the killer's read end held,
+/// every pipe always has a reader and the write cannot raise.
+class SocketPeerKiller final : public PeerKiller {
+ public:
+  SocketPeerKiller(std::vector<common::Fd> read_ends,
+                   std::vector<common::Fd> write_ends) noexcept
+      : read_ends_(std::move(read_ends)), write_ends_(std::move(write_ends)) {}
+
+  void poison(int dead_rank) noexcept override {
+    const std::int32_t id = dead_rank;
+    for (const auto& fd : write_ends_) {
+      if (fd.get() < 0) continue;
+      // Nonblocking 4-byte write; a pipe that is improbably full
+      // (EAGAIN) is simply skipped — that rank is already unwinding.
+      (void)!write(fd.get(), &id, sizeof(id));
+    }
+  }
+
+ private:
+  std::vector<common::Fd> read_ends_;
+  std::vector<common::Fd> write_ends_;
+};
+
 class SocketFabricState final : public FabricState {
  public:
   explicit SocketFabricState(int nprocs) : nprocs_(nprocs) {
@@ -77,6 +106,14 @@ class SocketFabricState final : public FabricState {
     for (std::size_t p = 0; p < pairs; ++p)
       for (int lane = 0; lane < 2; ++lane)
         make_pair(send_[lane][p], recv_[lane][p]);
+    poison_r_.resize(static_cast<std::size_t>(nprocs));
+    poison_w_.resize(static_cast<std::size_t>(nprocs));
+    for (int r = 0; r < nprocs; ++r) {
+      int fds[2];
+      COMMON_SYSCALL(pipe2(fds, O_NONBLOCK));
+      poison_r_[static_cast<std::size_t>(r)].reset(fds[0]);
+      poison_w_[static_cast<std::size_t>(r)].reset(fds[1]);
+    }
   }
 
   std::unique_ptr<Transport> adopt(int rank) override {
@@ -91,7 +128,14 @@ class SocketFabricState final : public FabricState {
             std::move(recv_[lane][idx(j, rank)]);
       }
     }
-    return std::make_unique<SocketTransport>(std::move(ch));
+    return std::make_unique<SocketTransport>(
+        std::move(ch), std::move(poison_r_[static_cast<std::size_t>(rank)]),
+        rank, nprocs_);
+  }
+
+  std::unique_ptr<PeerKiller> make_killer() override {
+    return std::make_unique<SocketPeerKiller>(std::move(poison_r_),
+                                              std::move(poison_w_));
   }
 
  private:
@@ -104,12 +148,20 @@ class SocketFabricState final : public FabricState {
   // For pair (i,j): send_[lane][idx] is i's sending end toward j's
   // `lane`, recv_[lane][idx] is j's receiving end.
   std::vector<common::Fd> send_[2], recv_[2];
+  // Per-rank poison pipes: children adopt their read end; the write
+  // ends move into the PeerKiller (children close their inherited
+  // copies when they discard this state after adoption, so EOF on a
+  // read end means the runner itself is gone).
+  std::vector<common::Fd> poison_r_, poison_w_;
 };
 
 }  // namespace
 
-SocketTransport::SocketTransport(Channels channels)
-    : ch_(std::move(channels)),
+SocketTransport::SocketTransport(Channels channels, common::Fd poison_fd,
+                                 int rank, int nprocs)
+    : Transport(rank, nprocs),
+      ch_(std::move(channels)),
+      poison_fd_(std::move(poison_fd)),
       main_thread_(static_cast<unsigned long>(pthread_self())) {
   service_wake_.reset(COMMON_SYSCALL(eventfd(0, EFD_NONBLOCK)));
   for (int lane = 0; lane < 2; ++lane) {
@@ -118,6 +170,9 @@ SocketTransport::SocketTransport(Channels channels)
       drain_pollfds_[lane].push_back({fd.get(), POLLIN, 0});
     wait_pollfds_[lane] = drain_pollfds_[lane];
   }
+  if (poison_fd_.get() >= 0)
+    wait_pollfds_[static_cast<int>(Lane::kApp)].push_back(
+        {poison_fd_.get(), POLLIN, 0});
   wait_pollfds_[static_cast<int>(Lane::kSvc)].push_back(
       {service_wake_.get(), POLLIN, 0});
 }
@@ -165,19 +220,19 @@ bool SocketTransport::flush_frames(Burst& b, Lane lane) {
   return true;
 }
 
-void SocketTransport::begin_burst(Lane lane, int dst) {
+void SocketTransport::do_begin_burst(Lane lane, int dst) {
   Burst& b = burst_[sender_slot()][static_cast<int>(lane)];
   if (b.dst == dst) return;
   if (b.dst >= 0) {
     // Switching targets: drain the previous burst first. Block through
     // plain poll if needed — the caller asked for a new burst without
     // flushing, so it is not in a state where it could pump.
-    while (!flush_frames(b, lane)) wait_send(lane, b.dst, -1);
+    while (!flush_frames(b, lane)) do_wait_send(lane, b.dst, kMaxWaitSliceMs);
   }
   b.dst = dst;
 }
 
-bool SocketTransport::try_flush_burst(Lane lane, int dst) {
+bool SocketTransport::do_try_flush_burst(Lane lane, int dst) {
   Burst& b = burst_[sender_slot()][static_cast<int>(lane)];
   if (b.dst != dst) return true;
   if (!flush_frames(b, lane)) return false;  // stays open for the retry
@@ -187,6 +242,21 @@ bool SocketTransport::try_flush_burst(Lane lane, int dst) {
 
 HostStats SocketTransport::host_stats() const noexcept {
   return {host_send_calls_.load(std::memory_order_relaxed), 0};
+}
+
+void SocketTransport::describe_channels(std::ostream& os) {
+  // Crash-report hook, called on the reporting thread: describe only
+  // that thread's own burst slots (the other thread's scratch vectors
+  // are not safely readable mid-flight). Kernel-queued socket bytes are
+  // not observable from userspace, so gathered-but-unflushed datagrams
+  // are the interesting channel state here.
+  const int slot = sender_slot();
+  for (int lane = 0; lane < 2; ++lane) {
+    const Burst& b = burst_[slot][lane];
+    if (b.dst < 0 || b.frames.size() == b.sent) continue;
+    os << " burst" << (lane == static_cast<int>(Lane::kSvc) ? ".svc->" : "->")
+       << b.dst << ":" << (b.frames.size() - b.sent) << "f";
+  }
 }
 
 SocketTransport::~SocketTransport() {
@@ -207,8 +277,8 @@ SocketTransport::~SocketTransport() {
   }
 }
 
-bool SocketTransport::try_send(Lane lane, int dst, const FrameHeader& h,
-                               std::span<const std::byte> chunk) {
+bool SocketTransport::do_try_send(Lane lane, int dst, const FrameHeader& h,
+                                  std::span<const std::byte> chunk) {
   Burst& b = burst_[sender_slot()][static_cast<int>(lane)];
   if (b.dst == dst) {
     // Mid-burst: gather a copy (the caller's buffer will not outlive
@@ -254,7 +324,7 @@ bool SocketTransport::try_send(Lane lane, int dst, const FrameHeader& h,
   }
 }
 
-void SocketTransport::wait_send(Lane lane, int dst, int timeout_ms) {
+void SocketTransport::do_wait_send(Lane lane, int dst, int timeout_ms) {
   pollfd p{
       ch_.out[static_cast<int>(lane)][static_cast<std::size_t>(dst)].get(),
       POLLOUT, 0};
@@ -262,7 +332,7 @@ void SocketTransport::wait_send(Lane lane, int dst, int timeout_ms) {
   if (r < 0 && errno != EINTR) COMMON_SYSCALL(r);
 }
 
-std::size_t SocketTransport::drain(Lane lane, const ChunkSink& sink) {
+std::size_t SocketTransport::do_drain(Lane lane, const ChunkSink& sink) {
   auto& pfds = drain_pollfds_[static_cast<int>(lane)];
   for (auto& p : pfds) p.revents = 0;
   for (;;) {
@@ -298,12 +368,14 @@ std::size_t SocketTransport::drain(Lane lane, const ChunkSink& sink) {
   return count;
 }
 
-void SocketTransport::wait_recv(Lane lane, std::uint32_t /*token*/) {
+void SocketTransport::do_wait_recv(Lane lane, std::uint32_t /*token*/,
+                                   int timeout_ms) {
   // Level-triggered: queued datagrams keep their descriptor readable, so
-  // the pre-drain token is unnecessary here.
+  // the pre-drain token is unnecessary here. The timeout slice is the
+  // caller's poison/deadline re-check interval.
   auto& pfds = wait_pollfds_[static_cast<int>(lane)];
   for (auto& p : pfds) p.revents = 0;
-  const int r = poll(pfds.data(), pfds.size(), -1);
+  const int r = poll(pfds.data(), pfds.size(), timeout_ms);
   if (r < 0) {
     if (errno == EINTR) return;
     COMMON_SYSCALL(r);
@@ -314,7 +386,26 @@ void SocketTransport::wait_recv(Lane lane, std::uint32_t /*token*/) {
   }
 }
 
-void SocketTransport::wake_service() {
+int SocketTransport::poll_poison() noexcept {
+  // Main-thread only (it mutates the kApp wait array on EOF; the kSvc
+  // array belongs to the service thread and never carries the pipe).
+  if (poison_fd_.get() < 0) return -1;
+  std::int32_t dead = -1;
+  const ssize_t n = read(poison_fd_.get(), &dead, sizeof(dead));
+  if (n == static_cast<ssize_t>(sizeof(dead)) && dead >= 0 &&
+      dead < nprocs_ && dead != rank_)
+    return dead;
+  if (n == 0) {
+    // EOF: the runner is gone without naming anyone. Retire the
+    // descriptor so its POLLHUP does not turn the app wait into a busy
+    // loop.
+    wait_pollfds_[static_cast<int>(Lane::kApp)].back().fd = -1;
+    poison_fd_.reset();
+  }
+  return -1;
+}
+
+void SocketTransport::do_wake_service() {
   const std::uint64_t one = 1;
   for (;;) {
     const ssize_t r = write(service_wake_.get(), &one, sizeof(one));

@@ -6,6 +6,14 @@
 // interleave without tearing. All descriptors are non-blocking; blocking
 // waits go through poll() over persistent pollfd arrays, and the service
 // lane's wait additionally watches an eventfd for wake_service().
+//
+// Failure propagation: every rank additionally inherits the read end of
+// a per-rank poison pipe. The runner-side PeerKiller (make_killer) owns
+// all the write ends and writes the dead rank's id into every pipe; the
+// read end sits in the app lane's wait set, so a parked survivor's poll
+// returns immediately and its next health check (poll_poison) learns
+// the dead rank. The service lane needs no poison descriptor — its
+// waits are already sliced at Transport::kMaxWaitSliceMs.
 #pragma once
 
 #include <poll.h>
@@ -29,22 +37,29 @@ class SocketTransport final : public Transport {
     std::vector<common::Fd> in[2];
   };
 
-  explicit SocketTransport(Channels channels);
+  /// `poison_fd` is this rank's end of the runner's death-propagation
+  /// pipe (may be empty for harnesses that build channels by hand).
+  SocketTransport(Channels channels, common::Fd poison_fd, int rank,
+                  int nprocs);
+  ~SocketTransport() override;
 
   [[nodiscard]] TransportKind kind() const noexcept override {
     return TransportKind::kSocket;
   }
-  bool try_send(Lane lane, int dst, const FrameHeader& h,
-                std::span<const std::byte> chunk) override;
-  void wait_send(Lane lane, int dst, int timeout_ms) override;
-  std::size_t drain(Lane lane, const ChunkSink& sink) override;
-  [[nodiscard]] std::uint32_t recv_token(Lane) override { return 0; }
-  void wait_recv(Lane lane, std::uint32_t token) override;
-  void wake_service() override;
-  void begin_burst(Lane lane, int dst) override;
-  [[nodiscard]] bool try_flush_burst(Lane lane, int dst) override;
   [[nodiscard]] HostStats host_stats() const noexcept override;
-  ~SocketTransport() override;
+  void describe_channels(std::ostream& os) override;
+
+ protected:
+  bool do_try_send(Lane lane, int dst, const FrameHeader& h,
+                   std::span<const std::byte> chunk) override;
+  void do_wait_send(Lane lane, int dst, int timeout_ms) override;
+  std::size_t do_drain(Lane lane, const ChunkSink& sink) override;
+  [[nodiscard]] std::uint32_t do_recv_token(Lane) override { return 0; }
+  void do_wait_recv(Lane lane, std::uint32_t token, int timeout_ms) override;
+  void do_wake_service() override;
+  void do_begin_burst(Lane lane, int dst) override;
+  [[nodiscard]] bool do_try_flush_burst(Lane lane, int dst) override;
+  [[nodiscard]] int poll_poison() noexcept override;
 
  private:
   // A burst gathers datagram copies (header + payload, since the
@@ -65,13 +80,16 @@ class SocketTransport final : public Transport {
 
   Channels ch_;
   common::Fd service_wake_;  // eventfd observed by the kSvc wait
+  common::Fd poison_fd_;     // read end of the runner's poison pipe
   unsigned long main_thread_;  // pthread_t of the constructing thread
   Burst burst_[2][2];          // [slot][lane]
   std::atomic<std::uint64_t> host_send_calls_{0};
   // Persistent poll arrays (descriptors never change): [lane] over the
-  // inbound fds; the kSvc wait array carries the eventfd last. drain()
-  // and wait_recv() on a lane run on that lane's single receiving
-  // thread, so the arrays are not shared between threads.
+  // inbound fds; the kApp wait array carries the poison pipe last, the
+  // kSvc wait array the eventfd last. drain() and wait_recv() on a lane
+  // run on that lane's single receiving thread, so the arrays are not
+  // shared between threads; poll_poison (main thread only) touches only
+  // the kApp array.
   std::vector<pollfd> drain_pollfds_[2];
   std::vector<pollfd> wait_pollfds_[2];
 };

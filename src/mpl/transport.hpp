@@ -5,7 +5,7 @@
 // charges. A Transport only moves opaque datagram chunks between
 // processes, so the modelled results (message counts, bytes, virtual
 // times, checksums) are bit-identical across backends by construction;
-// only the *host-side* cost of moving a chunk differs. Two backends:
+// only the *host-side* cost of moving a chunk differs. Backends:
 //
 //   SocketTransport (socket_transport.hpp)
 //       SOCK_SEQPACKET Unix-domain socketpairs, one per directed
@@ -22,22 +22,38 @@
 //       runner's thread backend where all "processes" are threads of
 //       one address space: no fork, no fd inheritance, no MAP_SHARED.
 //
-// Delivery contract both backends honour (what the Endpoint's
+// Delivery contract every backend honours (what the Endpoint's
 // reassembly relies on): datagrams are never corrupted, duplicated, or
 // dropped, and datagrams pushed by ONE sending thread toward one
 // (destination, lane) arrive in push order. Datagrams from different
 // sending threads (a peer's main and service threads share outgoing
 // channels) may interleave arbitrarily, exactly as two threads
 // sendmsg()ing one socket interleave.
+//
+// Failure handling lives in THIS base class so its semantics are
+// backend-identical by construction: the public entry points are
+// non-virtual wrappers over protected do_* hooks. The wrappers
+//   - drive the rank's deterministic fault plan (TMK_FAULT_INJECT,
+//     fault_inject.hpp) on the send path and at barrier entry;
+//   - drop sends once this rank's fault has fired, so a dying rank
+//     cannot keep completing protocol exchanges;
+//   - bound every blocking wait to kMaxWaitSliceMs, so callers
+//     (fabric.cpp) re-check peer-death poison and their wait deadline
+//     between slices instead of parking indefinitely;
+//   - cache the backend's poison signal (poll_poison) so the per-wait
+//     check is one atomic load after a peer death was first observed.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <iosfwd>
 #include <memory>
 #include <optional>
 #include <span>
 #include <string_view>
 
+#include "mpl/fault_inject.hpp"
 #include "mpl/frame.hpp"
 
 namespace mpl {
@@ -123,6 +139,12 @@ class ChunkSink {
 /// receives, sends on either lane).
 class Transport {
  public:
+  /// Upper bound every blocking do_wait_* honours: a parked rank wakes
+  /// at least this often so the caller can re-check poison / deadline /
+  /// stop conditions. Spurious wakes were already part of the contract.
+  static constexpr int kMaxWaitSliceMs = 100;
+
+  Transport(int rank, int nprocs);
   virtual ~Transport() = default;
 
   [[nodiscard]] virtual TransportKind kind() const noexcept = 0;
@@ -130,35 +152,38 @@ class Transport {
   /// Attempts to enqueue one datagram (header + chunk) toward `dst`'s
   /// `lane`. Returns false when the channel is full — the caller may
   /// pump its own inbound traffic and retry (the deadlock-freedom
-  /// discipline of the socket fabric).
-  virtual bool try_send(Lane lane, int dst, const FrameHeader& h,
-                        std::span<const std::byte> chunk) = 0;
+  /// discipline of the socket fabric). Drives the fault plan; once this
+  /// rank's fault fired, the datagram is silently dropped (reported as
+  /// sent) so the dying rank unwinds instead of wedging in a send.
+  bool try_send(Lane lane, int dst, const FrameHeader& h,
+                std::span<const std::byte> chunk);
 
   /// Blocks until the (lane, dst) channel plausibly has space again, or
-  /// `timeout_ms` elapsed (negative = no caller deadline; the backend
-  /// may still wake spuriously). Only meaningful right after a failed
-  /// try_send from the same thread.
-  virtual void wait_send(Lane lane, int dst, int timeout_ms) = 0;
+  /// `timeout_ms` elapsed (negative = no caller deadline; the wait is
+  /// still sliced at kMaxWaitSliceMs and may wake spuriously). Only
+  /// meaningful right after a failed try_send from the same thread.
+  void wait_send(Lane lane, int dst, int timeout_ms);
 
   /// Non-blocking: feeds every ready inbound datagram on `lane` to
   /// `sink`, in per-sending-thread order. Returns the datagram count.
   /// The chunk span is only valid during the sink call.
-  virtual std::size_t drain(Lane lane, const ChunkSink& sink) = 0;
+  std::size_t drain(Lane lane, const ChunkSink& sink);
 
   /// Samples the arrival state of `lane` for a lost-wakeup-free wait:
   /// a token taken BEFORE a drain, passed to wait_recv AFTER the drain
   /// came up empty, guarantees wait_recv returns promptly if anything
   /// arrived in between. (Level-triggered backends may ignore it.)
-  [[nodiscard]] virtual std::uint32_t recv_token(Lane lane) = 0;
+  [[nodiscard]] std::uint32_t recv_token(Lane lane);
 
   /// Blocks until new datagrams may be ready on `lane` — or, for
-  /// Lane::kSvc, until wake_service() was called. Spurious returns are
-  /// allowed; callers re-check their condition in a loop.
-  virtual void wait_recv(Lane lane, std::uint32_t token) = 0;
+  /// Lane::kSvc, until wake_service() was called — or kMaxWaitSliceMs
+  /// passed. Spurious returns are allowed; callers re-check their
+  /// condition (and their wait deadline) in a loop.
+  void wait_recv(Lane lane, std::uint32_t token);
 
   /// Wakes a wait_recv(Lane::kSvc) blocked in the service thread (used
   /// for shutdown). Callable from the main thread.
-  virtual void wake_service() = 0;
+  void wake_service();
 
   // ---- burst mode (optional; default implementation = no batching) ----
   //
@@ -173,18 +198,94 @@ class Transport {
 
   /// Opens (or continues) a burst from the calling thread toward
   /// (lane, dst). Backends without burst support ignore it.
-  virtual void begin_burst(Lane /*lane*/, int /*dst*/) {}
+  void begin_burst(Lane lane, int dst) { do_begin_burst(lane, dst); }
 
   /// Publishes everything buffered by the current burst toward
   /// (lane, dst). True when the burst is fully handed over (and closed);
   /// false when the channel back-pressured with frames still buffered —
   /// the caller should pump its inbound traffic, wait_send, and retry.
-  [[nodiscard]] virtual bool try_flush_burst(Lane /*lane*/, int /*dst*/) {
-    return true;
+  [[nodiscard]] bool try_flush_burst(Lane lane, int dst) {
+    return do_try_flush_burst(lane, dst);
   }
 
   /// Host-side cost counters accumulated by this view (see HostStats).
   [[nodiscard]] virtual HostStats host_stats() const noexcept { return {}; }
+
+  // ---- failure handling ----
+
+  /// Runtime hook at barrier entry: fires the exit-at-barrier fault.
+  void barrier_entered() {
+    if (fault_ != nullptr) fault_->on_barrier();
+  }
+
+  /// True once this rank's own injected fault has fired: its sends are
+  /// dropped and its waits return immediately so it unwinds loudly.
+  [[nodiscard]] bool self_dead() const noexcept {
+    return fault_ != nullptr && fault_->dead();
+  }
+
+  /// The recorded description of this rank's own fired fault ("" until
+  /// one fires). Diagnostics include it so the blame names the plan key
+  /// even when the fault fired on the rank's other thread.
+  [[nodiscard]] const char* self_death_cause() const noexcept {
+    return fault_ != nullptr ? fault_->cause() : "";
+  }
+
+  /// The lowest-numbered peer known to have died (runner poison), or
+  /// -1. One relaxed load after the first observation; the slow path
+  /// asks the backend (poll_poison).
+  [[nodiscard]] int poisoned_peer() noexcept {
+    const int cached = poison_cache_.load(std::memory_order_relaxed);
+    if (cached >= 0) return cached;
+    const int dead = poll_poison();
+    if (dead >= 0) poison_cache_.store(dead, std::memory_order_relaxed);
+    return dead;
+  }
+
+  /// Appends a human-readable per-peer channel snapshot (ring occupancy
+  /// / queued burst frames) to `os` for crash reports. Best-effort and
+  /// backend-specific; the default writes nothing.
+  virtual void describe_channels(std::ostream& os);
+
+  [[nodiscard]] int rank() const noexcept { return rank_; }
+  [[nodiscard]] int nprocs() const noexcept { return nprocs_; }
+
+ protected:
+  virtual bool do_try_send(Lane lane, int dst, const FrameHeader& h,
+                           std::span<const std::byte> chunk) = 0;
+  virtual void do_wait_send(Lane lane, int dst, int timeout_ms) = 0;
+  virtual std::size_t do_drain(Lane lane, const ChunkSink& sink) = 0;
+  [[nodiscard]] virtual std::uint32_t do_recv_token(Lane lane) = 0;
+  /// `timeout_ms` is already sliced to (0, kMaxWaitSliceMs].
+  virtual void do_wait_recv(Lane lane, std::uint32_t token,
+                            int timeout_ms) = 0;
+  virtual void do_wake_service() = 0;
+  virtual void do_begin_burst(Lane /*lane*/, int /*dst*/) {}
+  [[nodiscard]] virtual bool do_try_flush_burst(Lane /*lane*/, int /*dst*/) {
+    return true;
+  }
+  /// Backend scan for the runner's peer-death poison signal: the id of
+  /// a dead peer, or -1. Called only until the first positive answer.
+  [[nodiscard]] virtual int poll_poison() noexcept { return -1; }
+
+  int rank_ = 0;
+  int nprocs_ = 1;
+
+ private:
+  // Null unless TMK_FAULT_INJECT names this rank as the victim: the
+  // fault-free fast path costs one pointer check per send.
+  std::unique_ptr<FaultInjector> fault_;
+  std::atomic<int> poison_cache_{-1};
+};
+
+/// Parent-side handle that marks one rank dead for every survivor: the
+/// runner calls poison() when it observes a rank die, and each
+/// survivor's next blocking wait (or blocked send) aborts naming the
+/// dead rank instead of parking until the global watchdog.
+class PeerKiller {
+ public:
+  virtual ~PeerKiller() = default;
+  virtual void poison(int dead_rank) noexcept = 0;
 };
 
 /// Parent-side backend state, built by the Fabric BEFORE forking so
@@ -194,6 +295,12 @@ class FabricState {
  public:
   virtual ~FabricState() = default;
   [[nodiscard]] virtual std::unique_ptr<Transport> adopt(int rank) = 0;
+  /// Builds the parent-side death-propagation handle. Must be called
+  /// BEFORE the parent releases the fabric (the handle takes over the
+  /// resources it needs); null when the backend has no poison path.
+  [[nodiscard]] virtual std::unique_ptr<PeerKiller> make_killer() {
+    return nullptr;
+  }
 };
 
 }  // namespace mpl

@@ -7,6 +7,7 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <condition_variable>
 #include <chrono>
 #include <cstdio>
@@ -19,6 +20,7 @@
 
 #include "common/check.hpp"
 #include "common/cpu_clock.hpp"
+#include "common/env.hpp"
 #include "common/fd.hpp"
 #include "sim/virtual_clock.hpp"
 
@@ -31,13 +33,66 @@ std::optional<Backend> parse_backend(std::string_view name) noexcept {
 }
 
 Backend backend_from_env(Backend fallback) noexcept {
-  const char* env = std::getenv("TMK_BACKEND");
+  const char* env = common::env::raw("TMK_BACKEND");
   if (env == nullptr) return fallback;
   if (auto b = parse_backend(env)) return *b;
+  common::env::detail::warn_value("TMK_BACKEND", env, "expected process|thread");
   return fallback;
 }
 
 namespace {
+
+/// Once a rank is known dead, poisoned survivors get this long to
+/// unwind through their bounded waits and deliver failure reports
+/// before the remaining stragglers are forcibly ended.
+constexpr int kPoisonGraceSec = 10;
+
+/// Watchdog deadline shared by both backends: the process backend's
+/// report gather polls against it, the thread backend's cv-wait sleeps
+/// against it, and a first failure pulls it in to a short grace window.
+class RunDeadline {
+ public:
+  explicit RunDeadline(int timeout_sec)
+      : deadline_ns_(common::wall_ns() +
+                     static_cast<std::uint64_t>(timeout_sec) *
+                         1'000'000'000ULL) {}
+
+  /// Pulls the deadline in to `now + grace_sec` if that is sooner.
+  void arm_grace(int grace_sec) noexcept {
+    const std::uint64_t grace_end =
+        common::wall_ns() +
+        static_cast<std::uint64_t>(grace_sec) * 1'000'000'000ULL;
+    deadline_ns_ = std::min(deadline_ns_, grace_end);
+  }
+
+  [[nodiscard]] bool expired() const noexcept {
+    return common::wall_ns() >= deadline_ns_;
+  }
+
+  /// Milliseconds left for poll()/wait_for; >= 1 until expiry.
+  [[nodiscard]] int remaining_ms() const noexcept {
+    const std::uint64_t now = common::wall_ns();
+    if (now >= deadline_ns_) return 0;
+    return static_cast<int>((deadline_ns_ - now) / 1'000'000ULL) + 1;
+  }
+
+ private:
+  std::uint64_t deadline_ns_;
+};
+
+/// Names the ranks a watchdog caught unfinished, e.g.
+/// "ranks still running: 2, 5" — the blamed-rank half of a timeout
+/// diagnostic on either backend.
+std::string describe_stragglers(const std::vector<char>& done_flags) {
+  std::string s;
+  for (std::size_t i = 0; i < done_flags.size(); ++i) {
+    if (done_flags[i] != 0) continue;
+    s += s.empty() ? "ranks still running: " : ", ";
+    s += std::to_string(i);
+  }
+  if (s.empty()) s = "all ranks finished";
+  return s;
+}
 
 /// Shared heap mapping with RAII unmapping in the parent.
 class HeapMapping {
@@ -83,6 +138,10 @@ void write_report(int fd, const ProcReport& r) {
                              int report_fd) {
   ProcReport report;
   report.rank = static_cast<std::uint32_t>(rank);
+  // A send to a peer that died mid-run must surface as EPIPE — an
+  // unwindable error that still delivers this rank's report — rather
+  // than a silent SIGPIPE death.
+  signal(SIGPIPE, SIG_IGN);
   try {
     mpl::Endpoint endpoint(fabric, rank, options.model);
     {
@@ -118,9 +177,16 @@ void write_report(int fd, const ProcReport& r) {
 
 /// Checks every rank's report and sums them into the run-level fields.
 /// `who` names a rank in failure messages ("proc" for forked children,
-/// "rank" for backend threads).
+/// "rank" for backend threads). `first_failed` is the chronologically
+/// first failed rank (or -1): its error is the root cause and must be
+/// the one reported, not whichever poisoned survivor has the lowest id.
 void aggregate_reports(RunResult& result, std::uint64_t wall_start_ns,
-                       const char* who) {
+                       const char* who, int first_failed = -1) {
+  if (first_failed >= 0) {
+    const auto& rep = result.procs[static_cast<std::size_t>(first_failed)];
+    COMMON_CHECK_MSG(rep.ok == 1,
+                     who << ' ' << first_failed << " failed: " << rep.error);
+  }
   for (int i = 0; i < result.nprocs; ++i) {
     const auto& rep = result.procs[static_cast<std::size_t>(i)];
     COMMON_CHECK_MSG(rep.ok == 1, who << ' ' << i << " failed: " << rep.error);
@@ -184,17 +250,24 @@ RunResult spawn_threads(int nprocs, const SpawnOptions& options,
   // copy-on-write heap provides.
   std::deque<HeapMapping> heaps;
   mpl::Fabric fabric(nprocs, mpl::TransportKind::kInproc);
+  // Death propagation: the first rank to fail poisons the mesh so every
+  // survivor's next blocking wait unwinds naming it, instead of the
+  // whole suite parking until the watchdog.
+  std::unique_ptr<mpl::PeerKiller> killer = fabric.make_peer_killer();
 
   std::mutex mu;
   std::condition_variable cv;
   int finished = 0;
+  int first_failed = -1;
+  std::vector<char> done_flags(static_cast<std::size_t>(nprocs), 0);
 
   std::vector<std::thread> ranks;
   ranks.reserve(static_cast<std::size_t>(nprocs));
   for (int rank = 0; rank < nprocs; ++rank) {
     HeapMapping& heap = heaps.emplace_back(options.shared_heap_bytes);
     ProcReport& report = result.procs[static_cast<std::size_t>(rank)];
-    ranks.emplace_back([&fabric, &options, &fn, &mu, &cv, &finished, rank,
+    ranks.emplace_back([&fabric, &options, &fn, &mu, &cv, &finished,
+                        &first_failed, &done_flags, &killer, rank,
                         heap_p = &heap, report_p = &report] {
       ProcReport& rep = *report_p;
       rep.rank = static_cast<std::uint32_t>(rank);
@@ -221,7 +294,12 @@ RunResult spawn_threads(int nprocs, const SpawnOptions& options,
         rep.ok = 0;
       }
       std::lock_guard<std::mutex> g(mu);
+      done_flags[static_cast<std::size_t>(rank)] = 1;
       ++finished;
+      if (rep.ok != 1 && first_failed < 0) {
+        first_failed = rank;
+        if (killer) killer->poison(rank);
+      }
       cv.notify_all();
     });
   }
@@ -229,24 +307,29 @@ RunResult spawn_threads(int nprocs, const SpawnOptions& options,
   // Watchdog. A hung rank thread cannot be killed the way a forked
   // child can, and returning while rank threads still reference this
   // frame would corrupt the caller — so a timeout here ends the whole
-  // process with a diagnostic instead of hanging the suite.
+  // process with a diagnostic (naming the wedged ranks) instead of
+  // hanging the suite.
   {
+    RunDeadline deadline(options.timeout_sec);
     std::unique_lock<std::mutex> lk(mu);
-    const bool all_done =
-        cv.wait_for(lk, std::chrono::seconds(options.timeout_sec),
-                    [&] { return finished == nprocs; });
-    if (!all_done) {
-      std::fprintf(stderr,
-                   "runner: thread-backend run timed out after %ds "
-                   "(%d/%d ranks finished); aborting\n",
-                   options.timeout_sec, finished, nprocs);
-      std::fflush(nullptr);
-      _exit(124);
+    while (finished < nprocs) {
+      cv.wait_for(lk, std::chrono::milliseconds(deadline.remaining_ms()),
+                  [&] { return finished == nprocs; });
+      if (finished == nprocs) break;
+      if (deadline.expired()) {
+        std::fprintf(stderr,
+                     "runner: thread-backend run timed out after %ds "
+                     "(%d/%d ranks finished; %s); aborting\n",
+                     options.timeout_sec, finished, nprocs,
+                     describe_stragglers(done_flags).c_str());
+        std::fflush(nullptr);
+        _exit(124);
+      }
     }
   }
   for (std::thread& t : ranks) t.join();
 
-  aggregate_reports(result, wall_start_ns, "rank");
+  aggregate_reports(result, wall_start_ns, "rank", first_failed);
   return result;
 }
 
@@ -263,6 +346,7 @@ std::string describe_wait_status(int status) {
 
 RunResult spawn(int nprocs, const SpawnOptions& options, const ChildFn& fn) {
   COMMON_CHECK(nprocs >= 1 && nprocs <= mpl::kMaxProcs);
+  common::env::warn_unrecognized_once();
   if (options.backend == Backend::kThread)
     return spawn_threads(nprocs, options, fn);
   COMMON_CHECK_MSG(options.transport != mpl::TransportKind::kInproc,
@@ -297,18 +381,22 @@ RunResult spawn(int nprocs, const SpawnOptions& options, const ChildFn& fn) {
     pids[static_cast<std::size_t>(rank)] = pid;
   }
 
-  // Parent: close all fabric and write ends so children own the mesh.
+  // Parent: build the death-propagation handle (it takes over the shm
+  // region view / the poison-pipe write ends), then close all remaining
+  // fabric state and write ends so children own the mesh.
+  std::unique_ptr<mpl::PeerKiller> killer = fabric.make_peer_killer();
   {
     mpl::Fabric discard = std::move(fabric);
     (void)discard;
   }
   for (auto& w : report_w) w.reset();
 
-  // Gather reports with a watchdog. Any terminal child failure — EOF
-  // on its result pipe before a full report (crash, _exit, abort) or a
-  // delivered report with ok == 0 — aborts the gather immediately: the
-  // surviving children would otherwise block forever on the dead peer
-  // and turn one crash into a watchdog timeout.
+  // Gather reports with a watchdog. On the first terminal child failure
+  // — EOF on its result pipe before a full report (crash, _exit, abort)
+  // or a delivered report with ok == 0 — the parent poisons the mesh so
+  // every survivor's next blocking wait unwinds naming the dead rank,
+  // and keeps gathering for a short grace window so those failure
+  // reports land; stragglers still wedged after the grace are SIGKILLed.
   RunResult result;
   result.nprocs = nprocs;
   result.backend = Backend::kProcess;
@@ -316,14 +404,12 @@ RunResult spawn(int nprocs, const SpawnOptions& options, const ChildFn& fn) {
   result.procs.resize(static_cast<std::size_t>(nprocs));
   std::vector<std::size_t> got(static_cast<std::size_t>(nprocs), 0);
 
-  const std::uint64_t deadline_ns =
-      common::wall_ns() +
-      static_cast<std::uint64_t>(options.timeout_sec) * 1'000'000'000ULL;
+  RunDeadline deadline(options.timeout_sec);
   bool timed_out = false;
   int failed_rank = -1;
 
   std::size_t done = 0;
-  while (done < static_cast<std::size_t>(nprocs) && failed_rank < 0) {
+  while (done < static_cast<std::size_t>(nprocs)) {
     std::vector<pollfd> pfds;
     std::vector<int> ranks;
     for (int i = 0; i < nprocs; ++i) {
@@ -332,20 +418,17 @@ RunResult spawn(int nprocs, const SpawnOptions& options, const ChildFn& fn) {
         ranks.push_back(i);
       }
     }
-    const std::uint64_t now = common::wall_ns();
-    if (now >= deadline_ns) {
-      timed_out = true;
+    if (deadline.expired()) {
+      timed_out = failed_rank < 0;
       break;
     }
-    const int timeout_ms =
-        static_cast<int>((deadline_ns - now) / 1'000'000ULL) + 1;
-    const int r = poll(pfds.data(), pfds.size(), timeout_ms);
+    const int r = poll(pfds.data(), pfds.size(), deadline.remaining_ms());
     if (r < 0) {
       if (errno == EINTR) continue;
       COMMON_SYSCALL(r);
     }
     if (r == 0) {
-      timed_out = true;
+      timed_out = failed_rank < 0;
       break;
     }
     for (std::size_t k = 0; k < pfds.size(); ++k) {
@@ -362,26 +445,27 @@ RunResult spawn(int nprocs, const SpawnOptions& options, const ChildFn& fn) {
       }
       if (n == 0) {
         // EOF before a full report: the child is gone without telling
-        // us why (crash, bare _exit). Fail the run now.
+        // us why (crash, bare _exit).
         if (off < sizeof(ProcReport)) {
           rep.ok = 0;
           std::snprintf(rep.error, sizeof(rep.error),
                         "process exited without a report");
           off = sizeof(ProcReport);
           ++done;
-          failed_rank = rank;
         }
-        continue;
+      } else {
+        off += static_cast<std::size_t>(n);
+        if (off == sizeof(ProcReport)) ++done;
       }
-      off += static_cast<std::size_t>(n);
-      if (off == sizeof(ProcReport)) {
-        ++done;
-        if (rep.ok != 1) failed_rank = rank;
+      if (off == sizeof(ProcReport) && rep.ok != 1 && failed_rank < 0) {
+        failed_rank = rank;
+        if (killer) killer->poison(rank);
+        deadline.arm_grace(kPoisonGraceSec);
       }
     }
   }
 
-  if (timed_out || failed_rank >= 0) {
+  if (timed_out || done < static_cast<std::size_t>(nprocs)) {
     for (pid_t pid : pids)
       if (pid > 0) kill(pid, SIGKILL);
   }
@@ -391,6 +475,10 @@ RunResult spawn(int nprocs, const SpawnOptions& options, const ChildFn& fn) {
                   &wait_status[static_cast<std::size_t>(i)], 0);
 
   if (timed_out) {
+    std::vector<char> done_flags(static_cast<std::size_t>(nprocs), 0);
+    for (int i = 0; i < nprocs; ++i)
+      done_flags[static_cast<std::size_t>(i)] =
+          got[static_cast<std::size_t>(i)] == sizeof(ProcReport) ? 1 : 0;
     std::string crash;
     for (int i = 0; i < nprocs; ++i) {
       const int status = wait_status[static_cast<std::size_t>(i)];
@@ -398,8 +486,10 @@ RunResult spawn(int nprocs, const SpawnOptions& options, const ChildFn& fn) {
         crash += "proc " + std::to_string(i) + " " +
                  describe_wait_status(status) + "; ";
     }
-    COMMON_CHECK_MSG(false, "run timed out after " << options.timeout_sec
-                                                   << "s; " << crash);
+    COMMON_CHECK_MSG(false, "run timed out after "
+                                << options.timeout_sec << "s; "
+                                << describe_stragglers(done_flags) << "; "
+                                << crash);
   }
   if (failed_rank >= 0) {
     const auto& rep = result.procs[static_cast<std::size_t>(failed_rank)];

@@ -126,14 +126,17 @@ struct SpawnOptions {
 /// Launches `nprocs` ranks, runs `fn` in each, and aggregates results.
 /// Throws common::Error if any rank fails, crashes, or times out.
 ///
-/// Process backend: a child that dies before delivering its report (or
-/// reports failure) aborts the whole run immediately — the remaining
-/// children are killed rather than left blocking on the dead peer until
-/// the watchdog — and the error carries the child's rank and wait
-/// status. Thread backend: a failing rank unwinds normally (its DSM
-/// runtime still performs the shutdown rendezvous, releasing peers);
-/// ranks cannot be killed, so a genuine deadlock ends the whole test
-/// process with a diagnostic when the watchdog fires.
+/// Failure semantics (both backends): the first rank to die poisons the
+/// mesh (mpl::PeerKiller), so every survivor's next blocking wait
+/// unwinds in bounded time with a blame line naming the dead rank and
+/// the wait site, instead of parking until the global watchdog. The
+/// error reported is the chronologically FIRST failure — the root
+/// cause — not a poisoned survivor's. Process backend: the parent
+/// keeps gathering reports for a short grace window after poisoning,
+/// then SIGKILLs any straggler; the error carries the child's rank and
+/// wait status. Thread backend: ranks cannot be killed, so a rank
+/// wedged outside any protocol wait still ends the whole test process
+/// via the watchdog, whose diagnostic names the unfinished ranks.
 RunResult spawn(int nprocs, const SpawnOptions& options, const ChildFn& fn);
 
 /// Convenience for sequential baselines: one process, no communication;

@@ -19,7 +19,8 @@
 #pragma once
 
 #include <cstdint>
-#include <cstdlib>
+
+#include "common/env.hpp"
 
 namespace simx {
 
@@ -95,10 +96,8 @@ struct MachineModel {
   /// The SP/2 defaults, with TMK_CPU_SCALE honoured if set.
   [[nodiscard]] static MachineModel sp2() {
     MachineModel m;
-    if (const char* env = std::getenv("TMK_CPU_SCALE")) {
-      const double v = std::strtod(env, nullptr);
-      if (v > 0) m.cpu_scale = v;
-    }
+    if (const auto v = common::env::positive_double_knob("TMK_CPU_SCALE"))
+      m.cpu_scale = *v;
     return m;
   }
 

@@ -12,6 +12,8 @@
 // credits to the MP programs, which DSM achieves only at lock grants.
 #include "tmk/runtime.hpp"
 
+#include <cstdio>
+
 #include "common/check.hpp"
 
 namespace tmk {
@@ -35,6 +37,10 @@ void Runtime::lock_acquire(int lock_id) {
   ep_.send_svc(lock_manager(lock_id), mpl::FrameKind::kLockRequest, lock_id,
                req_id, w.bytes());
 
+  char site[64];
+  std::snprintf(site, sizeof(site), "lock %d acquire (manager %d)", lock_id,
+                lock_manager(lock_id));
+  ep_.set_wait_site(site);
   mpl::Frame f = ep_.wait_app([lock_id](const mpl::Frame& fr) {
     return fr.kind == mpl::FrameKind::kLockGrant && fr.tag == lock_id;
   });

@@ -8,11 +8,12 @@
 
 #include <algorithm>
 #include <cstdio>
-#include <cstdlib>
-#include <limits>
 #include <cstring>
+#include <limits>
+#include <ostream>
 
 #include "common/check.hpp"
+#include "common/env.hpp"
 
 namespace tmk {
 
@@ -185,10 +186,9 @@ Runtime::Runtime(runner::ChildContext& ctx, Options options)
   // Barrier fan-in shape: flat (the paper's centralized manager) unless
   // an arity is requested; any arity >= nprocs-1 is normalized to flat.
   int arity = options_.barrier_arity;
-  if (arity == 0) {
-    if (const char* env = std::getenv("TMK_BARRIER_ARITY"); env != nullptr)
-      arity = std::atoi(env);
-  }
+  if (arity == 0)
+    arity = static_cast<int>(
+        common::env::int_knob("TMK_BARRIER_ARITY").value_or(0));
   const int flat = std::max(1, nprocs_ - 1);
   barrier_arity_ = (arity <= 0 || arity >= flat) ? flat : arity;
   barrier_child_vc_.resize(
@@ -197,6 +197,9 @@ Runtime::Runtime(runner::ChildContext& ctx, Options options)
 
   install_sigsegv_handler();
   host_fault_cost_ns_ = measure_host_fault_cost_ns();
+  // Crash-report hook before the service thread exists: any wait the
+  // main thread ever abandons can dump protocol state.
+  ep_.set_forensics(&Runtime::write_forensics, this);
   service_ = std::thread([this] { service_loop(); });
 
   // Publish to the fault-dispatch registry LAST, after every fallible
@@ -241,6 +244,7 @@ Runtime::~Runtime() {
     // Destructor must not throw; a failed rendezvous will surface as a
     // missing report in the harness.
   }
+  ep_.set_forensics(nullptr, nullptr);
   range_index_erase(this);
   for (auto& slot : g_runtimes) {
     Runtime* expected = this;
@@ -257,20 +261,57 @@ void Runtime::shutdown() {
   shutdown_done_ = true;
   // Rendezvous: after this no process touches shared memory, so it is
   // safe to stop answering diff requests. Uncounted (harness traffic).
-  if (nprocs_ > 1) {
-    if (rank_ == 0) {
-      for (int i = 1; i < nprocs_; ++i)
-        (void)ep_.wait_app_kind(mpl::FrameKind::kShutdownArrive);
-      for (int p = 1; p < nprocs_; ++p)
-        ep_.send_app(p, mpl::FrameKind::kShutdownDepart, 0, 0, {});
-    } else {
-      ep_.send_app(0, mpl::FrameKind::kShutdownArrive, 0, 0, {});
-      (void)ep_.wait_app_kind_from(mpl::FrameKind::kShutdownDepart, 0);
+  // Even an abandoned rendezvous (peer death, deadline, own injected
+  // fault) MUST fall through to stopping and joining the service thread
+  // — leaving it running would std::terminate in ~thread, turning a
+  // clean blame error into an opaque abort.
+  try {
+    if (nprocs_ > 1) {
+      ep_.set_wait_site(rank_ == 0 ? "shutdown rendezvous (root fan-in)"
+                                   : "shutdown rendezvous (depart wait)");
+      if (rank_ == 0) {
+        for (int i = 1; i < nprocs_; ++i)
+          (void)ep_.wait_app_kind(mpl::FrameKind::kShutdownArrive);
+        for (int p = 1; p < nprocs_; ++p)
+          ep_.send_app(p, mpl::FrameKind::kShutdownDepart, 0, 0, {});
+      } else {
+        ep_.send_app(0, mpl::FrameKind::kShutdownArrive, 0, 0, {});
+        (void)ep_.wait_app_kind_from(mpl::FrameKind::kShutdownDepart, 0);
+      }
     }
+  } catch (...) {
+    stop_.store(true, std::memory_order_release);
+    ep_.wake_service();
+    if (service_.joinable()) service_.join();
+    throw;
   }
   stop_.store(true, std::memory_order_release);
   ep_.wake_service();
   if (service_.joinable()) service_.join();
+}
+
+void Runtime::write_forensics(void* ctx, std::ostream& os) {
+  auto* rt = static_cast<Runtime*>(ctx);
+  os << "barrier_seq=" << rt->barrier_seq_ << " fork_seq=" << rt->fork_seq_;
+  // Best-effort: the service thread may be holding mu_ (possibly the
+  // very reason this rank looks wedged); never block a crash report on
+  // it.
+  std::unique_lock<std::mutex> g(rt->mu_, std::try_to_lock);
+  if (!g.owns_lock()) {
+    os << " state=mu-busy";
+    return;
+  }
+  os << " vc=[";
+  for (int p = 0; p < rt->nprocs_; ++p)
+    os << (p == 0 ? "" : " ") << rt->vc_.get(static_cast<ProcId>(p));
+  os << "] held_locks=[";
+  bool first = true;
+  for (std::size_t l = 0; l < rt->locks_.size(); ++l) {
+    if (!rt->locks_[l].held) continue;
+    os << (first ? "" : " ") << l;
+    first = false;
+  }
+  os << "] dirty_pages=" << rt->dirty_pages_.size();
 }
 
 // ---------------------------------------------------------------------
@@ -580,6 +621,9 @@ void Runtime::fetch_and_apply(std::span<const PageIndex> fault_pages) {
   fetch_replies_.clear();
   for (int oi = 0; oi < n_outstanding; ++oi) {
     const Outstanding& o = outstanding[oi];
+    char site[64];
+    std::snprintf(site, sizeof(site), "diff fetch from rank %d", o.creator);
+    ep_.set_wait_site(site);
     mpl::Frame f = ep_.wait_app([&o](const mpl::Frame& fr) {
       return fr.kind == mpl::FrameKind::kDiffReply && fr.src == o.creator &&
              fr.req_id == o.req_id;
@@ -814,6 +858,9 @@ void Runtime::serialize_barrier_contrib(ByteWriter& w) const {
 
 void Runtime::barrier() {
   simx::ProtocolSection protocol(ep_.clock());
+  // Fault hook first: "exit-at-barrier=K" means the rank enters its Kth
+  // barrier and dies there, before any arrive leaves this rank.
+  ep_.fault_barrier_entered();
   close_interval();
   stats_.barriers.fetch_add(1, std::memory_order_relaxed);
   if (nprocs_ == 1) {
@@ -823,6 +870,10 @@ void Runtime::barrier() {
 
   const int nchildren = barrier_num_children();
   const int first_child = barrier_first_child();
+
+  char site[64];
+  std::snprintf(site, sizeof(site), "barrier %u fan-in", barrier_seq_);
+  ep_.set_wait_site(site);
 
   // ---- fan-in: own news, then every child subtree's ----
   for (auto& c : barrier_contrib_) c = {0, 0};
@@ -885,6 +936,9 @@ void Runtime::barrier() {
     ep_.begin_burst(parent);
     ep_.send_app(parent, mpl::FrameKind::kBarrierArrive, 0, 0, w.bytes());
 
+    std::snprintf(site, sizeof(site), "barrier %u depart (parent %d)",
+                  barrier_seq_, parent);
+    ep_.set_wait_site(site);
     mpl::Frame f =
         ep_.wait_app_kind_from(mpl::FrameKind::kBarrierDepart, parent);
     ByteReader r(f.payload);
@@ -951,6 +1005,7 @@ void Runtime::fork_broadcast(std::uint32_t func_id,
 Runtime::ForkWork Runtime::wait_fork() {
   COMMON_CHECK_MSG(rank_ != 0, "wait_fork is worker-only");
   simx::ProtocolSection protocol(ep_.clock());
+  ep_.set_wait_site("fork wait (master 0)");
   mpl::Frame f = ep_.wait_app_kind_from(mpl::FrameKind::kForkWork, 0);
   ByteReader r(f.payload);
   const auto seq = r.get<std::uint32_t>();
@@ -990,6 +1045,7 @@ void Runtime::join_master() {
   COMMON_CHECK_MSG(rank_ == 0, "join_master is master-only");
   simx::ProtocolSection protocol(ep_.clock());
   close_interval();
+  ep_.set_wait_site("join fan-in");
   for (int i = 1; i < nprocs_; ++i) {
     mpl::Frame f = ep_.wait_app_kind(mpl::FrameKind::kJoinDone);
     ByteReader r(f.payload);
@@ -1103,6 +1159,9 @@ struct CoveredTriple {
 
 void Runtime::accept_push(int src) {
   simx::ProtocolSection protocol(ep_.clock());
+  char site[64];
+  std::snprintf(site, sizeof(site), "push accept from rank %d", src);
+  ep_.set_wait_site(site);
   mpl::Frame f = ep_.wait_app_kind_from(mpl::FrameKind::kPushData, src);
   ep_.clock().add_model(ep_.clock().model().diff_apply_cost(f.payload.size()));
   ByteReader r(f.payload);

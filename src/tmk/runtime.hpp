@@ -291,6 +291,13 @@ class Runtime {
     return lock_id % nprocs_;
   }
 
+  // -- crash forensics --
+  /// Endpoint crash-report hook (Endpoint::set_forensics): dumps the
+  /// vector clock, barrier/fork phase, and held locks as quote-free
+  /// text. Best-effort — uses try_lock on mu_ since the service thread
+  /// may hold it while the main thread is writing the report.
+  static void write_forensics(void* ctx, std::ostream& os);
+
   // -- service thread --
   void service_loop();
   void serve_diff_request(const mpl::Frame& f);

@@ -4,29 +4,43 @@
 // charged to the process's virtual clock as interrupt overhead.
 #include "tmk/runtime.hpp"
 
+#include <cstdio>
+#include <exception>
+
 #include "common/check.hpp"
 
 namespace tmk {
 
 void Runtime::service_loop() {
-  while (auto f = ep_.next_svc_request(stop_)) {
-    switch (f->kind) {
-      case mpl::FrameKind::kDiffRequest:
-        serve_diff_request(*f);
-        break;
-      case mpl::FrameKind::kLockRequest:
-        serve_lock_request(*f);
-        break;
-      case mpl::FrameKind::kLockForward:
-        serve_lock_forward(*f);
-        break;
-      default:
-        COMMON_CHECK_MSG(false, "unexpected service frame kind "
-                                    << static_cast<int>(f->kind));
+  try {
+    while (auto f = ep_.next_svc_request(stop_)) {
+      switch (f->kind) {
+        case mpl::FrameKind::kDiffRequest:
+          serve_diff_request(*f);
+          break;
+        case mpl::FrameKind::kLockRequest:
+          serve_lock_request(*f);
+          break;
+        case mpl::FrameKind::kLockForward:
+          serve_lock_forward(*f);
+          break;
+        default:
+          COMMON_CHECK_MSG(false, "unexpected service frame kind "
+                                      << static_cast<int>(f->kind));
+      }
+      // The handlers only read the payload; recycle its capacity for the
+      // next receive.
+      ep_.recycle_svc_buffer(std::move(f->payload));
     }
-    // The handlers only read the payload; recycle its capacity for the
-    // next receive.
-    ep_.recycle_svc_buffer(std::move(f->payload));
+  } catch (const std::exception& e) {
+    // An injected fault (or a peer's death) can surface here while the
+    // main thread is computing; an escaped exception would std::terminate
+    // the whole process with no blame line. Log and fall off — the main
+    // thread's own waits hit the same condition and unwind with the full
+    // crash report.
+    std::fprintf(stderr, "tmk: rank %d service thread failed: %s\n", rank_,
+                 e.what());
+    std::fflush(stderr);
   }
 }
 
