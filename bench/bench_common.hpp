@@ -77,6 +77,20 @@ struct Row {
   std::uint64_t host_futex_wakes = 0;
   std::uint64_t messages = 0;
   double kbytes = 0.0;
+  // Which update protocol the run used ("off" unless TMK_UPDATE_MODE
+  // selected a push mode) — rows for the same (app, system, nprocs)
+  // key differ across modes only in traffic/fault counters, so the
+  // mode must be a column or the comparison is unreadable.
+  std::string update_mode = "off";
+  // DSM protocol observables (zero for MP systems): diff pull round
+  // trips, pushed diffs with their hit/waste split (hybrid update
+  // protocol, TMK_UPDATE_MODE), and SIGSEGV page faults taken.
+  std::uint64_t diff_requests = 0;
+  std::uint64_t diff_replies = 0;
+  std::uint64_t diff_push = 0;
+  std::uint64_t push_hits = 0;
+  std::uint64_t push_waste = 0;
+  std::uint64_t page_faults = 0;
   double checksum = 0.0;
 };
 
@@ -145,6 +159,13 @@ class Report {
            << ", \"host_futex_wakes\": " << r.host_futex_wakes
            << ", \"messages\": " << r.messages
            << ", \"kbytes\": " << r.kbytes
+           << ", \"update_mode\": \"" << json_escape(r.update_mode)
+           << "\", \"diff_requests\": " << r.diff_requests
+           << ", \"diff_replies\": " << r.diff_replies
+           << ", \"diff_push\": " << r.diff_push
+           << ", \"push_hits\": " << r.push_hits
+           << ", \"push_waste\": " << r.push_waste
+           << ", \"page_faults\": " << r.page_faults
            << ", \"checksum\": " << r.checksum << "}";
       if (i + 1 < rows_.size()) body << ",\n";
     }
@@ -213,6 +234,15 @@ inline Row record(const std::string& app, apps::System system, int nprocs,
   row.host_send_calls = r.total_host_send_calls;
   row.host_futex_wakes = r.total_host_futex_wakes;
   row.checksum = r.checksum;
+  if (const char* m = std::getenv("TMK_UPDATE_MODE");
+      m != nullptr && *m != '\0')
+    row.update_mode = m;
+  row.diff_requests = r.total_diff_requests;
+  row.diff_replies = r.total_diff_replies;
+  row.diff_push = r.total_diff_push;
+  row.push_hits = r.total_push_hits;
+  row.push_waste = r.total_push_waste;
+  row.page_faults = r.total_page_faults;
   fill_traffic(row, system, r);
   Report::instance().add(row);
   return row;

@@ -97,18 +97,21 @@ int main(int argc, char** argv) {
   std::cout << "\n=== scale sweep (modelled speedup and host cost per "
                "transport) ===\n";
   common::TextTable t;
-  t.header({"application", "system", "transport", "backend", "nprocs",
-            "speedup", "time(s)", "host wall(s)", "host cpu(s)",
-            "sends", "futex wakes"});
+  t.header({"application", "system", "transport", "backend", "update",
+            "nprocs", "speedup", "time(s)", "host wall(s)", "host cpu(s)",
+            "sends", "futex wakes", "faults", "pulls", "push hit/waste"});
   for (const bench::Row& r : bench::Report::instance().rows()) {
     if (r.nprocs < 2) continue;  // seq baseline rows
-    t.row({r.app, r.system, r.transport, r.backend, std::to_string(r.nprocs),
+    t.row({r.app, r.system, r.transport, r.backend, r.update_mode,
+           std::to_string(r.nprocs),
            common::TextTable::num(r.speedup, 2),
            common::TextTable::num(r.seconds, 3),
            common::TextTable::num(r.host_wall_s, 3),
            common::TextTable::num(r.host_cpu_s, 3),
            std::to_string(r.host_send_calls),
-           std::to_string(r.host_futex_wakes)});
+           std::to_string(r.host_futex_wakes),
+           std::to_string(r.page_faults), std::to_string(r.diff_requests),
+           std::to_string(r.push_hits) + "/" + std::to_string(r.push_waste)});
   }
   t.print(std::cout);
   bench::Report::instance().write_json();

@@ -205,6 +205,18 @@ double jacobi_tmk(runner::ChildContext& ctx, const JacobiParams& p) {
   const std::size_t lo = rows.lo(rt.rank());
   const std::size_t hi = rows.hi(rt.rank());
 
+  // The 5-point stencil's halo pattern is static: each neighbor reads
+  // one boundary row after every barrier. Exporting it as consumer
+  // hints lets the hybrid update protocol push the boundary-page diffs
+  // at the barrier instead of serving neighbor faults (a no-op when
+  // TMK_UPDATE_MODE is off or adaptive-only).
+  dist::HaloEdge edges[2];
+  const int nedges = dist::halo_edges(rows, rt.rank(), /*reads_prev=*/true,
+                                      /*reads_next=*/true, edges);
+  for (int i = 0; i < nedges; ++i)
+    rt.hint_consumers(data + edges[i].row * n, n * sizeof(float),
+                      edges[i].consumer);
+
   init_rows(data, n, lo, hi);  // each process initializes its own rows
   rt.barrier();
 

@@ -289,6 +289,31 @@ double shallow_tmk(runner::ChildContext& ctx, const ShallowParams& p) {
   const std::size_t lo = rows.lo(rt.rank());
   const std::size_t hi = rows.hi(rt.rank());
 
+  // Static halo pattern for the hybrid update protocol (no-ops unless
+  // TMK_UPDATE_MODE uses hints). All stencils here are one-sided
+  // (i-1, j): only the LAST own row is read, by the next rank, for the
+  // seven fields that cross the boundary (u/v/p in step 1, the step-1
+  // products cu/cv/z/h in step 2).
+  const std::size_t row_bytes = dim * sizeof(float);
+  dist::HaloEdge edges[2];
+  const int nedges = dist::halo_edges(rows, rt.rank(), /*reads_prev=*/true,
+                                      /*reads_next=*/false, edges);
+  for (int i = 0; i < nedges; ++i)
+    for (Field a : {kU, kV, kP, kCu, kCv, kZ, kH})
+      rt.hint_consumers(g.row(a, edges[i].row), row_bytes,
+                        edges[i].consumer);
+  // Periodic wraps: rank 0 copies row n into row 0 for the step-1 and
+  // step-2 products, so row n's owner exports it to rank 0.
+  if (rt.rank() == rows.owner(p.n) && rt.rank() != 0)
+    for (Field a : {kCu, kCv, kZ, kH, kUnew, kVnew, kPnew})
+      rt.hint_consumers(g.row(a, p.n), row_bytes, 0);
+  // One-row slabs hand row 1 to rank 1, whose step-2 stencil then reads
+  // the freshly wrapped row 0 remotely (the wrap_read_is_remote path).
+  if (rt.rank() == 0 && rt.nprocs() > 1 && rows.count(0) < 2 &&
+      rows.owner(1) != 0)
+    for (Field a : {kCu, kCv, kZ, kH})
+      rt.hint_consumers(g.row(a, 0), row_bytes, rows.owner(1));
+
   init_rows(g, lo, hi);  // each process initializes its own rows
   rt.barrier();
 

@@ -102,6 +102,34 @@ class CyclicDist {
   int nprocs_;
 };
 
+/// One halo-exchange edge of a BLOCK-distributed stencil: the calling
+/// process's boundary row `row` is read by neighbor `consumer` after
+/// every barrier. This is the compiler's static knowledge of the
+/// communication pattern — the row partition plus the stencil shape
+/// determine it exactly — and is what the DSM's hybrid update protocol
+/// is fed through hint_consumers.
+struct HaloEdge {
+  std::size_t row = 0;
+  int consumer = -1;
+};
+
+/// The halo edges process `p` exports under `d`, for a stencil that
+/// reads `a[i-1]` terms (`reads_prev`: p's last row hi-1 is read by
+/// p+1) and/or `a[i+1]` terms (`reads_next`: p's first row lo is read
+/// by p-1). Writes at most 2 edges into `out`, returns the count.
+/// Periodic (wraparound) boundaries are application-specific and not
+/// produced here.
+inline int halo_edges(const BlockDist& d, int p, bool reads_prev,
+                      bool reads_next, HaloEdge out[2]) noexcept {
+  int n = 0;
+  if (d.count(p) == 0) return n;
+  if (reads_prev && p + 1 < d.nprocs() && d.count(p + 1) > 0)
+    out[n++] = {d.hi(p) - 1, p + 1};
+  if (reads_next && p > 0 && d.count(p - 1) > 0)
+    out[n++] = {d.lo(p), p - 1};
+  return n;
+}
+
 /// The slice of [lo, hi) process `proc` owns under BLOCK scheduling —
 /// the call the SPF compiler emits at the top of every parallel loop.
 [[nodiscard]] inline Range block_range(std::int64_t lo, std::int64_t hi,

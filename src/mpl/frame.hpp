@@ -51,6 +51,7 @@ enum class FrameKind : std::uint16_t {
   kForkWork,      // master (main) -> worker (main): improved interface §2.3
   kJoinDone,      // worker (main) -> master (main)
   kPushData,      // tmk extension: pushed update (Dwarkadas et al. [7])
+  kDiffPush,      // hybrid update protocol: barrier-time pushed diffs
   kBcastData,     // tmk extension: broadcast shared data
   kGcMark,        // diff garbage collection rounds
   kGcAck,

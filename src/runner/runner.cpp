@@ -157,6 +157,12 @@ void write_report(int fd, const ProcReport& r) {
     report.host_transport_ns = endpoint.clock().host_transport_ns();
     report.host_send_calls = endpoint.host_stats().send_calls;
     report.host_futex_wakes = endpoint.host_stats().futex_wakes;
+    report.dsm_diff_requests = ctx.dsm_diff_requests;
+    report.dsm_diff_replies = ctx.dsm_diff_replies;
+    report.dsm_diff_push = ctx.dsm_diff_push;
+    report.dsm_push_hits = ctx.dsm_push_hits;
+    report.dsm_push_waste = ctx.dsm_push_waste;
+    report.dsm_page_faults = ctx.dsm_page_faults;
     report.counters = endpoint.measured_counters();
     report.ok = 1;
   } catch (const std::exception& e) {
@@ -195,6 +201,12 @@ void aggregate_reports(RunResult& result, std::uint64_t wall_start_ns,
     result.total_host_transport_ns += rep.host_transport_ns;
     result.total_host_send_calls += rep.host_send_calls;
     result.total_host_futex_wakes += rep.host_futex_wakes;
+    result.total_diff_requests += rep.dsm_diff_requests;
+    result.total_diff_replies += rep.dsm_diff_replies;
+    result.total_diff_push += rep.dsm_diff_push;
+    result.total_push_hits += rep.dsm_push_hits;
+    result.total_push_waste += rep.dsm_push_waste;
+    result.total_page_faults += rep.dsm_page_faults;
     result.total += rep.counters;
   }
   result.checksum = result.procs[0].checksum;
@@ -284,6 +296,12 @@ RunResult spawn_threads(int nprocs, const SpawnOptions& options,
         rep.host_transport_ns = endpoint.clock().host_transport_ns();
         rep.host_send_calls = endpoint.host_stats().send_calls;
         rep.host_futex_wakes = endpoint.host_stats().futex_wakes;
+        rep.dsm_diff_requests = ctx.dsm_diff_requests;
+        rep.dsm_diff_replies = ctx.dsm_diff_replies;
+        rep.dsm_diff_push = ctx.dsm_diff_push;
+        rep.dsm_push_hits = ctx.dsm_push_hits;
+        rep.dsm_push_waste = ctx.dsm_push_waste;
+        rep.dsm_page_faults = ctx.dsm_page_faults;
         rep.counters = endpoint.measured_counters();
         rep.ok = 1;
       } catch (const std::exception& e) {

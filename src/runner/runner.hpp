@@ -65,6 +65,16 @@ struct ProcReport {
   std::uint64_t host_transport_ns = 0;  // host CPU discarded as transport cost
   std::uint64_t host_send_calls = 0;    // transport publishes/send syscalls
   std::uint64_t host_futex_wakes = 0;   // send-side FUTEX_WAKE syscalls
+  // DSM protocol counters (zero for non-DSM runs): diff pull round
+  // trips, barrier-time pushed diffs and their hit/waste split, and
+  // SIGSEGV page faults taken — the observables of the hybrid update
+  // protocol (TMK_UPDATE_MODE).
+  std::uint64_t dsm_diff_requests = 0;
+  std::uint64_t dsm_diff_replies = 0;
+  std::uint64_t dsm_diff_push = 0;
+  std::uint64_t dsm_push_hits = 0;
+  std::uint64_t dsm_push_waste = 0;
+  std::uint64_t dsm_page_faults = 0;
   mpl::Counters counters{};
   char error[192] = {};
 };
@@ -81,6 +91,13 @@ struct RunResult {
   std::uint64_t total_host_transport_ns = 0;
   std::uint64_t total_host_send_calls = 0;
   std::uint64_t total_host_futex_wakes = 0;
+  // Summed DSM counters (see ProcReport).
+  std::uint64_t total_diff_requests = 0;
+  std::uint64_t total_diff_replies = 0;
+  std::uint64_t total_diff_push = 0;
+  std::uint64_t total_push_hits = 0;
+  std::uint64_t total_push_waste = 0;
+  std::uint64_t total_page_faults = 0;
   double host_wall_s = 0.0;        // real wall time of the whole run
   mpl::Counters total{};           // summed over processes
   std::vector<ProcReport> procs;
@@ -102,6 +119,15 @@ struct ChildContext {
   mpl::Endpoint& endpoint;
   void* heap_base = nullptr;       // inherited shared-heap mapping
   std::size_t heap_bytes = 0;
+  // DSM protocol counters, accumulated (+=) by tmk::Runtime::shutdown —
+  // a rank may run several Runtimes back to back — and copied into the
+  // rank's ProcReport after `fn` returns. Zero for non-DSM runs.
+  std::uint64_t dsm_diff_requests = 0;
+  std::uint64_t dsm_diff_replies = 0;
+  std::uint64_t dsm_diff_push = 0;
+  std::uint64_t dsm_push_hits = 0;
+  std::uint64_t dsm_push_waste = 0;
+  std::uint64_t dsm_page_faults = 0;
 };
 
 using ChildFn = std::function<double(ChildContext&)>;

@@ -98,6 +98,23 @@ void Runtime::send_lock_grant(int lock_id, ProcId requester,
     std::lock_guard<std::mutex> g(mu_);
     w.put_vc(vc_, nprocs_);
     serialize_intervals_lacking(w, req_vc);
+    if ((update_mode_ == UpdateMode::kAdaptive ||
+         update_mode_ == UpdateMode::kHybrid) &&
+        requester != rank_) {
+      // Adaptive predictor feed: the successor is about to invalidate
+      // (and likely pull) every page our unseen-by-them intervals wrote
+      // — treat the grant like an observed request for those pages.
+      const Seq lo = req_vc.get(static_cast<ProcId>(rank_));
+      const Seq hi = vc_.get(static_cast<ProcId>(rank_));
+      const auto& own = intervals_[static_cast<std::size_t>(rank_)];
+      for (Seq s = lo + 1; s <= hi && s <= own.size(); ++s) {
+        for (PageIndex page : own[s - 1]->pages) {
+          PageExt& px = ext(page);
+          px.adaptive_consumers.set(requester);
+          px.push_budget = push_credits_;
+        }
+      }
+    }
   }
   if (from_service) {
     const std::uint64_t arrival = ep_.stamp_reply(base_vt, requester,

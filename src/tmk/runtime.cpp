@@ -100,6 +100,14 @@ thread_local Runtime* t_runtime = nullptr;
 
 }  // namespace
 
+std::optional<UpdateMode> parse_update_mode(std::string_view name) noexcept {
+  if (name == "off") return UpdateMode::kOff;
+  if (name == "hint") return UpdateMode::kHint;
+  if (name == "adaptive") return UpdateMode::kAdaptive;
+  if (name == "hybrid") return UpdateMode::kHybrid;
+  return std::nullopt;
+}
+
 Runtime* Runtime::instance() noexcept { return t_runtime; }
 
 Runtime* Runtime::owner_of(const void* addr) noexcept {
@@ -181,7 +189,34 @@ Runtime::Runtime(runner::ChildContext& ctx, Options options)
   }
 
   worker_vc_.resize(static_cast<std::size_t>(nprocs_));
+  fetch_needs_.resize(static_cast<std::size_t>(nprocs_));
+  fetch_outstanding_.reserve(static_cast<std::size_t>(nprocs_));
   main_tid_ = pthread_self();
+
+  // Hybrid update protocol: off (the paper's pure invalidate protocol)
+  // unless forced by Options or TMK_UPDATE_MODE. A typoed mode value
+  // warns and runs invalidate-only rather than silently "working".
+  if (options_.update_mode.has_value()) {
+    update_mode_ = *options_.update_mode;
+  } else if (const char* v = common::env::raw("TMK_UPDATE_MODE");
+             v != nullptr && *v != '\0') {
+    if (const auto m = parse_update_mode(v); m.has_value())
+      update_mode_ = *m;
+    else
+      std::fprintf(stderr,
+                   "tmk: ignoring TMK_UPDATE_MODE=%s "
+                   "(expected off|hint|adaptive|hybrid)\n",
+                   v);
+  }
+  {
+    long long credits = options_.push_credits.value_or(static_cast<int>(
+        common::env::int_knob("TMK_PUSH_CREDITS").value_or(16)));
+    credits = std::min<long long>(std::max<long long>(credits, 1), 255);
+    push_credits_ = static_cast<std::uint8_t>(credits);
+  }
+  if (update_mode_ != UpdateMode::kOff)
+    push_counts_.assign(static_cast<std::size_t>(nprocs_), 0);
+  report_ctx_ = &ctx;
 
   // Barrier fan-in shape: flat (the paper's centralized manager) unless
   // an arity is requested; any arity >= nprocs-1 is normalized to flat.
@@ -283,11 +318,28 @@ void Runtime::shutdown() {
     stop_.store(true, std::memory_order_release);
     ep_.wake_service();
     if (service_.joinable()) service_.join();
+    flush_stats_to_ctx();
     throw;
   }
   stop_.store(true, std::memory_order_release);
   ep_.wake_service();
   if (service_.joinable()) service_.join();
+  flush_stats_to_ctx();
+}
+
+void Runtime::flush_stats_to_ctx() noexcept {
+  // Called once per Runtime, after the service thread has joined, so
+  // every counter is final; += lets a rank that constructs several
+  // Runtimes back to back report their sum.
+  if (report_ctx_ == nullptr) return;
+  report_ctx_->dsm_diff_requests += stats_.diff_requests;
+  report_ctx_->dsm_diff_replies += stats_.diff_replies;
+  report_ctx_->dsm_diff_push += stats_.diff_push;
+  report_ctx_->dsm_push_hits += stats_.push_hits;
+  // Stashed pushes the run never consumed were sent for nothing.
+  report_ctx_->dsm_push_waste += stats_.push_waste + push_stash_.size();
+  report_ctx_->dsm_page_faults += stats_.read_faults + stats_.write_faults;
+  report_ctx_ = nullptr;
 }
 
 void Runtime::write_forensics(void* ctx, std::ostream& os) {
@@ -388,6 +440,12 @@ void Runtime::close_interval() {
     PageExt& px = ext(page);
     COMMON_CHECK(pm.dirty && px.twin != nullptr);
     px.unflushed.push_back(seq);
+    if (update_mode_ != UpdateMode::kOff) {
+      // First unpushed interval for this page since the last barrier
+      // push: enroll it as a push candidate (deduplicated by watermark).
+      if (px.own_last_seq <= px.pushed_seq) push_candidates_.push_back(page);
+      px.own_last_seq = seq;
+    }
     pm.dirty = false;
     if (pm.state != PageState::kInvalid) {
       // (An invalid page — concurrent-writer notice — stays invalid.)
@@ -572,6 +630,16 @@ void Runtime::fetch_and_apply(std::span<const PageIndex> fault_pages) {
   // pending lists, and we *are* the main thread, so the snapshot stays
   // accurate while we release mu_ to do network I/O.
   bool any = false;
+  // Pending seqs covered by a stashed push (a barrier-time diff push
+  // the page's other pending notices kept us from applying on the
+  // spot) are satisfied locally: the stashed blob is staged alongside
+  // the fetched ones and that creator's round trip never happens.
+  struct StashHit {
+    PageIndex page;
+    const IntervalMeta* interval;
+    std::uint64_t key;
+  };
+  std::vector<StashHit> stash_hits;
   {
     std::lock_guard<std::mutex> g(mu_);
     for (auto& v : fetch_needs_) v.clear();
@@ -580,20 +648,22 @@ void Runtime::fetch_and_apply(std::span<const PageIndex> fault_pages) {
       if (px == nullptr) continue;
       for (const IntervalMeta* m : px->pending) {
         COMMON_CHECK(m->id.creator != rank_);
+        const std::uint64_t key = stash_key(page, m->id.creator);
+        if (const auto it = push_stash_.find(key);
+            it != push_stash_.end() && m->id.seq > it->second.lo &&
+            m->id.seq <= it->second.hi) {
+          stash_hits.push_back(StashHit{page, m, key});
+          continue;
+        }
         fetch_needs_[m->id.creator].push_back(FetchNeed{page, m->id.seq});
         any = true;
       }
     }
   }
-  if (!any) return;
+  if (!any && stash_hits.empty()) return;
 
   // One batched request per creator, issued in parallel.
-  struct Outstanding {
-    ProcId creator;
-    std::uint32_t req_id;
-  };
-  Outstanding outstanding[mpl::kMaxProcs];
-  int n_outstanding = 0;
+  fetch_outstanding_.clear();
   for (int p = 0; p < nprocs_; ++p) {
     const auto& needs = fetch_needs_[static_cast<std::size_t>(p)];
     if (needs.empty()) continue;
@@ -609,7 +679,8 @@ void Runtime::fetch_and_apply(std::span<const PageIndex> fault_pages) {
     // handed to the transport as one burst unit.
     ep_.begin_burst(p);
     ep_.send_svc(p, mpl::FrameKind::kDiffRequest, 0, req_id, w.bytes());
-    outstanding[n_outstanding++] = Outstanding{static_cast<ProcId>(p), req_id};
+    fetch_outstanding_.push_back(
+        FetchOutstanding{static_cast<ProcId>(p), req_id});
     stats_.diff_requests.fetch_add(1, std::memory_order_relaxed);
   }
   ep_.flush_burst();
@@ -619,8 +690,7 @@ void Runtime::fetch_and_apply(std::span<const PageIndex> fault_pages) {
   constexpr PageIndex kNoPage = std::numeric_limits<PageIndex>::max();
   fetch_staged_.clear();
   fetch_replies_.clear();
-  for (int oi = 0; oi < n_outstanding; ++oi) {
-    const Outstanding& o = outstanding[oi];
+  for (const FetchOutstanding& o : fetch_outstanding_) {
     char site[64];
     std::snprintf(site, sizeof(site), "diff fetch from rank %d", o.creator);
     ep_.set_wait_site(site);
@@ -684,6 +754,25 @@ void Runtime::fetch_and_apply(std::span<const PageIndex> fault_pages) {
   // Apply, per page, in a linear extension of happens-before (vc weight;
   // concurrent intervals write disjoint words, so ties are safe).
   std::lock_guard<std::mutex> g(mu_);
+  // Stage the stash-satisfied seqs exactly like fetched ones: one entry
+  // per pending interval (the apply loop checks that count), with the
+  // blob applied once per stash entry via the shared-blob flag. The
+  // stash's shared_ptr keeps each blob alive past the erase below.
+  std::vector<std::shared_ptr<std::vector<std::byte>>> stash_live;
+  stash_live.reserve(stash_hits.size());
+  {
+    std::uint64_t prev_key = ~std::uint64_t{0};
+    for (const StashHit& sh : stash_hits) {
+      const auto it = push_stash_.find(sh.key);
+      COMMON_CHECK(it != push_stash_.end());
+      const bool dup = sh.key == prev_key;
+      if (!dup) stash_live.push_back(it->second.blob);
+      fetch_staged_.push_back(FetchedDiff{
+          sh.page, sh.interval, std::span<const std::byte>(*it->second.blob),
+          dup});
+      prev_key = sh.key;
+    }
+  }
   std::sort(fetch_staged_.begin(), fetch_staged_.end(),
             [](const FetchedDiff& a, const FetchedDiff& b) {
               if (a.page != b.page) return a.page < b.page;
@@ -725,6 +814,11 @@ void Runtime::fetch_and_apply(std::span<const PageIndex> fault_pages) {
     i = j;
   }
   fetch_staged_.clear();
+  // Consumed stash entries are retired as hits (erase() de-dups the
+  // per-entry count when several seqs drew on one blob).
+  for (const StashHit& sh : stash_hits)
+    if (push_stash_.erase(sh.key) != 0)
+      stats_.push_hits.fetch_add(1, std::memory_order_relaxed);
   // Return the reply payload buffers to the receive pool.
   for (mpl::Frame& f : fetch_replies_) ep_.recycle_buffer(std::move(f.payload));
   fetch_replies_.clear();
@@ -870,6 +964,15 @@ void Runtime::barrier() {
 
   const int nchildren = barrier_num_children();
   const int first_child = barrier_first_child();
+  const bool pushing = update_mode_ != UpdateMode::kOff;
+  if (pushing) {
+    // Per-child-link caches for the count-table sentinel (empty = no
+    // history yet; the first barrier always ships the full table).
+    push_counts_child_rx_.resize(static_cast<std::size_t>(nchildren));
+    push_counts_sent_down_.resize(static_cast<std::size_t>(nchildren));
+    std::lock_guard<std::mutex> g(mu_);
+    build_push_plan();
+  }
 
   char site[64];
   std::snprintf(site, sizeof(site), "barrier %u fan-in", barrier_seq_);
@@ -903,6 +1006,12 @@ void Runtime::barrier() {
     std::lock_guard<std::mutex> g(mu_);
     read_intervals(r, /*note_contrib=*/true);
     barrier_child_vc_[static_cast<std::size_t>(f.src - first_child)] = their;
+    // Child subtrees report how many kDiffPush frames they will send to
+    // each destination; fold them into this subtree's totals.
+    if (pushing)
+      read_push_counts(
+          r, /*accumulate=*/true,
+          push_counts_child_rx_[static_cast<std::size_t>(f.src - first_child)]);
     // Deliberately NO vc_.merge(their): a child's vc can claim intervals
     // it learned about through a lock chain whose creators live OUTSIDE
     // this subtree — claims this node does not possess as interval
@@ -924,6 +1033,8 @@ void Runtime::barrier() {
       std::lock_guard<std::mutex> g(mu_);
       w.put_vc(vc_, nprocs_);
       serialize_barrier_contrib(w);
+      if (pushing)  // upward: the whole subtree's totals
+        append_push_counts(w, /*subtree_root=*/-1, push_counts_sent_up_);
       // By the time this barrier completes, the contribution has
       // reached rank 0 through the tree — so the join watermark may
       // advance too, whatever the arity.
@@ -949,9 +1060,18 @@ void Runtime::barrier() {
       std::lock_guard<std::mutex> g(mu_);
       read_intervals(r);
       vc_.merge(merged);
+      // The depart carries the run-wide push totals; replace the
+      // subtree view — every rank ends with the same global vector.
+      if (pushing)
+        read_push_counts(r, /*accumulate=*/false, push_counts_rx_down_);
     }
     ep_.recycle_buffer(std::move(f.payload));
   }
+
+  // Flatten the planned diff chains and assemble one kDiffPush payload
+  // per predicted consumer, before the departs go out: a child that is
+  // also a consumer gets its depart AND its pushed diffs as one burst.
+  if (pushing) prepare_push_frames();
 
   // ---- departs: tailored to what each child's subtree lacked ----
   for (int i = 0; i < nchildren; ++i) {
@@ -962,15 +1082,379 @@ void Runtime::barrier() {
       w.put_vc(vc_, nprocs_);
       serialize_intervals_lacking(
           w, barrier_child_vc_[static_cast<std::size_t>(i)]);
+      // Downward: only the slice of the totals this child's subtree
+      // will consume.
+      if (pushing)
+        append_push_counts(w, first_child + i,
+                           push_counts_sent_down_[static_cast<std::size_t>(i)]);
     }
     // Per-destination burst: each child's depart (notices included) is
     // one transport publish however many chunks it spans.
     ep_.begin_burst(first_child + i);
     ep_.send_app(first_child + i, mpl::FrameKind::kBarrierDepart, 0, 0,
                  w.bytes());
+    if (pushing) {
+      for (auto& pf : push_frames_) {
+        if (pf.first != first_child + i) continue;
+        ep_.send_app(pf.first, mpl::FrameKind::kDiffPush, 0, 0, pf.second);
+        pf.first = -1;  // consumed by the depart burst
+      }
+    }
   }
   ep_.flush_burst();
+  if (pushing) {
+    // Pushes to non-child consumers follow, one burst per peer; then
+    // collect exactly the frames the depart's totals promised us.
+    for (auto& pf : push_frames_) {
+      if (pf.first < 0) continue;
+      ep_.begin_burst(pf.first);
+      ep_.send_app(pf.first, mpl::FrameKind::kDiffPush, 0, 0, pf.second);
+    }
+    ep_.flush_burst();
+    collect_pushes(push_counts_[static_cast<std::size_t>(rank_)]);
+  }
   ++barrier_seq_;
+}
+
+// ---------------------------------------------------------------------
+// Hybrid update protocol (TMK_UPDATE_MODE != off): barrier-time diff
+// push. The paper's premise is that the compiler KNOWS the access
+// pattern; hint_consumers feeds that knowledge in, the adaptive
+// predictor learns it from observed diff requests, and the barrier
+// departure pushes each page's flattened diff chain to the predicted
+// consumers — replacing a SIGSEGV fault plus a kDiffRequest/kDiffReply
+// round trip per page per consumer with one pushed frame per peer.
+// ---------------------------------------------------------------------
+
+void Runtime::hint_consumers(const void* base, std::size_t len,
+                             int consumer) {
+  COMMON_CHECK(consumer >= 0 && consumer < nprocs_);
+  if (update_mode_ != UpdateMode::kHint &&
+      update_mode_ != UpdateMode::kHybrid)
+    return;  // hints are inert in off/adaptive runs, byte for byte
+  if (len == 0 || consumer == rank_) return;
+  const auto off = static_cast<std::size_t>(
+      static_cast<const std::byte*>(base) - static_cast<std::byte*>(heap_));
+  COMMON_CHECK(off < heap_len_ && off + len <= heap_len_);
+  const auto first = static_cast<PageIndex>(off / common::kPageSize);
+  const auto last =
+      static_cast<PageIndex>((off + len - 1) / common::kPageSize);
+  std::lock_guard<std::mutex> g(mu_);
+  for (PageIndex p = first; p <= last; ++p)
+    ext(p).hint_consumers.set(consumer);
+}
+
+void Runtime::build_push_plan() {
+  // Caller holds mu_ (barrier entry, this interval just closed).
+  push_plan_.clear();
+  std::fill(push_counts_.begin(), push_counts_.end(), 0);
+  ProcMask planned;
+  for (PageIndex page : push_candidates_) {
+    PageExt& px = ext(page);
+    if (px.own_last_seq <= px.pushed_seq) continue;
+    PushPlanEntry e;
+    e.page = page;
+    e.lo = px.pushed_seq;
+    e.hi = px.own_last_seq;
+    if (update_mode_ == UpdateMode::kHint ||
+        update_mode_ == UpdateMode::kHybrid)
+      e.dsts.merge(px.hint_consumers);
+    if ((update_mode_ == UpdateMode::kAdaptive ||
+         update_mode_ == UpdateMode::kHybrid) &&
+        px.adaptive_consumers.any()) {
+      // Credit-bounded: a consumer that stopped requesting stops
+      // costing bandwidth after push_credits_ pushed rounds; its next
+      // request re-arms the bit (and the budget) in serve_diff_request.
+      e.dsts.merge(px.adaptive_consumers);
+      if (--px.push_budget == 0) px.adaptive_consumers.reset();
+    }
+    e.dsts.clear(rank_);
+    // The offer watermark advances whether or not anyone was predicted:
+    // skipped intervals are pulled as today, never re-offered.
+    px.pushed_seq = px.own_last_seq;
+    if (!e.dsts.any()) continue;
+    planned.merge(e.dsts);
+    push_plan_.push_back(std::move(e));
+  }
+  push_candidates_.clear();
+  // One frame per destination this barrier, however many pages it packs.
+  for (int d = 0; d < nprocs_; ++d)
+    if (planned.test(d)) ++push_counts_[static_cast<std::size_t>(d)];
+}
+
+void Runtime::append_push_counts(ByteWriter& w, int subtree_root,
+                                 std::vector<std::uint16_t>& last_sent) const {
+  // Caller holds mu_. Sparse (dst, frames) pairs — almost every entry is
+  // zero for halo patterns — packed as u8/u8: a dst fits kPackCreatorBits
+  // and a count is at most one frame per sender. Arrives carry every
+  // nonzero dst upward (subtree_root < 0); a depart carries only the
+  // dsts inside the receiving child's subtree, since that is all the
+  // child and its descendants can consume — broadcasting the full table
+  // down the tree costs O(n^2) entries per barrier and showed up as a
+  // measurable share of hybrid-mode bytes at 32+ ranks. On top of that,
+  // steady-state access patterns repeat the identical table barrier
+  // after barrier, so each tree link remembers what it last carried and
+  // an unchanged table collapses to the 1-byte sentinel 0xff (a real
+  // entry count never exceeds nprocs <= 128).
+  std::vector<std::uint16_t> cur(static_cast<std::size_t>(nprocs_), 0);
+  std::uint8_t n = 0;
+  for (int d = 0; d < nprocs_; ++d) {
+    const std::uint16_t c = push_counts_[static_cast<std::size_t>(d)];
+    if (c == 0 || !(subtree_root < 0 || in_barrier_subtree(d, subtree_root)))
+      continue;
+    cur[static_cast<std::size_t>(d)] = c;
+    ++n;
+  }
+  if (!last_sent.empty() && cur == last_sent) {
+    w.put<std::uint8_t>(0xff);
+    return;
+  }
+  w.put<std::uint8_t>(n);
+  for (int d = 0; d < nprocs_; ++d) {
+    const std::uint16_t c = cur[static_cast<std::size_t>(d)];
+    if (c == 0) continue;
+    COMMON_CHECK(c <= 0xfe);
+    w.put<std::uint8_t>(static_cast<std::uint8_t>(d));
+    w.put<std::uint8_t>(static_cast<std::uint8_t>(c));
+  }
+  last_sent = std::move(cur);
+}
+
+void Runtime::read_push_counts(ByteReader& r, bool accumulate,
+                               std::vector<std::uint16_t>& last_rx) {
+  // Caller holds mu_. accumulate=true folds a child subtree's totals in
+  // (fan-in); false replaces with the totals for our own subtree (the
+  // depart is pre-filtered by the parent). The sentinel 0xff means
+  // "same table as this link carried last barrier".
+  const auto n = r.get<std::uint8_t>();
+  if (n == 0xff) {
+    COMMON_CHECK_MSG(!last_rx.empty(), "push-count sentinel with no history");
+  } else {
+    last_rx.assign(static_cast<std::size_t>(nprocs_), 0);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      const auto d = r.get<std::uint8_t>();
+      const auto c = r.get<std::uint8_t>();
+      COMMON_CHECK_MSG(d < nprocs_, "push count for rank " << int{d});
+      last_rx[d] = c;
+    }
+  }
+  if (!accumulate) std::fill(push_counts_.begin(), push_counts_.end(), 0);
+  for (int d = 0; d < nprocs_; ++d)
+    push_counts_[static_cast<std::size_t>(d)] = static_cast<std::uint16_t>(
+        push_counts_[static_cast<std::size_t>(d)] +
+        last_rx[static_cast<std::size_t>(d)]);
+}
+
+void Runtime::prepare_push_frames() {
+  push_frames_.clear();
+  if (push_plan_.empty()) return;
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    const auto& m = ep_.clock().model();
+    for (PushPlanEntry& e : push_plan_) {
+      PageExt& px = ext(e.page);
+      // The newest covered intervals are usually still lazy; flush them
+      // so the chain is materialized (and pull requests for the same
+      // seqs will serve the identical blobs).
+      if (!px.unflushed.empty())
+        ep_.clock().add_model(flush_page_diff(e.page));
+      // Gather the distinct flush blobs covering (lo, hi], oldest
+      // first. One blob is the common case (one flush generation since
+      // the last barrier); several arise when the page was flushed
+      // mid-span (a reader pulled between barriers) — the chain that
+      // used to ship as multiple overlapping diffs.
+      std::vector<std::shared_ptr<std::vector<std::byte>>> chain;
+      {
+        std::lock_guard<std::mutex> dg(diff_mu_);
+        for (Seq s = e.lo + 1; s <= e.hi; ++s) {
+          const auto it =
+              diffs_.find((static_cast<std::uint64_t>(e.page) << 32) | s);
+          if (it == diffs_.end()) continue;  // seq missed this page
+          if (!chain.empty() && chain.back() == it->second.blob) continue;
+          chain.push_back(it->second.blob);
+        }
+      }
+      COMMON_CHECK_MSG(!chain.empty(),
+                       "no diff for planned push of page " << e.page);
+      if (chain.size() == 1) {
+        e.blob = chain.front();
+      } else {
+        // Diff-chain flattening: absorb oldest -> newest (later wins,
+        // the receiver-order semantics) and re-encode one coalesced
+        // diff — one apply pass instead of chain.size() overlapping
+        // ones, and strictly fewer bytes on the wire.
+        diff_merger_.reset();
+        for (const auto& b : chain) {
+          diff_merger_.absorb(*b);
+          ep_.clock().add_model(m.diff_apply_cost(b->size()));
+        }
+        auto out = std::make_shared<std::vector<std::byte>>();
+        diff_merger_.encode_into(*out);
+        e.blob = std::move(out);
+        stats_.diffs_flattened.fetch_add(chain.size(),
+                                         std::memory_order_relaxed);
+      }
+    }
+  }
+  // Assemble one payload per destination (blobs are immutable; no lock
+  // needed). The creator is implicit in the frame's src.
+  for (int d = 0; d < nprocs_; ++d) {
+    std::size_t npages = 0;
+    for (const PushPlanEntry& e : push_plan_)
+      if (e.dsts.test(d)) ++npages;
+    if (npages == 0) continue;
+    ByteWriter w;
+    w.put<std::uint16_t>(static_cast<std::uint16_t>(npages));
+    for (const PushPlanEntry& e : push_plan_) {
+      if (!e.dsts.test(d)) continue;
+      // Compact header: the span (hi - lo) is one or two barriers'
+      // worth of seqs in steady state, so it ships as a u8 with an
+      // escape for the rare long chain, and a diff never exceeds
+      // kMaxDiffBytes so its length fits a u16. Worth ~7 bytes per
+      // pushed page, which is what keeps hybrid-mode kbytes strictly
+      // below pull-only on halo workloads.
+      w.put<PageIndex>(e.page);
+      w.put<Seq>(e.hi);
+      const Seq span = e.hi - e.lo;
+      if (span >= 0xff) {
+        w.put<std::uint8_t>(0xff);
+        w.put<Seq>(e.lo);
+      } else {
+        w.put<std::uint8_t>(static_cast<std::uint8_t>(span));
+      }
+      COMMON_CHECK(e.blob->size() <= 0xffff);
+      w.put<std::uint16_t>(static_cast<std::uint16_t>(e.blob->size()));
+      w.put_bytes(*e.blob);
+      stats_.diff_push.fetch_add(1, std::memory_order_relaxed);
+    }
+    push_frames_.emplace_back(d, w.take());
+  }
+}
+
+void Runtime::collect_pushes(std::uint32_t expected) {
+  if (expected == 0) return;
+  char site[64];
+  std::snprintf(site, sizeof(site), "barrier %u push collect (%u frames)",
+                barrier_seq_, expected);
+  ep_.set_wait_site(site);
+
+  struct PushRec {
+    PageIndex page;
+    ProcId creator;
+    Seq lo;
+    Seq hi;
+    std::span<const std::byte> blob;
+    std::uint64_t order_weight;
+  };
+  std::vector<PushRec> recs;
+  std::vector<mpl::Frame> frames;
+  frames.reserve(expected);
+  for (std::uint32_t i = 0; i < expected; ++i) {
+    mpl::Frame f = ep_.wait_app_kind(mpl::FrameKind::kDiffPush);
+    ByteReader r(f.payload);
+    const auto n = r.get<std::uint16_t>();
+    for (std::uint32_t k = 0; k < n; ++k) {
+      PushRec rec{};
+      rec.page = r.get<PageIndex>();
+      rec.creator = static_cast<ProcId>(f.src);
+      rec.hi = r.get<Seq>();
+      const auto span = r.get<std::uint8_t>();
+      rec.lo = (span == 0xff) ? r.get<Seq>() : rec.hi - span;
+      const auto len = r.get<std::uint16_t>();
+      rec.blob = r.get_bytes(len);
+      recs.push_back(rec);
+    }
+    frames.push_back(std::move(f));  // keep the blob spans alive
+  }
+
+  std::lock_guard<std::mutex> g(mu_);
+  // Same linear extension of happens-before as the pull path: per page,
+  // by the vc weight of the newest covered interval (concurrent
+  // intervals write disjoint words, so ties are safe).
+  for (PushRec& rec : recs) {
+    const auto& known = intervals_[rec.creator];
+    rec.order_weight = (rec.hi >= 1 && rec.hi <= known.size())
+                           ? known[rec.hi - 1]->vc_weight
+                           : 0;
+  }
+  std::sort(recs.begin(), recs.end(),
+            [](const PushRec& a, const PushRec& b) {
+              if (a.page != b.page) return a.page < b.page;
+              if (a.order_weight != b.order_weight)
+                return a.order_weight < b.order_weight;
+              return a.creator < b.creator;
+            });
+  std::size_t i = 0;
+  while (i < recs.size()) {
+    const PageIndex page = recs[i].page;
+    std::size_t j = i;
+    while (j < recs.size() && recs[j].page == page) ++j;
+    // Fully-covered-or-discard: applying a SUBSET of a page's pending
+    // notices could order wrongly against a later pull (the pull would
+    // re-apply an older creator's diff over newer pushed words). Only
+    // when this round's pushes cover the page's entire pending set is
+    // applying them equivalent to the pull path; anything less is
+    // discarded wholesale and the fault path pulls as if nothing had
+    // been pushed.
+    const PageExt* pxv = ext_if(page);
+    bool ok = pxv != nullptr && !pxv->pending.empty();
+    for (std::size_t k = i; ok && k < j; ++k)
+      if (recs[k].hi > intervals_[recs[k].creator].size())
+        ok = false;  // push outran our write-notice knowledge
+    if (ok) {
+      for (const IntervalMeta* pend : pxv->pending) {
+        bool covered = false;
+        for (std::size_t k = i; k < j && !covered; ++k)
+          covered = recs[k].creator == pend->id.creator &&
+                    pend->id.seq > recs[k].lo && pend->id.seq <= recs[k].hi;
+        if (!covered) {
+          ok = false;
+          break;
+        }
+      }
+    }
+    if (!ok) {
+      // Partial coverage (an unpredicted writer shares the page, or no
+      // pending at all). Don't throw the bytes away: stash each blob
+      // per (page, creator) and let the fault path consume it in place
+      // of that creator's network round trip, in the same vc-weight
+      // order a pull would have used. A newer push for the same key
+      // retires an unconsumed older one as waste.
+      for (std::size_t k = i; k < j; ++k) {
+        PushStash& slot = push_stash_[stash_key(page, recs[k].creator)];
+        if (slot.blob != nullptr)
+          stats_.push_waste.fetch_add(1, std::memory_order_relaxed);
+        slot.lo = recs[k].lo;
+        slot.hi = recs[k].hi;
+        slot.blob = std::make_shared<std::vector<std::byte>>(
+            recs[k].blob.begin(), recs[k].blob.end());
+      }
+      i = j;
+      continue;
+    }
+    PageMeta& pm = pages_[page];
+    PageExt& px = ext(page);
+    const bool dirty = pm.dirty;
+    mprotect_page(page, PROT_READ | PROT_WRITE);
+    for (std::size_t k = i; k < j; ++k) {
+      ep_.clock().add_model(
+          ep_.clock().model().diff_apply_cost(recs[k].blob.size()));
+      apply_diff(recs[k].blob, page_ptr(page));
+      // Twin stays in sync, exactly as in the pull path: our next flush
+      // must not re-export other writers' words at stale values.
+      if (px.twin != nullptr) apply_diff(recs[k].blob, px.twin.get());
+    }
+    stats_.push_hits.fetch_add(j - i, std::memory_order_relaxed);
+    px.pending.clear();
+    if (dirty) {
+      pm.state = PageState::kReadWrite;
+    } else {
+      mprotect_page(page, PROT_READ);
+      pm.state = PageState::kReadOnly;
+    }
+    i = j;
+  }
+  for (mpl::Frame& f : frames) ep_.recycle_buffer(std::move(f.payload));
 }
 
 // ---------------------------------------------------------------------

@@ -41,6 +41,7 @@
 #include <mutex>
 #include <optional>
 #include <span>
+#include <string_view>
 #include <thread>
 #include <unordered_map>
 #include <vector>
@@ -52,6 +53,33 @@
 #include "tmk/types.hpp"
 
 namespace tmk {
+
+/// Hybrid invalidate/update protocol mode (TMK_UPDATE_MODE). `kOff` is
+/// the paper's pure invalidate protocol, byte-identical to the runtime
+/// before the protocol existed. The other modes push barrier-time diffs
+/// to predicted consumers: `kHint` trusts only explicit decomposition
+/// hints (hint_consumers), `kAdaptive` trusts only the learned history
+/// of which ranks fetched each page, `kHybrid` the union of both.
+enum class UpdateMode : std::uint8_t {
+  kOff = 0,
+  kHint = 1,
+  kAdaptive = 2,
+  kHybrid = 3,
+};
+
+[[nodiscard]] constexpr const char* to_string(UpdateMode m) noexcept {
+  switch (m) {
+    case UpdateMode::kOff: return "off";
+    case UpdateMode::kHint: return "hint";
+    case UpdateMode::kAdaptive: return "adaptive";
+    case UpdateMode::kHybrid: return "hybrid";
+  }
+  return "?";
+}
+
+/// Parses a TMK_UPDATE_MODE value; nullopt on anything unrecognized.
+[[nodiscard]] std::optional<UpdateMode> parse_update_mode(
+    std::string_view name) noexcept;
 
 /// Per-page protocol state.
 enum class PageState : std::uint8_t {
@@ -74,6 +102,16 @@ struct TmkStats {
   std::atomic<std::uint64_t> diff_bytes_created{0};
   std::atomic<std::uint64_t> diffs_fetched{0};
   std::atomic<std::uint64_t> diff_requests{0};
+  std::atomic<std::uint64_t> diff_replies{0};
+  // Hybrid update protocol: page-diffs pushed at barriers, pushed
+  // page-diffs the receiver applied (each one is a kDiffRequest/
+  // kDiffReply round trip that never happened), pushed page-diffs the
+  // receiver discarded (mispredicted or insufficient coverage), and
+  // multi-flush diff chains flattened into one coalesced diff.
+  std::atomic<std::uint64_t> diff_push{0};
+  std::atomic<std::uint64_t> push_hits{0};
+  std::atomic<std::uint64_t> push_waste{0};
+  std::atomic<std::uint64_t> diffs_flattened{0};
   std::atomic<std::uint64_t> intervals_created{0};
   std::atomic<std::uint64_t> barriers{0};
   std::atomic<std::uint64_t> lock_acquires{0};
@@ -99,6 +137,13 @@ class Runtime {
     /// O(k log_k n) at 128 ranks. Values >= nprocs-1 degenerate to the
     /// flat shape, byte-identically.
     int barrier_arity = 0;
+    /// Hybrid update protocol mode; resolved from TMK_UPDATE_MODE (off
+    /// when unset) unless forced here.
+    std::optional<UpdateMode> update_mode;
+    /// Adaptive-predictor credit budget: pushes granted per observed
+    /// diff request before the learned consumer bit expires; resolved
+    /// from TMK_PUSH_CREDITS (default 16) unless forced here.
+    std::optional<int> push_credits;
   };
 
   /// Attaches the DSM to the rank's heap mapping and starts the
@@ -117,6 +162,17 @@ class Runtime {
   [[nodiscard]] int nprocs() const noexcept { return nprocs_; }
   [[nodiscard]] mpl::Endpoint& endpoint() noexcept { return ep_; }
   [[nodiscard]] const TmkStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] UpdateMode update_mode() const noexcept {
+    return update_mode_;
+  }
+
+  /// Snapshot of the current vector clock (tests and diagnostics; the
+  /// across-mode equivalence suite asserts final clocks are identical
+  /// whether diffs were pushed or pulled).
+  [[nodiscard]] VectorClock clock_snapshot() const {
+    std::lock_guard<std::mutex> g(mu_);
+    return vc_;
+  }
 
   // ---- allocation --------------------------------------------------
   // All processes must perform the identical allocation sequence (the
@@ -188,6 +244,16 @@ class Runtime {
   /// Receives one pushed region from `src` and applies it.
   void accept_push(int src);
 
+  /// Hybrid update protocol hint: declares that `consumer` reads
+  /// [base, base+len) after barriers, so this rank's barrier-time diffs
+  /// of those pages are pushed to it instead of being pulled through a
+  /// SIGSEGV fault plus a kDiffRequest/kDiffReply round trip. Derived
+  /// from the src/dist decomposition (the compiler's static knowledge
+  /// of the halo exchange, §2.1/§2.3); a no-op unless the resolved mode
+  /// uses hints (kHint or kHybrid), so TMK_UPDATE_MODE=off runs are
+  /// byte-identical with or without hints in the application.
+  void hint_consumers(const void* base, std::size_t len, int consumer);
+
   /// Collective broadcast of [base, base+len) from `root`; merges
   /// synchronization and data (§5.3's MGS optimization). All processes
   /// must call it.
@@ -242,6 +308,17 @@ class Runtime {
     // My closed intervals whose diffs have not been created yet; they all
     // share the flush-time diff.
     std::vector<Seq> unflushed;
+    // ---- hybrid update protocol (mode != off only) ----
+    // Predicted consumers: static decomposition hints and the learned
+    // set of ranks whose diff requests touched this page. The adaptive
+    // bits expire when push_budget runs out; a fresh request re-arms it.
+    ProcMask hint_consumers;
+    ProcMask adaptive_consumers;
+    std::uint8_t push_budget = 0;
+    // Own-interval push watermarks: the highest own seq that dirtied
+    // this page, and the highest own seq already offered to consumers.
+    Seq own_last_seq = 0;
+    Seq pushed_seq = 0;
   };
 
   struct LockState {
@@ -265,12 +342,40 @@ class Runtime {
   std::uint32_t read_intervals(ByteReader& r, bool note_contrib = false);
   void serialize_barrier_contrib(ByteWriter& w) const;
 
+  // -- hybrid update protocol (barrier-time diff push; mode != off) --
+  // Plan which pages go to which predicted consumers (caller holds mu_;
+  // called right after close_interval at barrier entry).
+  void build_push_plan();
+  // Sparse per-destination frame counts appended to barrier arrives
+  // (subtree totals, aggregated up the tree) and departs (global
+  // totals, distributed down) — how the receiver knows exactly how
+  // many kDiffPush frames to expect, deterministically.
+  // subtree_root < 0 appends every nonzero dst (arrive, upward);
+  // otherwise only dsts inside that barrier subtree (depart, downward).
+  // last_sent/last_rx are that tree link's table cache: an unchanged
+  // table ships as a 1-byte sentinel.
+  void append_push_counts(ByteWriter& w, int subtree_root,
+                          std::vector<std::uint16_t>& last_sent) const;
+  void read_push_counts(ByteReader& r, bool accumulate,
+                        std::vector<std::uint16_t>& last_rx);
+  // Flattens each planned page's diff chain into one blob and
+  // assembles one kDiffPush payload per destination (takes mu_).
+  void prepare_push_frames();
+  // Waits for exactly `expected` kDiffPush frames, then applies every
+  // fully-covered page (sorted by vc weight, to page and twin alike)
+  // and discards the rest as push_waste.
+  void collect_pushes(std::uint32_t expected);
+
   // -- barrier tree topology (heap-indexed k-ary tree rooted at 0) --
   [[nodiscard]] int barrier_parent() const noexcept {
     return (rank_ - 1) / barrier_arity_;
   }
   [[nodiscard]] int barrier_first_child() const noexcept {
     return barrier_arity_ * rank_ + 1;
+  }
+  [[nodiscard]] bool in_barrier_subtree(int node, int root) const noexcept {
+    while (node > root) node = (node - 1) / barrier_arity_;
+    return node == root;
   }
   [[nodiscard]] int barrier_num_children() const noexcept {
     const int first = barrier_first_child();
@@ -390,10 +495,59 @@ class Runtime {
     std::span<const std::byte> blob;
     bool same_as_prev;  // shares the previous entry's flush blob
   };
-  std::array<std::vector<FetchNeed>, mpl::kMaxProcs> fetch_needs_;
+  struct FetchOutstanding {
+    ProcId creator;
+    std::uint32_t req_id;
+  };
+  // Sized nprocs_ at construction (not kMaxProcs): both are touched on
+  // every fault, and an 8-rank run has no business clearing 128 slots.
+  std::vector<std::vector<FetchNeed>> fetch_needs_;
+  std::vector<FetchOutstanding> fetch_outstanding_;
   std::vector<FetchedDiff> fetch_staged_;
   std::vector<mpl::Frame> fetch_replies_;
   tmk::ByteWriter fetch_writer_;
+
+  // -- hybrid update protocol state (mode != off only) --
+  UpdateMode update_mode_ = UpdateMode::kOff;
+  std::uint8_t push_credits_ = 16;
+  struct PushPlanEntry {
+    PageIndex page;
+    Seq lo = 0;  // push covers own seqs in (lo, hi] for this page
+    Seq hi = 0;
+    ProcMask dsts;
+    std::shared_ptr<std::vector<std::byte>> blob;  // flattened diff
+  };
+  std::vector<PushPlanEntry> push_plan_;
+  // Pages with own intervals not yet offered to consumers (appended by
+  // close_interval, drained by build_push_plan).
+  std::vector<PageIndex> push_candidates_;
+  std::vector<std::uint16_t> push_counts_;  // per-dst kDiffPush frames
+  // Count-table caches, one per barrier-tree link (empty = no history):
+  // what we last sent to the parent / each child, and what we last
+  // received from each child / the parent.
+  std::vector<std::uint16_t> push_counts_sent_up_;
+  std::vector<std::uint16_t> push_counts_rx_down_;
+  std::vector<std::vector<std::uint16_t>> push_counts_sent_down_;
+  std::vector<std::vector<std::uint16_t>> push_counts_child_rx_;
+  std::vector<std::pair<int, std::vector<std::byte>>> push_frames_;
+  DiffMerger diff_merger_;
+  // Receiver-side stash of pushed diffs that could NOT be applied at the
+  // barrier (the page had pending write notices the round's pushes did
+  // not fully cover — false sharing with an unpredicted writer). The
+  // fault path consumes them in place of a network fetch: the blob
+  // covers the creator's seqs in (lo, hi], exactly like a pulled flush
+  // blob, and is applied in the same vc-weight order. Keyed by
+  // (page << 7) | creator; guarded by mu_ (main thread only).
+  struct PushStash {
+    Seq lo = 0;
+    Seq hi = 0;
+    std::shared_ptr<std::vector<std::byte>> blob;
+  };
+  [[nodiscard]] static constexpr std::uint64_t stash_key(
+      PageIndex page, ProcId creator) noexcept {
+    return (static_cast<std::uint64_t>(page) << kPackCreatorBits) | creator;
+  }
+  std::unordered_map<std::uint64_t, PushStash> push_stash_;
 
   // Improved-interface bookkeeping (master side).
   std::vector<VectorClock> worker_vc_;
@@ -429,6 +583,11 @@ class Runtime {
   bool shutdown_done_ = false;
 
   TmkStats stats_;
+  // Where shutdown() accumulates the final DSM counters so the harness
+  // can report them per rank (+=: several sequential Runtimes in one
+  // rank add up). Written only after the service thread has joined.
+  runner::ChildContext* report_ctx_ = nullptr;
+  void flush_stats_to_ctx() noexcept;
 };
 
 }  // namespace tmk

@@ -57,12 +57,22 @@ void Runtime::serve_diff_request(const mpl::Frame& f) {
   ByteWriter& w = svc_reply_writer_;  // service thread only; reused
   w.clear();
   w.put<std::uint32_t>(n);
+  const bool learning = update_mode_ == UpdateMode::kAdaptive ||
+                        update_mode_ == UpdateMode::kHybrid;
   {
     std::lock_guard<std::mutex> g(mu_);
     const DiffRec* prev = nullptr;
     for (std::uint32_t i = 0; i < n; ++i) {
       const auto page = r.get<PageIndex>();
       const auto seq = r.get<Seq>();
+      if (learning) {
+        // Adaptive predictor feed: this rank PULLED this page, so it is
+        // a likely consumer of our next barrier's diff. Re-arm the
+        // credit budget — a request proves the prediction is live.
+        PageExt& px = ext(page);
+        px.adaptive_consumers.set(f.src);
+        px.push_budget = push_credits_;
+      }
       const auto key = (static_cast<std::uint64_t>(page) << 32) | seq;
       const DiffRec* rec = nullptr;
       {
@@ -91,6 +101,7 @@ void Runtime::serve_diff_request(const mpl::Frame& f) {
       prev = rec;
     }
   }
+  stats_.diff_replies.fetch_add(1, std::memory_order_relaxed);
   ep_.clock().charge_interrupt(m.recv_overhead_ns + handler +
                                m.send_overhead_ns);
   const std::uint64_t base = f.vt_arrival + m.recv_overhead_ns + handler;

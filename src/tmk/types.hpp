@@ -60,6 +60,34 @@ class VectorClock {
   std::array<Seq, mpl::kMaxProcs> v_{};
 };
 
+/// Fixed-size rank bitmask: the consumer sets of the hybrid update
+/// protocol (one bit per rank that is predicted to read a page).
+class ProcMask {
+ public:
+  void set(int p) noexcept {
+    w_[static_cast<std::size_t>(p) >> 6] |= std::uint64_t{1} << (p & 63);
+  }
+  void clear(int p) noexcept {
+    w_[static_cast<std::size_t>(p) >> 6] &= ~(std::uint64_t{1} << (p & 63));
+  }
+  [[nodiscard]] bool test(int p) const noexcept {
+    return ((w_[static_cast<std::size_t>(p) >> 6] >> (p & 63)) & 1) != 0;
+  }
+  [[nodiscard]] bool any() const noexcept {
+    for (const std::uint64_t x : w_)
+      if (x != 0) return true;
+    return false;
+  }
+  void reset() noexcept { w_.fill(0); }
+  void merge(const ProcMask& o) noexcept {
+    for (std::size_t i = 0; i < w_.size(); ++i) w_[i] |= o.w_[i];
+  }
+  [[nodiscard]] bool operator==(const ProcMask&) const = default;
+
+ private:
+  std::array<std::uint64_t, (mpl::kMaxProcs + 63) / 64> w_{};
+};
+
 /// Identity of one interval.
 struct IntervalKey {
   ProcId creator = 0;

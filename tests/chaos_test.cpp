@@ -147,6 +147,64 @@ TEST(Chaos, DeathMidBarrierInprocThread) {
   EXPECT_LT(seconds_since(t0), 45.0);
 }
 
+// ---- death with the hybrid update protocol active --------------------
+
+// Under TMK_UPDATE_MODE=hybrid every barrier departure carries staged
+// diff pushes and the barrier tree piggybacks push-count tables; a rank
+// dying mid-protocol leaves consumers holding stashed pushes and
+// expecting counts that will never arrive. That state must unwind
+// exactly like a plain death — named blame within the poison grace —
+// not wedge a survivor waiting on a push that is never coming.
+TEST(Chaos, DeathMidBarrierWithHybridPushesStaged) {
+  // By barrier 3 of barrier_workload (everyone reads every slice, so
+  // every page's consumer set is all peers) the predictor has armed and
+  // the victim has live staged pushes and cached count tables.
+  test::EnvGuard mode("TMK_UPDATE_MODE", "hybrid");
+  expect_death_blamed(mpl::TransportKind::kShm, runner::Backend::kProcess,
+                      "seed=17,rank=any,exit-at-barrier=3,hard=1", "proc 17");
+}
+
+TEST(Chaos, CrashDuringPushSendsHybridProcess) {
+  // crash-at-send lands among the departure-time push frames once the
+  // protocol reaches steady state (15 pushes per barrier on this mesh
+  // dwarf the one arrive frame), so the victim dies with a push burst
+  // half-sent. Survivors' stashes and count caches must not stall the
+  // unwind.
+  test::EnvGuard mode("TMK_UPDATE_MODE", "hybrid");
+  test::EnvGuard fault("TMK_FAULT_INJECT", "rank=3,crash-at-send=40,hard=1");
+  const auto t0 = Clock::now();
+  try {
+    runner::spawn(16,
+                  chaos_options(mpl::TransportKind::kShm,
+                                runner::Backend::kProcess),
+                  barrier_workload);
+    FAIL() << "spawn should have thrown";
+  } catch (const common::Error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("proc 3"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("status 86"), std::string::npos) << msg;
+  }
+  EXPECT_LT(seconds_since(t0), 30.0);
+}
+
+TEST(Chaos, CrashDuringPushSendsThreadBackend) {
+  // Soft variant: the victim unwinds in-process and its own injected
+  // fault must be the run's error even with pushes in flight.
+  test::EnvGuard mode("TMK_UPDATE_MODE", "hybrid");
+  test::EnvGuard fault("TMK_FAULT_INJECT", "rank=5,crash-at-send=40");
+  try {
+    runner::spawn(16,
+                  chaos_options(mpl::TransportKind::kInproc,
+                                runner::Backend::kThread),
+                  barrier_workload);
+    FAIL() << "spawn should have thrown";
+  } catch (const common::Error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("rank 5"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("crash-at-send"), std::string::npos) << msg;
+  }
+}
+
 // ---- other plan shapes -----------------------------------------------
 
 TEST(Chaos, CrashAtNthSendShmProcess) {

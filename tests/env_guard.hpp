@@ -18,6 +18,15 @@ class EnvGuard {
     if (had_prev_) prev_ = prev;
     ::setenv(name, value, 1);
   }
+  /// Unset variant: guarantees the variable is absent for the guard's
+  /// lifetime (e.g. to pin a knob's built-in default under a CI job
+  /// that exports it globally).
+  explicit EnvGuard(const char* name) : name_(name) {
+    const char* prev = std::getenv(name);
+    had_prev_ = prev != nullptr;
+    if (had_prev_) prev_ = prev;
+    ::unsetenv(name);
+  }
   ~EnvGuard() {
     if (had_prev_)
       ::setenv(name_.c_str(), prev_.c_str(), 1);

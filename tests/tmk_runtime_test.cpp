@@ -604,6 +604,68 @@ TEST(PackPreapplied, PreservesTupleOrderingForPrefixErasure) {
   }
 }
 
+// Covered-seq gap regression (fetch_and_apply): a diff reply's blob can
+// bake in creator seqs the fetcher has not yet integrated (the reply's
+// `covered` exceeds the requested seq, because the creator's lazy flush
+// covers every unflushed interval of the page in one blob). When those
+// write notices later arrive at a barrier they must NOT re-invalidate
+// the page — a refetch would pull the same stale blob over words the
+// fetcher has since written under false sharing. The gap is constructed
+// deterministically: rank 0 opens a second interval on page A, then
+// pushes an unrelated go-page to rank 2. push() closes the interval but
+// ships write notices only for the pushed page, so rank 2 is sequenced
+// after s2 exists yet still only knows s1 when its fault-time fetch
+// runs.
+TEST(TmkRuntime, CoveredSeqGapDoesNotRefetchOrClobberLocalWrites) {
+  auto r = runner::spawn(3, fast_options(), [](runner::ChildContext& c) {
+    tmk::Runtime rt(c);
+    auto* go = rt.alloc<std::int32_t>(1024);  // one page, the signal
+    auto* a = rt.alloc<std::int32_t>(1024);   // one page, falsely shared
+    rt.barrier();
+    if (rt.rank() == 0) {
+      for (int i = 0; i < 256; ++i) a[i] = 1;  // interval s1
+    }
+    rt.barrier();  // everyone learns s1; page invalid at ranks 1, 2
+    if (rt.rank() == 0) {
+      for (int i = 256; i < 512; ++i) a[i] = 2;  // interval s2 opens
+      go[0] = 42;
+      rt.push(2, go, common::kPageSize);  // closes s2; no page-A notice
+      rt.barrier();
+      double sum = 0;
+      for (int i = 0; i < 1024; ++i) sum += a[i];
+      rt.barrier();
+      return sum;
+    }
+    if (rt.rank() == 1) {
+      // Passive witness: learns s1, s2 and rank 2's interval only at
+      // the barrier, then pulls the fully merged page.
+      rt.barrier();
+      double sum = 0;
+      for (int i = 0; i < 1024; ++i) sum += a[i];
+      rt.barrier();
+      return sum;
+    }
+    // Rank 2: ordered after s2 closed, but ignorant of it.
+    rt.accept_push(0);
+    if (go[0] != 42) return -1.0;
+    // Write fault on the invalid page: the pending fetch requests s1
+    // only; the reply's blob covers s1..s2 and the gap seq s2 is
+    // recorded as pre-applied. Our own words must survive the apply.
+    for (int i = 768; i < 1024; ++i) a[i] = 9;
+    if (a[0] != 1 || a[256] != 2) return -2.0;  // baked-in writes visible
+    const std::uint64_t before = rt.stats().diff_requests;
+    rt.barrier();  // s2's write notice arrives; pre-applied, no refetch
+    double sum = 0;
+    for (int i = 0; i < 1024; ++i) sum += a[i];
+    if (rt.stats().diff_requests != before) return -3.0;  // refetched!
+    if (a[900] != 9) return -4.0;  // stale blob clobbered local writes
+    rt.barrier();
+    return sum;
+  });
+  const double expect = 256.0 * 1 + 256.0 * 2 + 256.0 * 9;
+  for (const auto& p : r.procs) EXPECT_DOUBLE_EQ(p.checksum, expect);
+}
+
 // Fork/join message count: 2(n-1) per parallel loop (§2.3).
 TEST(TmkRuntime, ForkJoinCosts2NMinus1Messages) {
   auto r = runner::spawn(8, fast_options(), [](runner::ChildContext& c) {
