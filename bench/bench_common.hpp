@@ -32,7 +32,9 @@
 #include "bench_opts.hpp"
 #include "common/env.hpp"
 #include "common/table.hpp"
+#include "runner/counters.hpp"
 #include "runner/runner.hpp"
+#include "tmk/config.hpp"
 
 namespace bench {
 
@@ -69,29 +71,25 @@ struct Row {
   double seconds = 0.0;       // modelled parallel seconds
   double host_wall_s = 0.0;   // real wall time of the run (harness cost)
   double host_cpu_s = 0.0;    // summed main-thread CPU across processes
-  // Host-side interconnect cost (summed over ranks): transport publishes
-  // (doorbell bumps / send syscalls) and send-side FUTEX_WAKE syscalls.
-  // These track what the burst fabric saves; the modelled `messages`/
-  // `kbytes` below are burst- and transport-invariant by construction.
-  std::uint64_t host_send_calls = 0;
-  std::uint64_t host_futex_wakes = 0;
   std::uint64_t messages = 0;
   double kbytes = 0.0;
   // Which update protocol the run used ("off" unless TMK_UPDATE_MODE
   // selected a push mode) — rows for the same (app, system, nprocs)
   // key differ across modes only in traffic/fault counters, so the
-  // mode must be a column or the comparison is unreadable.
+  // mode must be a column or the comparison is unreadable. Same for
+  // the race-detection mode (TMK_RACECHECK).
   std::string update_mode = "off";
-  // DSM protocol observables (zero for MP systems): diff pull round
-  // trips, pushed diffs with their hit/waste split (hybrid update
-  // protocol, TMK_UPDATE_MODE), and SIGSEGV page faults taken.
-  std::uint64_t diff_requests = 0;
-  std::uint64_t diff_replies = 0;
-  std::uint64_t diff_push = 0;
-  std::uint64_t push_hits = 0;
-  std::uint64_t push_waste = 0;
-  std::uint64_t page_faults = 0;
+  std::string racecheck = "off";
+  // Registry-declared counters (runner/counters.hpp): host-side
+  // interconnect cost and DSM protocol observables flow through as one
+  // block; the JSON writer emits them per layer, so a new counter is a
+  // registry row, not another hand-threaded field here.
+  runner::ctr::Block ctrs;
   double checksum = 0.0;
+
+  [[nodiscard]] std::uint64_t ctr(runner::ctr::Id id) const noexcept {
+    return ctrs[id];
+  }
 };
 
 /// Collects rows across benchmark registrations; printed from main().
@@ -154,19 +152,21 @@ class Report {
            << ", \"speedup\": " << r.speedup
            << ", \"seconds\": " << r.seconds
            << ", \"host_wall_s\": " << r.host_wall_s
-           << ", \"host_cpu_s\": " << r.host_cpu_s
-           << ", \"host_send_calls\": " << r.host_send_calls
-           << ", \"host_futex_wakes\": " << r.host_futex_wakes
-           << ", \"messages\": " << r.messages
+           << ", \"host_cpu_s\": " << r.host_cpu_s;
+      // Registry-driven columns, grouped by layer to preserve the
+      // historical key order: host costs right after host_cpu_s, DSM
+      // observables after the mode labels.
+      for (const runner::ctr::Desc& d : runner::ctr::kRegistry)
+        if (d.layer == runner::ctr::Layer::kHost)
+          body << ", \"" << d.json_key << "\": " << r.ctrs[d.id];
+      body << ", \"messages\": " << r.messages
            << ", \"kbytes\": " << r.kbytes
            << ", \"update_mode\": \"" << json_escape(r.update_mode)
-           << "\", \"diff_requests\": " << r.diff_requests
-           << ", \"diff_replies\": " << r.diff_replies
-           << ", \"diff_push\": " << r.diff_push
-           << ", \"push_hits\": " << r.push_hits
-           << ", \"push_waste\": " << r.push_waste
-           << ", \"page_faults\": " << r.page_faults
-           << ", \"checksum\": " << r.checksum << "}";
+           << "\", \"racecheck\": \"" << json_escape(r.racecheck) << "\"";
+      for (const runner::ctr::Desc& d : runner::ctr::kRegistry)
+        if (d.layer == runner::ctr::Layer::kDsm)
+          body << ", \"" << d.json_key << "\": " << r.ctrs[d.id];
+      body << ", \"checksum\": " << r.checksum << "}";
       if (i + 1 < rows_.size()) body << ",\n";
     }
     std::string out;
@@ -231,18 +231,14 @@ inline Row record(const std::string& app, apps::System system, int nprocs,
   row.speedup = (r.seconds() > 0) ? seq_seconds / r.seconds() : 0.0;
   row.host_wall_s = r.host_wall_s;
   row.host_cpu_s = static_cast<double>(r.total_cpu_ns) * 1e-9;
-  row.host_send_calls = r.total_host_send_calls;
-  row.host_futex_wakes = r.total_host_futex_wakes;
+  row.ctrs = r.total_ctrs;
   row.checksum = r.checksum;
-  if (const char* m = std::getenv("TMK_UPDATE_MODE");
-      m != nullptr && *m != '\0')
-    row.update_mode = m;
-  row.diff_requests = r.total_diff_requests;
-  row.diff_replies = r.total_diff_replies;
-  row.diff_push = r.total_diff_push;
-  row.push_hits = r.total_push_hits;
-  row.push_waste = r.total_push_waste;
-  row.page_faults = r.total_page_faults;
+  // Mode labels come from the same typed snapshot the runtime consumed
+  // (normalized spelling; garbage values label as the "off" the run
+  // actually used).
+  const tmk::Config cfg = tmk::Config::from_env();
+  row.update_mode = tmk::to_string(cfg.update_mode);
+  row.racecheck = tmk::to_string(cfg.racecheck);
   fill_traffic(row, system, r);
   Report::instance().add(row);
   return row;

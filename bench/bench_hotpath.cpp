@@ -285,7 +285,8 @@ void BM_FaultMachineryDisabledParity(benchmark::State& state) {
     if (r.checksum != plain.checksum ||
         r.total.messages != plain.total.messages ||
         r.total.bytes != plain.total.bytes ||
-        r.total_host_send_calls != plain.total_host_send_calls) {
+        r.ctr(runner::ctr::Id::kHostSendCalls) !=
+            plain.ctr(runner::ctr::Id::kHostSendCalls)) {
       std::cerr << "FATAL: fault machinery perturbed an injection-disabled "
                    "run (checksum/counter/send-call mismatch vs plain run)\n";
       std::abort();

@@ -108,10 +108,12 @@ int main(int argc, char** argv) {
            common::TextTable::num(r.seconds, 3),
            common::TextTable::num(r.host_wall_s, 3),
            common::TextTable::num(r.host_cpu_s, 3),
-           std::to_string(r.host_send_calls),
-           std::to_string(r.host_futex_wakes),
-           std::to_string(r.page_faults), std::to_string(r.diff_requests),
-           std::to_string(r.push_hits) + "/" + std::to_string(r.push_waste)});
+           std::to_string(r.ctr(runner::ctr::Id::kHostSendCalls)),
+           std::to_string(r.ctr(runner::ctr::Id::kHostFutexWakes)),
+           std::to_string(r.ctr(runner::ctr::Id::kPageFaults)),
+           std::to_string(r.ctr(runner::ctr::Id::kDiffRequests)),
+           std::to_string(r.ctr(runner::ctr::Id::kPushHits)) + "/" +
+               std::to_string(r.ctr(runner::ctr::Id::kPushWaste))});
   }
   t.print(std::cout);
   bench::Report::instance().write_json();

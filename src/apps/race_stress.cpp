@@ -1,0 +1,359 @@
+#include "apps/race_stress.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "apps/registry.hpp"
+#include "common/check.hpp"
+#include "common/page.hpp"
+#include "common/prng.hpp"
+#include "tmk/diff.hpp"
+#include "tmk/runtime.hpp"
+
+namespace apps {
+
+namespace {
+
+constexpr int kCellsPerPage =
+    static_cast<int>(common::kPageSize / sizeof(std::uint64_t));
+// Plant geometry: races land on one cell (one u64) of a 64-byte
+// "block"; the block grid spreads plants across the page and keeps the
+// rw establishing write in a different block (and word) than the race.
+constexpr int kBlocksPerPage = 64;
+constexpr int kCellsPerBlock = 8;
+constexpr int kBgWritesPerEpoch = 4;
+
+// One planted race on a dedicated page. ww: two ranks store `value`
+// into block `block` during `epoch` (same value, so the final content
+// — and therefore the checksum — is deterministic no matter whose diff
+// applies last). rw: a third rank stores `establish` in epoch-1 (whose
+// write notice invalidates the page everywhere, so the reader's access
+// faults), then the racing writer stores `value` into `block` while
+// the reader faults the same block in `epoch`.
+struct Plant {
+  bool ww = false;
+  int page = 0;   // dedicated page; plants occupy pages [0, nplants)
+  int block = 0;  // raced 64-byte block
+  int epoch = 0;  // epoch of the racing accesses (rw: establish in epoch-1)
+  std::uint64_t value = 0;
+  std::uint64_t establish = 0;
+  std::uint64_t pick = 0;  // rank-assignment entropy
+};
+
+// Rank assignment for one plant at a given nprocs. ww: a/b are the two
+// writers. rw: a is the racing writer, b the reader, x the establishing
+// third rank — all distinct, which is why rw plants need nprocs >= 3:
+// if the establisher were the writer, the reader's fault would pull the
+// writer's lazy diff and re-baseline its twin mid-interval (the planted
+// write would vanish from the close-time mask); if it were the reader,
+// the reader's own copy would stay valid and the read would never fault.
+struct PlantRanks {
+  int a = 0;
+  int b = 0;
+  int x = -1;
+};
+
+PlantRanks ranks_of(const Plant& t, int n) {
+  PlantRanks r;
+  if (t.ww) {
+    r.a = static_cast<int>(t.pick % static_cast<std::uint64_t>(n));
+    r.b = static_cast<int>(
+        (r.a + 1 + static_cast<int>((t.pick >> 8) %
+                                    static_cast<std::uint64_t>(n - 1))) %
+        n);
+    return r;
+  }
+  r.x = static_cast<int>(t.pick % static_cast<std::uint64_t>(n));
+  r.a = static_cast<int>(
+      (r.x + 1 + static_cast<int>((t.pick >> 8) %
+                                  static_cast<std::uint64_t>(n - 1))) %
+      n);
+  const int k = static_cast<int>((t.pick >> 16) %
+                                 static_cast<std::uint64_t>(n - 2));
+  int seen = 0;
+  for (int c = 0; c < n; ++c) {
+    if (c == r.x || c == r.a) continue;
+    if (seen == k) {
+      r.b = c;
+      break;
+    }
+    ++seen;
+  }
+  return r;
+}
+
+std::vector<Plant> make_plants(const RaceStressParams& p) {
+  COMMON_CHECK_MSG(p.epochs >= 2, "race_stress needs epochs >= 2");
+  std::vector<Plant> out;
+  common::SplitMix64 g(p.seed);
+  int page = 0;
+  for (int i = 0; i < p.ww_plants; ++i) {
+    Plant t;
+    t.ww = true;
+    t.page = page++;
+    t.block = static_cast<int>(g.next_below(kBlocksPerPage));
+    t.epoch = static_cast<int>(g.next_below(p.epochs));
+    t.value = (g.next() & 0xFFFF) + 1;
+    t.pick = g.next();
+    out.push_back(t);
+  }
+  for (int i = 0; i < p.rw_plants; ++i) {
+    Plant t;
+    t.ww = false;
+    t.page = page++;
+    t.block = static_cast<int>(g.next_below(kBlocksPerPage));
+    t.epoch = 1 + static_cast<int>(g.next_below(p.epochs - 1));
+    t.value = (g.next() & 0xFFFF) + 1;
+    t.establish = (g.next() & 0xFFFF) + 1;
+    t.pick = g.next();
+    out.push_back(t);
+  }
+  return out;
+}
+
+// Background fuzz schedule, disjoint from the plant pages and race-free
+// by construction: each background page is written (by a rotating owner)
+// only in even epochs and read only in odd ones, so every read is
+// barrier-ordered after the writes it observes.
+std::uint64_t bg_mix(const RaceStressParams& p, int e, int qi, int k) {
+  return common::mix64(p.seed + static_cast<std::uint64_t>(e) * 1000003ull +
+                       static_cast<std::uint64_t>(qi) * 10007ull +
+                       static_cast<std::uint64_t>(k) * 101ull);
+}
+int bg_cell(const RaceStressParams& p, int e, int qi, int k) {
+  return static_cast<int>(bg_mix(p, e, qi, k) %
+                          static_cast<std::uint64_t>(kCellsPerPage));
+}
+std::uint64_t bg_value(const RaceStressParams& p, int e, int qi, int k) {
+  return (common::mix64(bg_mix(p, e, qi, k)) & 0xFFFF) + 1;
+}
+
+// The exact per-rank report set the detector must produce: one ww
+// report on each writer (each integrates the other's write notice) in
+// either mode, plus one rw report on the reader in precise mode
+// (summary records no reads), every one pinpointing the planted cell.
+void check_reports(tmk::Runtime& rt, const RaceStressParams& p,
+                   const std::vector<Plant>& plants,
+                   tmk::PageIndex base_page) {
+  struct Key {
+    bool local_write;
+    tmk::PageIndex page;
+    tmk::RaceMask mask;
+    int remote;
+    auto operator<=>(const Key&) const = default;
+  };
+  const int n = rt.nprocs();
+  const int me = rt.rank();
+  std::vector<Key> expect;
+  for (const Plant& t : plants) {
+    const PlantRanks r = ranks_of(t, n);
+    const tmk::PageIndex page =
+        base_page + static_cast<tmk::PageIndex>(t.page);
+    // Every overlap pins exactly one diff word (4 bytes): planted
+    // values fit 17 bits, so a u64 store onto a zeroed cell changes
+    // only its low diff word — the twin scan's write mask is that
+    // single word. A ww overlap intersects two such masks; an rw
+    // overlap intersects the writer's mask with the read witness, the
+    // diff word at the faulting address — the cell start, same word.
+    const tmk::RaceMask bit =
+        tmk::RaceMask::word_at(static_cast<std::size_t>(t.block) *
+                               kCellsPerBlock * sizeof(std::uint64_t));
+    if (t.ww) {
+      if (me == r.a) expect.push_back({true, page, bit, r.b});
+      if (me == r.b) expect.push_back({true, page, bit, r.a});
+    } else if (me == r.b && rt.racecheck() == tmk::RaceCheckMode::kPrecise) {
+      expect.push_back({false, page, bit, r.a});
+    }
+  }
+  std::vector<Key> got;
+  for (const tmk::Runtime::RaceReport& r : rt.race_reports())
+    got.push_back({r.local_write, r.page, r.overlap_mask,
+                   static_cast<int>(r.remote)});
+  std::sort(expect.begin(), expect.end());
+  std::sort(got.begin(), got.end());
+  if (expect != got) {
+    std::ostringstream os;
+    os << "race_stress seed 0x" << std::hex << p.seed << std::dec
+       << " rank " << me << ": detector reports differ from the plan;"
+       << " expected";
+    for (const Key& k : expect)
+      os << " {" << (k.local_write ? "ww" : "rw") << " page " << k.page
+         << " mask 0x" << k.mask.hex() << " remote " << k.remote << "}";
+    os << " got";
+    for (const Key& k : got)
+      os << " {" << (k.local_write ? "ww" : "rw") << " page " << k.page
+         << " mask 0x" << k.mask.hex() << " remote " << k.remote << "}";
+    COMMON_CHECK_MSG(false, os.str());
+  }
+}
+
+std::string describe_params(const RaceStressParams& p) {
+  std::ostringstream os;
+  os << p.epochs << "ep " << (p.ww_plants + p.rw_plants) << "+"
+     << p.background_pages << "pg seed 0x" << std::hex << p.seed;
+  return os.str();
+}
+
+}  // namespace
+
+// ----------------------------------------------------------------------
+// Sequential baseline: replays the deterministic store schedule (plant
+// stores included — ww writers store identical values, rw reads touch
+// no shared state) and sums every cell.
+// ----------------------------------------------------------------------
+
+double race_stress_seq(const RaceStressParams& p, const SeqHooks* hooks) {
+  const std::vector<Plant> plants = make_plants(p);
+  const int npages = static_cast<int>(plants.size()) + p.background_pages;
+  std::vector<std::uint64_t> mem(
+      static_cast<std::size_t>(npages) * kCellsPerPage, 0);
+  if (hooks) hooks->on_start();
+  for (int e = 0; e < p.epochs; ++e) {
+    for (const Plant& t : plants) {
+      std::uint64_t* pg = mem.data() +
+                          static_cast<std::size_t>(t.page) * kCellsPerPage;
+      if (t.ww) {
+        if (e == t.epoch) pg[t.block * kCellsPerBlock] = t.value;
+      } else {
+        if (e == t.epoch - 1)
+          pg[((t.block + 1) % kBlocksPerPage) * kCellsPerBlock] = t.establish;
+        if (e == t.epoch) pg[t.block * kCellsPerBlock] = t.value;
+      }
+    }
+    if (e % 2 == 0) {
+      for (int qi = 0; qi < p.background_pages; ++qi) {
+        std::uint64_t* pg =
+            mem.data() +
+            (static_cast<std::size_t>(plants.size()) + qi) * kCellsPerPage;
+        for (int k = 0; k < kBgWritesPerEpoch; ++k)
+          pg[bg_cell(p, e, qi, k)] = bg_value(p, e, qi, k);
+      }
+    }
+  }
+  if (hooks) hooks->on_end();
+  double sum = 0;
+  for (const std::uint64_t v : mem) sum += static_cast<double>(v);
+  return sum;
+}
+
+// ----------------------------------------------------------------------
+// TreadMarks variant: same schedule over shared pages, detection live.
+// ----------------------------------------------------------------------
+
+double race_stress_tmk(runner::ChildContext& ctx, const RaceStressParams& p) {
+  tmk::Runtime::Options o;
+  // Detection must be live for the exact-set assertion: honor a checking
+  // mode from the run's knob snapshot (the CI racecheck legs), else
+  // force precise. Write masks are always diff-word-granular, so the
+  // planted ww cells are caught exactly in both modes; rw plants are
+  // expected only in precise mode (check_reports filters per mode).
+  o.racecheck = ctx.config.racecheck == tmk::RaceCheckMode::kOff
+                    ? tmk::RaceCheckMode::kPrecise
+                    : ctx.config.racecheck;
+  tmk::Runtime rt(ctx, o);
+  const int n = rt.nprocs();
+  const int me = rt.rank();
+  COMMON_CHECK_MSG(n >= 2, "race_stress needs nprocs >= 2");
+  COMMON_CHECK_MSG(p.rw_plants == 0 || n >= 3,
+                   "race_stress rw plants need nprocs >= 3");
+  const std::vector<Plant> plants = make_plants(p);
+  const int npages = static_cast<int>(plants.size()) + p.background_pages;
+  auto* heap = rt.alloc<std::uint64_t>(
+      static_cast<std::size_t>(npages) * kCellsPerPage);
+  const tmk::PageIndex base_page = static_cast<tmk::PageIndex>(
+      (reinterpret_cast<const std::byte*>(heap) -
+       static_cast<const std::byte*>(rt.heap_base())) /
+      common::kPageSize);
+  rt.barrier();
+
+  rt.endpoint().mark_measurement_start();
+  volatile std::uint64_t sink = 0;
+  for (int e = 0; e < p.epochs; ++e) {
+    for (const Plant& t : plants) {
+      const PlantRanks r = ranks_of(t, n);
+      std::uint64_t* pg =
+          heap + static_cast<std::size_t>(t.page) * kCellsPerPage;
+      if (t.ww) {
+        if (e == t.epoch && (me == r.a || me == r.b))
+          pg[t.block * kCellsPerBlock] = t.value;
+      } else {
+        if (e == t.epoch - 1 && me == r.x)
+          pg[((t.block + 1) % kBlocksPerPage) * kCellsPerBlock] = t.establish;
+        if (e == t.epoch && me == r.a)
+          pg[t.block * kCellsPerBlock] = t.value;
+        if (e == t.epoch && me == r.b)
+          sink = sink + pg[t.block * kCellsPerBlock];
+      }
+    }
+    for (int qi = 0; qi < p.background_pages; ++qi) {
+      std::uint64_t* pg =
+          heap + (static_cast<std::size_t>(plants.size()) + qi) *
+                     kCellsPerPage;
+      if (e % 2 == 0) {
+        if (me == (e / 2 + qi) % n)
+          for (int k = 0; k < kBgWritesPerEpoch; ++k)
+            pg[bg_cell(p, e, qi, k)] = bg_value(p, e, qi, k);
+      } else {
+        if (me == (e + qi) % n) sink = sink + pg[0];
+      }
+    }
+    rt.barrier();
+  }
+  rt.endpoint().mark_measurement_end();
+
+  // The loop's final barrier integrated the last epoch's notices, so
+  // the report set is complete here.
+  check_reports(rt, p, plants, base_page);
+
+  double sum = 0;
+  if (me == 0)
+    for (std::size_t i = 0;
+         i < static_cast<std::size_t>(npages) * kCellsPerPage; ++i)
+      sum += static_cast<double>(heap[i]);
+  rt.barrier();
+  return sum;
+}
+
+int race_stress_expected_reports(const RaceStressParams& p,
+                                 tmk::RaceCheckMode mode) {
+  const int rw = mode == tmk::RaceCheckMode::kPrecise ? p.rw_plants : 0;
+  return 2 * p.ww_plants + rw;
+}
+
+// ----------------------------------------------------------------------
+
+Workload make_race_stress_workload() {
+  using detail::make_variant;
+  Workload w;
+  w.name = "Race Stress";
+  w.key = "race_stress";
+  w.cls = WorkloadClass::kIrregular;
+  w.seq = detail::make_seq<RaceStressParams>(&race_stress_seq);
+  w.describe = [](const std::any& a) {
+    return describe_params(std::any_cast<const RaceStressParams&>(a));
+  };
+  // rw plants need a third rank (see PlantRanks), hence no nprocs=2.
+  w.variants = {
+      make_variant<RaceStressParams>(System::kTmk, &race_stress_tmk, 0.0,
+                                     {3, 4, 8}),
+  };
+  RaceStressParams dflt;
+  w.default_params = dflt;
+  RaceStressParams reduced;
+  reduced.epochs = 6;
+  reduced.background_pages = 4;
+  reduced.ww_plants = 1;
+  reduced.rw_plants = 1;
+  w.reduced_params = reduced;
+  RaceStressParams full;
+  full.epochs = 16;
+  full.background_pages = 16;
+  full.ww_plants = 4;
+  full.rw_plants = 4;
+  w.full_params = full;
+  w.test_preset = Preset::kDefault;
+  return w;
+}
+
+}  // namespace apps

@@ -1,0 +1,57 @@
+// Seeded race-planting stress workload for the online race detector
+// (TMK_RACECHECK). Not one of the paper's six applications: it lives in
+// the synthetic section of the registry (apps::synthetic_workloads), so
+// figures and traffic tables keep the paper's exact application set
+// while tests and CI drive it by key ("race_stress").
+//
+// Every rank derives the identical plan from the seed: a barrier-phased
+// schedule of race-free background writes/reads (the protocol-fuzzer
+// part) plus N planted races on dedicated pages — write/write pairs
+// where two ranks store the same value to the same word within one
+// epoch, and read/write pairs where a reader faults a word another
+// rank concurrently writes. The planted values are replayed by the
+// sequential baseline, so the checksum contract is exact (tolerance 0),
+// and the variant itself asserts that the detector reported EXACTLY the
+// planted set on every rank — nothing missed, nothing extra.
+#pragma once
+
+#include <cstdint>
+
+#include "apps/app_common.hpp"
+#include "tmk/config.hpp"
+
+namespace apps {
+
+struct RaceStressParams {
+  std::uint64_t seed = 0x1d5d5cb4c3a2f7b9ull;
+  /// Barrier-phased rounds; must be >= 2 so read/write plants have an
+  /// establishing epoch before the racing one.
+  int epochs = 8;
+  /// Race-free pages carrying the background write/read fuzz traffic.
+  int background_pages = 8;
+  /// Planted write/write races (two reports each, one per writer).
+  int ww_plants = 2;
+  /// Planted remote-write/local-read races (one report, reader side,
+  /// precise mode only — summary tracks writes exclusively).
+  /// Needs nprocs >= 3: the invalidating notice must come from a third
+  /// rank, or the reader's fault would pull the racing writer's lazy
+  /// diff and re-baseline its twin mid-interval.
+  int rw_plants = 2;
+};
+
+double race_stress_seq(const RaceStressParams& p, const SeqHooks* hooks);
+double race_stress_tmk(runner::ChildContext& ctx, const RaceStressParams& p);
+
+/// Total TMK_RACE_REPORT lines a run must emit across all ranks under
+/// the given checking mode: 2 per ww plant in both modes, plus 1 per
+/// rw plant in precise (summary keeps no read state, so rw plants go
+/// unreported there by design). Tests pin RunResult's race_reports
+/// counter against it.
+[[nodiscard]] int race_stress_expected_reports(const RaceStressParams& p,
+                                               tmk::RaceCheckMode mode);
+
+/// Registry descriptor (synthetic section); see registry.hpp.
+struct Workload;
+Workload make_race_stress_workload();
+
+}  // namespace apps

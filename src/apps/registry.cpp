@@ -7,6 +7,7 @@
 #include "apps/jacobi.hpp"
 #include "apps/mgs.hpp"
 #include "apps/nbf.hpp"
+#include "apps/race_stress.hpp"
 #include "apps/shallow.hpp"
 #include "common/check.hpp"
 
@@ -66,8 +67,19 @@ std::span<const Workload> all_workloads() {
   return registry;
 }
 
+std::span<const Workload> synthetic_workloads() {
+  static const std::vector<Workload> registry = [] {
+    std::vector<Workload> w;
+    w.push_back(make_race_stress_workload());
+    return w;
+  }();
+  return registry;
+}
+
 const Workload& find_workload(std::string_view key) {
   for (const Workload& w : all_workloads())
+    if (w.key == key) return w;
+  for (const Workload& w : synthetic_workloads())
     if (w.key == key) return w;
   COMMON_CHECK_MSG(false, "unknown workload '" << key << '\'');
 }

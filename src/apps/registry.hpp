@@ -124,8 +124,16 @@ struct Workload {
 /// first, then irregular).
 [[nodiscard]] std::span<const Workload> all_workloads();
 
-/// Lookup by key ("jacobi", "shallow", "mgs", "fft", "igrid", "nbf");
-/// throws common::Error on an unknown key.
+/// Synthetic diagnostic workloads: findable by key and runnable through
+/// run_workload exactly like the paper's six, but kept out of
+/// all_workloads() so figures, traffic tables, and the registry-driven
+/// checksum suite preserve the paper's exact application set.
+/// Currently: "race_stress", the seeded race-planting stress workload
+/// for the TMK_RACECHECK detector.
+[[nodiscard]] std::span<const Workload> synthetic_workloads();
+
+/// Lookup by key ("jacobi", "shallow", "mgs", "fft", "igrid", "nbf",
+/// plus the synthetic keys); throws common::Error on an unknown key.
 [[nodiscard]] const Workload& find_workload(std::string_view key);
 
 /// The single generic entry point: runs one (workload, system, nprocs)

@@ -32,6 +32,8 @@ inline constexpr std::string_view kKnown[] = {
     "TMK_FULL_SIZES",        // bench: run paper-size problem presets
     "TMK_UPDATE_MODE",       // tmk: off|hint|adaptive|hybrid diff pushing
     "TMK_PUSH_CREDITS",      // tmk: pushes granted per observed request
+    "TMK_RACECHECK",         // tmk: off|summary|precise race detection
+    "TMK_RACECHECK_THROW",   // tmk: throw on the first detected race
     "TMK_FAULT_INJECT",      // mpl: deterministic fault plan (chaos runs)
     "TMK_WAIT_DEADLINE_MS",  // mpl: per-wait budget before a loud abort
     "TMK_TSAN",              // cmake: ThreadSanitizer build

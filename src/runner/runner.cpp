@@ -134,6 +134,7 @@ void write_report(int fd, const ProcReport& r) {
 
 [[noreturn]] void child_main(mpl::Fabric& fabric, int rank,
                              const SpawnOptions& options,
+                             const tmk::Config& config,
                              const HeapMapping& heap, const ChildFn& fn,
                              int report_fd) {
   ProcReport report;
@@ -149,20 +150,15 @@ void write_report(int fd, const ProcReport& r) {
       mpl::Fabric discard = std::move(fabric);
       (void)discard;
     }
-    ChildContext ctx{endpoint, heap.base(), heap.bytes()};
+    ChildContext ctx{endpoint, heap.base(), heap.bytes(), config};
     const double checksum = fn(ctx);
     report.checksum = checksum;
     report.vt_ns = endpoint.measured_vt();
     report.cpu_ns = common::thread_cpu_ns();
     report.host_transport_ns = endpoint.clock().host_transport_ns();
-    report.host_send_calls = endpoint.host_stats().send_calls;
-    report.host_futex_wakes = endpoint.host_stats().futex_wakes;
-    report.dsm_diff_requests = ctx.dsm_diff_requests;
-    report.dsm_diff_replies = ctx.dsm_diff_replies;
-    report.dsm_diff_push = ctx.dsm_diff_push;
-    report.dsm_push_hits = ctx.dsm_push_hits;
-    report.dsm_push_waste = ctx.dsm_push_waste;
-    report.dsm_page_faults = ctx.dsm_page_faults;
+    report.ctrs = ctx.ctrs;
+    report.ctrs[ctr::Id::kHostSendCalls] = endpoint.host_stats().send_calls;
+    report.ctrs[ctr::Id::kHostFutexWakes] = endpoint.host_stats().futex_wakes;
     report.counters = endpoint.measured_counters();
     report.ok = 1;
   } catch (const std::exception& e) {
@@ -199,14 +195,7 @@ void aggregate_reports(RunResult& result, std::uint64_t wall_start_ns,
     result.max_vt_ns = std::max(result.max_vt_ns, rep.vt_ns);
     result.total_cpu_ns += rep.cpu_ns;
     result.total_host_transport_ns += rep.host_transport_ns;
-    result.total_host_send_calls += rep.host_send_calls;
-    result.total_host_futex_wakes += rep.host_futex_wakes;
-    result.total_diff_requests += rep.dsm_diff_requests;
-    result.total_diff_replies += rep.dsm_diff_replies;
-    result.total_diff_push += rep.dsm_diff_push;
-    result.total_push_hits += rep.dsm_push_hits;
-    result.total_push_waste += rep.dsm_push_waste;
-    result.total_page_faults += rep.dsm_page_faults;
+    result.total_ctrs.accumulate(rep.ctrs);
     result.total += rep.counters;
   }
   result.checksum = result.procs[0].checksum;
@@ -219,7 +208,7 @@ void aggregate_reports(RunResult& result, std::uint64_t wall_start_ns,
 /// ring transport. No fork, no fds, no report pipes — reports are
 /// written in place and published by the thread join.
 RunResult spawn_threads(int nprocs, const SpawnOptions& options,
-                        const ChildFn& fn) {
+                        const tmk::Config& config, const ChildFn& fn) {
   // Preflight: each rank is two threads (application + DSM service). A
   // 128-rank run wants ~260 threads; raise the RLIMIT_NPROC soft limit
   // toward the hard limit if it is visibly short. If even the raised
@@ -278,7 +267,7 @@ RunResult spawn_threads(int nprocs, const SpawnOptions& options,
   for (int rank = 0; rank < nprocs; ++rank) {
     HeapMapping& heap = heaps.emplace_back(options.shared_heap_bytes);
     ProcReport& report = result.procs[static_cast<std::size_t>(rank)];
-    ranks.emplace_back([&fabric, &options, &fn, &mu, &cv, &finished,
+    ranks.emplace_back([&fabric, &options, &config, &fn, &mu, &cv, &finished,
                         &first_failed, &done_flags, &killer, rank,
                         heap_p = &heap, report_p = &report] {
       ProcReport& rep = *report_p;
@@ -288,20 +277,15 @@ RunResult spawn_threads(int nprocs, const SpawnOptions& options,
         // own thread: the ring mesh keys its sender slots off the
         // constructing thread.
         mpl::Endpoint endpoint(fabric, rank, options.model);
-        ChildContext ctx{endpoint, heap_p->base(), heap_p->bytes()};
+        ChildContext ctx{endpoint, heap_p->base(), heap_p->bytes(), config};
         const double checksum = fn(ctx);
         rep.checksum = checksum;
         rep.vt_ns = endpoint.measured_vt();
         rep.cpu_ns = common::thread_cpu_ns();
         rep.host_transport_ns = endpoint.clock().host_transport_ns();
-        rep.host_send_calls = endpoint.host_stats().send_calls;
-        rep.host_futex_wakes = endpoint.host_stats().futex_wakes;
-        rep.dsm_diff_requests = ctx.dsm_diff_requests;
-        rep.dsm_diff_replies = ctx.dsm_diff_replies;
-        rep.dsm_diff_push = ctx.dsm_diff_push;
-        rep.dsm_push_hits = ctx.dsm_push_hits;
-        rep.dsm_push_waste = ctx.dsm_push_waste;
-        rep.dsm_page_faults = ctx.dsm_page_faults;
+        rep.ctrs = ctx.ctrs;
+        rep.ctrs[ctr::Id::kHostSendCalls] = endpoint.host_stats().send_calls;
+        rep.ctrs[ctr::Id::kHostFutexWakes] = endpoint.host_stats().futex_wakes;
         rep.counters = endpoint.measured_counters();
         rep.ok = 1;
       } catch (const std::exception& e) {
@@ -365,8 +349,12 @@ std::string describe_wait_status(int status) {
 RunResult spawn(int nprocs, const SpawnOptions& options, const ChildFn& fn) {
   COMMON_CHECK(nprocs >= 1 && nprocs <= mpl::kMaxProcs);
   common::env::warn_unrecognized_once();
+  // The knob snapshot for this run: resolved here — once per spawn, after
+  // any EnvGuard a test set up — so every rank sees identical values.
+  const tmk::Config config =
+      options.tmk_config.value_or(tmk::Config::from_env());
   if (options.backend == Backend::kThread)
-    return spawn_threads(nprocs, options, fn);
+    return spawn_threads(nprocs, options, config, fn);
   COMMON_CHECK_MSG(options.transport != mpl::TransportKind::kInproc,
                    "the inproc transport cannot cross fork(); use the "
                    "thread backend for an in-process mesh");
@@ -393,7 +381,7 @@ RunResult spawn(int nprocs, const SpawnOptions& options, const ChildFn& fn) {
         report_r[static_cast<std::size_t>(j)].reset();
         if (j != rank) report_w[static_cast<std::size_t>(j)].reset();
       }
-      child_main(fabric, rank, options, heap, fn,
+      child_main(fabric, rank, options, config, heap, fn,
                  report_w[static_cast<std::size_t>(rank)].get());
     }
     pids[static_cast<std::size_t>(rank)] = pid;

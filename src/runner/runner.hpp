@@ -35,7 +35,9 @@
 
 #include "mpl/counters.hpp"
 #include "mpl/fabric.hpp"
+#include "runner/counters.hpp"
 #include "sim/machine_model.hpp"
+#include "tmk/config.hpp"
 
 namespace runner {
 
@@ -63,18 +65,10 @@ struct ProcReport {
   std::uint64_t vt_ns = 0;       // final virtual time
   std::uint64_t cpu_ns = 0;      // raw main-thread CPU
   std::uint64_t host_transport_ns = 0;  // host CPU discarded as transport cost
-  std::uint64_t host_send_calls = 0;    // transport publishes/send syscalls
-  std::uint64_t host_futex_wakes = 0;   // send-side FUTEX_WAKE syscalls
-  // DSM protocol counters (zero for non-DSM runs): diff pull round
-  // trips, barrier-time pushed diffs and their hit/waste split, and
-  // SIGSEGV page faults taken — the observables of the hybrid update
-  // protocol (TMK_UPDATE_MODE).
-  std::uint64_t dsm_diff_requests = 0;
-  std::uint64_t dsm_diff_replies = 0;
-  std::uint64_t dsm_diff_push = 0;
-  std::uint64_t dsm_push_hits = 0;
-  std::uint64_t dsm_push_waste = 0;
-  std::uint64_t dsm_page_faults = 0;
+  // Registered per-run counters (runner/counters.hpp): transport
+  // syscall costs plus the DSM protocol observables (zero for non-DSM
+  // runs). One block instead of one field per column.
+  ctr::Block ctrs{};
   mpl::Counters counters{};
   char error[192] = {};
 };
@@ -89,21 +83,19 @@ struct RunResult {
   std::uint64_t max_vt_ns = 0;     // modelled parallel execution time
   std::uint64_t total_cpu_ns = 0;
   std::uint64_t total_host_transport_ns = 0;
-  std::uint64_t total_host_send_calls = 0;
-  std::uint64_t total_host_futex_wakes = 0;
-  // Summed DSM counters (see ProcReport).
-  std::uint64_t total_diff_requests = 0;
-  std::uint64_t total_diff_replies = 0;
-  std::uint64_t total_diff_push = 0;
-  std::uint64_t total_push_hits = 0;
-  std::uint64_t total_push_waste = 0;
-  std::uint64_t total_page_faults = 0;
+  // Registered counters aggregated over ranks per their declared
+  // aggregation (runner/counters.hpp).
+  ctr::Block total_ctrs{};
   double host_wall_s = 0.0;        // real wall time of the whole run
   mpl::Counters total{};           // summed over processes
   std::vector<ProcReport> procs;
 
   [[nodiscard]] double seconds() const noexcept {
     return static_cast<double>(max_vt_ns) * 1e-9;
+  }
+  /// Run-level value of one registered counter.
+  [[nodiscard]] std::uint64_t ctr(ctr::Id id) const noexcept {
+    return total_ctrs[id];
   }
   [[nodiscard]] std::uint64_t messages(mpl::Layer l) const noexcept {
     return total.messages[static_cast<std::size_t>(l)];
@@ -119,15 +111,14 @@ struct ChildContext {
   mpl::Endpoint& endpoint;
   void* heap_base = nullptr;       // inherited shared-heap mapping
   std::size_t heap_bytes = 0;
+  // The run's TMK_* knob snapshot (tmk/config.hpp): resolved once in
+  // spawn() so every rank sees identical values, consumed by
+  // tmk::Runtime in place of scattered getenv reads.
+  tmk::Config config{};
   // DSM protocol counters, accumulated (+=) by tmk::Runtime::shutdown —
-  // a rank may run several Runtimes back to back — and copied into the
+  // a rank may run several Runtimes back to back — and folded into the
   // rank's ProcReport after `fn` returns. Zero for non-DSM runs.
-  std::uint64_t dsm_diff_requests = 0;
-  std::uint64_t dsm_diff_replies = 0;
-  std::uint64_t dsm_diff_push = 0;
-  std::uint64_t dsm_push_hits = 0;
-  std::uint64_t dsm_push_waste = 0;
-  std::uint64_t dsm_page_faults = 0;
+  ctr::Block ctrs{};
 };
 
 using ChildFn = std::function<double(ChildContext&)>;
@@ -147,6 +138,11 @@ struct SpawnOptions {
   /// Execution backend for the ranks. Defaults to TMK_BACKEND=
   /// process|thread when set, else forked processes.
   Backend backend = backend_from_env();
+  /// Programmatic TMK_* knob snapshot override. Left unset, spawn()
+  /// builds one via tmk::Config::from_env() at spawn time — after any
+  /// EnvGuard a test set up — and hands it to every rank's
+  /// ChildContext.
+  std::optional<tmk::Config> tmk_config;
 };
 
 /// Launches `nprocs` ranks, runs `fn` in each, and aggregates results.

@@ -1,0 +1,141 @@
+// Typed snapshot of every TMK_* knob the DSM runtime consumes.
+//
+// The runtime used to read its knobs one getenv at a time, scattered
+// through the Runtime constructor. Config centralizes that: the harness
+// builds one snapshot per spawn (runner::spawn resolves
+// SpawnOptions::tmk_config, defaulting to Config::from_env()) and hands
+// it to every rank through ChildContext, so (a) all ranks of a run see
+// the same values even if a test mutates the environment mid-run, and
+// (b) adding a knob is one field plus one line in from_env() — parsing,
+// validation, and the warn-once-on-garbage behavior all live in
+// common/env.hpp. Programmatic Runtime::Options overrides still win
+// over the snapshot, which wins over built-in defaults.
+//
+// Header-only and dependency-free below common/: runner (which sits
+// under tmk) carries a Config without linking the DSM.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+#include "common/env.hpp"
+
+namespace tmk {
+
+/// Hybrid invalidate/update protocol mode (TMK_UPDATE_MODE). `kOff` is
+/// the paper's pure invalidate protocol, byte-identical to the runtime
+/// before the protocol existed. The other modes push barrier-time diffs
+/// to predicted consumers: `kHint` trusts only explicit decomposition
+/// hints (hint_consumers), `kAdaptive` trusts only the learned history
+/// of which ranks fetched each page, `kHybrid` the union of both.
+enum class UpdateMode : std::uint8_t {
+  kOff = 0,
+  kHint = 1,
+  kAdaptive = 2,
+  kHybrid = 3,
+};
+
+[[nodiscard]] constexpr const char* to_string(UpdateMode m) noexcept {
+  switch (m) {
+    case UpdateMode::kOff: return "off";
+    case UpdateMode::kHint: return "hint";
+    case UpdateMode::kAdaptive: return "adaptive";
+    case UpdateMode::kHybrid: return "hybrid";
+  }
+  return "?";
+}
+
+/// Parses a TMK_UPDATE_MODE value; nullopt on anything unrecognized.
+[[nodiscard]] constexpr std::optional<UpdateMode> parse_update_mode(
+    std::string_view name) noexcept {
+  if (name == "off") return UpdateMode::kOff;
+  if (name == "hint") return UpdateMode::kHint;
+  if (name == "adaptive") return UpdateMode::kAdaptive;
+  if (name == "hybrid") return UpdateMode::kHybrid;
+  return std::nullopt;
+}
+
+/// Online race detection mode (TMK_RACECHECK). `kOff` records nothing
+/// and is byte-identical — wire format, modelled counters, checksums —
+/// to a runtime without the detector. The checking modes record
+/// per-interval access summaries and compare incoming write notices
+/// against them under the vector-clock happens-before order at every
+/// integration point (barrier fan-in/departure, lock grant, fork,
+/// join); they differ in what they track: `kSummary` checks
+/// write/write pairs only, `kPrecise` additionally records read
+/// faults (per 4-byte diff word) and reports read/write pairs. Write
+/// summaries are per-word in both modes — they fall out of the
+/// twin-vs-page diff scan for free, and any coarser check (page- or
+/// cache-line-granular, for writes or reads) would flag the legal
+/// concurrent same-page disjoint accesses the multiple-writer
+/// protocol exists to allow; that is also why summary mode does not
+/// attempt page-granular read tracking.
+enum class RaceCheckMode : std::uint8_t {
+  kOff = 0,
+  kSummary = 1,
+  kPrecise = 2,
+};
+
+[[nodiscard]] constexpr const char* to_string(RaceCheckMode m) noexcept {
+  switch (m) {
+    case RaceCheckMode::kOff: return "off";
+    case RaceCheckMode::kSummary: return "summary";
+    case RaceCheckMode::kPrecise: return "precise";
+  }
+  return "?";
+}
+
+/// Parses a TMK_RACECHECK value; nullopt on anything unrecognized.
+[[nodiscard]] constexpr std::optional<RaceCheckMode> parse_racecheck(
+    std::string_view name) noexcept {
+  if (name == "off") return RaceCheckMode::kOff;
+  if (name == "summary") return RaceCheckMode::kSummary;
+  if (name == "precise") return RaceCheckMode::kPrecise;
+  return std::nullopt;
+}
+
+/// One immutable knob snapshot, shared by every rank of a run. All
+/// fields carry their built-in defaults, so a default-constructed
+/// Config equals an empty environment.
+struct Config {
+  UpdateMode update_mode = UpdateMode::kOff;
+  /// Adaptive-predictor credit budget (TMK_PUSH_CREDITS).
+  int push_credits = 16;
+  /// Barrier fan-in arity (TMK_BARRIER_ARITY); 0 = flat manager.
+  int barrier_arity = 0;
+  RaceCheckMode racecheck = RaceCheckMode::kOff;
+  /// TMK_RACECHECK_THROW: when set, the first TMK_RACE_REPORT also
+  /// throws common::Error once the integration that found it returns.
+  bool racecheck_throw = false;
+
+  /// Resolves the snapshot from the environment, warning once per
+  /// process on unparsable values (and taking the default instead).
+  [[nodiscard]] static Config from_env() {
+    Config c;
+    namespace env = common::env;
+    if (const char* v = env::raw("TMK_UPDATE_MODE");
+        v != nullptr && *v != '\0') {
+      if (const auto m = parse_update_mode(v); m.has_value())
+        c.update_mode = *m;
+      else
+        env::detail::warn_value("TMK_UPDATE_MODE", v,
+                                "expected off|hint|adaptive|hybrid");
+    }
+    if (const auto n = env::int_knob("TMK_PUSH_CREDITS"); n.has_value())
+      c.push_credits = static_cast<int>(*n);
+    if (const auto n = env::int_knob("TMK_BARRIER_ARITY"); n.has_value())
+      c.barrier_arity = static_cast<int>(*n);
+    if (const char* v = env::raw("TMK_RACECHECK"); v != nullptr && *v != '\0') {
+      if (const auto m = parse_racecheck(v); m.has_value())
+        c.racecheck = *m;
+      else
+        env::detail::warn_value("TMK_RACECHECK", v,
+                                "expected off|summary|precise");
+    }
+    c.racecheck_throw = env::flag_knob("TMK_RACECHECK_THROW", false);
+    return c;
+  }
+};
+
+}  // namespace tmk

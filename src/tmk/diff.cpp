@@ -140,6 +140,28 @@ std::vector<std::byte> make_diff(const std::byte* twin,
   return out;
 }
 
+RaceMask changed_word_mask(const std::byte* twin, const std::byte* current) {
+  static_assert(RaceMask::kWordBytes == kDiffWord,
+                "race masks must use the diff-word granularity");
+  RaceMask mask;
+  for (std::size_t q = 0; q < kU64PerPage; ++q) {
+    std::uint64_t a;
+    std::uint64_t b;
+    std::memcpy(&a, twin + q * sizeof(std::uint64_t), sizeof(a));
+    std::memcpy(&b, current + q * sizeof(std::uint64_t), sizeof(b));
+    const std::uint64_t x = a ^ b;
+    if (x == 0) continue;
+    // Little endian, as in make_diff_into: the low half of u64 q is
+    // diff word 2q, the high half word 2q + 1.
+    const std::size_t w0 = q * 2;
+    if (static_cast<std::uint32_t>(x) != 0)
+      mask.v[w0 / 64] |= std::uint64_t{1} << (w0 % 64);
+    if ((x >> 32) != 0)
+      mask.v[(w0 + 1) / 64] |= std::uint64_t{1} << ((w0 + 1) % 64);
+  }
+  return mask;
+}
+
 void apply_diff(std::span<const std::byte> diff, std::byte* target) {
   std::size_t pos = 0;
   while (pos < diff.size()) {

@@ -58,6 +58,7 @@ void Runtime::lock_acquire(int lock_id) {
     st.released_here = false;
   }
   ep_.recycle_buffer(std::move(f.payload));
+  race_maybe_throw();
 }
 
 void Runtime::lock_release(int lock_id) {
@@ -75,6 +76,13 @@ void Runtime::lock_release(int lock_id) {
     LockState& st = locks_[static_cast<std::size_t>(lock_id)];
     COMMON_CHECK_MSG(st.held, "releasing a lock not held");
     st.held = false;
+    // Outgoing sync edge: reads before this release are ordered before
+    // every write the successor chain performs after acquiring — and a
+    // read-only rank closes no interval that could ever say so. Prune
+    // by epoch instead of false-reporting when such a write's notice
+    // arrives later (detection may miss a genuinely concurrent old
+    // notice that arrives after this point; it never false-reports).
+    ++race_epoch_;
     if (st.successor.has_value()) {
       successor = std::move(st.successor);
       st.successor.reset();

@@ -11,6 +11,8 @@
 #include <cstring>
 #include <limits>
 #include <ostream>
+#include <sstream>
+#include <string>
 
 #include "common/check.hpp"
 #include "common/env.hpp"
@@ -100,14 +102,6 @@ thread_local Runtime* t_runtime = nullptr;
 
 }  // namespace
 
-std::optional<UpdateMode> parse_update_mode(std::string_view name) noexcept {
-  if (name == "off") return UpdateMode::kOff;
-  if (name == "hint") return UpdateMode::kHint;
-  if (name == "adaptive") return UpdateMode::kAdaptive;
-  if (name == "hybrid") return UpdateMode::kHybrid;
-  return std::nullopt;
-}
-
 Runtime* Runtime::instance() noexcept { return t_runtime; }
 
 Runtime* Runtime::owner_of(const void* addr) noexcept {
@@ -193,37 +187,26 @@ Runtime::Runtime(runner::ChildContext& ctx, Options options)
   fetch_outstanding_.reserve(static_cast<std::size_t>(nprocs_));
   main_tid_ = pthread_self();
 
-  // Hybrid update protocol: off (the paper's pure invalidate protocol)
-  // unless forced by Options or TMK_UPDATE_MODE. A typoed mode value
-  // warns and runs invalidate-only rather than silently "working".
-  if (options_.update_mode.has_value()) {
-    update_mode_ = *options_.update_mode;
-  } else if (const char* v = common::env::raw("TMK_UPDATE_MODE");
-             v != nullptr && *v != '\0') {
-    if (const auto m = parse_update_mode(v); m.has_value())
-      update_mode_ = *m;
-    else
-      std::fprintf(stderr,
-                   "tmk: ignoring TMK_UPDATE_MODE=%s "
-                   "(expected off|hint|adaptive|hybrid)\n",
-                   v);
-  }
+  // Knobs: the run's Config snapshot (ChildContext, resolved once at
+  // spawn — env parsing and warn-once validation live in
+  // tmk/config.hpp) unless forced by programmatic Options.
+  const Config& cfg = ctx.config;
+  update_mode_ = options_.update_mode.value_or(cfg.update_mode);
   {
-    long long credits = options_.push_credits.value_or(static_cast<int>(
-        common::env::int_knob("TMK_PUSH_CREDITS").value_or(16)));
+    long long credits = options_.push_credits.value_or(cfg.push_credits);
     credits = std::min<long long>(std::max<long long>(credits, 1), 255);
     push_credits_ = static_cast<std::uint8_t>(credits);
   }
   if (update_mode_ != UpdateMode::kOff)
     push_counts_.assign(static_cast<std::size_t>(nprocs_), 0);
+  racecheck_ = options_.racecheck.value_or(cfg.racecheck);
+  racecheck_throw_ = cfg.racecheck_throw;
   report_ctx_ = &ctx;
 
   // Barrier fan-in shape: flat (the paper's centralized manager) unless
   // an arity is requested; any arity >= nprocs-1 is normalized to flat.
   int arity = options_.barrier_arity;
-  if (arity == 0)
-    arity = static_cast<int>(
-        common::env::int_knob("TMK_BARRIER_ARITY").value_or(0));
+  if (arity == 0) arity = cfg.barrier_arity;
   const int flat = std::max(1, nprocs_ - 1);
   barrier_arity_ = (arity <= 0 || arity >= flat) ? flat : arity;
   barrier_child_vc_.resize(
@@ -301,7 +284,11 @@ void Runtime::shutdown() {
   // — leaving it running would std::terminate in ~thread, turning a
   // clean blame error into an opaque abort.
   try {
-    if (nprocs_ > 1) {
+    // A rank unwinding from a racecheck throw skips the rendezvous:
+    // its peers are still mid-epoch (or unwinding too) and will never
+    // answer; exiting promptly hands teardown to the runner's
+    // peer-death propagation, the same path an injected fault takes.
+    if (nprocs_ > 1 && !race_unwinding_) {
       ep_.set_wait_site(rank_ == 0 ? "shutdown rendezvous (root fan-in)"
                                    : "shutdown rendezvous (depart wait)");
       if (rank_ == 0) {
@@ -332,13 +319,16 @@ void Runtime::flush_stats_to_ctx() noexcept {
   // every counter is final; += lets a rank that constructs several
   // Runtimes back to back report their sum.
   if (report_ctx_ == nullptr) return;
-  report_ctx_->dsm_diff_requests += stats_.diff_requests;
-  report_ctx_->dsm_diff_replies += stats_.diff_replies;
-  report_ctx_->dsm_diff_push += stats_.diff_push;
-  report_ctx_->dsm_push_hits += stats_.push_hits;
+  using runner::ctr::Id;
+  auto& c = report_ctx_->ctrs;
+  c[Id::kDiffRequests] += stats_.diff_requests;
+  c[Id::kDiffReplies] += stats_.diff_replies;
+  c[Id::kDiffPush] += stats_.diff_push;
+  c[Id::kPushHits] += stats_.push_hits;
   // Stashed pushes the run never consumed were sent for nothing.
-  report_ctx_->dsm_push_waste += stats_.push_waste + push_stash_.size();
-  report_ctx_->dsm_page_faults += stats_.read_faults + stats_.write_faults;
+  c[Id::kPushWaste] += stats_.push_waste + push_stash_.size();
+  c[Id::kPageFaults] += stats_.read_faults + stats_.write_faults;
+  c[Id::kRaceReports] += race_reports_.size();
   report_ctx_ = nullptr;
 }
 
@@ -431,6 +421,29 @@ void Runtime::close_interval() {
   meta->pages = dirty_pages_;
   std::sort(meta->pages.begin(), meta->pages.end());
 
+  if (racecheck_ != RaceCheckMode::kOff) {
+    // Per-page write masks for the write notice. The persistent twin
+    // covers every unflushed interval, so twin-vs-page yields the
+    // CUMULATIVE word mask; subtracting the race_cum_mask watermark
+    // isolates the closing interval's own words. A word rewritten in
+    // two unflushed intervals attributes wholly to the older one —
+    // never a false positive (the older interval is concurrent with at
+    // least everything the newer one is), at worst a missed rematch.
+    meta->write_masks.reserve(meta->pages.size());
+    for (PageIndex page : meta->pages) {
+      PageMeta& pm = pages_[page];
+      PageExt& px = ext(page);
+      // A dirty page can sit PROT_NONE (invalidated by a concurrent
+      // writer's notice); its content is intact — unprotect to scan.
+      const bool unreadable = pm.state == PageState::kInvalid;
+      if (unreadable) mprotect_page(page, PROT_READ);
+      const RaceMask cum = changed_word_mask(px.twin.get(), page_ptr(page));
+      if (unreadable) mprotect_page(page, PROT_NONE);
+      meta->write_masks.push_back(cum.minus(px.race_cum_mask));
+      px.race_cum_mask = cum;
+    }
+  }
+
   // Lazy diffing: no diffs are made here. Each dirty page records the
   // closing interval and is write-protected again; the twin persists so
   // the eventual flush (at the first diff request) covers every interval
@@ -501,13 +514,20 @@ std::uint64_t Runtime::flush_page_diff(PageIndex page) {
   } else {
     recycle_twin(std::move(px.twin));
   }
+  // The twin was re-baselined (recopied or retired) — the race
+  // detector's cumulative write-mask watermark restarts from this
+  // image. Open-interval writes made before the flush are baked into
+  // the new baseline and drop out of future masks: a documented
+  // under-approximation, never a false positive.
+  px.race_cum_mask = RaceMask{};
   if (unreadable) mprotect_page(page, PROT_NONE);
   return cost;
 }
 
 void Runtime::integrate_interval(ProcId creator, Seq seq,
                                  const VectorClock& vc,
-                                 std::vector<PageIndex> pages) {
+                                 std::vector<PageIndex> pages,
+                                 std::vector<RaceMask> write_masks) {
   // Caller holds mu_.
   if (creator == rank_) return;
   auto& known = intervals_[creator];
@@ -521,8 +541,16 @@ void Runtime::integrate_interval(ProcId creator, Seq seq,
   meta->vc = vc;
   meta->vc_weight = vc.weight();
   meta->pages = std::move(pages);
+  meta->write_masks = std::move(write_masks);
   const IntervalMeta* m = meta.get();
   known.push_back(std::move(meta));
+  // Race detection is THE choke point here: every write notice this
+  // rank ever learns of — barrier fan-in/depart, lock grant, fork,
+  // join — arrives through this integration, before local bookkeeping
+  // reacts to it. Local accesses recorded after this line are ordered
+  // behind the sync operation that delivered the notice and are never
+  // re-checked against it.
+  if (racecheck_ != RaceCheckMode::kOff) race_check_incoming(*m);
   if (vc_.get(creator) < seq) vc_.set(creator, seq);
 
   for (PageIndex page : m->pages) {
@@ -553,12 +581,20 @@ void Runtime::integrate_interval(ProcId creator, Seq seq,
 void Runtime::put_interval_record(ByteWriter& w,
                                   const IntervalMeta& m) const {
   // The one wire format every interval serializer emits and
-  // read_intervals parses: creator, seq, vc, page list.
+  // read_intervals parses: creator, seq, vc, page list — plus, when
+  // race detection is on, one write mask per page. TMK_RACECHECK must
+  // therefore be uniform across ranks; `off` leaves the format (and
+  // every modelled byte count) identical to a detection-free build.
   w.put<ProcId>(m.id.creator);
   w.put<Seq>(m.id.seq);
   w.put_vc(m.vc, nprocs_);
   w.put<std::uint32_t>(static_cast<std::uint32_t>(m.pages.size()));
   for (PageIndex pg : m.pages) w.put<PageIndex>(pg);
+  if (racecheck_ != RaceCheckMode::kOff) {
+    COMMON_CHECK(m.write_masks.size() == m.pages.size());
+    for (const RaceMask& mask : m.write_masks)
+      for (std::uint64_t word : mask.v) w.put<std::uint64_t>(word);
+  }
 }
 
 void Runtime::serialize_intervals_lacking(ByteWriter& w,
@@ -606,6 +642,13 @@ std::uint32_t Runtime::read_intervals(ByteReader& r, bool note_contrib) {
     pages.reserve(npages);
     for (std::uint32_t k = 0; k < npages; ++k)
       pages.push_back(r.get<PageIndex>());
+    std::vector<RaceMask> write_masks;
+    if (racecheck_ != RaceCheckMode::kOff) {
+      write_masks.resize(npages);
+      for (std::uint32_t k = 0; k < npages; ++k)
+        for (std::uint64_t& word : write_masks[k].v)
+          word = r.get<std::uint64_t>();
+    }
     if (note_contrib) {
       COMMON_CHECK_MSG(creator != rank_,
                        "barrier fan-in reported this rank's own interval");
@@ -615,9 +658,184 @@ std::uint32_t Runtime::read_intervals(ByteReader& r, bool note_contrib) {
       else
         c.second = std::max(c.second, seq);
     }
-    integrate_interval(creator, seq, vc, std::move(pages));
+    integrate_interval(creator, seq, vc, std::move(pages),
+                       std::move(write_masks));
   }
   return count;
+}
+
+// ---------------------------------------------------------------------
+// Online race detection (TMK_RACECHECK != off). The vector clocks the
+// protocol already maintains ARE a happens-before oracle; detection
+// just compares the access summaries the twin machinery yields for
+// free against each incoming write notice, at the one choke point all
+// notices pass through (integrate_interval). Everything below runs on
+// the main thread with mu_ held — detection never reads pages from the
+// service thread, which is what suppresses the deliberate lazy-diffing
+// race (tsan.supp: make_diff_into vs. open-interval writes) by
+// construction rather than by annotation.
+// ---------------------------------------------------------------------
+
+void Runtime::race_check_incoming(const IntervalMeta& m) {
+  // Caller holds mu_. `m` is a remote interval seen for the first time.
+  //
+  // Ordering argument, both directions:
+  //   - m happened-before a local access: impossible for accesses
+  //     already recorded — any sync edge ordering m before this point
+  //     would have carried m's metadata here earlier (grants, departs
+  //     and forks all forward everything the receiver lacks), so m
+  //     would not be new. Accesses recorded AFTER this call are ordered
+  //     behind the acquire that delivered m and are never re-checked.
+  //   - a local access happened-before m: for a closed interval with
+  //     seq q, that edge raised m.vc[rank_] to at least q — so every
+  //     own interval with seq > m.vc[rank_] is concurrent. The open
+  //     interval's writes-so-far and this epoch's reads have had no
+  //     outgoing sync edge since they happened (a release/arrive/join
+  //     would have closed the interval resp. bumped race_epoch_), so
+  //     they are concurrent with m unconditionally.
+  COMMON_CHECK(m.write_masks.size() == m.pages.size());
+  const auto me = static_cast<ProcId>(rank_);
+  const auto& own = intervals_[static_cast<std::size_t>(rank_)];
+  const Seq own_cur = vc_.get(me);
+  const Seq ordered_up_to = m.vc.get(me);
+  for (std::size_t pi = 0; pi < m.pages.size(); ++pi) {
+    const PageIndex page = m.pages[pi];
+    const RaceMask& rmask = m.write_masks[pi];
+    if (!rmask.any()) continue;
+    const PageExt* px = ext_if(page);
+    if (px == nullptr) continue;  // page never accessed locally
+
+    // -- write/write, closed local intervals --
+    for (Seq s = ordered_up_to + 1; s <= own_cur; ++s) {
+      const IntervalMeta& l = *own[s - 1];
+      const auto it = std::lower_bound(l.pages.begin(), l.pages.end(), page);
+      if (it == l.pages.end() || *it != page) continue;
+      const RaceMask& lmask =
+          l.write_masks[static_cast<std::size_t>(it - l.pages.begin())];
+      const RaceMask overlap = lmask & rmask;
+      if (!overlap.any()) continue;
+      RaceReport rep;
+      rep.page = page;
+      rep.overlap_mask = overlap;
+      rep.local_write = true;
+      rep.remote = m.id.creator;
+      rep.remote_seq = m.id.seq;
+      rep.local_seq = s;
+      rep.remote_vc = m.vc;
+      rep.local_vc = l.vc;
+      race_emit(std::move(rep));
+    }
+
+    // -- write/write, the open local interval --
+    if (pages_[page].dirty && px->twin != nullptr) {
+      const bool unreadable = pages_[page].state == PageState::kInvalid;
+      if (unreadable) mprotect_page(page, PROT_READ);
+      const RaceMask open =
+          changed_word_mask(px->twin.get(), page_ptr(page))
+              .minus(px->race_cum_mask);
+      if (unreadable) mprotect_page(page, PROT_NONE);
+      const RaceMask overlap = open & rmask;
+      if (overlap.any()) {
+        RaceReport rep;
+        rep.page = page;
+        rep.overlap_mask = overlap;
+        rep.local_write = true;
+        rep.remote = m.id.creator;
+        rep.remote_seq = m.id.seq;
+        rep.local_seq = own_cur + 1;  // the open interval's would-be seq
+        rep.remote_vc = m.vc;
+        rep.local_vc = vc_;
+        race_emit(std::move(rep));
+      }
+    }
+
+    // -- remote write / local read, current sync epoch only --
+    // (race_reads stays empty outside precise mode; see
+    // race_record_read for why summary is write/write-only.)
+    for (const PageExt::ReadRec& rr : px->race_reads) {
+      if (rr.epoch != race_epoch_) continue;
+      const RaceMask overlap = rr.mask & rmask;
+      if (!overlap.any()) continue;
+      RaceReport rep;
+      rep.page = page;
+      rep.overlap_mask = overlap;
+      rep.local_write = false;
+      rep.remote = m.id.creator;
+      rep.remote_seq = m.id.seq;
+      rep.local_seq = rr.seq;
+      rep.remote_vc = m.vc;
+      rep.local_vc = vc_;
+      race_emit(std::move(rep));
+    }
+  }
+}
+
+void Runtime::race_record_read(PageIndex page, std::size_t offset_in_page) {
+  // Caller holds mu_. Only kInvalid read faults arrive here — the first
+  // read of an invalidated page; subsequent reads of the now-valid page
+  // do not trap, so the faulting access is the witness (a documented
+  // under-approximation), recorded at the faulting 4-byte diff word.
+  // Precise mode only: a page-granular read witness would intersect any
+  // concurrent same-page write notice, flagging exactly the read/write
+  // false sharing the multiple-writer protocol exists to permit (fft's
+  // transpose produces hundreds of such pairs) — so summary mode keeps
+  // no read state at all and read/write detection is precise-only.
+  if (racecheck_ != RaceCheckMode::kPrecise) return;
+  PageExt& px = ext(page);
+  // Records from finished epochs are ordered before any interval that
+  // can still arrive (see race_epoch_); drop them on the way in.
+  std::erase_if(px.race_reads, [this](const PageExt::ReadRec& rr) {
+    return rr.epoch != race_epoch_;
+  });
+  const RaceMask mask = RaceMask::word_at(offset_in_page);
+  const Seq open_seq = vc_.get(static_cast<ProcId>(rank_)) + 1;
+  for (PageExt::ReadRec& rr : px.race_reads) {
+    if (rr.seq == open_seq) {
+      rr.mask |= mask;
+      return;
+    }
+  }
+  px.race_reads.push_back({open_seq, race_epoch_, mask});
+}
+
+void Runtime::race_emit(RaceReport r) {
+  // Caller holds mu_. One machine-greppable line per detected pair, in
+  // the TMK_CRASH_REPORT style; embedded values are all numeric or
+  // fixed enum strings, so the line is always valid JSON.
+  r.barrier_seq = barrier_seq_;
+  std::ostringstream os;
+  os << "{\"rank\":" << rank_ << ",\"kind\":\""
+     << (r.local_write ? "ww" : "rw") << "\",\"page\":" << r.page
+     << ",\"words\":\"0x" << r.overlap_mask.hex()
+     << "\",\"remote\":" << r.remote << ",\"remote_seq\":" << r.remote_seq
+     << ",\"local_seq\":" << r.local_seq << ",\"remote_vc\":[";
+  for (int p = 0; p < nprocs_; ++p)
+    os << (p == 0 ? "" : ",") << r.remote_vc.get(static_cast<ProcId>(p));
+  os << "],\"local_vc\":[";
+  for (int p = 0; p < nprocs_; ++p)
+    os << (p == 0 ? "" : ",") << r.local_vc.get(static_cast<ProcId>(p));
+  os << "],\"barrier_seq\":" << r.barrier_seq << ",\"mode\":\""
+     << to_string(racecheck_) << "\"}";
+  std::fprintf(stderr, "TMK_RACE_REPORT %s\n", os.str().c_str());
+  std::fflush(stderr);
+  if (racecheck_throw_) race_throw_pending_ = true;
+  race_reports_.push_back(std::move(r));
+}
+
+void Runtime::race_maybe_throw() {
+  if (!racecheck_throw_) return;
+  bool fire;
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    fire = race_throw_pending_;
+    race_throw_pending_ = false;
+  }
+  if (fire) {
+    race_unwinding_ = true;  // ~Runtime: skip the shutdown rendezvous
+    throw common::Error("rank " + std::to_string(rank_) +
+                        ": data race detected (TMK_RACECHECK_THROW=1; see "
+                        "TMK_RACE_REPORT lines on stderr)");
+  }
 }
 
 // ---------------------------------------------------------------------
@@ -864,6 +1082,11 @@ bool Runtime::handle_fault(void* addr, bool is_write_hint) {
         stats_.read_faults.fetch_add(1, std::memory_order_relaxed);
       const PageIndex pages[1] = {page};
       fetch_and_apply(pages);
+      if (!is_write && racecheck_ != RaceCheckMode::kOff) {
+        std::lock_guard<std::mutex> g(mu_);
+        race_record_read(page, static_cast<std::size_t>(a - base) %
+                                   common::kPageSize);
+      }
       if (is_write) {
         std::lock_guard<std::mutex> g(mu_);
         PageMeta& pm = pages_[page];
@@ -1114,6 +1337,16 @@ void Runtime::barrier() {
     collect_pushes(push_counts_[static_cast<std::size_t>(rank_)]);
   }
   ++barrier_seq_;
+  {
+    // End of a global rendezvous: every interval closed before it has
+    // now been integrated everywhere, so any interval that arrives
+    // from here on contains only post-barrier writes — this rank's
+    // pre-barrier reads are ordered before them without any vector
+    // clock ever saying so (read-only intervals never close).
+    std::lock_guard<std::mutex> g(mu_);
+    ++race_epoch_;
+  }
+  race_maybe_throw();
 }
 
 // ---------------------------------------------------------------------
@@ -1484,6 +1717,12 @@ void Runtime::fork_broadcast(std::uint32_t func_id,
   }
   ep_.flush_burst();
   ++fork_seq_;
+  {
+    // Outgoing edge to every worker: pre-fork reads are ordered before
+    // whatever the workers now do.
+    std::lock_guard<std::mutex> g(mu_);
+    ++race_epoch_;
+  }
 }
 
 Runtime::ForkWork Runtime::wait_fork() {
@@ -1505,8 +1744,10 @@ Runtime::ForkWork Runtime::wait_fork() {
     std::lock_guard<std::mutex> g(mu_);
     read_intervals(r);
     vc_.merge(master_vc);
+    ++race_epoch_;
   }
   ep_.recycle_buffer(std::move(f.payload));
+  race_maybe_throw();
   return work;
 }
 
@@ -1521,6 +1762,10 @@ void Runtime::join_worker() {
     w.put_vc(vc_, nprocs_);
     serialize_own_intervals_after(w, sent_to_master_seq_);
     sent_to_master_seq_ = vc_.get(static_cast<ProcId>(rank_));
+    // Outgoing sync edge: reads before this join are ordered before
+    // anything the master (and, through the next fork, anyone) does
+    // after collecting it — prune them rather than false-report.
+    ++race_epoch_;
   }
   ep_.send_app(0, mpl::FrameKind::kJoinDone, 0, 0, w.bytes());
 }
@@ -1550,6 +1795,11 @@ void Runtime::join_master() {
     }
     ep_.recycle_buffer(std::move(f.payload));
   }
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    ++race_epoch_;
+  }
+  race_maybe_throw();
 }
 
 // ---------------------------------------------------------------------
@@ -1627,6 +1877,9 @@ void Runtime::push(int dst, const void* base, std::size_t len) {
       w.put<ProcId>(c);
       w.put<Seq>(s);
     }
+    // Outgoing sync edge to `dst`: prune pre-push read records rather
+    // than false-report them against writes ordered behind the push.
+    ++race_epoch_;
   }
   ep_.send_app(dst, mpl::FrameKind::kPushData, 0, 0, w.bytes());
 }

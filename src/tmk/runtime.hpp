@@ -49,37 +49,11 @@
 #include "common/flat_hash.hpp"
 #include "mpl/fabric.hpp"
 #include "runner/runner.hpp"
+#include "tmk/config.hpp"  // UpdateMode / RaceCheckMode / Config
 #include "tmk/diff.hpp"
 #include "tmk/types.hpp"
 
 namespace tmk {
-
-/// Hybrid invalidate/update protocol mode (TMK_UPDATE_MODE). `kOff` is
-/// the paper's pure invalidate protocol, byte-identical to the runtime
-/// before the protocol existed. The other modes push barrier-time diffs
-/// to predicted consumers: `kHint` trusts only explicit decomposition
-/// hints (hint_consumers), `kAdaptive` trusts only the learned history
-/// of which ranks fetched each page, `kHybrid` the union of both.
-enum class UpdateMode : std::uint8_t {
-  kOff = 0,
-  kHint = 1,
-  kAdaptive = 2,
-  kHybrid = 3,
-};
-
-[[nodiscard]] constexpr const char* to_string(UpdateMode m) noexcept {
-  switch (m) {
-    case UpdateMode::kOff: return "off";
-    case UpdateMode::kHint: return "hint";
-    case UpdateMode::kAdaptive: return "adaptive";
-    case UpdateMode::kHybrid: return "hybrid";
-  }
-  return "?";
-}
-
-/// Parses a TMK_UPDATE_MODE value; nullopt on anything unrecognized.
-[[nodiscard]] std::optional<UpdateMode> parse_update_mode(
-    std::string_view name) noexcept;
 
 /// Per-page protocol state.
 enum class PageState : std::uint8_t {
@@ -144,6 +118,29 @@ class Runtime {
     /// diff request before the learned consumer bit expires; resolved
     /// from TMK_PUSH_CREDITS (default 16) unless forced here.
     std::optional<int> push_credits;
+    /// Online race detection mode; resolved from the run's Config
+    /// snapshot (TMK_RACECHECK, off when unset) unless forced here.
+    /// Must be identical on every rank: the checking modes extend the
+    /// write-notice wire format with per-page write masks.
+    std::optional<RaceCheckMode> racecheck;
+  };
+
+  /// One detected race: an incoming write notice that is concurrent
+  /// (vector-clock unordered) with a local access to an overlapping
+  /// block range of the same page. `local_write` distinguishes
+  /// write/write from remote-write/local-read. Also emitted as one
+  /// machine-greppable `TMK_RACE_REPORT {json}` stderr line.
+  struct RaceReport {
+    PageIndex page = 0;
+    RaceMask overlap_mask;  // 4-byte diff words both sides touched
+    bool local_write = false;
+    ProcId remote = 0;  // the incoming interval's creator
+    Seq remote_seq = 0;
+    Seq local_seq = 0;  // local closed interval, or the open interval's
+                        // would-be seq for open/read records
+    VectorClock remote_vc;
+    VectorClock local_vc;
+    std::uint32_t barrier_seq = 0;  // workload phase at detection
   };
 
   /// Attaches the DSM to the rank's heap mapping and starts the
@@ -164,6 +161,14 @@ class Runtime {
   [[nodiscard]] const TmkStats& stats() const noexcept { return stats_; }
   [[nodiscard]] UpdateMode update_mode() const noexcept {
     return update_mode_;
+  }
+  [[nodiscard]] RaceCheckMode racecheck() const noexcept { return racecheck_; }
+
+  /// Every race detected so far, in detection order (tests; the stress
+  /// workload asserts the exact set against its seed-derived plan).
+  [[nodiscard]] std::vector<RaceReport> race_reports() const {
+    std::lock_guard<std::mutex> g(mu_);
+    return race_reports_;
   }
 
   /// Snapshot of the current vector clock (tests and diagnostics; the
@@ -319,6 +324,25 @@ class Runtime {
     // this page, and the highest own seq already offered to consumers.
     Seq own_last_seq = 0;
     Seq pushed_seq = 0;
+    // ---- race detection (racecheck != off only) ----
+    // The twin persists across interval closes (lazy diffing), so a
+    // twin-vs-page scan at close time yields the CUMULATIVE write mask
+    // of every unflushed interval. This watermark is that cumulative
+    // mask as of the previous close; the delta is the closing
+    // interval's own mask. Reset whenever the twin is re-baselined
+    // (created, flushed-and-recopied, or recycled).
+    RaceMask race_cum_mask;
+    // Read records of the current sync epoch (precise mode only —
+    // summary tracks writes exclusively): the open interval's would-be
+    // seq, the epoch it was taken in, and the faulting 4-byte words
+    // read. Records from earlier epochs are barrier-ordered before
+    // any interval that can still arrive, so they are pruned on record.
+    struct ReadRec {
+      Seq seq = 0;
+      std::uint32_t epoch = 0;
+      RaceMask mask;
+    };
+    std::vector<ReadRec> race_reads;
   };
 
   struct LockState {
@@ -334,7 +358,8 @@ class Runtime {
   // -- helpers, main thread --
   void close_interval();
   void integrate_interval(ProcId creator, Seq seq, const VectorClock& vc,
-                          std::vector<PageIndex> pages);
+                          std::vector<PageIndex> pages,
+                          std::vector<RaceMask> write_masks);
   void serialize_intervals_lacking(ByteWriter& w,
                                    const VectorClock& their_vc) const;
   void put_interval_record(ByteWriter& w, const IntervalMeta& m) const;
@@ -506,6 +531,47 @@ class Runtime {
   std::vector<FetchedDiff> fetch_staged_;
   std::vector<mpl::Frame> fetch_replies_;
   tmk::ByteWriter fetch_writer_;
+
+  // -- race detection (racecheck != off only) --
+  // All called with mu_ held on the main thread — detection only ever
+  // reads main-thread access records, which is what suppresses the
+  // deliberate lazy-diffing service-thread race by construction.
+  //
+  // Checks one incoming write notice against local access records:
+  // closed own intervals with seq > vc_in[rank_] are vector-clock
+  // concurrent (anything older was delivered to the creator by an
+  // earlier barrier/grant and is ordered); the open interval's
+  // writes-so-far and current-epoch reads are concurrent by
+  // construction (records appended after this integration are ordered
+  // behind the acquire that delivered it, and are never re-checked).
+  void race_check_incoming(const IntervalMeta& m);
+  // Appends a read record for the faulting page (kInvalid read fault;
+  // post-fault reads do not trap — a documented under-approximation).
+  void race_record_read(PageIndex page, std::size_t offset_in_page);
+  // Emits the TMK_RACE_REPORT stderr line and stores the report.
+  void race_emit(RaceReport r);
+  // Throws (outside mu_) if racecheck_throw is set and a report fired
+  // during the integration that just completed.
+  void race_maybe_throw();
+
+  RaceCheckMode racecheck_ = RaceCheckMode::kOff;
+  bool racecheck_throw_ = false;
+  // Sync-epoch counter for read-record pruning: bumped at every global
+  // rendezvous (barrier, fork receipt, join collection). An interval
+  // arriving in epoch E can only contain writes performed in E — every
+  // older write was closed and delivered by the rendezvous that ended
+  // its epoch — so read records from epochs < E are ordered before it
+  // even when no interval close ever told the remote vector clock so
+  // (a rank that reads but writes nothing closes no intervals).
+  std::uint32_t race_epoch_ = 0;
+  bool race_throw_pending_ = false;
+  // Set when race_maybe_throw fires: this rank is unwinding mid-run, so
+  // ~Runtime must SKIP the shutdown rendezvous — peers are still inside
+  // their epoch loops and would never answer; the rank exits loudly and
+  // the runner's peer-death propagation unwinds the survivors with
+  // blame, exactly like an injected soft fault.
+  bool race_unwinding_ = false;
+  std::vector<RaceReport> race_reports_;
 
   // -- hybrid update protocol state (mode != off only) --
   UpdateMode update_mode_ = UpdateMode::kOff;

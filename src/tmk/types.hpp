@@ -15,10 +15,12 @@
 #include <cstdint>
 #include <cstring>
 #include <span>
+#include <string>
 #include <type_traits>
 #include <vector>
 
 #include "common/check.hpp"
+#include "common/page.hpp"
 #include "mpl/frame.hpp"
 
 namespace tmk {
@@ -95,6 +97,87 @@ struct IntervalKey {
   [[nodiscard]] bool operator==(const IntervalKey&) const = default;
 };
 
+/// Race-detection access mask: one bit per 4-byte word of a page
+/// (4 KiB = 1024 words = sixteen mask words) — the DSM's own diff word
+/// (diff.hpp kDiffWord), i.e. the protocol's definition of false
+/// sharing. Granularity matters: the legal concurrent writes the
+/// multiple-writer protocol exists to support land on distinct diff
+/// words of shared pages — often inside the SAME 8-byte word
+/// (neighboring ranks writing adjacent floats across a row boundary in
+/// Shallow, whose 97-float rows are not 8-byte multiples) — so any
+/// coarser mask reports that false sharing as a race. Elements are
+/// >= 4 bytes naturally aligned throughout; sub-diff-word false
+/// sharing cannot occur.
+struct RaceMask {
+  static constexpr std::size_t kWordBytes = 4;  // == tmk::kDiffWord
+  static constexpr std::size_t kWords = common::kPageSize / kWordBytes;
+  std::array<std::uint64_t, kWords / 64> v{};
+
+  /// Mask of the single page word covering byte `offset_in_page`.
+  [[nodiscard]] static RaceMask word_at(std::size_t offset_in_page) noexcept {
+    const std::size_t word = offset_in_page / kWordBytes;
+    RaceMask m;
+    m.v[word / 64] = std::uint64_t{1} << (word % 64);
+    return m;
+  }
+  /// Mask of every word overlapping [offset, offset + len) — an
+  /// element-sized access footprint (e.g. one u64 store = two words).
+  [[nodiscard]] static RaceMask range(std::size_t offset,
+                                      std::size_t len) noexcept {
+    RaceMask m;
+    const std::size_t first = offset / kWordBytes;
+    const std::size_t last = (offset + len - 1) / kWordBytes;
+    for (std::size_t word = first; word <= last && word < kWords; ++word)
+      m.v[word / 64] |= std::uint64_t{1} << (word % 64);
+    return m;
+  }
+  /// Full-page mask (summary-mode read witness).
+  [[nodiscard]] static RaceMask all() noexcept {
+    RaceMask m;
+    m.v.fill(~std::uint64_t{0});
+    return m;
+  }
+  [[nodiscard]] bool any() const noexcept {
+    for (const std::uint64_t w : v)
+      if (w != 0) return true;
+    return false;
+  }
+  RaceMask& operator|=(const RaceMask& o) noexcept {
+    for (std::size_t i = 0; i < v.size(); ++i) v[i] |= o.v[i];
+    return *this;
+  }
+  [[nodiscard]] friend RaceMask operator&(const RaceMask& a,
+                                          const RaceMask& b) noexcept {
+    RaceMask m;
+    for (std::size_t i = 0; i < m.v.size(); ++i) m.v[i] = a.v[i] & b.v[i];
+    return m;
+  }
+  /// this & ~o — the watermark subtraction of the cumulative-twin scan.
+  [[nodiscard]] RaceMask minus(const RaceMask& o) const noexcept {
+    RaceMask m;
+    for (std::size_t i = 0; i < m.v.size(); ++i) m.v[i] = v[i] & ~o.v[i];
+    return m;
+  }
+  [[nodiscard]] auto operator<=>(const RaceMask&) const = default;
+
+  /// Compact hex rendering of the 1024-bit value, leading zeros trimmed
+  /// (highest mask word first) — the TMK_RACE_REPORT "words" field.
+  [[nodiscard]] std::string hex() const {
+    static constexpr char kDigits[] = "0123456789abcdef";
+    std::string out;
+    bool significant = false;
+    for (std::size_t i = v.size(); i-- > 0;) {
+      for (int shift = 60; shift >= 0; shift -= 4) {
+        const auto d = static_cast<std::size_t>((v[i] >> shift) & 0xF);
+        if (d != 0) significant = true;
+        if (significant) out.push_back(kDigits[d]);
+      }
+    }
+    if (out.empty()) out.push_back('0');
+    return out;
+  }
+};
+
 /// Metadata of one interval as shipped in write notices: who, when (its
 /// creator's vector time at close), and which pages it dirtied.
 /// `vc_weight` caches vc.weight(): the fetch path sorts fetched diffs by
@@ -105,6 +188,14 @@ struct IntervalMeta {
   VectorClock vc;
   std::uint64_t vc_weight = 0;
   std::vector<PageIndex> pages;
+  // Race detection only (TMK_RACECHECK != off): one word-granular
+  // RaceMask per entry of `pages`. Shipped with the write notice so
+  // the receiver's write/write checks never alias distinct words —
+  // page- or block-granular checks would flag the legal concurrent
+  // same-page disjoint writes the multiple-writer protocol exists to
+  // support. Empty when detection is off: the wire format and memory
+  // footprint are unchanged.
+  std::vector<RaceMask> write_masks;
 };
 
 // ---------------------------------------------------------------------

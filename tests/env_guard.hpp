@@ -48,4 +48,13 @@ class BurstEnv : public EnvGuard {
   explicit BurstEnv(bool on) : EnvGuard("TMK_FABRIC_BURST", on ? "1" : "0") {}
 };
 
+/// TMK_RACECHECK=<mode> ("off"/"summary"/"precise") for the guard's
+/// lifetime; the default constructor guarantees it is unset (pinning
+/// the detector's built-in off default under a racecheck CI leg).
+class RacecheckEnv : public EnvGuard {
+ public:
+  explicit RacecheckEnv(const char* mode) : EnvGuard("TMK_RACECHECK", mode) {}
+  RacecheckEnv() : EnvGuard("TMK_RACECHECK") {}
+};
+
 }  // namespace test

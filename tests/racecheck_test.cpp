@@ -1,0 +1,369 @@
+// Online race detection (TMK_RACECHECK) contracts.
+//
+// Four surfaces:
+//   - the seeded stress workload detects EXACTLY its planted race set
+//     (the per-rank exact-set assertion lives inside the variant; these
+//     tests additionally pin the aggregated race_reports counter, the
+//     checksum contract, and same-seed determinism);
+//   - zero false positives: every clean paper workload runs report-free
+//     under both checking modes, with checksums intact;
+//   - TMK_RACECHECK=off is indistinguishable from an unset environment
+//     in every modelled observable (checksum, virtual time, DSM
+//     counters, per-layer traffic) — the off==pre-PR bit-identity
+//     contract, since unset is the default path the rest of the suite
+//     pins;
+//   - the deliberate lazy-diffing race whitelisted in tsan.supp is
+//     suppressed by construction.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "apps/race_stress.hpp"
+#include "apps/registry.hpp"
+#include "common/check.hpp"
+#include "common/checksum.hpp"
+#include "env_guard.hpp"
+#include "runner/counters.hpp"
+#include "runner/runner.hpp"
+#include "tmk/config.hpp"
+#include "tmk/runtime.hpp"
+
+namespace {
+
+using runner::ctr::Id;
+
+runner::SpawnOptions fast_options() {
+  runner::SpawnOptions o;
+  o.model = simx::MachineModel::zero_cost();
+  o.shared_heap_bytes = 256ull << 20;
+  o.timeout_sec = 300;
+  return o;
+}
+
+const apps::Workload& stress() { return apps::find_workload("race_stress"); }
+
+// ---- stress workload: exact detection --------------------------------
+
+TEST(RaceStress, RegisteredInTheSyntheticSection) {
+  // Findable by key, runnable through the generic entry point, but not
+  // part of the paper's six (all_workloads is pinned elsewhere).
+  EXPECT_EQ(stress().name, "Race Stress");
+  for (const apps::Workload& w : apps::all_workloads())
+    EXPECT_NE(w.key, "race_stress");
+  ASSERT_EQ(apps::synthetic_workloads().size(), 1u);
+}
+
+TEST(RaceStress, DetectsExactPlantedSetAndKeepsTheChecksum) {
+  // Pin precise: the expected-count contract below is the full ww+rw
+  // set, regardless of which mode a CI racecheck leg put in the env.
+  const test::RacecheckEnv guard("precise");
+  const apps::Workload& w = stress();
+  const auto& params = w.params(apps::Preset::kDefault);
+  const double expect = w.seq(params, nullptr);
+  const auto p = std::any_cast<apps::RaceStressParams>(params);
+  for (int np : {3, 4, 8}) {
+    // The variant asserts the per-rank exact set internally; a missed or
+    // spurious report fails the spawn. Here: the aggregated counter and
+    // the deterministic-content contract (planted ww writers store the
+    // same value, so the checksum is exact despite the races).
+    const auto r =
+        apps::run_workload(w, apps::System::kTmk, np, fast_options(), params);
+    EXPECT_EQ(r.ctr(Id::kRaceReports),
+              static_cast<std::uint64_t>(apps::race_stress_expected_reports(
+                  p, tmk::RaceCheckMode::kPrecise)))
+        << "nprocs=" << np;
+    EXPECT_DOUBLE_EQ(r.checksum, expect) << "nprocs=" << np;
+  }
+}
+
+TEST(RaceStress, SameSeedSameReportSetAcrossRuns) {
+  const apps::Workload& w = stress();
+  const auto& params = w.params(apps::Preset::kDefault);
+  const auto a =
+      apps::run_workload(w, apps::System::kTmk, 4, fast_options(), params);
+  const auto b =
+      apps::run_workload(w, apps::System::kTmk, 4, fast_options(), params);
+  // The in-variant assertion already pins the set to the seed-derived
+  // plan each run; identical aggregate observables close the loop.
+  // (Virtual times are deliberately not compared: DSM interrupt charges
+  // land at host-timing-dependent virtual moments — same restriction as
+  // the transport-equivalence suite.)
+  EXPECT_EQ(a.ctr(Id::kRaceReports), b.ctr(Id::kRaceReports));
+  EXPECT_DOUBLE_EQ(a.checksum, b.checksum);
+}
+
+TEST(RaceStress, FreshSeedsStillDetectExactly) {
+  // The plan is randomized per seed; every seed must still be caught
+  // exactly (the variant's internal assertion does the verification).
+  const test::RacecheckEnv guard("precise");
+  apps::RaceStressParams p;
+  for (std::uint64_t seed : {0xdeadbeefull, 42ull, 7ull}) {
+    p.seed = seed;
+    const double expect = apps::race_stress_seq(p, nullptr);
+    const auto r = apps::run_workload(stress(), apps::System::kTmk, 4,
+                                      fast_options(), std::any(p));
+    EXPECT_EQ(r.ctr(Id::kRaceReports),
+              static_cast<std::uint64_t>(apps::race_stress_expected_reports(
+                  p, tmk::RaceCheckMode::kPrecise)))
+        << "seed=" << seed;
+    EXPECT_DOUBLE_EQ(r.checksum, expect) << "seed=" << seed;
+  }
+}
+
+TEST(RaceStress, SummaryModeFindsThePlantedWriteWriteSubset) {
+  // Summary mode tracks writes only (page-granular read witnesses
+  // would flag the false sharing the multiple-writer protocol allows,
+  // so read/write detection is precise-only): the ww plants are still
+  // caught exactly — write masks are diff-word-granular in both modes
+  // — and the rw plants go unreported. The variant asserts the exact
+  // per-rank per-mode set internally; the counter pins the total.
+  const test::RacecheckEnv guard("summary");
+  const apps::Workload& w = stress();
+  const auto& params = w.params(apps::Preset::kDefault);
+  const auto p = std::any_cast<apps::RaceStressParams>(params);
+  const auto r =
+      apps::run_workload(w, apps::System::kTmk, 4, fast_options(), params);
+  EXPECT_EQ(r.ctr(Id::kRaceReports),
+            static_cast<std::uint64_t>(apps::race_stress_expected_reports(
+                p, tmk::RaceCheckMode::kSummary)));
+}
+
+TEST(RaceStress, ThrowKnobFailsTheRun) {
+  runner::SpawnOptions opts = fast_options();
+  tmk::Config cfg;
+  cfg.racecheck = tmk::RaceCheckMode::kPrecise;
+  cfg.racecheck_throw = true;
+  opts.tmk_config = cfg;
+  EXPECT_THROW((void)apps::run_workload(stress(), apps::System::kTmk, 4, opts,
+                                        apps::Preset::kDefault),
+               common::Error);
+}
+
+// ---- clean workloads: zero false positives ---------------------------
+
+class RacecheckClean : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(RacecheckClean, SixWorkloadsRunReportFreeWithChecksumsIntact) {
+  const test::RacecheckEnv guard(GetParam());
+  for (const apps::Workload& w : apps::all_workloads()) {
+    const std::any& params = w.params(w.test_preset);
+    const double expect = w.seq(params, nullptr);
+    for (apps::System s : {apps::System::kTmk, apps::System::kSpf}) {
+      const apps::Variant* v = w.find(s);
+      // Only (variant, nprocs) pairs the descriptor declares valid — an
+      // empty checksum_nprocs means preset constraints apply.
+      if (v == nullptr || v->checksum_nprocs.empty()) continue;
+      const auto& nps = v->checksum_nprocs;
+      const int np = std::find(nps.begin(), nps.end(), 4) != nps.end()
+                         ? 4
+                         : nps.front();
+      const auto r = apps::run_workload(w, s, np, fast_options(), params);
+      EXPECT_EQ(r.ctr(Id::kRaceReports), 0u)
+          << w.key << "/" << apps::to_string(s) << " nprocs=" << np
+          << " under TMK_RACECHECK=" << GetParam();
+      if (v->tolerance > 0) {
+        EXPECT_TRUE(common::checksum_close(r.checksum, expect, v->tolerance))
+            << w.key << "/" << apps::to_string(s) << ": " << r.checksum
+            << " vs " << expect;
+      } else {
+        EXPECT_DOUBLE_EQ(r.checksum, expect)
+            << w.key << "/" << apps::to_string(s);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, RacecheckClean,
+                         ::testing::Values("summary", "precise"),
+                         [](const auto& info) {
+                           return std::string(info.param);
+                         });
+
+// ---- off == unset bit-identity ---------------------------------------
+
+// Deterministic model for exact cross-run counter comparisons: SP/2
+// communication constants, measured host CPU scaled to zero. Same
+// recipe as the transport/update-mode equivalence suites.
+runner::SpawnOptions det_options(runner::Backend backend) {
+  runner::SpawnOptions o;
+  o.model = simx::MachineModel::sp2();
+  o.model.cpu_scale = 0.0;
+  o.shared_heap_bytes = 64ull << 20;
+  o.timeout_sec = 120;
+  o.backend = backend;
+  if (backend == runner::Backend::kThread)
+    o.transport = mpl::TransportKind::kInproc;
+  return o;
+}
+
+// Barrier-phased ring producer/consumer with a fresh slice per round:
+// each round's pull fetches exactly one closed unflushed interval, so
+// message and byte counts are bit-stable run to run (lazy-diff flush
+// coverage has nothing left to vary on). Lock-free on purpose — lock
+// grant order is host-timing dependent.
+double ring_schedule(runner::ChildContext& c) {
+  tmk::Runtime rt(c);
+  const int me = rt.rank();
+  const int n = rt.nprocs();
+  auto* data = rt.alloc<std::int64_t>(512 * n);  // one page per rank
+  rt.barrier();
+  double sum = 0;
+  for (int round = 0; round < 6; ++round) {
+    for (int i = 0; i < 32; ++i)
+      data[512 * me + 32 * round + i] = 1000 * me + 10 * round + i;
+    rt.barrier();
+    const int left = (me + n - 1) % n;
+    for (int i = 0; i < 32; ++i)
+      sum += static_cast<double>(data[512 * left + 32 * round + i]);
+    rt.barrier();
+  }
+  return sum;
+}
+
+class RacecheckOff : public ::testing::TestWithParam<runner::Backend> {};
+
+TEST_P(RacecheckOff, BitIdenticalToUnsetEnvironment) {
+  // TMK_RACECHECK=off must leave no trace: same wire format (message
+  // AND byte counts at every layer — the checking modes append write
+  // masks to each notice), same DSM counters, same per-rank checksums
+  // as a runtime that never heard of the knob. Unset is the default
+  // path the rest of the suite pins, so off==unset is the
+  // machine-checkable half of the off==pre-PR contract.
+  runner::RunResult unset, off;
+  {
+    const test::RacecheckEnv guard;  // unset
+    unset = runner::spawn(8, det_options(GetParam()), ring_schedule);
+  }
+  {
+    const test::RacecheckEnv guard("off");
+    off = runner::spawn(8, det_options(GetParam()), ring_schedule);
+  }
+  for (std::size_t l = 0; l < unset.total.messages.size(); ++l) {
+    EXPECT_EQ(unset.total.messages[l], off.total.messages[l])
+        << "layer " << l;
+    EXPECT_EQ(unset.total.bytes[l], off.total.bytes[l]) << "layer " << l;
+  }
+  for (const runner::ctr::Desc& d : runner::ctr::kRegistry) {
+    if (d.layer != runner::ctr::Layer::kDsm) continue;  // host = wall clock
+    EXPECT_EQ(unset.total_ctrs[d.id], off.total_ctrs[d.id])
+        << "counter " << d.json_key;
+  }
+  ASSERT_EQ(unset.procs.size(), off.procs.size());
+  for (std::size_t i = 0; i < unset.procs.size(); ++i)
+    EXPECT_DOUBLE_EQ(unset.procs[i].checksum, off.procs[i].checksum)
+        << "rank " << i;
+  EXPECT_EQ(unset.ctr(Id::kRaceReports), 0u);
+  EXPECT_EQ(off.ctr(Id::kRaceReports), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, RacecheckOff,
+                         ::testing::Values(runner::Backend::kProcess,
+                                           runner::Backend::kThread),
+                         [](const auto& info) {
+                           return std::string(runner::to_string(info.param));
+                         });
+
+TEST(RacecheckOff, ChecksumsMatchUnsetAcrossAllSixWorkloads) {
+  // The six paper workloads, off vs unset, both backends. DSM traffic
+  // counts are host-timing dependent on real applications (lazy-diff
+  // flush coverage varies with service-thread timing), so the cross-run
+  // contract here is the data: bit-exact per-rank checksums for the
+  // barrier-phased workloads, the vs-sequential tolerance for the
+  // lock-order-dependent ones (fft/igrid/nbf reassociate reductions).
+  const std::vector<std::string> lock_users = {"fft", "igrid", "nbf"};
+  for (runner::Backend backend :
+       {runner::Backend::kProcess, runner::Backend::kThread}) {
+    for (const apps::Workload& w : apps::all_workloads()) {
+      const apps::Variant* v = w.find(apps::System::kTmk);
+      if (v == nullptr || v->checksum_nprocs.empty()) continue;
+      const int np = v->checksum_nprocs.front();
+      const std::any& params = w.params(w.test_preset);
+      runner::SpawnOptions opts = fast_options();
+      opts.backend = backend;
+      if (backend == runner::Backend::kThread)
+        opts.transport = mpl::TransportKind::kInproc;
+      runner::RunResult unset, off;
+      {
+        const test::RacecheckEnv guard;  // unset
+        unset = apps::run_workload(w, apps::System::kTmk, np, opts, params);
+      }
+      {
+        const test::RacecheckEnv guard("off");
+        off = apps::run_workload(w, apps::System::kTmk, np, opts, params);
+      }
+      EXPECT_EQ(unset.ctr(Id::kRaceReports), 0u) << w.key;
+      EXPECT_EQ(off.ctr(Id::kRaceReports), 0u) << w.key;
+      if (std::find(lock_users.begin(), lock_users.end(), w.key) !=
+          lock_users.end()) {
+        const double expect = w.seq(params, nullptr);
+        for (const auto* r : {&unset, &off}) {
+          if (v->tolerance > 0)
+            EXPECT_TRUE(
+                common::checksum_close(r->checksum, expect, v->tolerance))
+                << w.key << ": " << r->checksum << " vs " << expect;
+          else
+            EXPECT_DOUBLE_EQ(r->checksum, expect) << w.key;
+        }
+        continue;
+      }
+      ASSERT_EQ(unset.procs.size(), off.procs.size()) << w.key;
+      for (std::size_t i = 0; i < unset.procs.size(); ++i)
+        EXPECT_DOUBLE_EQ(unset.procs[i].checksum, off.procs[i].checksum)
+            << w.key << " backend " << runner::to_string(backend) << " rank "
+            << i;
+    }
+  }
+}
+
+// ---- the tsan.supp benign race is suppressed by construction ---------
+
+TEST(RacecheckBenign, LazyDiffingPullDuringOpenWritesIsNotAReport) {
+  // tsan.supp whitelists ONE deliberate host-level race: lazy diffing
+  // lets the service thread read a page (twin-vs-current scan while
+  // serving a remote pull) that the application thread is still
+  // writing. The detector suppresses that same pattern by construction
+  // rather than by filter: it never consumes anything the service
+  // thread computes from page contents — write masks come from the main
+  // thread's own close-time twin scan, read records from the main
+  // thread's faults, and every check runs on the main thread under mu_
+  // at integration points. This test drives the exact whitelisted
+  // interleaving — rank 1 pulls rank 0's lazy diff while rank 0's open
+  // interval is mid-write on the same page — and requires silence.
+  runner::SpawnOptions opts = fast_options();
+  const auto r = runner::spawn(2, opts, [](runner::ChildContext& ctx) {
+    tmk::Runtime::Options o;
+    o.racecheck = tmk::RaceCheckMode::kPrecise;
+    tmk::Runtime rt(ctx, o);
+    auto* page = rt.alloc<std::uint64_t>(512);  // one shared page
+    rt.barrier();
+    // Epoch 0: rank 0 writes cells 0..7. The diff is NOT created here —
+    // lazy diffing defers it until someone asks.
+    if (rt.rank() == 0)
+      for (int i = 0; i < 8; ++i) page[i] = 1000 + i;
+    rt.barrier();
+    double sum = 0;
+    // Epoch 1: rank 0 writes cell 64 (a new open interval on the same
+    // page) while rank 1's read fault pulls the epoch-0 diff — the
+    // service thread on rank 0 scans the page rank 0 is concurrently
+    // writing, i.e. the tsan.supp race. Disjoint cells, so this is
+    // NOT an application-level race and must produce no report.
+    if (rt.rank() == 0) page[64] = 7;
+    if (rt.rank() == 1)
+      for (int i = 0; i < 8; ++i) sum += static_cast<double>(page[i]);
+    rt.barrier();
+    COMMON_CHECK_MSG(rt.race_reports().empty(),
+                     "benign lazy-diffing pattern was reported on rank "
+                         << rt.rank());
+    // The cells rank 1 read are epoch-0 stable regardless of how the
+    // pull raced the open write.
+    if (rt.rank() == 1) COMMON_CHECK(sum == 1000 + 1001 + 1002 + 1003 +
+                                                1004 + 1005 + 1006 + 1007);
+    rt.barrier();
+    return sum;
+  });
+  EXPECT_EQ(r.ctr(Id::kRaceReports), 0u);
+}
+
+}  // namespace

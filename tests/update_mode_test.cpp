@@ -112,8 +112,8 @@ TEST(UpdateMode, OffIsByteIdenticalToUnset) {
     EXPECT_DOUBLE_EQ(off.procs[static_cast<std::size_t>(p)].checksum,
                      dflt.procs[static_cast<std::size_t>(p)].checksum)
         << "proc " << p;
-  EXPECT_EQ(off.total_diff_push, 0u);
-  EXPECT_EQ(dflt.total_diff_push, 0u);
+  EXPECT_EQ(off.ctr(runner::ctr::Id::kDiffPush), 0u);
+  EXPECT_EQ(dflt.ctr(runner::ctr::Id::kDiffPush), 0u);
 }
 
 // ---- data + clock equivalence across all modes -----------------------
@@ -134,13 +134,13 @@ TEST(UpdateMode, ChecksumsAndFinalClocksIdenticalAcrossModes) {
 TEST(UpdateMode, AdaptivePredictorActuallyPushes) {
   const auto off = run_controlled(tmk::UpdateMode::kOff);
   const auto hybrid = run_controlled(tmk::UpdateMode::kHybrid);
-  EXPECT_EQ(off.total_diff_push, 0u);
-  EXPECT_EQ(off.total_push_hits, 0u);
+  EXPECT_EQ(off.ctr(runner::ctr::Id::kDiffPush), 0u);
+  EXPECT_EQ(off.ctr(runner::ctr::Id::kPushHits), 0u);
   // The stable pattern means pushes happen AND land: hits, not waste.
-  EXPECT_GT(hybrid.total_diff_push, 0u);
-  EXPECT_GT(hybrid.total_push_hits, 0u);
+  EXPECT_GT(hybrid.ctr(runner::ctr::Id::kDiffPush), 0u);
+  EXPECT_GT(hybrid.ctr(runner::ctr::Id::kPushHits), 0u);
   // A pushed page satisfies the would-be pull, so requests drop.
-  EXPECT_LT(hybrid.total_diff_requests, off.total_diff_requests);
+  EXPECT_LT(hybrid.ctr(runner::ctr::Id::kDiffRequests), off.ctr(runner::ctr::Id::kDiffRequests));
 }
 
 // ---- registry workloads: traffic strictly drops at scale -------------
@@ -183,7 +183,7 @@ TEST_P(UpdateModeDrop, HybridReducesTrafficWithChecksumsUnchanged) {
   EXPECT_LT(hybrid.messages(tmk_l), off.messages(tmk_l)) << dc.key;
   EXPECT_LT(hybrid.kbytes(tmk_l), off.kbytes(tmk_l)) << dc.key;
   // Pushed pages arrive before the fault would have happened.
-  EXPECT_LT(hybrid.total_page_faults, off.total_page_faults) << dc.key;
+  EXPECT_LT(hybrid.ctr(runner::ctr::Id::kPageFaults), off.ctr(runner::ctr::Id::kPageFaults)) << dc.key;
 }
 
 INSTANTIATE_TEST_SUITE_P(Registry, UpdateModeDrop,
