@@ -1,0 +1,177 @@
+#include "apps/epoch_soak.hpp"
+
+#include <sstream>
+#include <vector>
+
+#include "apps/registry.hpp"
+#include "common/check.hpp"
+#include "common/page.hpp"
+#include "common/prng.hpp"
+#include "tmk/runtime.hpp"
+
+namespace apps {
+
+namespace {
+
+constexpr int kCellsPerPage =
+    static_cast<int>(common::kPageSize / sizeof(std::uint64_t));
+
+// Deterministic store schedule, rank-count independent: the (cell,
+// value) pairs depend only on (epoch, page, k); nprocs decides merely
+// WHICH rank performs them (the rotating owner), so the sequential
+// baseline replays the identical stores without knowing nprocs.
+std::uint64_t soak_mix(const EpochSoakParams& p, int e, int q, int k) {
+  return common::mix64(p.seed + static_cast<std::uint64_t>(e) * 1000003ull +
+                       static_cast<std::uint64_t>(q) * 10007ull +
+                       static_cast<std::uint64_t>(k) * 101ull);
+}
+int soak_cell(const EpochSoakParams& p, int e, int q, int k) {
+  return static_cast<int>(soak_mix(p, e, q, k) %
+                          static_cast<std::uint64_t>(kCellsPerPage));
+}
+std::uint64_t soak_value(const EpochSoakParams& p, int e, int q, int k) {
+  return (common::mix64(soak_mix(p, e, q, k)) & 0xFFFF) + 1;
+}
+
+std::string describe_params(const EpochSoakParams& p) {
+  std::ostringstream os;
+  os << p.epochs << "ep " << p.pages << "pg seed 0x" << std::hex << p.seed;
+  return os.str();
+}
+
+}  // namespace
+
+// ----------------------------------------------------------------------
+// Sequential baseline: replays the store schedule and sums every cell.
+// ----------------------------------------------------------------------
+
+double epoch_soak_seq(const EpochSoakParams& p, const SeqHooks* hooks) {
+  std::vector<std::uint64_t> mem(
+      static_cast<std::size_t>(p.pages) * kCellsPerPage, 0);
+  if (hooks) hooks->on_start();
+  for (int e = 0; e < p.epochs; ++e)
+    for (int q = 0; q < p.pages; ++q) {
+      std::uint64_t* pg = mem.data() +
+                          static_cast<std::size_t>(q) * kCellsPerPage;
+      for (int k = 0; k < p.writes_per_page; ++k)
+        pg[soak_cell(p, e, q, k)] = soak_value(p, e, q, k);
+    }
+  if (hooks) hooks->on_end();
+  double sum = 0;
+  for (const std::uint64_t v : mem) sum += static_cast<double>(v);
+  return sum;
+}
+
+// ----------------------------------------------------------------------
+// TreadMarks variant: the same schedule over shared pages, one barrier
+// per epoch, with in-child protocol-memory assertions.
+// ----------------------------------------------------------------------
+
+double epoch_soak_tmk(runner::ChildContext& ctx, const EpochSoakParams& p) {
+  tmk::Runtime rt(ctx);
+  const int n = rt.nprocs();
+  const int me = rt.rank();
+  auto* heap = rt.alloc<std::uint64_t>(
+      static_cast<std::size_t>(p.pages) * kCellsPerPage);
+  rt.barrier();
+
+  const bool gc_on = ctx.config.epoch_gc;
+  const int interval = ctx.config.epoch_gc_interval;
+  // Phase-aligned footprint samples: taken right after the barrier that
+  // completed a GC round (barriers so far = alloc barrier + epochs run),
+  // skipping the warm-up rounds — the collector reclaims one round
+  // behind its snapshots, so steady state starts at the third round.
+  std::vector<std::uint64_t> rss_samples;
+
+  rt.endpoint().mark_measurement_start();
+  volatile std::uint64_t sink = 0;
+  for (int e = 0; e < p.epochs; ++e) {
+    for (int q = 0; q < p.pages; ++q) {
+      std::uint64_t* pg = heap + static_cast<std::size_t>(q) * kCellsPerPage;
+      if (me == (e + q) % n)
+        for (int k = 0; k < p.writes_per_page; ++k)
+          pg[soak_cell(p, e, q, k)] = soak_value(p, e, q, k);
+      // Rare rotating reader: most epochs leave every page's fresh write
+      // notice pending on every non-owner — the growth class the
+      // collector's validation pass exists to drain.
+      if (p.read_every > 0 && e % p.read_every == 0 &&
+          me == (e + q + 1) % n)
+        sink = sink + pg[0];
+    }
+    rt.barrier();
+    const int barriers = e + 2;  // alloc barrier + epochs so far
+    if (p.assert_flat_rss && gc_on && interval > 0 &&
+        barriers % interval == 0 && barriers >= 3 * interval)
+      rss_samples.push_back(rt.mem_stats().protocol_rss_bytes);
+  }
+  rt.endpoint().mark_measurement_end();
+
+  // Reclamation accounting must balance on every rank, every run,
+  // whatever the GC setting (with the collector off, reclaimed is 0 and
+  // created == live).
+  const tmk::Runtime::MemStats ms = rt.mem_stats();
+  COMMON_CHECK_MSG(
+      ms.records_created == ms.records_reclaimed + ms.records_live,
+      "epoch_soak rank " << me << ": interval accounting broken: created "
+                         << ms.records_created << " != reclaimed "
+                         << ms.records_reclaimed << " + live "
+                         << ms.records_live);
+  if (!gc_on)
+    COMMON_CHECK_MSG(ms.records_reclaimed == 0,
+                     "epoch_soak rank " << me
+                                        << ": reclaimed records with the "
+                                           "collector off");
+
+  if (rss_samples.size() >= 2) {
+    // Steady state must be flat: the last phase-aligned sample stays
+    // within noise of the first (small slack absorbs container
+    // capacity doubling and pool jitter).
+    const std::uint64_t first = rss_samples.front();
+    const std::uint64_t last = rss_samples.back();
+    COMMON_CHECK_MSG(last <= first + first / 4 + (128u << 10),
+                     "epoch_soak rank "
+                         << me << ": protocol footprint grew under GC: "
+                         << first << " -> " << last << " bytes across "
+                         << rss_samples.size() << " GC rounds");
+  }
+
+  double sum = 0;
+  if (me == 0)
+    for (std::size_t i = 0;
+         i < static_cast<std::size_t>(p.pages) * kCellsPerPage; ++i)
+      sum += static_cast<double>(heap[i]);
+  rt.barrier();
+  return sum;
+}
+
+// ----------------------------------------------------------------------
+
+Workload make_epoch_soak_workload() {
+  using detail::make_variant;
+  Workload w;
+  w.name = "Epoch Soak";
+  w.key = "epoch_soak";
+  w.cls = WorkloadClass::kIrregular;
+  w.seq = detail::make_seq<EpochSoakParams>(&epoch_soak_seq);
+  w.describe = [](const std::any& a) {
+    return describe_params(std::any_cast<const EpochSoakParams&>(a));
+  };
+  w.variants = {
+      make_variant<EpochSoakParams>(System::kTmk, &epoch_soak_tmk, 0.0,
+                                    {2, 4, 8}),
+  };
+  EpochSoakParams dflt;
+  w.default_params = dflt;
+  EpochSoakParams reduced;
+  reduced.epochs = 96;
+  reduced.pages = 8;
+  w.reduced_params = reduced;
+  EpochSoakParams full;
+  full.epochs = 2560;
+  full.assert_flat_rss = true;
+  w.full_params = full;
+  w.test_preset = Preset::kReduced;
+  return w;
+}
+
+}  // namespace apps

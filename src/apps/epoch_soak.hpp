@@ -1,0 +1,56 @@
+// Barrier-epoch soak workload for the epoch GC (TMK_EPOCH_GC). Not one
+// of the paper's six applications: it lives in the synthetic section of
+// the registry (apps::synthetic_workloads), so figures and traffic
+// tables keep the paper's exact application set while tests and CI
+// drive it by key ("epoch_soak").
+//
+// The schedule is the unbounded-growth worst case the collector exists
+// for: every epoch, each page is rewritten by a rotating owner and then
+// a barrier closes the interval — so every rank integrates one write
+// notice per page per epoch, and most pages are deliberately read far
+// less often than they are written. Without reclamation that grows
+// interval logs, pending-notice lists, and diff maps linearly in the
+// epoch count; with TMK_EPOCH_GC=on the protocol footprint must stay
+// flat once the first GC rounds have passed, which the tmk variant
+// asserts in-child (phase-aligned rt.mem_stats() samples) when
+// `assert_flat_rss` is set. The variant also asserts the reclamation
+// accounting invariant (records created == reclaimed + live) on every
+// rank, every run, whatever the GC setting.
+#pragma once
+
+#include <cstdint>
+
+#include "apps/app_common.hpp"
+
+namespace apps {
+
+struct EpochSoakParams {
+  std::uint64_t seed = 0x9e0c5a1fb7d3e64dull;
+  /// Barrier epochs. Flat-RSS assertions need enough epochs for several
+  /// GC rounds (>= ~6x TMK_EPOCH_GC_INTERVAL); shorter runs simply skip
+  /// them and keep the accounting checks.
+  int epochs = 192;
+  /// Shared pages in the rotating write window.
+  int pages = 16;
+  /// Cells stored per page per epoch (by that epoch's owner rank).
+  int writes_per_page = 4;
+  /// A rotating non-owner rank reads one cell of each page every this
+  /// many epochs — rare enough that most write notices sit pending
+  /// until GC validation (or forever, with the collector off).
+  int read_every = 16;
+  /// In-child bounded-RSS assertion: sample the protocol footprint at
+  /// GC-phase-aligned points and require the last sample to stay within
+  /// tolerance of the first. Only meaningful with TMK_EPOCH_GC=on (the
+  /// variant skips the check when the run's config has the collector
+  /// off, where growth is the expected outcome).
+  bool assert_flat_rss = false;
+};
+
+double epoch_soak_seq(const EpochSoakParams& p, const SeqHooks* hooks);
+double epoch_soak_tmk(runner::ChildContext& ctx, const EpochSoakParams& p);
+
+/// Registry descriptor (synthetic section); see registry.hpp.
+struct Workload;
+Workload make_epoch_soak_workload();
+
+}  // namespace apps

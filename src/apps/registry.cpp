@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "apps/epoch_soak.hpp"
 #include "apps/fft3d.hpp"
 #include "apps/igrid.hpp"
 #include "apps/jacobi.hpp"
@@ -71,6 +72,7 @@ std::span<const Workload> synthetic_workloads() {
   static const std::vector<Workload> registry = [] {
     std::vector<Workload> w;
     w.push_back(make_race_stress_workload());
+    w.push_back(make_epoch_soak_workload());
     return w;
   }();
   return registry;

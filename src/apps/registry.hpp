@@ -129,7 +129,8 @@ struct Workload {
 /// all_workloads() so figures, traffic tables, and the registry-driven
 /// checksum suite preserve the paper's exact application set.
 /// Currently: "race_stress", the seeded race-planting stress workload
-/// for the TMK_RACECHECK detector.
+/// for the TMK_RACECHECK detector, and "epoch_soak", the barrier-epoch
+/// protocol-memory soak for the TMK_EPOCH_GC collector.
 [[nodiscard]] std::span<const Workload> synthetic_workloads();
 
 /// Lookup by key ("jacobi", "shallow", "mgs", "fft", "igrid", "nbf",

@@ -34,6 +34,10 @@ inline constexpr std::string_view kKnown[] = {
     "TMK_PUSH_CREDITS",      // tmk: pushes granted per observed request
     "TMK_RACECHECK",         // tmk: off|summary|precise race detection
     "TMK_RACECHECK_THROW",   // tmk: throw on the first detected race
+    "TMK_RACECHECK_MAX_REPORTS",  // tmk: stored RaceReport cap (0 = none)
+    "TMK_EPOCH_GC",          // tmk: off|on epoch reclamation of state
+    "TMK_EPOCH_GC_INTERVAL",  // tmk: barrier epochs per GC round
+    "TMK_EPOCH_GC_BYTES",    // tmk: RSS bytes arming every-barrier GC
     "TMK_FAULT_INJECT",      // mpl: deterministic fault plan (chaos runs)
     "TMK_WAIT_DEADLINE_MS",  // mpl: per-wait budget before a loud abort
     "TMK_TSAN",              // cmake: ThreadSanitizer build

@@ -22,19 +22,20 @@ namespace {
 constexpr std::size_t kMaxPooledBuffers = 32;
 
 /// Pops a pooled buffer (capacity reuse) or default-constructs one.
-std::vector<std::byte> take_buffer(
-    std::vector<std::vector<std::byte>>& pool) {
-  if (pool.empty()) return {};
-  std::vector<std::byte> buf = std::move(pool.back());
-  pool.pop_back();
+/// Every take — pooled or fresh — counts toward the pool's demand
+/// high-water mark for Endpoint::trim_buffer_pools().
+std::vector<std::byte> take_buffer(BufferPool& pool) {
+  ++pool.takes;
+  if (pool.bufs.empty()) return {};
+  std::vector<std::byte> buf = std::move(pool.bufs.back());
+  pool.bufs.pop_back();
   buf.clear();
   return buf;
 }
 
-void give_buffer(std::vector<std::vector<std::byte>>& pool,
-                 std::vector<std::byte>&& buf) {
-  if (pool.size() < kMaxPooledBuffers && buf.capacity() > 0)
-    pool.push_back(std::move(buf));
+void give_buffer(BufferPool& pool, std::vector<std::byte>&& buf) {
+  if (pool.bufs.size() < kMaxPooledBuffers && buf.capacity() > 0)
+    pool.bufs.push_back(std::move(buf));
 }
 
 }  // namespace
@@ -318,7 +319,7 @@ void Endpoint::send_svc_stamped(int dst, FrameKind kind, std::int32_t tag,
 
 std::optional<Frame> Endpoint::Assembler::feed(
     const FrameHeader& h, std::span<const std::byte> chunk,
-    std::vector<std::vector<std::byte>>& pool) {
+    BufferPool& pool) {
   COMMON_CHECK_MSG(h.magic == kFrameMagic, "corrupt frame header");
   if (h.chunk_len == h.orig_len && h.offset == 0) {
     // Single-datagram message: complete without touching the map.
@@ -397,6 +398,17 @@ void Endpoint::recycle_buffer(std::vector<std::byte>&& buf) {
 
 void Endpoint::recycle_svc_buffer(std::vector<std::byte>&& buf) {
   give_buffer(svc_buffer_pool_, std::move(buf));
+}
+
+void Endpoint::trim_buffer_pools() {
+  // Main thread only (the app pool's owner). Keeps at most as many
+  // pooled buffers as were taken since the last trim — a burst that
+  // briefly pooled kMaxPooledBuffers oversized payloads stops pinning
+  // their capacity once the steady state no longer draws that many.
+  // The svc pool belongs to the service thread and is not touched.
+  if (app_buffer_pool_.bufs.size() > app_buffer_pool_.takes)
+    app_buffer_pool_.bufs.resize(app_buffer_pool_.takes);
+  app_buffer_pool_.takes = 0;
 }
 
 bool Endpoint::has_pending(FramePredicate pred) const {

@@ -62,6 +62,15 @@ class FramePredicate {
   bool (*call_)(const void*, const Frame&);
 };
 
+/// Recycled payload-buffer pool plus its demand signal: `takes` counts
+/// buffers drawn since the last Endpoint::trim_buffer_pools(), so the
+/// trim can shrink a post-spike surplus (one giant all-to-all phase,
+/// say) down to what the steady state actually re-uses.
+struct BufferPool {
+  std::vector<std::vector<std::byte>> bufs;
+  std::size_t takes = 0;
+};
+
 /// Parent-side bundle of the whole interconnect. Children call
 /// Endpoint's constructor with their rank (which adopts their slice);
 /// destroying the Fabric afterwards releases every resource that rank
@@ -208,6 +217,12 @@ class Endpoint {
   /// by svc handlers.
   void recycle_svc_buffer(std::vector<std::byte>&& buf);
 
+  /// High-water-mark trim of the app-side receive pool: drops pooled
+  /// buffers beyond the number actually taken since the previous trim
+  /// (the DSM calls this at barriers). Main thread only — the svc pool
+  /// is service-thread-owned and stays bounded by its fixed cap.
+  void trim_buffer_pools();
+
   // ---- failure handling -----------------------------------------------
   //
   // Every main-thread blocking point (wait_app's drain loop, a blocked
@@ -313,7 +328,7 @@ class Endpoint {
     // last one. Completed payloads draw capacity from `pool`.
     std::optional<Frame> feed(const FrameHeader& h,
                               std::span<const std::byte> chunk,
-                              std::vector<std::vector<std::byte>>& pool);
+                              BufferPool& pool);
   };
 
   void send_chunks(Lane lane, int dst, bool pump_while_blocked,
@@ -345,8 +360,8 @@ class Endpoint {
   // Recycled payload buffers. app side: main thread only. svc side:
   // service thread only (frames handed to handlers that run on the
   // service thread).
-  std::vector<std::vector<std::byte>> app_buffer_pool_;
-  std::vector<std::vector<std::byte>> svc_buffer_pool_;
+  BufferPool app_buffer_pool_;
+  BufferPool svc_buffer_pool_;
 
   Assembler app_assembler_;
   Assembler svc_assembler_;

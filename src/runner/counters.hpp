@@ -40,6 +40,9 @@ enum class Id : std::uint8_t {
   kPushWaste,
   kPageFaults,      // SIGSEGV faults taken
   kRaceReports,     // TMK_RACE_REPORT lines emitted (TMK_RACECHECK)
+  kRaceReportsDropped,  // reports past TMK_RACECHECK_MAX_REPORTS
+  kIntervalsReclaimed,  // interval records freed by epoch GC
+  kProtocolRssBytes,    // peak per-rank protocol-state footprint
   kCount,
 };
 
@@ -62,6 +65,9 @@ inline constexpr std::array<Desc, kCount> kRegistry = {{
     {Id::kPushWaste, "push_waste", Layer::kDsm, Agg::kSum},
     {Id::kPageFaults, "page_faults", Layer::kDsm, Agg::kSum},
     {Id::kRaceReports, "race_reports", Layer::kDsm, Agg::kSum},
+    {Id::kRaceReportsDropped, "race_reports_dropped", Layer::kDsm, Agg::kSum},
+    {Id::kIntervalsReclaimed, "intervals_reclaimed", Layer::kDsm, Agg::kSum},
+    {Id::kProtocolRssBytes, "protocol_rss_bytes", Layer::kDsm, Agg::kMax},
 }};
 
 consteval bool registry_matches_enum() {

@@ -108,6 +108,29 @@ struct Config {
   /// TMK_RACECHECK_THROW: when set, the first TMK_RACE_REPORT also
   /// throws common::Error once the integration that found it returns.
   bool racecheck_throw = false;
+  /// TMK_RACECHECK_MAX_REPORTS: cap on RaceReport records a rank keeps
+  /// in memory (each holds two full vector clocks). Reports past the
+  /// cap still print their TMK_RACE_REPORT line and count toward the
+  /// race_reports counter but are dropped from storage, bumping
+  /// race_reports_dropped instead. 0 means keep nothing.
+  int racecheck_max_reports = 4096;
+  /// TMK_EPOCH_GC: epoch-based reclamation of protocol state (interval
+  /// records, diff blobs, consumed notices/pendings, stashed pushes,
+  /// race metadata) below the global vector-clock horizon computed on
+  /// barrier fan-in. `off` is bit-identical to a runtime without the
+  /// collector in every counter and every modelled byte.
+  bool epoch_gc = true;
+  /// TMK_EPOCH_GC_INTERVAL: barrier epochs between GC rounds. Only GC
+  /// rounds carry the horizon piggyback on the barrier wire, so the
+  /// other (interval - 1) of every interval barriers stay byte-identical
+  /// to the GC-off protocol.
+  int epoch_gc_interval = 64;
+  /// TMK_EPOCH_GC_BYTES: when > 0, every barrier becomes GC-capable and
+  /// a rank requests collection as soon as its protocol footprint
+  /// exceeds this many bytes (best-effort pressure valve; adds the
+  /// horizon bytes to every barrier frame, so equivalence suites leave
+  /// it unset). 0 disables the pressure trigger.
+  long long epoch_gc_bytes = 0;
 
   /// Resolves the snapshot from the environment, warning once per
   /// process on unparsable values (and taking the default instead).
@@ -134,6 +157,28 @@ struct Config {
                                 "expected off|summary|precise");
     }
     c.racecheck_throw = env::flag_knob("TMK_RACECHECK_THROW", false);
+    if (const auto n = env::int_knob("TMK_RACECHECK_MAX_REPORTS");
+        n.has_value())
+      c.racecheck_max_reports = static_cast<int>(*n);
+    if (const char* v = env::raw("TMK_EPOCH_GC"); v != nullptr && *v != '\0') {
+      const std::string_view s(v);
+      if (s == "on" || s == "1" || s == "true")
+        c.epoch_gc = true;
+      else if (s == "off" || s == "0" || s == "false")
+        c.epoch_gc = false;
+      else
+        env::detail::warn_value("TMK_EPOCH_GC", v, "expected off|on");
+    }
+    if (const auto n = env::int_knob("TMK_EPOCH_GC_INTERVAL"); n.has_value()) {
+      if (*n > 0)
+        c.epoch_gc_interval = static_cast<int>(*n);
+      else
+        env::detail::warn_value("TMK_EPOCH_GC_INTERVAL",
+                                env::raw("TMK_EPOCH_GC_INTERVAL"),
+                                "expected a value > 0");
+    }
+    if (const auto n = env::int_knob("TMK_EPOCH_GC_BYTES"); n.has_value())
+      c.epoch_gc_bytes = *n;
     return c;
   }
 };

@@ -115,8 +115,8 @@ void Runtime::send_lock_grant(int lock_id, ProcId requester,
       const Seq lo = req_vc.get(static_cast<ProcId>(rank_));
       const Seq hi = vc_.get(static_cast<ProcId>(rank_));
       const auto& own = intervals_[static_cast<std::size_t>(rank_)];
-      for (Seq s = lo + 1; s <= hi && s <= own.size(); ++s) {
-        for (PageIndex page : own[s - 1]->pages) {
+      for (Seq s = std::max(lo, own.base) + 1; s <= hi && s <= own.hi(); ++s) {
+        for (PageIndex page : own.at(s)->pages) {
           PageExt& px = ext(page);
           px.adaptive_consumers.set(requester);
           px.push_budget = push_credits_;

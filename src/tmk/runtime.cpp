@@ -201,6 +201,16 @@ Runtime::Runtime(runner::ChildContext& ctx, Options options)
     push_counts_.assign(static_cast<std::size_t>(nprocs_), 0);
   racecheck_ = options_.racecheck.value_or(cfg.racecheck);
   racecheck_throw_ = cfg.racecheck_throw;
+  race_max_reports_ = cfg.racecheck_max_reports > 0
+                          ? static_cast<std::size_t>(cfg.racecheck_max_reports)
+                          : 0;
+  epoch_gc_ = cfg.epoch_gc;
+  gc_interval_ = cfg.epoch_gc_interval > 0
+                     ? static_cast<std::uint32_t>(cfg.epoch_gc_interval)
+                     : 64;
+  gc_bytes_ = cfg.epoch_gc_bytes > 0
+                  ? static_cast<std::uint64_t>(cfg.epoch_gc_bytes)
+                  : 0;
   report_ctx_ = &ctx;
 
   // Barrier fan-in shape: flat (the paper's centralized manager) unless
@@ -319,6 +329,12 @@ void Runtime::flush_stats_to_ctx() noexcept {
   // every counter is final; += lets a rank that constructs several
   // Runtimes back to back report their sum.
   if (report_ctx_ == nullptr) return;
+  // Final footprint sample (the run may never have hit a GC round); the
+  // service thread is joined, so try_lock only fails under a concurrent
+  // crash path — where losing one gauge sample is fine.
+  if (std::unique_lock<std::mutex> g(mu_, std::try_to_lock); g.owns_lock())
+    protocol_rss_peak_ =
+        std::max(protocol_rss_peak_, protocol_rss_bytes_locked());
   using runner::ctr::Id;
   auto& c = report_ctx_->ctrs;
   c[Id::kDiffRequests] += stats_.diff_requests;
@@ -328,7 +344,12 @@ void Runtime::flush_stats_to_ctx() noexcept {
   // Stashed pushes the run never consumed were sent for nothing.
   c[Id::kPushWaste] += stats_.push_waste + push_stash_.size();
   c[Id::kPageFaults] += stats_.read_faults + stats_.write_faults;
-  c[Id::kRaceReports] += race_reports_.size();
+  // Every emitted report counts, stored or dropped past the cap.
+  c[Id::kRaceReports] += race_emitted_;
+  c[Id::kRaceReportsDropped] += race_reports_dropped_;
+  c[Id::kIntervalsReclaimed] += records_reclaimed_;
+  const std::uint64_t peak = protocol_rss_peak_;
+  if (c[Id::kProtocolRssBytes] < peak) c[Id::kProtocolRssBytes] = peak;
   report_ctx_ = nullptr;
 }
 
@@ -389,6 +410,9 @@ void Runtime::mprotect_page(PageIndex page, int prot) const {
 // ---------------------------------------------------------------------
 
 std::unique_ptr<std::byte[]> Runtime::take_twin_buffer() {
+  // Demand signal for the barrier-time high-water-mark trim: pooled or
+  // fresh, every take is one page of this epoch's twin working set.
+  ++twin_takes_epoch_;
   if (twin_pool_.empty())
     return std::make_unique<std::byte[]>(common::kPageSize);
   auto twin = std::move(twin_pool_.back());
@@ -468,7 +492,8 @@ void Runtime::close_interval() {
   }
   for (PageIndex page : meta->pages)
     ext(page).notices.push_back(meta.get());
-  intervals_[static_cast<std::size_t>(rank_)].push_back(std::move(meta));
+  intervals_[static_cast<std::size_t>(rank_)].live.push_back(std::move(meta));
+  ++records_created_;
   dirty_pages_.clear();
   stats_.intervals_created.fetch_add(1, std::memory_order_relaxed);
 }
@@ -531,10 +556,10 @@ void Runtime::integrate_interval(ProcId creator, Seq seq,
   // Caller holds mu_.
   if (creator == rank_) return;
   auto& known = intervals_[creator];
-  if (seq <= known.size()) return;  // duplicate delivery
-  COMMON_CHECK_MSG(seq == known.size() + 1,
+  if (seq <= known.hi()) return;  // duplicate delivery
+  COMMON_CHECK_MSG(seq == known.hi() + 1,
                    "interval gap for proc " << creator << ": have "
-                                            << known.size() << ", got "
+                                            << known.hi() << ", got "
                                             << seq);
   auto meta = std::make_unique<IntervalMeta>();
   meta->id = IntervalKey{creator, seq};
@@ -543,7 +568,8 @@ void Runtime::integrate_interval(ProcId creator, Seq seq,
   meta->pages = std::move(pages);
   meta->write_masks = std::move(write_masks);
   const IntervalMeta* m = meta.get();
-  known.push_back(std::move(meta));
+  known.live.push_back(std::move(meta));
+  ++records_created_;
   // Race detection is THE choke point here: every write notice this
   // rank ever learns of — barrier fan-in/depart, lock grant, fork,
   // join — arrives through this integration, before local bookkeeping
@@ -602,17 +628,24 @@ void Runtime::serialize_intervals_lacking(ByteWriter& w,
   // Caller holds mu_. Emits, per creator in ascending seq order, every
   // interval the peer lacks according to their_vc, bounded by what we
   // know (vc_).
+  // A floor below a creator's reclaimed prefix can only mean the peer's
+  // recorded clock is stale (e.g. worker_vc_ across many barriers): the
+  // reclaim horizon proves every rank integrated those seqs long ago,
+  // so clamping to `base` skips only records the peer already holds.
   std::uint32_t count = 0;
   for (int p = 0; p < nprocs_; ++p) {
     const auto pid = static_cast<ProcId>(p);
-    count += vc_.get(pid) - std::min(their_vc.get(pid), vc_.get(pid));
+    const Seq lo =
+        std::max(their_vc.get(pid), intervals_[static_cast<std::size_t>(p)].base);
+    count += vc_.get(pid) - std::min(lo, vc_.get(pid));
   }
   w.put<std::uint32_t>(count);
   for (int p = 0; p < nprocs_; ++p) {
     const auto pid = static_cast<ProcId>(p);
     const auto& known = intervals_[static_cast<std::size_t>(p)];
-    for (Seq s = their_vc.get(pid) + 1; s <= vc_.get(pid); ++s)
-      put_interval_record(w, *known[s - 1]);
+    for (Seq s = std::max(their_vc.get(pid), known.base) + 1; s <= vc_.get(pid);
+         ++s)
+      put_interval_record(w, *known.at(s));
   }
 }
 
@@ -622,9 +655,15 @@ void Runtime::serialize_own_intervals_after(ByteWriter& w,
   const auto& own = intervals_[static_cast<std::size_t>(rank_)];
   const Seq cur = vc_.get(static_cast<ProcId>(rank_));
   COMMON_CHECK(after_seq <= cur);
+  // Own watermarks advance at every barrier, so they can never fall
+  // behind the reclaim horizon (which trails the barrier clock).
+  COMMON_CHECK_MSG(after_seq >= own.base,
+                   "own-interval floor " << after_seq
+                                         << " below reclaimed prefix "
+                                         << own.base);
   w.put<std::uint32_t>(cur - after_seq);
   for (Seq s = after_seq + 1; s <= cur; ++s)
-    put_interval_record(w, *own[s - 1]);
+    put_interval_record(w, *own.at(s));
 }
 
 std::uint32_t Runtime::read_intervals(ByteReader& r, bool note_contrib) {
@@ -706,8 +745,11 @@ void Runtime::race_check_incoming(const IntervalMeta& m) {
     if (px == nullptr) continue;  // page never accessed locally
 
     // -- write/write, closed local intervals --
-    for (Seq s = ordered_up_to + 1; s <= own_cur; ++s) {
-      const IntervalMeta& l = *own[s - 1];
+    // A new arrival always carries m.vc[rank_] >= the reclaim horizon
+    // (its creator passed the GC barrier that set it), so the clamp to
+    // own.base skips nothing real — it only guards the indexing.
+    for (Seq s = std::max(ordered_up_to, own.base) + 1; s <= own_cur; ++s) {
+      const IntervalMeta& l = *own.at(s);
       const auto it = std::lower_bound(l.pages.begin(), l.pages.end(), page);
       if (it == l.pages.end() || *it != page) continue;
       const RaceMask& lmask =
@@ -819,7 +861,14 @@ void Runtime::race_emit(RaceReport r) {
   std::fprintf(stderr, "TMK_RACE_REPORT %s\n", os.str().c_str());
   std::fflush(stderr);
   if (racecheck_throw_) race_throw_pending_ = true;
-  race_reports_.push_back(std::move(r));
+  // Storage is capped (each report carries two full vector clocks —
+  // unbounded retention would OOM a racy long-running workload); the
+  // line above and the race_reports counter keep firing regardless.
+  ++race_emitted_;
+  if (race_reports_.size() < race_max_reports_)
+    race_reports_.push_back(std::move(r));
+  else
+    ++race_reports_dropped_;
 }
 
 void Runtime::race_maybe_throw() {
@@ -842,7 +891,8 @@ void Runtime::race_maybe_throw() {
 // Diff fetching (page faults and aggregated validate)
 // ---------------------------------------------------------------------
 
-void Runtime::fetch_and_apply(std::span<const PageIndex> fault_pages) {
+void Runtime::fetch_and_apply(std::span<const PageIndex> fault_pages,
+                              bool learn) {
   // Snapshot the needed (creator -> [(page, seq)...]) sets into the
   // reusable per-creator scratch vectors. Only the main thread mutates
   // pending lists, and we *are* the main thread, so the snapshot stays
@@ -896,7 +946,8 @@ void Runtime::fetch_and_apply(std::span<const PageIndex> fault_pages) {
     // One request frame per creator for its whole fetch_needs_ set,
     // handed to the transport as one burst unit.
     ep_.begin_burst(p);
-    ep_.send_svc(p, mpl::FrameKind::kDiffRequest, 0, req_id, w.bytes());
+    ep_.send_svc(p, mpl::FrameKind::kDiffRequest, learn ? 0 : 1, req_id,
+                 w.bytes());
     fetch_outstanding_.push_back(
         FetchOutstanding{static_cast<ProcId>(p), req_id});
     stats_.diff_requests.fetch_add(1, std::memory_order_relaxed);
@@ -935,7 +986,7 @@ void Runtime::fetch_and_apply(std::span<const PageIndex> fault_pages) {
       for (Seq s = max_requested + 1; s <= max_covered; ++s) {
         // Integrated gap seqs did not touch this page (else they would
         // have been pending, hence requested); skip them.
-        if (s <= known.size()) continue;
+        if (s <= known.hi()) continue;
         preapplied_.insert(pack_preapplied(o.creator, s, cur_page));
       }
     };
@@ -952,9 +1003,9 @@ void Runtime::fetch_and_apply(std::span<const PageIndex> fault_pages) {
         bytes = r.get_bytes(len);
         prev_bytes = bytes;
       }
-      COMMON_CHECK(seq >= 1 && seq <= known.size());
+      COMMON_CHECK(seq > known.base && seq <= known.hi());
       fetch_staged_.push_back(
-          FetchedDiff{page, known[seq - 1].get(), bytes, shared_blob});
+          FetchedDiff{page, known.at(seq), bytes, shared_blob});
       stats_.diffs_fetched.fetch_add(1, std::memory_order_relaxed);
       if (page != cur_page) {
         finish_page();
@@ -1169,7 +1220,7 @@ void Runtime::serialize_barrier_contrib(ByteWriter& w) const {
     const auto [lo, hi] = barrier_contrib_[static_cast<std::size_t>(p)];
     const auto& known = intervals_[static_cast<std::size_t>(p)];
     for (Seq s = lo + 1; s <= hi; ++s)
-      put_interval_record(w, *known[s - 1]);
+      put_interval_record(w, *known.at(s));
   }
 }
 
@@ -1181,6 +1232,18 @@ void Runtime::barrier() {
   close_interval();
   stats_.barriers.fetch_add(1, std::memory_order_relaxed);
   if (nprocs_ == 1) {
+    if (epoch_gc_) {
+      // Single rank: everything is integrated by construction (no
+      // pendings, no peers to wait for), so a GC round reclaims straight
+      // up to the current clock.
+      std::lock_guard<std::mutex> g(mu_);
+      if (gc_round_now()) {
+        protocol_rss_peak_ =
+            std::max(protocol_rss_peak_, protocol_rss_bytes_locked());
+        epoch_gc_reclaim(vc_);
+      }
+      trim_pools_locked();
+    }
     ++barrier_seq_;
     return;
   }
@@ -1188,6 +1251,23 @@ void Runtime::barrier() {
   const int nchildren = barrier_num_children();
   const int first_child = barrier_first_child();
   const bool pushing = update_mode_ != UpdateMode::kOff;
+  // Epoch-GC piggyback: only GC rounds extend the barrier wire (a flags
+  // byte + the subtree's element-wise minimum clock up, a flags byte +
+  // the global horizon down), so the other barriers — and every barrier
+  // of a TMK_EPOCH_GC=off run — stay byte-identical to the pre-GC
+  // protocol. The round predicate depends only on barrier_seq_ and
+  // config, so every rank agrees on the wire shape without negotiation.
+  const bool gc_wire = gc_round_now();
+  bool gc_want = false;
+  bool gc_do = false;
+  VectorClock gc_min;      // element-wise min over the subtree's clocks
+  VectorClock gc_horizon;  // global min, distributed by the root
+  const auto fold_min = [this](VectorClock& into, const VectorClock& other) {
+    for (int p = 0; p < nprocs_; ++p) {
+      const auto pid = static_cast<ProcId>(p);
+      into.set(pid, std::min(into.get(pid), other.get(pid)));
+    }
+  };
   if (pushing) {
     // Per-child-link caches for the count-table sentinel (empty = no
     // history yet; the first barrier always ships the full table).
@@ -1217,6 +1297,13 @@ void Runtime::barrier() {
         barrier_parent() == 0 ? sent_to_master_seq_ : barrier_sent_seq_;
     barrier_contrib_[static_cast<std::size_t>(rank_)] = {
         floor_seq, vc_.get(static_cast<ProcId>(rank_))};
+    if (gc_wire) {
+      // This rank's contribution to the horizon is its pre-fan-in clock
+      // (children's integrated news must not inflate the minimum).
+      gc_min = vc_;
+      gc_want = (barrier_seq_ + 1) % gc_interval_ == 0 ||
+                (gc_bytes_ > 0 && protocol_rss_bytes_locked() > gc_bytes_);
+    }
   }
   for (int i = 0; i < nchildren; ++i) {
     mpl::Frame f = ep_.wait_app_kind(mpl::FrameKind::kBarrierArrive);
@@ -1235,6 +1322,11 @@ void Runtime::barrier() {
       read_push_counts(
           r, /*accumulate=*/true,
           push_counts_child_rx_[static_cast<std::size_t>(f.src - first_child)]);
+    if (gc_wire) {
+      const auto flags = r.get<std::uint8_t>();
+      if ((flags & 1u) != 0) gc_want = true;
+      fold_min(gc_min, r.get_vc(nprocs_));
+    }
     // Deliberately NO vc_.merge(their): a child's vc can claim intervals
     // it learned about through a lock chain whose creators live OUTSIDE
     // this subtree — claims this node does not possess as interval
@@ -1258,6 +1350,10 @@ void Runtime::barrier() {
       serialize_barrier_contrib(w);
       if (pushing)  // upward: the whole subtree's totals
         append_push_counts(w, /*subtree_root=*/-1, push_counts_sent_up_);
+      if (gc_wire) {
+        w.put<std::uint8_t>(gc_want ? 1 : 0);
+        w.put_vc(gc_min, nprocs_);
+      }
       // By the time this barrier completes, the contribution has
       // reached rank 0 through the tree — so the join watermark may
       // advance too, whatever the arity.
@@ -1287,8 +1383,17 @@ void Runtime::barrier() {
       // subtree view — every rank ends with the same global vector.
       if (pushing)
         read_push_counts(r, /*accumulate=*/false, push_counts_rx_down_);
+      if (gc_wire) {
+        const auto flags = r.get<std::uint8_t>();
+        gc_do = (flags & 1u) != 0;
+        if (gc_do) gc_horizon = r.get_vc(nprocs_);
+      }
     }
     ep_.recycle_buffer(std::move(f.payload));
+  } else if (gc_wire) {
+    // Root: the fold over every subtree IS the global horizon.
+    gc_do = gc_want;
+    gc_horizon = gc_min;
   }
 
   // Flatten the planned diff chains and assemble one kDiffPush payload
@@ -1310,6 +1415,10 @@ void Runtime::barrier() {
       if (pushing)
         append_push_counts(w, first_child + i,
                            push_counts_sent_down_[static_cast<std::size_t>(i)]);
+      if (gc_wire) {
+        w.put<std::uint8_t>(gc_do ? 1 : 0);
+        if (gc_do) w.put_vc(gc_horizon, nprocs_);
+      }
     }
     // Per-destination burst: each child's depart (notices included) is
     // one transport publish however many chunks it spans.
@@ -1336,6 +1445,43 @@ void Runtime::barrier() {
     ep_.flush_burst();
     collect_pushes(push_counts_[static_cast<std::size_t>(rank_)]);
   }
+  // ---- epoch GC execution (one round behind the horizon exchange) ----
+  if (gc_wire && gc_do) {
+    std::vector<PageIndex> stale;
+    {
+      std::lock_guard<std::mutex> g(mu_);
+      protocol_rss_peak_ =
+          std::max(protocol_rss_peak_, protocol_rss_bytes_locked());
+      if (gc_have_snapshot_) {
+        // Reclaim up to the PREVIOUS round's validated snapshot, capped
+        // by this round's global horizon (the cap is provably a no-op —
+        // every rank's clock already covered the snapshot when it passed
+        // the previous GC barrier — but keeps the safety condition local
+        // and checkable).
+        VectorClock h = gc_ready_horizon_;
+        fold_min(h, gc_horizon);
+        epoch_gc_reclaim(h);
+      }
+      // Validation pass: find every page still carrying pending write
+      // notices; force-applying them below makes the snapshot taken
+      // after this block safe — nothing pending can reference a record
+      // at or below it when the NEXT round reclaims.
+      for (std::size_t p = 0; p < num_pages_; ++p)
+        if (const PageExt* px = ext_if(static_cast<PageIndex>(p));
+            px != nullptr && !px->pending.empty())
+          stale.push_back(static_cast<PageIndex>(p));
+    }
+    if (!stale.empty()) fetch_and_apply(stale, /*learn=*/false);
+    {
+      std::lock_guard<std::mutex> g(mu_);
+      gc_ready_horizon_ = vc_;
+      gc_have_snapshot_ = true;
+    }
+  }
+  if (epoch_gc_) {
+    std::lock_guard<std::mutex> g(mu_);
+    trim_pools_locked();
+  }
   ++barrier_seq_;
   {
     // End of a global rendezvous: every interval closed before it has
@@ -1347,6 +1493,173 @@ void Runtime::barrier() {
     ++race_epoch_;
   }
   race_maybe_throw();
+}
+
+// ---------------------------------------------------------------------
+// Epoch GC (TMK_EPOCH_GC): reclamation of protocol state below the
+// global vector-clock horizon. The horizon reclaim() receives is the
+// element-wise minimum of every rank's clock as VALIDATED one GC round
+// ago: every seq at or below it has been integrated everywhere and had
+// its data applied everywhere (the previous round's forced validate),
+// so no diff request, push, lock-grant serialization, or race check can
+// ever reference those records again.
+// ---------------------------------------------------------------------
+
+void Runtime::epoch_gc_reclaim(const VectorClock& horizon) {
+  // Caller holds mu_.
+  std::vector<PageIndex> touched;
+  {
+    std::lock_guard<std::mutex> dg(diff_mu_);
+    for (int p = 0; p < nprocs_; ++p) {
+      auto& known = intervals_[static_cast<std::size_t>(p)];
+      const Seq limit = horizon.get(static_cast<ProcId>(p));
+      while (known.base < limit && !known.live.empty()) {
+        std::unique_ptr<IntervalMeta> meta = std::move(known.live.front());
+        known.live.pop_front();
+        COMMON_CHECK(meta->id.seq == known.base + 1);
+        ++known.base;
+        const Seq s = meta->id.seq;
+        for (PageIndex page : meta->pages) {
+          PageExt* px = page_ext_[page].get();
+          if (px == nullptr) continue;
+          COMMON_CHECK_MSG(
+              std::find(px->pending.begin(), px->pending.end(), meta.get()) ==
+                  px->pending.end(),
+              "reclaiming interval (" << p << "," << s
+                                      << ") still pending on page " << page);
+          std::erase(px->notices,
+                     static_cast<const IntervalMeta*>(meta.get()));
+          if (p == rank_) {
+            // Own record: the stored diff blob (if the page ever
+            // flushed) and the unflushed marker (if it never did) both
+            // die with it. Reclaim walks seqs in ascending order, so an
+            // unflushed marker for s can only sit at the front.
+            diffs_.erase((static_cast<std::uint64_t>(page) << 32) | s);
+            if (!px->unflushed.empty() && px->unflushed.front() == s)
+              px->unflushed.erase(px->unflushed.begin());
+          }
+          touched.push_back(page);
+        }
+        ++records_reclaimed_;
+      }
+    }
+  }
+  // Stashed pushes wholly below the horizon can never be consumed — the
+  // fault they were stashed for was provably resolved (validated) by
+  // the previous round; account them as waste exactly like stashes
+  // still unconsumed at shutdown.
+  for (auto it = push_stash_.begin(); it != push_stash_.end();) {
+    const auto creator = static_cast<ProcId>(
+        it->first & ((std::uint64_t{1} << kPackCreatorBits) - 1));
+    if (it->second.hi <= horizon.get(creator)) {
+      stats_.push_waste.fetch_add(1, std::memory_order_relaxed);
+      it = push_stash_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  // Per-page post-pass over every page a reclaimed record touched.
+  std::sort(touched.begin(), touched.end());
+  touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
+  for (PageIndex page : touched) {
+    auto& slot = page_ext_[page];
+    if (slot == nullptr) continue;
+    PageExt& px = *slot;
+    const PageMeta& pm = pages_[page];
+    // Stale read witnesses: records from sync epochs before the current
+    // one are barrier-ordered before any interval that can still
+    // arrive (same pruning rule race_record_read applies on append).
+    std::erase_if(px.race_reads, [this](const PageExt::ReadRec& r) {
+      return r.epoch != race_epoch_;
+    });
+    // Twin retirement: with no unflushed interval left (every remaining
+    // fetcher-visible diff is already materialized in diffs_) and no
+    // open write in flight, the baseline image serves no future diff.
+    // Drop it — the next write fault re-baselines from the current
+    // content, which has the reclaimed writes baked in.
+    if (px.twin != nullptr && px.unflushed.empty() && !pm.dirty) {
+      recycle_twin(std::move(px.twin));
+      px.race_cum_mask = RaceMask{};
+    }
+    // Fold an emptied slot back to nullptr — the lazy-allocation steady
+    // state for pages that left the protocol's working set. Consumer
+    // hints persist (the application declared them once, for the whole
+    // run), so a hinted page keeps its slot.
+    if (px.twin == nullptr && px.pending.empty() && px.notices.empty() &&
+        px.unflushed.empty() && px.race_reads.empty() &&
+        !px.hint_consumers.any() && !px.adaptive_consumers.any())
+      slot.reset();
+  }
+}
+
+std::uint64_t Runtime::protocol_rss_bytes_locked() const {
+  // Caller holds mu_; takes diff_mu_ for the blob map. Deliberately an
+  // upper bound where exactness would cost more than it informs: a
+  // flush blob shared by several covered intervals counts once per
+  // interval. The soak assertions compare trends (flat vs growing), for
+  // which a consistent over-approximation is exactly as good.
+  std::uint64_t total = 0;
+  for (int p = 0; p < nprocs_; ++p) {
+    const auto& log = intervals_[static_cast<std::size_t>(p)];
+    for (const auto& m : log.live) {
+      total += sizeof(IntervalMeta);
+      total += m->pages.capacity() * sizeof(PageIndex);
+      total += m->write_masks.capacity() * sizeof(RaceMask);
+    }
+  }
+  {
+    std::lock_guard<std::mutex> dg(diff_mu_);
+    for (const auto& [key, rec] : diffs_) {
+      total += sizeof(key) + sizeof(rec);
+      if (rec.blob != nullptr) total += rec.blob->capacity();
+    }
+  }
+  for (const auto& e : page_ext_) {
+    if (e == nullptr) continue;
+    total += sizeof(PageExt);
+    total += e->pending.capacity() * sizeof(const IntervalMeta*);
+    total += e->notices.capacity() * sizeof(const IntervalMeta*);
+    total += e->unflushed.capacity() * sizeof(Seq);
+    total += e->race_reads.capacity() * sizeof(PageExt::ReadRec);
+    if (e->twin != nullptr) total += common::kPageSize;
+  }
+  total += twin_pool_.size() * common::kPageSize;
+  for (const auto& [key, stash] : push_stash_) {
+    total += sizeof(key) + sizeof(stash);
+    if (stash.blob != nullptr) total += stash.blob->capacity();
+  }
+  total += race_reports_.size() * sizeof(RaceReport);
+  total += preapplied_.size() * sizeof(std::uint64_t);
+  return total;
+}
+
+void Runtime::trim_pools_locked() {
+  // High-water-mark trim: keep only as many pooled twins as this epoch
+  // actually consumed, so a one-off spike (an init phase touching every
+  // page, say) stops pinning page-sized buffers for the rest of the
+  // run. Runs every barrier when the collector is on.
+  if (twin_pool_.size() > twin_takes_epoch_)
+    twin_pool_.resize(twin_takes_epoch_);
+  twin_takes_epoch_ = 0;
+  ep_.trim_buffer_pools();
+}
+
+Runtime::MemStats Runtime::mem_stats() const {
+  std::lock_guard<std::mutex> g(mu_);
+  MemStats s;
+  s.protocol_rss_bytes = protocol_rss_bytes_locked();
+  s.records_created = records_created_;
+  s.records_reclaimed = records_reclaimed_;
+  for (int p = 0; p < nprocs_; ++p)
+    s.records_live += intervals_[static_cast<std::size_t>(p)].live.size();
+  s.twin_pool_pages = twin_pool_.size();
+  for (const auto& e : page_ext_) {
+    if (e == nullptr) continue;
+    ++s.page_ext_live;
+    if (e->twin != nullptr) ++s.twins_live;
+  }
+  s.race_reports_dropped = race_reports_dropped_;
+  return s;
 }
 
 // ---------------------------------------------------------------------
@@ -1606,8 +1919,8 @@ void Runtime::collect_pushes(std::uint32_t expected) {
   // intervals write disjoint words, so ties are safe).
   for (PushRec& rec : recs) {
     const auto& known = intervals_[rec.creator];
-    rec.order_weight = (rec.hi >= 1 && rec.hi <= known.size())
-                           ? known[rec.hi - 1]->vc_weight
+    rec.order_weight = (rec.hi > known.base && rec.hi <= known.hi())
+                           ? known.at(rec.hi)->vc_weight
                            : 0;
   }
   std::sort(recs.begin(), recs.end(),
@@ -1632,7 +1945,7 @@ void Runtime::collect_pushes(std::uint32_t expected) {
     const PageExt* pxv = ext_if(page);
     bool ok = pxv != nullptr && !pxv->pending.empty();
     for (std::size_t k = i; ok && k < j; ++k)
-      if (recs[k].hi > intervals_[recs[k].creator].size())
+      if (recs[k].hi > intervals_[recs[k].creator].hi())
         ok = false;  // push outran our write-notice knowledge
     if (ok) {
       for (const IntervalMeta* pend : pxv->pending) {
@@ -1941,7 +2254,7 @@ void Runtime::accept_push(int src) {
                            });
     if (it != px.pending.end()) {
       px.pending.erase(it);
-    } else if (t.seq > intervals_[t.creator].size()) {
+    } else if (t.seq > intervals_[t.creator].hi()) {
       preapplied_.insert(pack_preapplied(t.creator, t.seq, t.page));
     }
   }

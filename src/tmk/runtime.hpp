@@ -166,10 +166,28 @@ class Runtime {
 
   /// Every race detected so far, in detection order (tests; the stress
   /// workload asserts the exact set against its seed-derived plan).
+  /// Capped at TMK_RACECHECK_MAX_REPORTS records: past the cap the
+  /// stderr line and counters still fire but nothing more is stored.
   [[nodiscard]] std::vector<RaceReport> race_reports() const {
     std::lock_guard<std::mutex> g(mu_);
     return race_reports_;
   }
+
+  /// Point-in-time protocol memory accounting (tests and the soak
+  /// assertion; protocol_rss_bytes also feeds the run counter of the
+  /// same name through shutdown). Computed under mu_/diff_mu_, so it is
+  /// a consistent snapshot, not a sampled estimate.
+  struct MemStats {
+    std::uint64_t protocol_rss_bytes = 0;  // bytes held by protocol state
+    std::uint64_t records_created = 0;     // interval records ever logged
+    std::uint64_t records_reclaimed = 0;   // records freed by epoch GC
+    std::uint64_t records_live = 0;        // records currently held
+    std::uint64_t twin_pool_pages = 0;     // pooled (idle) twin buffers
+    std::uint64_t twins_live = 0;          // twins attached to pages
+    std::uint64_t page_ext_live = 0;       // non-null PageExt slots
+    std::uint64_t race_reports_dropped = 0;
+  };
+  [[nodiscard]] MemStats mem_stats() const;
 
   /// Snapshot of the current vector clock (tests and diagnostics; the
   /// across-mode equivalence suite asserts final clocks are identical
@@ -407,7 +425,12 @@ class Runtime {
     if (first >= nprocs_) return 0;
     return std::min(barrier_arity_, nprocs_ - first);
   }
-  void fetch_and_apply(std::span<const PageIndex> pages);
+  // `learn=false` marks the requests as epoch-GC validation traffic
+  // (kDiffRequest tag 1): the server answers identically but does NOT
+  // feed its adaptive push predictor — a forced fetch proves nothing
+  // about what the requester actually reads, and learning from it would
+  // turn every GC round into a sustained mispredicted-push storm.
+  void fetch_and_apply(std::span<const PageIndex> pages, bool learn = true);
   void mprotect_page(PageIndex page, int prot) const;
   [[nodiscard]] std::byte* page_ptr(PageIndex page) const noexcept {
     return static_cast<std::byte*>(heap_) + page * common::kPageSize;
@@ -452,9 +475,23 @@ class Runtime {
   // diffs_ has its own mutex (service reads it while main computes).
   mutable std::mutex mu_;
   VectorClock vc_;
-  // intervals_[p][s-1] = interval (p, s); contiguous by construction.
-  std::array<std::vector<std::unique_ptr<IntervalMeta>>, mpl::kMaxProcs>
-      intervals_;
+  // Per-creator interval log: seqs are contiguous by construction, and
+  // epoch GC pops reclaimed prefixes off the front, so record (p, s)
+  // lives at live[s - 1 - base]. `base` is the highest reclaimed seq
+  // (0 = nothing reclaimed); every indexing site guards s > base.
+  struct IntervalLog {
+    std::deque<std::unique_ptr<IntervalMeta>> live;
+    Seq base = 0;
+    /// Highest seq in the log (== base when empty).
+    [[nodiscard]] Seq hi() const noexcept {
+      return base + static_cast<Seq>(live.size());
+    }
+    /// Record (creator, s); caller guarantees base < s <= hi().
+    [[nodiscard]] const IntervalMeta* at(Seq s) const noexcept {
+      return live[static_cast<std::size_t>(s - 1 - base)].get();
+    }
+  };
+  std::array<IntervalLog, mpl::kMaxProcs> intervals_;
   std::vector<PageMeta> pages_;
   // Lazily-allocated extended page state; null until a page first
   // participates in the protocol. Guarded by mu_ like pages_.
@@ -572,6 +609,58 @@ class Runtime {
   // blame, exactly like an injected soft fault.
   bool race_unwinding_ = false;
   std::vector<RaceReport> race_reports_;
+  // Storage cap (TMK_RACECHECK_MAX_REPORTS) and the totals that keep
+  // counting past it: every report emitted, and every report dropped
+  // from storage. kRaceReports flushes race_emitted_, not
+  // race_reports_.size(), so the counter stays exact under the cap.
+  std::size_t race_max_reports_ = 4096;
+  std::uint64_t race_emitted_ = 0;
+  std::uint64_t race_reports_dropped_ = 0;
+
+  // -- epoch GC (TMK_EPOCH_GC; default on) --
+  // Every `gc_interval_`-th barrier is a GC round: arrives additionally
+  // carry a flags byte plus the subtree's element-wise minimum vector
+  // clock, the root folds them into the global horizon H, and departs
+  // carry H back down. Reclamation then runs one round behind: at round
+  // G each rank first frees everything at or below the snapshot taken
+  // at round G-1 (safe: every rank passed barrier G-1 with that state
+  // integrated, and the round-G validation below guaranteed no pending
+  // references remain), then force-applies its own pending notices at
+  // or below H (modelled validate traffic) and snapshots vc_ as the
+  // next round's reclaim horizon. Non-GC barriers are byte-identical to
+  // the GC-off protocol.
+  bool epoch_gc_ = true;
+  std::uint32_t gc_interval_ = 64;
+  std::uint64_t gc_bytes_ = 0;  // TMK_EPOCH_GC_BYTES pressure trigger
+  // Validated reclaim horizon from the previous GC round (== vc_ at
+  // that round's end, identical on every rank).
+  VectorClock gc_ready_horizon_;
+  bool gc_have_snapshot_ = false;
+  // Accounting for the invariant records_created == records_reclaimed +
+  // live records (own closes AND integrated remotes, unlike
+  // stats_.intervals_created which counts own closes only).
+  std::uint64_t records_created_ = 0;
+  std::uint64_t records_reclaimed_ = 0;
+  // Peak protocol footprint observed at GC rounds (flushed as the
+  // protocol_rss_bytes run counter).
+  std::uint64_t protocol_rss_peak_ = 0;
+  // Twin-pool high-water-mark trim: buffers taken from the pool since
+  // the last barrier; any pool surplus beyond it is released there.
+  std::size_t twin_takes_epoch_ = 0;
+
+  /// True when barrier number `barrier_seq_` is a GC round (1-based:
+  /// the arriving barrier is barrier_seq_ + 1).
+  [[nodiscard]] bool gc_round_now() const noexcept {
+    return epoch_gc_ &&
+           (gc_bytes_ > 0 || (barrier_seq_ + 1) % gc_interval_ == 0);
+  }
+  // Frees every interval record with seq <= horizon[creator] plus the
+  // diff blobs, notices, unflushed prefixes, stashed pushes, and race
+  // metadata that reference them; folds emptied PageExt slots back to
+  // nullptr. Caller holds mu_; takes diff_mu_ internally.
+  void epoch_gc_reclaim(const VectorClock& horizon);
+  [[nodiscard]] std::uint64_t protocol_rss_bytes_locked() const;
+  void trim_pools_locked();
 
   // -- hybrid update protocol state (mode != off only) --
   UpdateMode update_mode_ = UpdateMode::kOff;

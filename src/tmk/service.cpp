@@ -57,8 +57,13 @@ void Runtime::serve_diff_request(const mpl::Frame& f) {
   ByteWriter& w = svc_reply_writer_;  // service thread only; reused
   w.clear();
   w.put<std::uint32_t>(n);
-  const bool learning = update_mode_ == UpdateMode::kAdaptive ||
-                        update_mode_ == UpdateMode::kHybrid;
+  // tag 1 marks epoch-GC validation fetches: forced traffic that says
+  // nothing about what the requester reads, so it must not arm the
+  // adaptive push predictor (learning from it turns every GC round
+  // into a run-long mispredicted-push storm).
+  const bool learning = (update_mode_ == UpdateMode::kAdaptive ||
+                         update_mode_ == UpdateMode::kHybrid) &&
+                        f.tag == 0;
   {
     std::lock_guard<std::mutex> g(mu_);
     const DiffRec* prev = nullptr;

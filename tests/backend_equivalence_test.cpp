@@ -30,6 +30,7 @@
 #include "apps/registry.hpp"
 #include "env_guard.hpp"
 #include "mpl/transport.hpp"
+#include "runner/counters.hpp"
 #include "runner/runner.hpp"
 #include "tmk/runtime.hpp"
 
@@ -193,6 +194,102 @@ TEST(BurstInvarianceDsm, ThreadBackendChecksumsBurstInvariant) {
                      off.procs[static_cast<std::size_t>(p)].checksum)
         << c.key << " rank " << p;
 }
+
+// ---- epoch-GC invariance across backends ------------------------------
+
+// Same bit-stable ring schedule as the cross-transport epoch-GC legs:
+// fresh slice per round, so lazy-diff flush coverage has nothing left
+// to vary on and the collector's wire additions are the only variable.
+double gc_ring_schedule(runner::ChildContext& c) {
+  tmk::Runtime rt(c);
+  const int me = rt.rank();
+  const int n = rt.nprocs();
+  auto* data = rt.alloc<std::int64_t>(512 * n);  // one page per rank
+  rt.barrier();
+  double sum = 0;
+  for (int round = 0; round < 6; ++round) {
+    for (int i = 0; i < 32; ++i)
+      data[512 * me + 32 * round + i] = 1000 * me + 10 * round + i;
+    rt.barrier();
+    const int left = (me + n - 1) % n;
+    for (int i = 0; i < 32; ++i)
+      sum += static_cast<double>(data[512 * left + 32 * round + i]);
+    rt.barrier();
+  }
+  return sum;
+}
+
+// TMK_EPOCH_GC=off vs an enabled-but-idle collector (first GC round
+// beyond the run) on the thread backend's inproc mesh — the third
+// transport's leg of the off==pre-GC bit-identity contract (socket and
+// shm live in the cross-transport suite).
+TEST(EpochGcIdleIdentity, OffIsBitIdenticalToIdleCollectorOnThreadMesh) {
+  runner::RunResult on, off;
+  {
+    const test::EpochGcEnv guard(true);
+    on = runner::spawn(8, det_options(runner::Backend::kThread),
+                       gc_ring_schedule);
+  }
+  {
+    const test::EpochGcEnv guard(false);
+    off = runner::spawn(8, det_options(runner::Backend::kThread),
+                        gc_ring_schedule);
+  }
+  for (std::size_t l = 0; l < on.total.messages.size(); ++l) {
+    EXPECT_EQ(on.total.messages[l], off.total.messages[l]) << "layer " << l;
+    EXPECT_EQ(on.total.bytes[l], off.total.bytes[l]) << "layer " << l;
+  }
+  for (const runner::ctr::Desc& d : runner::ctr::kRegistry) {
+    if (d.layer != runner::ctr::Layer::kDsm) continue;  // host = wall clock
+    // protocol_rss_bytes is a host-side footprint gauge, not a wire
+    // observable: an idle-but-enabled collector still trims pools at
+    // barriers, so its gauge legitimately reads lower than off's.
+    if (d.id == runner::ctr::Id::kProtocolRssBytes) continue;
+    EXPECT_EQ(on.total_ctrs[d.id], off.total_ctrs[d.id])
+        << "counter " << d.json_key;
+  }
+  ASSERT_EQ(on.procs.size(), off.procs.size());
+  for (std::size_t i = 0; i < on.procs.size(); ++i)
+    EXPECT_DOUBLE_EQ(on.procs[i].checksum, off.procs[i].checksum)
+        << "rank " << i;
+}
+
+// Active collector (interval 4), forked socket mesh vs thread inproc
+// mesh: the horizon piggyback, the validation fetches, and the
+// reclamation counters must be backend-invariant.
+class EpochGcActiveBackendInvariance
+    : public ::testing::TestWithParam<bool> {};
+
+TEST_P(EpochGcActiveBackendInvariance, RingTrafficMatchesAcrossBackends) {
+  const test::EpochGcEnv guard(GetParam());
+  const test::EnvGuard interval("TMK_EPOCH_GC_INTERVAL", "4");
+  const auto process = runner::spawn(
+      8, det_options(runner::Backend::kProcess), gc_ring_schedule);
+  const auto thread = runner::spawn(
+      8, det_options(runner::Backend::kThread), gc_ring_schedule);
+  for (std::size_t l = 0; l < process.total.messages.size(); ++l) {
+    EXPECT_EQ(process.total.messages[l], thread.total.messages[l])
+        << "layer " << l;
+    EXPECT_EQ(process.total.bytes[l], thread.total.bytes[l])
+        << "layer " << l;
+  }
+  EXPECT_EQ(process.ctr(runner::ctr::Id::kIntervalsReclaimed),
+            thread.ctr(runner::ctr::Id::kIntervalsReclaimed));
+  if (GetParam())
+    EXPECT_GT(process.ctr(runner::ctr::Id::kIntervalsReclaimed), 0u);
+  else
+    EXPECT_EQ(process.ctr(runner::ctr::Id::kIntervalsReclaimed), 0u);
+  ASSERT_EQ(process.procs.size(), thread.procs.size());
+  for (std::size_t i = 0; i < process.procs.size(); ++i)
+    EXPECT_DOUBLE_EQ(process.procs[i].checksum, thread.procs[i].checksum)
+        << "rank " << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(OnOff, EpochGcActiveBackendInvariance,
+                         ::testing::Values(true, false),
+                         [](const auto& info) {
+                           return std::string(info.param ? "on" : "off");
+                         });
 
 // ---- controlled tmk protocol run --------------------------------------
 

@@ -129,7 +129,8 @@ TEST(BenchSmoke, JsonRowColumnOrderIsPinned) {
       "diff_replies",  "diff_push",
       "push_hits",     "push_waste",
       "page_faults",   "race_reports",
-      "checksum"};
+      "race_reports_dropped", "intervals_reclaimed",
+      "protocol_rss_bytes", "checksum"};
   EXPECT_EQ(row_keys(json.substr(open, close - open + 1)), golden);
   fs::remove_all(dir);
 }

@@ -57,4 +57,13 @@ class RacecheckEnv : public EnvGuard {
   RacecheckEnv() : EnvGuard("TMK_RACECHECK") {}
 };
 
+/// TMK_EPOCH_GC=on/off for the guard's lifetime; the default
+/// constructor guarantees it is unset (pinning the collector's
+/// built-in on default under a CI job that exports it globally).
+class EpochGcEnv : public EnvGuard {
+ public:
+  explicit EpochGcEnv(bool on) : EnvGuard("TMK_EPOCH_GC", on ? "on" : "off") {}
+  EpochGcEnv() : EnvGuard("TMK_EPOCH_GC") {}
+};
+
 }  // namespace test

@@ -36,6 +36,7 @@
 #include "common/checksum.hpp"
 #include "env_guard.hpp"
 #include "mpl/transport.hpp"
+#include "runner/counters.hpp"
 #include "runner/runner.hpp"
 #include "tmk/runtime.hpp"
 
@@ -265,6 +266,117 @@ INSTANTIATE_TEST_SUITE_P(
       return case_name(std::get<0>(info.param)) + "_" +
              mpl::to_string(std::get<1>(info.param));
     });
+
+// ---- epoch-GC wire invariance ----------------------------------------
+
+// Barrier-phased ring producer/consumer with a fresh slice per round
+// (same shape as the racecheck off-identity suite): each round's pull
+// fetches exactly one closed unflushed interval, so message and byte
+// counts are bit-stable run to run — the strongest schedule to pin the
+// collector's wire behaviour against.
+double gc_ring_schedule(runner::ChildContext& c) {
+  tmk::Runtime rt(c);
+  const int me = rt.rank();
+  const int n = rt.nprocs();
+  auto* data = rt.alloc<std::int64_t>(512 * n);  // one page per rank
+  rt.barrier();
+  double sum = 0;
+  for (int round = 0; round < 6; ++round) {
+    for (int i = 0; i < 32; ++i)
+      data[512 * me + 32 * round + i] = 1000 * me + 10 * round + i;
+    rt.barrier();
+    const int left = (me + n - 1) % n;
+    for (int i = 0; i < 32; ++i)
+      sum += static_cast<double>(data[512 * left + 32 * round + i]);
+    rt.barrier();
+  }
+  return sum;
+}
+
+// TMK_EPOCH_GC=off must be bit-identical to a collector that never
+// fires: an enabled collector whose first GC round lies beyond the run
+// (default interval 64, the ring runs 13 barriers) adds nothing to the
+// wire — same message AND byte counts at every layer, same DSM
+// counters, same per-rank checksums. This is the machine-checkable
+// half of the off==pre-GC contract: every non-GC barrier is
+// byte-identical to the GC-off protocol.
+class EpochGcIdleIdentity
+    : public ::testing::TestWithParam<mpl::TransportKind> {};
+
+TEST_P(EpochGcIdleIdentity, OffIsBitIdenticalToIdleCollector) {
+  runner::RunResult on, off;
+  {
+    const test::EpochGcEnv guard(true);
+    on = runner::spawn(8, det_options(GetParam()), gc_ring_schedule);
+  }
+  {
+    const test::EpochGcEnv guard(false);
+    off = runner::spawn(8, det_options(GetParam()), gc_ring_schedule);
+  }
+  for (std::size_t l = 0; l < on.total.messages.size(); ++l) {
+    EXPECT_EQ(on.total.messages[l], off.total.messages[l]) << "layer " << l;
+    EXPECT_EQ(on.total.bytes[l], off.total.bytes[l]) << "layer " << l;
+  }
+  for (const runner::ctr::Desc& d : runner::ctr::kRegistry) {
+    if (d.layer != runner::ctr::Layer::kDsm) continue;  // host = wall clock
+    // protocol_rss_bytes is a host-side footprint gauge, not a wire
+    // observable: an idle-but-enabled collector still trims pools at
+    // barriers, so its gauge legitimately reads lower than off's.
+    if (d.id == runner::ctr::Id::kProtocolRssBytes) continue;
+    EXPECT_EQ(on.total_ctrs[d.id], off.total_ctrs[d.id])
+        << "counter " << d.json_key;
+  }
+  ASSERT_EQ(on.procs.size(), off.procs.size());
+  for (std::size_t i = 0; i < on.procs.size(); ++i)
+    EXPECT_DOUBLE_EQ(on.procs[i].checksum, off.procs[i].checksum)
+        << "rank " << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(Transports, EpochGcIdleIdentity,
+                         ::testing::Values(mpl::TransportKind::kSocket,
+                                           mpl::TransportKind::kShm),
+                         [](const auto& info) {
+                           return std::string(mpl::to_string(info.param));
+                         });
+
+// With the collector ACTIVE (interval 4: GC rounds at barriers 4/8/12,
+// reclaim passes at 8 and 12), the horizon piggyback and the validation
+// fetches are part of the modelled protocol and must be transport-
+// invariant like everything else: same per-layer message/byte counts,
+// same reclamation counters, same per-rank checksums on socket and shm.
+class EpochGcActiveTransportInvariance
+    : public ::testing::TestWithParam<bool> {};
+
+TEST_P(EpochGcActiveTransportInvariance, RingTrafficMatchesAcrossMeshes) {
+  const test::EpochGcEnv guard(GetParam());
+  const test::EnvGuard interval("TMK_EPOCH_GC_INTERVAL", "4");
+  const auto socket =
+      runner::spawn(8, det_options(mpl::TransportKind::kSocket),
+                    gc_ring_schedule);
+  const auto shm = runner::spawn(8, det_options(mpl::TransportKind::kShm),
+                                 gc_ring_schedule);
+  for (std::size_t l = 0; l < socket.total.messages.size(); ++l) {
+    EXPECT_EQ(socket.total.messages[l], shm.total.messages[l])
+        << "layer " << l;
+    EXPECT_EQ(socket.total.bytes[l], shm.total.bytes[l]) << "layer " << l;
+  }
+  EXPECT_EQ(socket.ctr(runner::ctr::Id::kIntervalsReclaimed),
+            shm.ctr(runner::ctr::Id::kIntervalsReclaimed));
+  if (GetParam())
+    EXPECT_GT(socket.ctr(runner::ctr::Id::kIntervalsReclaimed), 0u);
+  else
+    EXPECT_EQ(socket.ctr(runner::ctr::Id::kIntervalsReclaimed), 0u);
+  ASSERT_EQ(socket.procs.size(), shm.procs.size());
+  for (std::size_t i = 0; i < socket.procs.size(); ++i)
+    EXPECT_DOUBLE_EQ(socket.procs[i].checksum, shm.procs[i].checksum)
+        << "rank " << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(OnOff, EpochGcActiveTransportInvariance,
+                         ::testing::Values(true, false),
+                         [](const auto& info) {
+                           return std::string(info.param ? "on" : "off");
+                         });
 
 // ---- controlled tmk protocol run --------------------------------------
 
